@@ -1,0 +1,95 @@
+//! Criterion microbenchmarks for the performance-sensitive components:
+//! simulated-kernel execution, the mutation engine, query-graph
+//! construction, PMM inference, and one training step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use snowplow_core::learning::QueryGraph;
+use snowplow_core::{Kernel, KernelVersion, Pmm, PmmConfig, Vm};
+use snowplow_prog::gen::Generator;
+use snowplow_prog::Mutator;
+
+fn bench_kernel_exec(c: &mut Criterion) {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let generator = Generator::new(kernel.registry());
+    let mut rng = StdRng::seed_from_u64(1);
+    let progs: Vec<_> = (0..64).map(|_| generator.generate(&mut rng, 6)).collect();
+    let mut vm = Vm::new(&kernel);
+    let snap = vm.snapshot();
+    let mut i = 0;
+    c.bench_function("kernel_exec", |b| {
+        b.iter(|| {
+            vm.restore(&snap);
+            let r = vm.execute(&progs[i % progs.len()]);
+            i += 1;
+            r.trace.len()
+        })
+    });
+}
+
+fn bench_mutation(c: &mut Criterion) {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let generator = Generator::new(kernel.registry());
+    let mut rng = StdRng::seed_from_u64(2);
+    let base = generator.generate(&mut rng, 8);
+    let mut mutator = Mutator::new(kernel.registry());
+    c.bench_function("mutation", |b| {
+        b.iter(|| mutator.mutate(&mut rng, &base).0.len())
+    });
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let generator = Generator::new(kernel.registry());
+    let mut rng = StdRng::seed_from_u64(3);
+    let prog = generator.generate(&mut rng, 6);
+    let mut vm = Vm::new(&kernel);
+    let exec = vm.execute(&prog);
+    let frontier = kernel.cfg().alternative_entries(exec.coverage().as_set());
+    let targets = &frontier[..frontier.len().min(6)];
+    c.bench_function("graph_build", |b| {
+        b.iter(|| QueryGraph::build(&kernel, &prog, &exec, targets).node_count())
+    });
+}
+
+fn bench_pmm_inference(c: &mut Criterion) {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let generator = Generator::new(kernel.registry());
+    let mut rng = StdRng::seed_from_u64(4);
+    let prog = generator.generate(&mut rng, 6);
+    let mut vm = Vm::new(&kernel);
+    let exec = vm.execute(&prog);
+    let frontier = kernel.cfg().alternative_entries(exec.coverage().as_set());
+    let graph = QueryGraph::build(&kernel, &prog, &exec, &frontier[..frontier.len().min(6)]);
+    let mut model = Pmm::new(PmmConfig::default(), kernel.registry().syscall_count());
+    c.bench_function("pmm_inference", |b| b.iter(|| model.predict(&graph).len()));
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let generator = Generator::new(kernel.registry());
+    let mut rng = StdRng::seed_from_u64(5);
+    let prog = generator.generate(&mut rng, 6);
+    let mut vm = Vm::new(&kernel);
+    let exec = vm.execute(&prog);
+    let frontier = kernel.cfg().alternative_entries(exec.coverage().as_set());
+    let graph = QueryGraph::build(&kernel, &prog, &exec, &frontier[..frontier.len().min(6)]);
+    let labels: Vec<f32> = (0..graph.candidate_count())
+        .map(|i| if i % 9 == 0 { 1.0 } else { 0.0 })
+        .collect();
+    let weights = vec![1.0f32; labels.len()];
+    let mut model = Pmm::new(PmmConfig::default(), kernel.registry().syscall_count());
+    c.bench_function("train_step", |b| {
+        b.iter(|| model.loss_and_backward(&graph, &labels, &weights))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_kernel_exec,
+    bench_mutation,
+    bench_graph_build,
+    bench_pmm_inference,
+    bench_train_step
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! §5.1 statistics: argument counts per test, graph sizes, successful
+//! mutations per base.
+
+use snowplow_core::learning::QueryGraph;
+use snowplow_core::{Dataset, DatasetConfig, Kernel, KernelVersion, Vm};
+
+fn main() {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let config = DatasetConfig::default();
+    let ds = Dataset::generate(&kernel, config);
+    println!("== §5.1 dataset statistics (paper values in parentheses) ==");
+    println!("base tests: {}", ds.progs.len());
+    let sites: usize = ds
+        .progs
+        .iter()
+        .map(|p| snowplow_core::enumerate_sites(kernel.registry(), p).len())
+        .sum();
+    println!(
+        "mean argument nodes per test: {:.1}  (paper: >60)",
+        sites as f64 / ds.progs.len() as f64
+    );
+    println!(
+        "successful mutations per base per {} tried: {:.1}  (paper: ~45 per 1000)",
+        config.mutations_per_base,
+        ds.stats.successful_mutations as f64 / ds.progs.len() as f64
+    );
+    println!("examples after merge+cap: {} ({} capped)", ds.samples.len(), ds.stats.capped);
+    println!("mean |y| (positives per example): {:.2}  (paper: 8)", ds.mean_positive_count());
+
+    // Graph-size statistics over 200 examples.
+    let mut vm = Vm::new(&kernel);
+    let (mut v, mut e, mut sys, mut args, mut cov, mut alt) = (0, 0, 0, 0, 0, 0);
+    let n = ds.samples.len().min(200);
+    for s in ds.samples.iter().take(n) {
+        let prog = &ds.progs[s.prog];
+        let exec = vm.execute(prog);
+        let g = QueryGraph::build(&kernel, prog, &exec, &s.targets);
+        let (s_, a_, c_, alt_, _) = g.vertex_stats();
+        v += g.node_count();
+        e += g.edge_count();
+        sys += s_;
+        args += a_;
+        cov += c_;
+        alt += alt_;
+    }
+    let n = n as f64;
+    println!("mean graph vertices: {:.0}  (paper: 2372)", v as f64 / n);
+    println!("  syscall nodes {:.1} (5) | argument nodes {:.1} (62) | covered blocks {:.0} (1631) | alternative entries {:.0} (674)",
+        sys as f64 / n, args as f64 / n, cov as f64 / n, alt as f64 / n);
+    println!("mean graph edges: {:.0}  (paper: 2989)", e as f64 / n);
+}

@@ -1,0 +1,52 @@
+//! Experiment harnesses regenerating every table and figure of the paper.
+//!
+//! Each binary under `src/bin/` prints the rows/series of one paper
+//! artifact (see DESIGN.md §4 for the index and EXPERIMENTS.md for
+//! recorded results):
+//!
+//! * `stats_sec51` — §5.1 dataset and graph statistics;
+//! * `table1` — localizer quality: PMM vs Rand.K;
+//! * `fig6` — 24-hour edge-coverage curves on kernels 6.8/6.9/6.10
+//!   (pass `--iso-cost` for the §5.3.1 same-test-time-cost variant);
+//! * `table2` — the 7-day crash campaign (new vs known crashes);
+//! * `table3_4` — new-bug taxonomy with reproducer rates and the
+//!   diagnosed-bug sample;
+//! * `table5` — directed fuzzing: SyzDirect vs Snowplow-D per target;
+//! * `perf_sec55` — inference throughput/latency and fuzzing throughput.
+//!
+//! Scales are chosen so the full suite regenerates in minutes on a
+//! laptop; absolute numbers differ from the paper (simulated substrate),
+//! the *shapes* are the reproduction target.
+
+use std::time::Duration;
+
+use snowplow_core::fuzzing::CampaignConfig;
+use snowplow_core::{Kernel, KernelVersion, Pmm, Scale};
+
+/// Virtual hours as a `Duration`.
+pub fn hours(h: u64) -> Duration {
+    Duration::from_secs(h * 3600)
+}
+
+/// The standard "24-hour" campaign configuration used by the harnesses
+/// (2 virtual seconds per execution → 43 200 executions per day).
+pub fn day_config(seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        duration: hours(24),
+        exec_cost: Duration::from_secs(2),
+        sample_every: Duration::from_secs(3600),
+        seed,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Trains the paper-scale PMM on the 6.8 kernel (the model every
+/// harness shares).
+pub fn trained_model(kernel: &Kernel) -> (Pmm, snowplow_core::EvalReport) {
+    snowplow_core::train_pmm(kernel, Scale::paper())
+}
+
+/// Builds all three kernel versions.
+pub fn all_kernels() -> Vec<Kernel> {
+    KernelVersion::ALL.iter().map(|v| Kernel::build(*v)).collect()
+}

@@ -1,0 +1,159 @@
+//! Snowplow — kernel fuzzing with a learned white-box test mutator.
+//!
+//! This is the public facade of the Snowplow reproduction (ASPLOS'25).
+//! It wires the substrate crates together and exposes the end-to-end
+//! pipeline the paper evaluates:
+//!
+//! 1. build a simulated kernel ([`Kernel`], three versions);
+//! 2. collect a mutation dataset (§3.1) and train **PMM** (§3.2–3.3);
+//! 3. run iso-resource fuzzing campaigns — the Syzkaller baseline vs
+//!    Snowplow's PMM-guided argument localization (§5.3);
+//! 4. run directed campaigns — SyzDirect vs Snowplow-D (§5.4).
+//!
+//! ```no_run
+//! use snowplow_core::{train_pmm, Scale, Kernel, KernelVersion};
+//! use snowplow_core::fuzzing::{Campaign, CampaignConfig, FuzzerKind};
+//!
+//! let kernel = Kernel::build(KernelVersion::V6_8);
+//! let (model, report) = train_pmm(&kernel, Scale::quick());
+//! println!("PMM eval: {}", report.metrics);
+//! let campaign = Campaign::new(
+//!     &kernel,
+//!     FuzzerKind::Snowplow { model: Box::new(model) },
+//!     CampaignConfig::default(),
+//! );
+//! let result = campaign.run();
+//! println!("edges after 24 virtual hours: {}", result.final_edges);
+//! ```
+
+pub use snowplow_kernel::{
+    BlockId, BugId, BugInfo, BugRegistry, Coverage, CrashCategory, CrashInfo, EdgeSet, Effect,
+    ExecResult, Kernel, KernelVersion, Vm,
+};
+pub use snowplow_pmm::dataset::{Dataset, DatasetConfig, Split};
+pub use snowplow_pmm::model::{Pmm, PmmConfig};
+pub use snowplow_pmm::train::{EvalReport, TrainConfig, Trainer};
+pub use snowplow_prog::gen as prog_gen;
+pub use snowplow_prog::{enumerate_sites, Arg, ArgLoc, Call, Prog, ResSource};
+pub use snowplow_syslang::{builtin, Registry, SyscallId};
+
+/// Fuzzing-loop types (campaigns, corpus, crashes, directed mode).
+pub mod fuzzing {
+    pub use snowplow_fuzzer::{
+        attempt_reproducer, Campaign, CampaignConfig, CampaignReport, Corpus, CrashLog,
+        CrashRecord, DirectedCampaign, DirectedConfig, DirectedOutcome, FuzzerKind,
+        ReproOutcome, TimelinePoint, VirtualClock,
+    };
+}
+
+/// Model/query types for advanced integration.
+pub mod learning {
+    pub use snowplow_mlcore::{AdamConfig, BinaryMetrics, Matrix, Params, Tape};
+    pub use snowplow_pmm::train::predict_locations;
+    pub use snowplow_pmm::graph::{EdgeType, NodeKind, QueryGraph};
+    pub use snowplow_pmm::server::{InferenceService, InferenceStats};
+}
+
+/// End-to-end pipeline scale: dataset size, training budget, model size.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Dataset pipeline configuration.
+    pub dataset: DatasetConfig,
+    /// Training configuration.
+    pub train: TrainConfig,
+    /// Model architecture.
+    pub model: PmmConfig,
+}
+
+impl Scale {
+    /// Seconds-scale budgets: enough signal to demonstrate every
+    /// behaviour; used by the examples and quick tests.
+    pub fn quick() -> Scale {
+        Scale {
+            dataset: DatasetConfig {
+                base_tests: 120,
+                mutations_per_base: 100,
+                ..DatasetConfig::default()
+            },
+            train: TrainConfig {
+                epochs: 6,
+                ..TrainConfig::default()
+            },
+            model: PmmConfig {
+                dim: 48,
+                rounds: 3,
+                ..PmmConfig::default()
+            },
+        }
+    }
+
+    /// Minutes-scale budgets: the configuration the experiment harnesses
+    /// use to regenerate the paper's tables and figures.
+    pub fn paper() -> Scale {
+        Scale {
+            dataset: DatasetConfig {
+                base_tests: 500,
+                mutations_per_base: 150,
+                ..DatasetConfig::default()
+            },
+            train: TrainConfig {
+                epochs: 12,
+                ..TrainConfig::default()
+            },
+            model: PmmConfig {
+                dim: 48,
+                rounds: 3,
+                ..PmmConfig::default()
+            },
+        }
+    }
+}
+
+/// Runs the full §3.1 + §3.3 pipeline: dataset collection, training, and
+/// held-out evaluation. Returns the trained model and its Table-1-style
+/// evaluation report.
+pub fn train_pmm(kernel: &Kernel, scale: Scale) -> (Pmm, EvalReport) {
+    let dataset = Dataset::generate(kernel, scale.dataset);
+    let trainer = Trainer::new(kernel, scale.train);
+    let mut model = Pmm::new(scale.model, kernel.registry().syscall_count());
+    trainer.train(&mut model, &dataset);
+    let report = trainer.evaluate(&mut model, &dataset, Split::Evaluation);
+    (model, report)
+}
+
+/// Like [`train_pmm`] but also hands back the dataset (for baselines and
+/// statistics harnesses).
+pub fn train_pmm_with_dataset(kernel: &Kernel, scale: Scale) -> (Pmm, EvalReport, Dataset) {
+    let dataset = Dataset::generate(kernel, scale.dataset);
+    let trainer = Trainer::new(kernel, scale.train);
+    let mut model = Pmm::new(scale.model, kernel.registry().syscall_count());
+    trainer.train(&mut model, &dataset);
+    let report = trainer.evaluate(&mut model, &dataset, Split::Evaluation);
+    (model, report, dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_pipeline_produces_a_useful_model() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let (mut model, report) = train_pmm(&kernel, Scale::quick());
+        assert!(report.metrics.f1 > 0.15, "F1 {:.3}", report.metrics.f1);
+        // The model answers arbitrary fresh queries.
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let prog = snowplow_prog::gen::Generator::new(kernel.registry()).generate(&mut rng, 4);
+        let mut vm = Vm::new(&kernel);
+        let exec = vm.execute(&prog);
+        let frontier = kernel.cfg().alternative_entries(exec.coverage().as_set());
+        let graph = snowplow_pmm::graph::QueryGraph::build(
+            &kernel,
+            &prog,
+            &exec,
+            &frontier[..frontier.len().min(4)],
+        );
+        assert!(!model.predict(&graph).is_empty());
+    }
+}

@@ -1,0 +1,522 @@
+//! The fuzzing campaign: the paper's Figure-1 loop under a virtual clock.
+//!
+//! A campaign runs either as the **Syzkaller baseline** (stock weighted
+//! selector, random argument localizer) or as **Snowplow** (the same
+//! engine, but when a base test is chosen for mutation, an argument
+//! mutation query is submitted to PMM; while the inference is pending —
+//! virtual latency, §5.5 — the fuzzer keeps performing its other mutation
+//! types, and once the localization arrives it catches up with argument
+//! mutations on the predicted locations, scaling the number of mutations
+//! with the number of predicted arguments, §3.4). A small probability of
+//! random argument localization is kept as the paper's fallback.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use rand::prelude::*;
+use snowplow_kernel::{BlockId, Coverage, EdgeSet, Kernel, Vm};
+use snowplow_pmm::graph::QueryGraph;
+use snowplow_pmm::model::Pmm;
+use snowplow_prog::gen::Generator;
+use snowplow_prog::{ArgLoc, Mutator, Prog};
+
+use crate::clock::VirtualClock;
+use crate::corpus::Corpus;
+use crate::crash::CrashLog;
+
+/// Which fuzzer runs the campaign.
+#[derive(Debug)]
+pub enum FuzzerKind {
+    /// Stock Syzkaller-style fuzzing.
+    Syzkaller,
+    /// PMM-guided argument localization (the model is owned by the
+    /// campaign; inference latency is accounted in virtual time).
+    Snowplow {
+        /// The trained localizer.
+        model: Box<Pmm>,
+    },
+}
+
+/// Campaign tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Virtual duration of the campaign.
+    pub duration: Duration,
+    /// Virtual cost of one test execution (see `clock`).
+    pub exec_cost: Duration,
+    /// Virtual latency of one PMM inference (0.69 s in §5.5).
+    pub inference_latency: Duration,
+    /// Relative machine speed (the §5.3.1 same-test-time-cost analysis
+    /// gives the baseline extra fuzzing machines: `speed_factor` 1.25–2
+    /// divides the per-execution cost).
+    pub speed_factor: f64,
+    /// Seed corpus size generated before fuzzing starts.
+    pub seed_corpus: usize,
+    /// Probability of a *random* argument localization in Snowplow mode
+    /// (the §3.4 fallback).
+    pub fallback_prob: f64,
+    /// How many frontier blocks a mutation query marks as targets.
+    pub targets_per_query: usize,
+    /// PMM decision threshold.
+    pub threshold: f32,
+    /// Minimum number of ranked locations used per query.
+    pub top_k: usize,
+    /// Timeline sampling interval.
+    pub sample_every: Duration,
+    /// Campaign seed.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            duration: Duration::from_secs(24 * 3600),
+            exec_cost: Duration::from_secs(1),
+            inference_latency: Duration::from_millis(690),
+            speed_factor: 1.0,
+            seed_corpus: 50,
+            fallback_prob: 0.25,
+            targets_per_query: 6,
+            threshold: 0.5,
+            top_k: 6,
+            sample_every: Duration::from_secs(30 * 60),
+            seed: 0,
+        }
+    }
+}
+
+/// One point of the coverage timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelinePoint {
+    /// Virtual time of the sample.
+    pub at: Duration,
+    /// Unique edges covered so far.
+    pub edges: usize,
+    /// Unique blocks covered so far.
+    pub blocks: usize,
+    /// Unique (non-filtered) crash signatures so far.
+    pub crashes: usize,
+    /// Executions so far.
+    pub execs: u64,
+}
+
+/// Where newly discovered edges came from (diagnostics and ablations).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeAttribution {
+    /// Seed-corpus generation and fresh programs.
+    pub generation: usize,
+    /// Call insertion/removal (and baseline full mutations).
+    pub structural: usize,
+    /// Random argument localization.
+    pub random_args: usize,
+    /// PMM-guided argument localization.
+    pub guided_args: usize,
+}
+
+/// Campaign output.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Coverage/crash timeline, sampled on the configured grid.
+    pub timeline: Vec<TimelinePoint>,
+    /// Final edge count.
+    pub final_edges: usize,
+    /// Final block count.
+    pub final_blocks: usize,
+    /// Crash accounting.
+    pub crashes: CrashLog,
+    /// Total executions.
+    pub execs: u64,
+    /// PMM queries answered (0 for the baseline).
+    pub inferences: u64,
+    /// Final corpus size.
+    pub corpus_len: usize,
+    /// Edge attribution by discovery mechanism.
+    pub attribution: EdgeAttribution,
+}
+
+struct PendingPrediction {
+    base: usize,
+    ready_at: Duration,
+    locs: Vec<ArgLoc>,
+}
+
+/// A runnable fuzzing campaign.
+pub struct Campaign<'k> {
+    kernel: &'k Kernel,
+    config: CampaignConfig,
+    kind: FuzzerKind,
+}
+
+impl<'k> Campaign<'k> {
+    /// Creates a campaign.
+    pub fn new(kernel: &'k Kernel, kind: FuzzerKind, config: CampaignConfig) -> Self {
+        Campaign {
+            kernel,
+            config,
+            kind,
+        }
+    }
+
+    /// Runs the campaign to its virtual deadline.
+    pub fn run(mut self) -> CampaignReport {
+        let kernel = self.kernel;
+        let reg = kernel.registry();
+        let cfg = self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let generator = Generator::new(reg);
+        let mut mutator = Mutator::new(reg);
+        let mut vm = Vm::new(kernel);
+        let snapshot = vm.snapshot();
+
+        let mut clock = VirtualClock::new();
+        let mut corpus = Corpus::new();
+        let mut edges = EdgeSet::new();
+        let mut blocks = Coverage::new();
+        let mut crashes = CrashLog::new(kernel.bugs().known_signatures());
+        let mut timeline: Vec<TimelinePoint> = Vec::new();
+        let mut pending: VecDeque<PendingPrediction> = VecDeque::new();
+        let mut ready: HashMap<usize, (Vec<ArgLoc>, usize)> = HashMap::new();
+        let mut execs: u64 = 0;
+        let mut inferences: u64 = 0;
+        let mut attribution = EdgeAttribution::default();
+        let mut next_sample = Duration::ZERO;
+        let exec_cost = Duration::from_secs_f64(cfg.exec_cost.as_secs_f64() / cfg.speed_factor);
+
+        let execute = |prog: &Prog,
+                           vm: &mut Vm<'_>,
+                           clock: &mut VirtualClock,
+                           edges: &mut EdgeSet,
+                           blocks: &mut Coverage,
+                           crashes: &mut CrashLog,
+                           corpus: &mut Corpus,
+                           execs: &mut u64|
+         -> usize {
+            vm.restore(&snapshot);
+            let result = vm.execute(prog);
+            *execs += 1;
+            clock.advance(exec_cost);
+            let new_edges = edges.merge(&result.edges());
+            blocks.merge(&result.coverage());
+            if let Some(crash) = &result.crash {
+                crashes.record(crash, prog, clock.now());
+            }
+            if new_edges > 0 {
+                corpus.add(prog.clone(), &result, new_edges);
+            }
+            new_edges
+        };
+
+        // ---- Seed corpus. --------------------------------------------------
+        for _ in 0..cfg.seed_corpus {
+            let p = generator.generate(&mut rng, 6);
+            attribution.generation += execute(
+                &p, &mut vm, &mut clock, &mut edges, &mut blocks, &mut crashes, &mut corpus,
+                &mut execs,
+            );
+        }
+
+        // ---- Main loop (Figure 1). ------------------------------------------
+        while clock.now() < cfg.duration {
+            if clock.now() >= next_sample {
+                timeline.push(TimelinePoint {
+                    at: clock.now(),
+                    edges: edges.len(),
+                    blocks: blocks.len(),
+                    crashes: crashes.unique(),
+                    execs,
+                });
+                next_sample += cfg.sample_every;
+            }
+
+            // Promote ready PMM localizations into the per-base cache.
+            while pending
+                .front()
+                .is_some_and(|p| p.ready_at <= clock.now())
+            {
+                let p = pending.pop_front().expect("checked front");
+                if !p.locs.is_empty() {
+                    // §3.4's dynamic budget: a base with more predicted
+                    // arguments gets proportionally more argument
+                    // mutations before the prediction expires.
+                    let uses = (p.locs.len() * 4).max(4);
+                    ready.insert(p.base, (p.locs, uses));
+                }
+            }
+
+            // Choose a base test.
+            let Some(base_idx) = corpus.choose(&mut rng) else {
+                let p = generator.generate(&mut rng, 6);
+                attribution.generation += execute(
+                    &p, &mut vm, &mut clock, &mut edges, &mut blocks, &mut crashes, &mut corpus,
+                    &mut execs,
+                );
+                continue;
+            };
+            let base = corpus.entry(base_idx).prog.clone();
+
+            match &mut self.kind {
+                FuzzerKind::Syzkaller => {
+                    let (mutant, outcome) = mutator.mutate(&mut rng, &base);
+                    let gained = execute(
+                        &mutant, &mut vm, &mut clock, &mut edges, &mut blocks, &mut crashes,
+                        &mut corpus, &mut execs,
+                    );
+                    if outcome.ty == snowplow_prog::MutationType::ArgumentMutation {
+                        attribution.random_args += gained;
+                    } else {
+                        attribution.structural += gained;
+                    }
+                }
+                FuzzerKind::Snowplow { model } => {
+                    // Submit a mutation query for this base unless a
+                    // prediction is cached or already in flight (async:
+                    // the result arrives after the inference latency;
+                    // meanwhile mutation continues below).
+                    let in_flight = pending.iter().any(|p| p.base == base_idx);
+                    if !ready.contains_key(&base_idx) && !in_flight && pending.len() < 8 {
+                        let exec = corpus.entry(base_idx).exec.clone();
+                        // Desired targets: frontier blocks of the base
+                        // that the campaign has not covered at all yet.
+                        let frontier = kernel
+                            .cfg()
+                            .alternative_entries(exec.coverage().as_set());
+                        let mut wanted: Vec<BlockId> = frontier
+                            .iter()
+                            .copied()
+                            .filter(|b| {
+                                !blocks.contains(*b)
+                                    && kernel.cfg().arg_gated(kernel.blocks(), *b)
+                            })
+                            .collect();
+                        if !wanted.is_empty() {
+                            wanted.shuffle(&mut rng);
+                            wanted.truncate(cfg.targets_per_query);
+                            let graph = QueryGraph::build(kernel, &base, &exec, &wanted);
+                            // Top-K localization: everything above the
+                            // threshold, padded to at least `top_k` by
+                            // rank (the paper's PMM outputs a set whose
+                            // size scales the mutation budget).
+                            let scored = model.predict(&graph);
+                            let above = scored
+                                .iter()
+                                .filter(|(_, p)| *p >= cfg.threshold)
+                                .count();
+                            let keep = above.max(cfg.top_k).min(scored.len());
+                            let locs: Vec<ArgLoc> =
+                                scored.into_iter().take(keep).map(|(l, _)| l).collect();
+                            inferences += 1;
+                            pending.push_back(PendingPrediction {
+                                base: base_idx,
+                                ready_at: clock.now() + cfg.inference_latency,
+                                locs,
+                            });
+                        }
+                    }
+                    // Same mutation-type mix as the baseline; only the
+                    // argument *localizer* changes (the paper's exact
+                    // intervention). A cached prediction guides the
+                    // localization; otherwise — e.g. while inference is
+                    // pending — the stock random localizer is the
+                    // fallback (§3.4).
+                    let m_type = {
+                        let mut selector = snowplow_prog::WeightedSelector::default();
+                        use snowplow_prog::Selector as _;
+                        selector.select(&mut rng, &base)
+                    };
+                    match m_type {
+                        snowplow_prog::MutationType::ArgumentMutation => {
+                            let guided = match ready.get_mut(&base_idx) {
+                                Some((locs, uses)) => {
+                                    let loc = locs[rng.random_range(0..locs.len())].clone();
+                                    *uses -= 1;
+                                    if *uses == 0 {
+                                        ready.remove(&base_idx);
+                                    }
+                                    Some(loc)
+                                }
+                                None => None,
+                            };
+                            let (mutant, applied) = match &guided {
+                                Some(loc) => mutator.mutate_arguments(
+                                    &mut rng,
+                                    &base,
+                                    Some(std::slice::from_ref(loc)),
+                                ),
+                                None => mutator.mutate_arguments(&mut rng, &base, None),
+                            };
+                            let _ = applied;
+                            let gained = execute(
+                                &mutant, &mut vm, &mut clock, &mut edges, &mut blocks,
+                                &mut crashes, &mut corpus, &mut execs,
+                            );
+                            if guided.is_some() {
+                                attribution.guided_args += gained;
+                                if gained > 0 {
+                                    // Coverage moved: the cached frontier
+                                    // is stale, requery next time.
+                                    ready.remove(&base_idx);
+                                }
+                            } else {
+                                attribution.random_args += gained;
+                            }
+                        }
+                        snowplow_prog::MutationType::CallInsertion => {
+                            let mutant = mutator.insert_call(&mut rng, &base);
+                            attribution.structural += execute(
+                                &mutant, &mut vm, &mut clock, &mut edges, &mut blocks,
+                                &mut crashes, &mut corpus, &mut execs,
+                            );
+                        }
+                        snowplow_prog::MutationType::CallRemoval => {
+                            let mutant = mutator.remove_call(&mut rng, &base);
+                            attribution.structural += execute(
+                                &mutant, &mut vm, &mut clock, &mut edges, &mut blocks,
+                                &mut crashes, &mut corpus, &mut execs,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        timeline.push(TimelinePoint {
+            at: clock.now(),
+            edges: edges.len(),
+            blocks: blocks.len(),
+            crashes: crashes.unique(),
+            execs,
+        });
+
+        CampaignReport {
+            timeline,
+            final_edges: edges.len(),
+            final_blocks: blocks.len(),
+            crashes,
+            execs,
+            inferences,
+            corpus_len: corpus.len(),
+            attribution,
+        }
+    }
+}
+
+impl CampaignReport {
+    /// Virtual time at which the campaign first reached `edges` unique
+    /// edges (linear interpolation on the sampled timeline).
+    pub fn time_to_edges(&self, edges: usize) -> Option<Duration> {
+        for w in self.timeline.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if b.edges >= edges {
+                if a.edges >= edges {
+                    return Some(a.at);
+                }
+                let span = (b.edges - a.edges) as f64;
+                let frac = if span == 0.0 {
+                    0.0
+                } else {
+                    (edges - a.edges) as f64 / span
+                };
+                return Some(a.at + Duration::from_secs_f64((b.at - a.at).as_secs_f64() * frac));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use snowplow_kernel::KernelVersion;
+
+    use super::*;
+
+    fn short_config(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            duration: Duration::from_secs(1200),
+            seed_corpus: 20,
+            sample_every: Duration::from_secs(120),
+            seed,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn baseline_campaign_makes_progress() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let report =
+            Campaign::new(&kernel, FuzzerKind::Syzkaller, short_config(1)).run();
+        assert!(report.execs > 1000);
+        assert!(report.final_edges > 500, "edges {}", report.final_edges);
+        assert!(report.corpus_len > 10);
+        assert!(!report.timeline.is_empty());
+        // Timeline is monotone.
+        for w in report.timeline.windows(2) {
+            assert!(w[1].edges >= w[0].edges);
+            assert!(w[1].at >= w[0].at);
+        }
+    }
+
+    #[test]
+    fn campaigns_are_reproducible_per_seed() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let a = Campaign::new(&kernel, FuzzerKind::Syzkaller, short_config(7)).run();
+        let b = Campaign::new(&kernel, FuzzerKind::Syzkaller, short_config(7)).run();
+        assert_eq!(a.final_edges, b.final_edges);
+        assert_eq!(a.execs, b.execs);
+        assert_eq!(a.timeline, b.timeline);
+    }
+
+    #[test]
+    fn snowplow_mode_runs_and_queries_the_model() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let model = Pmm::new(
+            snowplow_pmm::model::PmmConfig {
+                dim: 16,
+                rounds: 1,
+                ..Default::default()
+            },
+            kernel.registry().syscall_count(),
+        );
+        let report = Campaign::new(
+            &kernel,
+            FuzzerKind::Snowplow {
+                model: Box::new(model),
+            },
+            short_config(3),
+        )
+        .run();
+        assert!(report.inferences > 10, "inferences {}", report.inferences);
+        assert!(report.final_edges > 500);
+    }
+
+    #[test]
+    fn time_to_edges_interpolates() {
+        let report = CampaignReport {
+            timeline: vec![
+                TimelinePoint {
+                    at: Duration::from_secs(0),
+                    edges: 0,
+                    blocks: 0,
+                    crashes: 0,
+                    execs: 0,
+                },
+                TimelinePoint {
+                    at: Duration::from_secs(100),
+                    edges: 100,
+                    blocks: 0,
+                    crashes: 0,
+                    execs: 0,
+                },
+            ],
+            final_edges: 100,
+            final_blocks: 0,
+            crashes: CrashLog::new(Vec::new()),
+            execs: 0,
+            inferences: 0,
+            corpus_len: 0,
+            attribution: EdgeAttribution::default(),
+        };
+        let t = report.time_to_edges(50).unwrap();
+        assert_eq!(t, Duration::from_secs(50));
+        assert!(report.time_to_edges(1000).is_none());
+    }
+}

@@ -1,0 +1,52 @@
+//! Virtual time.
+//!
+//! Executions and inference latencies advance a [`VirtualClock`]; campaign
+//! durations ("24 hours", "7 days") are budgets of virtual time. The
+//! default cost per execution is deliberately large (1 virtual second)
+//! so that a 24-hour campaign is ~86k executions — big enough for the
+//! coverage dynamics of Figure 6, small enough to regenerate in minutes.
+//! DESIGN.md records this substitution.
+
+use std::time::Duration;
+
+/// A monotonically advancing virtual clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct VirtualClock {
+    now: Duration,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Duration {
+        self.now
+    }
+
+    /// Advances by `d`.
+    pub fn advance(&mut self, d: Duration) {
+        self.now += d;
+    }
+
+    /// Virtual hours elapsed.
+    pub fn hours(&self) -> f64 {
+        self.now.as_secs_f64() / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut c = VirtualClock::new();
+        c.advance(Duration::from_secs(10));
+        c.advance(Duration::from_millis(500));
+        assert_eq!(c.now(), Duration::from_millis(10_500));
+        assert!((c.hours() - 10.5 / 3600.0).abs() < 1e-9);
+    }
+}

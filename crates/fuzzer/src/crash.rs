@@ -1,0 +1,166 @@
+//! Crash triage: filtering, dedup, and new-vs-known classification.
+//!
+//! The paper's §5.3.2 rules are followed: crashes whose description
+//! matches the "INFO:" / "SYZFAIL" / lost-connection classes are filtered
+//! out; remaining crashes are deduplicated by signature and compared
+//! against the simulated Syzbot list of bugs known since 2018.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use snowplow_kernel::{CrashCategory, CrashInfo};
+use snowplow_prog::Prog;
+
+/// One deduplicated crash signature observed in a campaign.
+#[derive(Debug, Clone)]
+pub struct CrashRecord {
+    /// Stable signature (`<detector> in <location>`).
+    pub description: String,
+    /// Detector category.
+    pub category: CrashCategory,
+    /// Whether the signature appears in the known (Syzbot) list.
+    pub known: bool,
+    /// Virtual time of first discovery.
+    pub first_found: Duration,
+    /// How many times the signature fired.
+    pub count: usize,
+    /// The first program that triggered it.
+    pub witness: Prog,
+    /// A minimized reproducer, if triage produced one.
+    pub reproducer: Option<Prog>,
+}
+
+/// Campaign-wide crash accounting.
+#[derive(Debug, Default)]
+pub struct CrashLog {
+    records: HashMap<String, CrashRecord>,
+    known_signatures: Vec<String>,
+    /// Crashes dropped by the filtering rules.
+    pub filtered: usize,
+}
+
+impl CrashLog {
+    /// Creates a log with the kernel's known-signature list.
+    pub fn new(known_signatures: Vec<String>) -> Self {
+        CrashLog {
+            records: HashMap::new(),
+            known_signatures,
+            filtered: 0,
+        }
+    }
+
+    /// Records a crash observation. Returns `true` when this is a new
+    /// signature for the campaign.
+    pub fn record(&mut self, info: &CrashInfo, prog: &Prog, now: Duration) -> bool {
+        if info.category.is_filtered() {
+            self.filtered += 1;
+            return false;
+        }
+        if let Some(r) = self.records.get_mut(&info.description) {
+            r.count += 1;
+            return false;
+        }
+        let known = self.known_signatures.contains(&info.description);
+        self.records.insert(
+            info.description.clone(),
+            CrashRecord {
+                description: info.description.clone(),
+                category: info.category,
+                known,
+                first_found: now,
+                count: 1,
+                witness: prog.clone(),
+                reproducer: None,
+            },
+        );
+        true
+    }
+
+    /// All records, sorted by first discovery.
+    pub fn records(&self) -> Vec<&CrashRecord> {
+        let mut v: Vec<&CrashRecord> = self.records.values().collect();
+        v.sort_by_key(|r| (r.first_found, r.description.clone()));
+        v
+    }
+
+    /// Mutable access by signature (used by triage to attach
+    /// reproducers).
+    pub fn record_mut(&mut self, description: &str) -> Option<&mut CrashRecord> {
+        self.records.get_mut(description)
+    }
+
+    /// Unique non-filtered signatures.
+    pub fn unique(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Unique new (not-known) signatures.
+    pub fn new_count(&self) -> usize {
+        self.records.values().filter(|r| !r.known).count()
+    }
+
+    /// Unique known signatures.
+    pub fn known_count(&self) -> usize {
+        self.records.values().filter(|r| r.known).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use snowplow_kernel::BlockId;
+
+    use super::*;
+
+    fn info(desc: &str, cat: CrashCategory) -> CrashInfo {
+        CrashInfo {
+            bug: snowplow_kernel::BugId(0),
+            description: desc.to_string(),
+            category: cat,
+            call_index: 0,
+            block: BlockId(0),
+        }
+    }
+
+    #[test]
+    fn dedup_and_classification() {
+        let mut log = CrashLog::new(vec!["WARNING in sim_open".to_string()]);
+        let p = Prog::new();
+        assert!(log.record(
+            &info("WARNING in sim_open", CrashCategory::Warning),
+            &p,
+            Duration::from_secs(1)
+        ));
+        assert!(!log.record(
+            &info("WARNING in sim_open", CrashCategory::Warning),
+            &p,
+            Duration::from_secs(2)
+        ));
+        assert!(log.record(
+            &info("general protection fault in sim_read", CrashCategory::GeneralProtectionFault),
+            &p,
+            Duration::from_secs(3)
+        ));
+        assert_eq!(log.unique(), 2);
+        assert_eq!(log.known_count(), 1);
+        assert_eq!(log.new_count(), 1);
+        assert_eq!(log.records()[0].count, 2);
+    }
+
+    #[test]
+    fn filtering_rules_drop_low_severity_classes() {
+        let mut log = CrashLog::new(Vec::new());
+        let p = Prog::new();
+        assert!(!log.record(
+            &info("INFO: task hung in sim_futex", CrashCategory::InfoHang),
+            &p,
+            Duration::ZERO
+        ));
+        assert!(!log.record(
+            &info("SYZFAIL in sim_mmap", CrashCategory::SyzFail),
+            &p,
+            Duration::ZERO
+        ));
+        assert_eq!(log.unique(), 0);
+        assert_eq!(log.filtered, 2);
+    }
+}

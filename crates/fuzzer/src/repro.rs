@@ -1,0 +1,239 @@
+//! Reproducer generation (the syz-repro analogue).
+//!
+//! Given a crashing program, triage (1) replays it from a pristine
+//! snapshot to confirm the crash, (2) models the paper's dominant
+//! failure mode — concurrency-sensitive crashes that resist hermetic
+//! reproduction (§5.3.2 reports 66% reproducibility for Snowplow's
+//! crashes vs 32% Syzbot-wide) — and (3) minimizes the witness by
+//! repeatedly dropping calls while the same signature still fires.
+
+use snowplow_kernel::{BugInfo, Kernel, Vm};
+use snowplow_prog::Prog;
+
+/// Result of a reproduction attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReproOutcome {
+    /// A minimized reproducer triggering the same signature.
+    Reproduced(Prog),
+    /// The crash did not replay (modelled concurrency sensitivity).
+    NotReproducible,
+    /// The witness no longer crashes at all (should not happen with a
+    /// deterministic kernel; kept for API honesty).
+    NoCrash,
+}
+
+/// Deterministic model of concurrency sensitivity: some bugs resist
+/// hermetic reproduction. Derived crashes of the memory-corruption root
+/// cause replay reliably (the paper reproduced 45 of them); independent
+/// deep bugs are flakier.
+pub fn is_concurrency_sensitive(bug: &BugInfo) -> bool {
+    // The headline ATA signature had a reproducer in the paper (Table 4
+    // bug #1); keep it deterministic.
+    if bug.location == "sim_ata_pio_sector" {
+        return false;
+    }
+    let h = hash_mix(u64::from(bug.id.0), 0xc04c_0bb1);
+    let pct = (h % 100) as u32;
+    if bug.root_cause.is_some() {
+        pct < 12
+    } else {
+        pct < 45
+    }
+}
+
+fn hash_mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 31)
+}
+
+/// Attempts to build a minimized reproducer for `witness`, which crashed
+/// with `description`.
+pub fn attempt_reproducer(kernel: &Kernel, witness: &Prog, description: &str) -> ReproOutcome {
+    let mut vm = Vm::new(kernel);
+    let snap = vm.snapshot();
+    let crash_of = |vm: &mut Vm<'_>, p: &Prog| -> Option<String> {
+        vm.restore(&snap);
+        vm.execute(p).crash.map(|c| c.description)
+    };
+    let Some(desc) = crash_of(&mut vm, witness) else {
+        return ReproOutcome::NoCrash;
+    };
+    if desc != description {
+        return ReproOutcome::NoCrash;
+    }
+    // Look the bug up to model concurrency sensitivity.
+    let bug = kernel
+        .bugs()
+        .iter()
+        .find(|b| b.description == description)
+        .cloned();
+    if let Some(bug) = bug {
+        if is_concurrency_sensitive(&bug) {
+            return ReproOutcome::NotReproducible;
+        }
+    }
+    // Greedy call minimization: drop calls (from the end) while the
+    // signature persists, fixing resource references as removal does.
+    let mut current = witness.clone();
+    let mutator = snowplow_prog::Mutator::new(kernel.registry());
+    let _ = &mutator;
+    let mut changed = true;
+    while changed && current.len() > 1 {
+        changed = false;
+        for idx in (0..current.len()).rev() {
+            let mut trial = current.clone();
+            trial.calls.remove(idx);
+            for call in &mut trial.calls {
+                for arg in &mut call.args {
+                    arg.remap_refs(
+                        &|i| {
+                            if i == idx {
+                                None
+                            } else if i > idx {
+                                Some(i - 1)
+                            } else {
+                                Some(i)
+                            }
+                        },
+                        u64::MAX,
+                    );
+                }
+            }
+            trial.finalize(kernel.registry());
+            if crash_of(&mut vm, &trial).as_deref() == Some(description) {
+                current = trial;
+                changed = true;
+                break;
+            }
+        }
+    }
+    ReproOutcome::Reproduced(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use snowplow_kernel::KernelVersion;
+    use snowplow_prog::{Arg, Call};
+
+    use super::*;
+
+    /// Builds the known ATA trigger program with some irrelevant calls
+    /// mixed in.
+    fn noisy_ata_prog(kernel: &Kernel) -> Prog {
+        let reg = kernel.registry();
+        let openat = reg.syscall_by_name("openat$scsi").unwrap();
+        let ioctl = reg.syscall_by_name("ioctl$scsi_send_command").unwrap();
+        let yield_ = reg.syscall_by_name("sched_yield").unwrap();
+        let trigger = |r: usize| Call {
+            def: ioctl,
+            args: vec![
+                Arg::Res {
+                    source: snowplow_prog::ResSource::Ref(r),
+                },
+                Arg::int(snowplow_syslang::builtin::SCSI_IOCTL_SEND_COMMAND),
+                Arg::ptr(
+                    0x2000_0000,
+                    Arg::Group {
+                        inner: vec![
+                            Arg::int(0x400),
+                            Arg::int(0),
+                            Arg::Union {
+                                variant: 0,
+                                inner: Box::new(Arg::Group {
+                                    inner: vec![
+                                        Arg::int(0x85),
+                                        Arg::int(4),
+                                        Arg::int(0),
+                                        Arg::int(0x00),
+                                        Arg::int(1),
+                                    ],
+                                }),
+                            },
+                        ],
+                    },
+                ),
+            ],
+        };
+        Prog {
+            calls: vec![
+                Call {
+                    def: yield_,
+                    args: vec![],
+                },
+                Call {
+                    def: openat,
+                    args: vec![
+                        Arg::int(0xffff_ff9c),
+                        Arg::ptr(
+                            0x2000_1000,
+                            Arg::Data {
+                                bytes: b"/dev/sg0\0".to_vec(),
+                            },
+                        ),
+                        Arg::int(0x2),
+                    ],
+                },
+                trigger(1),
+                Call {
+                    def: yield_,
+                    args: vec![],
+                },
+                trigger(1),
+            ],
+        }
+    }
+
+    #[test]
+    fn ata_crash_minimizes_to_the_essential_calls() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let witness = noisy_ata_prog(&kernel);
+        let mut vm = Vm::new(&kernel);
+        let crash = vm.execute(&witness).crash.expect("double trigger crashes");
+        match attempt_reproducer(&kernel, &witness, &crash.description) {
+            ReproOutcome::Reproduced(min) => {
+                assert!(min.len() < witness.len(), "minimization removed nothing");
+                // The essential shape: open + two triggers.
+                assert!(min.len() >= 3);
+                // And it still crashes identically.
+                let mut vm2 = Vm::new(&kernel);
+                let c2 = vm2.execute(&min).crash.expect("minimized still crashes");
+                assert_eq!(c2.description, crash.description);
+            }
+            ReproOutcome::NotReproducible => {
+                // Allowed only if the model marks this bug flaky; the ATA
+                // in-handler signature is root-caused, so it should not be.
+                panic!("ATA crash should be reproducible");
+            }
+            ReproOutcome::NoCrash => panic!("witness must crash"),
+        }
+    }
+
+    #[test]
+    fn non_crashing_program_reports_no_crash() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let p = Prog::new();
+        assert_eq!(
+            attempt_reproducer(&kernel, &p, "whatever"),
+            ReproOutcome::NoCrash
+        );
+    }
+
+    #[test]
+    fn sensitivity_model_is_deterministic_and_mixed() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let flags: Vec<bool> = kernel
+            .bugs()
+            .iter()
+            .map(is_concurrency_sensitive)
+            .collect();
+        let again: Vec<bool> = kernel
+            .bugs()
+            .iter()
+            .map(is_concurrency_sensitive)
+            .collect();
+        assert_eq!(flags, again);
+        assert!(flags.iter().any(|f| *f));
+        assert!(flags.iter().any(|f| !*f));
+    }
+}

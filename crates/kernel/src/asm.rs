@@ -1,0 +1,176 @@
+//! Synthetic x86-flavoured assembly.
+//!
+//! Each basic block carries a short token sequence standing in for the
+//! disassembly of a real kernel block. The vocabulary is deliberately
+//! compact and *informative*: a gate block that branches on an argument
+//! field contains a [`Tok::Slot`] token naming that field's path bucket —
+//! the analogue of a real `cmp` naming the register the argument value was
+//! loaded into. The PMM block encoder consumes these tokens; matching slot
+//! tokens against argument-node features is exactly the correlation the
+//! model must learn.
+
+use std::fmt;
+
+/// Number of path-slot buckets (must match
+/// [`ArgPath::slot`](snowplow_syslang::ArgPath::slot)'s bucket space).
+pub const SLOT_BUCKETS: u16 = 1024;
+/// Number of immediate-value buckets.
+pub const IMM_BUCKETS: u8 = 16;
+/// Number of hashed function-name buckets.
+pub const FUNC_BUCKETS: u16 = 512;
+/// Number of state-variable tokens.
+pub const STATE_VARS: u8 = 32;
+/// Number of register tokens.
+pub const REGS: u8 = 16;
+
+/// Mnemonics used by the synthetic ISA.
+pub const OPS: &[&str] = &[
+    "mov", "lea", "add", "sub", "and", "or", "xor", "shl", "shr", "cmp", "test", "je", "jne",
+    "jb", "ja", "jmp", "call", "ret", "push", "pop", "nop",
+];
+
+/// One token of a block's synthetic disassembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tok {
+    /// A mnemonic (index into [`OPS`]).
+    Op(u8),
+    /// A general-purpose register.
+    Reg(u8),
+    /// An argument path slot (see [`snowplow_syslang::ArgPath::slot`]).
+    Slot(u16),
+    /// A bucketed immediate operand.
+    Imm(u8),
+    /// A hashed callee/function name.
+    Func(u16),
+    /// A kernel state variable.
+    State(u8),
+}
+
+impl Tok {
+    /// Convenience: the mnemonic token for `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is not in [`OPS`].
+    pub fn op(name: &str) -> Tok {
+        let idx = OPS
+            .iter()
+            .position(|&o| o == name)
+            .unwrap_or_else(|| panic!("unknown mnemonic {name}"));
+        Tok::Op(idx as u8)
+    }
+
+    /// Buckets a raw immediate into [`IMM_BUCKETS`] classes, preserving
+    /// magnitude information coarsely.
+    pub fn imm(value: u64) -> Tok {
+        let bucket = match value {
+            0 => 0,
+            1 => 1,
+            2..=15 => 2,
+            16..=255 => 3,
+            256..=4095 => 4,
+            4096..=65535 => 5,
+            65536..=0xffff_ffff => 6,
+            _ => 7,
+        } + if value.is_power_of_two() { 8 } else { 0 };
+        Tok::Imm(bucket)
+    }
+
+    /// The token's index in the flat shared vocabulary, for embedding
+    /// lookup. Layout: ops, regs, imms, state vars, funcs, slots.
+    pub fn vocab_index(self) -> usize {
+        let ops = OPS.len();
+        let regs = REGS as usize;
+        let imms = IMM_BUCKETS as usize;
+        let states = STATE_VARS as usize;
+        let funcs = FUNC_BUCKETS as usize;
+        match self {
+            Tok::Op(i) => (i as usize).min(ops - 1),
+            Tok::Reg(i) => ops + (i as usize % regs),
+            Tok::Imm(i) => ops + regs + (i as usize % imms),
+            Tok::State(i) => ops + regs + imms + (i as usize % states),
+            Tok::Func(i) => ops + regs + imms + states + (i as usize % funcs),
+            Tok::Slot(i) => ops + regs + imms + states + funcs + (i as usize % SLOT_BUCKETS as usize),
+        }
+    }
+
+    /// Size of the flat vocabulary ([`Tok::vocab_index`] is always below
+    /// this).
+    pub fn vocab_size() -> usize {
+        OPS.len()
+            + REGS as usize
+            + IMM_BUCKETS as usize
+            + STATE_VARS as usize
+            + FUNC_BUCKETS as usize
+            + SLOT_BUCKETS as usize
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Op(i) => write!(f, "{}", OPS.get(*i as usize).copied().unwrap_or("?")),
+            Tok::Reg(i) => write!(f, "r{i}"),
+            Tok::Slot(i) => write!(f, "s{i}"),
+            Tok::Imm(i) => write!(f, "#{i}"),
+            Tok::Func(i) => write!(f, "f{i}"),
+            Tok::State(i) => write!(f, "st{i}"),
+        }
+    }
+}
+
+/// Renders a token sequence as one line of pseudo-assembly.
+pub fn render(toks: &[Tok]) -> String {
+    let mut s = String::new();
+    for (i, t) in toks.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(&t.to_string());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocab_indices_are_unique_and_bounded() {
+        let mut seen = std::collections::HashSet::new();
+        let samples = [
+            Tok::op("cmp"),
+            Tok::op("mov"),
+            Tok::Reg(3),
+            Tok::Imm(5),
+            Tok::State(7),
+            Tok::Func(300),
+            Tok::Slot(1000),
+        ];
+        for t in samples {
+            let idx = t.vocab_index();
+            assert!(idx < Tok::vocab_size(), "{t:?} -> {idx}");
+            assert!(seen.insert(idx), "collision at {t:?}");
+        }
+    }
+
+    #[test]
+    fn imm_bucketing_distinguishes_magnitude() {
+        assert_ne!(Tok::imm(0), Tok::imm(1));
+        assert_ne!(Tok::imm(5), Tok::imm(5000));
+        assert_eq!(Tok::imm(17), Tok::imm(200)); // same bucket
+        // Powers of two get their own lane.
+        assert_ne!(Tok::imm(64), Tok::imm(65));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown mnemonic")]
+    fn unknown_op_panics() {
+        let _ = Tok::op("vmulpd");
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let line = render(&[Tok::op("cmp"), Tok::Slot(12), Tok::imm(5)]);
+        assert_eq!(line, "cmp s12 #2");
+    }
+}

@@ -1,0 +1,129 @@
+//! Basic blocks, effects, terminators, and handler CFGs.
+
+use snowplow_syslang::{ArgPath, SyscallId};
+
+use crate::asm::Tok;
+use crate::bugs::BugId;
+use crate::predicate::Predicate;
+use crate::state::StateVar;
+
+/// Global identifier of a kernel basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block's index in the kernel's flat block table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A side effect executed when a block runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Effect {
+    /// Increment a state counter.
+    Inc(StateVar),
+    /// Decrement a state counter.
+    Dec(StateVar),
+    /// Set a state flag.
+    SetFlag(StateVar),
+    /// Clear a state flag.
+    ClearFlag(StateVar),
+    /// Corrupt kernel memory (the §5.3.2 out-of-bounds write analogue).
+    /// Sticky until VM restore; downstream handlers contain
+    /// [`Predicate::Poisoned`]-guarded crash blocks.
+    Poison,
+    /// Kill the resource passed at `path` (models `close`).
+    CloseArg {
+        /// Location of the resource argument.
+        path: ArgPath,
+    },
+}
+
+/// How control leaves a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Conditional branch: `taken` when `pred` holds, else `fallthrough`.
+    Branch {
+        /// Branch condition.
+        pred: Predicate,
+        /// Successor when the condition holds.
+        taken: BlockId,
+        /// Successor otherwise.
+        fallthrough: BlockId,
+    },
+    /// Return to user space (handler exit).
+    Return,
+}
+
+impl Terminator {
+    /// Static successors of this terminator (both sides of a branch).
+    pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let (a, b) = match self {
+            Terminator::Jump(t) => (Some(*t), None),
+            Terminator::Branch {
+                taken, fallthrough, ..
+            } => (Some(*taken), Some(*fallthrough)),
+            Terminator::Return => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
+/// One kernel basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Global id.
+    pub id: BlockId,
+    /// The syscall variant whose handler owns this block.
+    pub handler: SyscallId,
+    /// Synthetic disassembly.
+    pub text: Vec<Tok>,
+    /// Side effects executed when the block runs.
+    pub effects: Vec<Effect>,
+    /// Injected bug triggered by reaching this block, if any.
+    pub crash: Option<BugId>,
+    /// Control-flow exit.
+    pub term: Terminator,
+    /// How many argument-gated branches guard this block (0 = on the
+    /// handler trunk). Bug placement and difficulty analysis use this.
+    pub gate_depth: u8,
+}
+
+/// The control-flow graph of one syscall handler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandlerCfg {
+    /// The syscall variant this handler implements.
+    pub syscall: SyscallId,
+    /// Entry block (target of the user→kernel context switch edge).
+    pub entry: BlockId,
+    /// Exit block (source of the kernel→user context switch edge).
+    pub exit: BlockId,
+    /// All blocks owned by the handler.
+    pub blocks: Vec<BlockId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminator_successors() {
+        let j = Terminator::Jump(BlockId(3));
+        assert_eq!(j.successors().collect::<Vec<_>>(), vec![BlockId(3)]);
+        let r = Terminator::Return;
+        assert_eq!(r.successors().count(), 0);
+        let b = Terminator::Branch {
+            pred: Predicate::Poisoned,
+            taken: BlockId(1),
+            fallthrough: BlockId(2),
+        };
+        assert_eq!(
+            b.successors().collect::<Vec<_>>(),
+            vec![BlockId(1), BlockId(2)]
+        );
+    }
+}

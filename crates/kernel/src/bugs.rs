@@ -1,0 +1,223 @@
+//! The injected-bug registry.
+//!
+//! Real kernels crash; the simulator injects crashes. Each bug is attached
+//! to a specific basic block (usually deep behind argument gates), carries
+//! a detector category matching Table 3's taxonomy, and is flagged as
+//! *known* (present in the simulated "Syzbot since 2018" list — both
+//! fuzzers can find these) or *new* (requires the precise multi-argument
+//! constraints that only effective argument localization finds within the
+//! campaign budget).
+//!
+//! One special bug reproduces the paper's §5.3.2 ATA story: an
+//! out-of-bounds write in the SCSI/ATA pass-through ioctl that *poisons*
+//! kernel memory. Once poisoned, unrelated handlers crash at their own
+//! poison-guarded blocks with distinct signatures — so one root cause
+//! manufactures many crash signatures, as the paper observed (45 of 57
+//! reproducers contained the `ioctl`).
+
+use std::fmt;
+
+use crate::block::BlockId;
+
+/// Identifier of an injected bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BugId(pub u32);
+
+impl BugId {
+    /// Registry index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Detector/manifestation categories, matching Table 3 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CrashCategory {
+    /// NULL pointer dereference.
+    NullPointerDereference,
+    /// Paging fault.
+    PagingFault,
+    /// Explicit assertion violation (`BUG()`).
+    AssertionViolation,
+    /// General protection fault.
+    GeneralProtectionFault,
+    /// Out-of-bounds access (KASAN).
+    OutOfBounds,
+    /// `WARN_ON()`-style warning.
+    Warning,
+    /// Other manifestations (RCU stalls, ...).
+    Other,
+    /// Low-severity "INFO:" class — filtered by the paper's crash rules.
+    InfoHang,
+    /// Fuzzer-internal failure — filtered.
+    SyzFail,
+}
+
+impl CrashCategory {
+    /// Whether the paper's crash-filtering rules (§5.3.2) drop this class
+    /// ("INFO:", "SYZFAIL", lost VM connection).
+    pub fn is_filtered(self) -> bool {
+        matches!(self, CrashCategory::InfoHang | CrashCategory::SyzFail)
+    }
+
+    /// Short label used in crash descriptions.
+    pub fn label(self) -> &'static str {
+        match self {
+            CrashCategory::NullPointerDereference => "null-ptr-deref",
+            CrashCategory::PagingFault => "BUG: unable to handle page fault",
+            CrashCategory::AssertionViolation => "kernel BUG",
+            CrashCategory::GeneralProtectionFault => "general protection fault",
+            CrashCategory::OutOfBounds => "KASAN: slab-out-of-bounds Write",
+            CrashCategory::Warning => "WARNING",
+            CrashCategory::Other => "INFO: rcu detected stall",
+            CrashCategory::InfoHang => "INFO: task hung",
+            CrashCategory::SyzFail => "SYZFAIL",
+        }
+    }
+}
+
+impl fmt::Display for CrashCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Metadata for one injected bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BugInfo {
+    /// Registry id.
+    pub id: BugId,
+    /// Detector category.
+    pub category: CrashCategory,
+    /// Stable crash signature, e.g.
+    /// `general protection fault in sim_ioctl_watch_queue`.
+    pub description: String,
+    /// The kernel function (handler) name the crash manifests in.
+    pub location: String,
+    /// Whether the simulated Syzbot list (bugs found since 2018) contains
+    /// this signature. Known bugs sit behind shallow, loose gates.
+    pub known: bool,
+    /// For poison-derived crashes: the root-cause bug (the ATA-style
+    /// memory corruptor). `None` for independent bugs.
+    pub root_cause: Option<BugId>,
+    /// The block whose execution triggers the crash.
+    pub block: BlockId,
+    /// Gate depth of that block (difficulty proxy).
+    pub gate_depth: u8,
+}
+
+/// All bugs injected into one kernel build.
+#[derive(Debug, Default, Clone)]
+pub struct BugRegistry {
+    bugs: Vec<BugInfo>,
+}
+
+impl BugRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        BugRegistry::default()
+    }
+
+    /// Registers a bug, returning its id. Intended for kernel
+    /// construction.
+    pub fn register(
+        &mut self,
+        category: CrashCategory,
+        location: impl Into<String>,
+        known: bool,
+        root_cause: Option<BugId>,
+        block: BlockId,
+        gate_depth: u8,
+    ) -> BugId {
+        let id = BugId(self.bugs.len() as u32);
+        let location = location.into();
+        let description = format!("{} in {}", category.label(), location);
+        self.bugs.push(BugInfo {
+            id,
+            category,
+            description,
+            location,
+            known,
+            root_cause,
+            block,
+            gate_depth,
+        });
+        id
+    }
+
+    /// Looks up a bug.
+    pub fn info(&self, id: BugId) -> &BugInfo {
+        &self.bugs[id.index()]
+    }
+
+    /// Number of injected bugs.
+    pub fn len(&self) -> usize {
+        self.bugs.len()
+    }
+
+    /// Whether no bugs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.bugs.is_empty()
+    }
+
+    /// Iterates over all bugs.
+    pub fn iter(&self) -> impl Iterator<Item = &BugInfo> {
+        self.bugs.iter()
+    }
+
+    /// The simulated "Syzbot since 2018" signature list: descriptions of
+    /// all known bugs. The fuzzer's crash triage compares against this to
+    /// classify crashes as new vs. known.
+    pub fn known_signatures(&self) -> Vec<String> {
+        self.bugs
+            .iter()
+            .filter(|b| b.known)
+            .map(|b| b.description.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = BugRegistry::new();
+        let root = r.register(
+            CrashCategory::OutOfBounds,
+            "sim_ata_pio_sector",
+            false,
+            None,
+            BlockId(10),
+            3,
+        );
+        let derived = r.register(
+            CrashCategory::GeneralProtectionFault,
+            "sim_timer_settime",
+            false,
+            Some(root),
+            BlockId(55),
+            0,
+        );
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.info(root).description, "KASAN: slab-out-of-bounds Write in sim_ata_pio_sector");
+        assert_eq!(r.info(derived).root_cause, Some(root));
+    }
+
+    #[test]
+    fn known_signatures_only_lists_known() {
+        let mut r = BugRegistry::new();
+        r.register(CrashCategory::Warning, "a", true, None, BlockId(0), 1);
+        r.register(CrashCategory::Warning, "b", false, None, BlockId(1), 3);
+        assert_eq!(r.known_signatures(), vec!["WARNING in a".to_string()]);
+    }
+
+    #[test]
+    fn filtered_categories() {
+        assert!(CrashCategory::InfoHang.is_filtered());
+        assert!(CrashCategory::SyzFail.is_filtered());
+        assert!(!CrashCategory::OutOfBounds.is_filtered());
+    }
+}

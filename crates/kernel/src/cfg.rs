@@ -1,0 +1,175 @@
+//! Static control-flow-graph analysis.
+//!
+//! The paper recovers the kernel's CFG from the compiled binary with Angr
+//! and uses it for two analyses that this module provides directly:
+//!
+//! 1. **alternative path entries** (§3.2): uncovered blocks one not-taken
+//!    branch away from a coverage trace — the candidate *targets* of a
+//!    mutation query;
+//! 2. **distance to target** (SyzDirect-style directed fuzzing): BFS
+//!    distance from every block to a target block.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::block::{BasicBlock, BlockId};
+
+/// Forward and reverse adjacency of the whole kernel.
+#[derive(Debug, Clone)]
+pub struct StaticCfg {
+    succ: Vec<Vec<BlockId>>,
+    pred: Vec<Vec<BlockId>>,
+}
+
+impl StaticCfg {
+    /// Builds adjacency from the kernel's block table.
+    pub fn build(blocks: &[BasicBlock]) -> Self {
+        let n = blocks.len();
+        let mut succ = vec![Vec::new(); n];
+        let mut pred: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for b in blocks {
+            for s in b.term.successors() {
+                succ[b.id.index()].push(s);
+                pred[s.index()].push(b.id);
+            }
+        }
+        StaticCfg { succ, pred }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Whether the CFG is empty.
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// Static successors of `b`.
+    pub fn successors(&self, b: BlockId) -> &[BlockId] {
+        &self.succ[b.index()]
+    }
+
+    /// Static predecessors of `b`.
+    pub fn predecessors(&self, b: BlockId) -> &[BlockId] {
+        &self.pred[b.index()]
+    }
+
+    /// Total directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+
+    /// The *alternative path entries* of a covered set: uncovered blocks
+    /// with at least one covered predecessor (reachable by flipping a
+    /// single branch). Returned in ascending id order for determinism.
+    pub fn alternative_entries(&self, covered: &HashSet<BlockId>) -> Vec<BlockId> {
+        let mut out: Vec<BlockId> = Vec::new();
+        let mut seen = HashSet::new();
+        for &c in covered {
+            for &s in self.successors(c) {
+                if !covered.contains(&s) && seen.insert(s) {
+                    out.push(s);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Whether `b` sits behind at least one argument-gated branch: some
+    /// predecessor branches on an argument-derived predicate with `b` on
+    /// either side. Such blocks are candidates for argument-mutation
+    /// targeting (the taint analysis a white-box mutator would run).
+    pub fn arg_gated(&self, blocks: &[crate::block::BasicBlock], b: BlockId) -> bool {
+        self.predecessors(b).iter().any(|p| {
+            matches!(
+                &blocks[p.index()].term,
+                crate::block::Terminator::Branch { pred, .. } if pred.arg_path().is_some()
+            )
+        })
+    }
+
+    /// BFS distance (in edges) from every block *to* `target`, following
+    /// forward edges. `None` when the target is unreachable from a block.
+    pub fn distance_to(&self, target: BlockId) -> Vec<Option<u32>> {
+        let mut dist = vec![None; self.len()];
+        let mut q = VecDeque::new();
+        dist[target.index()] = Some(0);
+        q.push_back(target);
+        while let Some(b) = q.pop_front() {
+            let d = dist[b.index()].expect("queued blocks have distances");
+            for &p in self.predecessors(b) {
+                if dist[p.index()].is_none() {
+                    dist[p.index()] = Some(d + 1);
+                    q.push_back(p);
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::block::Terminator;
+    use crate::predicate::Predicate;
+
+    use super::*;
+
+    fn diamond() -> Vec<BasicBlock> {
+        // 0 -> (1 | 2) -> 3
+        let mk = |id: u32, term: Terminator| BasicBlock {
+            id: BlockId(id),
+            handler: snowplow_syslang::SyscallId(0),
+            text: Vec::new(),
+            effects: Vec::new(),
+            crash: None,
+            term,
+            gate_depth: 0,
+        };
+        vec![
+            mk(
+                0,
+                Terminator::Branch {
+                    pred: Predicate::Poisoned,
+                    taken: BlockId(1),
+                    fallthrough: BlockId(2),
+                },
+            ),
+            mk(1, Terminator::Jump(BlockId(3))),
+            mk(2, Terminator::Jump(BlockId(3))),
+            mk(3, Terminator::Return),
+        ]
+    }
+
+    #[test]
+    fn adjacency() {
+        let cfg = StaticCfg::build(&diamond());
+        assert_eq!(cfg.successors(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.predecessors(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.edge_count(), 4);
+    }
+
+    #[test]
+    fn alternative_entries_are_one_hop_frontier() {
+        let cfg = StaticCfg::build(&diamond());
+        let covered: HashSet<BlockId> = [BlockId(0), BlockId(2), BlockId(3)].into_iter().collect();
+        assert_eq!(cfg.alternative_entries(&covered), vec![BlockId(1)]);
+        // Fully covered -> empty frontier.
+        let all: HashSet<BlockId> = (0..4).map(BlockId).collect();
+        assert!(cfg.alternative_entries(&all).is_empty());
+    }
+
+    #[test]
+    fn distances() {
+        let cfg = StaticCfg::build(&diamond());
+        let d = cfg.distance_to(BlockId(3));
+        assert_eq!(d[0], Some(2));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[2], Some(1));
+        assert_eq!(d[3], Some(0));
+        let d0 = cfg.distance_to(BlockId(0));
+        assert_eq!(d0[3], None, "entry unreachable from exit");
+    }
+}

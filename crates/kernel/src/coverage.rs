@@ -1,0 +1,188 @@
+//! Coverage accounting: block sets and directional edge sets.
+//!
+//! The paper's headline metric is *edge coverage*: unique directional
+//! pairs of consecutive basic blocks in KCOV execution traces (§5.3.1).
+//! [`EdgeSet`] implements exactly that post-processing; [`Coverage`] is
+//! the block-level view used by the mutation-query graphs.
+
+use std::collections::HashSet;
+
+use crate::block::BlockId;
+
+/// A directional edge between two basic blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge(pub BlockId, pub BlockId);
+
+impl Edge {
+    fn pack(self) -> u64 {
+        (u64::from(self.0 .0) << 32) | u64::from(self.1 .0)
+    }
+}
+
+/// A set of covered blocks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Coverage {
+    blocks: HashSet<BlockId>,
+}
+
+impl Coverage {
+    /// Empty coverage.
+    pub fn new() -> Self {
+        Coverage::default()
+    }
+
+    /// Coverage of one trace.
+    pub fn from_trace(trace: &[BlockId]) -> Self {
+        Coverage {
+            blocks: trace.iter().copied().collect(),
+        }
+    }
+
+    /// Whether `b` is covered.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+
+    /// Inserts a block; returns whether it was new.
+    pub fn insert(&mut self, b: BlockId) -> bool {
+        self.blocks.insert(b)
+    }
+
+    /// Number of covered blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether nothing is covered.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Union-assigns `other` into `self`; returns how many blocks were
+    /// new.
+    pub fn merge(&mut self, other: &Coverage) -> usize {
+        let before = self.blocks.len();
+        self.blocks.extend(other.blocks.iter().copied());
+        self.blocks.len() - before
+    }
+
+    /// Blocks in `self` that are not in `other` (the "new coverage" of a
+    /// successful mutation, §3.1's `c_ij \ c_i`).
+    pub fn difference(&self, other: &Coverage) -> Vec<BlockId> {
+        let mut v: Vec<BlockId> = self
+            .blocks
+            .iter()
+            .copied()
+            .filter(|b| !other.contains(*b))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Iterates over covered blocks (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.blocks.iter().copied()
+    }
+
+    /// The underlying set, for CFG queries.
+    pub fn as_set(&self) -> &HashSet<BlockId> {
+        &self.blocks
+    }
+}
+
+impl FromIterator<BlockId> for Coverage {
+    fn from_iter<T: IntoIterator<Item = BlockId>>(iter: T) -> Self {
+        Coverage {
+            blocks: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A set of directional edges (the paper's edge-coverage metric).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeSet {
+    set: HashSet<u64>,
+}
+
+impl EdgeSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        EdgeSet::default()
+    }
+
+    /// Inserts an edge; returns whether it was new.
+    pub fn insert(&mut self, e: Edge) -> bool {
+        self.set.insert(e.pack())
+    }
+
+    /// Whether the edge is present.
+    pub fn contains(&self, e: Edge) -> bool {
+        self.set.contains(&e.pack())
+    }
+
+    /// Number of unique edges.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Adds all consecutive pairs of `trace`; returns how many were new.
+    pub fn add_trace(&mut self, trace: &[BlockId]) -> usize {
+        let before = self.set.len();
+        for w in trace.windows(2) {
+            self.set.insert(Edge(w[0], w[1]).pack());
+        }
+        self.set.len() - before
+    }
+
+    /// Union-assigns `other`; returns how many edges were new.
+    pub fn merge(&mut self, other: &EdgeSet) -> usize {
+        let before = self.set.len();
+        self.set.extend(other.set.iter().copied());
+        self.set.len() - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_difference() {
+        let a: Coverage = [1, 2, 3].into_iter().map(BlockId).collect();
+        let b: Coverage = [2].into_iter().map(BlockId).collect();
+        assert_eq!(a.difference(&b), vec![BlockId(1), BlockId(3)]);
+        assert!(b.difference(&a).is_empty());
+    }
+
+    #[test]
+    fn merge_reports_new_blocks() {
+        let mut a: Coverage = [1, 2].into_iter().map(BlockId).collect();
+        let b: Coverage = [2, 3, 4].into_iter().map(BlockId).collect();
+        assert_eq!(a.merge(&b), 2);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.merge(&b), 0);
+    }
+
+    #[test]
+    fn edges_are_directional() {
+        let mut s = EdgeSet::new();
+        assert!(s.insert(Edge(BlockId(1), BlockId(2))));
+        assert!(!s.contains(Edge(BlockId(2), BlockId(1))));
+        assert!(s.insert(Edge(BlockId(2), BlockId(1))));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn add_trace_counts_unique_pairs() {
+        let mut s = EdgeSet::new();
+        let t: Vec<BlockId> = [0, 1, 2, 1, 2].into_iter().map(BlockId).collect();
+        // pairs: (0,1) (1,2) (2,1) (1,2) -> 3 unique
+        assert_eq!(s.add_trace(&t), 3);
+        assert_eq!(s.add_trace(&t), 0);
+    }
+}

@@ -1,0 +1,847 @@
+//! Procedural generation of syscall handler CFGs.
+//!
+//! Every syscall variant gets a handler generated deterministically from
+//! its description: a *trunk* of always-executed blocks, plus nested
+//! argument-gated side regions whose branch predicates read specific
+//! argument paths. Reaching a side region requires mutating the right
+//! argument to a satisfying value — the search problem the paper's learned
+//! localizer collapses.
+//!
+//! Generation is seeded per (variant, drift pass), so all kernel versions
+//! share the 6.8 base structure and later versions deterministically add
+//! regions (see [`KernelVersion`](crate::KernelVersion)).
+
+use rand::prelude::*;
+use snowplow_syslang::{
+    ArgPath, BufferKind, IntFormat, Registry, ResourceId, SyscallId, Type, TypeId,
+};
+
+use crate::asm::{Tok, FUNC_BUCKETS};
+use crate::block::{BasicBlock, BlockId, Effect, HandlerCfg, Terminator};
+use crate::predicate::Predicate;
+use crate::state::StateVar;
+
+/// Tuning knobs for handler generation.
+#[derive(Debug, Clone, Copy)]
+pub struct HandlerGenConfig {
+    /// Trunk length range (inclusive).
+    pub trunk_len: (usize, usize),
+    /// Maximum nesting depth of argument gates.
+    pub max_gate_depth: u8,
+    /// Gate budget bounds per handler (scaled by available paths).
+    pub gate_budget: (usize, usize),
+    /// Gates added per handler per drift pass.
+    pub drift_gates: usize,
+    /// Probability that a side region exits early through the error path.
+    pub early_exit_prob: f64,
+}
+
+impl Default for HandlerGenConfig {
+    fn default() -> Self {
+        HandlerGenConfig {
+            trunk_len: (2, 4),
+            max_gate_depth: 6,
+            gate_budget: (30, 64),
+            drift_gates: 4,
+            early_exit_prob: 0.15,
+        }
+    }
+}
+
+/// A gateable argument path with the predicates it supports.
+#[derive(Debug, Clone)]
+struct GateSite {
+    path: ArgPath,
+    ty: TypeId,
+}
+
+/// Accumulates blocks and handlers during kernel construction.
+#[derive(Debug)]
+pub struct KernelBuilder<'r> {
+    reg: &'r Registry,
+    config: HandlerGenConfig,
+    /// All blocks, indexed by [`BlockId`].
+    pub blocks: Vec<BasicBlock>,
+    /// One handler per syscall variant, indexed by syscall id.
+    pub handlers: Vec<HandlerCfg>,
+}
+
+impl<'r> KernelBuilder<'r> {
+    /// Creates a builder over `reg`.
+    pub fn new(reg: &'r Registry, config: HandlerGenConfig) -> Self {
+        KernelBuilder {
+            reg,
+            config,
+            blocks: Vec::new(),
+            handlers: Vec::new(),
+        }
+    }
+
+    /// The registry handlers are generated for.
+    pub fn registry(&self) -> &'r Registry {
+        self.reg
+    }
+
+    fn alloc(&mut self, handler: SyscallId, gate_depth: u8) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BasicBlock {
+            id,
+            handler,
+            text: Vec::new(),
+            effects: Vec::new(),
+            crash: None,
+            term: Terminator::Return,
+            gate_depth,
+        });
+        id
+    }
+
+    fn body_text(&self, rng: &mut StdRng, handler: SyscallId) -> Vec<Tok> {
+        let fbucket = (self.reg.syscall(handler).nr * 37 + rng.random_range(0..7)) as u16
+            % FUNC_BUCKETS;
+        let mut t = vec![
+            Tok::op("mov"),
+            Tok::Reg(rng.random_range(0..16)),
+            Tok::Reg(rng.random_range(0..16)),
+        ];
+        match rng.random_range(0..3u32) {
+            0 => t.extend([Tok::op("call"), Tok::Func(fbucket)]),
+            1 => t.extend([
+                Tok::op("add"),
+                Tok::Reg(rng.random_range(0..16)),
+                Tok::imm(rng.random_range(0..64)),
+            ]),
+            _ => t.extend([Tok::op("lea"), Tok::Reg(rng.random_range(0..16))]),
+        }
+        t
+    }
+
+    fn gate_text(&self, rng: &mut StdRng, pred: &Predicate) -> Vec<Tok> {
+        let mut t = Vec::with_capacity(8);
+        if let Some(path) = pred.arg_path() {
+            let slot = Tok::Slot(path.slot());
+            t.extend([Tok::op("mov"), Tok::Reg(rng.random_range(0..16)), slot]);
+            let imm = match pred {
+                Predicate::ArgEq { value, .. } => Tok::imm(*value),
+                Predicate::ArgMaskEq { mask, .. } => Tok::imm(*mask),
+                Predicate::ArgInRange { hi, .. } => Tok::imm(*hi),
+                Predicate::DataLenGt { len, .. } => Tok::imm(*len),
+                Predicate::UnionIs { variant, .. } => Tok::imm(u64::from(*variant)),
+                _ => Tok::imm(0),
+            };
+            let cmp = match pred {
+                Predicate::ArgMaskEq { .. } => Tok::op("test"),
+                _ => Tok::op("cmp"),
+            };
+            t.extend([cmp, slot, imm]);
+        } else if let Some(var) = pred.state_var() {
+            t.extend([
+                Tok::op("mov"),
+                Tok::Reg(rng.random_range(0..16)),
+                Tok::State(var.0 % 32),
+            ]);
+            t.extend([Tok::op("cmp"), Tok::State(var.0 % 32), Tok::imm(1)]);
+        } else {
+            // Poison checks read a global.
+            t.extend([Tok::op("test"), Tok::State(31), Tok::State(31)]);
+        }
+        t.push(match rng.random_range(0..4u32) {
+            0 => Tok::op("je"),
+            1 => Tok::op("jne"),
+            2 => Tok::op("jb"),
+            _ => Tok::op("ja"),
+        });
+        t
+    }
+
+    /// Collects the gateable argument paths of a variant.
+    fn gate_sites(&self, id: SyscallId) -> Vec<GateSite> {
+        self.reg
+            .enumerate_paths(id)
+            .into_iter()
+            .filter(|(_, ty)| match self.reg.ty(*ty) {
+                Type::Int { .. }
+                | Type::Flags { .. }
+                | Type::Buffer { .. }
+                | Type::Union { .. } => true,
+                Type::Resource { dir, .. } => dir.is_in(),
+                Type::Ptr { optional, .. } => *optional,
+                _ => false,
+            })
+            .map(|(path, ty)| GateSite { path, ty })
+            .collect()
+    }
+
+    /// Draws a predicate for a gate site. Tightness scales with gate
+    /// depth: trunk-level gates are loose (random values hit them often),
+    /// while deeply nested gates demand precise values — matching how
+    /// real kernel code guards its rarely-exercised paths behind exact
+    /// command numbers and sizes.
+    fn draw_predicate(&self, rng: &mut StdRng, site: &GateSite, depth: u8) -> Predicate {
+        let path = site.path.clone();
+        // Depth >= 2 gates avoid the loosest predicate forms, but stay
+        // *instantiable*: a focused mutation of the right argument hits
+        // them within a handful of tries (enum values, flag bits, range
+        // windows). Difficulty comes from nesting — each layer must be
+        // discovered and kept — not from needle-in-haystack constants.
+        let narrow = depth >= 1;
+        match self.reg.ty(site.ty).clone() {
+            Type::Int { format, bits } => match format {
+                IntFormat::Enum { values } if !values.is_empty() => {
+                    let v = *values.choose(rng).expect("nonempty");
+                    Predicate::ArgEq { path, value: v }
+                }
+                IntFormat::Range { lo, hi } => {
+                    if narrow && hi > lo {
+                        // A quarter-width interior window.
+                        let width = ((hi - lo) / 4).max(1);
+                        let start = lo + rng.random_range(0..=(hi - lo).saturating_sub(width));
+                        Predicate::ArgInRange {
+                            path,
+                            lo: start,
+                            hi: (start + width).min(hi),
+                        }
+                    } else if rng.random_bool(0.5) && hi > lo {
+                        let width = ((hi - lo) / 4).max(1);
+                        let start = lo + rng.random_range(0..=(hi - lo).saturating_sub(width));
+                        Predicate::ArgInRange {
+                            path,
+                            lo: start,
+                            hi: (start + width).min(hi),
+                        }
+                    } else {
+                        Predicate::ArgEq {
+                            path,
+                            value: if rng.random_bool(0.5) { lo } else { hi },
+                        }
+                    }
+                }
+                _ => {
+                    if narrow {
+                        // A small-value check: the biased integer
+                        // generator lands here about once per ten draws.
+                        Predicate::ArgInRange {
+                            path,
+                            lo: 0,
+                            hi: rng.random_range(4..64),
+                        }
+                    } else {
+                        match rng.random_range(0..3u32) {
+                            0 => Predicate::ArgEq {
+                                path,
+                                value: rng.random_range(0..4),
+                            },
+                            1 => Predicate::ArgInRange {
+                                path,
+                                lo: 0,
+                                hi: rng.random_range(1..4096),
+                            },
+                            _ => Predicate::ArgInRange {
+                                path,
+                                lo: rng.random_range(0x100..0x10000),
+                                hi: u64::MAX >> (64 - u32::from(bits.min(63))),
+                            },
+                        }
+                    }
+                }
+            },
+            Type::Flags { values, .. } if !values.is_empty() => {
+                if narrow && values.len() >= 2 {
+                    // A specific flag bit must be set (and gen draws a
+                    // single flag most of the time, so focused mutation
+                    // hits this at ~1/|values|).
+                    let bit = *values.choose(rng).expect("nonempty");
+                    Predicate::ArgMaskEq {
+                        path,
+                        mask: bit,
+                        value: bit,
+                    }
+                } else {
+                    let bit = *values.choose(rng).expect("nonempty");
+                    if rng.random_bool(0.8) {
+                        Predicate::ArgMaskEq {
+                            path,
+                            mask: bit,
+                            value: bit,
+                        }
+                    } else {
+                        Predicate::ArgEq { path, value: 0 }
+                    }
+                }
+            }
+            Type::Buffer { kind } => {
+                let len = match kind {
+                    BufferKind::Blob { min_len, max_len } => {
+                        if narrow {
+                            // The upper half of the size range.
+                            (min_len + max_len.saturating_sub(min_len) / 2) as u64
+                        } else {
+                            rng.random_range(min_len..=max_len.max(min_len + 1)) as u64
+                        }
+                    }
+                    _ => rng.random_range(2..8),
+                };
+                Predicate::DataLenGt { path, len }
+            }
+            Type::Union { variants, .. } => Predicate::UnionIs {
+                path,
+                variant: rng.random_range(0..variants.len().max(1)) as u16,
+            },
+            Type::Ptr { .. } => {
+                if rng.random_bool(0.7) {
+                    Predicate::NotNull { path }
+                } else {
+                    Predicate::IsNull { path }
+                }
+            }
+            Type::Resource { kind, .. } => Predicate::ResValid { path, kind },
+            _ => Predicate::ArgEq { path, value: 0 },
+        }
+    }
+
+    /// A state predicate tied to a resource kind this handler touches.
+    fn draw_state_predicate(&self, rng: &mut StdRng, id: SyscallId) -> Predicate {
+        let kinds = self.touched_kinds(id);
+        let var = kinds
+            .choose(rng)
+            .map(|k| counter_var(*k))
+            .unwrap_or(StateVar(rng.random_range(0..30)));
+        if rng.random_bool(0.5) {
+            Predicate::StateCounterGe {
+                var,
+                value: rng.random_range(1..3),
+            }
+        } else {
+            Predicate::StateFlag {
+                var: flag_var_of(var),
+            }
+        }
+    }
+
+    fn touched_kinds(&self, id: SyscallId) -> Vec<ResourceId> {
+        let mut kinds: Vec<ResourceId> = self
+            .reg
+            .enumerate_paths(id)
+            .iter()
+            .filter_map(|(_, t)| match self.reg.ty(*t) {
+                Type::Resource { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect();
+        if let Some(ret) = self.reg.syscall(id).ret {
+            kinds.push(ret);
+        }
+        kinds.sort();
+        kinds.dedup();
+        kinds
+    }
+
+    /// Generates the base (6.8) handler for one variant.
+    ///
+    /// Gates draw from a small *hot subset* of the variant's argument
+    /// paths: real handlers hang most of their behaviour off a few
+    /// arguments (command numbers, flag words, mode fields) while the
+    /// rest are pass-through — this is what makes learned localization
+    /// valuable, and it matches the paper's measurement that only ~8 of
+    /// 60+ arguments are productive mutation sites on average.
+    pub fn gen_handler(&mut self, id: SyscallId) {
+        let mut rng = StdRng::seed_from_u64(mix(0xba5e_0000, u64::from(self.reg.syscall(id).nr)));
+        let mut sites = self.gate_sites(id);
+        sites.shuffle(&mut rng);
+        let hot = sites.len().clamp(1, 2);
+        sites.truncate(hot);
+        let (lo, hi) = self.config.gate_budget;
+        let budget = sites.len().clamp(lo, hi);
+
+        // Error and normal exits.
+        let exit_ok = self.alloc(id, 0);
+        self.blocks[exit_ok.index()].text = vec![Tok::op("pop"), Tok::Reg(0), Tok::op("ret")];
+        let exit_err = self.alloc(id, 0);
+        self.blocks[exit_err.index()].text = vec![
+            Tok::op("mov"),
+            Tok::Reg(0),
+            Tok::imm(u64::MAX),
+            Tok::op("ret"),
+        ];
+
+        let trunk_len = rng.random_range(self.config.trunk_len.0..=self.config.trunk_len.1);
+        let mut budget_left = budget;
+        let entry = self.gen_chain(
+            &mut rng,
+            id,
+            &sites,
+            0,
+            trunk_len,
+            exit_ok,
+            exit_err,
+            &mut budget_left,
+        );
+
+        // Entry-block dressing and unconditional effects.
+        {
+            let eb = &mut self.blocks[entry.index()];
+            let mut text = vec![
+                Tok::op("push"),
+                Tok::Reg(5),
+                Tok::op("call"),
+                Tok::Func((self.reg.syscall(id).nr * 7 + 3) as u16 % FUNC_BUCKETS),
+            ];
+            text.extend(eb.text.clone());
+            eb.text = text;
+        }
+        self.attach_semantics(id, entry, exit_ok);
+
+        // Collect the handler's blocks (all blocks allocated since the
+        // exits, plus the exits).
+        let first = exit_ok.index();
+        let blocks: Vec<BlockId> = (first..self.blocks.len())
+            .map(|i| BlockId(i as u32))
+            .collect();
+        self.handlers.push(HandlerCfg {
+            syscall: id,
+            entry,
+            exit: exit_ok,
+            blocks,
+        });
+        debug_assert_eq!(self.handlers.len() - 1, id.index());
+    }
+
+    /// Attaches subsystem semantics: producers bump their kind's counter
+    /// and flag on entry; `close` kills its argument resource.
+    fn attach_semantics(&mut self, id: SyscallId, entry: BlockId, exit_ok: BlockId) {
+        let def = self.reg.syscall(id);
+        let mut effects = Vec::new();
+        if let Some(ret) = def.ret {
+            // The *exit* block carries the production effect: reaching the
+            // error exit produces nothing, exactly like a failed open().
+            self.blocks[exit_ok.index()]
+                .effects
+                .push(Effect::Inc(counter_var(ret)));
+            self.blocks[exit_ok.index()]
+                .effects
+                .push(Effect::SetFlag(flag_var_of(counter_var(ret))));
+        }
+        if def.group == "close" {
+            effects.push(Effect::CloseArg {
+                path: ArgPath::arg(0),
+            });
+            if let Some(kind) = self.touched_kinds(id).first() {
+                effects.push(Effect::Dec(counter_var(*kind)));
+            }
+        }
+        self.blocks[entry.index()].effects.extend(effects);
+    }
+
+    /// Generates a chain of `n` blocks ending at `join`, spending gate
+    /// budget on side regions. Returns the chain's entry block.
+    #[allow(clippy::too_many_arguments)]
+    fn gen_chain(
+        &mut self,
+        rng: &mut StdRng,
+        id: SyscallId,
+        sites: &[GateSite],
+        depth: u8,
+        n: usize,
+        join: BlockId,
+        exit_err: BlockId,
+        budget: &mut usize,
+    ) -> BlockId {
+        let n = n.max(1);
+        let ids: Vec<BlockId> = (0..n).map(|_| self.alloc(id, depth)).collect();
+        for (i, &bid) in ids.iter().enumerate() {
+            let next = ids.get(i + 1).copied().unwrap_or(join);
+            let want_gate = *budget > 0
+                && depth < self.config.max_gate_depth
+                && rng.random_bool(gate_prob(depth));
+            if want_gate && !sites.is_empty() {
+                *budget -= 1;
+                // State gates model cross-call dependencies; they live on
+                // the trunk (deeper regions are argument-gated, which is
+                // what argument mutation — and PMM — can open).
+                let pred = if depth == 0 && rng.random_bool(0.15) {
+                    self.draw_state_predicate(rng, id)
+                } else {
+                    let site = sites.choose(rng).expect("nonempty");
+                    self.draw_predicate(rng, site, depth)
+                };
+                // Side region: a short chain that either rejoins or errors.
+                let side_join = if rng.random_bool(self.config.early_exit_prob) {
+                    exit_err
+                } else {
+                    next
+                };
+                let side_len = rng.random_range(3..=6);
+                let side = self.gen_chain(
+                    rng,
+                    id,
+                    sites,
+                    depth + 1,
+                    side_len,
+                    side_join,
+                    exit_err,
+                    budget,
+                );
+                // The guarded region's entry *uses* the checked value —
+                // as real guarded code does — so its disassembly also
+                // mentions the argument slot.
+                if let Some(path) = pred.arg_path() {
+                    let slot = Tok::Slot(path.slot());
+                    let reg = Tok::Reg(rng.random_range(0..16));
+                    let t = &mut self.blocks[side.index()].text;
+                    t.insert(0, slot);
+                    t.insert(0, reg);
+                    t.insert(0, Tok::op("mov"));
+                }
+                let text = self.gate_text(rng, &pred);
+                let b = &mut self.blocks[bid.index()];
+                b.text = text;
+                b.term = Terminator::Branch {
+                    pred,
+                    taken: side,
+                    fallthrough: next,
+                };
+            } else {
+                let text = self.body_text(rng, id);
+                let b = &mut self.blocks[bid.index()];
+                b.text = text;
+                b.term = Terminator::Jump(next);
+                // Deeper body blocks tweak subsystem state occasionally.
+                if depth > 0 && rng.random_bool(0.2) {
+                    let var = StateVar(rng.random_range(0..30));
+                    let eff = if rng.random_bool(0.5) {
+                        Effect::SetFlag(var)
+                    } else {
+                        Effect::Inc(var)
+                    };
+                    self.blocks[bid.index()].effects.push(eff);
+                }
+            }
+        }
+        ids[0]
+    }
+
+    /// Generates the handler for a variant, dispatching to the
+    /// hand-crafted SCSI/ATA pass-through handler for
+    /// `ioctl$scsi_send_command` (the §5.3.2 bug) and to procedural
+    /// generation for everything else.
+    pub fn gen_handler_auto(&mut self, id: SyscallId) {
+        if self.reg.syscall(id).name == "ioctl$scsi_send_command" {
+            self.gen_ata_handler(id);
+        } else {
+            self.gen_handler(id);
+        }
+    }
+
+    /// Hand-crafted handler reproducing the paper's ATA `ioctl` bug: the
+    /// out-of-bounds write is reachable only when the CDB union selects
+    /// ATA-16 pass-through, the protocol is PIO, the ATA command is
+    /// `ATA_NOP`, and the request's `inlen` exceeds the sector-buffer
+    /// bound. Reaching the final block *poisons* kernel memory (the OOB
+    /// write) instead of crashing immediately — crashes manifest at
+    /// poison-guarded blocks of later calls, yielding many distinct
+    /// signatures from one root cause.
+    pub fn gen_ata_handler(&mut self, id: SyscallId) {
+        use snowplow_syslang::PathSegment as S;
+        let mut rng = StdRng::seed_from_u64(mix(0xa7a0_0000, u64::from(self.reg.syscall(id).nr)));
+
+        let exit_ok = self.alloc(id, 0);
+        self.blocks[exit_ok.index()].text = vec![Tok::op("pop"), Tok::Reg(0), Tok::op("ret")];
+        let exit_err = self.alloc(id, 0);
+        self.blocks[exit_err.index()].text =
+            vec![Tok::op("mov"), Tok::Reg(0), Tok::imm(u64::MAX), Tok::op("ret")];
+
+        // Argument paths within `ioctl$scsi_send_command`.
+        let fd = ArgPath::arg(0);
+        let hdr = ArgPath::arg(2).child(S::Deref);
+        let inlen = hdr.child(S::Field(0));
+        let cdb = hdr.child(S::Field(2));
+        let ata16 = cdb.child(S::Variant(0));
+        let protocol = ata16.child(S::Field(1));
+        let command = ata16.child(S::Field(3));
+
+        // Generic trunk shared by all CDB kinds.
+        let sites = self.gate_sites(id);
+        let mut budget = 4usize;
+        let trunk = self.gen_chain(&mut rng, id, &sites, 0, 3, exit_ok, exit_err, &mut budget);
+
+        // The deep ATA chain: each gate falls through to the trunk.
+        let scsi_kind = match self.reg.ty(self.reg.type_at(id, &fd).expect("fd path")) {
+            Type::Resource { kind, .. } => *kind,
+            _ => unreachable!("first ioctl argument is the scsi fd"),
+        };
+        let chain: Vec<(Predicate, u8)> = vec![
+            (
+                Predicate::ResValid {
+                    path: fd.clone(),
+                    kind: scsi_kind,
+                },
+                1,
+            ),
+            (
+                Predicate::UnionIs {
+                    path: cdb.clone(),
+                    variant: 0,
+                },
+                2,
+            ),
+            (
+                Predicate::ArgEq {
+                    path: protocol.clone(),
+                    value: 4, // ATA_PROT_PIO
+                },
+                3,
+            ),
+            (
+                Predicate::ArgEq {
+                    path: command.clone(),
+                    value: 0x00, // ATA_NOP
+                },
+                4,
+            ),
+            (
+                Predicate::ArgInRange {
+                    path: inlen.clone(),
+                    lo: 0x201,
+                    hi: u64::MAX, // data length past the sector bound
+                },
+                5,
+            ),
+        ];
+        // Build from the deepest block backward.
+        let oob = self.alloc(id, 5);
+        {
+            let text = vec![
+                Tok::op("mov"),
+                Tok::Reg(2),
+                Tok::Slot(inlen.slot()),
+                Tok::op("call"),
+                Tok::Func(17),
+            ];
+            let b = &mut self.blocks[oob.index()];
+            b.text = text;
+            b.effects.push(Effect::Poison);
+            b.term = Terminator::Jump(trunk);
+        }
+        let mut next_taken = oob;
+        for (pred, depth) in chain.into_iter().rev() {
+            let g = self.alloc(id, depth.saturating_sub(1));
+            let text = self.gate_text(&mut rng, &pred);
+            let fallthrough = if depth == 1 { exit_err } else { trunk };
+            let b = &mut self.blocks[g.index()];
+            b.text = text;
+            b.term = Terminator::Branch {
+                pred,
+                taken: next_taken,
+                fallthrough,
+            };
+            next_taken = g;
+        }
+        let entry = next_taken;
+        {
+            let eb = &mut self.blocks[entry.index()];
+            let mut text = vec![Tok::op("push"), Tok::Reg(5), Tok::op("call"), Tok::Func(16)];
+            text.extend(eb.text.clone());
+            eb.text = text;
+        }
+
+        let first = exit_ok.index();
+        let blocks: Vec<BlockId> = (first..self.blocks.len())
+            .map(|i| BlockId(i as u32))
+            .collect();
+        self.handlers.push(HandlerCfg {
+            syscall: id,
+            entry,
+            exit: exit_ok,
+            blocks,
+        });
+        debug_assert_eq!(self.handlers.len() - 1, id.index());
+    }
+
+    /// Applies one drift pass to every handler: new argument-gated regions
+    /// spliced into existing `Jump` edges. Models a newer kernel release.
+    pub fn drift_pass(&mut self, seed: u64) {
+        for hi in 0..self.handlers.len() {
+            let id = self.handlers[hi].syscall;
+            let mut rng = StdRng::seed_from_u64(mix(seed, u64::from(self.reg.syscall(id).nr)));
+            // Drift keeps the handler's hot argument subset (recomputed
+            // with the *base* seed so it matches gen_handler).
+            let mut sites = self.gate_sites(id);
+            {
+                let mut base_rng =
+                    StdRng::seed_from_u64(mix(0xba5e_0000, u64::from(self.reg.syscall(id).nr)));
+                sites.shuffle(&mut base_rng);
+            }
+            let hot = sites.len().clamp(1, 2);
+            sites.truncate(hot);
+            if sites.is_empty() {
+                continue;
+            }
+            let exit_err = BlockId(self.handlers[hi].exit.0 + 1);
+            // Candidate splice points: blocks of this handler that end in
+            // a plain Jump.
+            let candidates: Vec<BlockId> = self.handlers[hi]
+                .blocks
+                .iter()
+                .copied()
+                .filter(|b| matches!(self.blocks[b.index()].term, Terminator::Jump(_)))
+                .collect();
+            let first_new = self.blocks.len();
+            for _ in 0..self.config.drift_gates {
+                let Some(&at) = candidates.choose(&mut rng) else {
+                    continue;
+                };
+                let Terminator::Jump(next) = self.blocks[at.index()].term.clone() else {
+                    continue;
+                };
+                let depth = self.blocks[at.index()].gate_depth;
+                let site = sites.choose(&mut rng).expect("nonempty");
+                let pred = self.draw_predicate(&mut rng, site, depth);
+                let side_join = if rng.random_bool(self.config.early_exit_prob) {
+                    exit_err
+                } else {
+                    next
+                };
+                let mut budget = 2usize;
+                let side_len = rng.random_range(1..=3);
+                let side = self.gen_chain(
+                    &mut rng,
+                    id,
+                    &sites,
+                    depth.saturating_add(1),
+                    side_len,
+                    side_join,
+                    exit_err,
+                    &mut budget,
+                );
+                if let Some(path) = pred.arg_path() {
+                    let slot = Tok::Slot(path.slot());
+                    let reg = Tok::Reg(rng.random_range(0..16));
+                    let t = &mut self.blocks[side.index()].text;
+                    t.insert(0, slot);
+                    t.insert(0, reg);
+                    t.insert(0, Tok::op("mov"));
+                }
+                let text = self.gate_text(&mut rng, &pred);
+                let b = &mut self.blocks[at.index()];
+                b.text = text;
+                b.term = Terminator::Branch {
+                    pred,
+                    taken: side,
+                    fallthrough: next,
+                };
+            }
+            let new_blocks: Vec<BlockId> =
+                (first_new..self.blocks.len()).map(|i| BlockId(i as u32)).collect();
+            self.handlers[hi].blocks.extend(new_blocks);
+        }
+    }
+}
+
+/// Gate probability decays with depth so regions get rarer as they nest.
+fn gate_prob(depth: u8) -> f64 {
+    match depth {
+        0 => 0.85,
+        1 => 0.7,
+        2 => 0.55,
+        3 => 0.4,
+        4 => 0.3,
+        _ => 0.2,
+    }
+}
+
+/// The state counter associated with a resource kind.
+pub fn counter_var(kind: ResourceId) -> StateVar {
+    StateVar((kind.0 % 15) as u8)
+}
+
+/// The flag lane paired with a counter.
+pub fn flag_var_of(counter: StateVar) -> StateVar {
+    StateVar(15 + (counter.0 % 15))
+}
+
+/// SplitMix-style hash for deterministic per-handler seeds.
+pub fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use snowplow_syslang::builtin;
+
+    use super::*;
+
+    #[test]
+    fn handlers_generated_for_every_variant() {
+        let reg = builtin::linux_sim();
+        let mut b = KernelBuilder::new(&reg, HandlerGenConfig::default());
+        for id in reg.syscall_ids() {
+            b.gen_handler(id);
+        }
+        assert_eq!(b.handlers.len(), reg.syscall_count());
+        assert!(b.blocks.len() > reg.syscall_count() * 5);
+        // Every handler's entry and exit are among its blocks.
+        for h in &b.handlers {
+            assert!(h.blocks.contains(&h.entry));
+            assert!(h.blocks.contains(&h.exit));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let reg = builtin::linux_sim();
+        let mut a = KernelBuilder::new(&reg, HandlerGenConfig::default());
+        let mut b = KernelBuilder::new(&reg, HandlerGenConfig::default());
+        for id in reg.syscall_ids() {
+            a.gen_handler(id);
+            b.gen_handler(id);
+        }
+        assert_eq!(a.blocks, b.blocks);
+    }
+
+    #[test]
+    fn drift_adds_blocks_without_disturbing_prefix_ids() {
+        let reg = builtin::linux_sim();
+        let mut base = KernelBuilder::new(&reg, HandlerGenConfig::default());
+        for id in reg.syscall_ids() {
+            base.gen_handler(id);
+        }
+        let base_count = base.blocks.len();
+        let mut drifted = KernelBuilder::new(&reg, HandlerGenConfig::default());
+        for id in reg.syscall_ids() {
+            drifted.gen_handler(id);
+        }
+        drifted.drift_pass(0xd1f7);
+        assert!(drifted.blocks.len() > base_count);
+        // Base block *ids* are stable (terminators of splice points may
+        // change, but every base id still exists with the same handler).
+        for i in 0..base_count {
+            assert_eq!(base.blocks[i].handler, drifted.blocks[i].handler);
+        }
+    }
+
+    #[test]
+    fn gates_mention_their_argument_slot() {
+        let reg = builtin::linux_sim();
+        let mut b = KernelBuilder::new(&reg, HandlerGenConfig::default());
+        for id in reg.syscall_ids() {
+            b.gen_handler(id);
+        }
+        let mut checked = 0;
+        for blk in &b.blocks {
+            if let Terminator::Branch { pred, .. } = &blk.term {
+                if let Some(path) = pred.arg_path() {
+                    assert!(
+                        blk.text.contains(&Tok::Slot(path.slot())),
+                        "gate block {:?} does not mention slot of {path}",
+                        blk.id
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 100, "only {checked} argument gates generated");
+    }
+}

@@ -1,0 +1,504 @@
+//! Kernel assembly: handlers + bugs + static CFG for one version.
+
+use rand::prelude::*;
+use snowplow_syslang::{builtin, Registry, SyscallId};
+
+use crate::block::{BasicBlock, BlockId, Effect, HandlerCfg, Terminator};
+use crate::bugs::{BugId, BugRegistry, CrashCategory};
+use crate::cfg::StaticCfg;
+use crate::handlergen::{mix, HandlerGenConfig, KernelBuilder};
+use crate::predicate::Predicate;
+use crate::version::KernelVersion;
+
+/// How many bugs of each class to inject.
+#[derive(Debug, Clone, Copy)]
+pub struct BugPlan {
+    /// Known (Syzbot-listed) bugs behind shallow, loose gates.
+    pub known: usize,
+    /// New independent bugs behind deep, narrow gate nests.
+    pub new_independent: usize,
+    /// Low-severity bugs in the filtered categories (INFO:/SYZFAIL).
+    pub filtered: usize,
+    /// Handlers that receive a poison-guarded crash block (derived
+    /// signatures of the ATA corruption bug).
+    pub poison_gates: usize,
+}
+
+impl Default for BugPlan {
+    fn default() -> Self {
+        BugPlan {
+            known: 15,
+            new_independent: 15,
+            filtered: 4,
+            poison_gates: 25,
+        }
+    }
+}
+
+/// A fully built simulated kernel.
+///
+/// Immutable once built; share it behind a reference (or `Arc`) and give
+/// each executor its own [`Vm`](crate::Vm).
+#[derive(Debug)]
+pub struct Kernel {
+    version: KernelVersion,
+    registry: Registry,
+    blocks: Vec<BasicBlock>,
+    handlers: Vec<HandlerCfg>,
+    bugs: BugRegistry,
+    cfg: StaticCfg,
+    ata_root: Option<BugId>,
+}
+
+impl Kernel {
+    /// Builds the given version with default generation and bug plans.
+    pub fn build(version: KernelVersion) -> Kernel {
+        Kernel::build_with(version, HandlerGenConfig::default(), BugPlan::default())
+    }
+
+    /// Builds with explicit tuning. Construction is deterministic: the
+    /// same inputs always produce an identical kernel.
+    pub fn build_with(version: KernelVersion, gen: HandlerGenConfig, plan: BugPlan) -> Kernel {
+        let registry = builtin::linux_sim();
+        let (blocks, handlers, bugs, ata_root) = {
+            let mut b = KernelBuilder::new(&registry, gen);
+            for id in registry.syscall_ids() {
+                b.gen_handler_auto(id);
+            }
+            // Bugs are placed on the version-independent base structure so
+            // every version exposes the same bug set (the paper fuzzes
+            // stable kernels whose bugs persist across releases).
+            let (bugs, ata_root) = place_bugs(&registry, &mut b, plan);
+            for pass in 0..version.drift_passes() {
+                b.drift_pass(version.drift_seed(pass));
+            }
+            (b.blocks, b.handlers, bugs, ata_root)
+        };
+        let cfg = StaticCfg::build(&blocks);
+        Kernel {
+            version,
+            registry,
+            blocks,
+            handlers,
+            bugs,
+            cfg,
+            ata_root,
+        }
+    }
+
+    /// The kernel's user-space interface description.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// This kernel's version.
+    pub fn version(&self) -> KernelVersion {
+        self.version
+    }
+
+    /// Looks up a block.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// All blocks.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The handler of a syscall variant.
+    pub fn handler(&self, id: SyscallId) -> &HandlerCfg {
+        &self.handlers[id.index()]
+    }
+
+    /// All handlers, indexed by syscall id.
+    pub fn handlers(&self) -> &[HandlerCfg] {
+        &self.handlers
+    }
+
+    /// The injected-bug registry.
+    pub fn bugs(&self) -> &BugRegistry {
+        &self.bugs
+    }
+
+    /// The ATA-style root corruption bug, if the plan included it.
+    pub fn ata_root_bug(&self) -> Option<BugId> {
+        self.ata_root
+    }
+
+    /// Static CFG analyses.
+    pub fn cfg(&self) -> &StaticCfg {
+        &self.cfg
+    }
+
+    /// The crash-location function name of a handler, used in crash
+    /// signatures (e.g. `sim_ioctl_scsi_send_command`).
+    pub fn handler_location(&self, id: SyscallId) -> String {
+        location_name(&self.registry, id)
+    }
+}
+
+fn location_name(reg: &Registry, id: SyscallId) -> String {
+    format!("sim_{}", reg.syscall(id).name.replace('$', "_"))
+}
+
+/// Places all injected bugs on the base handler structure.
+fn place_bugs(
+    reg: &Registry,
+    b: &mut KernelBuilder<'_>,
+    plan: BugPlan,
+) -> (BugRegistry, Option<BugId>) {
+    let mut bugs = BugRegistry::new();
+    let mut rng = StdRng::seed_from_u64(mix(0xb065, 0x2018));
+
+    // --- Root cause: the ATA out-of-bounds write (§5.3.2). -------------
+    let scsi = reg.syscall_by_name("ioctl$scsi_send_command");
+    let ata_root = scsi.map(|scsi_id| {
+        let poison_block = b.handlers[scsi_id.index()]
+            .blocks
+            .iter()
+            .copied()
+            .find(|blk| b.blocks[blk.index()].effects.contains(&Effect::Poison))
+            .expect("the ATA handler has a poison block");
+        bugs.register(
+            CrashCategory::OutOfBounds,
+            "sim_ata_pio_sector",
+            false,
+            None,
+            poison_block,
+            b.blocks[poison_block.index()].gate_depth,
+        )
+    });
+
+    // --- Poison-guarded derived crashes. --------------------------------
+    // The SCSI handler itself gets the headline `ata_pio_sector`
+    // signature; other handlers get their own, so one root cause yields
+    // many distinct signatures.
+    let poison_categories = [
+        CrashCategory::GeneralProtectionFault,
+        CrashCategory::GeneralProtectionFault,
+        CrashCategory::GeneralProtectionFault,
+        CrashCategory::PagingFault,
+        CrashCategory::PagingFault,
+        CrashCategory::NullPointerDereference,
+        CrashCategory::Warning,
+        CrashCategory::OutOfBounds,
+        CrashCategory::AssertionViolation,
+        CrashCategory::Other,
+    ];
+    if let (Some(scsi_id), Some(root)) = (scsi, ata_root) {
+        let mut handler_order: Vec<usize> = (0..b.handlers.len()).collect();
+        handler_order.shuffle(&mut rng);
+        let mut placed = 0usize;
+        // Place the in-handler signature first (a repeated trigger call
+        // crashes "in sim_ata_pio_sector", bug #1 of Table 4). The gate
+        // sits at the handler *entry*, i.e. before the OOB write of the
+        // current call, so the first trigger poisons silently and only a
+        // subsequent SCSI ioctl crashes.
+        prepend_poison_entry_gate(
+            b,
+            &mut bugs,
+            scsi_id.index(),
+            ("sim_ata_pio_sector".to_string(), CrashCategory::OutOfBounds, root),
+        );
+        placed += 1;
+        for hi in handler_order {
+            if placed >= plan.poison_gates {
+                break;
+            }
+            if hi == scsi_id.index() {
+                continue;
+            }
+            let cat = poison_categories[placed % poison_categories.len()];
+            let loc = location_name(reg, b.handlers[hi].syscall);
+            if splice_poison_gate(b, &mut bugs, hi, (loc, cat, root)).is_some() {
+                placed += 1;
+            }
+        }
+    }
+
+    // --- Known bugs: shallow and loose. ----------------------------------
+    let known_categories = [
+        CrashCategory::Warning,
+        CrashCategory::GeneralProtectionFault,
+        CrashCategory::PagingFault,
+        CrashCategory::NullPointerDereference,
+        CrashCategory::AssertionViolation,
+    ];
+    let exclude = scsi.map(SyscallId::index);
+    place_on_depth(
+        reg,
+        b,
+        &mut bugs,
+        &mut rng,
+        plan.known,
+        1,
+        1,
+        true,
+        &known_categories,
+        exclude,
+    );
+
+    // --- New independent bugs: deep and narrow. --------------------------
+    let new_categories = [
+        CrashCategory::GeneralProtectionFault,
+        CrashCategory::PagingFault,
+        CrashCategory::OutOfBounds,
+        CrashCategory::NullPointerDereference,
+        CrashCategory::Warning,
+        CrashCategory::AssertionViolation,
+        CrashCategory::Other,
+    ];
+    place_on_depth(
+        reg,
+        b,
+        &mut bugs,
+        &mut rng,
+        plan.new_independent,
+        3,
+        u8::MAX,
+        false,
+        &new_categories,
+        exclude,
+    );
+
+    // --- Filtered-category noise. -----------------------------------------
+    let filtered_categories = [CrashCategory::InfoHang, CrashCategory::SyzFail];
+    place_on_depth(
+        reg,
+        b,
+        &mut bugs,
+        &mut rng,
+        plan.filtered,
+        1,
+        1,
+        true,
+        &filtered_categories,
+        exclude,
+    );
+
+    (bugs, ata_root)
+}
+
+/// Prepends a `Branch { Poisoned } -> crash` gate as the new *entry* of
+/// handler `hi`. Because the gate runs before the handler body, a call
+/// that poisons memory does not crash itself; only subsequent calls
+/// through this handler do.
+fn prepend_poison_entry_gate(
+    b: &mut KernelBuilder<'_>,
+    bugs: &mut BugRegistry,
+    hi: usize,
+    (loc, cat, root): (String, CrashCategory, BugId),
+) {
+    let handler = b.handlers[hi].clone();
+    let old_entry = handler.entry;
+    let crash_id = BlockId(b.blocks.len() as u32);
+    let bug = bugs.register(cat, loc, false, Some(root), crash_id, 0);
+    b.blocks.push(BasicBlock {
+        id: crash_id,
+        handler: handler.syscall,
+        text: vec![
+            crate::asm::Tok::op("mov"),
+            crate::asm::Tok::Reg(1),
+            crate::asm::Tok::State(31),
+            crate::asm::Tok::op("call"),
+            crate::asm::Tok::Func(13),
+        ],
+        effects: Vec::new(),
+        crash: Some(bug),
+        term: Terminator::Jump(old_entry),
+        gate_depth: 0,
+    });
+    let gate_id = BlockId(b.blocks.len() as u32);
+    b.blocks.push(BasicBlock {
+        id: gate_id,
+        handler: handler.syscall,
+        text: vec![
+            crate::asm::Tok::op("test"),
+            crate::asm::Tok::State(31),
+            crate::asm::Tok::State(31),
+            crate::asm::Tok::op("jne"),
+        ],
+        effects: Vec::new(),
+        crash: None,
+        term: Terminator::Branch {
+            pred: Predicate::Poisoned,
+            taken: crash_id,
+            fallthrough: old_entry,
+        },
+        gate_depth: 0,
+    });
+    b.handlers[hi].entry = gate_id;
+    b.handlers[hi].blocks.push(crash_id);
+    b.handlers[hi].blocks.push(gate_id);
+}
+
+/// Splices `Branch { Poisoned } -> crash` onto the first `Jump`-terminated
+/// block of handler `hi`. Returns the new crash block.
+fn splice_poison_gate(
+    b: &mut KernelBuilder<'_>,
+    bugs: &mut BugRegistry,
+    hi: usize,
+    (loc, cat, root): (String, CrashCategory, BugId),
+) -> Option<BlockId> {
+    let handler = b.handlers[hi].clone();
+    let at = handler.blocks.iter().copied().find(|blk| {
+        matches!(b.blocks[blk.index()].term, Terminator::Jump(_))
+            && *blk != handler.entry
+    })?;
+    let Terminator::Jump(next) = b.blocks[at.index()].term.clone() else {
+        return None;
+    };
+    // Allocate the crash block.
+    let crash_id = BlockId(b.blocks.len() as u32);
+    let depth = b.blocks[at.index()].gate_depth;
+    let bug = bugs.register(cat, loc, false, Some(root), crash_id, depth);
+    b.blocks.push(BasicBlock {
+        id: crash_id,
+        handler: handler.syscall,
+        text: vec![
+            crate::asm::Tok::op("mov"),
+            crate::asm::Tok::Reg(0),
+            crate::asm::Tok::State(31),
+            crate::asm::Tok::op("call"),
+            crate::asm::Tok::Func(13),
+        ],
+        effects: Vec::new(),
+        crash: Some(bug),
+        term: Terminator::Jump(next),
+        gate_depth: depth,
+    });
+    b.blocks[at.index()].term = Terminator::Branch {
+        pred: Predicate::Poisoned,
+        taken: crash_id,
+        fallthrough: next,
+    };
+    b.handlers[hi].blocks.push(crash_id);
+    Some(crash_id)
+}
+
+/// Attaches crashes to existing blocks whose gate depth lies in
+/// `[min_depth, max_depth]`, at most one per handler.
+#[allow(clippy::too_many_arguments)]
+fn place_on_depth(
+    reg: &Registry,
+    b: &mut KernelBuilder<'_>,
+    bugs: &mut BugRegistry,
+    rng: &mut StdRng,
+    count: usize,
+    min_depth: u8,
+    max_depth: u8,
+    known: bool,
+    categories: &[CrashCategory],
+    exclude: Option<usize>,
+) {
+    let mut handler_order: Vec<usize> = (0..b.handlers.len()).collect();
+    handler_order.shuffle(rng);
+    let mut placed = 0usize;
+    for hi in handler_order {
+        if placed >= count {
+            break;
+        }
+        if Some(hi) == exclude {
+            continue;
+        }
+        let handler = &b.handlers[hi];
+        // Deepest-first candidates within the depth window, skipping
+        // blocks that already crash or poison.
+        let mut candidates: Vec<BlockId> = handler
+            .blocks
+            .iter()
+            .copied()
+            .filter(|blk| {
+                let bb = &b.blocks[blk.index()];
+                bb.crash.is_none()
+                    && !bb.effects.contains(&Effect::Poison)
+                    && bb.gate_depth >= min_depth
+                    && bb.gate_depth <= max_depth
+                    && *blk != handler.entry
+                    && *blk != handler.exit
+            })
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        candidates.sort_by_key(|blk| std::cmp::Reverse(b.blocks[blk.index()].gate_depth));
+        let blk = candidates[0];
+        let cat = categories[placed % categories.len()];
+        let loc = location_name(reg, handler.syscall);
+        let depth = b.blocks[blk.index()].gate_depth;
+        let bug = bugs.register(cat, loc, known, None, blk, depth);
+        b.blocks[blk.index()].crash = Some(bug);
+        placed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_builds_with_expected_scale() {
+        let k = Kernel::build(KernelVersion::V6_8);
+        assert!(k.block_count() > 800, "only {} blocks", k.block_count());
+        assert_eq!(k.handlers().len(), k.registry().syscall_count());
+        assert!(k.bugs().len() >= 40, "only {} bugs", k.bugs().len());
+        assert!(k.ata_root_bug().is_some());
+    }
+
+    #[test]
+    fn versions_share_base_structure_and_bug_set() {
+        let a = Kernel::build(KernelVersion::V6_8);
+        let b = Kernel::build(KernelVersion::V6_9);
+        let c = Kernel::build(KernelVersion::V6_10);
+        assert!(b.block_count() > a.block_count());
+        assert!(c.block_count() > b.block_count());
+        // Same bug descriptions across versions.
+        let descs = |k: &Kernel| -> Vec<String> {
+            k.bugs().iter().map(|x| x.description.clone()).collect()
+        };
+        assert_eq!(descs(&a), descs(&b));
+        assert_eq!(descs(&b), descs(&c));
+        // Base blocks keep their handler assignment.
+        for i in 0..a.block_count() {
+            assert_eq!(
+                a.blocks()[i].handler,
+                b.blocks()[i].handler,
+                "block {i} drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn known_and_new_bug_depths_differ() {
+        let k = Kernel::build(KernelVersion::V6_8);
+        let known_max = k
+            .bugs()
+            .iter()
+            .filter(|b| b.known)
+            .map(|b| b.gate_depth)
+            .max()
+            .unwrap();
+        let new_independent_min = k
+            .bugs()
+            .iter()
+            .filter(|b| !b.known && b.root_cause.is_none() && !b.category.is_filtered())
+            .map(|b| b.gate_depth)
+            .min()
+            .unwrap();
+        assert!(known_max <= 1);
+        assert!(new_independent_min >= 2);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = Kernel::build(KernelVersion::V6_9);
+        let b = Kernel::build(KernelVersion::V6_9);
+        assert_eq!(a.blocks(), b.blocks());
+    }
+}

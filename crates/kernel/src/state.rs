@@ -1,0 +1,186 @@
+//! Persistent kernel state.
+//!
+//! State is what makes the simulated kernel *stateful*: handlers read
+//! counters and flags that other handlers wrote, creating the implicit
+//! cross-call dependencies (open-before-read, bind-before-listen, ...)
+//! that real kernel fuzzers must navigate. State also carries the runtime
+//! resource table (live file descriptors et al.) and the memory-poison bit
+//! used by the §5.3.2-style corruption bug.
+
+use snowplow_syslang::ResourceId;
+
+/// Number of abstract state counters/flags.
+pub const NUM_STATE_VARS: usize = 32;
+
+/// Index of one abstract state variable (counter + flag lane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StateVar(pub u8);
+
+impl StateVar {
+    /// The variable's index.
+    pub fn index(self) -> usize {
+        self.0 as usize % NUM_STATE_VARS
+    }
+}
+
+/// A live runtime resource (e.g. an open file descriptor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceEntry {
+    /// Description-level kind.
+    pub kind: ResourceId,
+    /// Whether the resource is still live (close marks it dead).
+    pub alive: bool,
+}
+
+/// Handle of a runtime resource within one VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Handle(pub u32);
+
+/// The mutable kernel state of one VM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelState {
+    counters: [u64; NUM_STATE_VARS],
+    flags: u32,
+    poisoned: bool,
+    resources: Vec<ResourceEntry>,
+}
+
+impl Default for KernelState {
+    fn default() -> Self {
+        KernelState {
+            counters: [0; NUM_STATE_VARS],
+            flags: 0,
+            poisoned: false,
+            resources: Vec::new(),
+        }
+    }
+}
+
+impl KernelState {
+    /// Pristine boot state.
+    pub fn new() -> Self {
+        KernelState::default()
+    }
+
+    /// Reads a counter.
+    pub fn counter(&self, var: StateVar) -> u64 {
+        self.counters[var.index()]
+    }
+
+    /// Increments a counter (saturating).
+    pub fn inc(&mut self, var: StateVar) {
+        let c = &mut self.counters[var.index()];
+        *c = c.saturating_add(1);
+    }
+
+    /// Decrements a counter (saturating).
+    pub fn dec(&mut self, var: StateVar) {
+        let c = &mut self.counters[var.index()];
+        *c = c.saturating_sub(1);
+    }
+
+    /// Reads a flag.
+    pub fn flag(&self, var: StateVar) -> bool {
+        self.flags & (1 << var.index()) != 0
+    }
+
+    /// Sets a flag.
+    pub fn set_flag(&mut self, var: StateVar) {
+        self.flags |= 1 << var.index();
+    }
+
+    /// Clears a flag.
+    pub fn clear_flag(&mut self, var: StateVar) {
+        self.flags &= !(1 << var.index());
+    }
+
+    /// Whether kernel memory has been corrupted by a poison-effect bug.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Marks kernel memory as corrupted. Only a VM restore clears this.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// Registers a new live resource and returns its handle.
+    pub fn produce_resource(&mut self, kind: ResourceId) -> Handle {
+        self.resources.push(ResourceEntry { kind, alive: true });
+        Handle(self.resources.len() as u32 - 1)
+    }
+
+    /// Whether `handle` is a live resource of kind `kind`.
+    pub fn resource_valid(&self, handle: Handle, kind: ResourceId) -> bool {
+        self.resources
+            .get(handle.0 as usize)
+            .is_some_and(|r| r.alive && r.kind == kind)
+    }
+
+    /// Marks a resource dead (idempotent; unknown handles are ignored).
+    pub fn kill_resource(&mut self, handle: Handle) {
+        if let Some(r) = self.resources.get_mut(handle.0 as usize) {
+            r.alive = false;
+        }
+    }
+
+    /// Number of resources ever produced in this VM.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_flags_are_independent_lanes() {
+        let mut s = KernelState::new();
+        s.inc(StateVar(3));
+        s.inc(StateVar(3));
+        s.set_flag(StateVar(3));
+        assert_eq!(s.counter(StateVar(3)), 2);
+        assert!(s.flag(StateVar(3)));
+        assert_eq!(s.counter(StateVar(4)), 0);
+        assert!(!s.flag(StateVar(4)));
+        s.clear_flag(StateVar(3));
+        assert!(!s.flag(StateVar(3)));
+        assert_eq!(s.counter(StateVar(3)), 2);
+    }
+
+    #[test]
+    fn state_var_wraps_index() {
+        let mut s = KernelState::new();
+        s.inc(StateVar(32 + 5));
+        assert_eq!(s.counter(StateVar(5)), 1);
+    }
+
+    #[test]
+    fn resource_lifecycle() {
+        let mut s = KernelState::new();
+        let fd_kind = ResourceId(0);
+        let sock_kind = ResourceId(1);
+        let h = s.produce_resource(fd_kind);
+        assert!(s.resource_valid(h, fd_kind));
+        assert!(!s.resource_valid(h, sock_kind));
+        s.kill_resource(h);
+        assert!(!s.resource_valid(h, fd_kind));
+        assert!(!s.resource_valid(Handle(99), fd_kind));
+    }
+
+    #[test]
+    fn poison_is_sticky() {
+        let mut s = KernelState::new();
+        assert!(!s.is_poisoned());
+        s.poison();
+        assert!(s.is_poisoned());
+    }
+
+    #[test]
+    fn dec_saturates() {
+        let mut s = KernelState::new();
+        s.dec(StateVar(0));
+        assert_eq!(s.counter(StateVar(0)), 0);
+    }
+}

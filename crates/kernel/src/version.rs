@@ -1,0 +1,80 @@
+//! Kernel versions.
+
+use std::fmt;
+
+/// The simulated kernel releases, modelled on the stable Linux releases
+/// the paper evaluates (6.8, 6.9, 6.10 — released at a two-month cadence
+/// between March and July 2024).
+///
+/// Versions form a structural chain: `V6_9` contains every handler region
+/// of `V6_8` plus new, version-specific regions; `V6_10` extends `V6_9`.
+/// A model trained on `V6_8` therefore faces genuinely unseen code when
+/// fuzzing the later versions, exactly like the paper's generalization
+/// experiment (Figure 6b–c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelVersion {
+    /// The release PMM is trained on.
+    V6_8,
+    /// One release later: adds new handler regions.
+    V6_9,
+    /// Two releases later: adds further regions on top of 6.9.
+    V6_10,
+}
+
+impl KernelVersion {
+    /// All versions, oldest first.
+    pub const ALL: [KernelVersion; 3] = [
+        KernelVersion::V6_8,
+        KernelVersion::V6_9,
+        KernelVersion::V6_10,
+    ];
+
+    /// How many drift passes (extra handler-region generations) this
+    /// version applies on top of the 6.8 base structure.
+    pub fn drift_passes(self) -> u32 {
+        match self {
+            KernelVersion::V6_8 => 0,
+            KernelVersion::V6_9 => 1,
+            KernelVersion::V6_10 => 2,
+        }
+    }
+
+    /// A seed namespace for this version's drift passes. The base
+    /// structure always uses the 6.8 namespace so it is shared.
+    pub fn drift_seed(self, pass: u32) -> u64 {
+        0x6b65_726e_0000_0000 | (u64::from(pass) << 8) | self as u64
+    }
+}
+
+impl fmt::Display for KernelVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelVersion::V6_8 => write!(f, "6.8"),
+            KernelVersion::V6_9 => write!(f, "6.9"),
+            KernelVersion::V6_10 => write!(f, "6.10"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_release_order() {
+        assert!(KernelVersion::V6_8 < KernelVersion::V6_9);
+        assert!(KernelVersion::V6_9 < KernelVersion::V6_10);
+    }
+
+    #[test]
+    fn drift_passes_accumulate() {
+        assert_eq!(KernelVersion::V6_8.drift_passes(), 0);
+        assert_eq!(KernelVersion::V6_9.drift_passes(), 1);
+        assert_eq!(KernelVersion::V6_10.drift_passes(), 2);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(KernelVersion::V6_10.to_string(), "6.10");
+    }
+}

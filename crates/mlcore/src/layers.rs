@@ -1,0 +1,138 @@
+//! Layer building blocks: linear projections and embedding tables.
+//!
+//! Layers own [`ParamId`]s into a shared [`Params`] store and know how to
+//! apply themselves on a [`Tape`], so model code reads like the math.
+
+use rand::prelude::*;
+
+use crate::matrix::Matrix;
+use crate::tape::{ParamId, Params, Tape, Var};
+
+/// A dense layer `x @ W + b`.
+#[derive(Debug, Clone, Copy)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    /// Input width.
+    pub in_dim: usize,
+    /// Output width.
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// Allocates a Xavier-initialized linear layer.
+    pub fn new(params: &mut Params, in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Linear {
+        let w = params.add(Matrix::xavier(in_dim, out_dim, rng));
+        let b = params.add(Matrix::zeros(1, out_dim));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Applies the layer to `x` (`n × in_dim`).
+    pub fn apply(&self, tape: &mut Tape<'_>, x: Var) -> Var {
+        let w = tape.param(self.w);
+        let b = tape.param(self.b);
+        let h = tape.matmul(x, w);
+        tape.add_row(h, b)
+    }
+}
+
+/// A learned embedding table (`vocab × dim`), looked up by row index.
+#[derive(Debug, Clone, Copy)]
+pub struct Embedding {
+    table: ParamId,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Embedding width.
+    pub dim: usize,
+}
+
+impl Embedding {
+    /// Allocates a table with small-normal initialization.
+    pub fn new(params: &mut Params, vocab: usize, dim: usize, rng: &mut StdRng) -> Embedding {
+        let mut m = Matrix::zeros(vocab, dim);
+        for v in m.data_mut() {
+            *v = rng.random_range(-0.05..0.05);
+        }
+        let table = params.add(m);
+        Embedding { table, vocab, dim }
+    }
+
+    /// Looks up rows `idx` (`idx.len() × dim`).
+    pub fn lookup(&self, tape: &mut Tape<'_>, idx: &[usize]) -> Var {
+        debug_assert!(idx.iter().all(|&i| i < self.vocab));
+        let t = tape.param(self.table);
+        tape.gather_rows(t, idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::optim::AdamConfig;
+
+    use super::*;
+
+    #[test]
+    fn linear_learns_identity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut params = Params::new();
+        let layer = Linear::new(&mut params, 2, 2, &mut rng);
+        let mut adam = AdamConfig {
+            lr: 0.05,
+            ..AdamConfig::default()
+        }
+        .optimizer();
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[0.5, -0.5]]);
+        let y = [1.0f32, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, -0.5];
+        for _ in 0..500 {
+            let mut tape = Tape::new(&mut params);
+            let xv = tape.constant(x.clone());
+            let h = layer.apply(&mut tape, xv);
+            let loss = tape.mse(h, &y);
+            tape.backward(loss);
+            adam.step(&mut params);
+        }
+        let mut tape = Tape::new(&mut params);
+        let xv = tape.constant(x);
+        let h = layer.apply(&mut tape, xv);
+        let out = tape.value(h);
+        for (i, &t) in y.iter().enumerate() {
+            let got = out.data()[i];
+            assert!((got - t).abs() < 0.1, "index {i}: {got} vs {t}");
+        }
+    }
+
+    #[test]
+    fn embedding_lookup_is_trainable() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut params = Params::new();
+        let emb = Embedding::new(&mut params, 4, 3, &mut rng);
+        let mut adam = AdamConfig {
+            lr: 0.1,
+            ..AdamConfig::default()
+        }
+        .optimizer();
+        // Train token 2's embedding toward a target; token 1 untouched.
+        let before_t1 = params.get_table(emb).row(1).to_vec();
+        for _ in 0..200 {
+            let mut tape = Tape::new(&mut params);
+            let e = emb.lookup(&mut tape, &[2]);
+            let loss = tape.mse(e, &[1.0, -1.0, 0.5]);
+            tape.backward(loss);
+            adam.step(&mut params);
+        }
+        let after = params.get_table(emb);
+        assert!((after.at(2, 0) - 1.0).abs() < 0.05);
+        assert_eq!(after.row(1), &before_t1[..], "untouched row must not move");
+    }
+
+    impl Params {
+        fn get_table(&self, e: Embedding) -> &Matrix {
+            self.get(e.table)
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! A minimal machine-learning core: dense matrices, reverse-mode
+//! automatic differentiation, layers, and the Adam optimizer.
+//!
+//! This crate replaces the paper's PyTorch Geometric + fairseq stack with
+//! a self-contained implementation sized for the simulated-kernel learning
+//! problem: everything runs on the CPU in `f32`, shapes are 2-D
+//! (`rows × cols`), and the op set covers exactly what a Transformer-style
+//! token encoder plus a relational message-passing GNN need — matmul
+//! (plain and transposed), elementwise arithmetic, activations, row-wise
+//! softmax, RMS normalization, row gather/scatter-add (embedding lookup
+//! and graph aggregation), and a masked binary-cross-entropy head.
+//!
+//! # Example: fitting a linear probe
+//!
+//! ```
+//! use snowplow_mlcore::{Matrix, Params, Tape, AdamConfig};
+//!
+//! let mut params = Params::new();
+//! let w = params.add(Matrix::zeros(2, 1));
+//! let mut adam = AdamConfig::default().optimizer();
+//! // Learn y = x0 + x1.
+//! let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+//! let y = [1.0f32, 1.0, 2.0];
+//! for _ in 0..400 {
+//!     let mut tape = Tape::new(&mut params);
+//!     let wv = tape.param(w);
+//!     let xv = tape.constant(x.clone());
+//!     let pred = tape.matmul(xv, wv);
+//!     let loss = tape.mse(pred, &y);
+//!     tape.backward(loss);
+//!     adam.step(&mut params);
+//! }
+//! let learned = params.get(w);
+//! assert!((learned.at(0, 0) - 1.0).abs() < 0.05);
+//! assert!((learned.at(1, 0) - 1.0).abs() < 0.05);
+//! ```
+
+pub mod io;
+pub mod layers;
+pub mod matrix;
+pub mod metrics;
+pub mod optim;
+pub mod tape;
+
+pub use layers::{Embedding, Linear};
+pub use matrix::Matrix;
+pub use metrics::BinaryMetrics;
+pub use optim::{Adam, AdamConfig};
+pub use tape::{ParamId, Params, Tape, Var};

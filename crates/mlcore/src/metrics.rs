@@ -1,0 +1,147 @@
+//! Classification metrics: the per-example precision / recall / F1 /
+//! Jaccard scheme of §5.1–§5.2.
+//!
+//! The paper scores an argument-selection example by comparing the
+//! predicted argument set `ŷ` with the ground-truth set `y`: precision
+//! `|y ∩ ŷ| / |ŷ|`, recall `|y ∩ ŷ| / |y|`, F1 their harmonic mean, and
+//! Jaccard `|y ∩ ŷ| / |y ∪ ŷ|`, then averages each metric over examples.
+
+/// Per-example binary set metrics, aggregated by averaging.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BinaryMetrics {
+    /// Mean precision.
+    pub precision: f64,
+    /// Mean recall.
+    pub recall: f64,
+    /// Mean F1.
+    pub f1: f64,
+    /// Mean Jaccard index.
+    pub jaccard: f64,
+    /// Number of examples aggregated.
+    pub count: usize,
+}
+
+impl BinaryMetrics {
+    /// Scores one example given the intersection and set sizes.
+    pub fn of_example(intersection: usize, predicted: usize, truth: usize) -> BinaryMetrics {
+        let p = if predicted == 0 {
+            // An empty prediction is vacuously precise only when the truth
+            // is empty too.
+            if truth == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            intersection as f64 / predicted as f64
+        };
+        let r = if truth == 0 {
+            1.0
+        } else {
+            intersection as f64 / truth as f64
+        };
+        let f1 = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+        let union = predicted + truth - intersection;
+        let j = if union == 0 {
+            1.0
+        } else {
+            intersection as f64 / union as f64
+        };
+        BinaryMetrics {
+            precision: p,
+            recall: r,
+            f1,
+            jaccard: j,
+            count: 1,
+        }
+    }
+
+    /// Scores one example from label vectors (`true` = selected).
+    pub fn of_sets(predicted: &[bool], truth: &[bool]) -> BinaryMetrics {
+        assert_eq!(predicted.len(), truth.len());
+        let inter = predicted
+            .iter()
+            .zip(truth)
+            .filter(|(p, t)| **p && **t)
+            .count();
+        let np = predicted.iter().filter(|p| **p).count();
+        let nt = truth.iter().filter(|t| **t).count();
+        BinaryMetrics::of_example(inter, np, nt)
+    }
+
+    /// Averages a collection of per-example metrics.
+    pub fn mean(items: impl IntoIterator<Item = BinaryMetrics>) -> BinaryMetrics {
+        let mut acc = BinaryMetrics::default();
+        for m in items {
+            acc.precision += m.precision * m.count as f64;
+            acc.recall += m.recall * m.count as f64;
+            acc.f1 += m.f1 * m.count as f64;
+            acc.jaccard += m.jaccard * m.count as f64;
+            acc.count += m.count;
+        }
+        if acc.count > 0 {
+            let n = acc.count as f64;
+            acc.precision /= n;
+            acc.recall /= n;
+            acc.f1 /= n;
+            acc.jaccard /= n;
+        }
+        acc
+    }
+}
+
+impl std::fmt::Display for BinaryMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "F1 {:.1}% | P {:.1}% | R {:.1}% | Jaccard {:.1}% (n={})",
+            self.f1 * 100.0,
+            self.precision * 100.0,
+            self.recall * 100.0,
+            self.jaccard * 100.0,
+            self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let m = BinaryMetrics::of_sets(&[true, false, true], &[true, false, true]);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.jaccard, 1.0);
+    }
+
+    #[test]
+    fn half_overlap() {
+        // pred {0,1}, truth {1,2}: inter 1, |pred| 2, |truth| 2, union 3.
+        let m = BinaryMetrics::of_sets(&[true, true, false], &[false, true, true]);
+        assert!((m.precision - 0.5).abs() < 1e-9);
+        assert!((m.recall - 0.5).abs() < 1e-9);
+        assert!((m.f1 - 0.5).abs() < 1e-9);
+        assert!((m.jaccard - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let none = BinaryMetrics::of_sets(&[false; 3], &[false; 3]);
+        assert_eq!(none.f1, 1.0);
+        let miss = BinaryMetrics::of_sets(&[false; 3], &[true, false, false]);
+        assert_eq!(miss.recall, 0.0);
+        assert_eq!(miss.precision, 0.0);
+    }
+
+    #[test]
+    fn mean_weights_by_count() {
+        let a = BinaryMetrics::of_sets(&[true], &[true]); // all 1.0
+        let b = BinaryMetrics::of_sets(&[true, false], &[false, true]); // all 0.0
+        let m = BinaryMetrics::mean([a, b]);
+        assert!((m.f1 - 0.5).abs() < 1e-9);
+        assert_eq!(m.count, 2);
+    }
+}

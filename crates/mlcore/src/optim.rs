@@ -1,0 +1,179 @@
+//! The Adam optimizer.
+
+use crate::matrix::Matrix;
+use crate::tape::Params;
+
+/// Adam hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical stabilizer.
+    pub eps: f32,
+    /// Gradient-norm clip applied per parameter matrix (0 disables).
+    pub clip: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            lr: 1e-2,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip: 5.0,
+        }
+    }
+}
+
+impl AdamConfig {
+    /// Builds an optimizer with these hyperparameters.
+    pub fn optimizer(self) -> Adam {
+        Adam {
+            config: self,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+}
+
+/// Adam optimizer state (first/second moments per parameter).
+#[derive(Debug)]
+pub struct Adam {
+    config: AdamConfig,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+    t: u64,
+}
+
+impl Adam {
+    /// The configured learning rate.
+    pub fn lr(&self) -> f32 {
+        self.config.lr
+    }
+
+    /// Overrides the learning rate (e.g. for decay schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.config.lr = lr;
+    }
+
+    /// Applies one update from the accumulated gradients, then zeroes
+    /// them. Moment buffers are lazily sized on first use.
+    pub fn step(&mut self, params: &mut Params) {
+        self.t += 1;
+        let t = self.t as f32;
+        let c = self.config;
+        let bias1 = 1.0 - c.beta1.powf(t);
+        let bias2 = 1.0 - c.beta2.powf(t);
+        for i in 0..params.len() {
+            let id = crate::tape::ParamId(i);
+            if self.m.len() <= i {
+                let (r, cdim) = params.get(id).shape();
+                self.m.push(Matrix::zeros(r, cdim));
+                self.v.push(Matrix::zeros(r, cdim));
+            }
+            // Clip.
+            let mut gnorm = 0.0f32;
+            if c.clip > 0.0 {
+                gnorm = params.grad(id).norm();
+            }
+            let scale = if c.clip > 0.0 && gnorm > c.clip {
+                c.clip / gnorm
+            } else {
+                1.0
+            };
+            let n = params.get(id).rows() * params.get(id).cols();
+            for k in 0..n {
+                let g = params.grad(id).data()[k] * scale;
+                let m = &mut self.m[i].data_mut()[k];
+                *m = c.beta1 * *m + (1.0 - c.beta1) * g;
+                let v = &mut self.v[i].data_mut()[k];
+                *v = c.beta2 * *v + (1.0 - c.beta2) * g * g;
+                let mhat = self.m[i].data()[k] / bias1;
+                let vhat = self.v[i].data()[k] / bias2;
+                params.get_mut(id).data_mut()[k] -= c.lr * mhat / (vhat.sqrt() + c.eps);
+            }
+        }
+        params.zero_grads();
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tape::Tape;
+
+    use super::*;
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut params = Params::new();
+        let p = params.add(Matrix::full(1, 1, 5.0));
+        let mut adam = AdamConfig {
+            lr: 0.1,
+            ..AdamConfig::default()
+        }
+        .optimizer();
+        for _ in 0..300 {
+            let mut tape = Tape::new(&mut params);
+            let w = tape.param(p);
+            let loss = tape.mse(w, &[1.5]);
+            tape.backward(loss);
+            adam.step(&mut params);
+        }
+        assert!(
+            (params.get(p).at(0, 0) - 1.5).abs() < 0.05,
+            "got {}",
+            params.get(p).at(0, 0)
+        );
+        assert_eq!(adam.steps(), 300);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut params = Params::new();
+        let p = params.add(Matrix::full(1, 1, 1.0));
+        let mut adam = AdamConfig::default().optimizer();
+        {
+            let mut tape = Tape::new(&mut params);
+            let w = tape.param(p);
+            let loss = tape.mse(w, &[0.0]);
+            tape.backward(loss);
+        }
+        assert!(params.grad(p).at(0, 0) != 0.0);
+        adam.step(&mut params);
+        assert_eq!(params.grad(p).at(0, 0), 0.0);
+    }
+
+    #[test]
+    fn clipping_bounds_updates() {
+        let mut params = Params::new();
+        let p = params.add(Matrix::full(1, 1, 0.0));
+        let mut adam = AdamConfig {
+            lr: 1.0,
+            clip: 0.001,
+            ..AdamConfig::default()
+        }
+        .optimizer();
+        {
+            let mut tape = Tape::new(&mut params);
+            let w = tape.param(p);
+            let s = tape.scale(w, 1e6);
+            let loss = tape.mse(s, &[1e6]);
+            tape.backward(loss);
+        }
+        adam.step(&mut params);
+        // Despite an enormous gradient, the first Adam step is bounded by
+        // lr (moment normalization) and clipping keeps it finite.
+        assert!(params.get(p).at(0, 0).abs() <= 1.0 + 1e-3);
+    }
+}

@@ -1,0 +1,708 @@
+//! Reverse-mode automatic differentiation on a tape.
+//!
+//! A [`Tape`] records every operation of one forward pass; calling
+//! [`Tape::backward`] on a scalar loss walks the tape in reverse,
+//! accumulating gradients into the [`Params`] store. Parameter gradients
+//! persist across tapes until an optimizer step consumes them, so
+//! mini-batches are just several tapes before one `step`.
+
+use crate::matrix::Matrix;
+
+/// Identifier of a trainable parameter matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub usize);
+
+/// The store of trainable parameters and their accumulated gradients.
+#[derive(Debug, Clone, Default)]
+pub struct Params {
+    mats: Vec<Matrix>,
+    grads: Vec<Matrix>,
+}
+
+impl Params {
+    /// An empty store.
+    pub fn new() -> Params {
+        Params::default()
+    }
+
+    /// Adds a parameter, returning its id.
+    pub fn add(&mut self, m: Matrix) -> ParamId {
+        let id = ParamId(self.mats.len());
+        self.grads.push(Matrix::zeros(m.rows(), m.cols()));
+        self.mats.push(m);
+        id
+    }
+
+    /// Reads a parameter.
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.mats[id.0]
+    }
+
+    /// Mutates a parameter (used by optimizers and loaders).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.mats[id.0]
+    }
+
+    /// Reads a parameter's accumulated gradient.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.grads[id.0]
+    }
+
+    /// Mutable gradient access.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.grads[id.0]
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.map_inplace(|_| 0.0);
+        }
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.mats.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mats.is_empty()
+    }
+
+    /// Total scalar count across all parameters.
+    pub fn scalar_count(&self) -> usize {
+        self.mats.iter().map(|m| m.rows() * m.cols()).sum()
+    }
+}
+
+/// A value on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug)]
+enum Op {
+    Constant,
+    Param(ParamId),
+    MatMul(Var, Var),
+    MatMulT(Var, Var),
+    Add(Var, Var),
+    AddRowBroadcast(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f32),
+    Relu(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    SoftmaxRows(Var),
+    RmsNormRows(Var),
+    GatherRows(Var, Vec<usize>),
+    ScatterAddRows(Var, Vec<usize>, usize),
+    ScaleRows(Var, Vec<f32>),
+    MeanRows(Var),
+    BceWithLogits {
+        x: Var,
+        targets: Vec<f32>,
+        weights: Vec<f32>,
+    },
+    Mse {
+        x: Var,
+        targets: Vec<f32>,
+    },
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// One forward pass under construction.
+#[derive(Debug)]
+pub struct Tape<'p> {
+    params: &'p mut Params,
+    nodes: Vec<Node>,
+}
+
+const RMS_EPS: f32 = 1e-6;
+
+impl<'p> Tape<'p> {
+    /// Starts a tape over a parameter store.
+    pub fn new(params: &'p mut Params) -> Self {
+        Tape {
+            params,
+            nodes: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// The current value of a tape variable.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Introduces a constant (no gradient).
+    pub fn constant(&mut self, m: Matrix) -> Var {
+        self.push(m, Op::Constant)
+    }
+
+    /// Introduces a parameter leaf; backward accumulates into its grad.
+    pub fn param(&mut self, id: ParamId) -> Var {
+        let value = self.params.get(id).clone();
+        self.push(value, Op::Param(id))
+    }
+
+    /// `a @ b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(value, Op::MatMul(a, b))
+    }
+
+    /// `a @ b.T`.
+    pub fn matmul_t(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul_t(self.value(b));
+        self.push(value, Op::MatMulT(a, b))
+    }
+
+    /// Elementwise `a + b` (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let mut value = self.value(a).clone();
+        value.add_assign(self.value(b));
+        self.push(value, Op::Add(a, b))
+    }
+
+    /// `a + b` where `b` is `1 × d`, broadcast over `a`'s rows.
+    pub fn add_row(&mut self, a: Var, b: Var) -> Var {
+        let bm = self.value(b);
+        assert_eq!(bm.rows(), 1, "row broadcast needs a 1-row rhs");
+        assert_eq!(bm.cols(), self.value(a).cols());
+        let mut value = self.value(a).clone();
+        let brow: Vec<f32> = self.value(b).row(0).to_vec();
+        for r in 0..value.rows() {
+            for (v, bv) in value.row_mut(r).iter_mut().zip(&brow) {
+                *v += bv;
+            }
+        }
+        self.push(value, Op::AddRowBroadcast(a, b))
+    }
+
+    /// Elementwise `a * b`.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let bm = self.value(b).clone();
+        let mut value = self.value(a).clone();
+        assert_eq!(value.shape(), bm.shape());
+        for (x, y) in value.data_mut().iter_mut().zip(bm.data()) {
+            *x *= y;
+        }
+        self.push(value, Op::Mul(a, b))
+    }
+
+    /// `a * s`.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let value = self.value(a).map(|v| v * s);
+        self.push(value, Op::Scale(a, s))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| v.max(0.0));
+        self.push(value, Op::Relu(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.push(value, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::tanh);
+        self.push(value, Op::Tanh(a))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let mut value = self.value(a).clone();
+        for r in 0..value.rows() {
+            let row = value.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum.max(1e-12);
+            }
+        }
+        self.push(value, Op::SoftmaxRows(a))
+    }
+
+    /// Row-wise RMS normalization (`x / rms(x)`), the parameter-free
+    /// normalizer this stack uses in place of LayerNorm.
+    pub fn rms_norm_rows(&mut self, a: Var) -> Var {
+        let mut value = self.value(a).clone();
+        for r in 0..value.rows() {
+            let row = value.row_mut(r);
+            let ms = row.iter().map(|v| v * v).sum::<f32>() / row.len().max(1) as f32;
+            let inv = 1.0 / (ms + RMS_EPS).sqrt();
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+        self.push(value, Op::RmsNormRows(a))
+    }
+
+    /// Selects rows `idx` of `a` (embedding lookup; indices may repeat).
+    pub fn gather_rows(&mut self, a: Var, idx: &[usize]) -> Var {
+        let src = self.value(a);
+        let mut value = Matrix::zeros(idx.len(), src.cols());
+        for (i, &r) in idx.iter().enumerate() {
+            value.row_mut(i).copy_from_slice(src.row(r));
+        }
+        self.push(value, Op::GatherRows(a, idx.to_vec()))
+    }
+
+    /// Scatter-add: `out[idx[i]] += a[i]`, producing `out_rows × d`
+    /// (graph message aggregation).
+    pub fn scatter_add_rows(&mut self, a: Var, idx: &[usize], out_rows: usize) -> Var {
+        let src = self.value(a);
+        assert_eq!(src.rows(), idx.len(), "one index per input row");
+        let mut value = Matrix::zeros(out_rows, src.cols());
+        for (i, &r) in idx.iter().enumerate() {
+            debug_assert!(r < out_rows);
+            let srow: Vec<f32> = src.row(i).to_vec();
+            for (o, s) in value.row_mut(r).iter_mut().zip(&srow) {
+                *o += s;
+            }
+        }
+        self.push(value, Op::ScatterAddRows(a, idx.to_vec(), out_rows))
+    }
+
+    /// Multiplies each row `i` by the constant `scales[i]` (e.g. inverse
+    /// in-degree normalization; no gradient flows into the scales).
+    pub fn scale_rows(&mut self, a: Var, scales: &[f32]) -> Var {
+        let mut value = self.value(a).clone();
+        assert_eq!(value.rows(), scales.len());
+        for (r, &s) in scales.iter().enumerate() {
+            for v in value.row_mut(r) {
+                *v *= s;
+            }
+        }
+        self.push(value, Op::ScaleRows(a, scales.to_vec()))
+    }
+
+    /// Mean over rows: `n × d -> 1 × d`.
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let src = self.value(a);
+        let n = src.rows().max(1);
+        let mut value = Matrix::zeros(1, src.cols());
+        for r in 0..src.rows() {
+            for (o, v) in value.row_mut(0).iter_mut().zip(src.row(r)) {
+                *o += v;
+            }
+        }
+        value.map_inplace(|v| v / n as f32);
+        self.push(value, Op::MeanRows(a))
+    }
+
+    /// Weighted binary cross-entropy with logits. `x` is `n × 1`;
+    /// `targets` and `weights` have length `n`. Entries with zero weight
+    /// do not contribute. Returns a `1 × 1` loss (weight-normalized).
+    pub fn bce_with_logits(&mut self, x: Var, targets: &[f32], weights: &[f32]) -> Var {
+        let xm = self.value(x);
+        assert_eq!(xm.cols(), 1, "logits must be a column");
+        assert_eq!(xm.rows(), targets.len());
+        assert_eq!(xm.rows(), weights.len());
+        let wsum: f32 = weights.iter().sum::<f32>().max(1e-12);
+        let mut loss = 0.0;
+        for i in 0..targets.len() {
+            let z = xm.at(i, 0);
+            let t = targets[i];
+            // Stable BCE-with-logits: max(z,0) - z*t + ln(1+e^{-|z|}).
+            let l = z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln();
+            loss += weights[i] * l;
+        }
+        let value = Matrix::full(1, 1, loss / wsum);
+        self.push(
+            value,
+            Op::BceWithLogits {
+                x,
+                targets: targets.to_vec(),
+                weights: weights.to_vec(),
+            },
+        )
+    }
+
+    /// Mean squared error against `targets` (x flattened row-major).
+    pub fn mse(&mut self, x: Var, targets: &[f32]) -> Var {
+        let xm = self.value(x);
+        assert_eq!(xm.rows() * xm.cols(), targets.len());
+        let n = targets.len().max(1) as f32;
+        let loss = xm
+            .data()
+            .iter()
+            .zip(targets)
+            .map(|(a, t)| (a - t) * (a - t))
+            .sum::<f32>()
+            / n;
+        let value = Matrix::full(1, 1, loss);
+        self.push(
+            value,
+            Op::Mse {
+                x,
+                targets: targets.to_vec(),
+            },
+        )
+    }
+
+    /// Runs backward from the scalar `loss`, accumulating parameter
+    /// gradients into the store.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 × 1`.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
+        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Matrix::full(1, 1, 1.0));
+
+        for i in (0..self.nodes.len()).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            // Re-take the gradient for potential later references (a node
+            // used twice accumulates); we put it back at the end.
+            match &self.nodes[i].op {
+                Op::Constant => {}
+                Op::Param(id) => {
+                    self.params.grads[id.0].add_assign(&g);
+                }
+                Op::MatMul(a, b) => {
+                    let ga = g.matmul_t(&self.nodes[b.0].value);
+                    let gb = self.nodes[a.0].value.t_matmul(&g);
+                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, b.0, gb);
+                }
+                Op::MatMulT(a, b) => {
+                    // out = a @ b.T ; g: n×m
+                    let ga = g.matmul(&self.nodes[b.0].value);
+                    let gb = g.t_matmul(&self.nodes[a.0].value);
+                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, b.0, gb);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, a.0, g.clone());
+                    accumulate(&mut grads, b.0, g.clone());
+                }
+                Op::AddRowBroadcast(a, b) => {
+                    accumulate(&mut grads, a.0, g.clone());
+                    let mut gb = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (o, v) in gb.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *o += v;
+                        }
+                    }
+                    accumulate(&mut grads, b.0, gb);
+                }
+                Op::Mul(a, b) => {
+                    let mut ga = g.clone();
+                    for (x, y) in ga.data_mut().iter_mut().zip(self.nodes[b.0].value.data()) {
+                        *x *= y;
+                    }
+                    let mut gb = g.clone();
+                    for (x, y) in gb.data_mut().iter_mut().zip(self.nodes[a.0].value.data()) {
+                        *x *= y;
+                    }
+                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, b.0, gb);
+                }
+                Op::Scale(a, s) => {
+                    accumulate(&mut grads, a.0, g.map(|v| v * s));
+                }
+                Op::Relu(a) => {
+                    let mut ga = g.clone();
+                    for (x, inp) in ga.data_mut().iter_mut().zip(self.nodes[a.0].value.data()) {
+                        if *inp <= 0.0 {
+                            *x = 0.0;
+                        }
+                    }
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[i].value;
+                    let mut ga = g.clone();
+                    for (x, yv) in ga.data_mut().iter_mut().zip(y.data()) {
+                        *x *= yv * (1.0 - yv);
+                    }
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[i].value;
+                    let mut ga = g.clone();
+                    for (x, yv) in ga.data_mut().iter_mut().zip(y.data()) {
+                        *x *= 1.0 - yv * yv;
+                    }
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::SoftmaxRows(a) => {
+                    let y = &self.nodes[i].value;
+                    let mut ga = Matrix::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let dot: f32 = g.row(r).iter().zip(y.row(r)).map(|(a, b)| a * b).sum();
+                        for c in 0..y.cols() {
+                            *ga.at_mut(r, c) = y.at(r, c) * (g.at(r, c) - dot);
+                        }
+                    }
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::RmsNormRows(a) => {
+                    let x = &self.nodes[a.0].value;
+                    let mut ga = Matrix::zeros(x.rows(), x.cols());
+                    let d = x.cols().max(1) as f32;
+                    for r in 0..x.rows() {
+                        let ms = x.row(r).iter().map(|v| v * v).sum::<f32>() / d;
+                        let inv = 1.0 / (ms + RMS_EPS).sqrt();
+                        let gx: f32 = g.row(r).iter().zip(x.row(r)).map(|(a, b)| a * b).sum();
+                        for c in 0..x.cols() {
+                            *ga.at_mut(r, c) =
+                                g.at(r, c) * inv - x.at(r, c) * inv.powi(3) * gx / d;
+                        }
+                    }
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::GatherRows(a, idx) => {
+                    let src = &self.nodes[a.0].value;
+                    let mut ga = Matrix::zeros(src.rows(), src.cols());
+                    for (i2, &r) in idx.iter().enumerate() {
+                        for (o, v) in ga.row_mut(r).iter_mut().zip(g.row(i2)) {
+                            *o += v;
+                        }
+                    }
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::ScatterAddRows(a, idx, out_rows) => {
+                    debug_assert_eq!(g.rows(), *out_rows);
+                    let src = &self.nodes[a.0].value;
+                    let mut ga = Matrix::zeros(src.rows(), src.cols());
+                    for (i2, &r) in idx.iter().enumerate() {
+                        ga.row_mut(i2).copy_from_slice(g.row(r));
+                    }
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::ScaleRows(a, scales) => {
+                    let mut ga = g.clone();
+                    for (r, &s) in scales.iter().enumerate() {
+                        for v in ga.row_mut(r) {
+                            *v *= s;
+                        }
+                    }
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::MeanRows(a) => {
+                    let src = &self.nodes[a.0].value;
+                    let n = src.rows().max(1) as f32;
+                    let mut ga = Matrix::zeros(src.rows(), src.cols());
+                    for r in 0..src.rows() {
+                        for (o, v) in ga.row_mut(r).iter_mut().zip(g.row(0)) {
+                            *o += v / n;
+                        }
+                    }
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::BceWithLogits {
+                    x,
+                    targets,
+                    weights,
+                } => {
+                    let xm = &self.nodes[x.0].value;
+                    let wsum: f32 = weights.iter().sum::<f32>().max(1e-12);
+                    let gscale = g.at(0, 0) / wsum;
+                    let mut ga = Matrix::zeros(xm.rows(), 1);
+                    for i2 in 0..targets.len() {
+                        let y = 1.0 / (1.0 + (-xm.at(i2, 0)).exp());
+                        *ga.at_mut(i2, 0) = gscale * weights[i2] * (y - targets[i2]);
+                    }
+                    accumulate(&mut grads, x.0, ga);
+                }
+                Op::Mse { x, targets } => {
+                    let xm = &self.nodes[x.0].value;
+                    let n = targets.len().max(1) as f32;
+                    let gscale = g.at(0, 0);
+                    let mut ga = Matrix::zeros(xm.rows(), xm.cols());
+                    for (o, (v, t)) in ga
+                        .data_mut()
+                        .iter_mut()
+                        .zip(xm.data().iter().zip(targets))
+                    {
+                        *o = gscale * 2.0 * (v - t) / n;
+                    }
+                    accumulate(&mut grads, x.0, ga);
+                }
+            }
+        }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Matrix>], idx: usize, g: Matrix) {
+    match &mut grads[idx] {
+        Some(existing) => existing.add_assign(&g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::prelude::*;
+
+    use super::*;
+
+    /// Numerical gradient check for a scalar-valued builder.
+    fn grad_check(build: impl Fn(&mut Tape<'_>, ParamId) -> Var, shape: (usize, usize)) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut params = Params::new();
+        let p = params.add(Matrix::xavier(shape.0, shape.1, &mut rng));
+
+        // Analytic gradient.
+        {
+            let mut tape = Tape::new(&mut params);
+            let loss = {
+                let pv = p;
+                let l = build(&mut tape, pv);
+                l
+            };
+            tape.backward(loss);
+        }
+        let analytic = params.grad(p).clone();
+
+        // Numerical gradient.
+        let eps = 1e-3f32;
+        for r in 0..shape.0 {
+            for c in 0..shape.1 {
+                let orig = params.get(p).at(r, c);
+                *params.get_mut(p).at_mut(r, c) = orig + eps;
+                let up = {
+                    let mut tape = Tape::new(&mut params);
+                    let l = build(&mut tape, p);
+                    tape.value(l).at(0, 0)
+                };
+                *params.get_mut(p).at_mut(r, c) = orig - eps;
+                let down = {
+                    let mut tape = Tape::new(&mut params);
+                    let l = build(&mut tape, p);
+                    tape.value(l).at(0, 0)
+                };
+                *params.get_mut(p).at_mut(r, c) = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                let a = analytic.at(r, c);
+                assert!(
+                    (a - numeric).abs() < 2e-2 + 0.05 * numeric.abs(),
+                    "grad mismatch at ({r},{c}): analytic {a}, numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_matmul_relu_bce() {
+        grad_check(
+            |tape, p| {
+                let w = tape.param(p);
+                let x = tape.constant(Matrix::from_rows(&[
+                    &[0.5, -0.2, 0.1],
+                    &[-0.4, 0.3, 0.9],
+                    &[0.2, 0.8, -0.5],
+                    &[0.1, 0.1, 0.4],
+                ]));
+                let h = tape.matmul(x, w);
+                let h = tape.relu(h);
+                let one = tape.constant(Matrix::full(1, 1, 1.0));
+                let _ = one;
+                tape.bce_with_logits(h, &[1.0, 0.0, 1.0, 0.0], &[1.0, 1.0, 0.5, 2.0])
+            },
+            (3, 1),
+        );
+    }
+
+    #[test]
+    fn grad_softmax_attention_path() {
+        grad_check(
+            |tape, p| {
+                let w = tape.param(p);
+                let x = tape.constant(Matrix::from_rows(&[
+                    &[0.3, -0.1, 0.2, 0.4],
+                    &[-0.2, 0.5, 0.1, -0.3],
+                    &[0.7, 0.2, -0.4, 0.1],
+                ]));
+                let q = tape.matmul(x, w);
+                let scores = tape.matmul_t(q, q);
+                let attn = tape.softmax_rows(scores);
+                let mixed = tape.matmul(attn, q);
+                let pooled = tape.mean_rows(mixed);
+                let s = tape.tanh(pooled);
+                tape.mse(s, &[0.3, -0.2, 0.5, 0.1])
+            },
+            (4, 4),
+        );
+    }
+
+    #[test]
+    fn grad_gather_scatter_norm() {
+        grad_check(
+            |tape, p| {
+                let emb = tape.param(p);
+                let rows = tape.gather_rows(emb, &[0, 2, 1, 2, 0]);
+                let rows = tape.rms_norm_rows(rows);
+                let agg = tape.scatter_add_rows(rows, &[0, 1, 1, 0, 2], 3);
+                let agg = tape.scale_rows(agg, &[0.5, 0.5, 1.0]);
+                let s = tape.sigmoid(agg);
+                let pooled = tape.mean_rows(s);
+                tape.mse(pooled, &[0.4, 0.6])
+            },
+            (3, 2),
+        );
+    }
+
+    #[test]
+    fn grad_broadcast_and_mul() {
+        grad_check(
+            |tape, p| {
+                let b = tape.param(p);
+                let x = tape.constant(Matrix::from_rows(&[&[0.2, -0.4], &[0.5, 0.3]]));
+                let h = tape.add_row(x, b);
+                let h2 = tape.mul(h, h);
+                let s = tape.scale(h2, 0.5);
+                let pooled = tape.mean_rows(s);
+                tape.mse(pooled, &[0.1, 0.2])
+            },
+            (1, 2),
+        );
+    }
+
+    #[test]
+    fn gradients_accumulate_across_tapes() {
+        let mut params = Params::new();
+        let p = params.add(Matrix::full(1, 1, 2.0));
+        for _ in 0..2 {
+            let mut tape = Tape::new(&mut params);
+            let w = tape.param(p);
+            let loss = tape.mse(w, &[0.0]);
+            tape.backward(loss);
+        }
+        // d/dw (w^2) = 2w = 4, accumulated twice = 8.
+        assert!((params.grad(p).at(0, 0) - 8.0).abs() < 1e-5);
+        params.zero_grads();
+        assert_eq!(params.grad(p).at(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be scalar")]
+    fn backward_rejects_non_scalar() {
+        let mut params = Params::new();
+        let p = params.add(Matrix::zeros(2, 2));
+        let mut tape = Tape::new(&mut params);
+        let v = tape.param(p);
+        tape.backward(v);
+    }
+}

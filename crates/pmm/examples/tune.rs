@@ -1,0 +1,63 @@
+//! Scratch harness for picking PMM training hyperparameters.
+//! Run: cargo run --release -p snowplow-pmm --example tune
+
+use snowplow_kernel::{Kernel, KernelVersion};
+use snowplow_pmm::dataset::{Dataset, DatasetConfig};
+use snowplow_pmm::model::{Pmm, PmmConfig};
+use snowplow_pmm::train::{TrainConfig, Trainer};
+
+fn main() {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let t0 = std::time::Instant::now();
+    let dataset = Dataset::generate(
+        &kernel,
+        DatasetConfig {
+            base_tests: 400,
+            mutations_per_base: 120,
+            max_calls: 5,
+            popularity_cap: 40,
+            seed: 3,
+        },
+    );
+    println!(
+        "dataset: {} samples from {} bases, mean |y| = {:.2}, gen in {:?}",
+        dataset.samples.len(),
+        dataset.progs.len(),
+        dataset.mean_positive_count(),
+        t0.elapsed()
+    );
+    for (lr, pw, dim, rounds) in [
+        (1e-3f32, 2.0f32, 48usize, 3usize),
+        (1e-3, 3.0, 48, 3),
+        (1e-3, 4.0, 48, 4),
+    ] {
+        let tc = TrainConfig {
+            epochs: 12,
+            lr,
+            batch: 8,
+            pos_weight: pw,
+            threshold: 0.5,
+            seed: 1,
+        };
+        let pc = PmmConfig {
+            dim,
+            rounds,
+            attention: false,
+            ..PmmConfig::default()
+        };
+        let trainer = Trainer::new(&kernel, tc);
+        let mut model = Pmm::new(pc, kernel.registry().syscall_count());
+        let t1 = std::time::Instant::now();
+        let hist = trainer.train(&mut model, &dataset);
+        let eval = trainer.evaluate(&mut model, &dataset, snowplow_pmm::dataset::Split::Evaluation);
+        let k = dataset.mean_positive_count().round().max(1.0) as usize;
+        let rand = trainer.rand_k_baseline(&dataset, snowplow_pmm::dataset::Split::Evaluation, k, 99);
+        println!(
+            "lr={lr} pw={pw} dim={dim} rounds={rounds}: val F1 hist {:?} | eval {} | rand.{k} {} | {:?}",
+            hist.iter().map(|f| (f * 100.0).round() / 100.0).collect::<Vec<_>>(),
+            eval.metrics,
+            rand.metrics,
+            t1.elapsed()
+        );
+    }
+}

@@ -1,0 +1,409 @@
+//! The argument-mutation query graph (§3.2).
+//!
+//! A query joins four things into one typed graph: the base test's
+//! program tree (syscall and argument vertices), its kernel coverage
+//! (covered block vertices and covered control-flow edges), the one-hop
+//! *alternative path entry* frontier (uncovered block vertices reachable
+//! by flipping a single branch), and the desired targets (a marked subset
+//! of the frontier). Kernel↔user context-switch edges tie each syscall
+//! vertex to its handler's entry and exit blocks so information can
+//! propagate across the boundary.
+
+use std::collections::HashMap;
+
+use snowplow_kernel::{BlockId, ExecResult, Kernel, Tok};
+use snowplow_prog::{enumerate_sites, Arg, ArgLoc, Prog, ResSource};
+
+/// Directed edge types of the query graph (each relation and its
+/// reverse get distinct types so message passing is direction-aware).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EdgeType {
+    /// Call `i` → call `i+1` (program order).
+    CallOrder = 0,
+    /// Reverse of [`EdgeType::CallOrder`].
+    CallOrderRev = 1,
+    /// Consecutive sibling arguments within one parent.
+    ArgOrder = 2,
+    /// Reverse of [`EdgeType::ArgOrder`].
+    ArgOrderRev = 3,
+    /// Owner → owned: syscall → top-level arg, parent arg → child arg.
+    ArgOwn = 4,
+    /// Reverse of [`EdgeType::ArgOwn`].
+    ArgOwnRev = 5,
+    /// Data flow: producing call's syscall vertex → consuming resource
+    /// argument vertex.
+    ResFlow = 6,
+    /// Reverse of [`EdgeType::ResFlow`].
+    ResFlowRev = 7,
+    /// Covered control flow between covered blocks.
+    CtrlFlow = 8,
+    /// Reverse of [`EdgeType::CtrlFlow`].
+    CtrlFlowRev = 9,
+    /// Branch-not-taken: covered block → alternative (uncovered) block.
+    AltBranch = 10,
+    /// Reverse of [`EdgeType::AltBranch`].
+    AltBranchRev = 11,
+    /// Context switch in: syscall vertex → handler entry block.
+    CtxEnter = 12,
+    /// Reverse of [`EdgeType::CtxEnter`].
+    CtxEnterRev = 13,
+    /// Context switch out: handler exit block → syscall vertex.
+    CtxExit = 14,
+    /// Reverse of [`EdgeType::CtxExit`].
+    CtxExitRev = 15,
+}
+
+impl EdgeType {
+    /// Total number of edge types.
+    pub const COUNT: usize = 16;
+
+    /// The type's index.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One vertex of the query graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A system-call invocation (feature: which variant).
+    Syscall {
+        /// Syscall variant index in the registry.
+        variant: u32,
+    },
+    /// An argument value of the test (features: type kind tag and the
+    /// argument path's slot bucket, shared with block-text slot tokens).
+    Arg {
+        /// Type kind tag (see [`kind_tag_of`]).
+        kind_tag: u8,
+        /// Path slot bucket.
+        slot: u16,
+        /// Whether the mutation engine may rewrite this value.
+        mutable: bool,
+    },
+    /// A kernel basic block: covered, alternative (uncovered frontier),
+    /// and optionally marked as a desired target.
+    Block {
+        /// The block's synthetic disassembly.
+        tokens: Vec<Tok>,
+        /// Whether the base test covered this block.
+        covered: bool,
+        /// Whether this block is a desired target of the query.
+        target: bool,
+    },
+}
+
+/// The assembled query graph.
+#[derive(Debug, Clone)]
+pub struct QueryGraph {
+    /// Vertices.
+    pub nodes: Vec<NodeKind>,
+    /// Directed, typed edges `(src, dst, type)`.
+    pub edges: Vec<(u32, u32, EdgeType)>,
+    /// Candidate argument locations (mutable sites), paired with their
+    /// vertex index. The model scores exactly these.
+    pub candidates: Vec<(u32, ArgLoc)>,
+}
+
+/// Maps a type-kind name to a stable small tag for embedding.
+pub fn kind_tag_of(kind_name: &str) -> u8 {
+    match kind_name {
+        "int" => 0,
+        "flags" => 1,
+        "const" => 2,
+        "ptr" => 3,
+        "buffer" => 4,
+        "string" => 5,
+        "filename" => 6,
+        "array" => 7,
+        "struct" => 8,
+        "union" => 9,
+        "len" => 10,
+        "resource" => 11,
+        _ => 12,
+    }
+}
+
+/// Number of distinct kind tags.
+pub const KIND_TAGS: usize = 13;
+
+impl QueryGraph {
+    /// Builds the query graph for `prog` given its execution result and
+    /// the desired `targets` (which should lie on the one-hop frontier of
+    /// the covered set; others are still included as plain alternatives).
+    pub fn build(kernel: &Kernel, prog: &Prog, exec: &ExecResult, targets: &[BlockId]) -> Self {
+        let reg = kernel.registry();
+        let mut nodes = Vec::new();
+        let mut edges: Vec<(u32, u32, EdgeType)> = Vec::new();
+        let add_edge = |edges: &mut Vec<(u32, u32, EdgeType)>, s: u32, d: u32, t: EdgeType, r: EdgeType| {
+            edges.push((s, d, t));
+            edges.push((d, s, r));
+        };
+
+        // --- Syscall vertices. -------------------------------------------
+        let call_nodes: Vec<u32> = prog
+            .calls
+            .iter()
+            .map(|c| {
+                nodes.push(NodeKind::Syscall { variant: c.def.0 });
+                (nodes.len() - 1) as u32
+            })
+            .collect();
+        for w in call_nodes.windows(2) {
+            add_edge(&mut edges, w[0], w[1], EdgeType::CallOrder, EdgeType::CallOrderRev);
+        }
+
+        // --- Argument vertices (program tree). -----------------------------
+        let sites = enumerate_sites(reg, prog);
+        let mut site_node: HashMap<(usize, snowplow_syslang::ArgPath), u32> = HashMap::new();
+        let mut candidates = Vec::new();
+        for site in &sites {
+            let kind_tag = kind_tag_of(reg.ty(site.ty).kind_name());
+            nodes.push(NodeKind::Arg {
+                kind_tag,
+                slot: site.path.slot(),
+                mutable: site.mutable,
+            });
+            let idx = (nodes.len() - 1) as u32;
+            site_node.insert((site.call, site.path.clone()), idx);
+            if site.mutable {
+                candidates.push((idx, ArgLoc::new(site.call, site.path.clone())));
+            }
+            // Ownership edge from parent (another site or the syscall).
+            let parent = if site.path.len() == 1 {
+                call_nodes[site.call]
+            } else {
+                let parent_path: snowplow_syslang::ArgPath = site
+                    .path
+                    .segments()
+                    .iter()
+                    .copied()
+                    .take(site.path.len() - 1)
+                    .collect();
+                *site_node
+                    .get(&(site.call, parent_path))
+                    .expect("enumeration is outermost-first")
+            };
+            add_edge(&mut edges, parent, idx, EdgeType::ArgOwn, EdgeType::ArgOwnRev);
+            // Resource data-flow edges.
+            if let Some(Arg::Res {
+                source: ResSource::Ref(p),
+            }) = prog.calls[site.call].arg_at(&site.path)
+            {
+                add_edge(
+                    &mut edges,
+                    call_nodes[*p],
+                    idx,
+                    EdgeType::ResFlow,
+                    EdgeType::ResFlowRev,
+                );
+            }
+        }
+        // Argument ordering: consecutive top-level args of each call.
+        for (ci, call) in prog.calls.iter().enumerate() {
+            for ai in 1..call.args.len() {
+                let a = site_node.get(&(ci, snowplow_syslang::ArgPath::arg(ai - 1)));
+                let b = site_node.get(&(ci, snowplow_syslang::ArgPath::arg(ai)));
+                if let (Some(&a), Some(&b)) = (a, b) {
+                    add_edge(&mut edges, a, b, EdgeType::ArgOrder, EdgeType::ArgOrderRev);
+                }
+            }
+        }
+
+        // --- Covered block vertices and control-flow edges. -----------------
+        let covered = exec.coverage();
+        let mut block_node: HashMap<BlockId, u32> = HashMap::new();
+        let mut covered_blocks: Vec<BlockId> = covered.iter().collect();
+        covered_blocks.sort();
+        for b in &covered_blocks {
+            nodes.push(NodeKind::Block {
+                tokens: kernel.block(*b).text.clone(),
+                covered: true,
+                target: false,
+            });
+            block_node.insert(*b, (nodes.len() - 1) as u32);
+        }
+        // Unique covered edges (within calls).
+        let mut seen_edges = std::collections::HashSet::new();
+        for trace in &exec.call_traces {
+            for w in trace.windows(2) {
+                if seen_edges.insert((w[0], w[1])) {
+                    let (Some(&s), Some(&d)) = (block_node.get(&w[0]), block_node.get(&w[1]))
+                    else {
+                        continue;
+                    };
+                    add_edge(&mut edges, s, d, EdgeType::CtrlFlow, EdgeType::CtrlFlowRev);
+                }
+            }
+        }
+
+        // --- Alternative path entries (one-hop frontier). --------------------
+        let frontier = kernel.cfg().alternative_entries(covered.as_set());
+        let target_set: std::collections::HashSet<BlockId> = targets.iter().copied().collect();
+        for b in &frontier {
+            nodes.push(NodeKind::Block {
+                tokens: kernel.block(*b).text.clone(),
+                covered: false,
+                target: target_set.contains(b),
+            });
+            let idx = (nodes.len() - 1) as u32;
+            block_node.insert(*b, idx);
+            // Connect from each covered predecessor (the not-taken branch
+            // sources).
+            for &p in kernel.cfg().predecessors(*b) {
+                if let Some(&pn) = block_node.get(&p) {
+                    if covered.contains(p) {
+                        add_edge(&mut edges, pn, idx, EdgeType::AltBranch, EdgeType::AltBranchRev);
+                    }
+                }
+            }
+        }
+
+        // --- Kernel↔user context-switch edges. ------------------------------
+        for (ci, trace) in exec.call_traces.iter().enumerate() {
+            let (Some(first), Some(last)) = (trace.first(), trace.last()) else {
+                continue;
+            };
+            if let Some(&entry) = block_node.get(first) {
+                add_edge(
+                    &mut edges,
+                    call_nodes[ci],
+                    entry,
+                    EdgeType::CtxEnter,
+                    EdgeType::CtxEnterRev,
+                );
+            }
+            if let Some(&exit) = block_node.get(last) {
+                add_edge(
+                    &mut edges,
+                    exit,
+                    call_nodes[ci],
+                    EdgeType::CtxExit,
+                    EdgeType::CtxExitRev,
+                );
+            }
+        }
+
+        QueryGraph {
+            nodes,
+            edges,
+            candidates,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed edges (including reverses).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of scorable (mutable) argument locations.
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Count of vertices per coarse class: (syscalls, args, covered
+    /// blocks, alternative blocks, targets). Used by the §5.1 statistics
+    /// harness.
+    pub fn vertex_stats(&self) -> (usize, usize, usize, usize, usize) {
+        let mut sys = 0;
+        let mut args = 0;
+        let mut cov = 0;
+        let mut alt = 0;
+        let mut tgt = 0;
+        for n in &self.nodes {
+            match n {
+                NodeKind::Syscall { .. } => sys += 1,
+                NodeKind::Arg { .. } => args += 1,
+                NodeKind::Block { covered: true, .. } => cov += 1,
+                NodeKind::Block {
+                    covered: false,
+                    target,
+                    ..
+                } => {
+                    alt += 1;
+                    if *target {
+                        tgt += 1;
+                    }
+                }
+            }
+        }
+        (sys, args, cov, alt, tgt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snowplow_kernel::{KernelVersion, Vm};
+    use snowplow_prog::gen::Generator;
+
+    use super::*;
+
+    fn setup() -> (Kernel, Prog, ExecResult) {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let mut rng = StdRng::seed_from_u64(12);
+        let prog = Generator::new(kernel.registry()).generate(&mut rng, 5);
+        let mut vm = Vm::new(&kernel);
+        let exec = vm.execute(&prog);
+        (kernel, prog, exec)
+    }
+
+    #[test]
+    fn graph_has_all_vertex_classes() {
+        let (kernel, prog, exec) = setup();
+        let covered = exec.coverage();
+        let frontier = kernel.cfg().alternative_entries(covered.as_set());
+        let g = QueryGraph::build(&kernel, &prog, &exec, &frontier[..2.min(frontier.len())]);
+        let (sys, args, cov, alt, tgt) = g.vertex_stats();
+        assert_eq!(sys, prog.len());
+        assert!(args > 0 && cov > 0 && alt > 0);
+        assert_eq!(tgt, 2.min(frontier.len()));
+        assert_eq!(g.node_count(), sys + args + cov + alt);
+    }
+
+    #[test]
+    fn every_edge_is_paired_with_its_reverse() {
+        let (kernel, prog, exec) = setup();
+        let g = QueryGraph::build(&kernel, &prog, &exec, &[]);
+        assert_eq!(g.edge_count() % 2, 0);
+        // Each even/odd pair is mutual.
+        for pair in g.edges.chunks(2) {
+            assert_eq!(pair[0].0, pair[1].1);
+            assert_eq!(pair[0].1, pair[1].0);
+        }
+    }
+
+    #[test]
+    fn edges_reference_valid_nodes_and_candidates_are_args() {
+        let (kernel, prog, exec) = setup();
+        let g = QueryGraph::build(&kernel, &prog, &exec, &[]);
+        let n = g.node_count() as u32;
+        for (s, d, _) in &g.edges {
+            assert!(*s < n && *d < n);
+        }
+        for (idx, loc) in &g.candidates {
+            match &g.nodes[*idx as usize] {
+                NodeKind::Arg { mutable, .. } => assert!(mutable),
+                other => panic!("candidate {loc:?} maps to {other:?}"),
+            }
+            assert!(prog.calls[loc.call].arg_at(&loc.path).is_some());
+        }
+    }
+
+    #[test]
+    fn targets_must_be_on_frontier_to_be_marked() {
+        let (kernel, prog, exec) = setup();
+        // A random block that is covered can never be a target vertex.
+        let covered_block = exec.trace[0];
+        let g = QueryGraph::build(&kernel, &prog, &exec, &[covered_block]);
+        let (_, _, _, _, tgt) = g.vertex_stats();
+        assert_eq!(tgt, 0);
+    }
+}

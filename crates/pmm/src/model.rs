@@ -1,0 +1,522 @@
+//! The PMM architecture (§3.3).
+//!
+//! Three learnable components, exactly as the paper describes:
+//!
+//! * **θ_TRANSFORMER** — a token encoder over each basic block's synthetic
+//!   assembly (token embeddings with an optional single-head
+//!   self-attention layer, mean-pooled). The paper pre-trains its encoder
+//!   BERT-style on a compiled kernel; with our compact synthetic ISA the
+//!   encoder trains end-to-end inside PMM instead (recorded in DESIGN.md);
+//! * **θ_Emb** — learned embeddings for syscall variants, argument type
+//!   kinds, argument path slots (shared with the block-token slot
+//!   vocabulary, so the model can correlate a `cmp s417, ...` gate with
+//!   the argument whose path hashes to slot 417), node classes, and edge
+//!   types (realized as per-edge-type message transforms);
+//! * **θ_GNN** — relational message passing over the query graph with
+//!   weight sharing across rounds, followed by a two-layer head that
+//!   scores every mutable argument vertex with a MUTATE/NOT-MUTATE logit.
+
+use rand::prelude::*;
+use snowplow_kernel::Tok;
+use snowplow_mlcore::{io, Embedding, Linear, Params, Tape, Var};
+use snowplow_prog::ArgLoc;
+
+use crate::graph::{EdgeType, NodeKind, QueryGraph, KIND_TAGS};
+
+/// Node-class rows in the class embedding: syscall, arg, covered block,
+/// alternative block, plus an additive target-marker row.
+const NODE_CLASSES: usize = 5;
+const TARGET_CLASS: usize = 4;
+
+/// Architecture hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PmmConfig {
+    /// Hidden width of all embeddings and messages.
+    pub dim: usize,
+    /// Message-passing rounds.
+    pub rounds: usize,
+    /// Whether the block encoder uses a self-attention layer (`false` =
+    /// mean-pool + projection).
+    pub attention: bool,
+    /// Initialization seed.
+    pub seed: u64,
+}
+
+impl Default for PmmConfig {
+    fn default() -> Self {
+        PmmConfig {
+            dim: 48,
+            rounds: 3,
+            attention: false,
+            seed: 0x504d_4d31,
+        }
+    }
+}
+
+/// The layer handles of the model (ids into the parameter store; cheap
+/// to clone, carries no weights itself).
+#[derive(Debug, Clone)]
+struct Layers {
+    config: PmmConfig,
+    syscall_count: usize,
+    tok_emb: Embedding,
+    sys_emb: Embedding,
+    kind_emb: Embedding,
+    class_emb: Embedding,
+    attn_qkv: Linear,
+    enc_proj: Linear,
+    edge_w: Vec<Linear>,
+    self_w: Linear,
+    head1: Linear,
+    head_t: Linear,
+    head_t0: Linear,
+    head2: Linear,
+}
+
+/// The Program Mutation Model.
+#[derive(Debug, Clone)]
+pub struct Pmm {
+    /// Architecture configuration.
+    pub config: PmmConfig,
+    /// All trainable parameters.
+    pub params: Params,
+    layers: Layers,
+}
+
+impl Pmm {
+    /// Builds a freshly initialized model for a kernel interface with
+    /// `syscall_count` variants.
+    pub fn new(config: PmmConfig, syscall_count: usize) -> Pmm {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut params = Params::new();
+        let d = config.dim;
+        let layers = Layers {
+            config,
+            syscall_count: syscall_count.max(1),
+            tok_emb: Embedding::new(&mut params, Tok::vocab_size(), d, &mut rng),
+            sys_emb: Embedding::new(&mut params, syscall_count.max(1), d, &mut rng),
+            kind_emb: Embedding::new(&mut params, KIND_TAGS, d, &mut rng),
+            class_emb: Embedding::new(&mut params, NODE_CLASSES, d, &mut rng),
+            attn_qkv: Linear::new(&mut params, d, d, &mut rng),
+            enc_proj: Linear::new(&mut params, d, d, &mut rng),
+            edge_w: (0..EdgeType::COUNT)
+                .map(|_| Linear::new(&mut params, d, d, &mut rng))
+                .collect(),
+            self_w: Linear::new(&mut params, d, d, &mut rng),
+            head1: Linear::new(&mut params, d, d, &mut rng),
+            head_t: Linear::new(&mut params, d, d, &mut rng),
+            head_t0: Linear::new(&mut params, d, d, &mut rng),
+            head2: Linear::new(&mut params, d, 1, &mut rng),
+        };
+        Pmm {
+            config,
+            params,
+            layers,
+        }
+    }
+
+    /// Number of trainable scalars.
+    pub fn parameter_count(&self) -> usize {
+        self.params.scalar_count()
+    }
+
+    /// Runs forward + weighted-BCE backward for one example, accumulating
+    /// gradients into the parameter store. Returns the loss value.
+    ///
+    /// # Panics
+    /// Panics if `labels`/`weights` are not aligned with the graph's
+    /// candidates.
+    pub fn loss_and_backward(
+        &mut self,
+        graph: &QueryGraph,
+        labels: &[f32],
+        weights: &[f32],
+    ) -> f32 {
+        assert_eq!(labels.len(), graph.candidate_count());
+        assert_eq!(weights.len(), graph.candidate_count());
+        let layers = self.layers.clone();
+        let mut tape = Tape::new(&mut self.params);
+        let logits = layers.forward(&mut tape, graph);
+        let loss = tape.bce_with_logits(logits, labels, weights);
+        let value = tape.value(loss).at(0, 0);
+        tape.backward(loss);
+        value
+    }
+
+    /// Scores a query, returning `(location, probability)` pairs sorted
+    /// by descending probability.
+    pub fn predict(&mut self, graph: &QueryGraph) -> Vec<(ArgLoc, f32)> {
+        if graph.candidates.is_empty() {
+            return Vec::new();
+        }
+        let layers = self.layers.clone();
+        let mut tape = Tape::new(&mut self.params);
+        let logits = layers.forward(&mut tape, graph);
+        let probs = tape.sigmoid(logits);
+        let m = tape.value(probs);
+        let mut out: Vec<(ArgLoc, f32)> = graph
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(i, (_, loc))| (loc.clone(), m.at(i, 0)))
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
+        out
+    }
+
+    /// Selects the predicted MUTATE set: all candidates with probability
+    /// at least `threshold` (at least the single best when none pass).
+    pub fn predict_set(&mut self, graph: &QueryGraph, threshold: f32) -> Vec<ArgLoc> {
+        let scored = self.predict(graph);
+        let mut out: Vec<ArgLoc> = scored
+            .iter()
+            .filter(|(_, p)| *p >= threshold)
+            .map(|(l, _)| l.clone())
+            .collect();
+        if out.is_empty() {
+            if let Some((l, _)) = scored.first() {
+                out.push(l.clone());
+            }
+        }
+        out
+    }
+
+    /// Saves weights and a config sidecar.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        io::save_params(&self.params, path)?;
+        let meta = format!(
+            "dim={} rounds={} attention={} seed={} syscalls={}\n",
+            self.config.dim,
+            self.config.rounds,
+            self.config.attention,
+            self.config.seed,
+            self.layers.syscall_count
+        );
+        std::fs::write(path.with_extension("meta"), meta)
+    }
+
+    /// Loads weights saved by [`Pmm::save`] into this model (shapes must
+    /// match, i.e. same config and syscall count).
+    pub fn load(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+        io::load_params(&mut self.params, path)
+    }
+}
+
+impl Layers {
+    /// Runs a forward pass on `tape`, returning the logits
+    /// (`candidate_count × 1`, aligned with `graph.candidates`).
+    fn forward(&self, tape: &mut Tape<'_>, graph: &QueryGraph) -> Var {
+        let n = graph.node_count();
+
+        // ---- Initial node features. -------------------------------------
+        let mut class_idx = Vec::with_capacity(n);
+        let mut target_rows: Vec<usize> = Vec::new();
+        for (i, node) in graph.nodes.iter().enumerate() {
+            class_idx.push(match node {
+                NodeKind::Syscall { .. } => 0usize,
+                NodeKind::Arg { .. } => 1,
+                NodeKind::Block { covered: true, .. } => 2,
+                NodeKind::Block {
+                    covered: false,
+                    target,
+                    ..
+                } => {
+                    if *target {
+                        target_rows.push(i);
+                    }
+                    3
+                }
+            });
+        }
+        let mut h = self.class_emb.lookup(tape, &class_idx);
+        if !target_rows.is_empty() {
+            let tflag = self
+                .class_emb
+                .lookup(tape, &vec![TARGET_CLASS; target_rows.len()]);
+            let scattered = tape.scatter_add_rows(tflag, &target_rows, n);
+            h = tape.add(h, scattered);
+        }
+
+        let mut sys_rows = Vec::new();
+        let mut sys_idx = Vec::new();
+        let mut arg_rows = Vec::new();
+        let mut arg_kind_idx = Vec::new();
+        let mut arg_slot_idx = Vec::new();
+        let mut tok_idx = Vec::new();
+        let mut tok_owner = Vec::new();
+        let mut block_rows_tokens: Vec<(usize, usize)> = Vec::new();
+        for (i, node) in graph.nodes.iter().enumerate() {
+            match node {
+                NodeKind::Syscall { variant } => {
+                    sys_rows.push(i);
+                    sys_idx.push((*variant as usize).min(self.syscall_count - 1));
+                }
+                NodeKind::Arg { kind_tag, slot, .. } => {
+                    arg_rows.push(i);
+                    arg_kind_idx.push(*kind_tag as usize % KIND_TAGS);
+                    arg_slot_idx.push(Tok::Slot(*slot).vocab_index());
+                }
+                NodeKind::Block { tokens, .. } => {
+                    if !tokens.is_empty() {
+                        block_rows_tokens.push((i, tokens.len()));
+                        for t in tokens {
+                            tok_idx.push(t.vocab_index());
+                            tok_owner.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        if !sys_rows.is_empty() {
+            let e = self.sys_emb.lookup(tape, &sys_idx);
+            let s = tape.scatter_add_rows(e, &sys_rows, n);
+            h = tape.add(h, s);
+        }
+        if !arg_rows.is_empty() {
+            let k = self.kind_emb.lookup(tape, &arg_kind_idx);
+            let s = self.tok_emb.lookup(tape, &arg_slot_idx);
+            let ks = tape.add(k, s);
+            let scattered = tape.scatter_add_rows(ks, &arg_rows, n);
+            h = tape.add(h, scattered);
+        }
+        if !tok_idx.is_empty() {
+            let encoded = self.encode_blocks(tape, &tok_idx, &tok_owner, &block_rows_tokens, n);
+            h = tape.add(h, encoded);
+        }
+        h = tape.rms_norm_rows(h);
+
+        // ---- Relational message passing. ----------------------------------
+        let mut by_type: Vec<(Vec<usize>, Vec<usize>)> =
+            vec![(Vec::new(), Vec::new()); EdgeType::COUNT];
+        let mut indeg = vec![0f32; n];
+        for (s, dst, t) in &graph.edges {
+            by_type[t.index()].0.push(*s as usize);
+            by_type[t.index()].1.push(*dst as usize);
+            indeg[*dst as usize] += 1.0;
+        }
+        let inv_deg: Vec<f32> = indeg
+            .iter()
+            .map(|&x| if x > 0.0 { 1.0 / x } else { 0.0 })
+            .collect();
+
+        let h0 = h;
+        for _ in 0..self.config.rounds {
+            let mut total = self.self_w.apply(tape, h);
+            let mut agg: Option<Var> = None;
+            for (t, (srcs, dsts)) in by_type.iter().enumerate() {
+                if srcs.is_empty() {
+                    continue;
+                }
+                let msrc = tape.gather_rows(h, srcs);
+                let msg = self.edge_w[t].apply(tape, msrc);
+                let scattered = tape.scatter_add_rows(msg, dsts, n);
+                agg = Some(match agg {
+                    Some(a) => tape.add(a, scattered),
+                    None => scattered,
+                });
+            }
+            if let Some(a) = agg {
+                let normed = tape.scale_rows(a, &inv_deg);
+                total = tape.add(total, normed);
+            }
+            let activated = tape.relu(total);
+            // Residual connection: keep initial features (slot/type
+            // embeddings) available to the head after many rounds.
+            let res = tape.add(h, activated);
+            h = tape.rms_norm_rows(res);
+        }
+
+        // ---- Scoring head over candidate argument vertices. -----------------
+        // Each candidate is scored from its own embedding plus its
+        // interaction with a pooled summary of the target vertices (a
+        // standard conditioned readout: the MUTATE decision depends on
+        // *which* coverage is desired, not just on the argument).
+        let cand_rows: Vec<usize> = graph.candidates.iter().map(|(i, _)| *i as usize).collect();
+        let cand = tape.gather_rows(h, &cand_rows);
+        let mut z = self.head1.apply(tape, cand);
+        if !target_rows.is_empty() {
+            // Final-state interaction: candidate ⊙ pooled target.
+            let tsel = tape.gather_rows(h, &target_rows);
+            let tpool = tape.mean_rows(tsel);
+            let tb = tape.gather_rows(tpool, &vec![0; cand_rows.len()]);
+            let interact = tape.mul(cand, tb);
+            let zt = self.head_t.apply(tape, interact);
+            z = tape.add(z, zt);
+            // Initial-feature interaction: the raw slot/type embeddings
+            // of candidate and targets, before message passing mixes
+            // them — the shortest path for slot matching.
+            let cand0 = tape.gather_rows(h0, &cand_rows);
+            let tsel0 = tape.gather_rows(h0, &target_rows);
+            let tpool0 = tape.mean_rows(tsel0);
+            let tb0 = tape.gather_rows(tpool0, &vec![0; cand_rows.len()]);
+            let interact0 = tape.mul(cand0, tb0);
+            let zt0 = self.head_t0.apply(tape, interact0);
+            z = tape.add(z, zt0);
+        }
+        let z = tape.relu(z);
+        self.head2.apply(tape, z)
+    }
+
+    /// Encodes each block's token sequence into its node row
+    /// (`n × dim`, zero rows for non-block nodes).
+    fn encode_blocks(
+        &self,
+        tape: &mut Tape<'_>,
+        tok_idx: &[usize],
+        tok_owner: &[usize],
+        block_rows_tokens: &[(usize, usize)],
+        n: usize,
+    ) -> Var {
+        let toks = self.tok_emb.lookup(tape, tok_idx);
+        let toks = if self.config.attention {
+            // Single-head self-attention *within* each block, over the
+            // flat token matrix one block at a time.
+            let qkv = self.attn_qkv.apply(tape, toks);
+            let scale = 1.0 / (self.config.dim as f32).sqrt();
+            let mut parts: Option<Var> = None;
+            let mut offset = 0usize;
+            for &(_, len) in block_rows_tokens {
+                let rows: Vec<usize> = (offset..offset + len).collect();
+                let q = tape.gather_rows(qkv, &rows);
+                let scores = tape.matmul_t(q, q);
+                let scores = tape.scale(scores, scale);
+                let attn = tape.softmax_rows(scores);
+                let mixed = tape.matmul(attn, q);
+                let flat = tape.scatter_add_rows(mixed, &rows, tok_idx.len());
+                parts = Some(match parts {
+                    Some(p) => tape.add(p, flat),
+                    None => flat,
+                });
+                offset += len;
+            }
+            parts.expect("at least one block has tokens")
+        } else {
+            toks
+        };
+        // Mean-pool per owning block, then project.
+        let pooled = tape.scatter_add_rows(toks, tok_owner, n);
+        let mut inv = vec![0f32; n];
+        for &(row, len) in block_rows_tokens {
+            inv[row] = 1.0 / len.max(1) as f32;
+        }
+        let pooled = tape.scale_rows(pooled, &inv);
+        let proj = self.enc_proj.apply(tape, pooled);
+        let proj = tape.relu(proj);
+        // Zero out non-block rows so the projection bias does not leak
+        // into syscall/arg nodes.
+        let mut mask = vec![0f32; n];
+        for &(row, _) in block_rows_tokens {
+            mask[row] = 1.0;
+        }
+        tape.scale_rows(proj, &mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snowplow_kernel::{Kernel, KernelVersion, Vm};
+    use snowplow_prog::gen::Generator;
+
+    use super::*;
+
+    fn graph_for(seed: u64, kernel: &Kernel) -> QueryGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prog = Generator::new(kernel.registry()).generate(&mut rng, 4);
+        let mut vm = Vm::new(kernel);
+        let exec = vm.execute(&prog);
+        let cov = exec.coverage();
+        let frontier = kernel.cfg().alternative_entries(cov.as_set());
+        QueryGraph::build(kernel, &prog, &exec, &frontier[..frontier.len().min(3)])
+    }
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let g = graph_for(1, &kernel);
+        let mut model = Pmm::new(PmmConfig::default(), kernel.registry().syscall_count());
+        let a = model.predict(&g);
+        let b = model.predict(&g);
+        assert_eq!(a.len(), g.candidate_count());
+        assert_eq!(a, b, "prediction must be deterministic");
+        for (_, p) in &a {
+            assert!((0.0..=1.0).contains(p));
+        }
+    }
+
+    #[test]
+    fn attention_encoder_also_runs() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let g = graph_for(2, &kernel);
+        let mut model = Pmm::new(
+            PmmConfig {
+                attention: true,
+                dim: 32,
+                rounds: 2,
+                ..PmmConfig::default()
+            },
+            kernel.registry().syscall_count(),
+        );
+        let preds = model.predict(&g);
+        assert_eq!(preds.len(), g.candidate_count());
+    }
+
+    #[test]
+    fn loss_and_backward_accumulates_gradients() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let g = graph_for(5, &kernel);
+        let mut model = Pmm::new(
+            PmmConfig {
+                dim: 24,
+                rounds: 2,
+                ..PmmConfig::default()
+            },
+            kernel.registry().syscall_count(),
+        );
+        let labels: Vec<f32> = (0..g.candidate_count())
+            .map(|i| if i % 7 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let weights = vec![1.0; g.candidate_count()];
+        let loss = model.loss_and_backward(&g, &labels, &weights);
+        assert!(loss.is_finite() && loss > 0.0);
+        // At least one parameter received gradient signal.
+        let total_grad: f32 = (0..model.params.len())
+            .map(|i| model.params.grad(snowplow_mlcore::ParamId(i)).norm())
+            .sum();
+        assert!(total_grad > 0.0);
+    }
+
+    #[test]
+    fn predict_set_thresholds_and_falls_back() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let g = graph_for(3, &kernel);
+        let mut model = Pmm::new(PmmConfig::default(), kernel.registry().syscall_count());
+        let all = model.predict_set(&g, 0.0);
+        assert_eq!(all.len(), g.candidate_count());
+        let none = model.predict_set(&g, 1.1);
+        assert_eq!(none.len(), 1, "fallback returns the best candidate");
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let g = graph_for(4, &kernel);
+        let n = kernel.registry().syscall_count();
+        let mut model = Pmm::new(PmmConfig::default(), n);
+        let before = model.predict(&g);
+        let dir = std::env::temp_dir().join("snowplow_pmm_model_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pmm.bin");
+        model.save(&path).unwrap();
+        let mut fresh = Pmm::new(
+            PmmConfig {
+                seed: 999, // different init, same shapes
+                ..PmmConfig::default()
+            },
+            n,
+        );
+        fresh.load(&path).unwrap();
+        assert_eq!(fresh.predict(&g), before);
+    }
+}

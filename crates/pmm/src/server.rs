@@ -1,0 +1,209 @@
+//! Asynchronous inference service (§3.4, §4, §5.5).
+//!
+//! Snowplow serves PMM behind torchserve with a goroutine worker pool on
+//! the fuzzer side; this module reproduces that integration shape with a
+//! thread pool. Clients submit a [`QueryGraph`] and immediately get a
+//! receiver back — the fuzzer keeps mutating by other means while the
+//! localization is pending, exactly as §3.4 prescribes. The service
+//! tracks latency and throughput for the §5.5 measurements.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use snowplow_prog::ArgLoc;
+
+use crate::graph::QueryGraph;
+use crate::model::Pmm;
+
+/// A pending localization result.
+pub type Pending = Receiver<Vec<(ArgLoc, f32)>>;
+
+struct Request {
+    graph: QueryGraph,
+    respond: Sender<Vec<(ArgLoc, f32)>>,
+}
+
+/// Aggregate serving statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InferenceStats {
+    /// Queries served.
+    pub served: u64,
+    /// Total wall-clock time spent in model forward passes.
+    pub busy: Duration,
+    /// Total queue + service latency observed by clients.
+    pub latency: Duration,
+}
+
+impl InferenceStats {
+    /// Mean per-query latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.served == 0 {
+            Duration::ZERO
+        } else {
+            self.latency / self.served as u32
+        }
+    }
+}
+
+/// A pool of inference workers, each owning a replica of the trained
+/// model (the paper deploys PMM replicas across 8 GPUs).
+#[derive(Debug)]
+pub struct InferenceService {
+    tx: Option<Sender<Request>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<Mutex<InferenceStats>>,
+}
+
+impl InferenceService {
+    /// Spawns `workers` threads, each with its own copy of `model`.
+    pub fn start(model: &Pmm, workers: usize) -> InferenceService {
+        let workers = workers.max(1);
+        let (tx, rx) = channel::unbounded::<Request>();
+        let stats = Arc::new(Mutex::new(InferenceStats::default()));
+        let handles = (0..workers)
+            .map(|_| {
+                let rx: Receiver<Request> = rx.clone();
+                let mut replica = model.clone();
+                let stats = Arc::clone(&stats);
+                std::thread::spawn(move || {
+                    while let Ok(req) = rx.recv() {
+                        let start = Instant::now();
+                        let result = replica.predict(&req.graph);
+                        let busy = start.elapsed();
+                        {
+                            let mut s = stats.lock();
+                            s.served += 1;
+                            s.busy += busy;
+                            s.latency += busy;
+                        }
+                        // The client may have given up; that's fine.
+                        let _ = req.respond.send(result);
+                    }
+                })
+            })
+            .collect();
+        InferenceService {
+            tx: Some(tx),
+            workers: handles,
+            stats,
+        }
+    }
+
+    /// Submits a query asynchronously. The caller polls or blocks on the
+    /// returned receiver whenever it is ready to apply the localization.
+    pub fn submit(&self, graph: QueryGraph) -> Pending {
+        let (respond, rx) = channel::bounded(1);
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(Request { graph, respond });
+        }
+        rx
+    }
+
+    /// Convenience: submit and wait.
+    pub fn predict_blocking(&self, graph: QueryGraph) -> Vec<(ArgLoc, f32)> {
+        self.submit(graph).recv().unwrap_or_default()
+    }
+
+    /// Snapshot of the serving statistics.
+    pub fn stats(&self) -> InferenceStats {
+        *self.stats.lock()
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for InferenceService {
+    fn drop(&mut self) {
+        // Closing the channel stops the workers.
+        self.tx = None;
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snowplow_kernel::{Kernel, KernelVersion, Vm};
+    use snowplow_prog::gen::Generator;
+
+    use crate::model::PmmConfig;
+
+    use super::*;
+
+    fn graph_for(seed: u64, kernel: &Kernel) -> QueryGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prog = Generator::new(kernel.registry()).generate(&mut rng, 4);
+        let mut vm = Vm::new(kernel);
+        let exec = vm.execute(&prog);
+        let cov = exec.coverage();
+        let frontier = kernel.cfg().alternative_entries(cov.as_set());
+        QueryGraph::build(kernel, &prog, &exec, &frontier[..frontier.len().min(2)])
+    }
+
+    #[test]
+    fn async_submission_matches_direct_prediction() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let mut model = Pmm::new(
+            PmmConfig {
+                dim: 24,
+                rounds: 2,
+                ..PmmConfig::default()
+            },
+            kernel.registry().syscall_count(),
+        );
+        let service = InferenceService::start(&model, 2);
+        let g = graph_for(1, &kernel);
+        let direct = model.predict(&g);
+        let served = service.predict_blocking(g);
+        assert_eq!(direct, served);
+        assert_eq!(service.stats().served, 1);
+    }
+
+    #[test]
+    fn concurrent_queries_all_complete() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let model = Pmm::new(
+            PmmConfig {
+                dim: 16,
+                rounds: 1,
+                ..PmmConfig::default()
+            },
+            kernel.registry().syscall_count(),
+        );
+        let service = InferenceService::start(&model, 4);
+        let pendings: Vec<Pending> = (0..20)
+            .map(|i| service.submit(graph_for(i, &kernel)))
+            .collect();
+        for p in pendings {
+            let r = p.recv().expect("worker answers");
+            assert!(!r.is_empty());
+        }
+        let stats = service.stats();
+        assert_eq!(stats.served, 20);
+        assert!(stats.mean_latency() > Duration::ZERO);
+    }
+
+    #[test]
+    fn drop_shuts_workers_down() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let model = Pmm::new(
+            PmmConfig {
+                dim: 16,
+                rounds: 1,
+                ..PmmConfig::default()
+            },
+            kernel.registry().syscall_count(),
+        );
+        let service = InferenceService::start(&model, 2);
+        drop(service); // must not hang
+    }
+}

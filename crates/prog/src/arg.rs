@@ -1,0 +1,355 @@
+//! Argument value trees.
+//!
+//! An [`Arg`] is the runtime counterpart of a description
+//! [`Type`](snowplow_syslang::Type): the concrete value a test program
+//! passes for one (possibly nested) argument. Argument trees parallel the
+//! description type tree of their syscall; all structural walks in this
+//! crate traverse the two in lock-step.
+
+use snowplow_syslang::{ArgPath, PathSegment};
+
+/// Where an `in`-resource argument gets its runtime value from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResSource {
+    /// The return value of the call at this index in the same program.
+    /// The referenced call must produce a resource of the right kind and
+    /// precede the referencing call.
+    Ref(usize),
+    /// A description-provided special value (e.g. `-1`, `AT_FDCWD`).
+    Special(u64),
+}
+
+/// One concrete argument value.
+///
+/// The variants deliberately collapse several description types onto one
+/// runtime shape (struct and fixed-layout arrays are both [`Arg::Group`];
+/// ints, flag words, constants, and computed lengths are all
+/// [`Arg::Int`]) — exactly like Syzkaller's `Arg` hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Arg {
+    /// A scalar (int, flags, const, or finalized length value).
+    Int { value: u64 },
+    /// A pointer: `inner == None` encodes NULL. `addr` is the fake
+    /// user-space address the payload sits at (addresses matter only for
+    /// serialization fidelity; the simulated kernel reads payloads
+    /// structurally).
+    Ptr { addr: u64, inner: Option<Box<Arg>> },
+    /// A byte buffer payload (blob, string, or filename bytes).
+    Data { bytes: Vec<u8> },
+    /// A struct (fields in order) or array (elements in order).
+    Group { inner: Vec<Arg> },
+    /// A union with the active description-variant index.
+    Union { variant: u16, inner: Box<Arg> },
+    /// An `in` kernel resource.
+    Res { source: ResSource },
+}
+
+impl Arg {
+    /// Shorthand for an integer argument.
+    pub fn int(value: u64) -> Arg {
+        Arg::Int { value }
+    }
+
+    /// Shorthand for a NULL pointer.
+    pub fn null() -> Arg {
+        Arg::Ptr {
+            addr: 0,
+            inner: None,
+        }
+    }
+
+    /// Shorthand for a pointer to `inner` at `addr`.
+    pub fn ptr(addr: u64, inner: Arg) -> Arg {
+        Arg::Ptr {
+            addr,
+            inner: Some(Box::new(inner)),
+        }
+    }
+
+    /// Resolves `path` (relative to this argument) to the nested argument
+    /// it names, if the program's actual structure contains it.
+    ///
+    /// Union segments only resolve when the active variant matches the
+    /// path's recorded variant; NULL pointers and out-of-range array
+    /// indices resolve to `None`. This "structure gate" is exactly how the
+    /// simulated kernel's predicates treat absent values: the guarded
+    /// branch is simply not taken.
+    pub fn descend(&self, path: &[PathSegment]) -> Option<&Arg> {
+        let mut cur = self;
+        for seg in path {
+            cur = match (seg, cur) {
+                (PathSegment::Deref, Arg::Ptr { inner, .. }) => inner.as_deref()?,
+                (PathSegment::Field(i), Arg::Group { inner }) => inner.get(*i as usize)?,
+                (PathSegment::Elem(i), Arg::Group { inner }) => inner.get(*i as usize)?,
+                (PathSegment::Variant(i), Arg::Union { variant, inner }) => {
+                    if variant == i {
+                        inner
+                    } else {
+                        return None;
+                    }
+                }
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// Mutable variant of [`Arg::descend`].
+    pub fn descend_mut(&mut self, path: &[PathSegment]) -> Option<&mut Arg> {
+        let mut cur = self;
+        for seg in path {
+            cur = match (seg, cur) {
+                (PathSegment::Deref, Arg::Ptr { inner, .. }) => inner.as_deref_mut()?,
+                (PathSegment::Field(i), Arg::Group { inner }) => inner.get_mut(*i as usize)?,
+                (PathSegment::Elem(i), Arg::Group { inner }) => inner.get_mut(*i as usize)?,
+                (PathSegment::Variant(i), Arg::Union { variant, inner }) => {
+                    if *variant == *i {
+                        inner.as_mut()
+                    } else {
+                        return None;
+                    }
+                }
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// A cheap read-only view of this argument's value, used by the
+    /// simulated kernel's branch predicates.
+    pub fn view(&self) -> ArgView<'_> {
+        match self {
+            Arg::Int { value } => ArgView::Int(*value),
+            Arg::Ptr { inner, .. } => ArgView::Ptr {
+                is_null: inner.is_none(),
+            },
+            Arg::Data { bytes } => ArgView::Data(bytes),
+            Arg::Group { inner } => ArgView::Group { len: inner.len() },
+            Arg::Union { variant, .. } => ArgView::Union { variant: *variant },
+            Arg::Res { source } => ArgView::Res(*source),
+        }
+    }
+
+    /// The payload length used when finalizing `Len` fields: byte length
+    /// for buffers, element count for groups, the pointee's length for
+    /// pointers (NULL is 0), and the byte width heuristic (8) for scalars.
+    pub fn payload_len(&self) -> u64 {
+        match self {
+            Arg::Int { .. } => 8,
+            Arg::Ptr { inner, .. } => inner.as_ref().map_or(0, |a| a.payload_len()),
+            Arg::Data { bytes } => bytes.len() as u64,
+            Arg::Group { inner } => inner.len() as u64,
+            Arg::Union { inner, .. } => inner.payload_len(),
+            Arg::Res { .. } => 8,
+        }
+    }
+
+    /// Visits every nested argument (including `self`), outermost first,
+    /// with its path relative to `base`.
+    pub fn visit<'a>(&'a self, base: &ArgPath, f: &mut impl FnMut(&ArgPath, &'a Arg)) {
+        f(base, self);
+        match self {
+            Arg::Ptr {
+                inner: Some(inner), ..
+            } => inner.visit(&base.child(PathSegment::Deref), f),
+            Arg::Group { inner } => {
+                // NOTE: struct fields and array elements share Group; the
+                // path segment kind is disambiguated by the description
+                // walk in `enumerate`, so the generic visitor uses Field.
+                for (i, a) in inner.iter().enumerate() {
+                    a.visit(&base.child(PathSegment::Field(i as u16)), f);
+                }
+            }
+            Arg::Union { variant, inner } => {
+                inner.visit(&base.child(PathSegment::Variant(*variant)), f)
+            }
+            _ => {}
+        }
+    }
+
+    /// Rewrites all `Res::Ref` indices via `map` (used when calls are
+    /// inserted or removed). `map` returns the new index, or `None` if the
+    /// referenced call disappeared, in which case the reference degrades
+    /// to the given special value.
+    pub fn remap_refs(&mut self, map: &impl Fn(usize) -> Option<usize>, fallback: u64) {
+        match self {
+            Arg::Res { source } => {
+                if let ResSource::Ref(idx) = source {
+                    *source = match map(*idx) {
+                        Some(n) => ResSource::Ref(n),
+                        None => ResSource::Special(fallback),
+                    };
+                }
+            }
+            Arg::Ptr {
+                inner: Some(inner), ..
+            } => inner.remap_refs(map, fallback),
+            Arg::Group { inner } => {
+                for a in inner {
+                    a.remap_refs(map, fallback);
+                }
+            }
+            Arg::Union { inner, .. } => inner.remap_refs(map, fallback),
+            _ => {}
+        }
+    }
+
+    /// Collects the call indices this argument references.
+    pub fn collect_refs(&self, out: &mut Vec<usize>) {
+        match self {
+            Arg::Res {
+                source: ResSource::Ref(idx),
+            } => out.push(*idx),
+            Arg::Ptr {
+                inner: Some(inner), ..
+            } => inner.collect_refs(out),
+            Arg::Group { inner } => {
+                for a in inner {
+                    a.collect_refs(out);
+                }
+            }
+            Arg::Union { inner, .. } => inner.collect_refs(out),
+            _ => {}
+        }
+    }
+}
+
+/// Read-only projection of an [`Arg`] for predicate evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgView<'a> {
+    /// Scalar value.
+    Int(u64),
+    /// Pointer (only nullness is observable structurally).
+    Ptr {
+        /// Whether the pointer is NULL.
+        is_null: bool,
+    },
+    /// Buffer contents.
+    Data(&'a [u8]),
+    /// Struct/array arity.
+    Group {
+        /// Number of fields or elements.
+        len: usize,
+    },
+    /// Active union variant.
+    Union {
+        /// Description variant index.
+        variant: u16,
+    },
+    /// Resource reference.
+    Res(ResSource),
+}
+
+impl ArgView<'_> {
+    /// The scalar value if this is an integer view.
+    pub fn as_int(&self) -> Option<u64> {
+        match self {
+            ArgView::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Arg {
+        Arg::ptr(
+            0x2000_0000,
+            Arg::Group {
+                inner: vec![
+                    Arg::int(7),
+                    Arg::Data {
+                        bytes: vec![1, 2, 3],
+                    },
+                    Arg::Union {
+                        variant: 1,
+                        inner: Box::new(Arg::int(42)),
+                    },
+                ],
+            },
+        )
+    }
+
+    #[test]
+    fn descend_follows_structure() {
+        let a = sample();
+        let path = [
+            PathSegment::Deref,
+            PathSegment::Field(2),
+            PathSegment::Variant(1),
+        ];
+        assert_eq!(a.descend(&path), Some(&Arg::int(42)));
+        // Wrong union variant gates the descent.
+        let miss = [
+            PathSegment::Deref,
+            PathSegment::Field(2),
+            PathSegment::Variant(0),
+        ];
+        assert_eq!(a.descend(&miss), None);
+    }
+
+    #[test]
+    fn descend_mut_edits_in_place() {
+        let mut a = sample();
+        let path = [PathSegment::Deref, PathSegment::Field(0)];
+        *a.descend_mut(&path).unwrap() = Arg::int(99);
+        assert_eq!(a.descend(&path), Some(&Arg::int(99)));
+    }
+
+    #[test]
+    fn null_pointer_blocks_descend() {
+        let a = Arg::null();
+        assert_eq!(a.descend(&[PathSegment::Deref]), None);
+        assert_eq!(a.view(), ArgView::Ptr { is_null: true });
+    }
+
+    #[test]
+    fn payload_len_semantics() {
+        assert_eq!(
+            Arg::Data {
+                bytes: vec![0; 5]
+            }
+            .payload_len(),
+            5
+        );
+        assert_eq!(
+            Arg::Group {
+                inner: vec![Arg::int(0), Arg::int(1)]
+            }
+            .payload_len(),
+            2
+        );
+        assert_eq!(Arg::null().payload_len(), 0);
+    }
+
+    #[test]
+    fn remap_refs_rewires_and_degrades() {
+        let mut a = Arg::Group {
+            inner: vec![
+                Arg::Res {
+                    source: ResSource::Ref(3),
+                },
+                Arg::Res {
+                    source: ResSource::Ref(5),
+                },
+            ],
+        };
+        a.remap_refs(&|i| if i == 3 { Some(2) } else { None }, u64::MAX);
+        let mut refs = Vec::new();
+        a.collect_refs(&mut refs);
+        assert_eq!(refs, vec![2]);
+        match &a {
+            Arg::Group { inner } => {
+                assert_eq!(
+                    inner[1],
+                    Arg::Res {
+                        source: ResSource::Special(u64::MAX)
+                    }
+                );
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Kernel test programs and the mutation engine.
+//!
+//! This crate is the analogue of Syzkaller's `prog` package for the
+//! Snowplow reproduction: it defines the in-memory representation of a
+//! kernel test ([`Prog`]: a sequence of syscall invocations with nested
+//! argument trees and resource wiring), random program generation,
+//! serialization to and parsing from a syz-like text format, enumeration of
+//! all mutable argument sites, and the mutation engine factored exactly as
+//! the paper's Figure 1 into *selector* (which mutation type), *localizer*
+//! (which argument) and *instantiator* (which new value).
+//!
+//! The localizer is a trait ([`mutate::ArgLocalizer`]) so that the learned
+//! PMM localizer from `snowplow-pmm` plugs in where the default random
+//! localizer sits — the exact intervention point of the paper.
+//!
+//! ```
+//! use snowplow_syslang::builtin;
+//! use snowplow_prog::{gen::Generator, Prog};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let reg = builtin::linux_sim();
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let prog = Generator::new(&reg).generate(&mut rng, 5);
+//! assert!(!prog.calls.is_empty());
+//! let text = prog.display(&reg).to_string();
+//! let back = Prog::parse(&reg, &text).unwrap();
+//! assert_eq!(prog, back);
+//! ```
+
+pub mod arg;
+pub mod enumerate;
+pub mod gen;
+pub mod mutate;
+pub mod parse;
+pub mod prog;
+pub mod serialize;
+
+pub use arg::{Arg, ArgView, ResSource};
+pub use enumerate::{enumerate_sites, ArgSite};
+pub use mutate::{
+    ArgLoc, ArgLocalizer, Instantiator, MutationType, Mutator, MutatorConfig, RandomLocalizer,
+    Selector, WeightedSelector,
+};
+pub use prog::{Call, Prog};

@@ -1,0 +1,1150 @@
+//! The built-in `linux_sim` description set.
+//!
+//! This module describes the user-space interface of the simulated kernel:
+//! 60+ syscall variants across the file, memory, socket, pipe, epoll, timer,
+//! ioctl (including the SCSI/ATA pass-through family central to §5.3.2 of
+//! the paper), packet-socket, io_uring, watch-queue, and misc subsystems.
+//!
+//! The descriptions intentionally use deep nesting (structs of arrays of
+//! structs, unions, length fields) so that test programs expose the same
+//! order-of-magnitude argument search space the paper measures: dozens of
+//! flattened arguments per program (§5.1 reports >60 on average).
+
+use crate::builder::RegistryBuilder;
+use crate::registry::Registry;
+use crate::types::{Dir, Field, IntFormat};
+
+/// Common `open(2)` flag values (subset of Linux's).
+pub const OPEN_FLAGS: &[u64] = &[0x0, 0x1, 0x2, 0x40, 0x80, 0x200, 0x400, 0x800, 0x1000];
+/// `mmap` protection bits.
+pub const PROT_FLAGS: &[u64] = &[0x0, 0x1, 0x2, 0x4];
+/// `mmap` mapping bits.
+pub const MAP_FLAGS: &[u64] = &[0x01, 0x02, 0x10, 0x20, 0x100];
+/// `msg_flags` for send/recv.
+pub const MSG_FLAGS: &[u64] = &[0x0, 0x1, 0x2, 0x40, 0x80, 0x4000, 0x8000];
+/// Socket families we simulate.
+pub const AF_INET: u64 = 2;
+/// Unix-domain family constant.
+pub const AF_UNIX: u64 = 1;
+/// Packet-socket family constant.
+pub const AF_PACKET: u64 = 17;
+/// `SCSI_IOCTL_SEND_COMMAND` command number (as in Linux).
+pub const SCSI_IOCTL_SEND_COMMAND: u64 = 0x1;
+/// `SG_IO` command number.
+pub const SG_IO: u64 = 0x2285;
+/// ATA-16 pass-through opcode.
+pub const ATA_16: u64 = 0x85;
+/// ATA protocol values (PIO data-in is `4`; the paper's bug needs PIO).
+pub const ATA_PROTOCOLS: &[u64] = &[0, 3, 4, 5, 6, 12];
+/// ATA command values (`ATA_NOP` is `0x00`).
+pub const ATA_COMMANDS: &[u64] = &[0x00, 0x20, 0x25, 0xec, 0xca, 0xe7];
+
+/// Builds the full `linux_sim` registry.
+///
+/// The returned registry is deterministic: calling this twice yields
+/// structurally identical registries with identical ids.
+pub fn linux_sim() -> Registry {
+    let mut b = RegistryBuilder::new();
+
+    // ---- Resource kinds -------------------------------------------------
+    let fd = b.resource("fd", &[u64::MAX]);
+    let sock = b.resource("sock", &[u64::MAX]);
+    let scsi_fd = b.resource("scsi_fd", &[u64::MAX]);
+    let epoll_fd = b.resource("epoll_fd", &[u64::MAX]);
+    let timer_id = b.resource("timer_id", &[0]);
+    let pipe_fd = b.resource("pipe_fd", &[u64::MAX]);
+    let event_fd = b.resource("event_fd", &[u64::MAX]);
+    let uring_fd = b.resource("uring_fd", &[u64::MAX]);
+    let pkt_sock = b.resource("pkt_sock", &[u64::MAX]);
+    let watch_fd = b.resource("watch_fd", &[u64::MAX]);
+    let key_id = b.resource("key_id", &[0]);
+
+    // ---- Shared primitive types -----------------------------------------
+    let fname = b.filename();
+    let fname_ptr = b.ptr_in(fname);
+    let open_flags = b.flags("open_flags", OPEN_FLAGS, 32);
+    let fmode = b.int_range(0, 0o777, 16);
+    let size32 = b.int(32, IntFormat::Any);
+    let size64 = b.int(64, IntFormat::Any);
+    let off64 = b.int(64, IntFormat::Any);
+    let small_blob = b.blob(1, 64);
+    let small_blob_in = b.ptr_in(small_blob);
+    let small_blob_out = b.ptr_out(small_blob);
+    let fd_in = b.res_in(fd);
+    let sock_in = b.res_in(sock);
+    let scsi_in = b.res_in(scsi_fd);
+    let epoll_in = b.res_in(epoll_fd);
+    let timer_in = b.res_in(timer_id);
+    let pipe_in = b.res_in(pipe_fd);
+    let event_in = b.res_in(event_fd);
+    let uring_in = b.res_in(uring_fd);
+    let pkt_in = b.res_in(pkt_sock);
+    let watch_in = b.res_in(watch_fd);
+    let key_in = b.res_in(key_id);
+
+    // ---- File subsystem --------------------------------------------------
+    b.syscall(
+        "open",
+        "open",
+        &[
+            Field::new("file", fname_ptr),
+            Field::new("flags", open_flags),
+            Field::new("mode", fmode),
+        ],
+        Some(fd),
+    );
+    let dirfd_enum = b.int_enum(&[u64::MAX, 0xffff_ff9c /* AT_FDCWD */], 32);
+    b.syscall(
+        "openat",
+        "openat",
+        &[
+            Field::new("dirfd", dirfd_enum),
+            Field::new("file", fname_ptr),
+            Field::new("flags", open_flags),
+            Field::new("mode", fmode),
+        ],
+        Some(fd),
+    );
+    b.syscall(
+        "creat",
+        "creat",
+        &[Field::new("file", fname_ptr), Field::new("mode", fmode)],
+        Some(fd),
+    );
+    b.syscall("close", "close", &[Field::new("fd", fd_in)], None);
+    b.syscall(
+        "read",
+        "read",
+        &[
+            Field::new("fd", fd_in),
+            Field {
+                name: "buf",
+                ty: small_blob_out,
+                dir: Dir::Out,
+            },
+            Field::new("count", size64),
+        ],
+        None,
+    );
+    b.syscall(
+        "write",
+        "write",
+        &[
+            Field::new("fd", fd_in),
+            Field::new("buf", small_blob_in),
+            Field::new("count", size64),
+        ],
+        None,
+    );
+    b.syscall(
+        "pread64",
+        "pread64",
+        &[
+            Field::new("fd", fd_in),
+            Field {
+                name: "buf",
+                ty: small_blob_out,
+                dir: Dir::Out,
+            },
+            Field::new("count", size64),
+            Field::new("pos", off64),
+        ],
+        None,
+    );
+    b.syscall(
+        "pwrite64",
+        "pwrite64",
+        &[
+            Field::new("fd", fd_in),
+            Field::new("buf", small_blob_in),
+            Field::new("count", size64),
+            Field::new("pos", off64),
+        ],
+        None,
+    );
+    let whence = b.int_enum(&[0, 1, 2, 3, 4], 32);
+    b.syscall(
+        "lseek",
+        "lseek",
+        &[
+            Field::new("fd", fd_in),
+            Field::new("offset", off64),
+            Field::new("whence", whence),
+        ],
+        None,
+    );
+    b.syscall(
+        "ftruncate",
+        "ftruncate",
+        &[Field::new("fd", fd_in), Field::new("len", size64)],
+        None,
+    );
+    let falloc_mode = b.flags("falloc_flags", &[0x0, 0x1, 0x2, 0x8, 0x10, 0x20, 0x40], 32);
+    b.syscall(
+        "fallocate",
+        "fallocate",
+        &[
+            Field::new("fd", fd_in),
+            Field::new("mode", falloc_mode),
+            Field::new("offset", off64),
+            Field::new("len", size64),
+        ],
+        None,
+    );
+    let stat_buf = {
+        let u64_any = size64;
+        let st = b.strukt(
+            "stat",
+            vec![
+                Field::out("ino", u64_any),
+                Field::out("size", u64_any),
+                Field::out("mode", u64_any),
+                Field::out("nlink", u64_any),
+            ],
+        );
+        b.ptr_out(st)
+    };
+    b.syscall(
+        "fstat",
+        "fstat",
+        &[
+            Field::new("fd", fd_in),
+            Field {
+                name: "statbuf",
+                ty: stat_buf,
+                dir: Dir::Out,
+            },
+        ],
+        None,
+    );
+    b.syscall(
+        "rename",
+        "rename",
+        &[Field::new("old", fname_ptr), Field::new("new", fname_ptr)],
+        None,
+    );
+    b.syscall("unlink", "unlink", &[Field::new("file", fname_ptr)], None);
+    b.syscall(
+        "mkdir",
+        "mkdir",
+        &[Field::new("file", fname_ptr), Field::new("mode", fmode)],
+        None,
+    );
+    b.syscall(
+        "symlink",
+        "symlink",
+        &[Field::new("target", fname_ptr), Field::new("link", fname_ptr)],
+        None,
+    );
+    b.syscall("dup", "dup", &[Field::new("fd", fd_in)], Some(fd));
+    b.syscall("fsync", "fsync", &[Field::new("fd", fd_in)], None);
+    let fcntl_fl = b.flags("fcntl_status_flags", &[0x0, 0x400, 0x800, 0x1000, 0x4000], 32);
+    let f_setfl = b.constant(4, 32);
+    b.syscall(
+        "fcntl$setfl",
+        "fcntl",
+        &[
+            Field::new("fd", fd_in),
+            Field::new("cmd", f_setfl),
+            Field::new("flags", fcntl_fl),
+        ],
+        None,
+    );
+    let f_dupfd = b.constant(0, 32);
+    b.syscall(
+        "fcntl$dupfd",
+        "fcntl",
+        &[
+            Field::new("fd", fd_in),
+            Field::new("cmd", f_dupfd),
+            Field::new("min", size32),
+        ],
+        Some(fd),
+    );
+    let lock_op = b.int_enum(&[1, 2, 4, 8, 5, 6], 32);
+    b.syscall(
+        "flock",
+        "flock",
+        &[Field::new("fd", fd_in), Field::new("op", lock_op)],
+        None,
+    );
+
+    // ---- Memory subsystem -------------------------------------------------
+    let addr_hint = b.int_enum(&[0, 0x2000_0000, 0x7f00_0000_0000], 64);
+    let prot = b.flags("prot_flags", PROT_FLAGS, 32);
+    let map_fl = b.flags("map_flags", MAP_FLAGS, 32);
+    b.syscall(
+        "mmap",
+        "mmap",
+        &[
+            Field::new("addr", addr_hint),
+            Field::new("len", size64),
+            Field::new("prot", prot),
+            Field::new("flags", map_fl),
+            Field::new("fd", fd_in),
+            Field::new("offset", off64),
+        ],
+        None,
+    );
+    b.syscall(
+        "munmap",
+        "munmap",
+        &[Field::new("addr", addr_hint), Field::new("len", size64)],
+        None,
+    );
+    let madv = b.int_enum(&[0, 1, 2, 3, 4, 8, 9, 10, 12, 14, 15, 21, 22], 32);
+    b.syscall(
+        "madvise",
+        "madvise",
+        &[
+            Field::new("addr", addr_hint),
+            Field::new("len", size64),
+            Field::new("advice", madv),
+        ],
+        None,
+    );
+    b.syscall(
+        "mprotect",
+        "mprotect",
+        &[
+            Field::new("addr", addr_hint),
+            Field::new("len", size64),
+            Field::new("prot", prot),
+        ],
+        None,
+    );
+    let msync_fl = b.flags("msync_flags", &[1, 2, 4], 32);
+    b.syscall(
+        "msync",
+        "msync",
+        &[
+            Field::new("addr", addr_hint),
+            Field::new("len", size64),
+            Field::new("flags", msync_fl),
+        ],
+        None,
+    );
+
+    // ---- Socket subsystem --------------------------------------------------
+    let sockaddr_in = {
+        let family = b.constant(AF_INET, 16);
+        let port = b.int_range(0, 65535, 16);
+        let addr = b.int_enum(&[0, 0x7f00_0001, 0x0a00_0001, 0xe000_0001, 0xffff_ffff], 32);
+        b.strukt(
+            "sockaddr_in",
+            vec![
+                Field::new("family", family),
+                Field::new("port", port),
+                Field::new("addr", addr),
+            ],
+        )
+    };
+    let sockaddr_in_ptr = b.ptr_in(sockaddr_in);
+    let sock_type = b.int_enum(&[1, 2, 3, 5], 32);
+    let inet_proto = b.int_enum(&[0, 6, 17, 255], 32);
+    {
+        let dom = b.constant(AF_INET, 32);
+        let stream = b.constant(1, 32);
+        let dgram = b.constant(2, 32);
+        b.syscall(
+            "socket$inet_tcp",
+            "socket",
+            &[
+                Field::new("domain", dom),
+                Field::new("type", stream),
+                Field::new("proto", inet_proto),
+            ],
+            Some(sock),
+        );
+        b.syscall(
+            "socket$inet_udp",
+            "socket",
+            &[
+                Field::new("domain", dom),
+                Field::new("type", dgram),
+                Field::new("proto", inet_proto),
+            ],
+            Some(sock),
+        );
+        let udom = b.constant(AF_UNIX, 32);
+        b.syscall(
+            "socket$unix",
+            "socket",
+            &[
+                Field::new("domain", udom),
+                Field::new("type", sock_type),
+                Field::new("proto", inet_proto),
+            ],
+            Some(sock),
+        );
+    }
+    let socklen = b.len_of(1, 32);
+    b.syscall(
+        "bind$inet",
+        "bind",
+        &[
+            Field::new("sock", sock_in),
+            Field::new("addr", sockaddr_in_ptr),
+            Field::new("addrlen", socklen),
+        ],
+        None,
+    );
+    b.syscall(
+        "connect$inet",
+        "connect",
+        &[
+            Field::new("sock", sock_in),
+            Field::new("addr", sockaddr_in_ptr),
+            Field::new("addrlen", socklen),
+        ],
+        None,
+    );
+    let backlog = b.int_range(0, 128, 32);
+    b.syscall(
+        "listen",
+        "listen",
+        &[Field::new("sock", sock_in), Field::new("backlog", backlog)],
+        None,
+    );
+    b.syscall("accept", "accept", &[Field::new("sock", sock_in)], Some(sock));
+    let msg_fl = b.flags("msg_flags", MSG_FLAGS, 32);
+    b.syscall(
+        "sendto$inet",
+        "sendto",
+        &[
+            Field::new("sock", sock_in),
+            Field::new("buf", small_blob_in),
+            Field::new("len", size64),
+            Field::new("flags", msg_fl),
+            Field::new("addr", sockaddr_in_ptr),
+            Field::new("addrlen", socklen),
+        ],
+        None,
+    );
+    b.syscall(
+        "recvfrom$inet",
+        "recvfrom",
+        &[
+            Field::new("sock", sock_in),
+            Field {
+                name: "buf",
+                ty: small_blob_out,
+                dir: Dir::Out,
+            },
+            Field::new("len", size64),
+            Field::new("flags", msg_fl),
+        ],
+        None,
+    );
+    // msghdr: the deeply nested payload showcased in the paper's Figure 4.
+    let iovec = {
+        let base = small_blob_in;
+        let l = b.len_of(0, 64);
+        b.strukt("iovec", vec![Field::new("base", base), Field::new("len", l)])
+    };
+    let iov_arr = b.array(iovec, 1, 4);
+    let iov_ptr = b.ptr_in(iov_arr);
+    let msghdr = {
+        let name_ptr = b.ptr_opt(sockaddr_in);
+        let namelen = b.len_of(0, 32);
+        let iovlen = b.len_of(2, 64);
+        let cbuf = b.blob(0, 32);
+        let control = b.ptr_opt(cbuf);
+        let controllen = b.len_of(4, 64);
+        b.strukt(
+            "msghdr",
+            vec![
+                Field::new("name", name_ptr),
+                Field::new("namelen", namelen),
+                Field::new("iov", iov_ptr),
+                Field::new("iovlen", iovlen),
+                Field::new("control", control),
+                Field::new("controllen", controllen),
+                Field::new("flags", msg_fl),
+            ],
+        )
+    };
+    let msghdr_ptr = b.ptr_in(msghdr);
+    b.syscall(
+        "sendmsg$inet",
+        "sendmsg",
+        &[
+            Field::new("sock", sock_in),
+            Field::new("msg", msghdr_ptr),
+            Field::new("flags", msg_fl),
+        ],
+        None,
+    );
+    b.syscall(
+        "recvmsg",
+        "recvmsg",
+        &[
+            Field::new("sock", sock_in),
+            Field {
+                name: "msg",
+                ty: msghdr_ptr,
+                dir: Dir::InOut,
+            },
+            Field::new("flags", msg_fl),
+        ],
+        None,
+    );
+    let sol = b.int_enum(&[0, 1, 6, 17, 41, 263], 32);
+    let optname = b.int_enum(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 13, 15, 20, 30], 32);
+    let optval_int = b.int(32, IntFormat::Any);
+    let optval_ptr = {
+        let v = b.strukt("optval_int", vec![Field::new("value", optval_int)]);
+        b.ptr_in(v)
+    };
+    let optlen = b.len_of(3, 32);
+    b.syscall(
+        "setsockopt$int",
+        "setsockopt",
+        &[
+            Field::new("sock", sock_in),
+            Field::new("level", sol),
+            Field::new("optname", optname),
+            Field::new("optval", optval_ptr),
+            Field::new("optlen", optlen),
+        ],
+        None,
+    );
+    b.syscall(
+        "getsockopt",
+        "getsockopt",
+        &[
+            Field::new("sock", sock_in),
+            Field::new("level", sol),
+            Field::new("optname", optname),
+            Field {
+                name: "optval",
+                ty: small_blob_out,
+                dir: Dir::Out,
+            },
+        ],
+        None,
+    );
+    let how = b.int_enum(&[0, 1, 2], 32);
+    b.syscall(
+        "shutdown",
+        "shutdown",
+        &[Field::new("sock", sock_in), Field::new("how", how)],
+        None,
+    );
+
+    // ---- Packet sockets (af_packet / xdp-flavoured) -------------------------
+    {
+        let dom = b.constant(AF_PACKET, 32);
+        let raw = b.constant(3, 32);
+        let eth_proto = b.int_enum(&[0x0003, 0x0800, 0x0806, 0x86dd], 32);
+        b.syscall(
+            "socket$packet",
+            "socket",
+            &[
+                Field::new("domain", dom),
+                Field::new("type", raw),
+                Field::new("proto", eth_proto),
+            ],
+            Some(pkt_sock),
+        );
+        let tpacket_req = {
+            let blk_size = b.int_enum(&[0, 0x1000, 0x10000, 0x100000], 32);
+            let blk_nr = b.int_range(0, 1024, 32);
+            let frame_size = b.int_enum(&[0, 0x100, 0x800, 0x10000], 32);
+            let frame_nr = b.int_range(0, 4096, 32);
+            b.strukt(
+                "tpacket_req",
+                vec![
+                    Field::new("block_size", blk_size),
+                    Field::new("block_nr", blk_nr),
+                    Field::new("frame_size", frame_size),
+                    Field::new("frame_nr", frame_nr),
+                ],
+            )
+        };
+        let req_ptr = b.ptr_in(tpacket_req);
+        let sol_packet = b.constant(263, 32);
+        let rx_ring = b.constant(5, 32);
+        let reqlen = b.len_of(3, 32);
+        b.syscall(
+            "setsockopt$packet_rx_ring",
+            "setsockopt",
+            &[
+                Field::new("sock", pkt_in),
+                Field::new("level", sol_packet),
+                Field::new("optname", rx_ring),
+                Field::new("req", req_ptr),
+                Field::new("reqlen", reqlen),
+            ],
+            None,
+        );
+        let fanout = b.int_enum(&[0, 1, 2, 3, 4, 5, 6, 7], 32);
+        let fanout_opt = b.constant(18, 32);
+        let fanout_arg = {
+            let id = b.int_range(0, 65535, 16);
+            b.strukt(
+                "fanout_args",
+                vec![Field::new("id", id), Field::new("type_flags", fanout)],
+            )
+        };
+        let fanout_ptr = b.ptr_in(fanout_arg);
+        let flen = b.len_of(3, 32);
+        b.syscall(
+            "setsockopt$packet_fanout",
+            "setsockopt",
+            &[
+                Field::new("sock", pkt_in),
+                Field::new("level", sol_packet),
+                Field::new("optname", fanout_opt),
+                Field::new("arg", fanout_ptr),
+                Field::new("arglen", flen),
+            ],
+            None,
+        );
+        b.syscall(
+            "sendmsg$packet",
+            "sendmsg",
+            &[
+                Field::new("sock", pkt_in),
+                Field::new("msg", msghdr_ptr),
+                Field::new("flags", msg_fl),
+            ],
+            None,
+        );
+    }
+
+    // ---- Pipes ---------------------------------------------------------------
+    let pipe_flags = b.flags("pipe_flags", &[0x0, 0x800, 0x80000, 0x4000], 32);
+    b.syscall(
+        "pipe2",
+        "pipe2",
+        &[Field::new("flags", pipe_flags)],
+        Some(pipe_fd),
+    );
+    let splice_fl = b.flags("splice_flags", &[0x1, 0x2, 0x4, 0x8], 32);
+    b.syscall(
+        "splice",
+        "splice",
+        &[
+            Field::new("fd_in", pipe_in),
+            Field::new("fd_out", fd_in),
+            Field::new("len", size64),
+            Field::new("flags", splice_fl),
+        ],
+        None,
+    );
+    b.syscall(
+        "tee",
+        "tee",
+        &[
+            Field::new("fd_in", pipe_in),
+            Field::new("fd_out", pipe_in),
+            Field::new("len", size64),
+            Field::new("flags", splice_fl),
+        ],
+        None,
+    );
+
+    // ---- epoll / eventfd -------------------------------------------------------
+    let epoll_fl = b.flags("epoll_create_flags", &[0x0, 0x80000], 32);
+    b.syscall(
+        "epoll_create1",
+        "epoll_create1",
+        &[Field::new("flags", epoll_fl)],
+        Some(epoll_fd),
+    );
+    let epoll_event = {
+        let ev = b.flags("epoll_events", &[0x1, 0x2, 0x4, 0x8, 0x10, 0x2000, 0x40000000], 32);
+        let data = size64;
+        b.strukt(
+            "epoll_event",
+            vec![Field::new("events", ev), Field::new("data", data)],
+        )
+    };
+    let ev_ptr = b.ptr_in(epoll_event);
+    for (name, opconst) in [("epoll_ctl$add", 1u64), ("epoll_ctl$del", 2), ("epoll_ctl$mod", 3)] {
+        let op = b.constant(opconst, 32);
+        b.syscall(
+            name,
+            "epoll_ctl",
+            &[
+                Field::new("epfd", epoll_in),
+                Field::new("op", op),
+                Field::new("fd", fd_in),
+                Field::new("event", ev_ptr),
+            ],
+            None,
+        );
+    }
+    let maxev = b.int_range(1, 64, 32);
+    let timeout = b.int_enum(&[0, 1, 100, u64::MAX], 32);
+    b.syscall(
+        "epoll_wait",
+        "epoll_wait",
+        &[
+            Field::new("epfd", epoll_in),
+            Field {
+                name: "events",
+                ty: small_blob_out,
+                dir: Dir::Out,
+            },
+            Field::new("maxevents", maxev),
+            Field::new("timeout", timeout),
+        ],
+        None,
+    );
+    let efd_flags = b.flags("eventfd_flags", &[0x0, 0x1, 0x800, 0x80000], 32);
+    let initval = b.int(32, IntFormat::Any);
+    b.syscall(
+        "eventfd2",
+        "eventfd2",
+        &[Field::new("initval", initval), Field::new("flags", efd_flags)],
+        Some(event_fd),
+    );
+    b.syscall(
+        "write$eventfd",
+        "write",
+        &[
+            Field::new("fd", event_in),
+            Field::new("value", small_blob_in),
+            Field::new("count", size64),
+        ],
+        None,
+    );
+
+    // ---- Timers ------------------------------------------------------------------
+    let clockid = b.int_enum(&[0, 1, 4, 7, 9], 32);
+    let sigevent = {
+        let notify = b.int_enum(&[0, 1, 2, 4], 32);
+        let signo = b.int_range(0, 64, 32);
+        let value = size64;
+        b.strukt(
+            "sigevent",
+            vec![
+                Field::new("value", value),
+                Field::new("signo", signo),
+                Field::new("notify", notify),
+            ],
+        )
+    };
+    let sev_ptr = b.ptr_opt(sigevent);
+    b.syscall(
+        "timer_create",
+        "timer_create",
+        &[Field::new("clockid", clockid), Field::new("sevp", sev_ptr)],
+        Some(timer_id),
+    );
+    let timespec = {
+        let sec = b.int_enum(&[0, 1, 10, 0x7fff_ffff], 64);
+        let nsec = b.int_enum(&[0, 1, 999_999_999, u64::MAX], 64);
+        b.strukt(
+            "timespec",
+            vec![Field::new("sec", sec), Field::new("nsec", nsec)],
+        )
+    };
+    let itimerspec = {
+        b.strukt(
+            "itimerspec",
+            vec![
+                Field::new("interval", timespec),
+                Field::new("value", timespec),
+            ],
+        )
+    };
+    let its_ptr = b.ptr_in(itimerspec);
+    let tsettime_fl = b.flags("timer_settime_flags", &[0x0, 0x1], 32);
+    b.syscall(
+        "timer_settime",
+        "timer_settime",
+        &[
+            Field::new("timer", timer_in),
+            Field::new("flags", tsettime_fl),
+            Field::new("new", its_ptr),
+        ],
+        None,
+    );
+    b.syscall(
+        "timer_delete",
+        "timer_delete",
+        &[Field::new("timer", timer_in)],
+        None,
+    );
+    let ts_ptr = b.ptr_in(timespec);
+    b.syscall("nanosleep", "nanosleep", &[Field::new("req", ts_ptr)], None);
+
+    // ---- SCSI / ATA ioctls (the §5.3.2 story) ---------------------------------
+    {
+        let scsi_name = b.string(&["/dev/sg0", "/dev/sda", "/dev/sr0"]);
+        let scsi_ptr = b.ptr_in(scsi_name);
+        let oflags = b.flags("scsi_open_flags", &[0x0, 0x2, 0x800], 32);
+        b.syscall(
+            "openat$scsi",
+            "openat",
+            &[
+                Field::new("dirfd", dirfd_enum),
+                Field::new("dev", scsi_ptr),
+                Field::new("flags", oflags),
+            ],
+            Some(scsi_fd),
+        );
+        // The ATA-16 pass-through CDB: opcode, protocol, flags, command.
+        let ata16_cdb = {
+            let opcode = b.constant(ATA_16, 8);
+            let protocol = b.int_enum(ATA_PROTOCOLS, 8);
+            let tflags = b.flags("ata_tf_flags", &[0x0, 0x1, 0x2, 0x4, 0x20], 8);
+            let command = b.int_enum(ATA_COMMANDS, 8);
+            let sector = b.int(32, IntFormat::Any);
+            b.strukt(
+                "ata16_cdb",
+                vec![
+                    Field::new("opcode", opcode),
+                    Field::new("protocol", protocol),
+                    Field::new("tf_flags", tflags),
+                    Field::new("command", command),
+                    Field::new("sector", sector),
+                ],
+            )
+        };
+        let tur_cdb = {
+            let opcode = b.constant(0x00, 8);
+            let pad = b.int_range(0, 255, 8);
+            b.strukt(
+                "test_unit_ready_cdb",
+                vec![Field::new("opcode", opcode), Field::new("pad", pad)],
+            )
+        };
+        let inquiry_cdb = {
+            let opcode = b.constant(0x12, 8);
+            let evpd = b.int_range(0, 1, 8);
+            let page = b.int_range(0, 255, 8);
+            let alloc_len = b.int(16, IntFormat::Any);
+            b.strukt(
+                "inquiry_cdb",
+                vec![
+                    Field::new("opcode", opcode),
+                    Field::new("evpd", evpd),
+                    Field::new("page", page),
+                    Field::new("alloc_len", alloc_len),
+                ],
+            )
+        };
+        let cdb_union = b.union(
+            "scsi_cdb",
+            vec![
+                Field::new("ata16", ata16_cdb),
+                Field::new("tur", tur_cdb),
+                Field::new("inquiry", inquiry_cdb),
+            ],
+        );
+        let scsi_hdr = {
+            let inlen = b.int(32, IntFormat::Any);
+            let outlen = b.int(32, IntFormat::Any);
+            b.strukt(
+                "scsi_ioctl_command",
+                vec![
+                    Field::new("inlen", inlen),
+                    Field::new("outlen", outlen),
+                    Field::new("cdb", cdb_union),
+                ],
+            )
+        };
+        let hdr_ptr = b.ptr_in(scsi_hdr);
+        let cmd_const = b.constant(SCSI_IOCTL_SEND_COMMAND, 32);
+        b.syscall(
+            "ioctl$scsi_send_command",
+            "ioctl",
+            &[
+                Field::new("fd", scsi_in),
+                Field::new("cmd", cmd_const),
+                Field::new("arg", hdr_ptr),
+            ],
+            None,
+        );
+        let sgio_hdr = {
+            let iface = b.constant(0x53, 32);
+            let dxfer_dir = b.int_enum(&[u64::MAX, 0xffff_fffe, 0xffff_fffd, 0xffff_fffb], 32);
+            let cdb_len = b.int_range(0, 32, 8);
+            let dxfer_len = b.int(32, IntFormat::Any);
+            let cdb_ptr = b.ptr_in(cdb_union);
+            let tmo = b.int_enum(&[0, 1000, 60000], 32);
+            b.strukt(
+                "sg_io_hdr",
+                vec![
+                    Field::new("interface_id", iface),
+                    Field::new("dxfer_direction", dxfer_dir),
+                    Field::new("cmd_len", cdb_len),
+                    Field::new("dxfer_len", dxfer_len),
+                    Field::new("cmdp", cdb_ptr),
+                    Field::new("timeout", tmo),
+                ],
+            )
+        };
+        let sgio_ptr = b.ptr_in(sgio_hdr);
+        let sg_cmd = b.constant(SG_IO, 32);
+        b.syscall(
+            "ioctl$sg_io",
+            "ioctl",
+            &[
+                Field::new("fd", scsi_in),
+                Field::new("cmd", sg_cmd),
+                Field::new("arg", sgio_ptr),
+            ],
+            None,
+        );
+    }
+
+    // ---- Generic ioctls ----------------------------------------------------------
+    for (name, cmd) in [
+        ("ioctl$fionbio", 0x5421u64),
+        ("ioctl$fioclex", 0x5451),
+        ("ioctl$fionread", 0x541b),
+    ] {
+        let c = b.constant(cmd, 32);
+        let argp = {
+            let v = b.int(32, IntFormat::Any);
+            let s = b.strukt("int_arg", vec![Field::new("value", v)]);
+            b.ptr_in(s)
+        };
+        b.syscall(
+            name,
+            "ioctl",
+            &[
+                Field::new("fd", fd_in),
+                Field::new("cmd", c),
+                Field::new("arg", argp),
+            ],
+            None,
+        );
+    }
+
+    // ---- io_uring (simulated) ------------------------------------------------------
+    {
+        let entries = b.int_enum(&[0, 1, 8, 64, 4096, 0x10000], 32);
+        let uring_params = {
+            let sq_thread_cpu = b.int_range(0, 64, 32);
+            let sq_thread_idle = b.int(32, IntFormat::Any);
+            let flags = b.flags(
+                "uring_setup_flags",
+                &[0x0, 0x1, 0x2, 0x4, 0x8, 0x10, 0x20, 0x40],
+                32,
+            );
+            b.strukt(
+                "io_uring_params",
+                vec![
+                    Field::new("flags", flags),
+                    Field::new("sq_thread_cpu", sq_thread_cpu),
+                    Field::new("sq_thread_idle", sq_thread_idle),
+                ],
+            )
+        };
+        let params_ptr = b.ptr_in(uring_params);
+        b.syscall(
+            "io_uring_setup",
+            "io_uring_setup",
+            &[Field::new("entries", entries), Field::new("params", params_ptr)],
+            Some(uring_fd),
+        );
+        let to_submit = b.int_range(0, 128, 32);
+        let min_complete = b.int_range(0, 128, 32);
+        let enter_flags = b.flags("uring_enter_flags", &[0x0, 0x1, 0x2, 0x4], 32);
+        b.syscall(
+            "io_uring_enter",
+            "io_uring_enter",
+            &[
+                Field::new("fd", uring_in),
+                Field::new("to_submit", to_submit),
+                Field::new("min_complete", min_complete),
+                Field::new("flags", enter_flags),
+            ],
+            None,
+        );
+        let reg_op = b.int_enum(&[0, 1, 2, 3, 4, 9, 10], 32);
+        b.syscall(
+            "io_uring_register",
+            "io_uring_register",
+            &[
+                Field::new("fd", uring_in),
+                Field::new("op", reg_op),
+                Field::new("arg", small_blob_in),
+                Field::new("nr_args", size32),
+            ],
+            None,
+        );
+    }
+
+    // ---- watch_queue / keyctl (Table 5 flavour) ----------------------------------
+    {
+        let wq_flags = b.flags("pipe_watch_flags", &[0x80, 0x800], 32);
+        b.syscall(
+            "pipe2$watch_queue",
+            "pipe2",
+            &[Field::new("flags", wq_flags)],
+            Some(watch_fd),
+        );
+        let ioc_watch_queue = b.constant(0x5760, 32);
+        let qsize = b.int_enum(&[0, 1, 8, 256, 512], 32);
+        b.syscall(
+            "ioctl$watch_queue_set_size",
+            "ioctl",
+            &[
+                Field::new("fd", watch_in),
+                Field::new("cmd", ioc_watch_queue),
+                Field::new("size", qsize),
+            ],
+            None,
+        );
+        let keyspec = b.int_enum(&[0xffff_fffe, 0xffff_fffd, 0xffff_fffc], 32);
+        let ktype = b.string(&["keyring", "user", "logon", "big_key"]);
+        let ktype_ptr = b.ptr_in(ktype);
+        let desc = b.string(&["syz", "fuzz", "snowplow"]);
+        let desc_ptr = b.ptr_in(desc);
+        b.syscall(
+            "add_key",
+            "add_key",
+            &[
+                Field::new("type", ktype_ptr),
+                Field::new("desc", desc_ptr),
+                Field::new("payload", small_blob_in),
+                Field::new("plen", size64),
+                Field::new("keyring", keyspec),
+            ],
+            Some(key_id),
+        );
+        let keyctl_watch = b.constant(32, 32);
+        b.syscall(
+            "keyctl$watch_key",
+            "keyctl",
+            &[
+                Field::new("cmd", keyctl_watch),
+                Field::new("key", key_in),
+                Field::new("watch_fd", watch_in),
+                Field::new("watch_id", size32),
+            ],
+            None,
+        );
+    }
+
+    // ---- Misc ----------------------------------------------------------------------
+    let futex_op = b.int_enum(&[0, 1, 2, 3, 4, 5, 6, 7, 9, 10], 32);
+    let uaddr = {
+        let v = b.int(32, IntFormat::Any);
+        let s = b.strukt("futex_word", vec![Field::new("value", v)]);
+        b.ptr_in(s)
+    };
+    b.syscall(
+        "futex",
+        "futex",
+        &[
+            Field::new("uaddr", uaddr),
+            Field::new("op", futex_op),
+            Field::new("val", size32),
+        ],
+        None,
+    );
+    let prctl_op = b.int_enum(&[1, 3, 4, 15, 22, 23, 38, 59], 32);
+    b.syscall(
+        "prctl",
+        "prctl",
+        &[
+            Field::new("option", prctl_op),
+            Field::new("arg2", size64),
+            Field::new("arg3", size64),
+        ],
+        None,
+    );
+    let rlimit_res = b.int_enum(&[0, 1, 2, 3, 4, 5, 6, 7, 9, 13], 32);
+    let rlim = {
+        let cur = size64;
+        let max = size64;
+        b.strukt("rlimit", vec![Field::new("cur", cur), Field::new("max", max)])
+    };
+    let rlim_ptr = b.ptr_in(rlim);
+    b.syscall(
+        "setrlimit",
+        "setrlimit",
+        &[Field::new("resource", rlimit_res), Field::new("rlim", rlim_ptr)],
+        None,
+    );
+    b.syscall("sched_yield", "sched_yield", &[], None);
+    let sigmask = b.int(64, IntFormat::Any);
+    let sig_how = b.int_enum(&[0, 1, 2], 32);
+    let mask_ptr = {
+        let s = b.strukt("sigset", vec![Field::new("mask", sigmask)]);
+        b.ptr_in(s)
+    };
+    b.syscall(
+        "rt_sigprocmask",
+        "rt_sigprocmask",
+        &[Field::new("how", sig_how), Field::new("set", mask_ptr)],
+        None,
+    );
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_expected_scale() {
+        let reg = linux_sim();
+        assert!(
+            reg.syscall_count() >= 60,
+            "expected >= 60 variants, got {}",
+            reg.syscall_count()
+        );
+        assert!(reg.resource_count() >= 10);
+    }
+
+    #[test]
+    fn all_names_unique_and_resolvable() {
+        let reg = linux_sim();
+        for id in reg.syscall_ids() {
+            let def = reg.syscall(id);
+            assert_eq!(reg.syscall_by_name(def.name), Some(id));
+        }
+    }
+
+    #[test]
+    fn deep_nesting_present() {
+        let reg = linux_sim();
+        let sendmsg = reg.syscall_by_name("sendmsg$inet").unwrap();
+        let paths = reg.enumerate_paths(sendmsg);
+        // msghdr + iovec array + sockaddr gives well over a dozen paths.
+        assert!(paths.len() > 15, "got {} paths", paths.len());
+        let max_depth = paths.iter().map(|(p, _)| p.len()).max().unwrap();
+        assert!(max_depth >= 5, "max depth {max_depth}");
+    }
+
+    #[test]
+    fn every_in_resource_has_a_producer() {
+        let reg = linux_sim();
+        for id in reg.syscall_ids() {
+            for (path, ty) in reg.enumerate_paths(id) {
+                if let snowplow_ty @ crate::types::Type::Resource { kind, dir } = reg.ty(ty) {
+                    let _ = snowplow_ty;
+                    if dir.is_in() {
+                        assert!(
+                            !reg.producers_of(*kind).is_empty(),
+                            "resource {} consumed at {}:{path} has no producer",
+                            reg.resource(*kind).name,
+                            reg.syscall(id).name,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_across_builds() {
+        let a = linux_sim();
+        let c = linux_sim();
+        assert_eq!(a.syscall_count(), c.syscall_count());
+        assert_eq!(a.type_count(), c.type_count());
+        for id in a.syscall_ids() {
+            assert_eq!(a.syscall(id).name, c.syscall(id).name);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Syscall description DSL for the Snowplow simulated kernel.
+//!
+//! This crate plays the role that Syzkaller's *Syzlang* descriptions play in
+//! the original Snowplow system: it defines the type system used to describe
+//! system-call interfaces (integers, flag words, pointers, buffers, nested
+//! structs, unions, length fields, and kernel resources), the registry that
+//! holds the full set of syscall variants, and the path addressing scheme
+//! used to name individual (possibly deeply nested) arguments.
+//!
+//! The crate is purely descriptive: actual test programs live in
+//! `snowplow-prog` and the simulated kernel that interprets them lives in
+//! `snowplow-kernel`.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use snowplow_syslang::builtin;
+//!
+//! let reg = builtin::linux_sim();
+//! let open = reg.syscall_by_name("open").expect("open is described");
+//! assert_eq!(reg.syscall(open).args.len(), 3);
+//! // Every argument of every call can be enumerated as a path:
+//! let paths = reg.enumerate_paths(open);
+//! assert!(paths.len() >= 3);
+//! ```
+
+pub mod builder;
+pub mod builtin;
+pub mod path;
+pub mod registry;
+pub mod types;
+
+pub use builder::RegistryBuilder;
+pub use path::{ArgPath, PathSegment};
+pub use registry::{Registry, ResourceDef, ResourceId, SyscallDef, SyscallId};
+pub use types::{BufferKind, Dir, Field, IntFormat, Type, TypeId};

@@ -1,0 +1,187 @@
+//! Argument path addressing.
+//!
+//! An [`ArgPath`] names one argument value inside a call's argument tree:
+//! the first segment selects a top-level argument, and each further segment
+//! descends through a pointer, struct field, array element, or union
+//! variant. Paths are the currency of argument localization — the mutation
+//! dataset of §3.1, the model output of §3.3, and the mutation engine all
+//! speak in paths.
+
+use std::fmt;
+
+/// One step of descent into an argument tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PathSegment {
+    /// Select the `i`-th top-level argument (only valid as the first
+    /// segment).
+    Arg(u16),
+    /// Follow a pointer to its pointee.
+    Deref,
+    /// Select the `i`-th field of a struct.
+    Field(u16),
+    /// Select the `i`-th element of an array.
+    Elem(u16),
+    /// Select the active variant of a union (the index recorded is the
+    /// *description* variant index, for stable addressing).
+    Variant(u16),
+}
+
+impl fmt::Display for PathSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathSegment::Arg(i) => write!(f, "a{i}"),
+            PathSegment::Deref => write!(f, "*"),
+            PathSegment::Field(i) => write!(f, "f{i}"),
+            PathSegment::Elem(i) => write!(f, "e{i}"),
+            PathSegment::Variant(i) => write!(f, "v{i}"),
+        }
+    }
+}
+
+/// A path from a call's argument list down to one nested value.
+///
+/// Paths order lexicographically by segment, which gives a stable,
+/// deterministic enumeration order for all flattened arguments of a call.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArgPath {
+    segments: Vec<PathSegment>,
+}
+
+impl ArgPath {
+    /// The empty path (names the argument list itself; rarely useful on
+    /// its own).
+    pub fn root() -> Self {
+        ArgPath::default()
+    }
+
+    /// A path selecting top-level argument `i`.
+    pub fn arg(i: usize) -> Self {
+        ArgPath {
+            segments: vec![PathSegment::Arg(i as u16)],
+        }
+    }
+
+    /// Returns a new path with `seg` appended.
+    #[must_use]
+    pub fn child(&self, seg: PathSegment) -> Self {
+        let mut segments = Vec::with_capacity(self.segments.len() + 1);
+        segments.extend_from_slice(&self.segments);
+        segments.push(seg);
+        ArgPath { segments }
+    }
+
+    /// The path's segments, outermost first.
+    pub fn segments(&self) -> &[PathSegment] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether this is the root path.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Index of the top-level argument this path descends through, if any.
+    pub fn top_arg(&self) -> Option<usize> {
+        match self.segments.first() {
+            Some(PathSegment::Arg(i)) => Some(*i as usize),
+            _ => None,
+        }
+    }
+
+    /// Whether `self` is a (non-strict) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &ArgPath) -> bool {
+        other.segments.len() >= self.segments.len()
+            && other.segments[..self.segments.len()] == self.segments[..]
+    }
+
+    /// A stable small hash of the path, used as an embedding bucket so the
+    /// model can correlate an argument with kernel blocks that mention it.
+    /// The bucket space is deliberately small (`1 << 10`) to keep the
+    /// learned vocabulary compact.
+    pub fn slot(&self) -> u16 {
+        let mut h: u32 = 0x9e37_79b9;
+        for seg in &self.segments {
+            let v: u32 = match seg {
+                PathSegment::Arg(i) => 0x1000 | u32::from(*i),
+                PathSegment::Deref => 0x2000,
+                PathSegment::Field(i) => 0x3000 | u32::from(*i),
+                PathSegment::Elem(i) => 0x4000 | u32::from(*i),
+                PathSegment::Variant(i) => 0x5000 | u32::from(*i),
+            };
+            h = h.wrapping_mul(0x0100_0193) ^ v;
+        }
+        (h % 1024) as u16
+    }
+}
+
+impl fmt::Display for ArgPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.segments.is_empty() {
+            return write!(f, "<root>");
+        }
+        for (i, seg) in self.segments.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{seg}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<PathSegment> for ArgPath {
+    fn from_iter<T: IntoIterator<Item = PathSegment>>(iter: T) -> Self {
+        ArgPath {
+            segments: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_structure() {
+        let p = ArgPath::arg(1)
+            .child(PathSegment::Deref)
+            .child(PathSegment::Field(2))
+            .child(PathSegment::Elem(0));
+        assert_eq!(p.to_string(), "a1.*.f2.e0");
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.top_arg(), Some(1));
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let a = ArgPath::arg(0).child(PathSegment::Deref);
+        let b = a.child(PathSegment::Field(3));
+        assert!(a.is_prefix_of(&b));
+        assert!(a.is_prefix_of(&a));
+        assert!(!b.is_prefix_of(&a));
+        assert!(!ArgPath::arg(1).is_prefix_of(&b));
+    }
+
+    #[test]
+    fn slots_are_stable_and_bounded() {
+        let p = ArgPath::arg(2).child(PathSegment::Field(1));
+        assert_eq!(p.slot(), p.clone().slot());
+        assert!(p.slot() < 1024);
+        // Different paths should usually land in different buckets.
+        let q = ArgPath::arg(2).child(PathSegment::Field(2));
+        assert_ne!(p.slot(), q.slot());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = ArgPath::arg(0);
+        let b = ArgPath::arg(0).child(PathSegment::Deref);
+        let c = ArgPath::arg(1);
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,267 @@
+//! The Syzlang-like type system.
+//!
+//! Types are stored in an arena owned by the [`Registry`](crate::Registry)
+//! and referenced by [`TypeId`]; this keeps deeply nested descriptions cheap
+//! to share between syscall variants and makes structural walks (argument
+//! enumeration, program generation, mutation) allocation-free.
+
+use std::fmt;
+
+/// Index of a type in the registry's type arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+impl TypeId {
+    /// Returns the arena index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ty{}", self.0)
+    }
+}
+
+/// Direction of data flow for pointers and resources, mirroring Syzlang's
+/// `in` / `out` / `inout` annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Read by the kernel.
+    In,
+    /// Written by the kernel.
+    Out,
+    /// Both read and written.
+    InOut,
+}
+
+impl Dir {
+    /// Whether the kernel reads this value.
+    pub fn is_in(self) -> bool {
+        matches!(self, Dir::In | Dir::InOut)
+    }
+
+    /// Whether the kernel writes this value.
+    pub fn is_out(self) -> bool {
+        matches!(self, Dir::Out | Dir::InOut)
+    }
+}
+
+/// How an integer argument should be generated and mutated.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IntFormat {
+    /// Any value of the given width; generation is biased toward boundary
+    /// values and small magnitudes, like Syzkaller's `intN`.
+    Any,
+    /// A value in `[lo, hi]` (inclusive), like `intN[lo:hi]`.
+    Range { lo: u64, hi: u64 },
+    /// One of an explicit list of interesting values (e.g. ioctl command
+    /// numbers), like `flags` used as an enum.
+    Enum { values: Vec<u64> },
+}
+
+/// Payload classes for buffer arguments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BufferKind {
+    /// An opaque byte blob with a size range (inclusive).
+    Blob { min_len: usize, max_len: usize },
+    /// A NUL-terminated string drawn from a fixed dictionary.
+    String { values: Vec<&'static str> },
+    /// A filename within the test's working directory (e.g. `./file0`).
+    Filename,
+}
+
+/// A named, directed field of a struct, union, or syscall argument list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// Field name as it appears in serialized programs.
+    pub name: &'static str,
+    /// The field's type.
+    pub ty: TypeId,
+    /// Data-flow direction.
+    pub dir: Dir,
+}
+
+impl Field {
+    /// Convenience constructor for an `in` field.
+    pub fn new(name: &'static str, ty: TypeId) -> Self {
+        Field {
+            name,
+            ty,
+            dir: Dir::In,
+        }
+    }
+
+    /// Convenience constructor for an `out` field.
+    pub fn out(name: &'static str, ty: TypeId) -> Self {
+        Field {
+            name,
+            ty,
+            dir: Dir::Out,
+        }
+    }
+}
+
+/// A node of the description type tree.
+///
+/// The variants deliberately mirror the subset of Syzlang that the paper's
+/// argument-mutation study exercises: scalar values with several generation
+/// disciplines, flag words, pointers to nested payloads, buffers, arrays,
+/// structs, unions, length fields, and kernel resources.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// An integer scalar of `bits` width (8/16/32/64) with a generation
+    /// format.
+    Int { bits: u8, format: IntFormat },
+    /// A bitwise-OR flag word; each element of `values` is a single flag
+    /// bit or composite constant, and `name` names the flag set (used by
+    /// the serializer).
+    Flags {
+        name: &'static str,
+        values: Vec<u64>,
+        bits: u8,
+    },
+    /// A compile-time constant the program must pass verbatim (e.g. a
+    /// fixed ioctl command); not a mutation site.
+    Const { value: u64, bits: u8 },
+    /// A pointer to a nested value. `optional` pointers may be NULL.
+    Ptr {
+        dir: Dir,
+        elem: TypeId,
+        optional: bool,
+    },
+    /// A byte buffer (blob, dictionary string, or filename).
+    Buffer { kind: BufferKind },
+    /// A variable-length array of `elem` with an inclusive length range.
+    Array {
+        elem: TypeId,
+        min_len: usize,
+        max_len: usize,
+    },
+    /// A struct with named fields, laid out in order.
+    Struct {
+        name: &'static str,
+        fields: Vec<Field>,
+    },
+    /// A tagged union: exactly one variant is instantiated.
+    Union {
+        name: &'static str,
+        variants: Vec<Field>,
+    },
+    /// The byte length of a sibling field (by index within the enclosing
+    /// struct or argument list); computed, not mutated.
+    Len { target: usize, bits: u8 },
+    /// A kernel resource (file descriptor, socket, timer id, ...). `In`
+    /// resources consume a value produced by an earlier call; `Out`
+    /// resources are produced by this call.
+    Resource {
+        kind: crate::registry::ResourceId,
+        dir: Dir,
+    },
+}
+
+impl Type {
+    /// Whether a value of this type is a meaningful *argument mutation*
+    /// site. Constants and computed lengths are excluded, exactly as
+    /// Syzkaller excludes them from argument mutation.
+    pub fn is_mutable(&self) -> bool {
+        !matches!(self, Type::Const { .. } | Type::Len { .. })
+    }
+
+    /// Width in bits for scalar-like types, if applicable.
+    pub fn bits(&self) -> Option<u8> {
+        match self {
+            Type::Int { bits, .. }
+            | Type::Flags { bits, .. }
+            | Type::Const { bits, .. }
+            | Type::Len { bits, .. } => Some(*bits),
+            _ => None,
+        }
+    }
+
+    /// A short, stable kind tag used for feature embedding and debugging.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Type::Int { .. } => "int",
+            Type::Flags { .. } => "flags",
+            Type::Const { .. } => "const",
+            Type::Ptr { .. } => "ptr",
+            Type::Buffer {
+                kind: BufferKind::Filename,
+            } => "filename",
+            Type::Buffer {
+                kind: BufferKind::String { .. },
+            } => "string",
+            Type::Buffer { .. } => "buffer",
+            Type::Array { .. } => "array",
+            Type::Struct { .. } => "struct",
+            Type::Union { .. } => "union",
+            Type::Len { .. } => "len",
+            Type::Resource { .. } => "resource",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_predicates() {
+        assert!(Dir::In.is_in());
+        assert!(!Dir::In.is_out());
+        assert!(Dir::Out.is_out());
+        assert!(Dir::InOut.is_in() && Dir::InOut.is_out());
+    }
+
+    #[test]
+    fn const_and_len_are_not_mutable() {
+        assert!(!Type::Const { value: 1, bits: 32 }.is_mutable());
+        assert!(!Type::Len {
+            target: 0,
+            bits: 32
+        }
+        .is_mutable());
+        assert!(Type::Int {
+            bits: 32,
+            format: IntFormat::Any
+        }
+        .is_mutable());
+    }
+
+    #[test]
+    fn kind_names_are_distinct_for_buffers() {
+        let fname = Type::Buffer {
+            kind: BufferKind::Filename,
+        };
+        let blob = Type::Buffer {
+            kind: BufferKind::Blob {
+                min_len: 0,
+                max_len: 8,
+            },
+        };
+        assert_eq!(fname.kind_name(), "filename");
+        assert_eq!(blob.kind_name(), "buffer");
+    }
+
+    #[test]
+    fn bits_reported_for_scalars_only() {
+        assert_eq!(
+            Type::Int {
+                bits: 16,
+                format: IntFormat::Any
+            }
+            .bits(),
+            Some(16)
+        );
+        assert_eq!(
+            Type::Buffer {
+                kind: BufferKind::Filename
+            }
+            .bits(),
+            None
+        );
+    }
+}

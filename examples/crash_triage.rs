@@ -1,0 +1,81 @@
+//! The §5.3.2 bug story: trigger the ATA pass-through out-of-bounds
+//! write, watch it corrupt kernel memory, crash a later call, and then
+//! minimize a reproducer with the syz-repro analogue.
+//!
+//! Run: `cargo run --release --example crash_triage`
+
+use snowplow::fuzzing::{attempt_reproducer, ReproOutcome};
+use snowplow::{builtin, Arg, Call, Kernel, KernelVersion, Prog, Vm};
+
+fn trigger(ioctl: snowplow::SyscallId, fd_ref: usize) -> Call {
+    Call {
+        def: ioctl,
+        args: vec![
+            Arg::Res { source: snowplow::ResSource::Ref(fd_ref) },
+            Arg::int(builtin::SCSI_IOCTL_SEND_COMMAND),
+            Arg::ptr(
+                0x2000_0000,
+                Arg::Group {
+                    inner: vec![
+                        Arg::int(0x400), // inlen past the sector bound
+                        Arg::int(0),
+                        Arg::Union {
+                            variant: 0, // ATA-16 pass-through CDB
+                            inner: Box::new(Arg::Group {
+                                inner: vec![
+                                    Arg::int(0x85), // opcode
+                                    Arg::int(4),    // protocol = ATA_PROT_PIO
+                                    Arg::int(0),    // tf_flags
+                                    Arg::int(0x00), // command = ATA_NOP
+                                    Arg::int(1),    // sector
+                                ],
+                            }),
+                        },
+                    ],
+                },
+            ),
+        ],
+    }
+}
+
+fn main() {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let reg = kernel.registry();
+    let openat = reg.syscall_by_name("openat$scsi").unwrap();
+    let ioctl = reg.syscall_by_name("ioctl$scsi_send_command").unwrap();
+    let open_call = Call {
+        def: openat,
+        args: vec![
+            Arg::int(0xffff_ff9c),
+            Arg::ptr(0x2000_1000, Arg::Data { bytes: b"/dev/sg0\0".to_vec() }),
+            Arg::int(0x2),
+        ],
+    };
+
+    // One trigger: silent memory corruption, no crash.
+    let once = Prog { calls: vec![open_call.clone(), trigger(ioctl, 0)] };
+    let mut vm = Vm::new(&kernel);
+    let r = vm.execute(&once);
+    println!(
+        "single trigger: crash = {:?}, kernel memory poisoned = {}",
+        r.crash.is_some(),
+        vm.state().is_poisoned()
+    );
+
+    // Second trigger: the poison-guarded check in the SCSI handler fires.
+    let twice = Prog {
+        calls: vec![open_call, trigger(ioctl, 0), trigger(ioctl, 0)],
+    };
+    let mut vm = Vm::new(&kernel);
+    let crash = vm.execute(&twice).crash.expect("double trigger crashes");
+    println!("double trigger: {}", crash.description);
+
+    // syz-repro: confirm + minimize.
+    match attempt_reproducer(&kernel, &twice, &crash.description) {
+        ReproOutcome::Reproduced(min) => {
+            println!("\nminimized reproducer ({} calls):", min.len());
+            print!("{}", min.display(reg));
+        }
+        other => println!("reproduction failed: {other:?}"),
+    }
+}

@@ -1,0 +1,47 @@
+//! Directed fuzzing (§5.4): reach a specific kernel code location with
+//! the SyzDirect-style baseline and with Snowplow-D (PMM-guided).
+//!
+//! Run: `cargo run --release --example directed_fuzzing`
+
+use std::time::Duration;
+
+use snowplow::fuzzing::{DirectedCampaign, DirectedConfig, DirectedOutcome};
+use snowplow::{train_pmm, Kernel, KernelVersion, Scale};
+
+fn main() {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let (model, report) = train_pmm(&kernel, Scale::quick());
+    println!("PMM: {}", report.metrics);
+
+    // Pick a deep target: the most deeply argument-gated block of the
+    // epoll_ctl handler family.
+    let target = kernel
+        .blocks()
+        .iter()
+        .filter(|b| b.gate_depth >= 3)
+        .max_by_key(|b| b.gate_depth)
+        .expect("deep blocks exist");
+    println!(
+        "target: block {:?} in {} (gate depth {})",
+        target.id,
+        kernel.handler_location(target.handler),
+        target.gate_depth
+    );
+
+    for (name, pmm) in [("SyzDirect", None), ("Snowplow-D", Some(Box::new(model.clone())))] {
+        let cfg = DirectedConfig {
+            target: target.id,
+            duration: Duration::from_secs(6 * 3600),
+            seed: 5,
+            ..DirectedConfig::default()
+        };
+        match DirectedCampaign::new(&kernel, pmm, cfg).run() {
+            DirectedOutcome::Reached { at, execs } => {
+                println!("{name}: reached in {:.0} virtual seconds ({execs} executions)", at.as_secs_f64());
+            }
+            DirectedOutcome::TimedOut { best_distance, execs } => {
+                println!("{name}: timed out (closest distance {best_distance:?}, {execs} executions)");
+            }
+        }
+    }
+}

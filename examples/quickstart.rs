@@ -1,0 +1,65 @@
+//! Quickstart: build a simulated kernel, run one program, fuzz for a
+//! short virtual window, and print what happened.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use std::time::Duration;
+
+use snowplow::fuzzing::{Campaign, CampaignConfig, FuzzerKind};
+use snowplow::{Kernel, KernelVersion, Prog, Vm};
+
+fn main() {
+    // 1. Build the simulated kernel (deterministic; ~5k basic blocks of
+    //    argument-gated control flow plus an injected-bug registry).
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    println!(
+        "kernel {}: {} syscall variants, {} blocks, {} injected bugs",
+        kernel.version(),
+        kernel.registry().syscall_count(),
+        kernel.block_count(),
+        kernel.bugs().len()
+    );
+
+    // 2. Run a hand-written test program (syz-like text format).
+    let text = "\
+r0 = open(&(0x20000000)=\"2e2f66696c653000\", 0x41, 0x1ff)
+write(r0, &(0x20000100)=\"deadbeef\", 0x4)
+close(r0)
+";
+    let prog = Prog::parse(kernel.registry(), text).expect("valid program");
+    let mut vm = Vm::new(&kernel);
+    let result = vm.execute(&prog);
+    println!(
+        "\nexecuted {} calls, covered {} blocks / {} edges, crash: {:?}",
+        result.completed_calls,
+        result.coverage().len(),
+        result.edges().len(),
+        result.crash.as_ref().map(|c| &c.description)
+    );
+
+    // 3. Fuzz for two virtual hours with the Syzkaller-style baseline.
+    let report = Campaign::new(
+        &kernel,
+        FuzzerKind::Syzkaller,
+        CampaignConfig {
+            duration: Duration::from_secs(2 * 3600),
+            seed: 42,
+            ..CampaignConfig::default()
+        },
+    )
+    .run();
+    println!(
+        "\nafter 2 virtual hours: {} edges, {} corpus programs, {} crash signatures",
+        report.final_edges,
+        report.corpus_len,
+        report.crashes.unique()
+    );
+    for rec in report.crashes.records().iter().take(5) {
+        println!(
+            "  [{}] {} (x{})",
+            if rec.known { "known" } else { "NEW" },
+            rec.description,
+            rec.count
+        );
+    }
+}

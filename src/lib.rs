@@ -1,0 +1,7 @@
+//! Umbrella crate for the Snowplow reproduction.
+//!
+//! Re-exports the public facade from [`snowplow_core`]; the workspace's
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`) are hosted here.
+
+pub use snowplow_core::*;

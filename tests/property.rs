@@ -1,0 +1,115 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snowplow::fuzzing::{Campaign, CampaignConfig, FuzzerKind};
+use snowplow::prog_gen::Generator;
+use snowplow::{enumerate_sites, Kernel, KernelVersion, Prog, Vm};
+
+fn kernel() -> &'static Kernel {
+    use std::sync::OnceLock;
+    static K: OnceLock<Kernel> = OnceLock::new();
+    K.get_or_init(|| Kernel::build(KernelVersion::V6_8))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any generated program validates, serializes, and parses back to
+    /// an identical program.
+    #[test]
+    fn prop_serialization_round_trip(seed in any::<u64>(), calls in 1usize..10) {
+        let k = kernel();
+        let prog = Generator::new(k.registry()).generate(&mut StdRng::seed_from_u64(seed), calls);
+        prop_assert!(prog.validate(k.registry()).is_ok());
+        let text = prog.display(k.registry()).to_string();
+        let back = Prog::parse(k.registry(), &text).unwrap();
+        prop_assert_eq!(prog, back);
+    }
+
+    /// Every mutation of a valid program yields a valid program, and
+    /// every enumerated argument site resolves to a concrete value.
+    #[test]
+    fn prop_mutation_preserves_validity(seed in any::<u64>()) {
+        let k = kernel();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = Generator::new(k.registry()).generate(&mut rng, 6);
+        let mut mutator = snowplow_prog::Mutator::new(k.registry());
+        let mut current = base;
+        for _ in 0..8 {
+            let (next, _) = mutator.mutate(&mut rng, &current);
+            prop_assert!(next.validate(k.registry()).is_ok());
+            for site in enumerate_sites(k.registry(), &next) {
+                prop_assert!(next.calls[site.call].arg_at(&site.path).is_some());
+            }
+            current = next;
+        }
+    }
+
+    /// Kernel execution is a pure function of (program, snapshot):
+    /// replaying from a pristine VM gives identical traces, and the trace
+    /// respects the static CFG (every consecutive pair within a call is a
+    /// static edge).
+    #[test]
+    fn prop_execution_deterministic_and_cfg_consistent(seed in any::<u64>()) {
+        let k = kernel();
+        let prog = Generator::new(k.registry()).generate(&mut StdRng::seed_from_u64(seed), 5);
+        let mut vm = Vm::new(k);
+        let snap = vm.snapshot();
+        let a = vm.execute(&prog);
+        vm.restore(&snap);
+        let b = vm.execute(&prog);
+        prop_assert_eq!(&a, &b);
+        for trace in &a.call_traces {
+            for w in trace.windows(2) {
+                prop_assert!(
+                    k.cfg().successors(w[0]).contains(&w[1]),
+                    "trace edge {:?}->{:?} not in static CFG", w[0], w[1]
+                );
+            }
+        }
+    }
+
+    /// The one-hop frontier is disjoint from coverage and adjacent to it.
+    #[test]
+    fn prop_frontier_invariants(seed in any::<u64>()) {
+        let k = kernel();
+        let prog = Generator::new(k.registry()).generate(&mut StdRng::seed_from_u64(seed), 5);
+        let mut vm = Vm::new(k);
+        let exec = vm.execute(&prog);
+        let cov = exec.coverage();
+        for b in k.cfg().alternative_entries(cov.as_set()) {
+            prop_assert!(!cov.contains(b));
+            prop_assert!(
+                k.cfg().predecessors(b).iter().any(|p| cov.contains(*p)),
+                "frontier block {b:?} has no covered predecessor"
+            );
+        }
+    }
+
+    /// Campaign timelines are monotone in time, edges, and crashes, for
+    /// arbitrary seeds.
+    #[test]
+    fn prop_campaign_timeline_monotone(seed in any::<u64>()) {
+        let k = kernel();
+        let report = Campaign::new(
+            k,
+            FuzzerKind::Syzkaller,
+            CampaignConfig {
+                duration: std::time::Duration::from_secs(300),
+                seed_corpus: 10,
+                sample_every: std::time::Duration::from_secs(60),
+                seed,
+                ..CampaignConfig::default()
+            },
+        )
+        .run();
+        for w in report.timeline.windows(2) {
+            prop_assert!(w[1].at >= w[0].at);
+            prop_assert!(w[1].edges >= w[0].edges);
+            prop_assert!(w[1].crashes >= w[0].crashes);
+            prop_assert!(w[1].execs >= w[0].execs);
+        }
+    }
+}

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, and the full test suite.
+# Run from the workspace root. Fails fast on the first violation.
+set -euo pipefail
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace -q

@@ -1,0 +1,900 @@
+//! Static analyses over the kernel CFG.
+//!
+//! The paper recovers the kernel CFG with Angr and runs classic static
+//! analyses over it; this module provides the same layer for the
+//! simulated kernel:
+//!
+//! * [`branch_status`] — constant propagation over branch
+//!   [`Predicate`]s using only the syscall description: a branch can be
+//!   proven statically *never taken* (no shape-valid program satisfies
+//!   it) or *always taken* (every lint-clean program satisfies it).
+//! * [`statically_dead_blocks`] — blocks unreachable once proven branch
+//!   directions are pruned. The directed fuzzer uses this to reject
+//!   impossible targets in O(CFG) time, and the campaign filters these
+//!   blocks out of its frontier targets before querying PMM.
+//! * [`reachable_blocks`] — plain all-edges reachability from handler
+//!   entries (unreachable-block detection is its complement).
+//! * [`dominators`] / [`post_dominators`] — iterative dominator trees
+//!   (Cooper–Harvey–Kennedy) over the whole-kernel CFG.
+
+use std::collections::{HashSet, VecDeque};
+
+use snowplow_kernel::{BasicBlock, BlockId, Kernel, Predicate, Terminator};
+use snowplow_syslang::{ArgPath, BufferKind, IntFormat, PathSegment, Registry, SyscallId, Type};
+
+/// What constant propagation proves about one conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchStatus {
+    /// Every lint-clean program that reaches the branch takes it.
+    AlwaysTaken,
+    /// No shape-valid program can take the branch.
+    NeverTaken,
+    /// Not statically decidable from the description alone.
+    Unknown,
+}
+
+fn mask(bits: u8) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Whether `path` resolves to a concrete value in *every* shape-valid
+/// program for `handler`: no hop through an optional (possibly-NULL)
+/// pointer, no array element past the guaranteed minimum length, and no
+/// union variant that is not forced (a multi-variant union may have a
+/// different active arm).
+fn path_always_resolves(reg: &Registry, handler: SyscallId, path: &ArgPath) -> bool {
+    let def = reg.syscall(handler);
+    let segs = path.segments();
+    let Some(PathSegment::Arg(i)) = segs.first() else {
+        return false;
+    };
+    let Some(field) = def.args.get(*i as usize) else {
+        return false;
+    };
+    let mut ty = field.ty;
+    for seg in &segs[1..] {
+        match (reg.ty(ty), seg) {
+            (Type::Ptr { elem, optional, .. }, PathSegment::Deref) => {
+                if *optional {
+                    return false;
+                }
+                ty = *elem;
+            }
+            (Type::Struct { fields, .. }, PathSegment::Field(f)) => match fields.get(*f as usize) {
+                Some(field) => ty = field.ty,
+                None => return false,
+            },
+            (Type::Array { elem, min_len, .. }, PathSegment::Elem(e))
+                if (*e as usize) < *min_len =>
+            {
+                ty = *elem;
+            }
+            (Type::Union { variants, .. }, PathSegment::Variant(v))
+                if variants.len() == 1 && *v == 0 =>
+            {
+                ty = variants[0].ty;
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Constant propagation for one branch predicate of `handler`.
+///
+/// Soundness contract:
+///
+/// * [`BranchStatus::NeverTaken`] holds for **all shape-valid** programs
+///   (anything `Prog::validate` accepts): the predicate evaluates to
+///   `false` no matter the argument values. Predicates over paths the
+///   description cannot resolve are never taken, because
+///   `Predicate::eval` requires the path to resolve to a matching view.
+/// * [`BranchStatus::AlwaysTaken`] additionally assumes the program is
+///   **lint-clean** ([`crate::lint`] passes — which covers everything
+///   the generator and mutator produce, i.e. everything the fuzzer
+///   executes) and that the path provably resolves in every program.
+pub fn branch_status(reg: &Registry, handler: SyscallId, pred: &Predicate) -> BranchStatus {
+    use BranchStatus::{AlwaysTaken, NeverTaken, Unknown};
+    // `AlwaysTaken` claims must additionally survive structural
+    // non-resolution (an unresolved path evaluates to false).
+    let always_if = |resolvable: bool| if resolvable { AlwaysTaken } else { Unknown };
+    let ty_at = |path: &ArgPath| reg.type_at(handler, path).map(|id| reg.ty(id));
+    match pred {
+        Predicate::ArgEq { path, value } => {
+            let Some(ty) = ty_at(path) else {
+                return NeverTaken;
+            };
+            match ty {
+                Type::Const { value: c, .. } => {
+                    if c == value {
+                        always_if(path_always_resolves(reg, handler, path))
+                    } else {
+                        NeverTaken
+                    }
+                }
+                Type::Int {
+                    format: IntFormat::Range { lo, hi },
+                    ..
+                } => {
+                    if value < lo || value > hi {
+                        NeverTaken
+                    } else if lo == hi && path_always_resolves(reg, handler, path) {
+                        AlwaysTaken
+                    } else {
+                        Unknown
+                    }
+                }
+                Type::Int { bits, .. } | Type::Flags { bits, .. } => {
+                    if *value > mask(*bits) {
+                        NeverTaken
+                    } else {
+                        Unknown
+                    }
+                }
+                Type::Len { .. } => Unknown,
+                // A non-scalar view never compares equal to an integer.
+                _ => NeverTaken,
+            }
+        }
+        Predicate::ArgMaskEq {
+            path,
+            mask: m,
+            value,
+        } => {
+            let Some(ty) = ty_at(path) else {
+                return NeverTaken;
+            };
+            if !matches!(
+                ty,
+                Type::Int { .. } | Type::Flags { .. } | Type::Const { .. } | Type::Len { .. }
+            ) {
+                return NeverTaken;
+            }
+            // Bits of `value` outside `m` can never survive `& m`.
+            if value & !m != 0 {
+                return NeverTaken;
+            }
+            match ty {
+                Type::Const { value: c, .. } => {
+                    if c & m == *value {
+                        always_if(path_always_resolves(reg, handler, path))
+                    } else {
+                        NeverTaken
+                    }
+                }
+                // Width-masked formats: the stored value never exceeds
+                // the declared width.
+                Type::Int {
+                    bits,
+                    format: IntFormat::Any | IntFormat::Enum { .. },
+                }
+                | Type::Flags { bits, .. } => {
+                    let w = mask(*bits);
+                    if value & !w != 0 {
+                        NeverTaken
+                    } else if m & w == 0 {
+                        // The tested bits lie wholly above the width, so
+                        // the masked value is always zero.
+                        if *value == 0 {
+                            always_if(path_always_resolves(reg, handler, path))
+                        } else {
+                            NeverTaken
+                        }
+                    } else {
+                        Unknown
+                    }
+                }
+                _ => Unknown,
+            }
+        }
+        Predicate::ArgInRange { path, lo, hi } => {
+            if lo > hi {
+                return NeverTaken;
+            }
+            let Some(ty) = ty_at(path) else {
+                return NeverTaken;
+            };
+            match ty {
+                Type::Const { value: c, .. } => {
+                    if lo <= c && c <= hi {
+                        always_if(path_always_resolves(reg, handler, path))
+                    } else {
+                        NeverTaken
+                    }
+                }
+                Type::Int {
+                    format: IntFormat::Range { lo: rlo, hi: rhi },
+                    ..
+                } => {
+                    if rhi < lo || rlo > hi {
+                        NeverTaken
+                    } else if lo <= rlo && rhi <= hi && path_always_resolves(reg, handler, path) {
+                        AlwaysTaken
+                    } else {
+                        Unknown
+                    }
+                }
+                Type::Int { bits, .. } | Type::Flags { bits, .. } => {
+                    let w = mask(*bits);
+                    if *lo > w {
+                        NeverTaken
+                    } else if *lo == 0 && *hi >= w && path_always_resolves(reg, handler, path) {
+                        AlwaysTaken
+                    } else {
+                        Unknown
+                    }
+                }
+                Type::Len { .. } => Unknown,
+                _ => NeverTaken,
+            }
+        }
+        Predicate::DataLenGt { path, len } => {
+            let Some(ty) = ty_at(path) else {
+                return NeverTaken;
+            };
+            match ty {
+                Type::Buffer {
+                    kind: BufferKind::Blob { min_len, .. },
+                } => {
+                    // Mutation can grow a blob past `max_len` but nothing
+                    // ever shrinks one below `min_len`, so only the lower
+                    // bound supports a static verdict.
+                    if *min_len as u64 > *len {
+                        always_if(path_always_resolves(reg, handler, path))
+                    } else {
+                        Unknown
+                    }
+                }
+                Type::Buffer { .. } => Unknown,
+                _ => NeverTaken,
+            }
+        }
+        Predicate::IsNull { path } => match ty_at(path) {
+            Some(Type::Ptr { optional: true, .. }) => Unknown,
+            // Lint-clean programs never put NULL in a non-optional
+            // pointer, and a non-pointer view never matches.
+            _ => NeverTaken,
+        },
+        Predicate::NotNull { path } => match ty_at(path) {
+            Some(Type::Ptr { optional: true, .. }) => Unknown,
+            Some(Type::Ptr {
+                optional: false, ..
+            }) => always_if(path_always_resolves(reg, handler, path)),
+            _ => NeverTaken,
+        },
+        Predicate::UnionIs { path, variant } => match ty_at(path) {
+            Some(Type::Union { variants, .. }) => {
+                if (*variant as usize) >= variants.len() {
+                    NeverTaken
+                } else if variants.len() == 1 && *variant == 0 {
+                    always_if(path_always_resolves(reg, handler, path))
+                } else {
+                    Unknown
+                }
+            }
+            _ => NeverTaken,
+        },
+        // Resource liveness and kernel state depend on execution history,
+        // which the description alone cannot decide.
+        Predicate::ResValid { .. }
+        | Predicate::StateCounterGe { .. }
+        | Predicate::StateFlag { .. }
+        | Predicate::Poisoned => Unknown,
+    }
+}
+
+fn block_successors(reg: &Registry, block: &BasicBlock, prune_proven: bool) -> Vec<BlockId> {
+    match &block.term {
+        Terminator::Jump(t) => vec![*t],
+        Terminator::Return => Vec::new(),
+        Terminator::Branch {
+            pred,
+            taken,
+            fallthrough,
+        } => {
+            if prune_proven {
+                match branch_status(reg, block.handler, pred) {
+                    BranchStatus::AlwaysTaken => vec![*taken],
+                    BranchStatus::NeverTaken => vec![*fallthrough],
+                    BranchStatus::Unknown => vec![*taken, *fallthrough],
+                }
+            } else {
+                vec![*taken, *fallthrough]
+            }
+        }
+    }
+}
+
+fn bfs_live(
+    reg: &Registry,
+    blocks: &[BasicBlock],
+    entries: &[BlockId],
+    prune_proven: bool,
+) -> Vec<bool> {
+    let mut live = vec![false; blocks.len()];
+    let mut q = VecDeque::new();
+    for &e in entries {
+        if !live[e.index()] {
+            live[e.index()] = true;
+            q.push_back(e);
+        }
+    }
+    while let Some(b) = q.pop_front() {
+        for s in block_successors(reg, &blocks[b.index()], prune_proven) {
+            if !live[s.index()] {
+                live[s.index()] = true;
+                q.push_back(s);
+            }
+        }
+    }
+    live
+}
+
+fn handler_entries(kernel: &Kernel) -> Vec<BlockId> {
+    kernel.handlers().iter().map(|h| h.entry).collect()
+}
+
+/// Blocks unreachable from the given entries once statically-proven
+/// branch directions are pruned ([`branch_status`] live-edge BFS).
+/// Low-level variant of [`statically_dead_blocks`] for synthetic CFGs.
+pub fn statically_dead_blocks_of(
+    reg: &Registry,
+    blocks: &[BasicBlock],
+    entries: &[BlockId],
+) -> HashSet<BlockId> {
+    bfs_live(reg, blocks, entries, true)
+        .iter()
+        .enumerate()
+        .filter(|(_, live)| !**live)
+        .map(|(i, _)| BlockId(i as u32))
+        .collect()
+}
+
+/// Blocks of `kernel` that no lint-clean program can ever execute:
+/// unreachable from every handler entry after pruning statically-proven
+/// branch directions. Runs in O(blocks + edges).
+pub fn statically_dead_blocks(kernel: &Kernel) -> HashSet<BlockId> {
+    statically_dead_blocks_of(kernel.registry(), kernel.blocks(), &handler_entries(kernel))
+}
+
+/// Blocks reachable from some handler entry following *all* CFG edges
+/// (no predicate pruning). The complement is the set of orphaned blocks
+/// no construction path should ever produce.
+pub fn reachable_blocks(kernel: &Kernel) -> HashSet<BlockId> {
+    bfs_live(
+        kernel.registry(),
+        kernel.blocks(),
+        &handler_entries(kernel),
+        false,
+    )
+    .iter()
+    .enumerate()
+    .filter(|(_, live)| **live)
+    .map(|(i, _)| BlockId(i as u32))
+    .collect()
+}
+
+/// A (post-)dominator tree over the whole-kernel CFG.
+///
+/// Built with the iterative Cooper–Harvey–Kennedy algorithm over a
+/// virtual root that fans out to every entry (forward analysis: handler
+/// entries; post-dominance: `Return` blocks on the reversed graph), so
+/// the multi-entry kernel graph needs no per-handler special-casing.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator per block; `None` for roots and blocks not
+    /// reachable in the analysis direction.
+    idom: Vec<Option<BlockId>>,
+}
+
+impl DomTree {
+    /// The immediate dominator of `b` (`None` for roots/unreachable).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom.get(b.index()).copied().flatten()
+    }
+
+    /// Whether `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+}
+
+fn dom_tree(n: usize, entries: &[BlockId], preds: impl Fn(usize) -> Vec<usize>) -> DomTree {
+    // Virtual root at index `n`, predecessor of nothing, with every
+    // entry as a successor (i.e. the root is a predecessor of entries).
+    let root = n;
+    let entry_set: HashSet<usize> = entries.iter().map(|b| b.index()).collect();
+    let pred_of = |v: usize| -> Vec<usize> {
+        let mut p = preds(v);
+        if entry_set.contains(&v) {
+            p.push(root);
+        }
+        p
+    };
+    // Successors (for the RPO walk) are derived lazily from `preds` by
+    // the caller side; instead compute RPO with an explicit DFS over the
+    // *forward* relation, which we reconstruct by inverting `pred_of`.
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+    for v in 0..n {
+        for p in pred_of(v) {
+            succ[p].push(v);
+        }
+    }
+    // Iterative post-order DFS from the virtual root.
+    let mut post: Vec<usize> = Vec::with_capacity(n + 1);
+    let mut visited = vec![false; n + 1];
+    let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+    visited[root] = true;
+    while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+        if *i < succ[v].len() {
+            let next = succ[v][*i];
+            *i += 1;
+            if !visited[next] {
+                visited[next] = true;
+                stack.push((next, 0));
+            }
+        } else {
+            post.push(v);
+            stack.pop();
+        }
+    }
+    let mut rpo_num = vec![usize::MAX; n + 1];
+    let rpo: Vec<usize> = post.into_iter().rev().collect();
+    for (i, &v) in rpo.iter().enumerate() {
+        rpo_num[v] = i;
+    }
+    let mut idom: Vec<Option<usize>> = vec![None; n + 1];
+    idom[root] = Some(root);
+    let intersect = |idom: &[Option<usize>], rpo_num: &[usize], mut a: usize, mut b: usize| {
+        while a != b {
+            while rpo_num[a] > rpo_num[b] {
+                // Invariant: every processed node's idom chain leads to
+                // the root, so the walk terminates.
+                a = idom[a].expect("processed node has an idom");
+            }
+            while rpo_num[b] > rpo_num[a] {
+                b = idom[b].expect("processed node has an idom");
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &v in rpo.iter().skip(1) {
+            let mut new_idom: Option<usize> = None;
+            for p in pred_of(v) {
+                if idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &rpo_num, p, cur),
+                });
+            }
+            if new_idom.is_some() && idom[v] != new_idom {
+                idom[v] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    DomTree {
+        idom: (0..n)
+            .map(|v| match idom[v] {
+                Some(d) if d != root => Some(BlockId(d as u32)),
+                _ => None,
+            })
+            .collect(),
+    }
+}
+
+/// Dominator tree from synthetic blocks and explicit entry points.
+pub fn dominators_of(blocks: &[BasicBlock], entries: &[BlockId]) -> DomTree {
+    let succ: Vec<Vec<usize>> = blocks
+        .iter()
+        .map(|b| b.term.successors().map(|s| s.index()).collect())
+        .collect();
+    let mut pred: Vec<Vec<usize>> = vec![Vec::new(); blocks.len()];
+    for (v, ss) in succ.iter().enumerate() {
+        for &s in ss {
+            pred[s].push(v);
+        }
+    }
+    dom_tree(blocks.len(), entries, move |v| pred[v].clone())
+}
+
+/// Post-dominator tree: [`dominators_of`] on the reversed graph with
+/// every `Return` block as a root.
+pub fn post_dominators_of(blocks: &[BasicBlock]) -> DomTree {
+    let mut rev_pred: Vec<Vec<usize>> = vec![Vec::new(); blocks.len()];
+    for b in blocks {
+        for s in b.term.successors() {
+            // Reversed graph: the predecessor relation is the original
+            // successor relation.
+            rev_pred[b.id.index()].push(s.index());
+        }
+    }
+    let exits: Vec<BlockId> = blocks
+        .iter()
+        .filter(|b| matches!(b.term, Terminator::Return))
+        .map(|b| b.id)
+        .collect();
+    dom_tree(blocks.len(), &exits, move |v| rev_pred[v].clone())
+}
+
+/// Dominator tree of the whole kernel CFG (roots: handler entries).
+pub fn dominators(kernel: &Kernel) -> DomTree {
+    dominators_of(kernel.blocks(), &handler_entries(kernel))
+}
+
+/// Post-dominator tree of the whole kernel CFG (roots: `Return` blocks).
+pub fn post_dominators(kernel: &Kernel) -> DomTree {
+    post_dominators_of(kernel.blocks())
+}
+
+#[cfg(test)]
+mod tests {
+    use snowplow_kernel::KernelVersion;
+    use snowplow_syslang::{Field, RegistryBuilder};
+
+    use super::*;
+
+    fn mk(id: u32, term: Terminator) -> BasicBlock {
+        BasicBlock {
+            id: BlockId(id),
+            handler: SyscallId(0),
+            text: Vec::new(),
+            effects: Vec::new(),
+            crash: None,
+            term,
+            gate_depth: 0,
+        }
+    }
+
+    fn branch(pred: Predicate, taken: u32, fallthrough: u32) -> Terminator {
+        Terminator::Branch {
+            pred,
+            taken: BlockId(taken),
+            fallthrough: BlockId(fallthrough),
+        }
+    }
+
+    /// One syscall `f(x: int32[10, 20], p: ptr[opt])` for predicate tests.
+    fn test_registry() -> Registry {
+        let mut b = RegistryBuilder::new();
+        let ranged = b.int_range(10, 20, 32);
+        let any16 = b.int(16, IntFormat::Any);
+        let blob = b.blob(4, 64);
+        let pblob = b.ptr_in(blob);
+        let popt = b.ptr_opt(any16);
+        b.syscall(
+            "f",
+            "f",
+            &[
+                Field::new("x", ranged),
+                Field::new("y", any16),
+                Field::new("buf", pblob),
+                Field::new("maybe", popt),
+            ],
+            None,
+        );
+        b.build()
+    }
+
+    #[test]
+    fn const_prop_on_ranged_ints() {
+        let reg = test_registry();
+        let f = SyscallId(0);
+        let x = ArgPath::arg(0);
+        // Value outside the declared range: never taken.
+        assert_eq!(
+            branch_status(
+                &reg,
+                f,
+                &Predicate::ArgEq {
+                    path: x.clone(),
+                    value: 99
+                }
+            ),
+            BranchStatus::NeverTaken
+        );
+        // Value inside the range: undecidable.
+        assert_eq!(
+            branch_status(
+                &reg,
+                f,
+                &Predicate::ArgEq {
+                    path: x.clone(),
+                    value: 15
+                }
+            ),
+            BranchStatus::Unknown
+        );
+        // Range fully covering the declared domain: always taken.
+        assert_eq!(
+            branch_status(
+                &reg,
+                f,
+                &Predicate::ArgInRange {
+                    path: x.clone(),
+                    lo: 0,
+                    hi: 100
+                }
+            ),
+            BranchStatus::AlwaysTaken
+        );
+        // Disjoint range: never taken.
+        assert_eq!(
+            branch_status(
+                &reg,
+                f,
+                &Predicate::ArgInRange {
+                    path: x,
+                    lo: 30,
+                    hi: 40
+                }
+            ),
+            BranchStatus::NeverTaken
+        );
+    }
+
+    #[test]
+    fn const_prop_on_widths_pointers_and_buffers() {
+        let reg = test_registry();
+        let f = SyscallId(0);
+        let y = ArgPath::arg(1);
+        // 16-bit value can never exceed its width mask.
+        assert_eq!(
+            branch_status(
+                &reg,
+                f,
+                &Predicate::ArgEq {
+                    path: y.clone(),
+                    value: 0x1_0000
+                }
+            ),
+            BranchStatus::NeverTaken
+        );
+        // Mask entirely above the width: masked value is always zero.
+        assert_eq!(
+            branch_status(
+                &reg,
+                f,
+                &Predicate::ArgMaskEq {
+                    path: y.clone(),
+                    mask: 0xff0000,
+                    value: 0
+                }
+            ),
+            BranchStatus::AlwaysTaken
+        );
+        assert_eq!(
+            branch_status(
+                &reg,
+                f,
+                &Predicate::ArgMaskEq {
+                    path: y,
+                    mask: 0xf,
+                    value: 0x30
+                }
+            ),
+            BranchStatus::NeverTaken
+        );
+        // A non-optional pointer is never NULL in a lint-clean program.
+        let buf = ArgPath::arg(2);
+        assert_eq!(
+            branch_status(&reg, f, &Predicate::IsNull { path: buf.clone() }),
+            BranchStatus::NeverTaken
+        );
+        assert_eq!(
+            branch_status(&reg, f, &Predicate::NotNull { path: buf.clone() }),
+            BranchStatus::AlwaysTaken
+        );
+        // An optional pointer is undecidable either way.
+        let maybe = ArgPath::arg(3);
+        assert_eq!(
+            branch_status(&reg, f, &Predicate::IsNull { path: maybe }),
+            BranchStatus::Unknown
+        );
+        // Blob minimum length supports a static lower bound…
+        let data = buf.child(PathSegment::Deref);
+        assert_eq!(
+            branch_status(
+                &reg,
+                f,
+                &Predicate::DataLenGt {
+                    path: data.clone(),
+                    len: 3
+                }
+            ),
+            BranchStatus::AlwaysTaken
+        );
+        // …but nothing above it (mutation can grow blobs past max_len).
+        assert_eq!(
+            branch_status(
+                &reg,
+                f,
+                &Predicate::DataLenGt {
+                    path: data,
+                    len: 100
+                }
+            ),
+            BranchStatus::Unknown
+        );
+        // A path the description cannot resolve is never satisfied.
+        assert_eq!(
+            branch_status(
+                &reg,
+                f,
+                &Predicate::ArgEq {
+                    path: ArgPath::arg(9),
+                    value: 0
+                }
+            ),
+            BranchStatus::NeverTaken
+        );
+    }
+
+    #[test]
+    fn dead_blocks_behind_proven_branches() {
+        let reg = test_registry();
+        // 0 --[x == 99, impossible]--> 1 (dead), else 2 -> Return.
+        let blocks = vec![
+            mk(
+                0,
+                branch(
+                    Predicate::ArgEq {
+                        path: ArgPath::arg(0),
+                        value: 99,
+                    },
+                    1,
+                    2,
+                ),
+            ),
+            mk(1, Terminator::Jump(BlockId(3))),
+            mk(2, Terminator::Jump(BlockId(3))),
+            mk(3, Terminator::Return),
+        ];
+        let dead = statically_dead_blocks_of(&reg, &blocks, &[BlockId(0)]);
+        assert_eq!(dead, [BlockId(1)].into_iter().collect());
+
+        // An always-taken branch kills its fallthrough side instead.
+        let blocks = vec![
+            mk(
+                0,
+                branch(
+                    Predicate::NotNull {
+                        path: ArgPath::arg(2),
+                    },
+                    1,
+                    2,
+                ),
+            ),
+            mk(1, Terminator::Return),
+            mk(2, Terminator::Return),
+        ];
+        let dead = statically_dead_blocks_of(&reg, &blocks, &[BlockId(0)]);
+        assert_eq!(dead, [BlockId(2)].into_iter().collect());
+
+        // Undecidable branches keep both sides live.
+        let blocks = vec![
+            mk(0, branch(Predicate::Poisoned, 1, 2)),
+            mk(1, Terminator::Return),
+            mk(2, Terminator::Return),
+        ];
+        assert!(statically_dead_blocks_of(&reg, &blocks, &[BlockId(0)]).is_empty());
+    }
+
+    #[test]
+    fn stock_kernel_dead_blocks_are_only_orphan_error_stubs() {
+        // The handler generator only plants satisfiable gates, so proven
+        // pruning must not orphan anything in a stock kernel: any block
+        // dead *behind a branch* would be a generator bug (this analysis
+        // caught two such bugs — enum gate constants wider than the
+        // argument and zero-mask flag tests — now fixed in handlergen).
+        // The only legitimate dead code is an unreferenced error-exit
+        // stub in a handler that never draws an early-exit side region
+        // (e.g. `sched_yield` has no gateable arguments at all).
+        for version in [
+            KernelVersion::V6_8,
+            KernelVersion::V6_9,
+            KernelVersion::V6_10,
+        ] {
+            let kernel = Kernel::build(version);
+            let dead = statically_dead_blocks(&kernel);
+            assert!(dead.len() <= 4, "{version}: {} dead blocks", dead.len());
+            for &d in &dead {
+                let b = kernel.block(d);
+                assert!(
+                    matches!(b.term, Terminator::Return)
+                        && kernel.cfg().predecessors(d).is_empty()
+                        && b.gate_depth == 0,
+                    "{version}: {d:?} is dead but not an orphan error stub"
+                );
+            }
+            assert_eq!(
+                reachable_blocks(&kernel).len() + dead.len(),
+                kernel.block_count()
+            );
+        }
+    }
+
+    #[test]
+    fn dominators_on_a_diamond() {
+        // 0 -> (1 | 2) -> 3 -> Return
+        let blocks = vec![
+            mk(0, branch(Predicate::Poisoned, 1, 2)),
+            mk(1, Terminator::Jump(BlockId(3))),
+            mk(2, Terminator::Jump(BlockId(3))),
+            mk(3, Terminator::Return),
+        ];
+        let dom = dominators_of(&blocks, &[BlockId(0)]);
+        assert_eq!(dom.idom(BlockId(0)), None);
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
+        // The join point is dominated by the branch head, not a side.
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(dom.dominates(BlockId(3), BlockId(3)));
+
+        let pdom = post_dominators_of(&blocks);
+        assert_eq!(pdom.idom(BlockId(0)), Some(BlockId(3)));
+        assert_eq!(pdom.idom(BlockId(1)), Some(BlockId(3)));
+        assert_eq!(pdom.idom(BlockId(3)), None);
+        assert!(pdom.dominates(BlockId(3), BlockId(0)));
+    }
+
+    #[test]
+    fn kernel_dominators_are_rooted_at_handler_entries() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let dom = dominators(&kernel);
+        // Orphan error-exit stubs (see the dead-blocks test) are in the
+        // handler's block list but unreachable, so they dominate nothing.
+        let dead = statically_dead_blocks(&kernel);
+        for h in kernel.handlers() {
+            assert_eq!(dom.idom(h.entry), None, "{:?}", h.entry);
+            for &b in &h.blocks {
+                if dead.contains(&b) {
+                    continue;
+                }
+                assert!(
+                    dom.dominates(h.entry, b),
+                    "entry {:?} must dominate {:?}",
+                    h.entry,
+                    b
+                );
+            }
+        }
+        // Handlers have two Return exits (ok/err), so the only universal
+        // post-dominance facts are local: a Jump's unique successor
+        // post-dominates it, and Return blocks are roots.
+        let pdom = post_dominators(&kernel);
+        for b in kernel.blocks() {
+            match b.term {
+                Terminator::Jump(t) => {
+                    assert!(
+                        pdom.dominates(t, b.id),
+                        "{t:?} must post-dominate {:?}",
+                        b.id
+                    );
+                }
+                Terminator::Return => assert_eq!(pdom.idom(b.id), None),
+                Terminator::Branch { .. } => {}
+            }
+        }
+    }
+}

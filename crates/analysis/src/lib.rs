@@ -1,0 +1,41 @@
+//! Static analyses over Snowplow's programs and simulated kernels.
+//!
+//! Three passes, each wired into an existing layer of the workspace:
+//!
+//! 1. [`lint`] — a semantic checker over [`snowplow_prog::Prog`] against a
+//!    [`snowplow_syslang::Registry`]: resource use-before-definition,
+//!    dangling resource references, union-variant and shape mismatches,
+//!    out-of-range scalar constants, stale length fields. Exposed as a
+//!    library pass, enforced as a debug assertion after every mutation
+//!    (via [`install_debug_validator`]), used by the fuzzer's corpus to
+//!    reject malformed programs on ingestion, and shipped as the
+//!    `sp-lint` binary for corpus files.
+//! 2. [`cfg`] — analyses on the kernel's static CFG: dominator and
+//!    post-dominator trees, unreachable-block detection, and a
+//!    constant-propagation pass over branch predicates that proves
+//!    branches statically always- or never-taken. The directed fuzzer
+//!    uses it to reject unreachable targets in O(CFG) time, and the
+//!    campaign's frontier-target computation filters statically-dead
+//!    blocks before they reach a PMM query.
+//! 3. [`oracle`] — a reachability oracle asserting that every planted
+//!    bug block is statically reachable in every kernel version.
+
+pub mod cfg;
+pub mod lint;
+pub mod oracle;
+
+pub use cfg::{
+    branch_status, dominators, post_dominators, reachable_blocks, statically_dead_blocks,
+    BranchStatus, DomTree,
+};
+pub use lint::{first_error, lint, lint_text, Diagnostic, FileDiagnostic, Rule};
+pub use oracle::{assert_all_bugs_reachable, check_bug_reachability};
+
+/// Installs the program linter as `snowplow-prog`'s debug-build mutation
+/// validator: every `Mutator::mutate`/`insert_call`/`remove_call` output
+/// is linted, and a violation panics with the first diagnostic. Catches
+/// mutator bugs (e.g. a dangling resource reference after `remove_call`)
+/// at the source instead of corrupting the corpus. Idempotent.
+pub fn install_debug_validator() {
+    snowplow_prog::set_debug_validator(lint::first_error);
+}

@@ -1,0 +1,698 @@
+//! The program linter: a semantic checker over [`Prog`] + [`Registry`].
+//!
+//! `Prog::validate` only checks arity, structural shape, and that
+//! resource references point backward at *some* producing call. The
+//! linter is strictly stronger: it additionally enforces every value
+//! constraint the generator and mutator are supposed to maintain —
+//! resource *kind* agreement, scalar width masks and declared ranges,
+//! `Const` equality, length-field consistency with `Prog::finalize`,
+//! minimum buffer lengths, array arity bounds, union-variant ranges,
+//! and non-null pointers where the description does not mark the
+//! pointer optional.
+//!
+//! The rules are calibrated against the generator/mutator: any program
+//! produced by `Generator::generate` or by `Mutator` from a lint-clean
+//! input is lint-clean (a property test in the workspace root asserts
+//! this). Violations therefore always indicate either a corrupted
+//! corpus file or a mutation-engine bug.
+
+use std::fmt;
+
+use snowplow_prog::{Arg, Call, Prog};
+use snowplow_syslang::{ArgPath, BufferKind, IntFormat, PathSegment, Registry, Type, TypeId};
+
+/// Lint rule identifiers, used to tag diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Call has the wrong number of arguments.
+    Arity,
+    /// Argument tree shape does not match the description type.
+    Shape,
+    /// Resource reference to a later (or same) call.
+    UseBeforeDef,
+    /// Resource reference to a call index past the end of the program.
+    DanglingRef,
+    /// Resource reference to a call that produces no resource.
+    NonProducerRef,
+    /// Resource reference to a producer of a different resource kind.
+    ResourceKindMismatch,
+    /// Scalar outside its declared `Int Range`.
+    ScalarOutOfRange,
+    /// Scalar with bits set above its declared width.
+    ScalarWidthOverflow,
+    /// `Const`-typed argument carrying the wrong value.
+    ConstMismatch,
+    /// Length field inconsistent with the measured payload length.
+    StaleLength,
+    /// Blob buffer shorter than the declared minimum.
+    BufferTooShort,
+    /// Null pointer where the description does not allow one.
+    NullNonOptionalPtr,
+    /// Array length outside its declared bounds.
+    ArrayArity,
+    /// Union discriminant outside the variant list.
+    UnionVariantRange,
+}
+
+impl Rule {
+    /// Stable kebab-case name (used by `sp-lint` output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Arity => "arity",
+            Rule::Shape => "shape",
+            Rule::UseBeforeDef => "use-before-def",
+            Rule::DanglingRef => "dangling-ref",
+            Rule::NonProducerRef => "non-producer-ref",
+            Rule::ResourceKindMismatch => "resource-kind-mismatch",
+            Rule::ScalarOutOfRange => "scalar-out-of-range",
+            Rule::ScalarWidthOverflow => "scalar-width-overflow",
+            Rule::ConstMismatch => "const-mismatch",
+            Rule::StaleLength => "stale-length",
+            Rule::BufferTooShort => "buffer-too-short",
+            Rule::NullNonOptionalPtr => "null-non-optional-ptr",
+            Rule::ArrayArity => "array-arity",
+            Rule::UnionVariantRange => "union-variant-range",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint violation, located by call index and argument path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Index of the offending call within the program.
+    pub call: usize,
+    /// Path of the offending argument, when the violation is localized
+    /// to one argument (`None` for call-level violations like arity).
+    pub path: Option<ArgPath>,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable, self-contained description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "call {}", self.call)?;
+        if let Some(path) = &self.path {
+            write!(f, " at {path}")?;
+        }
+        write!(f, ": [{}] {}", self.rule, self.message)
+    }
+}
+
+/// A [`Diagnostic`] mapped back to a source line of a corpus file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileDiagnostic {
+    /// 1-based line number of the offending call in the source text.
+    pub line: usize,
+    /// The underlying diagnostic.
+    pub diagnostic: Diagnostic,
+}
+
+fn mask(bits: u8) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+struct Linter<'a> {
+    reg: &'a Registry,
+    prog: &'a Prog,
+    out: Vec<Diagnostic>,
+}
+
+impl<'a> Linter<'a> {
+    fn emit(&mut self, call: usize, path: Option<ArgPath>, rule: Rule, message: String) {
+        self.out.push(Diagnostic {
+            call,
+            path,
+            rule,
+            message,
+        });
+    }
+
+    fn lint_call(&mut self, ci: usize, call: &Call) {
+        let def = self.reg.syscall(call.def);
+        if call.args.len() != def.args.len() {
+            self.emit(
+                ci,
+                None,
+                Rule::Arity,
+                format!(
+                    "{} takes {} argument(s), found {}",
+                    def.name,
+                    def.args.len(),
+                    call.args.len()
+                ),
+            );
+        }
+        // Top-level length fields must agree with `Prog::finalize`, which
+        // measures the sibling top-level argument.
+        for (i, field) in def.args.iter().enumerate() {
+            if let Type::Len { target, .. } = self.reg.ty(field.ty) {
+                let expected = call.args.get(*target).map_or(0, Arg::payload_len);
+                if let Some(Arg::Int { value }) = call.args.get(i) {
+                    if *value != expected {
+                        self.emit(
+                            ci,
+                            Some(ArgPath::arg(i)),
+                            Rule::StaleLength,
+                            format!(
+                                "{}: length field is {:#x} but argument {} measures {:#x}",
+                                def.name, value, target, expected
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        for (i, (field, arg)) in def.args.iter().zip(&call.args).enumerate() {
+            self.lint_arg(ci, field.ty, arg, ArgPath::arg(i));
+        }
+    }
+
+    fn lint_arg(&mut self, ci: usize, ty: TypeId, arg: &Arg, path: ArgPath) {
+        let call_name = self.reg.syscall(self.prog.calls[ci].def).name;
+        match (self.reg.ty(ty), arg) {
+            (Type::Int { bits, format }, Arg::Int { value }) => match format {
+                // Range values are generated and clamped unmasked, so the
+                // declared range is the whole contract (it may exceed the
+                // nominal width, e.g. sign-extended sentinels).
+                IntFormat::Range { lo, hi } => {
+                    if value < lo || value > hi {
+                        self.emit(
+                            ci,
+                            Some(path),
+                            Rule::ScalarOutOfRange,
+                            format!(
+                                "{call_name}: value {value:#x} outside declared range [{lo:#x}, {hi:#x}]"
+                            ),
+                        );
+                    }
+                }
+                // Any/Enum values are always width-masked by the
+                // generator and mutator. Enum *membership* is not
+                // enforced: the instantiator intentionally draws random
+                // non-member values at low probability.
+                IntFormat::Any | IntFormat::Enum { .. } => {
+                    if value & !mask(*bits) != 0 {
+                        self.emit(
+                            ci,
+                            Some(path),
+                            Rule::ScalarWidthOverflow,
+                            format!("{call_name}: value {value:#x} exceeds {bits}-bit width"),
+                        );
+                    }
+                }
+            },
+            // Flags words are width-masked; arbitrary bit combinations
+            // within the width are legal (the instantiator ORs and
+            // perturbs them).
+            (Type::Flags { bits, .. }, Arg::Int { value }) => {
+                if value & !mask(*bits) != 0 {
+                    self.emit(
+                        ci,
+                        Some(path),
+                        Rule::ScalarWidthOverflow,
+                        format!("{call_name}: flags {value:#x} exceed {bits}-bit width"),
+                    );
+                }
+            }
+            (
+                Type::Const {
+                    value: expected, ..
+                },
+                Arg::Int { value },
+            ) => {
+                if value != expected {
+                    self.emit(
+                        ci,
+                        Some(path),
+                        Rule::ConstMismatch,
+                        format!("{call_name}: constant must be {expected:#x}, found {value:#x}"),
+                    );
+                }
+            }
+            // The value of a Len field is checked by its *container*
+            // (call or struct), which can see the sibling it measures.
+            (Type::Len { .. }, Arg::Int { .. }) => {}
+            (Type::Ptr { optional, elem, .. }, Arg::Ptr { inner, .. }) => match inner {
+                Some(pointee) => {
+                    self.lint_arg(ci, *elem, pointee, path.child(PathSegment::Deref));
+                }
+                None => {
+                    if !optional {
+                        self.emit(
+                            ci,
+                            Some(path),
+                            Rule::NullNonOptionalPtr,
+                            format!("{call_name}: null pointer where the type is not optional"),
+                        );
+                    }
+                }
+            },
+            (Type::Buffer { kind }, Arg::Data { bytes }) => {
+                // Only the Blob minimum is enforced: mutation may append
+                // past `max_len` (allowed — the kernel truncates), but
+                // nothing ever shrinks a buffer below `min_len`.
+                if let BufferKind::Blob { min_len, .. } = kind {
+                    if bytes.len() < *min_len {
+                        self.emit(
+                            ci,
+                            Some(path),
+                            Rule::BufferTooShort,
+                            format!(
+                                "{call_name}: buffer of {} byte(s) below declared minimum {min_len}",
+                                bytes.len()
+                            ),
+                        );
+                    }
+                }
+            }
+            (
+                Type::Array {
+                    elem,
+                    min_len,
+                    max_len,
+                },
+                Arg::Group { inner },
+            ) => {
+                if inner.len() < *min_len || inner.len() > *max_len {
+                    self.emit(
+                        ci,
+                        Some(path.clone()),
+                        Rule::ArrayArity,
+                        format!(
+                            "{call_name}: array of {} element(s) outside [{min_len}, {max_len}]",
+                            inner.len()
+                        ),
+                    );
+                }
+                for (i, a) in inner.iter().enumerate() {
+                    self.lint_arg(ci, *elem, a, path.child(PathSegment::Elem(i as u16)));
+                }
+            }
+            (Type::Struct { name, fields }, Arg::Group { inner }) => {
+                if inner.len() != fields.len() {
+                    self.emit(
+                        ci,
+                        Some(path),
+                        Rule::Shape,
+                        format!(
+                            "{call_name}: struct {name} has {} field(s), found {}",
+                            fields.len(),
+                            inner.len()
+                        ),
+                    );
+                    return;
+                }
+                // Struct-level length fields measure sibling fields.
+                for (i, field) in fields.iter().enumerate() {
+                    if let Type::Len { target, .. } = self.reg.ty(field.ty) {
+                        let expected = inner.get(*target).map_or(0, Arg::payload_len);
+                        if let Some(Arg::Int { value }) = inner.get(i) {
+                            if *value != expected {
+                                self.emit(
+                                    ci,
+                                    Some(path.child(PathSegment::Field(i as u16))),
+                                    Rule::StaleLength,
+                                    format!(
+                                        "{call_name}: {name}.{} is {:#x} but field {} measures {:#x}",
+                                        field.name, value, target, expected
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+                for (i, (field, a)) in fields.iter().zip(inner).enumerate() {
+                    self.lint_arg(ci, field.ty, a, path.child(PathSegment::Field(i as u16)));
+                }
+            }
+            (Type::Union { name, variants }, Arg::Union { variant, inner }) => {
+                match variants.get(*variant as usize) {
+                    Some(v) => {
+                        self.lint_arg(ci, v.ty, inner, path.child(PathSegment::Variant(*variant)));
+                    }
+                    None => {
+                        self.emit(
+                            ci,
+                            Some(path),
+                            Rule::UnionVariantRange,
+                            format!(
+                                "{call_name}: union {name} has {} variant(s), discriminant is {variant}",
+                                variants.len()
+                            ),
+                        );
+                    }
+                }
+            }
+            (Type::Resource { kind, .. }, Arg::Res { source }) => {
+                if let snowplow_prog::ResSource::Ref(r) = source {
+                    let kind_name = self.reg.resource(*kind).name;
+                    if *r >= self.prog.len() {
+                        self.emit(
+                            ci,
+                            Some(path),
+                            Rule::DanglingRef,
+                            format!(
+                                "{call_name}: {kind_name} reference to call {r}, but the program has {} call(s)",
+                                self.prog.len()
+                            ),
+                        );
+                    } else if *r >= ci {
+                        self.emit(
+                            ci,
+                            Some(path),
+                            Rule::UseBeforeDef,
+                            format!(
+                                "{call_name}: {kind_name} reference to call {r} which has not executed yet"
+                            ),
+                        );
+                    } else {
+                        let producer = self.reg.syscall(self.prog.calls[*r].def);
+                        match producer.ret {
+                            None => self.emit(
+                                ci,
+                                Some(path),
+                                Rule::NonProducerRef,
+                                format!(
+                                    "{call_name}: {kind_name} reference to call {r} ({}), which produces nothing",
+                                    producer.name
+                                ),
+                            ),
+                            Some(produced) if produced != *kind => self.emit(
+                                ci,
+                                Some(path),
+                                Rule::ResourceKindMismatch,
+                                format!(
+                                    "{call_name}: expects {kind_name}, but call {r} ({}) produces {}",
+                                    producer.name,
+                                    self.reg.resource(produced).name
+                                ),
+                            ),
+                            Some(_) => {}
+                        }
+                    }
+                }
+            }
+            (ty, arg) => {
+                self.emit(
+                    ci,
+                    Some(path),
+                    Rule::Shape,
+                    format!(
+                        "{call_name}: {} type incompatible with value {arg:?}",
+                        ty.kind_name()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Lints `prog` against `reg`, returning every violation found, in
+/// program order. An empty result means the program is lint-clean.
+pub fn lint(reg: &Registry, prog: &Prog) -> Vec<Diagnostic> {
+    let mut linter = Linter {
+        reg,
+        prog,
+        out: Vec::new(),
+    };
+    for (ci, call) in prog.calls.iter().enumerate() {
+        linter.lint_call(ci, call);
+    }
+    linter.out
+}
+
+/// [`lint`] collapsed to a `Result`: `Err` carries the first diagnostic,
+/// rendered. This is the function installed as `snowplow-prog`'s debug
+/// mutation validator and used by the corpus ingestion gate.
+pub fn first_error(reg: &Registry, prog: &Prog) -> Result<(), String> {
+    match lint(reg, prog).into_iter().next() {
+        None => Ok(()),
+        Some(d) => Err(d.to_string()),
+    }
+}
+
+/// Parses `text` as a syz-format program and lints it, mapping each
+/// diagnostic back to the 1-based source line of the offending call.
+///
+/// Blank lines and `#` comments are skipped by the parser, so call `k`
+/// of the parsed program sits on the `k`-th *significant* line.
+pub fn lint_text(
+    reg: &Registry,
+    text: &str,
+) -> Result<Vec<FileDiagnostic>, snowplow_prog::parse::ParseError> {
+    let prog = Prog::parse(reg, text)?;
+    let call_lines: Vec<usize> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with('#')
+        })
+        .map(|(i, _)| i + 1)
+        .collect();
+    Ok(lint(reg, &prog)
+        .into_iter()
+        .map(|diagnostic| FileDiagnostic {
+            line: call_lines.get(diagnostic.call).copied().unwrap_or(0),
+            diagnostic,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snowplow_prog::gen::Generator;
+    use snowplow_prog::{Mutator, ResSource};
+    use snowplow_syslang::{builtin, Field, RegistryBuilder};
+
+    use super::*;
+
+    #[test]
+    fn generated_programs_are_lint_clean() {
+        let reg = builtin::linux_sim();
+        let generator = Generator::new(&reg);
+        for seed in 0..60u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let prog = generator.generate(&mut rng, 1 + (seed as usize % 10));
+            let diags = lint(&reg, &prog);
+            assert!(
+                diags.is_empty(),
+                "seed {seed}: {}\n{}",
+                diags[0],
+                prog.display(&reg)
+            );
+        }
+    }
+
+    #[test]
+    fn mutated_programs_stay_lint_clean() {
+        let reg = builtin::linux_sim();
+        let generator = Generator::new(&reg);
+        let mut mutator = Mutator::new(&reg);
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let mut prog = generator.generate(&mut rng, 5);
+            for step in 0..10 {
+                prog = mutator.mutate(&mut rng, &prog).0;
+                let diags = lint(&reg, &prog);
+                assert!(diags.is_empty(), "seed {seed} step {step}: {}", diags[0]);
+            }
+        }
+    }
+
+    /// A tiny registry with one resource, one producer, one consumer,
+    /// and one scalar-heavy call — enough to trigger every rule.
+    fn tiny() -> Registry {
+        let mut b = RegistryBuilder::new();
+        let fd = b.resource("fd", &[0xffff_ffff]);
+        let tok = b.resource("tok", &[0]);
+        let r_in = b.res_in(fd);
+        let t_in = b.res_in(tok);
+        let rng = b.int_range(10, 20, 32);
+        b.syscall("mk_fd", "test", &[], Some(fd));
+        b.syscall("mk_tok", "test", &[], Some(tok));
+        b.syscall("noret", "test", &[Field::new("x", rng)], None);
+        b.syscall(
+            "use_fd",
+            "test",
+            &[Field::new("fd", r_in), Field::new("tok", t_in)],
+            None,
+        );
+        b.build()
+    }
+
+    fn call(reg: &Registry, name: &str, args: Vec<Arg>) -> Call {
+        Call {
+            def: reg.syscall_by_name(name).unwrap(),
+            args,
+        }
+    }
+
+    fn res(r: usize) -> Arg {
+        Arg::Res {
+            source: ResSource::Ref(r),
+        }
+    }
+
+    #[test]
+    fn resource_reference_rules() {
+        let reg = tiny();
+        let ok = Prog {
+            calls: vec![
+                call(&reg, "mk_fd", vec![]),
+                call(&reg, "mk_tok", vec![]),
+                call(&reg, "use_fd", vec![res(0), res(1)]),
+            ],
+        };
+        assert!(lint(&reg, &ok).is_empty());
+
+        let dangling = Prog {
+            calls: vec![
+                call(&reg, "mk_tok", vec![]),
+                call(&reg, "use_fd", vec![res(7), res(0)]),
+            ],
+        };
+        let d = lint(&reg, &dangling);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::DanglingRef);
+        assert_eq!(d[0].call, 1);
+        assert_eq!(d[0].path, Some(ArgPath::arg(0)));
+
+        let forward = Prog {
+            calls: vec![
+                call(&reg, "mk_tok", vec![]),
+                call(&reg, "use_fd", vec![res(2), res(0)]),
+                call(&reg, "mk_fd", vec![]),
+            ],
+        };
+        assert_eq!(lint(&reg, &forward)[0].rule, Rule::UseBeforeDef);
+
+        let nonproducer = Prog {
+            calls: vec![
+                call(&reg, "noret", vec![Arg::int(15)]),
+                call(&reg, "mk_tok", vec![]),
+                call(&reg, "use_fd", vec![res(0), res(1)]),
+            ],
+        };
+        assert_eq!(lint(&reg, &nonproducer)[0].rule, Rule::NonProducerRef);
+
+        let wrong_kind = Prog {
+            calls: vec![
+                call(&reg, "mk_tok", vec![]),
+                call(&reg, "mk_fd", vec![]),
+                call(&reg, "use_fd", vec![res(0), res(1)]),
+            ],
+        };
+        let d = lint(&reg, &wrong_kind);
+        // Both arguments reference the wrong producer kind.
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|d| d.rule == Rule::ResourceKindMismatch));
+        // Prog::validate does NOT catch kind mismatches — the linter is
+        // strictly stronger here.
+        assert!(wrong_kind.validate(&reg).is_ok());
+    }
+
+    #[test]
+    fn scalar_rules() {
+        let reg = tiny();
+        let out_of_range = Prog {
+            calls: vec![call(&reg, "noret", vec![Arg::int(21)])],
+        };
+        assert_eq!(lint(&reg, &out_of_range)[0].rule, Rule::ScalarOutOfRange);
+        let in_range = Prog {
+            calls: vec![call(&reg, "noret", vec![Arg::int(20)])],
+        };
+        assert!(lint(&reg, &in_range).is_empty());
+    }
+
+    #[test]
+    fn arity_and_shape_rules() {
+        let reg = tiny();
+        let wrong_arity = Prog {
+            calls: vec![call(&reg, "noret", vec![])],
+        };
+        assert_eq!(lint(&reg, &wrong_arity)[0].rule, Rule::Arity);
+        let wrong_shape = Prog {
+            calls: vec![call(&reg, "noret", vec![Arg::Data { bytes: vec![1] }])],
+        };
+        assert_eq!(lint(&reg, &wrong_shape)[0].rule, Rule::Shape);
+    }
+
+    #[test]
+    fn stale_length_is_detected_and_finalize_clears_it() {
+        let reg = builtin::linux_sim();
+        let generator = Generator::new(&reg);
+        // Find a generated program that carries a nonzero length field,
+        // then corrupt it.
+        for seed in 0..200u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut prog = generator.generate(&mut rng, 6);
+            let mut corrupted = false;
+            'outer: for call in &mut prog.calls {
+                let def = reg.syscall(call.def);
+                for (i, f) in def.args.iter().enumerate() {
+                    if let Type::Len { .. } = reg.ty(f.ty) {
+                        if let Some(Arg::Int { value }) = call.args.get_mut(i) {
+                            *value = value.wrapping_add(0x1234);
+                            corrupted = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            if !corrupted {
+                continue;
+            }
+            let diags = lint(&reg, &prog);
+            assert!(diags.iter().any(|d| d.rule == Rule::StaleLength));
+            prog.finalize(&reg);
+            assert!(lint(&reg, &prog).is_empty());
+            return;
+        }
+        panic!("no generated program with a top-level length field");
+    }
+
+    #[test]
+    fn lint_text_maps_diagnostics_to_source_lines() {
+        let reg = tiny();
+        let text = "# a corrupted corpus entry\n\
+                    mk_tok()\n\
+                    \n\
+                    use_fd(r7, r0)\n";
+        let diags = lint_text(&reg, text).expect("parses");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 4);
+        assert_eq!(diags[0].diagnostic.rule, Rule::DanglingRef);
+        assert_eq!(diags[0].diagnostic.call, 1);
+    }
+
+    #[test]
+    fn diagnostics_render_with_location() {
+        let reg = tiny();
+        let prog = Prog {
+            calls: vec![
+                call(&reg, "mk_tok", vec![]),
+                call(&reg, "use_fd", vec![res(9), res(0)]),
+            ],
+        };
+        let d = &lint(&reg, &prog)[0];
+        let s = d.to_string();
+        assert!(s.contains("call 1"), "{s}");
+        assert!(s.contains("dangling-ref"), "{s}");
+        assert!(s.contains("fd"), "{s}");
+    }
+}

@@ -1,0 +1,80 @@
+//! The bug-reachability oracle.
+//!
+//! Every injected bug is attached to a basic block; a bug whose block is
+//! statically unreachable could never fire, which would silently skew
+//! every crash experiment (Tables 2–5). The oracle cross-checks the bug
+//! registry against the CFG analyses: each bug block must exist, be
+//! reachable from its handler entry over raw CFG edges, and survive
+//! proven-branch pruning ([`crate::cfg::statically_dead_blocks`]).
+
+use snowplow_kernel::Kernel;
+
+use crate::cfg::{reachable_blocks, statically_dead_blocks};
+
+/// Checks every planted bug block of `kernel`, returning one message per
+/// violation (empty = all bugs statically reachable).
+pub fn check_bug_reachability(kernel: &Kernel) -> Vec<String> {
+    let reachable = reachable_blocks(kernel);
+    let dead = statically_dead_blocks(kernel);
+    let mut violations = Vec::new();
+    for bug in kernel.bugs().iter() {
+        let block = bug.block;
+        if block.index() >= kernel.block_count() {
+            violations.push(format!(
+                "bug {} ({}): block {block:?} does not exist ({} blocks total)",
+                bug.id.0,
+                bug.description,
+                kernel.block_count()
+            ));
+        } else if !reachable.contains(&block) {
+            violations.push(format!(
+                "bug {} ({}): block {block:?} is disconnected from every handler entry",
+                bug.id.0, bug.description
+            ));
+        } else if dead.contains(&block) {
+            violations.push(format!(
+                "bug {} ({}): block {block:?} sits behind a statically-unsatisfiable branch",
+                bug.id.0, bug.description
+            ));
+        }
+    }
+    violations
+}
+
+/// [`check_bug_reachability`] as a `Result`, for use in tests and bench
+/// harness preambles.
+pub fn assert_all_bugs_reachable(kernel: &Kernel) -> Result<(), String> {
+    let violations = check_bug_reachability(kernel);
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} unreachable bug block(s) in {}:\n{}",
+            violations.len(),
+            kernel.version(),
+            violations.join("\n")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use snowplow_kernel::KernelVersion;
+
+    use super::*;
+
+    #[test]
+    fn all_planted_bugs_are_reachable_in_every_kernel_version() {
+        for version in [
+            KernelVersion::V6_8,
+            KernelVersion::V6_9,
+            KernelVersion::V6_10,
+        ] {
+            let kernel = Kernel::build(version);
+            assert!(!kernel.bugs().is_empty());
+            if let Err(report) = assert_all_bugs_reachable(&kernel) {
+                panic!("{report}");
+            }
+        }
+    }
+}

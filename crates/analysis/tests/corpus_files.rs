@@ -1,0 +1,38 @@
+//! The checked-in corpus samples under `corpus/` are linted as files:
+//! the clean seed must produce no diagnostics, and the hand-broken
+//! dangling-reference sample must be reported with the exact call
+//! index, source line, and rule — the `sp-lint` contract.
+
+use snowplow_analysis::{lint_text, Rule};
+use snowplow_syslang::builtin;
+
+const CLEAN: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../corpus/seed_clean.prog"
+));
+const BROKEN: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../corpus/broken_dangling.prog"
+));
+
+#[test]
+fn clean_seed_has_no_diagnostics() {
+    let reg = builtin::linux_sim();
+    let diags = lint_text(&reg, CLEAN).expect("clean seed parses");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn broken_seed_reports_dangling_ref_at_call_and_line() {
+    let reg = builtin::linux_sim();
+    let diags = lint_text(&reg, BROKEN).expect("broken seed still parses");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    // `close(r7)` is the third call (index 2) on source line 6.
+    assert_eq!(d.diagnostic.rule, Rule::DanglingRef);
+    assert_eq!(d.diagnostic.call, 2);
+    assert_eq!(d.line, 6);
+    let rendered = format!("{}", d.diagnostic);
+    assert!(rendered.contains("call 2"), "{rendered}");
+    assert!(rendered.contains("dangling-ref"), "{rendered}");
+}

@@ -84,12 +84,37 @@ fn bench_train_step(c: &mut Criterion) {
     });
 }
 
+fn bench_lint(c: &mut Criterion) {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let reg = kernel.registry();
+    let generator = Generator::new(reg);
+    let mut rng = StdRng::seed_from_u64(6);
+    let progs: Vec<_> = (0..64).map(|_| generator.generate(&mut rng, 6)).collect();
+    let mut i = 0;
+    c.bench_function("lint", |b| {
+        b.iter(|| {
+            let n = snowplow_analysis::lint(reg, &progs[i % progs.len()]).len();
+            i += 1;
+            n
+        })
+    });
+}
+
+fn bench_dead_block_analysis(c: &mut Criterion) {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    c.bench_function("dead_block_analysis", |b| {
+        b.iter(|| snowplow_analysis::statically_dead_blocks(&kernel).len())
+    });
+}
+
 criterion_group!(
     benches,
     bench_kernel_exec,
     bench_mutation,
     bench_graph_build,
     bench_pmm_inference,
-    bench_train_step
+    bench_train_step,
+    bench_lint,
+    bench_dead_block_analysis
 );
 criterion_main!(benches);

@@ -20,7 +20,10 @@ fn main() {
         let mut base_finals = Vec::new();
         let mut snow_finals = Vec::new();
         let mut speedups = Vec::new();
-        println!("\n== Figure 6 ({version}): edge coverage, mean over {} seeds ==", seeds.len());
+        println!(
+            "\n== Figure 6 ({version}): edge coverage, mean over {} seeds ==",
+            seeds.len()
+        );
         let mut base_series: Vec<Vec<usize>> = Vec::new();
         let mut snow_series: Vec<Vec<usize>> = Vec::new();
         for &seed in &seeds {
@@ -33,7 +36,9 @@ fn main() {
             snow_cfg.speed_factor = 1.0;
             let snow = Campaign::new(
                 &kernel,
-                FuzzerKind::Snowplow { model: Box::new(model.clone()) },
+                FuzzerKind::Snowplow {
+                    model: Box::new(model.clone()),
+                },
                 snow_cfg,
             )
             .run();
@@ -55,8 +60,17 @@ fn main() {
         }
         let mb: f64 = base_finals.iter().sum::<usize>() as f64 / seeds.len() as f64;
         let ms: f64 = snow_finals.iter().sum::<usize>() as f64 / seeds.len() as f64;
-        let band = |v: &[usize]| (v.iter().min().copied().unwrap_or(0), v.iter().max().copied().unwrap_or(0));
-        println!("final: syzkaller {mb:.0} {:?} | snowplow {ms:.0} {:?}", band(&base_finals), band(&snow_finals));
+        let band = |v: &[usize]| {
+            (
+                v.iter().min().copied().unwrap_or(0),
+                v.iter().max().copied().unwrap_or(0),
+            )
+        };
+        println!(
+            "final: syzkaller {mb:.0} {:?} | snowplow {ms:.0} {:?}",
+            band(&base_finals),
+            band(&snow_finals)
+        );
         println!(
             "Figure 6d improvement at 24h: {:+.1}%  (paper: +7.0% / +8.6% / +7.7%)",
             100.0 * (ms / mb - 1.0)

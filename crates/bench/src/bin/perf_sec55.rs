@@ -3,18 +3,20 @@
 
 use std::time::Instant;
 
+use rand::prelude::*;
 use snowplow_bench::day_config;
 use snowplow_core::fuzzing::{Campaign, FuzzerKind};
 use snowplow_core::learning::{InferenceService, QueryGraph};
 use snowplow_core::{train_pmm, Kernel, KernelVersion, Scale, Vm};
-use rand::prelude::*;
 
 fn main() {
     let kernel = Kernel::build(KernelVersion::V6_8);
     let (model, _) = train_pmm(&kernel, Scale::quick());
 
     // ---- Inference service at saturation. -----------------------------
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let service = InferenceService::start(&model, workers);
     let generator = snowplow_prog::gen::Generator::new(kernel.registry());
     let mut rng = StdRng::seed_from_u64(9);
@@ -54,7 +56,14 @@ fn main() {
     let base = Campaign::new(&kernel, FuzzerKind::Syzkaller, cfg).run();
     let base_rate = base.execs as f64 / t.elapsed().as_secs_f64();
     let t = Instant::now();
-    let snow = Campaign::new(&kernel, FuzzerKind::Snowplow { model: Box::new(model) }, cfg).run();
+    let snow = Campaign::new(
+        &kernel,
+        FuzzerKind::Snowplow {
+            model: Box::new(model),
+        },
+        cfg,
+    )
+    .run();
     let snow_rate = snow.execs as f64 / t.elapsed().as_secs_f64();
     println!("\n== §5.5 fuzzing throughput (real tests/second of this process) ==");
     println!("syzkaller: {base_rate:.0} tests/s | snowplow: {snow_rate:.0} tests/s (paper: 390 vs 383 — PMM must not block the loop)");

@@ -24,8 +24,15 @@ fn main() {
         config.mutations_per_base,
         ds.stats.successful_mutations as f64 / ds.progs.len() as f64
     );
-    println!("examples after merge+cap: {} ({} capped)", ds.samples.len(), ds.stats.capped);
-    println!("mean |y| (positives per example): {:.2}  (paper: 8)", ds.mean_positive_count());
+    println!(
+        "examples after merge+cap: {} ({} capped)",
+        ds.samples.len(),
+        ds.stats.capped
+    );
+    println!(
+        "mean |y| (positives per example): {:.2}  (paper: 8)",
+        ds.mean_positive_count()
+    );
 
     // Graph-size statistics over 200 examples.
     let mut vm = Vm::new(&kernel);

@@ -9,12 +9,18 @@ fn main() {
     let trainer = Trainer::new(&kernel, scale.train);
     let mut model = Pmm::new(scale.model, kernel.registry().syscall_count());
     let hist = trainer.train(&mut model, &dataset);
-    println!("validation F1 per epoch: {:?}", hist.iter().map(|f| format!("{:.2}", f)).collect::<Vec<_>>());
+    println!(
+        "validation F1 per epoch: {:?}",
+        hist.iter().map(|f| format!("{:.2}", f)).collect::<Vec<_>>()
+    );
     let pmm = trainer.evaluate(&mut model, &dataset, Split::Evaluation);
     let k = dataset.mean_positive_count().round().max(1.0) as usize;
     let rand = trainer.rand_k_baseline(&dataset, Split::Evaluation, k, 99);
     println!("== Table 1: selector performance on held-out base tests ==");
-    println!("{:<10} {:>8} {:>10} {:>8} {:>9}", "Selector", "F1", "Precision", "Recall", "Jaccard");
+    println!(
+        "{:<10} {:>8} {:>10} {:>8} {:>9}",
+        "Selector", "F1", "Precision", "Recall", "Jaccard"
+    );
     let row = |name: &str, m: &snowplow_core::learning::BinaryMetrics| {
         println!(
             "{:<10} {:>7.1}% {:>9.1}% {:>7.1}% {:>8.1}%",
@@ -27,7 +33,9 @@ fn main() {
     };
     row("PMModel", &pmm.metrics);
     row(&format!("Rand.{k}"), &rand.metrics);
-    println!("(paper: PMM 84.2/91.2/81.2/76.1 vs Rand.8 30.3/36.6/37.0/19.9 — same ordering, \
+    println!(
+        "(paper: PMM 84.2/91.2/81.2/76.1 vs Rand.8 30.3/36.6/37.0/19.9 — same ordering, \
               PMM/Rand F1 ratio here {:.1}x vs paper 2.8x)",
-        pmm.metrics.f1 / rand.metrics.f1.max(1e-9));
+        pmm.metrics.f1 / rand.metrics.f1.max(1e-9)
+    );
 }

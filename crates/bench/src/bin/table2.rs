@@ -20,12 +20,17 @@ fn main() {
         ..CampaignConfig::default()
     };
     println!("== Table 2: 7-day crash campaign ==");
-    println!("{:<16} {:>10} {:>10} {:>10} {:>10}", "", "snow run1", "snow run2", "syz run1", "syz run2");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10}",
+        "", "snow run1", "snow run2", "syz run1", "syz run2"
+    );
     let mut rows = Vec::new();
     for (kind_name, seeds) in [("snowplow", [11u64, 22]), ("syzkaller", [11, 22])] {
         for seed in seeds {
             let kind = if kind_name == "snowplow" {
-                FuzzerKind::Snowplow { model: Box::new(model.clone()) }
+                FuzzerKind::Snowplow {
+                    model: Box::new(model.clone()),
+                }
             } else {
                 FuzzerKind::Syzkaller
             };

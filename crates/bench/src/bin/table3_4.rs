@@ -5,7 +5,9 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 use snowplow_bench::{hours, trained_model};
-use snowplow_core::fuzzing::{attempt_reproducer, Campaign, CampaignConfig, FuzzerKind, ReproOutcome};
+use snowplow_core::fuzzing::{
+    attempt_reproducer, Campaign, CampaignConfig, FuzzerKind, ReproOutcome,
+};
 use snowplow_core::{CrashCategory, Kernel, KernelVersion};
 
 fn main() {
@@ -20,7 +22,9 @@ fn main() {
     };
     let report = Campaign::new(
         &kernel,
-        FuzzerKind::Snowplow { model: Box::new(model) },
+        FuzzerKind::Snowplow {
+            model: Box::new(model),
+        },
         cfg,
     )
     .run();
@@ -67,13 +71,20 @@ fn main() {
     );
 
     println!("\n== Table 4: diagnosed-bug sample (from the injected-bug registry) ==");
-    println!("{:<4} {:<55} {:<28} {:>6}", "ID", "Bug description", "Failure location", "Depth");
+    println!(
+        "{:<4} {:<55} {:<28} {:>6}",
+        "ID", "Bug description", "Failure location", "Depth"
+    );
     let mut shown = 0;
     for rec in report.crashes.records() {
         if rec.known {
             continue;
         }
-        if let Some(bug) = kernel.bugs().iter().find(|b| b.description == rec.description) {
+        if let Some(bug) = kernel
+            .bugs()
+            .iter()
+            .find(|b| b.description == rec.description)
+        {
             shown += 1;
             println!(
                 "{:<4} {:<55} {:<28} {:>6}",

@@ -53,7 +53,10 @@ fn main() {
     let runs = 3;
     let budget = Duration::from_secs(4 * 3600);
     println!("== Table 5: mean virtual seconds to reach target (success/total runs) ==");
-    println!("{:<44} {:>18} {:>18} {:>8}", "Target location", "SyzDirect", "Snowplow-D", "Speedup");
+    println!(
+        "{:<44} {:>18} {:>18} {:>8}",
+        "Target location", "SyzDirect", "Snowplow-D", "Speedup"
+    );
     let (mut sub_base, mut sub_snow) = (0.0f64, 0.0f64);
     let (mut both, mut snow_only, mut neither) = (0, 0, 0);
     for (name, target) in &targets {
@@ -67,7 +70,11 @@ fn main() {
                     seed: seed as u64 + 100,
                     ..DirectedConfig::default()
                 };
-                let m = if pmm { Some(Box::new(model.clone())) } else { None };
+                let m = if pmm {
+                    Some(Box::new(model.clone()))
+                } else {
+                    None
+                };
                 if let DirectedOutcome::Reached { at, .. } =
                     DirectedCampaign::new(&kernel, m, cfg).run()
                 {
@@ -75,7 +82,14 @@ fn main() {
                     ok += 1;
                 }
             }
-            (if ok > 0 { Some(total / ok as f64) } else { None }, ok)
+            (
+                if ok > 0 {
+                    Some(total / ok as f64)
+                } else {
+                    None
+                },
+                ok,
+            )
         };
         let (base_t, base_ok) = time(false);
         let (snow_t, snow_ok) = time(true);
@@ -88,7 +102,13 @@ fn main() {
             (None, Some(_)) => "INF".to_string(),
             _ => "NA".to_string(),
         };
-        println!("{:<44} {:>18} {:>18} {:>8}", name, fmt(base_t, base_ok), fmt(snow_t, snow_ok), speedup);
+        println!(
+            "{:<44} {:>18} {:>18} {:>8}",
+            name,
+            fmt(base_t, base_ok),
+            fmt(snow_t, snow_ok),
+            speedup
+        );
         match (base_t, snow_t) {
             (Some(b), Some(s)) => {
                 sub_base += b;

@@ -48,5 +48,8 @@ pub fn trained_model(kernel: &Kernel) -> (Pmm, snowplow_core::EvalReport) {
 
 /// Builds all three kernel versions.
 pub fn all_kernels() -> Vec<Kernel> {
-    KernelVersion::ALL.iter().map(|v| Kernel::build(*v)).collect()
+    KernelVersion::ALL
+        .iter()
+        .map(|v| Kernel::build(*v))
+        .collect()
 }

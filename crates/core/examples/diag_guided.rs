@@ -54,14 +54,22 @@ fn main() {
             let e = vm.execute(&m);
             let n = g1.merge(&e.edges());
             rand_new += n;
-            if n > 0 { rand_hits += 1; }
+            if n > 0 {
+                rand_hits += 1;
+            }
         }
         // guided channel
         let frontier = kernel.cfg().alternative_entries(exec.coverage().as_set());
-        let mut wanted: Vec<_> = frontier.iter().copied().filter(|b| !gblocks.contains(*b)).collect();
+        let mut wanted: Vec<_> = frontier
+            .iter()
+            .copied()
+            .filter(|b| !gblocks.contains(*b))
+            .collect();
         wanted.shuffle(&mut rng);
         wanted.truncate(6);
-        if wanted.is_empty() { continue; }
+        if wanted.is_empty() {
+            continue;
+        }
         let graph = QueryGraph::build(&kernel, base, exec, &wanted);
         let scored = model.predict(&graph);
         let locs = model.predict_set(&graph, 0.5);
@@ -78,9 +86,13 @@ fn main() {
                             if let Some(ci) = base.calls.iter().position(|c| c.def == blk.handler) {
                                 let loc = snowplow_prog::ArgLoc::new(ci, path.clone());
                                 oracle_total += 1;
-                                if locs.contains(&loc) { oracle_in_set += 1; }
+                                if locs.contains(&loc) {
+                                    oracle_in_set += 1;
+                                }
                                 let rank = scored.iter().position(|(l, _)| *l == loc);
-                                if let Some(r) = rank { ranks.push(r); }
+                                if let Some(r) = rank {
+                                    ranks.push(r);
+                                }
                             }
                         } else {
                             state_gated += 1;
@@ -92,13 +104,18 @@ fn main() {
         let mut g2 = global.clone();
         for i in 0..12 {
             let loc = &locs[i % locs.len()];
-            let (m, applied) = mutator.mutate_arguments(&mut rng, base, Some(std::slice::from_ref(loc)));
-            if applied.is_empty() { continue; }
+            let (m, applied) =
+                mutator.mutate_arguments(&mut rng, base, Some(std::slice::from_ref(loc)));
+            if applied.is_empty() {
+                continue;
+            }
             vm.restore(&snap);
             let e = vm.execute(&m);
             let n = g2.merge(&e.edges());
             guided_new += n;
-            if n > 0 { guided_hits += 1; }
+            if n > 0 {
+                guided_hits += 1;
+            }
         }
     }
     println!("random: {rand_new} new edges, {rand_hits} productive mutations");
@@ -106,6 +123,13 @@ fn main() {
     let mean_locs: f64 = loc_counts.iter().sum::<usize>() as f64 / loc_counts.len().max(1) as f64;
     println!("mean |locs| = {mean_locs:.1}; oracle args in predicted set: {oracle_in_set}/{oracle_total} (state-gated targets: {state_gated})");
     ranks.sort();
-    println!("oracle rank distribution (first 20): {:?}", &ranks[..ranks.len().min(20)]);
-    println!("median rank: {:?} of mean {:.0} candidates", ranks.get(ranks.len()/2), 60.0);
+    println!(
+        "oracle rank distribution (first 20): {:?}",
+        &ranks[..ranks.len().min(20)]
+    );
+    println!(
+        "median rank: {:?} of mean {:.0} candidates",
+        ranks.get(ranks.len() / 2),
+        60.0
+    );
 }

@@ -24,7 +24,9 @@ fn main() {
         let t = std::time::Instant::now();
         let snow = Campaign::new(
             &kernel,
-            FuzzerKind::Snowplow { model: Box::new(model.clone()) },
+            FuzzerKind::Snowplow {
+                model: Box::new(model.clone()),
+            },
             cfg,
         )
         .run();
@@ -42,7 +44,10 @@ fn main() {
             100.0 * (snow.final_edges as f64 / base.final_edges as f64 - 1.0),
             speedup
         );
-        println!("  attribution: syz {:?} | snow {:?}", base.attribution, snow.attribution);
+        println!(
+            "  attribution: syz {:?} | snow {:?}",
+            base.attribution, snow.attribution
+        );
         println!(
             "  crashes: syz {} new / {} known; snow {} new / {} known",
             base.crashes.new_count(),

@@ -28,7 +28,7 @@
 
 pub use snowplow_kernel::{
     BlockId, BugId, BugInfo, BugRegistry, Coverage, CrashCategory, CrashInfo, EdgeSet, Effect,
-    ExecResult, Kernel, KernelVersion, Vm,
+    ExecResult, Kernel, KernelVersion, Terminator, Vm,
 };
 pub use snowplow_pmm::dataset::{Dataset, DatasetConfig, Split};
 pub use snowplow_pmm::model::{Pmm, PmmConfig};
@@ -41,17 +41,17 @@ pub use snowplow_syslang::{builtin, Registry, SyscallId};
 pub mod fuzzing {
     pub use snowplow_fuzzer::{
         attempt_reproducer, Campaign, CampaignConfig, CampaignReport, Corpus, CrashLog,
-        CrashRecord, DirectedCampaign, DirectedConfig, DirectedOutcome, FuzzerKind,
-        ReproOutcome, TimelinePoint, VirtualClock,
+        CrashRecord, DirectedCampaign, DirectedConfig, DirectedOutcome, FuzzerKind, ReproOutcome,
+        TimelinePoint, VirtualClock,
     };
 }
 
 /// Model/query types for advanced integration.
 pub mod learning {
     pub use snowplow_mlcore::{AdamConfig, BinaryMetrics, Matrix, Params, Tape};
-    pub use snowplow_pmm::train::predict_locations;
     pub use snowplow_pmm::graph::{EdgeType, NodeKind, QueryGraph};
     pub use snowplow_pmm::server::{InferenceService, InferenceStats};
+    pub use snowplow_pmm::train::predict_locations;
 }
 
 /// End-to-end pipeline scale: dataset size, training budget, model size.

@@ -150,6 +150,9 @@ pub struct Campaign<'k> {
 impl<'k> Campaign<'k> {
     /// Creates a campaign.
     pub fn new(kernel: &'k Kernel, kind: FuzzerKind, config: CampaignConfig) -> Self {
+        // Debug builds lint every mutator output from here on: a bad
+        // mutation panics at its source instead of poisoning the corpus.
+        snowplow_analysis::install_debug_validator();
         Campaign {
             kernel,
             config,
@@ -183,13 +186,13 @@ impl<'k> Campaign<'k> {
         let exec_cost = Duration::from_secs_f64(cfg.exec_cost.as_secs_f64() / cfg.speed_factor);
 
         let execute = |prog: &Prog,
-                           vm: &mut Vm<'_>,
-                           clock: &mut VirtualClock,
-                           edges: &mut EdgeSet,
-                           blocks: &mut Coverage,
-                           crashes: &mut CrashLog,
-                           corpus: &mut Corpus,
-                           execs: &mut u64|
+                       vm: &mut Vm<'_>,
+                       clock: &mut VirtualClock,
+                       edges: &mut EdgeSet,
+                       blocks: &mut Coverage,
+                       crashes: &mut CrashLog,
+                       corpus: &mut Corpus,
+                       execs: &mut u64|
          -> usize {
             vm.restore(&snapshot);
             let result = vm.execute(prog);
@@ -201,16 +204,27 @@ impl<'k> Campaign<'k> {
                 crashes.record(crash, prog, clock.now());
             }
             if new_edges > 0 {
-                corpus.add(prog.clone(), &result, new_edges);
+                corpus.add_checked(reg, prog.clone(), &result, new_edges);
             }
             new_edges
         };
+
+        // Blocks no mutation can ever reach (statically-unsatisfiable
+        // gates, orphan error stubs): computed once, excluded from every
+        // PMM frontier query so no inference budget is spent on them.
+        let dead_blocks = snowplow_analysis::statically_dead_blocks(kernel);
 
         // ---- Seed corpus. --------------------------------------------------
         for _ in 0..cfg.seed_corpus {
             let p = generator.generate(&mut rng, 6);
             attribution.generation += execute(
-                &p, &mut vm, &mut clock, &mut edges, &mut blocks, &mut crashes, &mut corpus,
+                &p,
+                &mut vm,
+                &mut clock,
+                &mut edges,
+                &mut blocks,
+                &mut crashes,
+                &mut corpus,
                 &mut execs,
             );
         }
@@ -229,10 +243,8 @@ impl<'k> Campaign<'k> {
             }
 
             // Promote ready PMM localizations into the per-base cache.
-            while pending
-                .front()
-                .is_some_and(|p| p.ready_at <= clock.now())
-            {
+            while pending.front().is_some_and(|p| p.ready_at <= clock.now()) {
+                // Invariant: the loop condition saw a front element.
                 let p = pending.pop_front().expect("checked front");
                 if !p.locs.is_empty() {
                     // §3.4's dynamic budget: a base with more predicted
@@ -247,7 +259,13 @@ impl<'k> Campaign<'k> {
             let Some(base_idx) = corpus.choose(&mut rng) else {
                 let p = generator.generate(&mut rng, 6);
                 attribution.generation += execute(
-                    &p, &mut vm, &mut clock, &mut edges, &mut blocks, &mut crashes, &mut corpus,
+                    &p,
+                    &mut vm,
+                    &mut clock,
+                    &mut edges,
+                    &mut blocks,
+                    &mut crashes,
+                    &mut corpus,
                     &mut execs,
                 );
                 continue;
@@ -258,8 +276,14 @@ impl<'k> Campaign<'k> {
                 FuzzerKind::Syzkaller => {
                     let (mutant, outcome) = mutator.mutate(&mut rng, &base);
                     let gained = execute(
-                        &mutant, &mut vm, &mut clock, &mut edges, &mut blocks, &mut crashes,
-                        &mut corpus, &mut execs,
+                        &mutant,
+                        &mut vm,
+                        &mut clock,
+                        &mut edges,
+                        &mut blocks,
+                        &mut crashes,
+                        &mut corpus,
+                        &mut execs,
                     );
                     if outcome.ty == snowplow_prog::MutationType::ArgumentMutation {
                         attribution.random_args += gained;
@@ -277,14 +301,13 @@ impl<'k> Campaign<'k> {
                         let exec = corpus.entry(base_idx).exec.clone();
                         // Desired targets: frontier blocks of the base
                         // that the campaign has not covered at all yet.
-                        let frontier = kernel
-                            .cfg()
-                            .alternative_entries(exec.coverage().as_set());
+                        let frontier = kernel.cfg().alternative_entries(exec.coverage().as_set());
                         let mut wanted: Vec<BlockId> = frontier
                             .iter()
                             .copied()
                             .filter(|b| {
                                 !blocks.contains(*b)
+                                    && !dead_blocks.contains(b)
                                     && kernel.cfg().arg_gated(kernel.blocks(), *b)
                             })
                             .collect();
@@ -297,10 +320,7 @@ impl<'k> Campaign<'k> {
                             // rank (the paper's PMM outputs a set whose
                             // size scales the mutation budget).
                             let scored = model.predict(&graph);
-                            let above = scored
-                                .iter()
-                                .filter(|(_, p)| *p >= cfg.threshold)
-                                .count();
+                            let above = scored.iter().filter(|(_, p)| *p >= cfg.threshold).count();
                             let keep = above.max(cfg.top_k).min(scored.len());
                             let locs: Vec<ArgLoc> =
                                 scored.into_iter().take(keep).map(|(l, _)| l).collect();
@@ -346,8 +366,14 @@ impl<'k> Campaign<'k> {
                             };
                             let _ = applied;
                             let gained = execute(
-                                &mutant, &mut vm, &mut clock, &mut edges, &mut blocks,
-                                &mut crashes, &mut corpus, &mut execs,
+                                &mutant,
+                                &mut vm,
+                                &mut clock,
+                                &mut edges,
+                                &mut blocks,
+                                &mut crashes,
+                                &mut corpus,
+                                &mut execs,
                             );
                             if guided.is_some() {
                                 attribution.guided_args += gained;
@@ -363,15 +389,27 @@ impl<'k> Campaign<'k> {
                         snowplow_prog::MutationType::CallInsertion => {
                             let mutant = mutator.insert_call(&mut rng, &base);
                             attribution.structural += execute(
-                                &mutant, &mut vm, &mut clock, &mut edges, &mut blocks,
-                                &mut crashes, &mut corpus, &mut execs,
+                                &mutant,
+                                &mut vm,
+                                &mut clock,
+                                &mut edges,
+                                &mut blocks,
+                                &mut crashes,
+                                &mut corpus,
+                                &mut execs,
                             );
                         }
                         snowplow_prog::MutationType::CallRemoval => {
                             let mutant = mutator.remove_call(&mut rng, &base);
                             attribution.structural += execute(
-                                &mutant, &mut vm, &mut clock, &mut edges, &mut blocks,
-                                &mut crashes, &mut corpus, &mut execs,
+                                &mutant,
+                                &mut vm,
+                                &mut clock,
+                                &mut edges,
+                                &mut blocks,
+                                &mut crashes,
+                                &mut corpus,
+                                &mut execs,
                             );
                         }
                     }
@@ -442,8 +480,7 @@ mod tests {
     #[test]
     fn baseline_campaign_makes_progress() {
         let kernel = Kernel::build(KernelVersion::V6_8);
-        let report =
-            Campaign::new(&kernel, FuzzerKind::Syzkaller, short_config(1)).run();
+        let report = Campaign::new(&kernel, FuzzerKind::Syzkaller, short_config(1)).run();
         assert!(report.execs > 1000);
         assert!(report.final_edges > 500, "edges {}", report.final_edges);
         assert!(report.corpus_len > 10);

@@ -3,6 +3,7 @@
 use rand::prelude::*;
 use snowplow_kernel::{Coverage, ExecResult};
 use snowplow_prog::Prog;
+use snowplow_syslang::Registry;
 
 /// One corpus entry.
 #[derive(Debug, Clone)]
@@ -52,6 +53,26 @@ impl Corpus {
             exec: exec.clone(),
             new_edges,
         });
+    }
+
+    /// Admits a program only if it passes the static linter: a corpus
+    /// poisoned by malformed programs (dangling resource refs, stale
+    /// lengths) wastes every mutation budget spent on its entries, so
+    /// ingestion is the enforcement point. Returns whether the program
+    /// was admitted.
+    pub fn add_checked(
+        &mut self,
+        reg: &Registry,
+        prog: Prog,
+        exec: &ExecResult,
+        new_edges: usize,
+    ) -> bool {
+        if snowplow_analysis::lint(reg, &prog).is_empty() {
+            self.add(prog, exec, new_edges);
+            true
+        } else {
+            false
+        }
     }
 
     fn weight_of(new_edges: usize) -> u64 {
@@ -133,5 +154,41 @@ mod tests {
     fn empty_corpus_yields_none() {
         let mut rng = StdRng::seed_from_u64(2);
         assert_eq!(Corpus::new().choose(&mut rng), None);
+    }
+
+    #[test]
+    fn checked_ingestion_rejects_lint_violations() {
+        use snowplow_prog::arg::{Arg, ResSource};
+
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let reg = kernel.registry();
+        let clean = (0..50)
+            .map(|seed| Generator::new(reg).generate(&mut StdRng::seed_from_u64(seed), 4))
+            .find(|p| {
+                p.calls
+                    .iter()
+                    .any(|c| c.args.iter().any(|a| matches!(a, Arg::Res { .. })))
+            })
+            .expect("some generated program uses a resource argument");
+        let mut vm = Vm::new(&kernel);
+        let exec = vm.execute(&clean);
+
+        let mut corpus = Corpus::new();
+        assert!(corpus.add_checked(reg, clean.clone(), &exec, 1));
+        assert_eq!(corpus.len(), 1);
+
+        // Break the program: point some resource argument at a call that
+        // does not exist.
+        let mut broken = clean;
+        'outer: for call in &mut broken.calls {
+            for arg in &mut call.args {
+                if let Arg::Res { source } = arg {
+                    *source = ResSource::Ref(9999);
+                    break 'outer;
+                }
+            }
+        }
+        assert!(!corpus.add_checked(reg, broken, &exec, 1));
+        assert_eq!(corpus.len(), 1, "lint-dirty program must be rejected");
     }
 }

@@ -136,7 +136,10 @@ mod tests {
             Duration::from_secs(2)
         ));
         assert!(log.record(
-            &info("general protection fault in sim_read", CrashCategory::GeneralProtectionFault),
+            &info(
+                "general protection fault in sim_read",
+                CrashCategory::GeneralProtectionFault
+            ),
             &p,
             Duration::from_secs(3)
         ));

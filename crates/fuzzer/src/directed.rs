@@ -79,6 +79,11 @@ pub enum DirectedOutcome {
         /// Executions spent.
         execs: u64,
     },
+    /// Static analysis proved the target can never execute (out of
+    /// range, behind a statically-unsatisfiable gate, or disconnected
+    /// from every handler entry), so no fuzzing was attempted. Decided
+    /// in O(|CFG|) before the first execution.
+    Unreachable,
 }
 
 impl DirectedOutcome {
@@ -86,7 +91,7 @@ impl DirectedOutcome {
     pub fn reached_at(&self) -> Option<Duration> {
         match self {
             DirectedOutcome::Reached { at, .. } => Some(*at),
-            DirectedOutcome::TimedOut { .. } => None,
+            DirectedOutcome::TimedOut { .. } | DirectedOutcome::Unreachable => None,
         }
     }
 }
@@ -107,6 +112,9 @@ struct Entry {
 impl<'k> DirectedCampaign<'k> {
     /// Creates a campaign; pass a trained model for Snowplow-D.
     pub fn new(kernel: &'k Kernel, pmm: Option<Box<Pmm>>, config: DirectedConfig) -> Self {
+        // Debug builds lint every mutator output from here on: a bad
+        // mutation panics at its source instead of poisoning the corpus.
+        snowplow_analysis::install_debug_validator();
         DirectedCampaign {
             kernel,
             config,
@@ -115,10 +123,20 @@ impl<'k> DirectedCampaign<'k> {
     }
 
     /// Runs to the target or the deadline.
+    ///
+    /// Targets that static analysis proves unreachable — out-of-range
+    /// ids (e.g. a block of a newer kernel version run against an older
+    /// one) or blocks no handler entry can flow to — return
+    /// [`DirectedOutcome::Unreachable`] without spending any budget.
     pub fn run(mut self) -> DirectedOutcome {
         let kernel = self.kernel;
         let cfg = self.config;
         let reg = kernel.registry();
+        if cfg.target.index() >= kernel.block_count()
+            || snowplow_analysis::statically_dead_blocks(kernel).contains(&cfg.target)
+        {
+            return DirectedOutcome::Unreachable;
+        }
         let dist_map = kernel.cfg().distance_to(cfg.target);
         let target_handler = kernel.block(cfg.target).handler;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -234,8 +252,7 @@ impl<'k> DirectedCampaign<'k> {
                         .filter_map(|b| dist_map[b.index()].map(|d| (d, *b)))
                         .collect();
                     wanted.sort();
-                    let targets: Vec<BlockId> =
-                        wanted.iter().take(4).map(|(_, b)| *b).collect();
+                    let targets: Vec<BlockId> = wanted.iter().take(4).map(|(_, b)| *b).collect();
                     if targets.is_empty() {
                         let mutant = mutator.mutate(&mut rng, &base).0;
                         run_prog!(&mutant);
@@ -337,6 +354,50 @@ mod tests {
             DirectedOutcome::Reached { at, .. } => {
                 panic!("120 virtual seconds cannot crack 4 narrow gates (reached at {at:?})")
             }
+            DirectedOutcome::Unreachable => {
+                panic!("the ATA poison block is statically reachable")
+            }
+        }
+    }
+
+    #[test]
+    fn statically_unreachable_target_is_refused_without_fuzzing() {
+        // A drift block that only exists in 6.9, targeted against 6.8:
+        // the id is past the smaller kernel's block table, so the screen
+        // rejects it in O(|CFG|) instead of panicking in `distance_to`
+        // or burning the whole 24 h budget.
+        let k68 = Kernel::build(KernelVersion::V6_8);
+        let k69 = Kernel::build(KernelVersion::V6_9);
+        assert!(k69.block_count() > k68.block_count());
+        let drift_block = BlockId(k68.block_count() as u32);
+        let cfg = DirectedConfig {
+            target: drift_block,
+            duration: Duration::from_secs(24 * 3600),
+            seed: 3,
+            ..DirectedConfig::default()
+        };
+        assert_eq!(
+            DirectedCampaign::new(&k68, None, cfg).run(),
+            DirectedOutcome::Unreachable
+        );
+        assert_eq!(DirectedOutcome::Unreachable.reached_at(), None);
+
+        // An orphan error-exit stub (dead by graph shape) is likewise
+        // screened out up front.
+        if let Some(&stub) = snowplow_analysis::statically_dead_blocks(&k68)
+            .iter()
+            .next()
+        {
+            let cfg = DirectedConfig {
+                target: stub,
+                duration: Duration::from_secs(24 * 3600),
+                seed: 4,
+                ..DirectedConfig::default()
+            };
+            assert_eq!(
+                DirectedCampaign::new(&k68, None, cfg).run(),
+                DirectedOutcome::Unreachable
+            );
         }
     }
 

@@ -26,7 +26,9 @@ pub mod crash;
 pub mod directed;
 pub mod repro;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignReport, EdgeAttribution, FuzzerKind, TimelinePoint};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignReport, EdgeAttribution, FuzzerKind, TimelinePoint,
+};
 pub use clock::VirtualClock;
 pub use corpus::{Corpus, CorpusEntry};
 pub use crash::{CrashLog, CrashRecord};

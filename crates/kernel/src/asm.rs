@@ -25,8 +25,8 @@ pub const REGS: u8 = 16;
 
 /// Mnemonics used by the synthetic ISA.
 pub const OPS: &[&str] = &[
-    "mov", "lea", "add", "sub", "and", "or", "xor", "shl", "shr", "cmp", "test", "je", "jne",
-    "jb", "ja", "jmp", "call", "ret", "push", "pop", "nop",
+    "mov", "lea", "add", "sub", "and", "or", "xor", "shl", "shr", "cmp", "test", "je", "jne", "jb",
+    "ja", "jmp", "call", "ret", "push", "pop", "nop",
 ];
 
 /// One token of a block's synthetic disassembly.
@@ -89,7 +89,9 @@ impl Tok {
             Tok::Imm(i) => ops + regs + (i as usize % imms),
             Tok::State(i) => ops + regs + imms + (i as usize % states),
             Tok::Func(i) => ops + regs + imms + states + (i as usize % funcs),
-            Tok::Slot(i) => ops + regs + imms + states + funcs + (i as usize % SLOT_BUCKETS as usize),
+            Tok::Slot(i) => {
+                ops + regs + imms + states + funcs + (i as usize % SLOT_BUCKETS as usize)
+            }
         }
     }
 
@@ -158,7 +160,7 @@ mod tests {
         assert_ne!(Tok::imm(0), Tok::imm(1));
         assert_ne!(Tok::imm(5), Tok::imm(5000));
         assert_eq!(Tok::imm(17), Tok::imm(200)); // same bucket
-        // Powers of two get their own lane.
+                                                 // Powers of two get their own lane.
         assert_ne!(Tok::imm(64), Tok::imm(65));
     }
 

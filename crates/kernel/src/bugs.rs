@@ -202,7 +202,10 @@ mod tests {
             0,
         );
         assert_eq!(r.len(), 2);
-        assert_eq!(r.info(root).description, "KASAN: slab-out-of-bounds Write in sim_ata_pio_sector");
+        assert_eq!(
+            r.info(root).description,
+            "KASAN: slab-out-of-bounds Write in sim_ata_pio_sector"
+        );
         assert_eq!(r.info(derived).root_cause, Some(root));
     }
 

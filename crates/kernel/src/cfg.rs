@@ -92,12 +92,19 @@ impl StaticCfg {
 
     /// BFS distance (in edges) from every block *to* `target`, following
     /// forward edges. `None` when the target is unreachable from a block.
+    /// An out-of-range target (e.g. a block id from a newer kernel
+    /// version) yields all-`None` instead of panicking.
     pub fn distance_to(&self, target: BlockId) -> Vec<Option<u32>> {
         let mut dist = vec![None; self.len()];
+        if target.index() >= self.len() {
+            return dist;
+        }
         let mut q = VecDeque::new();
         dist[target.index()] = Some(0);
         q.push_back(target);
         while let Some(b) = q.pop_front() {
+            // Invariant: every queued block was assigned a distance
+            // before being pushed.
             let d = dist[b.index()].expect("queued blocks have distances");
             for &p in self.predecessors(b) {
                 if dist[p.index()].is_none() {

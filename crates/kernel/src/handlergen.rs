@@ -97,8 +97,8 @@ impl<'r> KernelBuilder<'r> {
     }
 
     fn body_text(&self, rng: &mut StdRng, handler: SyscallId) -> Vec<Tok> {
-        let fbucket = (self.reg.syscall(handler).nr * 37 + rng.random_range(0..7)) as u16
-            % FUNC_BUCKETS;
+        let fbucket =
+            (self.reg.syscall(handler).nr * 37 + rng.random_range(0..7)) as u16 % FUNC_BUCKETS;
         let mut t = vec![
             Tok::op("mov"),
             Tok::Reg(rng.random_range(0..16)),
@@ -188,7 +188,12 @@ impl<'r> KernelBuilder<'r> {
         match self.reg.ty(site.ty).clone() {
             Type::Int { format, bits } => match format {
                 IntFormat::Enum { values } if !values.is_empty() => {
-                    let v = *values.choose(rng).expect("nonempty");
+                    // The generator width-masks enum scalars before they
+                    // reach the kernel, so a gate constant wider than the
+                    // argument (e.g. a sign-extended AT_FDCWD in a 32-bit
+                    // field) could never match at runtime. Mask to width.
+                    // Invariant: the match guard checked non-emptiness.
+                    let v = *values.choose(rng).expect("nonempty") & width_mask(bits);
                     Predicate::ArgEq { path, value: v }
                 }
                 IntFormat::Range { lo, hi } => {
@@ -238,27 +243,38 @@ impl<'r> KernelBuilder<'r> {
                             },
                             _ => Predicate::ArgInRange {
                                 path,
-                                lo: rng.random_range(0x100..0x10000),
+                                // Clamp for narrow fields where 0x100 is
+                                // already past the representable maximum.
+                                lo: rng.random_range(0x100..0x10000).min(width_mask(bits) >> 1),
                                 hi: u64::MAX >> (64 - u32::from(bits.min(63))),
                             },
                         }
                     }
                 }
             },
-            Type::Flags { values, .. } if !values.is_empty() => {
+            Type::Flags { values, bits, .. } if !values.is_empty() => {
                 if narrow && values.len() >= 2 {
                     // A specific flag bit must be set (and gen draws a
                     // single flag most of the time, so focused mutation
-                    // hits this at ~1/|values|).
-                    let bit = *values.choose(rng).expect("nonempty");
-                    Predicate::ArgMaskEq {
-                        path,
-                        mask: bit,
-                        value: bit,
+                    // hits this at ~1/|values|). Flag lists often carry a
+                    // 0 ("no flags") entry, which cannot anchor a mask
+                    // test — that draw gates on "no flags set" instead.
+                    // Invariant: the match guard checked non-emptiness.
+                    let bit = *values.choose(rng).expect("nonempty") & width_mask(bits);
+                    if bit == 0 {
+                        Predicate::ArgEq { path, value: 0 }
+                    } else {
+                        Predicate::ArgMaskEq {
+                            path,
+                            mask: bit,
+                            value: bit,
+                        }
                     }
                 } else {
-                    let bit = *values.choose(rng).expect("nonempty");
-                    if rng.random_bool(0.8) {
+                    // Invariant: the match guard checked non-emptiness.
+                    let bit = *values.choose(rng).expect("nonempty") & width_mask(bits);
+                    let prefer_mask = rng.random_bool(0.8);
+                    if bit != 0 && prefer_mask {
                         Predicate::ArgMaskEq {
                             path,
                             mask: bit,
@@ -461,6 +477,7 @@ impl<'r> KernelBuilder<'r> {
                 let pred = if depth == 0 && rng.random_bool(0.15) {
                     self.draw_state_predicate(rng, id)
                 } else {
+                    // Invariant: `want_gate` requires nonempty `sites`.
                     let site = sites.choose(rng).expect("nonempty");
                     self.draw_predicate(rng, site, depth)
                 };
@@ -547,8 +564,12 @@ impl<'r> KernelBuilder<'r> {
         let exit_ok = self.alloc(id, 0);
         self.blocks[exit_ok.index()].text = vec![Tok::op("pop"), Tok::Reg(0), Tok::op("ret")];
         let exit_err = self.alloc(id, 0);
-        self.blocks[exit_err.index()].text =
-            vec![Tok::op("mov"), Tok::Reg(0), Tok::imm(u64::MAX), Tok::op("ret")];
+        self.blocks[exit_err.index()].text = vec![
+            Tok::op("mov"),
+            Tok::Reg(0),
+            Tok::imm(u64::MAX),
+            Tok::op("ret"),
+        ];
 
         // Argument paths within `ioctl$scsi_send_command`.
         let fd = ArgPath::arg(0);
@@ -694,6 +715,7 @@ impl<'r> KernelBuilder<'r> {
                     continue;
                 };
                 let depth = self.blocks[at.index()].gate_depth;
+                // Invariant: empty `sites` handlers were skipped above.
                 let site = sites.choose(&mut rng).expect("nonempty");
                 let pred = self.draw_predicate(&mut rng, site, depth);
                 let side_join = if rng.random_bool(self.config.early_exit_prob) {
@@ -730,10 +752,20 @@ impl<'r> KernelBuilder<'r> {
                     fallthrough: next,
                 };
             }
-            let new_blocks: Vec<BlockId> =
-                (first_new..self.blocks.len()).map(|i| BlockId(i as u32)).collect();
+            let new_blocks: Vec<BlockId> = (first_new..self.blocks.len())
+                .map(|i| BlockId(i as u32))
+                .collect();
             self.handlers[hi].blocks.extend(new_blocks);
         }
+    }
+}
+
+/// All-ones mask covering an argument width (`bits` capped at 64).
+fn width_mask(bits: u8) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
     }
 }
 

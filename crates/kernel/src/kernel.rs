@@ -164,6 +164,8 @@ fn place_bugs(
             .iter()
             .copied()
             .find(|blk| b.blocks[blk.index()].effects.contains(&Effect::Poison))
+            // Invariant: `gen_ata_handler` always plants the
+            // poison block that models the OOB write.
             .expect("the ATA handler has a poison block");
         bugs.register(
             CrashCategory::OutOfBounds,
@@ -204,7 +206,11 @@ fn place_bugs(
             b,
             &mut bugs,
             scsi_id.index(),
-            ("sim_ata_pio_sector".to_string(), CrashCategory::OutOfBounds, root),
+            (
+                "sim_ata_pio_sector".to_string(),
+                CrashCategory::OutOfBounds,
+                root,
+            ),
         );
         placed += 1;
         for hi in handler_order {
@@ -348,8 +354,7 @@ fn splice_poison_gate(
 ) -> Option<BlockId> {
     let handler = b.handlers[hi].clone();
     let at = handler.blocks.iter().copied().find(|blk| {
-        matches!(b.blocks[blk.index()].term, Terminator::Jump(_))
-            && *blk != handler.entry
+        matches!(b.blocks[blk.index()].term, Terminator::Jump(_)) && *blk != handler.entry
     })?;
     let Terminator::Jump(next) = b.blocks[at.index()].term.clone() else {
         return None;

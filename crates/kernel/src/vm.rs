@@ -263,7 +263,12 @@ mod tests {
         let open_call = Call {
             def: open,
             args: vec![
-                Arg::ptr(0x2000_0000, Arg::Data { bytes: b"./file0\0".to_vec() }),
+                Arg::ptr(
+                    0x2000_0000,
+                    Arg::Data {
+                        bytes: b"./file0\0".to_vec(),
+                    },
+                ),
                 Arg::int(0x1),
                 Arg::int(0o600),
             ],
@@ -274,7 +279,9 @@ mod tests {
                 Call {
                     def: read,
                     args: vec![
-                        Arg::Res { source: snowplow_prog::ResSource::Ref(0) },
+                        Arg::Res {
+                            source: snowplow_prog::ResSource::Ref(0),
+                        },
                         Arg::null(),
                         Arg::int(8),
                     ],
@@ -287,7 +294,9 @@ mod tests {
                 Call {
                     def: read,
                     args: vec![
-                        Arg::Res { source: snowplow_prog::ResSource::Special(u64::MAX) },
+                        Arg::Res {
+                            source: snowplow_prog::ResSource::Special(u64::MAX),
+                        },
                         Arg::null(),
                         Arg::int(8),
                     ],
@@ -313,7 +322,9 @@ mod tests {
         let trigger = |inlen: u64| Call {
             def: ioctl,
             args: vec![
-                Arg::Res { source: snowplow_prog::ResSource::Ref(0) },
+                Arg::Res {
+                    source: snowplow_prog::ResSource::Ref(0),
+                },
                 Arg::int(snowplow_syslang::builtin::SCSI_IOCTL_SEND_COMMAND),
                 Arg::ptr(
                     0x2000_0000,
@@ -342,13 +353,20 @@ mod tests {
             def: openat,
             args: vec![
                 Arg::int(0xffff_ff9c),
-                Arg::ptr(0x2000_1000, Arg::Data { bytes: b"/dev/sg0\0".to_vec() }),
+                Arg::ptr(
+                    0x2000_1000,
+                    Arg::Data {
+                        bytes: b"/dev/sg0\0".to_vec(),
+                    },
+                ),
                 Arg::int(0x2),
             ],
         };
         // One trigger: poisons but no crash (the OOB write corrupts
         // memory silently).
-        let p1 = Prog { calls: vec![open_call.clone(), trigger(0x400)] };
+        let p1 = Prog {
+            calls: vec![open_call.clone(), trigger(0x400)],
+        };
         let mut vm = Vm::new(&k);
         let snap = vm.snapshot();
         let r1 = vm.execute(&p1);
@@ -357,7 +375,9 @@ mod tests {
 
         // Trigger twice: the second call hits the poison-guarded block in
         // the SCSI handler and crashes with the ata_pio_sector signature.
-        let p2 = Prog { calls: vec![open_call.clone(), trigger(0x400), trigger(0x400)] };
+        let p2 = Prog {
+            calls: vec![open_call.clone(), trigger(0x400), trigger(0x400)],
+        };
         vm.restore(&snap);
         let r2 = vm.execute(&p2);
         let crash = r2.crash.expect("second trigger crashes");

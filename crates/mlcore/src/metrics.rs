@@ -40,7 +40,11 @@ impl BinaryMetrics {
         } else {
             intersection as f64 / truth as f64
         };
-        let f1 = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+        let f1 = if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        };
         let union = predicted + truth - intersection;
         let j = if union == 0 {
             1.0

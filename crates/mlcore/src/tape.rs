@@ -466,8 +466,7 @@ impl<'p> Tape<'p> {
                         let inv = 1.0 / (ms + RMS_EPS).sqrt();
                         let gx: f32 = g.row(r).iter().zip(x.row(r)).map(|(a, b)| a * b).sum();
                         for c in 0..x.cols() {
-                            *ga.at_mut(r, c) =
-                                g.at(r, c) * inv - x.at(r, c) * inv.powi(3) * gx / d;
+                            *ga.at_mut(r, c) = g.at(r, c) * inv - x.at(r, c) * inv.powi(3) * gx / d;
                         }
                     }
                     accumulate(&mut grads, a.0, ga);
@@ -531,11 +530,7 @@ impl<'p> Tape<'p> {
                     let n = targets.len().max(1) as f32;
                     let gscale = g.at(0, 0);
                     let mut ga = Matrix::zeros(xm.rows(), xm.cols());
-                    for (o, (v, t)) in ga
-                        .data_mut()
-                        .iter_mut()
-                        .zip(xm.data().iter().zip(targets))
-                    {
+                    for (o, (v, t)) in ga.data_mut().iter_mut().zip(xm.data().iter().zip(targets)) {
                         *o = gscale * 2.0 * (v - t) / n;
                     }
                     accumulate(&mut grads, x.0, ga);
@@ -567,11 +562,7 @@ mod tests {
         // Analytic gradient.
         {
             let mut tape = Tape::new(&mut params);
-            let loss = {
-                let pv = p;
-                let l = build(&mut tape, pv);
-                l
-            };
+            let loss = build(&mut tape, p);
             tape.backward(loss);
         }
         let analytic = params.grad(p).clone();

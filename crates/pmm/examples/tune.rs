@@ -49,9 +49,14 @@ fn main() {
         let mut model = Pmm::new(pc, kernel.registry().syscall_count());
         let t1 = std::time::Instant::now();
         let hist = trainer.train(&mut model, &dataset);
-        let eval = trainer.evaluate(&mut model, &dataset, snowplow_pmm::dataset::Split::Evaluation);
+        let eval = trainer.evaluate(
+            &mut model,
+            &dataset,
+            snowplow_pmm::dataset::Split::Evaluation,
+        );
         let k = dataset.mean_positive_count().round().max(1.0) as usize;
-        let rand = trainer.rand_k_baseline(&dataset, snowplow_pmm::dataset::Split::Evaluation, k, 99);
+        let rand =
+            trainer.rand_k_baseline(&dataset, snowplow_pmm::dataset::Split::Evaluation, k, 99);
         println!(
             "lr={lr} pw={pw} dim={dim} rounds={rounds}: val F1 hist {:?} | eval {} | rand.{k} {} | {:?}",
             hist.iter().map(|f| (f * 100.0).round() / 100.0).collect::<Vec<_>>(),

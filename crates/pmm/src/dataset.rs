@@ -180,6 +180,7 @@ impl Dataset {
                     *popularity.entry(*b).or_default() += 1;
                 }
                 // Noisy target sampling (§3.1 option (c)).
+                // Invariant: `fractions` is a nonempty constant.
                 let frac = *fractions.choose(&mut rng).expect("nonempty");
                 let mut targets: Vec<BlockId> = if frac == 0.0 {
                     Vec::new()
@@ -191,6 +192,7 @@ impl Dataset {
                         .collect()
                 };
                 // Guarantee overlap with the achieved set.
+                // Invariant: empty `achieved` sets were skipped above.
                 let anchor = *achieved.choose(&mut rng).expect("nonempty");
                 if !targets.contains(&anchor) {
                     targets.push(anchor);

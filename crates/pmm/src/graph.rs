@@ -136,10 +136,11 @@ impl QueryGraph {
         let reg = kernel.registry();
         let mut nodes = Vec::new();
         let mut edges: Vec<(u32, u32, EdgeType)> = Vec::new();
-        let add_edge = |edges: &mut Vec<(u32, u32, EdgeType)>, s: u32, d: u32, t: EdgeType, r: EdgeType| {
-            edges.push((s, d, t));
-            edges.push((d, s, r));
-        };
+        let add_edge =
+            |edges: &mut Vec<(u32, u32, EdgeType)>, s: u32, d: u32, t: EdgeType, r: EdgeType| {
+                edges.push((s, d, t));
+                edges.push((d, s, r));
+            };
 
         // --- Syscall vertices. -------------------------------------------
         let call_nodes: Vec<u32> = prog
@@ -151,7 +152,13 @@ impl QueryGraph {
             })
             .collect();
         for w in call_nodes.windows(2) {
-            add_edge(&mut edges, w[0], w[1], EdgeType::CallOrder, EdgeType::CallOrderRev);
+            add_edge(
+                &mut edges,
+                w[0],
+                w[1],
+                EdgeType::CallOrder,
+                EdgeType::CallOrderRev,
+            );
         }
 
         // --- Argument vertices (program tree). -----------------------------
@@ -183,9 +190,17 @@ impl QueryGraph {
                     .collect();
                 *site_node
                     .get(&(site.call, parent_path))
+                    // Invariant: `enumerate_sites` yields parents
+                    // before children, so the parent node exists.
                     .expect("enumeration is outermost-first")
             };
-            add_edge(&mut edges, parent, idx, EdgeType::ArgOwn, EdgeType::ArgOwnRev);
+            add_edge(
+                &mut edges,
+                parent,
+                idx,
+                EdgeType::ArgOwn,
+                EdgeType::ArgOwnRev,
+            );
             // Resource data-flow edges.
             if let Some(Arg::Res {
                 source: ResSource::Ref(p),
@@ -254,7 +269,13 @@ impl QueryGraph {
             for &p in kernel.cfg().predecessors(*b) {
                 if let Some(&pn) = block_node.get(&p) {
                     if covered.contains(p) {
-                        add_edge(&mut edges, pn, idx, EdgeType::AltBranch, EdgeType::AltBranchRev);
+                        add_edge(
+                            &mut edges,
+                            pn,
+                            idx,
+                            EdgeType::AltBranch,
+                            EdgeType::AltBranchRev,
+                        );
                     }
                 }
             }

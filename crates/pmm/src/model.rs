@@ -389,6 +389,8 @@ impl Layers {
                 });
                 offset += len;
             }
+            // Invariant: the loop above ran at least once (the
+            // enclosing branch requires a nonempty block list).
             parts.expect("at least one block has tokens")
         } else {
             toks

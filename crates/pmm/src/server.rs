@@ -184,6 +184,8 @@ mod tests {
             .map(|i| service.submit(graph_for(i, &kernel)))
             .collect();
         for p in pendings {
+            // Invariant: the service owns live workers for the whole
+            // test, so every submitted query gets an answer.
             let r = p.recv().expect("worker answers");
             assert!(!r.is_empty());
         }

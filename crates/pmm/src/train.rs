@@ -162,8 +162,7 @@ impl<'k> Trainer<'k> {
             }
             let mut idx: Vec<usize> = (0..n).collect();
             idx.shuffle(&mut rng);
-            let chosen: std::collections::HashSet<usize> =
-                idx.into_iter().take(k).collect();
+            let chosen: std::collections::HashSet<usize> = idx.into_iter().take(k).collect();
             let predicted: Vec<bool> = (0..n).map(|i| chosen.contains(&i)).collect();
             let truth: Vec<bool> = labels.iter().map(|&l| l > 0.5).collect();
             per_example.push(BinaryMetrics::of_sets(&predicted, &truth));
@@ -192,6 +191,8 @@ impl<'k> Trainer<'k> {
                 best = Some((model, *tc, score));
             }
         }
+        // Invariant: the assert above rejected empty grids, so at
+        // least one candidate was scored.
         best.expect("grid is nonempty")
     }
 }
@@ -234,7 +235,11 @@ mod tests {
                 seed: 3,
             },
         );
-        assert!(dataset.samples.len() > 100, "{} samples", dataset.samples.len());
+        assert!(
+            dataset.samples.len() > 100,
+            "{} samples",
+            dataset.samples.len()
+        );
         let tc = TrainConfig {
             epochs: 6,
             ..TrainConfig::default()

@@ -81,13 +81,7 @@ impl Arg {
                 (PathSegment::Deref, Arg::Ptr { inner, .. }) => inner.as_deref()?,
                 (PathSegment::Field(i), Arg::Group { inner }) => inner.get(*i as usize)?,
                 (PathSegment::Elem(i), Arg::Group { inner }) => inner.get(*i as usize)?,
-                (PathSegment::Variant(i), Arg::Union { variant, inner }) => {
-                    if variant == i {
-                        inner
-                    } else {
-                        return None;
-                    }
-                }
+                (PathSegment::Variant(i), Arg::Union { variant, inner }) if variant == i => inner,
                 _ => return None,
             };
         }
@@ -102,12 +96,8 @@ impl Arg {
                 (PathSegment::Deref, Arg::Ptr { inner, .. }) => inner.as_deref_mut()?,
                 (PathSegment::Field(i), Arg::Group { inner }) => inner.get_mut(*i as usize)?,
                 (PathSegment::Elem(i), Arg::Group { inner }) => inner.get_mut(*i as usize)?,
-                (PathSegment::Variant(i), Arg::Union { variant, inner }) => {
-                    if *variant == *i {
-                        inner.as_mut()
-                    } else {
-                        return None;
-                    }
+                (PathSegment::Variant(i), Arg::Union { variant, inner }) if *variant == *i => {
+                    inner.as_mut()
                 }
                 _ => return None,
             };
@@ -307,13 +297,7 @@ mod tests {
 
     #[test]
     fn payload_len_semantics() {
-        assert_eq!(
-            Arg::Data {
-                bytes: vec![0; 5]
-            }
-            .payload_len(),
-            5
-        );
+        assert_eq!(Arg::Data { bytes: vec![0; 5] }.payload_len(), 5);
         assert_eq!(
             Arg::Group {
                 inner: vec![Arg::int(0), Arg::int(1)]

@@ -48,14 +48,7 @@ pub fn mutable_sites(reg: &Registry, prog: &Prog) -> Vec<ArgSite> {
         .collect()
 }
 
-fn walk(
-    reg: &Registry,
-    call: usize,
-    ty: TypeId,
-    arg: &Arg,
-    path: ArgPath,
-    out: &mut Vec<ArgSite>,
-) {
+fn walk(reg: &Registry, call: usize, ty: TypeId, arg: &Arg, path: ArgPath, out: &mut Vec<ArgSite>) {
     let t = reg.ty(ty);
     out.push(ArgSite {
         call,

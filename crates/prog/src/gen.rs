@@ -151,11 +151,13 @@ impl<'r> Generator<'r> {
             .map(|(i, _)| i)
             .collect();
         if !existing.is_empty() && rng.random_bool(0.8) {
+            // Invariant: `existing` is nonempty on this branch.
             return ResSource::Ref(*existing.choose(rng).expect("nonempty"));
         }
         // Otherwise insert a producer chain, unless too deep.
         let producers = self.reg.producers_of(kind);
         if depth < MAX_RESOURCE_DEPTH && !producers.is_empty() && rng.random_bool(0.92) {
+            // Invariant: `producers` is nonempty on this branch.
             let def = *producers.choose(rng).expect("nonempty");
             let idx = self.append_call(rng, prog, def, depth + 1);
             return ResSource::Ref(idx);
@@ -184,6 +186,7 @@ pub fn gen_int(rng: &mut StdRng, bits: u8, format: &IntFormat) -> u64 {
         }
         IntFormat::Range { lo, hi } => {
             if rng.random_bool(0.2) {
+                // Invariant: a two-element array is never empty.
                 *[*lo, *hi].choose(rng).expect("nonempty")
             } else {
                 rng.random_range(*lo..=*hi)
@@ -193,6 +196,7 @@ pub fn gen_int(rng: &mut StdRng, bits: u8, format: &IntFormat) -> u64 {
             if values.is_empty() || rng.random_bool(0.05) {
                 rng.random::<u64>() & mask
             } else {
+                // Invariant: the empty case was handled above.
                 *values.choose(rng).expect("nonempty") & mask
             }
         }
@@ -207,6 +211,7 @@ pub fn gen_flags(rng: &mut StdRng, values: &[u64], bits: u8) -> u64 {
         return rng.random::<u64>() & mask;
     }
     let roll = rng.random_range(0..100u32);
+    // Invariant: the empty `values` case returned above.
     let v = if roll < 55 {
         *values.choose(rng).expect("nonempty")
     } else if roll < 80 {
@@ -232,12 +237,14 @@ pub fn gen_buffer(rng: &mut StdRng, kind: &BufferKind) -> Vec<u8> {
             if values.is_empty() {
                 b"syz".to_vec()
             } else {
+                // Invariant: the empty case was handled above.
                 let mut v = values.choose(rng).expect("nonempty").as_bytes().to_vec();
                 v.push(0);
                 v
             }
         }
         BufferKind::Filename => {
+            // Invariant: FILENAMES is a nonempty constant.
             let mut v = FILENAMES.choose(rng).expect("nonempty").as_bytes().to_vec();
             v.push(0);
             v
@@ -286,7 +293,10 @@ mod tests {
                 wired += refs.len();
             }
         }
-        assert!(wired > 50, "expected plenty of resource wiring, got {wired}");
+        assert!(
+            wired > 50,
+            "expected plenty of resource wiring, got {wired}"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod mutate;
 pub mod parse;
 pub mod prog;
 pub mod serialize;
+pub mod validator;
 
 pub use arg::{Arg, ArgView, ResSource};
 pub use enumerate::{enumerate_sites, ArgSite};
@@ -42,3 +43,4 @@ pub use mutate::{
     Selector, WeightedSelector,
 };
 pub use prog::{Call, Prog};
+pub use validator::{set_debug_validator, ProgValidator};

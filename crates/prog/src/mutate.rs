@@ -142,12 +142,15 @@ fn weighted_first_site(sites: &[ArgSite], rng: &mut StdRng) -> Option<ArgSite> {
         return None;
     }
     // Per-call site counts serve as arity weights.
+    // Invariant: `sites` is non-empty (checked above), so max() exists.
     let max_call = sites.iter().map(|s| s.call).max().expect("nonempty");
     let mut weights = vec![0usize; max_call + 1];
     for s in sites {
         weights[s.call] += 1;
     }
     let total: usize = weights.iter().sum();
+    // Invariant: `pick < total` and the weights sum to `total`, so the
+    // cumulative scan always lands on some call index.
     let mut pick = rng.random_range(0..total);
     let call = weights
         .iter()
@@ -273,6 +276,7 @@ impl<'r> Instantiator<'r> {
             .map(|(i, _)| i)
             .collect();
         if !producers.is_empty() && rng.random_bool(0.85) {
+            // Invariant: non-emptiness is checked in this branch's guard.
             ResSource::Ref(*producers.choose(rng).expect("nonempty"))
         } else {
             let specials = &self.reg.resource(kind).special_values;
@@ -306,6 +310,7 @@ impl<'r> Instantiator<'r> {
             }
             (Type::Flags { values, bits, .. }, Arg::Int { value }) => {
                 let v = if !values.is_empty() && rng.random_bool(0.6) {
+                    // Invariant: non-emptiness is checked in the guard.
                     value ^ values.choose(rng).expect("nonempty")
                 } else {
                     gen_flags(rng, &values, bits)
@@ -315,7 +320,11 @@ impl<'r> Instantiator<'r> {
             (Type::Buffer { kind }, Arg::Data { bytes }) => {
                 let mut b = bytes.clone();
                 match rng.random_range(0..3u32) {
-                    0 => return Arg::Data { bytes: gen_buffer(rng, &kind) },
+                    0 => {
+                        return Arg::Data {
+                            bytes: gen_buffer(rng, &kind),
+                        }
+                    }
                     1 if !b.is_empty() => {
                         let i = rng.random_range(0..b.len());
                         b[i] = rng.random();
@@ -332,13 +341,9 @@ impl<'r> Instantiator<'r> {
                     } else {
                         Arg::Ptr {
                             addr: *addr,
-                            inner: Some(Box::new(self.mutated_value(
-                                rng,
-                                elem,
-                                inner_arg,
-                                call_idx,
-                                prog,
-                            ))),
+                            inner: Some(Box::new(
+                                self.mutated_value(rng, elem, inner_arg, call_idx, prog),
+                            )),
                         }
                     }
                 }
@@ -551,6 +556,7 @@ impl<'r> Mutator<'r> {
                 applied.push(loc.clone());
             }
         }
+        crate::validator::debug_validate(self.reg, &p);
         (p, applied)
     }
 
@@ -581,6 +587,7 @@ impl<'r> Mutator<'r> {
             .collect();
         p.calls.insert(pos, Call { def, args });
         p.finalize(self.reg);
+        crate::validator::debug_validate(self.reg, &p);
         p
     }
 
@@ -593,6 +600,7 @@ impl<'r> Mutator<'r> {
             .collect();
         if !produced.is_empty() && rng.random_bool(0.6) {
             // Prefer a call that consumes one of those kinds.
+            // Invariant: non-emptiness is checked in this branch's guard.
             let kind = *produced.choose(rng).expect("nonempty");
             let consumers: Vec<SyscallId> = self
                 .reg
@@ -639,6 +647,7 @@ impl<'r> Mutator<'r> {
             }
         }
         p.finalize(self.reg);
+        crate::validator::debug_validate(self.reg, &p);
         p
     }
 }
@@ -694,7 +703,10 @@ mod tests {
             }
             assert!(applied.len() <= 1);
         }
-        assert!(changed > n / 2, "only {changed}/{n} mutations changed the program");
+        assert!(
+            changed > n / 2,
+            "only {changed}/{n} mutations changed the program"
+        );
     }
 
     #[test]
@@ -732,7 +744,8 @@ mod tests {
         let base = generator.generate(&mut rng, 4);
         let sites = crate::enumerate::mutable_sites(&reg, &base);
         let loc = ArgLoc::new(sites[0].call, sites[0].path.clone());
-        let (_, applied) = mutator.mutate_arguments(&mut rng, &base, Some(&[loc.clone()]));
+        let (_, applied) =
+            mutator.mutate_arguments(&mut rng, &base, Some(std::slice::from_ref(&loc)));
         assert_eq!(applied, vec![loc]);
     }
 

@@ -25,7 +25,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -125,7 +129,9 @@ impl<'a> Parser<'a> {
                 return Err(self.err("expected number"));
             }
             self.pos += digits.len();
-            digits.parse().map_err(|e| self.err(format!("bad number: {e}")))
+            digits
+                .parse()
+                .map_err(|e| self.err(format!("bad number: {e}")))
         }
     }
 
@@ -203,13 +209,16 @@ impl<'a> Parser<'a> {
                     .collect();
                 self.pos += hex.len();
                 self.expect('"')?;
-                if hex.len() % 2 != 0 {
+                if !hex.len().is_multiple_of(2) {
                     return Err(self.err("odd-length hex buffer"));
                 }
                 let bytes = (0..hex.len())
                     .step_by(2)
-                    .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).expect("hex digits"))
-                    .collect();
+                    .map(|i| {
+                        u8::from_str_radix(&hex[i..i + 2], 16)
+                            .map_err(|e| self.err(format!("bad hex byte: {e}")))
+                    })
+                    .collect::<Result<_, _>>()?;
                 Ok(Arg::Data { bytes })
             }
             Type::Struct { fields, .. } => {

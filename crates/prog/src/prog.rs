@@ -238,7 +238,10 @@ fn check_shape(reg: &Registry, ty: snowplow_syslang::TypeId, arg: &Arg) -> Resul
                 .ok_or_else(|| format!("union {name}: variant {variant} out of range"))?;
             check_shape(reg, v.ty, inner)
         }
-        (ty, arg) => Err(format!("type {} incompatible with value {arg:?}", ty.kind_name())),
+        (ty, arg) => Err(format!(
+            "type {} incompatible with value {arg:?}",
+            ty.kind_name()
+        )),
     }
 }
 

@@ -78,9 +78,16 @@ fn write_arg(f: &mut fmt::Formatter<'_>, reg: &Registry, ty: TypeId, arg: &Arg) 
             write!(f, "]")
         }
         (Type::Union { variants, .. }, Arg::Union { variant, inner }) => {
-            let v = &variants[*variant as usize];
-            write!(f, "@{}=", v.name)?;
-            write_arg(f, reg, v.ty, inner)
+            // An out-of-range variant is a shape violation (the linter's
+            // union-variant-range rule); render it like other mismatches
+            // instead of indexing out of bounds.
+            match variants.get(*variant as usize) {
+                Some(v) => {
+                    write!(f, "@{}=", v.name)?;
+                    write_arg(f, reg, v.ty, inner)
+                }
+                None => write!(f, "<invalid:variant {variant} of {}>", variants.len()),
+            }
         }
         (_, Arg::Res { source }) => match source {
             ResSource::Ref(i) => write!(f, "r{i}"),

@@ -1,0 +1,41 @@
+//! Debug-build validation hook for the mutation engine.
+//!
+//! `snowplow-prog` sits below the analysis crate in the dependency
+//! graph, so it cannot call the linter directly. Instead it exposes a
+//! process-global hook: `snowplow-analysis` installs its linter here
+//! (via `install_debug_validator`), and every `Mutator` output is then
+//! checked in debug builds. A violation panics immediately, pointing at
+//! the mutation that produced the invalid program instead of letting it
+//! corrupt a corpus.
+
+use std::sync::OnceLock;
+
+use snowplow_syslang::Registry;
+
+use crate::Prog;
+
+/// A full-program semantic validator: `Err` carries a rendered
+/// diagnostic for the first violation.
+pub type ProgValidator = fn(&Registry, &Prog) -> Result<(), String>;
+
+static DEBUG_VALIDATOR: OnceLock<ProgValidator> = OnceLock::new();
+
+/// Installs `f` as the debug-build mutation validator. The first
+/// installation wins; later calls are no-ops (the hook is process-wide).
+pub fn set_debug_validator(f: ProgValidator) {
+    let _ = DEBUG_VALIDATOR.set(f);
+}
+
+/// Runs the installed validator against `prog` in debug builds,
+/// panicking on a violation. Release builds and builds where no
+/// validator was installed check nothing.
+#[inline]
+pub(crate) fn debug_validate(reg: &Registry, prog: &Prog) {
+    if cfg!(debug_assertions) {
+        if let Some(f) = DEBUG_VALIDATOR.get() {
+            if let Err(msg) = f(reg, prog) {
+                panic!("mutation produced an invalid program: {msg}");
+            }
+        }
+    }
+}

@@ -233,12 +233,19 @@ pub fn linux_sim() -> Registry {
     b.syscall(
         "symlink",
         "symlink",
-        &[Field::new("target", fname_ptr), Field::new("link", fname_ptr)],
+        &[
+            Field::new("target", fname_ptr),
+            Field::new("link", fname_ptr),
+        ],
         None,
     );
     b.syscall("dup", "dup", &[Field::new("fd", fd_in)], Some(fd));
     b.syscall("fsync", "fsync", &[Field::new("fd", fd_in)], None);
-    let fcntl_fl = b.flags("fcntl_status_flags", &[0x0, 0x400, 0x800, 0x1000, 0x4000], 32);
+    let fcntl_fl = b.flags(
+        "fcntl_status_flags",
+        &[0x0, 0x400, 0x800, 0x1000, 0x4000],
+        32,
+    );
     let f_setfl = b.constant(4, 32);
     b.syscall(
         "fcntl$setfl",
@@ -406,7 +413,12 @@ pub fn linux_sim() -> Registry {
         &[Field::new("sock", sock_in), Field::new("backlog", backlog)],
         None,
     );
-    b.syscall("accept", "accept", &[Field::new("sock", sock_in)], Some(sock));
+    b.syscall(
+        "accept",
+        "accept",
+        &[Field::new("sock", sock_in)],
+        Some(sock),
+    );
     let msg_fl = b.flags("msg_flags", MSG_FLAGS, 32);
     b.syscall(
         "sendto$inet",
@@ -440,7 +452,10 @@ pub fn linux_sim() -> Registry {
     let iovec = {
         let base = small_blob_in;
         let l = b.len_of(0, 64);
-        b.strukt("iovec", vec![Field::new("base", base), Field::new("len", l)])
+        b.strukt(
+            "iovec",
+            vec![Field::new("base", base), Field::new("len", l)],
+        )
     };
     let iov_arr = b.array(iovec, 1, 4);
     let iov_ptr = b.ptr_in(iov_arr);
@@ -654,7 +669,11 @@ pub fn linux_sim() -> Registry {
         Some(epoll_fd),
     );
     let epoll_event = {
-        let ev = b.flags("epoll_events", &[0x1, 0x2, 0x4, 0x8, 0x10, 0x2000, 0x40000000], 32);
+        let ev = b.flags(
+            "epoll_events",
+            &[0x1, 0x2, 0x4, 0x8, 0x10, 0x2000, 0x40000000],
+            32,
+        );
         let data = size64;
         b.strukt(
             "epoll_event",
@@ -662,7 +681,11 @@ pub fn linux_sim() -> Registry {
         )
     };
     let ev_ptr = b.ptr_in(epoll_event);
-    for (name, opconst) in [("epoll_ctl$add", 1u64), ("epoll_ctl$del", 2), ("epoll_ctl$mod", 3)] {
+    for (name, opconst) in [
+        ("epoll_ctl$add", 1u64),
+        ("epoll_ctl$del", 2),
+        ("epoll_ctl$mod", 3),
+    ] {
         let op = b.constant(opconst, 32);
         b.syscall(
             name,
@@ -698,7 +721,10 @@ pub fn linux_sim() -> Registry {
     b.syscall(
         "eventfd2",
         "eventfd2",
-        &[Field::new("initval", initval), Field::new("flags", efd_flags)],
+        &[
+            Field::new("initval", initval),
+            Field::new("flags", efd_flags),
+        ],
         Some(event_fd),
     );
     b.syscall(
@@ -941,7 +967,10 @@ pub fn linux_sim() -> Registry {
         b.syscall(
             "io_uring_setup",
             "io_uring_setup",
-            &[Field::new("entries", entries), Field::new("params", params_ptr)],
+            &[
+                Field::new("entries", entries),
+                Field::new("params", params_ptr),
+            ],
             Some(uring_fd),
         );
         let to_submit = b.int_range(0, 128, 32);
@@ -1056,13 +1085,19 @@ pub fn linux_sim() -> Registry {
     let rlim = {
         let cur = size64;
         let max = size64;
-        b.strukt("rlimit", vec![Field::new("cur", cur), Field::new("max", max)])
+        b.strukt(
+            "rlimit",
+            vec![Field::new("cur", cur), Field::new("max", max)],
+        )
     };
     let rlim_ptr = b.ptr_in(rlim);
     b.syscall(
         "setrlimit",
         "setrlimit",
-        &[Field::new("resource", rlimit_res), Field::new("rlim", rlim_ptr)],
+        &[
+            Field::new("resource", rlimit_res),
+            Field::new("rlim", rlim_ptr),
+        ],
         None,
     );
     b.syscall("sched_yield", "sched_yield", &[], None);

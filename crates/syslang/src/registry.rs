@@ -141,9 +141,7 @@ impl Registry {
         for seg in segs {
             cur = match (seg, self.ty(cur)) {
                 (PathSegment::Deref, Type::Ptr { elem, .. }) => *elem,
-                (PathSegment::Field(i), Type::Struct { fields, .. }) => {
-                    fields.get(*i as usize)?.ty
-                }
+                (PathSegment::Field(i), Type::Struct { fields, .. }) => fields.get(*i as usize)?.ty,
                 (PathSegment::Elem(_), Type::Array { elem, .. }) => *elem,
                 (PathSegment::Variant(i), Type::Union { variants, .. }) => {
                     variants.get(*i as usize)?.ty
@@ -183,7 +181,12 @@ impl Registry {
             }
             Type::Struct { fields, .. } => {
                 for (i, f) in fields.iter().enumerate() {
-                    self.walk(f.ty, path.child(PathSegment::Field(i as u16)), out, depth + 1);
+                    self.walk(
+                        f.ty,
+                        path.child(PathSegment::Field(i as u16)),
+                        out,
+                        depth + 1,
+                    );
                 }
             }
             Type::Array { elem, .. } => {

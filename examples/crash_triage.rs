@@ -11,7 +11,9 @@ fn trigger(ioctl: snowplow::SyscallId, fd_ref: usize) -> Call {
     Call {
         def: ioctl,
         args: vec![
-            Arg::Res { source: snowplow::ResSource::Ref(fd_ref) },
+            Arg::Res {
+                source: snowplow::ResSource::Ref(fd_ref),
+            },
             Arg::int(builtin::SCSI_IOCTL_SEND_COMMAND),
             Arg::ptr(
                 0x2000_0000,
@@ -47,13 +49,20 @@ fn main() {
         def: openat,
         args: vec![
             Arg::int(0xffff_ff9c),
-            Arg::ptr(0x2000_1000, Arg::Data { bytes: b"/dev/sg0\0".to_vec() }),
+            Arg::ptr(
+                0x2000_1000,
+                Arg::Data {
+                    bytes: b"/dev/sg0\0".to_vec(),
+                },
+            ),
             Arg::int(0x2),
         ],
     };
 
     // One trigger: silent memory corruption, no crash.
-    let once = Prog { calls: vec![open_call.clone(), trigger(ioctl, 0)] };
+    let once = Prog {
+        calls: vec![open_call.clone(), trigger(ioctl, 0)],
+    };
     let mut vm = Vm::new(&kernel);
     let r = vm.execute(&once);
     println!(

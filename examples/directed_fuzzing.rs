@@ -28,7 +28,10 @@ fn main() {
         target.gate_depth
     );
 
-    for (name, pmm) in [("SyzDirect", None), ("Snowplow-D", Some(Box::new(model.clone())))] {
+    for (name, pmm) in [
+        ("SyzDirect", None),
+        ("Snowplow-D", Some(Box::new(model.clone()))),
+    ] {
         let cfg = DirectedConfig {
             target: target.id,
             duration: Duration::from_secs(6 * 3600),
@@ -37,10 +40,21 @@ fn main() {
         };
         match DirectedCampaign::new(&kernel, pmm, cfg).run() {
             DirectedOutcome::Reached { at, execs } => {
-                println!("{name}: reached in {:.0} virtual seconds ({execs} executions)", at.as_secs_f64());
+                println!(
+                    "{name}: reached in {:.0} virtual seconds ({execs} executions)",
+                    at.as_secs_f64()
+                );
             }
-            DirectedOutcome::TimedOut { best_distance, execs } => {
-                println!("{name}: timed out (closest distance {best_distance:?}, {execs} executions)");
+            DirectedOutcome::TimedOut {
+                best_distance,
+                execs,
+            } => {
+                println!(
+                    "{name}: timed out (closest distance {best_distance:?}, {execs} executions)"
+                );
+            }
+            DirectedOutcome::Unreachable => {
+                println!("{name}: target is statically unreachable, nothing to fuzz");
             }
         }
     }

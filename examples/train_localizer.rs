@@ -45,6 +45,9 @@ fn main() {
     let graph = QueryGraph::build(&kernel, &prog, &exec, &frontier[..frontier.len().min(3)]);
     println!("\nquery program:\n{}", prog.display(kernel.registry()));
     for (loc, p) in model.predict(&graph).iter().take(5) {
-        println!("  mutate call {} path {}  (p = {:.2})", loc.call, loc.path, p);
+        println!(
+            "  mutate call {} path {}  (p = {:.2})",
+            loc.call, loc.path, p
+        );
     }
 }

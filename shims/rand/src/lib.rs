@@ -1,0 +1,337 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no route to a crates registry, so the
+//! workspace vendors the small slice of the rand API it actually uses:
+//! a seedable [`StdRng`] (xoshiro256++ seeded via SplitMix64), uniform
+//! range sampling over primitive types, `random_bool`, and the slice
+//! helpers `choose`/`shuffle`. Distribution quality matters — several
+//! tests make statistical assertions — but stream compatibility with
+//! the real crate does not: campaigns only need to be reproducible
+//! against *this* generator.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+pub mod seq {
+    pub use crate::SliceRandom;
+    /// Alias matching rand 0.9's split of `choose` into its own trait.
+    pub use crate::SliceRandom as IndexedRandom;
+}
+
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng, SliceRandom, StdRng};
+}
+
+/// Seeding interface (the subset of rand's trait the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Raw 64-bit output. Everything else is derived from this.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// xoshiro256++ — fast, well-distributed, 256-bit state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // SplitMix64 expansion, the standard xoshiro seeding recipe.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented over [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T`.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform value in `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    // 53 mantissa bits -> uniform in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[inline]
+fn unit_f32(bits: u64) -> f32 {
+    (bits >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+/// Near-uniform integer in `[0, n)` via 128-bit widening multiply
+/// (Lemire's method without the rejection step; bias is `n / 2^64`,
+/// immaterial at the sample counts this workspace uses).
+#[inline]
+fn below(rng: &mut impl RngCore, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    ((u128::from(rng.next_u64()) * u128::from(n)) >> 64) as u64
+}
+
+/// Types samplable uniformly over their whole domain.
+pub trait Standard: Sized {
+    fn sample(rng: &mut impl RngCore) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample(rng: &mut impl RngCore) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn sample(rng: &mut impl RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample(rng: &mut impl RngCore) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample(rng: &mut impl RngCore) -> f32 {
+        unit_f32(rng.next_u64())
+    }
+}
+
+/// Ranges that can produce a uniform sample of `T`.
+///
+/// Implemented as two blanket impls over [`SampleUniform`] — mirroring
+/// the real crate's shape, which is what lets integer literals in
+/// `rng.random_range(0..7)` unify with the surrounding expression type.
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut impl RngCore) -> T;
+}
+
+/// Per-type uniform sampling over `[lo, hi)` / `[lo, hi]`.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_half_open(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self;
+    fn sample_inclusive(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut impl RngCore) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut impl RngCore) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open(rng: &mut impl RngCore, lo: $t, hi: $t) -> $t {
+                let width = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + below(rng, width) as i128) as $t
+            }
+            #[inline]
+            fn sample_inclusive(rng: &mut impl RngCore, lo: $t, hi: $t) -> $t {
+                let width = (hi as i128 - lo as i128) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + below(rng, width + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty, $unit:ident);*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open(rng: &mut impl RngCore, lo: $t, hi: $t) -> $t {
+                lo + (hi - lo) * $unit(rng.next_u64())
+            }
+            #[inline]
+            fn sample_inclusive(rng: &mut impl RngCore, lo: $t, hi: $t) -> $t {
+                lo + (hi - lo) * $unit(rng.next_u64())
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32, unit_f32; f64, unit_f64);
+
+/// Slice helpers (`choose` + `shuffle`), matching rand's seq traits.
+pub trait SliceRandom {
+    type Item;
+    /// A uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[below(rng, self.len() as u64) as usize])
+        }
+    }
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = below(rng, (i + 1) as u64) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.random()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = rng.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: usize = rng.random_range(3..=3);
+            assert_eq!(w, 3);
+            let f: f32 = rng.random_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let i: i64 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn full_width_inclusive_range_works() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _: u64 = rng.random_range(0..=u64::MAX);
+    }
+
+    #[test]
+    fn bool_probability_is_roughly_honoured() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn distribution_covers_small_domains() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [0usize; 8];
+        for _ in 0..8000 {
+            seen[rng.random_range(0..8u32) as usize] += 1;
+        }
+        assert!(seen.iter().all(|&c| c > 700), "{seen:?}");
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let xs = [1, 2, 3];
+        assert!(xs.contains(xs.choose(&mut rng).unwrap()));
+        let mut v: Vec<u32> = (0..100).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+        assert_ne!(v, orig, "shuffle of 100 elements left them in place");
+    }
+}

@@ -8,8 +8,8 @@ use snowplow::fuzzing::{
     DirectedOutcome, FuzzerKind, ReproOutcome,
 };
 use snowplow::{
-    train_pmm_with_dataset, Dataset, DatasetConfig, Kernel, KernelVersion, Pmm, PmmConfig, Prog,
-    Scale, Split, Trainer, Vm,
+    train_pmm_with_dataset, Dataset, DatasetConfig, Kernel, KernelVersion, PmmConfig, Prog, Scale,
+    Split, Trainer, Vm,
 };
 
 fn small_scale() -> Scale {
@@ -39,7 +39,9 @@ fn end_to_end_pipeline_trains_and_fuzzes() {
     let base = Campaign::new(&kernel, FuzzerKind::Syzkaller, cfg).run();
     let snow = Campaign::new(
         &kernel,
-        FuzzerKind::Snowplow { model: Box::new(model) },
+        FuzzerKind::Snowplow {
+            model: Box::new(model),
+        },
         cfg,
     )
     .run();
@@ -58,7 +60,9 @@ fn model_trained_on_68_transfers_to_later_kernels() {
         let kernel = Kernel::build(version);
         let report = Campaign::new(
             &kernel,
-            FuzzerKind::Snowplow { model: Box::new(model.clone()) },
+            FuzzerKind::Snowplow {
+                model: Box::new(model.clone()),
+            },
             CampaignConfig {
                 duration: Duration::from_secs(900),
                 seed_corpus: 15,
@@ -133,13 +137,16 @@ fn serialized_corpus_round_trips_through_text() {
 #[test]
 fn directed_mode_reaches_entry_level_targets_via_facade() {
     let kernel = Kernel::build(KernelVersion::V6_8);
+    // An entry-level target: a body block on some handler's trunk
+    // (`Jump`-terminated, so the error/ok exits — which may sit behind
+    // hard gates — are excluded).
     let target = kernel
         .blocks()
         .iter()
         .find(|b| {
             b.gate_depth == 0
+                && matches!(b.term, snowplow::Terminator::Jump(_))
                 && kernel.handler(b.handler).entry != b.id
-                && kernel.handler(b.handler).exit != b.id
         })
         .expect("trunk block")
         .id;
@@ -170,12 +177,26 @@ fn hyperparameter_search_selects_a_model() {
     );
     let grid = vec![
         (
-            PmmConfig { dim: 16, rounds: 1, ..PmmConfig::default() },
-            snowplow::TrainConfig { epochs: 1, ..Default::default() },
+            PmmConfig {
+                dim: 16,
+                rounds: 1,
+                ..PmmConfig::default()
+            },
+            snowplow::TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
         ),
         (
-            PmmConfig { dim: 24, rounds: 2, ..PmmConfig::default() },
-            snowplow::TrainConfig { epochs: 1, ..Default::default() },
+            PmmConfig {
+                dim: 24,
+                rounds: 2,
+                ..PmmConfig::default()
+            },
+            snowplow::TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
         ),
     ];
     let (model, _tc, score) = Trainer::hyperparameter_search(&kernel, &dataset, &grid);

@@ -88,6 +88,35 @@ proptest! {
         }
     }
 
+    /// Generated programs are lint-clean, and arbitrary mutation chains
+    /// keep them lint-clean — the static linter never flags output of
+    /// the stock engine (the calibration the debug-validator hook and
+    /// corpus ingestion gate both rely on).
+    #[test]
+    fn prop_mutation_preserves_lint_cleanliness(seed in any::<u64>()) {
+        let k = kernel();
+        let reg = k.registry();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut current = Generator::new(reg).generate(&mut rng, 6);
+        prop_assert!(
+            snowplow_analysis::lint(reg, &current).is_empty(),
+            "generated program is lint-dirty: {:?}",
+            snowplow_analysis::lint(reg, &current)
+        );
+        let mut mutator = snowplow_prog::Mutator::new(reg);
+        for _ in 0..8 {
+            let (next, _) = mutator.mutate(&mut rng, &current);
+            let diags = snowplow_analysis::lint(reg, &next);
+            prop_assert!(
+                diags.is_empty(),
+                "mutated program is lint-dirty: {:?}\n{}",
+                diags,
+                next.display(reg)
+            );
+            current = next;
+        }
+    }
+
     /// Campaign timelines are monotone in time, edges, and crashes, for
     /// arbitrary seeds.
     #[test]

@@ -6,3 +6,4 @@ set -euo pipefail
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
+cargo bench --workspace --no-run

@@ -84,6 +84,59 @@ fn bench_train_step(c: &mut Criterion) {
     });
 }
 
+fn bench_matmul(c: &mut Criterion) {
+    use snowplow_core::learning::Matrix;
+    let mut rng = StdRng::seed_from_u64(7);
+    // The dominant PMM shape: (nodes × dim) @ (dim × dim).
+    let a = Matrix::xavier(400, 48, &mut rng);
+    let b = Matrix::xavier(48, 48, &mut rng);
+    c.bench_function("matmul_400x48x48", |bench| {
+        bench.iter(|| a.matmul(&b).at(0, 0))
+    });
+    c.bench_function("matmul_naive_400x48x48", |bench| {
+        bench.iter(|| {
+            let (m, k) = a.shape();
+            let n = b.cols();
+            let mut out = Matrix::zeros(m, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        acc += a.at(i, p) * b.at(p, j);
+                    }
+                    *out.at_mut(i, j) = acc;
+                }
+            }
+            out.at(0, 0)
+        })
+    });
+    c.bench_function("matmul_t_400x48x48", |bench| {
+        bench.iter(|| a.matmul_t(&b).at(0, 0))
+    });
+}
+
+fn bench_predict_batch(c: &mut Criterion) {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let generator = Generator::new(kernel.registry());
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut vm = Vm::new(&kernel);
+    let graphs: Vec<QueryGraph> = (0..8)
+        .map(|_| {
+            let prog = generator.generate(&mut rng, 6);
+            let exec = vm.execute(&prog);
+            let frontier = kernel.cfg().alternative_entries(exec.coverage().as_set());
+            QueryGraph::build(&kernel, &prog, &exec, &frontier[..frontier.len().min(6)])
+        })
+        .collect();
+    let mut model = Pmm::new(PmmConfig::default(), kernel.registry().syscall_count());
+    c.bench_function("predict_8_singles", |b| {
+        b.iter(|| graphs.iter().map(|g| model.predict(g).len()).sum::<usize>())
+    });
+    c.bench_function("predict_batch_of_8", |b| {
+        b.iter(|| model.predict_batch(&graphs).len())
+    });
+}
+
 fn bench_lint(c: &mut Criterion) {
     let kernel = Kernel::build(KernelVersion::V6_8);
     let reg = kernel.registry();
@@ -114,6 +167,8 @@ criterion_group!(
     bench_graph_build,
     bench_pmm_inference,
     bench_train_step,
+    bench_matmul,
+    bench_predict_batch,
     bench_lint,
     bench_dead_block_analysis
 );

@@ -50,7 +50,7 @@ pub mod fuzzing {
 pub mod learning {
     pub use snowplow_mlcore::{AdamConfig, BinaryMetrics, Matrix, Params, Tape};
     pub use snowplow_pmm::graph::{EdgeType, NodeKind, QueryGraph};
-    pub use snowplow_pmm::server::{InferenceService, InferenceStats};
+    pub use snowplow_pmm::server::{BatchPolicy, InferenceService, InferenceStats};
     pub use snowplow_pmm::train::predict_locations;
 }
 
@@ -106,6 +106,15 @@ impl Scale {
                 ..PmmConfig::default()
             },
         }
+    }
+
+    /// Shards dataset collection, training-data materialization, and
+    /// evaluation over `workers` threads. All outputs stay bit-identical
+    /// to `workers = 1`; only wall-clock time changes.
+    pub fn with_workers(mut self, workers: usize) -> Scale {
+        self.dataset.workers = workers;
+        self.train.workers = workers;
+        self
     }
 }
 

@@ -65,6 +65,11 @@ pub struct CampaignConfig {
     pub sample_every: Duration,
     /// Campaign seed.
     pub seed: u64,
+    /// Worker threads sharding the embarrassingly-parallel phases
+    /// (seed-corpus generation; see also [`Corpus::minimize`]). Every
+    /// seed program draws from its own RNG stream and results merge in
+    /// program order, so the report is identical for any worker count.
+    pub workers: usize,
 }
 
 impl Default for CampaignConfig {
@@ -81,6 +86,7 @@ impl Default for CampaignConfig {
             top_k: 6,
             sample_every: Duration::from_secs(30 * 60),
             seed: 0,
+            workers: 1,
         }
     }
 }
@@ -215,18 +221,46 @@ impl<'k> Campaign<'k> {
         let dead_blocks = snowplow_analysis::statically_dead_blocks(kernel);
 
         // ---- Seed corpus. --------------------------------------------------
-        for _ in 0..cfg.seed_corpus {
-            let p = generator.generate(&mut rng, 6);
-            attribution.generation += execute(
-                &p,
-                &mut vm,
-                &mut clock,
-                &mut edges,
-                &mut blocks,
-                &mut crashes,
-                &mut corpus,
-                &mut execs,
-            );
+        // Generation and execution shard across workers: every seed
+        // program is generated from its own RNG stream and executed
+        // from a pristine snapshot, so the results carry no cross-item
+        // state. The merge below replays the exact sequential
+        // bookkeeping (clock, coverage, crashes, corpus admission) in
+        // program order — the report is bit-identical for any worker
+        // count.
+        const SALT_SEED_CORPUS: u64 = 0x5eed;
+        let seed_runs = snowplow_pool::scoped_map(
+            cfg.workers,
+            (0..cfg.seed_corpus).collect(),
+            || {
+                let vm = Vm::new(kernel);
+                let snap = vm.snapshot();
+                (vm, snap)
+            },
+            |(vm, snap), _, i| {
+                let mut srng = StdRng::seed_from_u64(snowplow_pool::stream_seed(
+                    cfg.seed,
+                    SALT_SEED_CORPUS,
+                    i as u64,
+                ));
+                let p = generator.generate(&mut srng, 6);
+                vm.restore(snap);
+                let result = vm.execute(&p);
+                (p, result)
+            },
+        );
+        for (p, result) in seed_runs {
+            execs += 1;
+            clock.advance(exec_cost);
+            let new_edges = edges.merge(&result.edges());
+            blocks.merge(&result.coverage());
+            if let Some(crash) = &result.crash {
+                crashes.record(crash, &p, clock.now());
+            }
+            if new_edges > 0 {
+                corpus.add_checked(reg, p, &result, new_edges);
+            }
+            attribution.generation += new_edges;
         }
 
         // ---- Main loop (Figure 1). ------------------------------------------
@@ -500,6 +534,34 @@ mod tests {
         assert_eq!(a.final_edges, b.final_edges);
         assert_eq!(a.execs, b.execs);
         assert_eq!(a.timeline, b.timeline);
+    }
+
+    #[test]
+    fn campaigns_are_independent_of_worker_count() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let run = |workers: usize| {
+            Campaign::new(
+                &kernel,
+                FuzzerKind::Syzkaller,
+                CampaignConfig {
+                    duration: Duration::from_secs(600),
+                    sample_every: Duration::from_secs(60),
+                    workers,
+                    ..short_config(11)
+                },
+            )
+            .run()
+        };
+        let one = run(1);
+        for workers in [2, 8] {
+            let multi = run(workers);
+            assert_eq!(one.timeline, multi.timeline, "workers={workers}");
+            assert_eq!(one.final_edges, multi.final_edges, "workers={workers}");
+            assert_eq!(one.final_blocks, multi.final_blocks, "workers={workers}");
+            assert_eq!(one.execs, multi.execs, "workers={workers}");
+            assert_eq!(one.corpus_len, multi.corpus_len, "workers={workers}");
+            assert_eq!(one.attribution, multi.attribution, "workers={workers}");
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The corpus: interesting programs and their coverage signal.
 
 use rand::prelude::*;
-use snowplow_kernel::{Coverage, ExecResult};
+use snowplow_kernel::{Coverage, EdgeSet, ExecResult, Kernel, Vm};
 use snowplow_prog::Prog;
 use snowplow_syslang::Registry;
 
@@ -103,6 +103,39 @@ impl Corpus {
         Some(self.entries.len() - 1)
     }
 
+    /// Greedy corpus minimization: re-executes every entry from a
+    /// pristine snapshot (sharded over `workers` threads) and keeps, in
+    /// admission order, only the entries still contributing new edges.
+    ///
+    /// Re-execution is deterministic and carries no cross-entry state,
+    /// and the greedy keep/drop scan runs sequentially over the results
+    /// in entry order, so the minimized corpus is identical for any
+    /// worker count.
+    pub fn minimize(&self, kernel: &Kernel, workers: usize) -> Corpus {
+        let runs = snowplow_pool::scoped_map(
+            workers,
+            (0..self.entries.len()).collect(),
+            || {
+                let vm = Vm::new(kernel);
+                let snap = vm.snapshot();
+                (vm, snap)
+            },
+            |(vm, snap), _, i| {
+                vm.restore(snap);
+                vm.execute(&self.entries[i].prog)
+            },
+        );
+        let mut kept = Corpus::new();
+        let mut edges = EdgeSet::new();
+        for (entry, exec) in self.entries.iter().zip(runs) {
+            let new_edges = edges.merge(&exec.edges());
+            if new_edges > 0 {
+                kept.add(entry.prog.clone(), &exec, new_edges);
+            }
+        }
+        kept
+    }
+
     /// Reads an entry.
     pub fn entry(&self, idx: usize) -> &CorpusEntry {
         &self.entries[idx]
@@ -148,6 +181,45 @@ mod tests {
         // tail), half through contribution weighting (heavily entry 9):
         // expect well above the uniform 10% baseline.
         assert!(hits9 > 80, "only {hits9}/200 picks of the heavy entry");
+    }
+
+    #[test]
+    fn minimize_keeps_coverage_and_is_worker_count_independent() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let mut rng = StdRng::seed_from_u64(4);
+        let generator = Generator::new(kernel.registry());
+        let mut vm = Vm::new(&kernel);
+        let snap = vm.snapshot();
+        let mut corpus = Corpus::new();
+        let mut union = snowplow_kernel::EdgeSet::new();
+        for _ in 0..40 {
+            let p = generator.generate(&mut rng, 4);
+            vm.restore(&snap);
+            let exec = vm.execute(&p);
+            let new = union.merge(&exec.edges());
+            // Admit everything, including redundant entries that the
+            // minimizer should drop.
+            corpus.add(p, &exec, new);
+        }
+
+        let min1 = corpus.minimize(&kernel, 1);
+        assert!(min1.len() <= corpus.len());
+        assert!(!min1.is_empty());
+        // The kept entries reproduce the full edge union.
+        let mut kept_union = snowplow_kernel::EdgeSet::new();
+        for e in min1.iter() {
+            vm.restore(&snap);
+            kept_union.merge(&vm.execute(&e.prog).edges());
+        }
+        assert_eq!(kept_union.len(), union.len());
+
+        for workers in [2, 8] {
+            let m = corpus.minimize(&kernel, workers);
+            assert_eq!(m.len(), min1.len(), "workers={workers}");
+            let same: Vec<&Prog> = m.iter().map(|e| &e.prog).collect();
+            let base: Vec<&Prog> = min1.iter().map(|e| &e.prog).collect();
+            assert_eq!(same, base, "workers={workers}");
+        }
     }
 
     #[test]

@@ -117,65 +117,175 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Consumes the matrix, returning its backing storage (so hot loops
+    /// can recycle allocations via [`Matrix::from_vec`]).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
     /// `self @ other`.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.at(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
-                }
-            }
-        }
+        self.matmul_acc(other, &mut out);
         out
     }
 
-    /// `self @ other.T` (other is `m × self.cols`).
-    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            for j in 0..other.rows {
-                let brow = other.row(j);
-                let mut s = 0.0;
-                for (a, b) in arow.iter().zip(brow) {
-                    s += a * b;
-                }
-                *out.at_mut(i, j) = s;
-            }
-        }
-        out
+    /// `out = self @ other`, overwriting `out` (shape `rows × other.cols`)
+    /// without allocating — the buffer-reuse entry point for hot loops.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        out.data.fill(0.0);
+        self.matmul_acc(other, out);
     }
 
-    /// `self.T @ other` (self is `n × r`, other `n × c`).
-    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for n in 0..self.rows {
-            let arow = self.row(n);
-            let brow = other.row(n);
-            for (i, &a) in arow.iter().enumerate() {
+    /// `out += self @ other`.
+    ///
+    /// The kernel walks `self`'s rows four inner-products at a time:
+    /// each step streams four contiguous rows of `other` against one
+    /// accumulator row of `out`, so every load is sequential and the
+    /// four multiply-adds per output element keep the FP pipelines full
+    /// (the compiler turns the zipped inner loop into vectorized FMA).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn matmul_acc(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul output shape mismatch"
+        );
+        let n = other.cols;
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            let mut chunks = arow.chunks_exact(4);
+            let mut k = 0usize;
+            for ch in &mut chunks {
+                let (a0, a1, a2, a3) = (ch[0], ch[1], ch[2], ch[3]);
+                if a0 != 0.0 || a1 != 0.0 || a2 != 0.0 || a3 != 0.0 {
+                    let b0 = &other.data[k * n..(k + 1) * n];
+                    let b1 = &other.data[(k + 1) * n..(k + 2) * n];
+                    let b2 = &other.data[(k + 2) * n..(k + 3) * n];
+                    let b3 = &other.data[(k + 3) * n..(k + 4) * n];
+                    for ((((o, &v0), &v1), &v2), &v3) in
+                        orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                    {
+                        *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+                    }
+                }
+                k += 4;
+            }
+            for (&a, kk) in chunks.remainder().iter().zip(k..) {
                 if a == 0.0 {
                     continue;
                 }
-                let orow = out.row_mut(i);
+                let brow = &other.data[kk * n..(kk + 1) * n];
                 for (o, &b) in orow.iter_mut().zip(brow) {
                     *o += a * b;
                 }
             }
         }
+    }
+
+    /// `self @ other.T` (other is `m × self.cols`).
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_t_acc(other, &mut out);
         out
+    }
+
+    /// `out += self @ other.T`.
+    ///
+    /// Four dot products run per pass over a row of `self`: one load of
+    /// each left-hand element feeds four independent accumulators, so
+    /// the kernel is bound by the four contiguous right-hand streams
+    /// rather than by a single serial reduction.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn matmul_t_acc(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.rows),
+            "matmul_t output shape mismatch"
+        );
+        let d = self.cols;
+        let m = other.rows;
+        for i in 0..self.rows {
+            let arow = &self.data[i * d..(i + 1) * d];
+            let orow = &mut out.data[i * m..(i + 1) * m];
+            let mut j = 0usize;
+            while j + 4 <= m {
+                let b0 = &other.data[j * d..(j + 1) * d];
+                let b1 = &other.data[(j + 1) * d..(j + 2) * d];
+                let b2 = &other.data[(j + 2) * d..(j + 3) * d];
+                let b3 = &other.data[(j + 3) * d..(j + 4) * d];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for ((((&a, &v0), &v1), &v2), &v3) in arow.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
+                    s0 += a * v0;
+                    s1 += a * v1;
+                    s2 += a * v2;
+                    s3 += a * v3;
+                }
+                orow[j] += s0;
+                orow[j + 1] += s1;
+                orow[j + 2] += s2;
+                orow[j + 3] += s3;
+                j += 4;
+            }
+            while j < m {
+                let brow = &other.data[j * d..(j + 1) * d];
+                let mut s = 0.0f32;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    s += a * b;
+                }
+                orow[j] += s;
+                j += 1;
+            }
+        }
+    }
+
+    /// `self.T @ other` (self is `n × r`, other `n × c`).
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.t_matmul_acc(other, &mut out);
+        out
+    }
+
+    /// `out += self.T @ other`.
+    ///
+    /// Kept as a rank-1-update sweep (one axpy per nonzero of `self`):
+    /// the backward passes that call this feed it ReLU-sparse
+    /// activations and gather/scatter gradients, where skipping zero
+    /// coefficients beats a dense blocked kernel.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn t_matmul_acc(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, other.cols),
+            "t_matmul output shape mismatch"
+        );
+        let c = other.cols;
+        for n in 0..self.rows {
+            let arow = &self.data[n * self.cols..(n + 1) * self.cols];
+            let brow = &other.data[n * c..(n + 1) * c];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * c..(i + 1) * c];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
     }
 
     /// Elementwise in-place map.
@@ -275,6 +385,78 @@ mod tests {
         for (x, y) in plain2.data().iter().zip(fused2.data()) {
             assert!((x - y).abs() < 1e-5);
         }
+    }
+
+    /// Textbook triple loop, the reference the unrolled kernels are
+    /// checked against.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0f32;
+                for k in 0..a.cols() {
+                    s += a.at(i, k) * b.at(k, j);
+                }
+                *out.at_mut(i, j) = s;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn unrolled_kernels_match_naive_on_remainder_shapes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Inner dims 1..=9 cover every chunk remainder (0..=3) twice;
+        // outer dims cover the 4-wide j-loop remainders of matmul_t.
+        for (r, k, c) in [
+            (1, 1, 1),
+            (2, 3, 5),
+            (3, 4, 4),
+            (5, 5, 3),
+            (4, 6, 7),
+            (7, 7, 1),
+            (1, 8, 6),
+            (6, 9, 9),
+        ] {
+            let a = Matrix::xavier(r, k, &mut rng);
+            let b = Matrix::xavier(k, c, &mut rng);
+            let want = naive_matmul(&a, &b);
+            let got = a.matmul(&b);
+            for (x, y) in want.data().iter().zip(got.data()) {
+                assert!((x - y).abs() < 1e-5, "matmul {r}x{k}x{c}: {x} vs {y}");
+            }
+            // matmul_t against the same reference via explicit transpose.
+            let bt = {
+                let mut t = Matrix::zeros(c, k);
+                for i in 0..k {
+                    for j in 0..c {
+                        *t.at_mut(j, i) = b.at(i, j);
+                    }
+                }
+                t
+            };
+            let got_t = a.matmul_t(&bt);
+            for (x, y) in want.data().iter().zip(got_t.data()) {
+                assert!((x - y).abs() < 1e-5, "matmul_t {r}x{k}x{c}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn acc_variants_accumulate_into_existing_output() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = Matrix::xavier(3, 5, &mut rng);
+        let b = Matrix::xavier(5, 4, &mut rng);
+        let mut out = Matrix::full(3, 4, 1.0);
+        a.matmul_acc(&b, &mut out);
+        let fresh = a.matmul(&b);
+        for (x, y) in out.data().iter().zip(fresh.data()) {
+            assert!((x - (y + 1.0)).abs() < 1e-5);
+        }
+        // matmul_into overwrites instead.
+        let mut reused = Matrix::full(3, 4, 9.0);
+        a.matmul_into(&b, &mut reused);
+        assert_eq!(reused, fresh);
     }
 
     #[test]

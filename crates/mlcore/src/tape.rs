@@ -180,9 +180,13 @@ impl<'p> Tape<'p> {
         assert_eq!(bm.rows(), 1, "row broadcast needs a 1-row rhs");
         assert_eq!(bm.cols(), self.value(a).cols());
         let mut value = self.value(a).clone();
-        let brow: Vec<f32> = self.value(b).row(0).to_vec();
+        let brow = self.value(b).row(0);
         for r in 0..value.rows() {
-            for (v, bv) in value.row_mut(r).iter_mut().zip(&brow) {
+            let start = r * brow.len();
+            for (v, bv) in value.data_mut()[start..start + brow.len()]
+                .iter_mut()
+                .zip(brow)
+            {
                 *v += bv;
             }
         }
@@ -191,8 +195,8 @@ impl<'p> Tape<'p> {
 
     /// Elementwise `a * b`.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let bm = self.value(b).clone();
         let mut value = self.value(a).clone();
+        let bm = self.value(b);
         assert_eq!(value.shape(), bm.shape());
         for (x, y) in value.data_mut().iter_mut().zip(bm.data()) {
             *x *= y;
@@ -272,11 +276,12 @@ impl<'p> Tape<'p> {
     pub fn scatter_add_rows(&mut self, a: Var, idx: &[usize], out_rows: usize) -> Var {
         let src = self.value(a);
         assert_eq!(src.rows(), idx.len(), "one index per input row");
-        let mut value = Matrix::zeros(out_rows, src.cols());
+        let cols = src.cols();
+        let mut value = Matrix::zeros(out_rows, cols);
         for (i, &r) in idx.iter().enumerate() {
             debug_assert!(r < out_rows);
-            let srow: Vec<f32> = src.row(i).to_vec();
-            for (o, s) in value.row_mut(r).iter_mut().zip(&srow) {
+            let out = &mut value.data_mut()[r * cols..(r + 1) * cols];
+            for (o, s) in out.iter_mut().zip(src.row(i)) {
                 *o += s;
             }
         }
@@ -363,103 +368,120 @@ impl<'p> Tape<'p> {
     /// Runs backward from the scalar `loss`, accumulating parameter
     /// gradients into the store.
     ///
+    /// Gradient buffers are recycled through a scratch pool: a node's
+    /// gradient is consumed exactly once (at its own tape position),
+    /// after which its storage backs the next allocation. A training
+    /// step therefore holds at most a working set of live gradients
+    /// instead of one allocation per tape node.
+    ///
     /// # Panics
     /// Panics if `loss` is not `1 × 1`.
     pub fn backward(&mut self, loss: Var) {
         assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
         let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[loss.0] = Some(Matrix::full(1, 1, 1.0));
+        let mut pool: Vec<Vec<f32>> = Vec::new();
 
         for i in (0..self.nodes.len()).rev() {
             let Some(g) = grads[i].take() else { continue };
-            // Re-take the gradient for potential later references (a node
-            // used twice accumulates); we put it back at the end.
             match &self.nodes[i].op {
                 Op::Constant => {}
                 Op::Param(id) => {
                     self.params.grads[id.0].add_assign(&g);
                 }
                 Op::MatMul(a, b) => {
-                    let ga = g.matmul_t(&self.nodes[b.0].value);
-                    let gb = self.nodes[a.0].value.t_matmul(&g);
-                    accumulate(&mut grads, a.0, ga);
-                    accumulate(&mut grads, b.0, gb);
+                    let av = &self.nodes[a.0].value;
+                    let bv = &self.nodes[b.0].value;
+                    let mut ga = pooled(&mut pool, g.rows(), bv.rows());
+                    g.matmul_t_acc(bv, &mut ga);
+                    let mut gb = pooled(&mut pool, av.cols(), g.cols());
+                    av.t_matmul_acc(&g, &mut gb);
+                    accumulate(&mut grads, a.0, ga, &mut pool);
+                    accumulate(&mut grads, b.0, gb, &mut pool);
                 }
                 Op::MatMulT(a, b) => {
                     // out = a @ b.T ; g: n×m
-                    let ga = g.matmul(&self.nodes[b.0].value);
-                    let gb = g.t_matmul(&self.nodes[a.0].value);
-                    accumulate(&mut grads, a.0, ga);
-                    accumulate(&mut grads, b.0, gb);
+                    let av = &self.nodes[a.0].value;
+                    let bv = &self.nodes[b.0].value;
+                    let mut ga = pooled(&mut pool, g.rows(), bv.cols());
+                    g.matmul_acc(bv, &mut ga);
+                    let mut gb = pooled(&mut pool, g.cols(), av.cols());
+                    g.t_matmul_acc(av, &mut gb);
+                    accumulate(&mut grads, a.0, ga, &mut pool);
+                    accumulate(&mut grads, b.0, gb, &mut pool);
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, a.0, g.clone());
-                    accumulate(&mut grads, b.0, g.clone());
+                    let ga = pooled_copy(&mut pool, &g);
+                    accumulate(&mut grads, a.0, ga, &mut pool);
+                    let gb = pooled_copy(&mut pool, &g);
+                    accumulate(&mut grads, b.0, gb, &mut pool);
                 }
                 Op::AddRowBroadcast(a, b) => {
-                    accumulate(&mut grads, a.0, g.clone());
-                    let mut gb = Matrix::zeros(1, g.cols());
+                    let mut gb = pooled(&mut pool, 1, g.cols());
                     for r in 0..g.rows() {
                         for (o, v) in gb.row_mut(0).iter_mut().zip(g.row(r)) {
                             *o += v;
                         }
                     }
-                    accumulate(&mut grads, b.0, gb);
+                    accumulate(&mut grads, b.0, gb, &mut pool);
+                    let ga = pooled_copy(&mut pool, &g);
+                    accumulate(&mut grads, a.0, ga, &mut pool);
                 }
                 Op::Mul(a, b) => {
-                    let mut ga = g.clone();
+                    let mut ga = pooled_copy(&mut pool, &g);
                     for (x, y) in ga.data_mut().iter_mut().zip(self.nodes[b.0].value.data()) {
                         *x *= y;
                     }
-                    let mut gb = g.clone();
+                    let mut gb = pooled_copy(&mut pool, &g);
                     for (x, y) in gb.data_mut().iter_mut().zip(self.nodes[a.0].value.data()) {
                         *x *= y;
                     }
-                    accumulate(&mut grads, a.0, ga);
-                    accumulate(&mut grads, b.0, gb);
+                    accumulate(&mut grads, a.0, ga, &mut pool);
+                    accumulate(&mut grads, b.0, gb, &mut pool);
                 }
                 Op::Scale(a, s) => {
-                    accumulate(&mut grads, a.0, g.map(|v| v * s));
+                    let mut ga = pooled_copy(&mut pool, &g);
+                    let s = *s;
+                    ga.map_inplace(|v| v * s);
+                    accumulate(&mut grads, a.0, ga, &mut pool);
                 }
                 Op::Relu(a) => {
-                    let mut ga = g.clone();
+                    let mut ga = pooled_copy(&mut pool, &g);
                     for (x, inp) in ga.data_mut().iter_mut().zip(self.nodes[a.0].value.data()) {
                         if *inp <= 0.0 {
                             *x = 0.0;
                         }
                     }
-                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, a.0, ga, &mut pool);
                 }
                 Op::Sigmoid(a) => {
-                    let y = &self.nodes[i].value;
-                    let mut ga = g.clone();
-                    for (x, yv) in ga.data_mut().iter_mut().zip(y.data()) {
+                    let mut ga = pooled_copy(&mut pool, &g);
+                    for (x, yv) in ga.data_mut().iter_mut().zip(self.nodes[i].value.data()) {
                         *x *= yv * (1.0 - yv);
                     }
-                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, a.0, ga, &mut pool);
                 }
                 Op::Tanh(a) => {
-                    let y = &self.nodes[i].value;
-                    let mut ga = g.clone();
-                    for (x, yv) in ga.data_mut().iter_mut().zip(y.data()) {
+                    let mut ga = pooled_copy(&mut pool, &g);
+                    for (x, yv) in ga.data_mut().iter_mut().zip(self.nodes[i].value.data()) {
                         *x *= 1.0 - yv * yv;
                     }
-                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, a.0, ga, &mut pool);
                 }
                 Op::SoftmaxRows(a) => {
                     let y = &self.nodes[i].value;
-                    let mut ga = Matrix::zeros(y.rows(), y.cols());
+                    let mut ga = pooled(&mut pool, y.rows(), y.cols());
                     for r in 0..y.rows() {
                         let dot: f32 = g.row(r).iter().zip(y.row(r)).map(|(a, b)| a * b).sum();
                         for c in 0..y.cols() {
                             *ga.at_mut(r, c) = y.at(r, c) * (g.at(r, c) - dot);
                         }
                     }
-                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, a.0, ga, &mut pool);
                 }
                 Op::RmsNormRows(a) => {
                     let x = &self.nodes[a.0].value;
-                    let mut ga = Matrix::zeros(x.rows(), x.cols());
+                    let mut ga = pooled(&mut pool, x.rows(), x.cols());
                     let d = x.cols().max(1) as f32;
                     for r in 0..x.rows() {
                         let ms = x.row(r).iter().map(|v| v * v).sum::<f32>() / d;
@@ -469,46 +491,48 @@ impl<'p> Tape<'p> {
                             *ga.at_mut(r, c) = g.at(r, c) * inv - x.at(r, c) * inv.powi(3) * gx / d;
                         }
                     }
-                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, a.0, ga, &mut pool);
                 }
                 Op::GatherRows(a, idx) => {
                     let src = &self.nodes[a.0].value;
-                    let mut ga = Matrix::zeros(src.rows(), src.cols());
+                    let cols = src.cols();
+                    let mut ga = pooled(&mut pool, src.rows(), cols);
                     for (i2, &r) in idx.iter().enumerate() {
-                        for (o, v) in ga.row_mut(r).iter_mut().zip(g.row(i2)) {
+                        let out = &mut ga.data_mut()[r * cols..(r + 1) * cols];
+                        for (o, v) in out.iter_mut().zip(g.row(i2)) {
                             *o += v;
                         }
                     }
-                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, a.0, ga, &mut pool);
                 }
                 Op::ScatterAddRows(a, idx, out_rows) => {
                     debug_assert_eq!(g.rows(), *out_rows);
                     let src = &self.nodes[a.0].value;
-                    let mut ga = Matrix::zeros(src.rows(), src.cols());
+                    let mut ga = pooled(&mut pool, src.rows(), src.cols());
                     for (i2, &r) in idx.iter().enumerate() {
                         ga.row_mut(i2).copy_from_slice(g.row(r));
                     }
-                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, a.0, ga, &mut pool);
                 }
                 Op::ScaleRows(a, scales) => {
-                    let mut ga = g.clone();
+                    let mut ga = pooled_copy(&mut pool, &g);
                     for (r, &s) in scales.iter().enumerate() {
                         for v in ga.row_mut(r) {
                             *v *= s;
                         }
                     }
-                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, a.0, ga, &mut pool);
                 }
                 Op::MeanRows(a) => {
                     let src = &self.nodes[a.0].value;
                     let n = src.rows().max(1) as f32;
-                    let mut ga = Matrix::zeros(src.rows(), src.cols());
+                    let mut ga = pooled(&mut pool, src.rows(), src.cols());
                     for r in 0..src.rows() {
                         for (o, v) in ga.row_mut(r).iter_mut().zip(g.row(0)) {
                             *o += v / n;
                         }
                     }
-                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, a.0, ga, &mut pool);
                 }
                 Op::BceWithLogits {
                     x,
@@ -518,31 +542,57 @@ impl<'p> Tape<'p> {
                     let xm = &self.nodes[x.0].value;
                     let wsum: f32 = weights.iter().sum::<f32>().max(1e-12);
                     let gscale = g.at(0, 0) / wsum;
-                    let mut ga = Matrix::zeros(xm.rows(), 1);
+                    let mut ga = pooled(&mut pool, xm.rows(), 1);
                     for i2 in 0..targets.len() {
                         let y = 1.0 / (1.0 + (-xm.at(i2, 0)).exp());
                         *ga.at_mut(i2, 0) = gscale * weights[i2] * (y - targets[i2]);
                     }
-                    accumulate(&mut grads, x.0, ga);
+                    accumulate(&mut grads, x.0, ga, &mut pool);
                 }
                 Op::Mse { x, targets } => {
                     let xm = &self.nodes[x.0].value;
                     let n = targets.len().max(1) as f32;
                     let gscale = g.at(0, 0);
-                    let mut ga = Matrix::zeros(xm.rows(), xm.cols());
+                    let mut ga = pooled(&mut pool, xm.rows(), xm.cols());
                     for (o, (v, t)) in ga.data_mut().iter_mut().zip(xm.data().iter().zip(targets)) {
                         *o = gscale * 2.0 * (v - t) / n;
                     }
-                    accumulate(&mut grads, x.0, ga);
+                    accumulate(&mut grads, x.0, ga, &mut pool);
                 }
             }
+            // `g` has been fully consumed; its storage backs the next
+            // pooled allocation.
+            pool.push(g.into_vec());
         }
     }
 }
 
-fn accumulate(grads: &mut [Option<Matrix>], idx: usize, g: Matrix) {
+/// Takes a zeroed `rows × cols` matrix from the scratch pool (or the
+/// allocator when the pool is dry).
+fn pooled(pool: &mut Vec<Vec<f32>>, rows: usize, cols: usize) -> Matrix {
+    match pool.pop() {
+        Some(mut v) => {
+            v.clear();
+            v.resize(rows * cols, 0.0);
+            Matrix::from_vec(rows, cols, v)
+        }
+        None => Matrix::zeros(rows, cols),
+    }
+}
+
+/// Pool-backed copy of `src`.
+fn pooled_copy(pool: &mut Vec<Vec<f32>>, src: &Matrix) -> Matrix {
+    let mut m = pooled(pool, src.rows(), src.cols());
+    m.data_mut().copy_from_slice(src.data());
+    m
+}
+
+fn accumulate(grads: &mut [Option<Matrix>], idx: usize, g: Matrix, pool: &mut Vec<Vec<f32>>) {
     match &mut grads[idx] {
-        Some(existing) => existing.add_assign(&g),
+        Some(existing) => {
+            existing.add_assign(&g);
+            pool.push(g.into_vec());
+        }
         slot @ None => *slot = Some(g),
     }
 }

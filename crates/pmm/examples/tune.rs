@@ -17,6 +17,7 @@ fn main() {
             max_calls: 5,
             popularity_cap: 40,
             seed: 3,
+            workers: 1,
         },
     );
     println!(
@@ -38,6 +39,7 @@ fn main() {
             pos_weight: pw,
             threshold: 0.5,
             seed: 1,
+            workers: 1,
         };
         let pc = PmmConfig {
             dim,

@@ -41,6 +41,10 @@ pub struct DatasetConfig {
     pub popularity_cap: usize,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads sharding the per-base harvest. Every base test
+    /// draws from its own RNG stream, so the dataset is identical for
+    /// any worker count.
+    pub workers: usize,
 }
 
 impl Default for DatasetConfig {
@@ -51,6 +55,7 @@ impl Default for DatasetConfig {
             max_calls: 8,
             popularity_cap: 40,
             seed: 0xda7a,
+            workers: 1,
         }
     }
 }
@@ -107,110 +112,179 @@ pub struct DatasetStats {
     pub positives_total: usize,
 }
 
+/// A candidate example harvested from one base test, before the
+/// (order-sensitive, sequential) popularity cap decides its fate.
+struct PreSample {
+    targets: Vec<BlockId>,
+    achieved: Vec<BlockId>,
+    positives: Vec<ArgLoc>,
+}
+
+/// Everything one base test contributes, produced independently of
+/// every other base.
+struct BaseHarvest {
+    base: Prog,
+    pre: Vec<PreSample>,
+    tried: usize,
+    successful: usize,
+}
+
+/// Stage salts for [`snowplow_pool::stream_seed`].
+const SALT_BASE: u64 = 0x0b5e;
+const SALT_SPLIT: u64 = 0x5711;
+
 impl Dataset {
     /// Runs the full §3.1 pipeline against `kernel`.
+    ///
+    /// The per-base harvest (generation, brute-force mutation,
+    /// execution, target sampling) is sharded over `config.workers`
+    /// threads; each base draws from an RNG stream derived from
+    /// `(seed, base index)`, and the order-sensitive popularity cap
+    /// runs sequentially over the harvests in base order, so the
+    /// resulting dataset is bit-identical for any worker count.
     pub fn generate(kernel: &Kernel, config: DatasetConfig) -> Dataset {
         let reg = kernel.registry();
-        let mut rng = StdRng::seed_from_u64(config.seed);
         let generator = Generator::new(reg);
-        let mut mutator = Mutator::new(reg);
-        let mut vm = Vm::new(kernel);
-        let snapshot = vm.snapshot();
+        let fractions = [0.0f64, 0.25, 0.5, 0.75, 1.0];
 
+        let harvests: Vec<BaseHarvest> = snowplow_pool::scoped_map(
+            config.workers,
+            (0..config.base_tests).collect(),
+            || {
+                let vm = Vm::new(kernel);
+                let snapshot = vm.snapshot();
+                (vm, snapshot)
+            },
+            |(vm, snapshot), _, pi| {
+                // A fresh mutator per base: its internal state must not
+                // leak between bases, or the harvest would depend on
+                // which worker ran which bases before this one.
+                let mut mutator = Mutator::new(reg);
+                let mut rng = StdRng::seed_from_u64(snowplow_pool::stream_seed(
+                    config.seed,
+                    SALT_BASE,
+                    pi as u64,
+                ));
+                let base = generator.generate(&mut rng, config.max_calls);
+                vm.restore(snapshot);
+                let base_exec = vm.execute(&base);
+                let base_cov = base_exec.coverage();
+                let frontier = kernel.cfg().alternative_entries(base_cov.as_set());
+
+                // Successful-mutation discovery, merged by new-coverage set.
+                let mut tried = 0usize;
+                let mut successful = 0usize;
+                let mut by_new_cov: HashMap<Vec<BlockId>, Vec<ArgLoc>> = HashMap::new();
+                for _ in 0..config.mutations_per_base {
+                    tried += 1;
+                    let (mutant, locs) = mutator.mutate_arguments(&mut rng, &base, None);
+                    let Some(loc) = locs.first() else { continue };
+                    if mutant == base {
+                        continue;
+                    }
+                    vm.restore(snapshot);
+                    let mexec = vm.execute(&mutant);
+                    let new = mexec.coverage().difference(&base_cov);
+                    if new.is_empty() {
+                        continue;
+                    }
+                    successful += 1;
+                    let entry = by_new_cov.entry(new).or_default();
+                    if !entry.contains(loc) {
+                        entry.push(loc.clone());
+                    }
+                }
+
+                // HashMap order is nondeterministic; sort for reproducible
+                // example order (popularity capping is order-sensitive).
+                let mut merged: Vec<(Vec<BlockId>, Vec<ArgLoc>)> = by_new_cov.into_iter().collect();
+                merged.sort();
+                let mut pre = Vec::new();
+                for (new_cov, mut positives) in merged {
+                    positives.sort();
+                    // Targets actually achievable one branch away.
+                    let achieved: Vec<BlockId> = new_cov
+                        .iter()
+                        .copied()
+                        .filter(|b| frontier.contains(b))
+                        .collect();
+                    if achieved.is_empty() {
+                        continue;
+                    }
+                    // Noisy target sampling (§3.1 option (c)), drawn here
+                    // (from this base's stream) regardless of the cap
+                    // decision so the draws are scheduling-independent.
+                    // Invariant: `fractions` is a nonempty constant.
+                    let frac = *fractions.choose(&mut rng).expect("nonempty");
+                    let mut targets: Vec<BlockId> = if frac == 0.0 {
+                        Vec::new()
+                    } else {
+                        frontier
+                            .iter()
+                            .copied()
+                            .filter(|_| rng.random_bool(frac))
+                            .collect()
+                    };
+                    // Guarantee overlap with the achieved set.
+                    // Invariant: empty `achieved` sets were skipped above.
+                    let anchor = *achieved.choose(&mut rng).expect("nonempty");
+                    if !targets.contains(&anchor) {
+                        targets.push(anchor);
+                    }
+                    targets.sort();
+                    targets.dedup();
+                    pre.push(PreSample {
+                        targets,
+                        achieved,
+                        positives,
+                    });
+                }
+                BaseHarvest {
+                    base,
+                    pre,
+                    tried,
+                    successful,
+                }
+            },
+        );
+
+        // Sequential, order-sensitive accounting: the popularity cap
+        // sees the harvests in base order, exactly as a single-threaded
+        // pass would.
         let mut progs = Vec::with_capacity(config.base_tests);
         let mut samples: Vec<Sample> = Vec::new();
         let mut stats = DatasetStats::default();
         let mut popularity: HashMap<BlockId, usize> = HashMap::new();
-        let fractions = [0.0f64, 0.25, 0.5, 0.75, 1.0];
-
-        for pi in 0..config.base_tests {
-            let base = generator.generate(&mut rng, config.max_calls);
-            vm.restore(&snapshot);
-            let base_exec = vm.execute(&base);
-            let base_cov = base_exec.coverage();
-            let frontier = kernel.cfg().alternative_entries(base_cov.as_set());
-
-            // Successful-mutation discovery, merged by new-coverage set.
-            let mut by_new_cov: HashMap<Vec<BlockId>, Vec<ArgLoc>> = HashMap::new();
-            for _ in 0..config.mutations_per_base {
-                stats.mutations_tried += 1;
-                let (mutant, locs) = mutator.mutate_arguments(&mut rng, &base, None);
-                let Some(loc) = locs.first() else { continue };
-                if mutant == base {
-                    continue;
-                }
-                vm.restore(&snapshot);
-                let mexec = vm.execute(&mutant);
-                let new = mexec.coverage().difference(&base_cov);
-                if new.is_empty() {
-                    continue;
-                }
-                stats.successful_mutations += 1;
-                let entry = by_new_cov.entry(new).or_default();
-                if !entry.contains(loc) {
-                    entry.push(loc.clone());
-                }
-            }
-
-            // HashMap order is nondeterministic; sort for reproducible
-            // example order (popularity capping is order-sensitive).
-            let mut merged: Vec<(Vec<BlockId>, Vec<ArgLoc>)> = by_new_cov.into_iter().collect();
-            merged.sort();
-            for (new_cov, mut positives) in merged {
-                positives.sort();
-                // Targets actually achievable one branch away.
-                let achieved: Vec<BlockId> = new_cov
-                    .iter()
-                    .copied()
-                    .filter(|b| frontier.contains(b))
-                    .collect();
-                if achieved.is_empty() {
-                    continue;
-                }
+        for (pi, harvest) in harvests.into_iter().enumerate() {
+            stats.mutations_tried += harvest.tried;
+            stats.successful_mutations += harvest.successful;
+            for pre in harvest.pre {
                 // Popularity cap: drop examples whose achieved targets are
                 // all over-represented.
-                if achieved
+                if pre
+                    .achieved
                     .iter()
                     .all(|b| popularity.get(b).copied().unwrap_or(0) >= config.popularity_cap)
                 {
                     stats.capped += 1;
                     continue;
                 }
-                for b in &achieved {
+                for b in &pre.achieved {
                     *popularity.entry(*b).or_default() += 1;
                 }
-                // Noisy target sampling (§3.1 option (c)).
-                // Invariant: `fractions` is a nonempty constant.
-                let frac = *fractions.choose(&mut rng).expect("nonempty");
-                let mut targets: Vec<BlockId> = if frac == 0.0 {
-                    Vec::new()
-                } else {
-                    frontier
-                        .iter()
-                        .copied()
-                        .filter(|_| rng.random_bool(frac))
-                        .collect()
-                };
-                // Guarantee overlap with the achieved set.
-                // Invariant: empty `achieved` sets were skipped above.
-                let anchor = *achieved.choose(&mut rng).expect("nonempty");
-                if !targets.contains(&anchor) {
-                    targets.push(anchor);
-                }
-                targets.sort();
-                targets.dedup();
-                stats.positives_total += positives.len();
+                stats.positives_total += pre.positives.len();
                 samples.push(Sample {
                     prog: pi,
-                    targets,
-                    achieved,
-                    positives,
+                    targets: pre.targets,
+                    achieved: pre.achieved,
+                    positives: pre.positives,
                 });
             }
-            progs.push(base);
+            progs.push(harvest.base);
         }
 
         // 80/10/10 split over *base tests*, never over examples.
+        let mut rng = StdRng::seed_from_u64(snowplow_pool::stream_seed(config.seed, SALT_SPLIT, 0));
         let mut order: Vec<usize> = (0..progs.len()).collect();
         order.shuffle(&mut rng);
         let n = order.len();
@@ -287,6 +361,7 @@ mod tests {
             max_calls: 5,
             popularity_cap: 20,
             seed: 7,
+            workers: 1,
         }
     }
 
@@ -345,6 +420,25 @@ mod tests {
         let b = Dataset::generate(&kernel, small_config());
         assert_eq!(a.samples, b.samples);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn generation_is_independent_of_worker_count() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let base = Dataset::generate(&kernel, small_config());
+        for workers in [2, 8] {
+            let ds = Dataset::generate(
+                &kernel,
+                DatasetConfig {
+                    workers,
+                    ..small_config()
+                },
+            );
+            assert_eq!(base.progs, ds.progs, "workers={workers}");
+            assert_eq!(base.samples, ds.samples, "workers={workers}");
+            assert_eq!(base.splits, ds.splits, "workers={workers}");
+            assert_eq!(base.stats, ds.stats, "workers={workers}");
+        }
     }
 
     #[test]

@@ -46,5 +46,5 @@ pub mod train;
 pub use dataset::{Dataset, DatasetConfig, Sample};
 pub use graph::{EdgeType, NodeKind, QueryGraph};
 pub use model::{Pmm, PmmConfig};
-pub use server::{InferenceService, InferenceStats};
+pub use server::{BatchPolicy, InferenceService, InferenceStats};
 pub use train::{EvalReport, TrainConfig, Trainer};

@@ -73,6 +73,57 @@ struct Layers {
     head2: Linear,
 }
 
+/// Reusable packing buffers for [`Layers::forward_batch`].
+///
+/// One forward pass needs a dozen index vectors (node classes, edge
+/// buckets, candidate rows, …); holding them on the model lets every
+/// query reuse the previous query's capacity instead of reallocating.
+#[derive(Debug, Clone, Default)]
+struct GraphScratch {
+    class_idx: Vec<usize>,
+    target_rows: Vec<usize>,
+    tgt_owner: Vec<usize>,
+    inv_tcount: Vec<f32>,
+    sys_rows: Vec<usize>,
+    sys_idx: Vec<usize>,
+    arg_rows: Vec<usize>,
+    arg_kind_idx: Vec<usize>,
+    arg_slot_idx: Vec<usize>,
+    tok_idx: Vec<usize>,
+    tok_owner: Vec<usize>,
+    block_rows_tokens: Vec<(usize, usize)>,
+    cand_rows: Vec<usize>,
+    cand_graph: Vec<usize>,
+    cand_mask: Vec<f32>,
+    inv_deg: Vec<f32>,
+    by_type: Vec<(Vec<usize>, Vec<usize>)>,
+}
+
+impl GraphScratch {
+    fn clear(&mut self) {
+        self.class_idx.clear();
+        self.target_rows.clear();
+        self.tgt_owner.clear();
+        self.inv_tcount.clear();
+        self.sys_rows.clear();
+        self.sys_idx.clear();
+        self.arg_rows.clear();
+        self.arg_kind_idx.clear();
+        self.arg_slot_idx.clear();
+        self.tok_idx.clear();
+        self.tok_owner.clear();
+        self.block_rows_tokens.clear();
+        self.cand_rows.clear();
+        self.cand_graph.clear();
+        self.cand_mask.clear();
+        self.inv_deg.clear();
+        for (s, d) in &mut self.by_type {
+            s.clear();
+            d.clear();
+        }
+    }
+}
+
 /// The Program Mutation Model.
 #[derive(Debug, Clone)]
 pub struct Pmm {
@@ -81,6 +132,7 @@ pub struct Pmm {
     /// All trainable parameters.
     pub params: Params,
     layers: Layers,
+    scratch: GraphScratch,
 }
 
 impl Pmm {
@@ -112,6 +164,7 @@ impl Pmm {
             config,
             params,
             layers,
+            scratch: GraphScratch::default(),
         }
     }
 
@@ -135,33 +188,64 @@ impl Pmm {
         assert_eq!(labels.len(), graph.candidate_count());
         assert_eq!(weights.len(), graph.candidate_count());
         let layers = self.layers.clone();
+        let mut scratch = std::mem::take(&mut self.scratch);
         let mut tape = Tape::new(&mut self.params);
-        let logits = layers.forward(&mut tape, graph);
+        let logits = layers.forward_batch(&mut tape, &[graph], &mut scratch);
         let loss = tape.bce_with_logits(logits, labels, weights);
         let value = tape.value(loss).at(0, 0);
         tape.backward(loss);
+        drop(tape);
+        self.scratch = scratch;
         value
     }
 
     /// Scores a query, returning `(location, probability)` pairs sorted
     /// by descending probability.
     pub fn predict(&mut self, graph: &QueryGraph) -> Vec<(ArgLoc, f32)> {
-        if graph.candidates.is_empty() {
-            return Vec::new();
+        self.predict_batch(std::slice::from_ref(graph))
+            .pop()
+            .expect("one result per graph")
+    }
+
+    /// Scores several queries in one packed forward pass.
+    ///
+    /// The graphs are stacked as a disjoint union (node rows offset per
+    /// graph, per-graph target pooling and candidate masking), so every
+    /// row of the computation sees exactly the values it would see
+    /// alone: the returned scores are bit-identical to calling
+    /// [`Pmm::predict`] per graph, while amortizing tape and matmul
+    /// overhead across the batch.
+    pub fn predict_batch(&mut self, graphs: &[QueryGraph]) -> Vec<Vec<(ArgLoc, f32)>> {
+        let live: Vec<&QueryGraph> = graphs.iter().filter(|g| !g.candidates.is_empty()).collect();
+        if live.is_empty() {
+            return graphs.iter().map(|_| Vec::new()).collect();
         }
         let layers = self.layers.clone();
+        let mut scratch = std::mem::take(&mut self.scratch);
         let mut tape = Tape::new(&mut self.params);
-        let logits = layers.forward(&mut tape, graph);
+        let logits = layers.forward_batch(&mut tape, &live, &mut scratch);
         let probs = tape.sigmoid(logits);
-        let m = tape.value(probs);
-        let mut out: Vec<(ArgLoc, f32)> = graph
-            .candidates
+        let flat: Vec<f32> = tape.value(probs).data().to_vec();
+        drop(tape);
+        self.scratch = scratch;
+
+        let mut row = 0usize;
+        graphs
             .iter()
-            .enumerate()
-            .map(|(i, (_, loc))| (loc.clone(), m.at(i, 0)))
-            .collect();
-        out.sort_by(|a, b| b.1.total_cmp(&a.1));
-        out
+            .map(|g| {
+                let mut scored: Vec<(ArgLoc, f32)> = g
+                    .candidates
+                    .iter()
+                    .map(|(_, loc)| {
+                        let p = flat[row];
+                        row += 1;
+                        (loc.clone(), p)
+                    })
+                    .collect();
+                scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+                scored
+            })
+            .collect()
     }
 
     /// Selects the predicted MUTATE set: all candidates with probability
@@ -203,107 +287,143 @@ impl Pmm {
 }
 
 impl Layers {
-    /// Runs a forward pass on `tape`, returning the logits
-    /// (`candidate_count × 1`, aligned with `graph.candidates`).
-    fn forward(&self, tape: &mut Tape<'_>, graph: &QueryGraph) -> Var {
-        let n = graph.node_count();
+    /// Runs one packed forward pass over a batch of graphs, returning
+    /// the logits (`Σ candidate_count × 1`, graphs in order, each
+    /// graph's candidates in its own order).
+    ///
+    /// The batch is a disjoint union: node rows are offset per graph,
+    /// every tape op used here is row-local (or indexed through
+    /// per-graph index lists), and the target readout pools per graph,
+    /// so each graph's logits are bit-identical to a batch of one.
+    fn forward_batch(
+        &self,
+        tape: &mut Tape<'_>,
+        graphs: &[&QueryGraph],
+        scratch: &mut GraphScratch,
+    ) -> Var {
+        scratch.clear();
+        if scratch.by_type.is_empty() {
+            scratch.by_type = vec![(Vec::new(), Vec::new()); EdgeType::COUNT];
+        }
+        let n: usize = graphs.iter().map(|g| g.node_count()).sum();
+        let g_count = graphs.len();
 
-        // ---- Initial node features. -------------------------------------
-        let mut class_idx = Vec::with_capacity(n);
-        let mut target_rows: Vec<usize> = Vec::new();
-        for (i, node) in graph.nodes.iter().enumerate() {
-            class_idx.push(match node {
-                NodeKind::Syscall { .. } => 0usize,
-                NodeKind::Arg { .. } => 1,
-                NodeKind::Block { covered: true, .. } => 2,
-                NodeKind::Block {
-                    covered: false,
-                    target,
-                    ..
-                } => {
-                    if *target {
-                        target_rows.push(i);
+        // ---- Pack node features, edges, targets, candidates. -----------
+        let mut tcount = vec![0usize; g_count];
+        let mut base = 0usize;
+        for (gi, graph) in graphs.iter().enumerate() {
+            for (i, node) in graph.nodes.iter().enumerate() {
+                let row = base + i;
+                scratch.class_idx.push(match node {
+                    NodeKind::Syscall { variant } => {
+                        scratch.sys_rows.push(row);
+                        scratch
+                            .sys_idx
+                            .push((*variant as usize).min(self.syscall_count - 1));
+                        0usize
                     }
-                    3
-                }
-            });
-        }
-        let mut h = self.class_emb.lookup(tape, &class_idx);
-        if !target_rows.is_empty() {
-            let tflag = self
-                .class_emb
-                .lookup(tape, &vec![TARGET_CLASS; target_rows.len()]);
-            let scattered = tape.scatter_add_rows(tflag, &target_rows, n);
-            h = tape.add(h, scattered);
-        }
-
-        let mut sys_rows = Vec::new();
-        let mut sys_idx = Vec::new();
-        let mut arg_rows = Vec::new();
-        let mut arg_kind_idx = Vec::new();
-        let mut arg_slot_idx = Vec::new();
-        let mut tok_idx = Vec::new();
-        let mut tok_owner = Vec::new();
-        let mut block_rows_tokens: Vec<(usize, usize)> = Vec::new();
-        for (i, node) in graph.nodes.iter().enumerate() {
-            match node {
-                NodeKind::Syscall { variant } => {
-                    sys_rows.push(i);
-                    sys_idx.push((*variant as usize).min(self.syscall_count - 1));
-                }
-                NodeKind::Arg { kind_tag, slot, .. } => {
-                    arg_rows.push(i);
-                    arg_kind_idx.push(*kind_tag as usize % KIND_TAGS);
-                    arg_slot_idx.push(Tok::Slot(*slot).vocab_index());
-                }
-                NodeKind::Block { tokens, .. } => {
-                    if !tokens.is_empty() {
-                        block_rows_tokens.push((i, tokens.len()));
-                        for t in tokens {
-                            tok_idx.push(t.vocab_index());
-                            tok_owner.push(i);
+                    NodeKind::Arg { kind_tag, slot, .. } => {
+                        scratch.arg_rows.push(row);
+                        scratch.arg_kind_idx.push(*kind_tag as usize % KIND_TAGS);
+                        scratch.arg_slot_idx.push(Tok::Slot(*slot).vocab_index());
+                        1
+                    }
+                    NodeKind::Block {
+                        covered,
+                        target,
+                        tokens,
+                        ..
+                    } => {
+                        if !tokens.is_empty() {
+                            scratch.block_rows_tokens.push((row, tokens.len()));
+                            for t in tokens {
+                                scratch.tok_idx.push(t.vocab_index());
+                                scratch.tok_owner.push(row);
+                            }
+                        }
+                        if *covered {
+                            2
+                        } else {
+                            if *target {
+                                scratch.target_rows.push(row);
+                                scratch.tgt_owner.push(gi);
+                                tcount[gi] += 1;
+                            }
+                            3
                         }
                     }
-                }
+                });
             }
+            for (s, dst, t) in &graph.edges {
+                scratch.by_type[t.index()].0.push(base + *s as usize);
+                scratch.by_type[t.index()].1.push(base + *dst as usize);
+            }
+            // `tcount[gi]` is final here: candidates are packed after
+            // this graph's node loop.
+            for (i, _) in &graph.candidates {
+                scratch.cand_rows.push(base + *i as usize);
+                scratch.cand_graph.push(gi);
+                scratch
+                    .cand_mask
+                    .push(if tcount[gi] > 0 { 1.0 } else { 0.0 });
+            }
+            base += graph.node_count();
         }
-        if !sys_rows.is_empty() {
-            let e = self.sys_emb.lookup(tape, &sys_idx);
-            let s = tape.scatter_add_rows(e, &sys_rows, n);
-            h = tape.add(h, s);
-        }
-        if !arg_rows.is_empty() {
-            let k = self.kind_emb.lookup(tape, &arg_kind_idx);
-            let s = self.tok_emb.lookup(tape, &arg_slot_idx);
-            let ks = tape.add(k, s);
-            let scattered = tape.scatter_add_rows(ks, &arg_rows, n);
+        scratch.inv_tcount.extend(
+            tcount
+                .iter()
+                .map(|&t| if t > 0 { 1.0 / t as f32 } else { 0.0 }),
+        );
+
+        // ---- Initial node features. -------------------------------------
+        let mut h = self.class_emb.lookup(tape, &scratch.class_idx);
+        if !scratch.target_rows.is_empty() {
+            let tflag = self
+                .class_emb
+                .lookup(tape, &vec![TARGET_CLASS; scratch.target_rows.len()]);
+            let scattered = tape.scatter_add_rows(tflag, &scratch.target_rows, n);
             h = tape.add(h, scattered);
         }
-        if !tok_idx.is_empty() {
-            let encoded = self.encode_blocks(tape, &tok_idx, &tok_owner, &block_rows_tokens, n);
+        if !scratch.sys_rows.is_empty() {
+            let e = self.sys_emb.lookup(tape, &scratch.sys_idx);
+            let s = tape.scatter_add_rows(e, &scratch.sys_rows, n);
+            h = tape.add(h, s);
+        }
+        if !scratch.arg_rows.is_empty() {
+            let k = self.kind_emb.lookup(tape, &scratch.arg_kind_idx);
+            let s = self.tok_emb.lookup(tape, &scratch.arg_slot_idx);
+            let ks = tape.add(k, s);
+            let scattered = tape.scatter_add_rows(ks, &scratch.arg_rows, n);
+            h = tape.add(h, scattered);
+        }
+        if !scratch.tok_idx.is_empty() {
+            let encoded = self.encode_blocks(
+                tape,
+                &scratch.tok_idx,
+                &scratch.tok_owner,
+                &scratch.block_rows_tokens,
+                n,
+            );
             h = tape.add(h, encoded);
         }
         h = tape.rms_norm_rows(h);
 
         // ---- Relational message passing. ----------------------------------
-        let mut by_type: Vec<(Vec<usize>, Vec<usize>)> =
-            vec![(Vec::new(), Vec::new()); EdgeType::COUNT];
         let mut indeg = vec![0f32; n];
-        for (s, dst, t) in &graph.edges {
-            by_type[t.index()].0.push(*s as usize);
-            by_type[t.index()].1.push(*dst as usize);
-            indeg[*dst as usize] += 1.0;
+        for (_, dsts) in scratch.by_type.iter() {
+            for &d in dsts {
+                indeg[d] += 1.0;
+            }
         }
-        let inv_deg: Vec<f32> = indeg
-            .iter()
-            .map(|&x| if x > 0.0 { 1.0 / x } else { 0.0 })
-            .collect();
+        scratch
+            .inv_deg
+            .extend(indeg.iter().map(|&x| if x > 0.0 { 1.0 / x } else { 0.0 }));
 
         let h0 = h;
         for _ in 0..self.config.rounds {
             let mut total = self.self_w.apply(tape, h);
             let mut agg: Option<Var> = None;
-            for (t, (srcs, dsts)) in by_type.iter().enumerate() {
+            for (t, (srcs, dsts)) in scratch.by_type.iter().enumerate() {
                 if srcs.is_empty() {
                     continue;
                 }
@@ -316,7 +436,7 @@ impl Layers {
                 });
             }
             if let Some(a) = agg {
-                let normed = tape.scale_rows(a, &inv_deg);
+                let normed = tape.scale_rows(a, &scratch.inv_deg);
                 total = tape.add(total, normed);
             }
             let activated = tape.relu(total);
@@ -328,29 +448,35 @@ impl Layers {
 
         // ---- Scoring head over candidate argument vertices. -----------------
         // Each candidate is scored from its own embedding plus its
-        // interaction with a pooled summary of the target vertices (a
-        // standard conditioned readout: the MUTATE decision depends on
-        // *which* coverage is desired, not just on the argument).
-        let cand_rows: Vec<usize> = graph.candidates.iter().map(|(i, _)| *i as usize).collect();
-        let cand = tape.gather_rows(h, &cand_rows);
+        // interaction with a pooled summary of its *own graph's* target
+        // vertices (a standard conditioned readout: the MUTATE decision
+        // depends on *which* coverage is desired, not just on the
+        // argument). Candidates of graphs with no targets have the
+        // interaction terms masked to exact zero — the single-graph
+        // no-target pass adds nothing, and neither may the batch.
+        let cand = tape.gather_rows(h, &scratch.cand_rows);
         let mut z = self.head1.apply(tape, cand);
-        if !target_rows.is_empty() {
+        if !scratch.target_rows.is_empty() {
             // Final-state interaction: candidate ⊙ pooled target.
-            let tsel = tape.gather_rows(h, &target_rows);
-            let tpool = tape.mean_rows(tsel);
-            let tb = tape.gather_rows(tpool, &vec![0; cand_rows.len()]);
+            let tsel = tape.gather_rows(h, &scratch.target_rows);
+            let tsum = tape.scatter_add_rows(tsel, &scratch.tgt_owner, g_count);
+            let tpool = tape.scale_rows(tsum, &scratch.inv_tcount);
+            let tb = tape.gather_rows(tpool, &scratch.cand_graph);
             let interact = tape.mul(cand, tb);
             let zt = self.head_t.apply(tape, interact);
+            let zt = tape.scale_rows(zt, &scratch.cand_mask);
             z = tape.add(z, zt);
             // Initial-feature interaction: the raw slot/type embeddings
             // of candidate and targets, before message passing mixes
             // them — the shortest path for slot matching.
-            let cand0 = tape.gather_rows(h0, &cand_rows);
-            let tsel0 = tape.gather_rows(h0, &target_rows);
-            let tpool0 = tape.mean_rows(tsel0);
-            let tb0 = tape.gather_rows(tpool0, &vec![0; cand_rows.len()]);
+            let cand0 = tape.gather_rows(h0, &scratch.cand_rows);
+            let tsel0 = tape.gather_rows(h0, &scratch.target_rows);
+            let tsum0 = tape.scatter_add_rows(tsel0, &scratch.tgt_owner, g_count);
+            let tpool0 = tape.scale_rows(tsum0, &scratch.inv_tcount);
+            let tb0 = tape.gather_rows(tpool0, &scratch.cand_graph);
             let interact0 = tape.mul(cand0, tb0);
             let zt0 = self.head_t0.apply(tape, interact0);
+            let zt0 = tape.scale_rows(zt0, &scratch.cand_mask);
             z = tape.add(z, zt0);
         }
         let z = tape.relu(z);
@@ -487,6 +613,56 @@ mod tests {
             .map(|i| model.params.grad(snowplow_mlcore::ParamId(i)).norm())
             .sum();
         assert!(total_grad > 0.0);
+    }
+
+    #[test]
+    fn predict_batch_matches_per_graph_predict_exactly() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let mut model = Pmm::new(
+            PmmConfig {
+                dim: 32,
+                rounds: 2,
+                ..PmmConfig::default()
+            },
+            kernel.registry().syscall_count(),
+        );
+
+        // A mixed-size batch: several real graphs, one with its targets
+        // stripped (no-target readout path), an empty graph, and a
+        // single-node graph with one candidate.
+        let mut graphs: Vec<QueryGraph> = (10..14).map(|s| graph_for(s, &kernel)).collect();
+        let mut untargeted = graph_for(14, &kernel);
+        for node in &mut untargeted.nodes {
+            if let NodeKind::Block { target, .. } = node {
+                *target = false;
+            }
+        }
+        graphs.push(untargeted);
+        graphs.push(QueryGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            candidates: Vec::new(),
+        });
+        graphs.push(QueryGraph {
+            nodes: vec![NodeKind::Arg {
+                kind_tag: 3,
+                slot: 17,
+                mutable: true,
+            }],
+            edges: Vec::new(),
+            candidates: vec![(0, ArgLoc::new(0, snowplow_syslang::ArgPath::root()))],
+        });
+
+        let batched = model.predict_batch(&graphs);
+        assert_eq!(batched.len(), graphs.len());
+        for (g, batch_scores) in graphs.iter().zip(&batched) {
+            let single = model.predict(g);
+            // Bit-exact equality, not approximate: the batch must be a
+            // true disjoint union.
+            assert_eq!(&single, batch_scores);
+        }
+        assert!(batched[5].is_empty(), "empty graph has no candidates");
+        assert_eq!(batched[6].len(), 1, "single-node graph scores its arg");
     }
 
     #[test]

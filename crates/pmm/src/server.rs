@@ -6,12 +6,18 @@
 //! receiver back — the fuzzer keeps mutating by other means while the
 //! localization is pending, exactly as §3.4 prescribes. The service
 //! tracks latency and throughput for the §5.5 measurements.
+//!
+//! Like torchserve, workers coalesce queued requests into one packed
+//! forward pass ([`Pmm::predict_batch`]): a worker drains up to
+//! [`BatchPolicy::max_batch`] requests, lingering briefly for stragglers
+//! once it holds at least one. Batching changes throughput and latency
+//! only — scores are bit-identical to serving each query alone.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use snowplow_prog::ArgLoc;
 
@@ -24,16 +30,43 @@ pub type Pending = Receiver<Vec<(ArgLoc, f32)>>;
 struct Request {
     graph: QueryGraph,
     respond: Sender<Vec<(ArgLoc, f32)>>,
+    enqueued: Instant,
 }
+
+/// How workers coalesce queued requests into batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest batch a worker packs into one forward pass.
+    pub max_batch: usize,
+    /// How long a worker holding at least one request waits for more
+    /// before running the batch.
+    pub linger: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 8,
+            linger: Duration::from_micros(500),
+        }
+    }
+}
+
+/// Cap on retained latency samples (enough for stable percentiles
+/// without unbounded growth on long campaigns).
+const MAX_LATENCY_SAMPLES: usize = 65_536;
 
 /// Aggregate serving statistics.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct InferenceStats {
     /// Queries served.
     pub served: u64,
+    /// Forward passes run (each serving one batch of queries).
+    pub batches: u64,
     /// Total wall-clock time spent in model forward passes.
     pub busy: Duration,
-    /// Total queue + service latency observed by clients.
+    /// Total queue + service latency observed by clients, summed over
+    /// queries (stamped at enqueue, recorded when the result is ready).
     pub latency: Duration,
 }
 
@@ -43,9 +76,24 @@ impl InferenceStats {
         if self.served == 0 {
             Duration::ZERO
         } else {
-            self.latency / self.served as u32
+            self.latency.div_f64(self.served as f64)
         }
     }
+
+    /// Mean queries per forward pass.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.batches as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ServiceState {
+    stats: InferenceStats,
+    latency_samples: Vec<Duration>,
 }
 
 /// A pool of inference workers, each owning a replica of the trained
@@ -54,33 +102,76 @@ impl InferenceStats {
 pub struct InferenceService {
     tx: Option<Sender<Request>>,
     workers: Vec<JoinHandle<()>>,
-    stats: Arc<Mutex<InferenceStats>>,
+    state: Arc<Mutex<ServiceState>>,
 }
 
 impl InferenceService {
-    /// Spawns `workers` threads, each with its own copy of `model`.
+    /// Spawns `workers` threads with the default [`BatchPolicy`].
     pub fn start(model: &Pmm, workers: usize) -> InferenceService {
+        InferenceService::start_with_policy(model, workers, BatchPolicy::default())
+    }
+
+    /// Spawns `workers` threads, each with its own copy of `model`,
+    /// coalescing requests according to `policy`.
+    pub fn start_with_policy(model: &Pmm, workers: usize, policy: BatchPolicy) -> InferenceService {
         let workers = workers.max(1);
+        let max_batch = policy.max_batch.max(1);
         let (tx, rx) = channel::unbounded::<Request>();
-        let stats = Arc::new(Mutex::new(InferenceStats::default()));
+        let state = Arc::new(Mutex::new(ServiceState::default()));
         let handles = (0..workers)
             .map(|_| {
                 let rx: Receiver<Request> = rx.clone();
                 let mut replica = model.clone();
-                let stats = Arc::clone(&stats);
+                let state = Arc::clone(&state);
                 std::thread::spawn(move || {
-                    while let Ok(req) = rx.recv() {
-                        let start = Instant::now();
-                        let result = replica.predict(&req.graph);
-                        let busy = start.elapsed();
-                        {
-                            let mut s = stats.lock();
-                            s.served += 1;
-                            s.busy += busy;
-                            s.latency += busy;
+                    while let Ok(first) = rx.recv() {
+                        let mut requests = Vec::with_capacity(max_batch);
+                        requests.push(first);
+                        // Drain-up-to-B with a short linger: collect
+                        // whatever is already queued, and once we hold a
+                        // request give stragglers `linger` to arrive.
+                        if max_batch > 1 {
+                            let deadline = Instant::now() + policy.linger;
+                            while requests.len() < max_batch {
+                                match rx.try_recv() {
+                                    Ok(r) => requests.push(r),
+                                    Err(TryRecvError::Empty) => {
+                                        if Instant::now() >= deadline {
+                                            break;
+                                        }
+                                        std::thread::yield_now();
+                                    }
+                                    Err(TryRecvError::Disconnected) => break,
+                                }
+                            }
                         }
-                        // The client may have given up; that's fine.
-                        let _ = req.respond.send(result);
+
+                        let mut graphs = Vec::with_capacity(requests.len());
+                        let mut replies = Vec::with_capacity(requests.len());
+                        for r in requests {
+                            graphs.push(r.graph);
+                            replies.push((r.respond, r.enqueued));
+                        }
+                        let start = Instant::now();
+                        let results = replica.predict_batch(&graphs);
+                        let done = Instant::now();
+                        {
+                            let mut st = state.lock();
+                            st.stats.served += graphs.len() as u64;
+                            st.stats.batches += 1;
+                            st.stats.busy += done - start;
+                            for (_, enqueued) in &replies {
+                                let lat = done.duration_since(*enqueued);
+                                st.stats.latency += lat;
+                                if st.latency_samples.len() < MAX_LATENCY_SAMPLES {
+                                    st.latency_samples.push(lat);
+                                }
+                            }
+                        }
+                        for ((respond, _), result) in replies.into_iter().zip(results) {
+                            // The client may have given up; that's fine.
+                            let _ = respond.send(result);
+                        }
                     }
                 })
             })
@@ -88,16 +179,21 @@ impl InferenceService {
         InferenceService {
             tx: Some(tx),
             workers: handles,
-            stats,
+            state,
         }
     }
 
     /// Submits a query asynchronously. The caller polls or blocks on the
     /// returned receiver whenever it is ready to apply the localization.
+    /// Latency accounting starts here, so queue wait is counted.
     pub fn submit(&self, graph: QueryGraph) -> Pending {
         let (respond, rx) = channel::bounded(1);
         if let Some(tx) = &self.tx {
-            let _ = tx.send(Request { graph, respond });
+            let _ = tx.send(Request {
+                graph,
+                respond,
+                enqueued: Instant::now(),
+            });
         }
         rx
     }
@@ -109,7 +205,21 @@ impl InferenceService {
 
     /// Snapshot of the serving statistics.
     pub fn stats(&self) -> InferenceStats {
-        *self.stats.lock()
+        self.state.lock().stats
+    }
+
+    /// The `q`-th latency percentile over retained samples (`q` in
+    /// `[0, 100]`), `Duration::ZERO` before any query completes.
+    pub fn latency_percentile(&self, q: f64) -> Duration {
+        let st = self.state.lock();
+        if st.latency_samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut samples = st.latency_samples.clone();
+        drop(st);
+        samples.sort_unstable();
+        let rank = ((q / 100.0) * (samples.len() - 1) as f64).round() as usize;
+        samples[rank.min(samples.len() - 1)]
     }
 
     /// Number of worker threads.
@@ -192,6 +302,79 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.served, 20);
         assert!(stats.mean_latency() > Duration::ZERO);
+        assert!(service.latency_percentile(95.0) >= stats.mean_latency() / 2);
+    }
+
+    #[test]
+    fn batched_serving_matches_direct_prediction() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let mut model = Pmm::new(
+            PmmConfig {
+                dim: 24,
+                rounds: 2,
+                ..PmmConfig::default()
+            },
+            kernel.registry().syscall_count(),
+        );
+        let service = InferenceService::start_with_policy(
+            &model,
+            1,
+            BatchPolicy {
+                max_batch: 8,
+                linger: Duration::from_millis(5),
+            },
+        );
+        let graphs: Vec<QueryGraph> = (0..12).map(|i| graph_for(i, &kernel)).collect();
+        let pendings: Vec<Pending> = graphs.iter().map(|g| service.submit(g.clone())).collect();
+        for (g, p) in graphs.iter().zip(pendings) {
+            let served = p.recv().expect("worker answers");
+            assert_eq!(model.predict(g), served, "batching must not change scores");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.served, 12);
+        assert!(
+            stats.batches <= stats.served,
+            "batches never exceed queries"
+        );
+        assert!(stats.batches >= 1);
+    }
+
+    #[test]
+    fn latency_counts_queue_wait_under_saturation() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let model = Pmm::new(
+            PmmConfig {
+                dim: 32,
+                rounds: 3,
+                ..PmmConfig::default()
+            },
+            kernel.registry().syscall_count(),
+        );
+        // One worker, no batching: 8 queued queries serialize, so the
+        // later ones wait in queue for the earlier ones' service time.
+        // Client-observed latency must therefore exceed pure model time.
+        let service = InferenceService::start_with_policy(
+            &model,
+            1,
+            BatchPolicy {
+                max_batch: 1,
+                linger: Duration::ZERO,
+            },
+        );
+        let pendings: Vec<Pending> = (0..8)
+            .map(|i| service.submit(graph_for(i, &kernel)))
+            .collect();
+        for p in pendings {
+            p.recv().expect("worker answers");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.served, 8);
+        assert!(
+            stats.latency > stats.busy,
+            "client latency ({:?}) must include queue wait beyond model busy time ({:?})",
+            stats.latency,
+            stats.busy
+        );
     }
 
     #[test]

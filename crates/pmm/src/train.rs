@@ -25,6 +25,10 @@ pub struct TrainConfig {
     pub threshold: f32,
     /// Shuffling seed.
     pub seed: u64,
+    /// Worker threads sharding example materialization and evaluation
+    /// (each evaluation worker runs its own model replica). Training
+    /// output is identical for any worker count.
+    pub workers: usize,
 }
 
 impl Default for TrainConfig {
@@ -36,6 +40,7 @@ impl Default for TrainConfig {
             pos_weight: 3.0,
             threshold: 0.5,
             seed: 0x7e57,
+            workers: 1,
         }
     }
 }
@@ -69,12 +74,15 @@ impl<'k> Trainer<'k> {
     /// validation F1 after each epoch.
     pub fn train(&self, model: &mut Pmm, dataset: &Dataset) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        // Materialize graphs once (deterministic, reused every epoch).
-        let train: Vec<(QueryGraph, Vec<f32>)> = dataset
-            .split_samples(Split::Train)
-            .iter()
-            .map(|s| dataset.build_example(self.kernel, s))
-            .collect();
+        // Materialize graphs once (deterministic — graph construction
+        // re-executes the base test, so shard it across workers; reused
+        // every epoch).
+        let train: Vec<(QueryGraph, Vec<f32>)> = snowplow_pool::scoped_map(
+            self.config.workers,
+            dataset.split_samples(Split::Train),
+            || (),
+            |_, _, s| dataset.build_example(self.kernel, s),
+        );
         let val: Vec<&Sample> = dataset.split_samples(Split::Validation);
         let mut adam = AdamConfig {
             lr: self.config.lr,
@@ -126,18 +134,26 @@ impl<'k> Trainer<'k> {
         dataset: &Dataset,
         samples: &[&Sample],
     ) -> EvalReport {
-        let mut per_example = Vec::with_capacity(samples.len());
-        for s in samples {
-            let (graph, labels) = dataset.build_example(self.kernel, s);
-            let predicted_locs = model.predict_set(&graph, self.config.threshold);
-            let predicted: Vec<bool> = graph
-                .candidates
-                .iter()
-                .map(|(_, loc)| predicted_locs.contains(loc))
-                .collect();
-            let truth: Vec<bool> = labels.iter().map(|&l| l > 0.5).collect();
-            per_example.push(BinaryMetrics::of_sets(&predicted, &truth));
-        }
+        // Evaluation is read-only on the weights: each worker scores
+        // with its own replica, and prediction is deterministic, so the
+        // metrics are identical for any worker count.
+        let shared: &Pmm = model;
+        let per_example = snowplow_pool::scoped_map(
+            self.config.workers,
+            samples.to_vec(),
+            || shared.clone(),
+            |replica, _, s| {
+                let (graph, labels) = dataset.build_example(self.kernel, s);
+                let predicted_locs = replica.predict_set(&graph, self.config.threshold);
+                let predicted: Vec<bool> = graph
+                    .candidates
+                    .iter()
+                    .map(|(_, loc)| predicted_locs.contains(loc))
+                    .collect();
+                let truth: Vec<bool> = labels.iter().map(|&l| l > 0.5).collect();
+                BinaryMetrics::of_sets(&predicted, &truth)
+            },
+        );
         EvalReport {
             metrics: BinaryMetrics::mean(per_example),
         }
@@ -233,6 +249,7 @@ mod tests {
                 max_calls: 5,
                 popularity_cap: 30,
                 seed: 3,
+                workers: 1,
             },
         );
         assert!(
@@ -282,6 +299,7 @@ mod tests {
                 max_calls: 5,
                 popularity_cap: 30,
                 seed: 5,
+                workers: 1,
             },
         );
         let trainer = Trainer::new(

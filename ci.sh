@@ -1,9 +1,26 @@
 #!/usr/bin/env bash
 # Repository CI gate: formatting, lints, and the full test suite.
 # Run from the workspace root. Fails fast on the first violation.
+#
+#   ./ci.sh         fmt + clippy + tests + benches compile
+#   ./ci.sh bench   the above, then the bench-regression guard:
+#                   regenerates BENCH_perf.json with perf_sec55 and
+#                   fails if any guarded metric (matmul GFLOP/s,
+#                   fuzzing ratio, harvest scaling) drops >20% below
+#                   the committed baseline.
 set -euo pipefail
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
 cargo bench --workspace --no-run
+
+if [[ "${1:-}" == "bench" ]]; then
+    baseline="$(mktemp -t bench_baseline.XXXXXX.json)"
+    trap 'rm -f "$baseline"' EXIT
+    cp BENCH_perf.json "$baseline"
+    cargo build --release -q -p snowplow-bench
+    mkdir -p results
+    ./target/release/perf_sec55 | tee results/perf_sec55.txt
+    ./target/release/bench_guard "$baseline" BENCH_perf.json
+fi

@@ -45,7 +45,7 @@ fn bench_graph_build(c: &mut Criterion) {
     let prog = generator.generate(&mut rng, 6);
     let mut vm = Vm::new(&kernel);
     let exec = vm.execute(&prog);
-    let frontier = kernel.cfg().alternative_entries(exec.coverage().as_set());
+    let frontier = kernel.cfg().alternative_entries(&exec.coverage());
     let targets = &frontier[..frontier.len().min(6)];
     c.bench_function("graph_build", |b| {
         b.iter(|| QueryGraph::build(&kernel, &prog, &exec, targets).node_count())
@@ -59,7 +59,7 @@ fn bench_pmm_inference(c: &mut Criterion) {
     let prog = generator.generate(&mut rng, 6);
     let mut vm = Vm::new(&kernel);
     let exec = vm.execute(&prog);
-    let frontier = kernel.cfg().alternative_entries(exec.coverage().as_set());
+    let frontier = kernel.cfg().alternative_entries(&exec.coverage());
     let graph = QueryGraph::build(&kernel, &prog, &exec, &frontier[..frontier.len().min(6)]);
     let mut model = Pmm::new(PmmConfig::default(), kernel.registry().syscall_count());
     c.bench_function("pmm_inference", |b| b.iter(|| model.predict(&graph).len()));
@@ -72,7 +72,7 @@ fn bench_train_step(c: &mut Criterion) {
     let prog = generator.generate(&mut rng, 6);
     let mut vm = Vm::new(&kernel);
     let exec = vm.execute(&prog);
-    let frontier = kernel.cfg().alternative_entries(exec.coverage().as_set());
+    let frontier = kernel.cfg().alternative_entries(&exec.coverage());
     let graph = QueryGraph::build(&kernel, &prog, &exec, &frontier[..frontier.len().min(6)]);
     let labels: Vec<f32> = (0..graph.candidate_count())
         .map(|i| if i % 9 == 0 { 1.0 } else { 0.0 })
@@ -124,7 +124,7 @@ fn bench_predict_batch(c: &mut Criterion) {
         .map(|_| {
             let prog = generator.generate(&mut rng, 6);
             let exec = vm.execute(&prog);
-            let frontier = kernel.cfg().alternative_entries(exec.coverage().as_set());
+            let frontier = kernel.cfg().alternative_entries(&exec.coverage());
             QueryGraph::build(&kernel, &prog, &exec, &frontier[..frontier.len().min(6)])
         })
         .collect();
@@ -134,6 +134,50 @@ fn bench_predict_batch(c: &mut Criterion) {
     });
     c.bench_function("predict_batch_of_8", |b| {
         b.iter(|| model.predict_batch(&graphs).len())
+    });
+}
+
+fn bench_frontier_query(c: &mut Criterion) {
+    // The per-iteration cost the campaign's frontier cache amortizes:
+    // walking covered blocks and collecting uncovered successors.
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let generator = Generator::new(kernel.registry());
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut vm = Vm::new(&kernel);
+    let snap = vm.snapshot();
+    let mut cov = snowplow_core::Coverage::new();
+    for _ in 0..32 {
+        let prog = generator.generate(&mut rng, 6);
+        vm.restore(&snap);
+        vm.execute(&prog).merge_coverage_into(&mut cov);
+    }
+    c.bench_function("frontier_query", |b| {
+        b.iter(|| kernel.cfg().alternative_entries(&cov).len())
+    });
+}
+
+fn bench_coverage_merge(c: &mut Criterion) {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let generator = Generator::new(kernel.registry());
+    let mut rng = StdRng::seed_from_u64(10);
+    let mut vm = Vm::new(&kernel);
+    let snap = vm.snapshot();
+    let execs: Vec<_> = (0..32)
+        .map(|_| {
+            let prog = generator.generate(&mut rng, 6);
+            vm.restore(&snap);
+            vm.execute(&prog)
+        })
+        .collect();
+    let mut blocks = snowplow_core::Coverage::new();
+    let mut edges = snowplow_core::EdgeSet::new();
+    let mut i = 0;
+    c.bench_function("coverage_merge", |b| {
+        b.iter(|| {
+            let e = &execs[i % execs.len()];
+            i += 1;
+            e.merge_coverage_into(&mut blocks) + e.merge_edges_into(&mut edges)
+        })
     });
 }
 
@@ -169,6 +213,8 @@ criterion_group!(
     bench_train_step,
     bench_matmul,
     bench_predict_batch,
+    bench_frontier_query,
+    bench_coverage_merge,
     bench_lint,
     bench_dead_block_analysis
 );

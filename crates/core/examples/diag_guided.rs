@@ -59,7 +59,7 @@ fn main() {
             }
         }
         // guided channel
-        let frontier = kernel.cfg().alternative_entries(exec.coverage().as_set());
+        let frontier = kernel.cfg().alternative_entries(&exec.coverage());
         let mut wanted: Vec<_> = frontier
             .iter()
             .copied()

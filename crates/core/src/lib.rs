@@ -27,8 +27,8 @@
 //! ```
 
 pub use snowplow_kernel::{
-    BlockId, BugId, BugInfo, BugRegistry, Coverage, CrashCategory, CrashInfo, EdgeSet, Effect,
-    ExecResult, Kernel, KernelVersion, Terminator, Vm,
+    BlockId, BugId, BugInfo, BugRegistry, Coverage, CrashCategory, CrashInfo, Edge, EdgeSet,
+    Effect, ExecResult, Kernel, KernelVersion, Terminator, Vm,
 };
 pub use snowplow_pmm::dataset::{Dataset, DatasetConfig, Split};
 pub use snowplow_pmm::model::{Pmm, PmmConfig};
@@ -156,7 +156,7 @@ mod tests {
         let prog = snowplow_prog::gen::Generator::new(kernel.registry()).generate(&mut rng, 4);
         let mut vm = Vm::new(&kernel);
         let exec = vm.execute(&prog);
-        let frontier = kernel.cfg().alternative_entries(exec.coverage().as_set());
+        let frontier = kernel.cfg().alternative_entries(&exec.coverage());
         let graph = snowplow_pmm::graph::QueryGraph::build(
             &kernel,
             &prog,

@@ -14,7 +14,7 @@ use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
 use rand::prelude::*;
-use snowplow_kernel::{BlockId, Coverage, EdgeSet, Kernel, Vm};
+use snowplow_kernel::{BlockId, Coverage, EdgeSet, ExecResult, Kernel, Vm};
 use snowplow_pmm::graph::QueryGraph;
 use snowplow_pmm::model::Pmm;
 use snowplow_prog::gen::Generator;
@@ -70,6 +70,20 @@ pub struct CampaignConfig {
     /// seed program draws from its own RNG stream and results merge in
     /// program order, so the report is identical for any worker count.
     pub workers: usize,
+    /// Maximum PMM queries in flight at once (Snowplow mode): while the
+    /// queue is full no new query is submitted and the stock random
+    /// localizer carries the loop, mirroring the paper's bounded
+    /// inference concurrency.
+    pub max_pending_predictions: usize,
+    /// §3.4's dynamic budget multiplier: a cached prediction with `n`
+    /// locations is used for `n * guided_use_multiplier` (at least
+    /// `guided_use_multiplier`) argument mutations before expiring.
+    pub guided_use_multiplier: usize,
+    /// Enables the hot-loop caches (per-entry frontier lists keyed on a
+    /// global coverage epoch; memoized graph build + prediction per
+    /// (base, target-set) key). Reports are bit-identical either way —
+    /// the flag exists so the golden-equivalence tests can prove it.
+    pub hot_caches: bool,
 }
 
 impl Default for CampaignConfig {
@@ -87,6 +101,9 @@ impl Default for CampaignConfig {
             sample_every: Duration::from_secs(30 * 60),
             seed: 0,
             workers: 1,
+            max_pending_predictions: 8,
+            guided_use_multiplier: 4,
+            hot_caches: true,
         }
     }
 }
@@ -146,6 +163,24 @@ struct PendingPrediction {
     locs: Vec<ArgLoc>,
 }
 
+/// Cached frontier state of one corpus entry (Snowplow hot loop).
+///
+/// `eligible` is the entry's one-hop frontier intersected with the
+/// statically-eligible predicate (not dead, argument-gated) — fixed for
+/// the entry's lifetime because admitted entries are immutable.
+/// `wanted` additionally filters out globally-covered blocks and is
+/// valid while the campaign's coverage epoch equals `epoch`.
+struct EntryFrontier {
+    eligible: Vec<BlockId>,
+    epoch: u64,
+    wanted: Vec<BlockId>,
+}
+
+/// Bound on memoized (base, target-set) predictions; the memo clears
+/// and refills when full (deterministically — the cap only trades reuse
+/// for memory).
+const PRED_MEMO_CAP: usize = 1 << 14;
+
 /// A runnable fuzzing campaign.
 pub struct Campaign<'k> {
     kernel: &'k Kernel,
@@ -191,6 +226,10 @@ impl<'k> Campaign<'k> {
         let mut next_sample = Duration::ZERO;
         let exec_cost = Duration::from_secs_f64(cfg.exec_cost.as_secs_f64() / cfg.speed_factor);
 
+        // Zero-alloc execute path: the trace buffers in `buf` and the
+        // VM's internal scratch are reused across iterations, and edge/
+        // block coverage merges straight from the trace without
+        // materializing per-execution temporary sets.
         let execute = |prog: &Prog,
                        vm: &mut Vm<'_>,
                        clock: &mut VirtualClock,
@@ -198,19 +237,20 @@ impl<'k> Campaign<'k> {
                        blocks: &mut Coverage,
                        crashes: &mut CrashLog,
                        corpus: &mut Corpus,
-                       execs: &mut u64|
+                       execs: &mut u64,
+                       buf: &mut ExecResult|
          -> usize {
             vm.restore(&snapshot);
-            let result = vm.execute(prog);
+            vm.execute_into(prog, buf);
             *execs += 1;
             clock.advance(exec_cost);
-            let new_edges = edges.merge(&result.edges());
-            blocks.merge(&result.coverage());
-            if let Some(crash) = &result.crash {
+            let new_edges = buf.merge_edges_into(edges);
+            buf.merge_coverage_into(blocks);
+            if let Some(crash) = &buf.crash {
                 crashes.record(crash, prog, clock.now());
             }
             if new_edges > 0 {
-                corpus.add_checked(reg, prog.clone(), &result, new_edges);
+                corpus.add_checked(reg, prog.clone(), buf, new_edges);
             }
             new_edges
         };
@@ -252,8 +292,8 @@ impl<'k> Campaign<'k> {
         for (p, result) in seed_runs {
             execs += 1;
             clock.advance(exec_cost);
-            let new_edges = edges.merge(&result.edges());
-            blocks.merge(&result.coverage());
+            let new_edges = result.merge_edges_into(&mut edges);
+            result.merge_coverage_into(&mut blocks);
             if let Some(crash) = &result.crash {
                 crashes.record(crash, &p, clock.now());
             }
@@ -262,6 +302,21 @@ impl<'k> Campaign<'k> {
             }
             attribution.generation += new_edges;
         }
+
+        // ---- Hot-loop caches (Snowplow). -------------------------------------
+        // All cached values are pure functions of campaign state: they
+        // change nothing observable (see DESIGN.md §8 and the golden-
+        // equivalence tests below). `epoch` advances whenever global
+        // block coverage grows, invalidating the per-entry `wanted`
+        // filters; the prediction memo is epoch-independent because a
+        // query graph depends only on the (immutable) entry and the
+        // chosen target set.
+        let mut exec_buf = ExecResult::default();
+        let mut frontier_cache: HashMap<usize, EntryFrontier> = HashMap::new();
+        let mut pred_memo: HashMap<(usize, Vec<BlockId>), Vec<ArgLoc>> = HashMap::new();
+        let mut epoch: u64 = 0;
+        let mut blocks_at_epoch: usize = blocks.len();
+        let mut wanted_buf: Vec<BlockId> = Vec::new();
 
         // ---- Main loop (Figure 1). ------------------------------------------
         while clock.now() < cfg.duration {
@@ -284,7 +339,9 @@ impl<'k> Campaign<'k> {
                     // §3.4's dynamic budget: a base with more predicted
                     // arguments gets proportionally more argument
                     // mutations before the prediction expires.
-                    let uses = (p.locs.len() * 4).max(4);
+                    let uses = (p.locs.len() * cfg.guided_use_multiplier)
+                        .max(cfg.guided_use_multiplier)
+                        .max(1);
                     ready.insert(p.base, (p.locs, uses));
                 }
             }
@@ -301,14 +358,14 @@ impl<'k> Campaign<'k> {
                     &mut crashes,
                     &mut corpus,
                     &mut execs,
+                    &mut exec_buf,
                 );
                 continue;
             };
-            let base = corpus.entry(base_idx).prog.clone();
 
             match &mut self.kind {
                 FuzzerKind::Syzkaller => {
-                    let (mutant, outcome) = mutator.mutate(&mut rng, &base);
+                    let (mutant, outcome) = mutator.mutate(&mut rng, &corpus.entry(base_idx).prog);
                     let gained = execute(
                         &mutant,
                         &mut vm,
@@ -318,6 +375,7 @@ impl<'k> Campaign<'k> {
                         &mut crashes,
                         &mut corpus,
                         &mut execs,
+                        &mut exec_buf,
                     );
                     if outcome.ty == snowplow_prog::MutationType::ArgumentMutation {
                         attribution.random_args += gained;
@@ -331,33 +389,115 @@ impl<'k> Campaign<'k> {
                     // the result arrives after the inference latency;
                     // meanwhile mutation continues below).
                     let in_flight = pending.iter().any(|p| p.base == base_idx);
-                    if !ready.contains_key(&base_idx) && !in_flight && pending.len() < 8 {
-                        let exec = corpus.entry(base_idx).exec.clone();
+                    if !ready.contains_key(&base_idx)
+                        && !in_flight
+                        && pending.len() < cfg.max_pending_predictions
+                    {
                         // Desired targets: frontier blocks of the base
                         // that the campaign has not covered at all yet.
-                        let frontier = kernel.cfg().alternative_entries(exec.coverage().as_set());
-                        let mut wanted: Vec<BlockId> = frontier
-                            .iter()
-                            .copied()
-                            .filter(|b| {
-                                !blocks.contains(*b)
-                                    && !dead_blocks.contains(b)
-                                    && kernel.cfg().arg_gated(kernel.blocks(), *b)
-                            })
-                            .collect();
-                        if !wanted.is_empty() {
-                            wanted.shuffle(&mut rng);
-                            wanted.truncate(cfg.targets_per_query);
-                            let graph = QueryGraph::build(kernel, &base, &exec, &wanted);
+                        // The eligible frontier (not dead, arg-gated)
+                        // is fixed per entry; the global-coverage
+                        // filter is re-applied only when coverage grew
+                        // since the cached epoch.
+                        if blocks.len() != blocks_at_epoch {
+                            epoch += 1;
+                            blocks_at_epoch = blocks.len();
+                        }
+                        wanted_buf.clear();
+                        if cfg.hot_caches {
+                            let ent = frontier_cache.entry(base_idx).or_insert_with(|| {
+                                let entry = corpus.entry(base_idx);
+                                let eligible: Vec<BlockId> = kernel
+                                    .cfg()
+                                    .alternative_entries(&entry.coverage)
+                                    .into_iter()
+                                    .filter(|b| {
+                                        !dead_blocks.contains(b)
+                                            && kernel.cfg().arg_gated(kernel.blocks(), *b)
+                                    })
+                                    .collect();
+                                EntryFrontier {
+                                    eligible,
+                                    epoch: u64::MAX,
+                                    wanted: Vec::new(),
+                                }
+                            });
+                            if ent.epoch != epoch {
+                                ent.wanted.clear();
+                                ent.wanted.extend(
+                                    ent.eligible
+                                        .iter()
+                                        .copied()
+                                        .filter(|b| !blocks.contains(*b)),
+                                );
+                                ent.epoch = epoch;
+                            }
+                            wanted_buf.extend_from_slice(&ent.wanted);
+                        } else {
+                            let entry = corpus.entry(base_idx);
+                            wanted_buf.extend(
+                                kernel
+                                    .cfg()
+                                    .alternative_entries(&entry.coverage)
+                                    .into_iter()
+                                    .filter(|b| {
+                                        !blocks.contains(*b)
+                                            && !dead_blocks.contains(b)
+                                            && kernel.cfg().arg_gated(kernel.blocks(), *b)
+                                    }),
+                            );
+                        }
+                        if !wanted_buf.is_empty() {
+                            wanted_buf.shuffle(&mut rng);
+                            wanted_buf.truncate(cfg.targets_per_query);
                             // Top-K localization: everything above the
                             // threshold, padded to at least `top_k` by
                             // rank (the paper's PMM outputs a set whose
                             // size scales the mutation budget).
-                            let scored = model.predict(&graph);
-                            let above = scored.iter().filter(|(_, p)| *p >= cfg.threshold).count();
-                            let keep = above.max(cfg.top_k).min(scored.len());
-                            let locs: Vec<ArgLoc> =
-                                scored.into_iter().take(keep).map(|(l, _)| l).collect();
+                            let rank = |scored: Vec<(ArgLoc, f32)>| -> Vec<ArgLoc> {
+                                let above =
+                                    scored.iter().filter(|(_, p)| *p >= cfg.threshold).count();
+                                let keep = above.max(cfg.top_k).min(scored.len());
+                                scored.into_iter().take(keep).map(|(l, _)| l).collect()
+                            };
+                            let locs = if cfg.hot_caches {
+                                // The graph (and therefore the ranked
+                                // prediction) depends only on the entry
+                                // and the target *set* — `QueryGraph::
+                                // build` reads targets through a set —
+                                // so a sorted key memoizes exactly.
+                                let mut key = wanted_buf.clone();
+                                key.sort_unstable();
+                                if pred_memo.len() >= PRED_MEMO_CAP {
+                                    pred_memo.clear();
+                                }
+                                match pred_memo.entry((base_idx, key)) {
+                                    std::collections::hash_map::Entry::Occupied(hit) => {
+                                        hit.get().clone()
+                                    }
+                                    std::collections::hash_map::Entry::Vacant(slot) => {
+                                        let entry = corpus.entry(base_idx);
+                                        let graph = QueryGraph::build(
+                                            kernel,
+                                            &entry.prog,
+                                            &entry.exec,
+                                            &wanted_buf,
+                                        );
+                                        let locs = rank(model.predict(&graph));
+                                        slot.insert(locs.clone());
+                                        locs
+                                    }
+                                }
+                            } else {
+                                let entry = corpus.entry(base_idx);
+                                let graph = QueryGraph::build(
+                                    kernel,
+                                    &entry.prog,
+                                    &entry.exec,
+                                    &wanted_buf,
+                                );
+                                rank(model.predict(&graph))
+                            };
                             inferences += 1;
                             pending.push_back(PendingPrediction {
                                 base: base_idx,
@@ -375,7 +515,7 @@ impl<'k> Campaign<'k> {
                     let m_type = {
                         let mut selector = snowplow_prog::WeightedSelector::default();
                         use snowplow_prog::Selector as _;
-                        selector.select(&mut rng, &base)
+                        selector.select(&mut rng, &corpus.entry(base_idx).prog)
                     };
                     match m_type {
                         snowplow_prog::MutationType::ArgumentMutation => {
@@ -390,13 +530,16 @@ impl<'k> Campaign<'k> {
                                 }
                                 None => None,
                             };
-                            let (mutant, applied) = match &guided {
-                                Some(loc) => mutator.mutate_arguments(
-                                    &mut rng,
-                                    &base,
-                                    Some(std::slice::from_ref(loc)),
-                                ),
-                                None => mutator.mutate_arguments(&mut rng, &base, None),
+                            let (mutant, applied) = {
+                                let base = &corpus.entry(base_idx).prog;
+                                match &guided {
+                                    Some(loc) => mutator.mutate_arguments(
+                                        &mut rng,
+                                        base,
+                                        Some(std::slice::from_ref(loc)),
+                                    ),
+                                    None => mutator.mutate_arguments(&mut rng, base, None),
+                                }
                             };
                             let _ = applied;
                             let gained = execute(
@@ -408,6 +551,7 @@ impl<'k> Campaign<'k> {
                                 &mut crashes,
                                 &mut corpus,
                                 &mut execs,
+                                &mut exec_buf,
                             );
                             if guided.is_some() {
                                 attribution.guided_args += gained;
@@ -421,7 +565,8 @@ impl<'k> Campaign<'k> {
                             }
                         }
                         snowplow_prog::MutationType::CallInsertion => {
-                            let mutant = mutator.insert_call(&mut rng, &base);
+                            let mutant =
+                                mutator.insert_call(&mut rng, &corpus.entry(base_idx).prog);
                             attribution.structural += execute(
                                 &mutant,
                                 &mut vm,
@@ -431,10 +576,12 @@ impl<'k> Campaign<'k> {
                                 &mut crashes,
                                 &mut corpus,
                                 &mut execs,
+                                &mut exec_buf,
                             );
                         }
                         snowplow_prog::MutationType::CallRemoval => {
-                            let mutant = mutator.remove_call(&mut rng, &base);
+                            let mutant =
+                                mutator.remove_call(&mut rng, &corpus.entry(base_idx).prog);
                             attribution.structural += execute(
                                 &mutant,
                                 &mut vm,
@@ -444,6 +591,7 @@ impl<'k> Campaign<'k> {
                                 &mut crashes,
                                 &mut corpus,
                                 &mut execs,
+                                &mut exec_buf,
                             );
                         }
                     }
@@ -585,6 +733,80 @@ mod tests {
         .run();
         assert!(report.inferences > 10, "inferences {}", report.inferences);
         assert!(report.final_edges > 500);
+    }
+
+    /// Byte-exact serialization of everything a report contains, so the
+    /// golden test below compares reports *byte-identically* (timeline,
+    /// attribution, crash log including witnesses).
+    fn report_fingerprint(r: &CampaignReport) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for p in &r.timeline {
+            let _ = writeln!(
+                s,
+                "{:?} {} {} {} {}",
+                p.at, p.edges, p.blocks, p.crashes, p.execs
+            );
+        }
+        let _ = writeln!(
+            s,
+            "{} {} {} {} {} {:?}",
+            r.final_edges, r.final_blocks, r.execs, r.inferences, r.corpus_len, r.attribution
+        );
+        for c in r.crashes.records() {
+            let _ = writeln!(
+                s,
+                "{} {:?} {} {:?} {} {:?}",
+                c.description, c.category, c.known, c.first_found, c.count, c.witness
+            );
+        }
+        let _ = writeln!(s, "filtered {}", r.crashes.filtered);
+        s
+    }
+
+    #[test]
+    fn hot_caches_preserve_reports_bit_identically() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let mk_model = || {
+            Pmm::new(
+                snowplow_pmm::model::PmmConfig {
+                    dim: 16,
+                    rounds: 1,
+                    ..Default::default()
+                },
+                kernel.registry().syscall_count(),
+            )
+        };
+        for seed in [5u64, 9] {
+            for snowplow in [false, true] {
+                let run = |hot: bool| {
+                    let cfg = CampaignConfig {
+                        duration: Duration::from_secs(600),
+                        sample_every: Duration::from_secs(60),
+                        hot_caches: hot,
+                        ..short_config(seed)
+                    };
+                    let kind = if snowplow {
+                        FuzzerKind::Snowplow {
+                            model: Box::new(mk_model()),
+                        }
+                    } else {
+                        FuzzerKind::Syzkaller
+                    };
+                    Campaign::new(&kernel, kind, cfg).run()
+                };
+                let cached = run(true);
+                let uncached = run(false);
+                assert_eq!(
+                    report_fingerprint(&cached),
+                    report_fingerprint(&uncached),
+                    "seed={seed} snowplow={snowplow}"
+                );
+                if snowplow {
+                    assert!(cached.inferences > 0, "seed={seed}: model was queried");
+                }
+            }
+        }
     }
 
     #[test]

@@ -246,7 +246,7 @@ impl<'k> DirectedCampaign<'k> {
                     // frontier blocks of this base as targets.
                     vm.restore(&snapshot);
                     let exec = vm.execute(&base);
-                    let frontier = kernel.cfg().alternative_entries(exec.coverage().as_set());
+                    let frontier = kernel.cfg().alternative_entries(&exec.coverage());
                     let mut wanted: Vec<(u32, BlockId)> = frontier
                         .iter()
                         .filter_map(|b| dist_map[b.index()].map(|d| (d, *b)))

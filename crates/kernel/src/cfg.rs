@@ -9,9 +9,10 @@
 //! 2. **distance to target** (SyzDirect-style directed fuzzing): BFS
 //!    distance from every block to a target block.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use crate::block::{BasicBlock, BlockId};
+use crate::coverage::Coverage;
 
 /// Forward and reverse adjacency of the whole kernel.
 #[derive(Debug, Clone)]
@@ -63,17 +64,17 @@ impl StaticCfg {
     /// The *alternative path entries* of a covered set: uncovered blocks
     /// with at least one covered predecessor (reachable by flipping a
     /// single branch). Returned in ascending id order for determinism.
-    pub fn alternative_entries(&self, covered: &HashSet<BlockId>) -> Vec<BlockId> {
+    pub fn alternative_entries(&self, covered: &Coverage) -> Vec<BlockId> {
         let mut out: Vec<BlockId> = Vec::new();
-        let mut seen = HashSet::new();
-        for &c in covered {
+        for c in covered.iter() {
             for &s in self.successors(c) {
-                if !covered.contains(&s) && seen.insert(s) {
+                if !covered.contains(s) {
                     out.push(s);
                 }
             }
         }
-        out.sort();
+        out.sort_unstable();
+        out.dedup();
         out
     }
 
@@ -161,10 +162,10 @@ mod tests {
     #[test]
     fn alternative_entries_are_one_hop_frontier() {
         let cfg = StaticCfg::build(&diamond());
-        let covered: HashSet<BlockId> = [BlockId(0), BlockId(2), BlockId(3)].into_iter().collect();
+        let covered: Coverage = [BlockId(0), BlockId(2), BlockId(3)].into_iter().collect();
         assert_eq!(cfg.alternative_entries(&covered), vec![BlockId(1)]);
         // Fully covered -> empty frontier.
-        let all: HashSet<BlockId> = (0..4).map(BlockId).collect();
+        let all: Coverage = (0..4).map(BlockId).collect();
         assert!(cfg.alternative_entries(&all).is_empty());
     }
 

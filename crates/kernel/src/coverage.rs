@@ -4,25 +4,29 @@
 //! pairs of consecutive basic blocks in KCOV execution traces (§5.3.1).
 //! [`EdgeSet`] implements exactly that post-processing; [`Coverage`] is
 //! the block-level view used by the mutation-query graphs.
-
-use std::collections::HashSet;
+//!
+//! Block ids index a known finite set (the kernel's block table), so
+//! both structures are dense bitsets rather than hash sets: `contains`
+//! is one shift and mask, `merge` is a word-wise OR with popcounts, and
+//! `difference` walks set bits in ascending order without intermediate
+//! allocation. Iteration order is ascending block id, which is exactly
+//! the order every former `HashSet`-based consumer sorted into, so the
+//! switch is observationally identical (asserted by the property tests
+//! in `tests/property.rs`).
 
 use crate::block::BlockId;
+
+const WORD_BITS: usize = 64;
 
 /// A directional edge between two basic blocks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Edge(pub BlockId, pub BlockId);
 
-impl Edge {
-    fn pack(self) -> u64 {
-        (u64::from(self.0 .0) << 32) | u64::from(self.1 .0)
-    }
-}
-
-/// A set of covered blocks.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// A set of covered blocks, stored as a bitset indexed by block id.
+#[derive(Debug, Clone, Default)]
 pub struct Coverage {
-    blocks: HashSet<BlockId>,
+    words: Vec<u64>,
+    len: usize,
 }
 
 impl Coverage {
@@ -33,75 +37,139 @@ impl Coverage {
 
     /// Coverage of one trace.
     pub fn from_trace(trace: &[BlockId]) -> Self {
-        Coverage {
-            blocks: trace.iter().copied().collect(),
-        }
+        let mut c = Coverage::new();
+        c.add_trace(trace);
+        c
     }
 
     /// Whether `b` is covered.
     pub fn contains(&self, b: BlockId) -> bool {
-        self.blocks.contains(&b)
+        let i = b.0 as usize;
+        self.words
+            .get(i / WORD_BITS)
+            .is_some_and(|w| w & (1u64 << (i % WORD_BITS)) != 0)
     }
 
     /// Inserts a block; returns whether it was new.
     pub fn insert(&mut self, b: BlockId) -> bool {
-        self.blocks.insert(b)
+        let i = b.0 as usize;
+        let (wi, bit) = (i / WORD_BITS, 1u64 << (i % WORD_BITS));
+        if wi >= self.words.len() {
+            self.words.resize(wi + 1, 0);
+        }
+        let w = &mut self.words[wi];
+        let new = *w & bit == 0;
+        *w |= bit;
+        self.len += new as usize;
+        new
     }
 
     /// Number of covered blocks.
     pub fn len(&self) -> usize {
-        self.blocks.len()
+        self.len
     }
 
     /// Whether nothing is covered.
     pub fn is_empty(&self) -> bool {
-        self.blocks.is_empty()
+        self.len == 0
+    }
+
+    /// Removes every block, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Inserts every block of `trace`; returns how many were new.
+    pub fn add_trace(&mut self, trace: &[BlockId]) -> usize {
+        let before = self.len;
+        for &b in trace {
+            self.insert(b);
+        }
+        self.len - before
     }
 
     /// Union-assigns `other` into `self`; returns how many blocks were
     /// new.
     pub fn merge(&mut self, other: &Coverage) -> usize {
-        let before = self.blocks.len();
-        self.blocks.extend(other.blocks.iter().copied());
-        self.blocks.len() - before
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut added = 0usize;
+        for (dst, src) in self.words.iter_mut().zip(&other.words) {
+            let grown = *dst | src;
+            added += (grown ^ *dst).count_ones() as usize;
+            *dst = grown;
+        }
+        self.len += added;
+        added
     }
 
     /// Blocks in `self` that are not in `other` (the "new coverage" of a
-    /// successful mutation, §3.1's `c_ij \ c_i`).
+    /// successful mutation, §3.1's `c_ij \ c_i`), in ascending order.
     pub fn difference(&self, other: &Coverage) -> Vec<BlockId> {
-        let mut v: Vec<BlockId> = self
-            .blocks
-            .iter()
-            .copied()
-            .filter(|b| !other.contains(*b))
-            .collect();
-        v.sort();
-        v
+        let mut out = Vec::new();
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut bits = w & !other.words.get(wi).copied().unwrap_or(0);
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(BlockId((wi * WORD_BITS + b) as u32));
+                bits &= bits - 1;
+            }
+        }
+        out
     }
 
-    /// Iterates over covered blocks (arbitrary order).
+    /// Iterates over covered blocks in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = BlockId> + '_ {
-        self.blocks.iter().copied()
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(BlockId((wi * WORD_BITS + b) as u32))
+            })
+        })
     }
 
-    /// The underlying set, for CFG queries.
-    pub fn as_set(&self) -> &HashSet<BlockId> {
-        &self.blocks
+    fn is_subset_of(&self, other: &Coverage) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(wi, &w)| w & !other.words.get(wi).copied().unwrap_or(0) == 0)
     }
 }
+
+impl PartialEq for Coverage {
+    /// Set equality: trailing zero words (a capacity artifact) are
+    /// ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.is_subset_of(other)
+    }
+}
+
+impl Eq for Coverage {}
 
 impl FromIterator<BlockId> for Coverage {
     fn from_iter<T: IntoIterator<Item = BlockId>>(iter: T) -> Self {
-        Coverage {
-            blocks: iter.into_iter().collect(),
+        let mut c = Coverage::new();
+        for b in iter {
+            c.insert(b);
         }
+        c
     }
 }
 
-/// A set of directional edges (the paper's edge-coverage metric).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// A set of directional edges (the paper's edge-coverage metric), stored
+/// as one destination bitset per source block. Rows grow lazily, so no
+/// kernel reference (and no universe bound) is needed up front.
+#[derive(Debug, Clone, Default)]
 pub struct EdgeSet {
-    set: HashSet<u64>,
+    rows: Vec<Vec<u64>>,
+    len: usize,
 }
 
 impl EdgeSet {
@@ -112,40 +180,92 @@ impl EdgeSet {
 
     /// Inserts an edge; returns whether it was new.
     pub fn insert(&mut self, e: Edge) -> bool {
-        self.set.insert(e.pack())
+        let src = e.0 .0 as usize;
+        let dst = e.1 .0 as usize;
+        if src >= self.rows.len() {
+            self.rows.resize_with(src + 1, Vec::new);
+        }
+        let row = &mut self.rows[src];
+        let (wi, bit) = (dst / WORD_BITS, 1u64 << (dst % WORD_BITS));
+        if wi >= row.len() {
+            row.resize(wi + 1, 0);
+        }
+        let w = &mut row[wi];
+        let new = *w & bit == 0;
+        *w |= bit;
+        self.len += new as usize;
+        new
     }
 
     /// Whether the edge is present.
     pub fn contains(&self, e: Edge) -> bool {
-        self.set.contains(&e.pack())
+        let dst = e.1 .0 as usize;
+        self.rows
+            .get(e.0 .0 as usize)
+            .and_then(|row| row.get(dst / WORD_BITS))
+            .is_some_and(|w| w & (1u64 << (dst % WORD_BITS)) != 0)
     }
 
     /// Number of unique edges.
     pub fn len(&self) -> usize {
-        self.set.len()
+        self.len
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.set.is_empty()
+        self.len == 0
     }
 
     /// Adds all consecutive pairs of `trace`; returns how many were new.
     pub fn add_trace(&mut self, trace: &[BlockId]) -> usize {
-        let before = self.set.len();
+        let before = self.len;
         for w in trace.windows(2) {
-            self.set.insert(Edge(w[0], w[1]).pack());
+            self.insert(Edge(w[0], w[1]));
         }
-        self.set.len() - before
+        self.len - before
     }
 
     /// Union-assigns `other`; returns how many edges were new.
     pub fn merge(&mut self, other: &EdgeSet) -> usize {
-        let before = self.set.len();
-        self.set.extend(other.set.iter().copied());
-        self.set.len() - before
+        if other.rows.len() > self.rows.len() {
+            self.rows.resize_with(other.rows.len(), Vec::new);
+        }
+        let mut added = 0usize;
+        for (dst_row, src_row) in self.rows.iter_mut().zip(&other.rows) {
+            if src_row.is_empty() {
+                continue;
+            }
+            if src_row.len() > dst_row.len() {
+                dst_row.resize(src_row.len(), 0);
+            }
+            for (dst, src) in dst_row.iter_mut().zip(src_row) {
+                let grown = *dst | src;
+                added += (grown ^ *dst).count_ones() as usize;
+                *dst = grown;
+            }
+        }
+        self.len += added;
+        added
+    }
+
+    fn is_subset_of(&self, other: &EdgeSet) -> bool {
+        self.rows.iter().enumerate().all(|(src, row)| {
+            let other_row = other.rows.get(src).map(Vec::as_slice).unwrap_or(&[]);
+            row.iter()
+                .enumerate()
+                .all(|(wi, &w)| w & !other_row.get(wi).copied().unwrap_or(0) == 0)
+        })
     }
 }
+
+impl PartialEq for EdgeSet {
+    /// Set equality: trailing empty rows and zero words are ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.is_subset_of(other)
+    }
+}
+
+impl Eq for EdgeSet {}
 
 #[cfg(test)]
 mod tests {
@@ -169,6 +289,35 @@ mod tests {
     }
 
     #[test]
+    fn iteration_is_ascending_and_capacity_blind() {
+        let mut a = Coverage::new();
+        a.insert(BlockId(130));
+        a.insert(BlockId(2));
+        a.insert(BlockId(65));
+        let ids: Vec<u32> = a.iter().map(|b| b.0).collect();
+        assert_eq!(ids, vec![2, 65, 130]);
+        // Equality ignores word-capacity differences.
+        let small: Coverage = [2, 65, 130].into_iter().map(BlockId).collect();
+        let mut big = small.clone();
+        big.insert(BlockId(4000));
+        assert_ne!(small, big);
+        let mut roundtrip = big.clone();
+        assert_eq!(roundtrip.merge(&small), 0);
+        assert_eq!(roundtrip, big);
+        assert_eq!(a, small);
+        assert_eq!(small, a);
+    }
+
+    #[test]
+    fn clear_keeps_nothing() {
+        let mut a: Coverage = [7, 8].into_iter().map(BlockId).collect();
+        a.clear();
+        assert!(a.is_empty());
+        assert!(!a.contains(BlockId(7)));
+        assert_eq!(a, Coverage::new());
+    }
+
+    #[test]
     fn edges_are_directional() {
         let mut s = EdgeSet::new();
         assert!(s.insert(Edge(BlockId(1), BlockId(2))));
@@ -184,5 +333,18 @@ mod tests {
         // pairs: (0,1) (1,2) (2,1) (1,2) -> 3 unique
         assert_eq!(s.add_trace(&t), 3);
         assert_eq!(s.add_trace(&t), 0);
+    }
+
+    #[test]
+    fn edge_merge_counts_new_edges() {
+        let mut a = EdgeSet::new();
+        a.insert(Edge(BlockId(1), BlockId(2)));
+        let mut b = EdgeSet::new();
+        b.insert(Edge(BlockId(1), BlockId(2)));
+        b.insert(Edge(BlockId(500), BlockId(3)));
+        assert_eq!(a.merge(&b), 1);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.merge(&b), 0);
+        assert_eq!(a, b);
     }
 }

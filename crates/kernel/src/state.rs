@@ -128,6 +128,17 @@ impl KernelState {
     pub fn resource_count(&self) -> usize {
         self.resources.len()
     }
+
+    /// Overwrites `self` with `other`, reusing the resource-table
+    /// allocation (the snapshot-restore hot path runs once per test
+    /// execution; a fresh clone there allocates every iteration).
+    pub fn restore_from(&mut self, other: &KernelState) {
+        self.counters = other.counters;
+        self.flags = other.flags;
+        self.poisoned = other.poisoned;
+        self.resources.clear();
+        self.resources.extend_from_slice(&other.resources);
+    }
 }
 
 #[cfg(test)]

@@ -37,7 +37,7 @@ pub struct CrashInfo {
 }
 
 /// The result of executing one program.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecResult {
     /// Flat block trace, in execution order.
     pub trace: Vec<BlockId>,
@@ -59,10 +59,27 @@ impl ExecResult {
     /// call's trace; no artificial cross-call edges).
     pub fn edges(&self) -> EdgeSet {
         let mut e = EdgeSet::new();
-        for t in &self.call_traces {
-            e.add_trace(t);
-        }
+        self.merge_edges_into(&mut e);
         e
+    }
+
+    /// Merges this execution's edge coverage directly into `acc`;
+    /// returns how many edges were new. Equivalent to
+    /// `acc.merge(&self.edges())` without materializing the temporary
+    /// set — the campaign hot loop calls this once per execution.
+    pub fn merge_edges_into(&self, acc: &mut EdgeSet) -> usize {
+        let mut added = 0usize;
+        for t in &self.call_traces {
+            added += acc.add_trace(t);
+        }
+        added
+    }
+
+    /// Merges this execution's block coverage directly into `acc`;
+    /// returns how many blocks were new. Equivalent to
+    /// `acc.merge(&self.coverage())` without the temporary set.
+    pub fn merge_coverage_into(&self, acc: &mut Coverage) -> usize {
+        acc.add_trace(&self.trace)
     }
 }
 
@@ -77,6 +94,11 @@ pub struct Snapshot {
 pub struct Vm<'k> {
     kernel: &'k Kernel,
     state: KernelState,
+    /// Scratch for the per-call produced-resource table, reused across
+    /// executions.
+    produced_scratch: Vec<Option<Handle>>,
+    /// Retired per-call trace buffers, recycled by [`Vm::execute_into`].
+    ct_spare: Vec<Vec<BlockId>>,
 }
 
 impl<'k> Vm<'k> {
@@ -85,6 +107,8 @@ impl<'k> Vm<'k> {
         Vm {
             kernel,
             state: KernelState::new(),
+            produced_scratch: Vec::new(),
+            ct_spare: Vec::new(),
         }
     }
 
@@ -105,25 +129,43 @@ impl<'k> Vm<'k> {
         }
     }
 
-    /// Restores a previously saved state.
+    /// Restores a previously saved state (reusing the current state's
+    /// allocations; restore runs once per test execution).
     pub fn restore(&mut self, snap: &Snapshot) {
-        self.state = snap.state.clone();
+        self.state.restore_from(&snap.state);
     }
 
     /// Executes `prog` sequentially in one thread (the paper's
     /// low-nondeterminism data-collection discipline; our simulator is
     /// deterministic by construction). Stops at the first crash.
     pub fn execute(&mut self, prog: &Prog) -> ExecResult {
-        let mut produced: Vec<Option<Handle>> = vec![None; prog.len()];
-        let mut trace = Vec::new();
-        let mut call_traces = Vec::new();
-        let mut crash = None;
-        let mut completed = 0usize;
+        let mut out = ExecResult::default();
+        self.execute_into(prog, &mut out);
+        out
+    }
+
+    /// Like [`Vm::execute`], but writes the result into `out`, reusing
+    /// its trace buffers (and the VM's internal scratch) so a hot loop
+    /// executes without per-iteration allocation. The produced result is
+    /// identical to [`Vm::execute`]'s.
+    pub fn execute_into(&mut self, prog: &Prog, out: &mut ExecResult) {
+        // Recycle the previous result's per-call trace buffers.
+        for mut t in out.call_traces.drain(..) {
+            t.clear();
+            self.ct_spare.push(t);
+        }
+        out.trace.clear();
+        out.crash = None;
+        out.completed_calls = 0;
+
+        let mut produced = std::mem::take(&mut self.produced_scratch);
+        produced.clear();
+        produced.resize(prog.len(), None);
 
         'calls: for (ci, call) in prog.calls.iter().enumerate() {
             let handler = self.kernel.handler(call.def);
             let mut cur = handler.entry;
-            let mut ct = Vec::new();
+            let mut ct = self.ct_spare.pop().unwrap_or_default();
             let mut steps = 0usize;
             loop {
                 steps += 1;
@@ -132,7 +174,7 @@ impl<'k> Vm<'k> {
                     break;
                 }
                 ct.push(cur);
-                trace.push(cur);
+                out.trace.push(cur);
                 let block = self.kernel.block(cur);
                 // Effects first (the "instruction body" of the block).
                 for eff in &block.effects {
@@ -141,14 +183,14 @@ impl<'k> Vm<'k> {
                 // Injected crash?
                 if let Some(bug) = block.crash {
                     let info = self.kernel.bugs().info(bug);
-                    crash = Some(CrashInfo {
+                    out.crash = Some(CrashInfo {
                         bug,
                         description: info.description.clone(),
                         category: info.category,
                         call_index: ci,
                         block: cur,
                     });
-                    call_traces.push(ct);
+                    out.call_traces.push(ct);
                     break 'calls;
                 }
                 // Terminator.
@@ -182,16 +224,11 @@ impl<'k> Vm<'k> {
                     produced[ci] = Some(self.state.produce_resource(kind));
                 }
             }
-            completed += 1;
-            call_traces.push(ct);
+            out.completed_calls += 1;
+            out.call_traces.push(ct);
         }
 
-        ExecResult {
-            trace,
-            call_traces,
-            crash,
-            completed_calls: completed,
-        }
+        self.produced_scratch = produced;
     }
 
     fn apply_effect(&mut self, eff: &Effect, call: &Call, produced: &[Option<Handle>]) {
@@ -249,6 +286,24 @@ mod tests {
             vm.restore(&snap);
             let b = vm.execute(&p);
             assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn execute_into_reused_buffer_matches_fresh_execute() {
+        let k = kernel();
+        let mut vm = Vm::new(&k);
+        let snap = vm.snapshot();
+        let generator = Generator::new(k.registry());
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut buf = ExecResult::default();
+        for _ in 0..60 {
+            let p = generator.generate(&mut rng, 6);
+            vm.restore(&snap);
+            let fresh = vm.execute(&p);
+            vm.restore(&snap);
+            vm.execute_into(&p, &mut buf);
+            assert_eq!(fresh, buf);
         }
     }
 

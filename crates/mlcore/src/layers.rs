@@ -36,8 +36,7 @@ impl Linear {
     pub fn apply(&self, tape: &mut Tape<'_>, x: Var) -> Var {
         let w = tape.param(self.w);
         let b = tape.param(self.b);
-        let h = tape.matmul(x, w);
-        tape.add_row(h, b)
+        tape.linear(x, w, b)
     }
 }
 

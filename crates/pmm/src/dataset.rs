@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 
 use rand::prelude::*;
-use snowplow_kernel::{BlockId, Kernel, Vm};
+use snowplow_kernel::{BlockId, Coverage, ExecResult, Kernel, Vm};
 use snowplow_prog::gen::Generator;
 use snowplow_prog::{ArgLoc, Mutator, Prog};
 
@@ -151,11 +151,14 @@ impl Dataset {
             config.workers,
             (0..config.base_tests).collect(),
             || {
+                // Per-worker execution buffers: the mutation loop below
+                // is the hottest path of the whole pipeline, so mutant
+                // traces and coverage reuse one allocation per worker.
                 let vm = Vm::new(kernel);
                 let snapshot = vm.snapshot();
-                (vm, snapshot)
+                (vm, snapshot, ExecResult::default(), Coverage::new())
             },
-            |(vm, snapshot), _, pi| {
+            |(vm, snapshot, exec_buf, cov_buf), _, pi| {
                 // A fresh mutator per base: its internal state must not
                 // leak between bases, or the harvest would depend on
                 // which worker ran which bases before this one.
@@ -169,7 +172,7 @@ impl Dataset {
                 vm.restore(snapshot);
                 let base_exec = vm.execute(&base);
                 let base_cov = base_exec.coverage();
-                let frontier = kernel.cfg().alternative_entries(base_cov.as_set());
+                let frontier = kernel.cfg().alternative_entries(&base_cov);
 
                 // Successful-mutation discovery, merged by new-coverage set.
                 let mut tried = 0usize;
@@ -183,8 +186,10 @@ impl Dataset {
                         continue;
                     }
                     vm.restore(snapshot);
-                    let mexec = vm.execute(&mutant);
-                    let new = mexec.coverage().difference(&base_cov);
+                    vm.execute_into(&mutant, exec_buf);
+                    cov_buf.clear();
+                    exec_buf.merge_coverage_into(cov_buf);
+                    let new = cov_buf.difference(&base_cov);
                     if new.is_empty() {
                         continue;
                     }

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use snowplow_kernel::{BlockId, ExecResult, Kernel, Tok};
+use snowplow_kernel::{BlockId, Edge, EdgeSet, ExecResult, Kernel, Tok};
 use snowplow_prog::{enumerate_sites, Arg, ArgLoc, Prog, ResSource};
 
 /// Directed edge types of the query graph (each relation and its
@@ -240,10 +240,10 @@ impl QueryGraph {
             block_node.insert(*b, (nodes.len() - 1) as u32);
         }
         // Unique covered edges (within calls).
-        let mut seen_edges = std::collections::HashSet::new();
+        let mut seen_edges = EdgeSet::new();
         for trace in &exec.call_traces {
             for w in trace.windows(2) {
-                if seen_edges.insert((w[0], w[1])) {
+                if seen_edges.insert(Edge(w[0], w[1])) {
                     let (Some(&s), Some(&d)) = (block_node.get(&w[0]), block_node.get(&w[1]))
                     else {
                         continue;
@@ -254,7 +254,7 @@ impl QueryGraph {
         }
 
         // --- Alternative path entries (one-hop frontier). --------------------
-        let frontier = kernel.cfg().alternative_entries(covered.as_set());
+        let frontier = kernel.cfg().alternative_entries(&covered);
         let target_set: std::collections::HashSet<BlockId> = targets.iter().copied().collect();
         for b in &frontier {
             nodes.push(NodeKind::Block {
@@ -380,7 +380,7 @@ mod tests {
     fn graph_has_all_vertex_classes() {
         let (kernel, prog, exec) = setup();
         let covered = exec.coverage();
-        let frontier = kernel.cfg().alternative_entries(covered.as_set());
+        let frontier = kernel.cfg().alternative_entries(&covered);
         let g = QueryGraph::build(&kernel, &prog, &exec, &frontier[..2.min(frontier.len())]);
         let (sys, args, cov, alt, tgt) = g.vertex_stats();
         assert_eq!(sys, prog.len());

@@ -32,7 +32,7 @@
 //! let mut vm = Vm::new(&kernel);
 //! let exec = vm.execute(&prog);
 //! let covered = exec.coverage();
-//! let frontier = kernel.cfg().alternative_entries(covered.as_set());
+//! let frontier = kernel.cfg().alternative_entries(&covered);
 //! let graph = QueryGraph::build(&kernel, &prog, &exec, &frontier[..frontier.len().min(4)]);
 //! assert!(graph.candidate_count() > 0);
 //! ```

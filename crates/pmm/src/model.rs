@@ -133,6 +133,9 @@ pub struct Pmm {
     pub params: Params,
     layers: Layers,
     scratch: GraphScratch,
+    /// Buffer recycle pool for inference tapes: after warm-up, a predict
+    /// performs no heap allocation for op outputs.
+    tape_pool: Vec<Vec<f32>>,
 }
 
 impl Pmm {
@@ -165,6 +168,7 @@ impl Pmm {
             params,
             layers,
             scratch: GraphScratch::default(),
+            tape_pool: Vec::new(),
         }
     }
 
@@ -201,6 +205,12 @@ impl Pmm {
 
     /// Scores a query, returning `(location, probability)` pairs sorted
     /// by descending probability.
+    ///
+    /// Inference is a pure function of `(parameters, graph)`: `&mut
+    /// self` only reuses internal scratch, the forward pass reads no
+    /// RNG, and ties sort stably by candidate order. Callers may
+    /// therefore memoize results per graph — the campaign hot loop does
+    /// exactly that (see the fuzzer crate's golden-equivalence tests).
     pub fn predict(&mut self, graph: &QueryGraph) -> Vec<(ArgLoc, f32)> {
         self.predict_batch(std::slice::from_ref(graph))
             .pop()
@@ -222,11 +232,14 @@ impl Pmm {
         }
         let layers = self.layers.clone();
         let mut scratch = std::mem::take(&mut self.scratch);
-        let mut tape = Tape::new(&mut self.params);
+        // Forward-only tape: same kernels in the same order (scores stay
+        // bit-identical to a training-mode forward), minus the gradient
+        // bookkeeping.
+        let mut tape = Tape::inference_pooled(&mut self.params, &mut self.tape_pool);
         let logits = layers.forward_batch(&mut tape, &live, &mut scratch);
         let probs = tape.sigmoid(logits);
         let flat: Vec<f32> = tape.value(probs).data().to_vec();
-        drop(tape);
+        tape.recycle();
         self.scratch = scratch;
 
         let mut row = 0usize;
@@ -381,20 +394,17 @@ impl Layers {
             let tflag = self
                 .class_emb
                 .lookup(tape, &vec![TARGET_CLASS; scratch.target_rows.len()]);
-            let scattered = tape.scatter_add_rows(tflag, &scratch.target_rows, n);
-            h = tape.add(h, scattered);
+            h = tape.add_scatter_rows(h, tflag, &scratch.target_rows);
         }
         if !scratch.sys_rows.is_empty() {
             let e = self.sys_emb.lookup(tape, &scratch.sys_idx);
-            let s = tape.scatter_add_rows(e, &scratch.sys_rows, n);
-            h = tape.add(h, s);
+            h = tape.add_scatter_rows(h, e, &scratch.sys_rows);
         }
         if !scratch.arg_rows.is_empty() {
             let k = self.kind_emb.lookup(tape, &scratch.arg_kind_idx);
             let s = self.tok_emb.lookup(tape, &scratch.arg_slot_idx);
             let ks = tape.add(k, s);
-            let scattered = tape.scatter_add_rows(ks, &scratch.arg_rows, n);
-            h = tape.add(h, scattered);
+            h = tape.add_scatter_rows(h, ks, &scratch.arg_rows);
         }
         if !scratch.tok_idx.is_empty() {
             let encoded = self.encode_blocks(
@@ -429,10 +439,12 @@ impl Layers {
                 }
                 let msrc = tape.gather_rows(h, srcs);
                 let msg = self.edge_w[t].apply(tape, msrc);
-                let scattered = tape.scatter_add_rows(msg, dsts, n);
+                // Fused accumulate: one scatter into the running sum
+                // instead of a zeroed n×dim scatter plus a full add per
+                // edge type (bit-identical; see `Tape::add_scatter_rows`).
                 agg = Some(match agg {
-                    Some(a) => tape.add(a, scattered),
-                    None => scattered,
+                    Some(a) => tape.add_scatter_rows(a, msg, dsts),
+                    None => tape.scatter_add_rows(msg, dsts, n),
                 });
             }
             if let Some(a) = agg {
@@ -555,7 +567,7 @@ mod tests {
         let mut vm = Vm::new(kernel);
         let exec = vm.execute(&prog);
         let cov = exec.coverage();
-        let frontier = kernel.cfg().alternative_entries(cov.as_set());
+        let frontier = kernel.cfg().alternative_entries(&cov);
         QueryGraph::build(kernel, &prog, &exec, &frontier[..frontier.len().min(3)])
     }
 

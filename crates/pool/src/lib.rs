@@ -19,24 +19,54 @@
 //!    time changes.
 //!
 //! Work distribution is dynamic (a shared crossbeam channel feeds
-//! `(index, item)` pairs to whichever worker is free), so heterogeneous
-//! item costs balance without violating either guarantee.
+//! contiguous index chunks to whichever worker is free), so
+//! heterogeneous item costs balance without violating either guarantee.
+//!
+//! Because output is worker-count independent, [`scoped_map`] clamps
+//! the thread count to the host's available parallelism: running four
+//! threads on one core is pure oversubscription (context switching and
+//! cache thrash slow CPU-bound work below the single-threaded rate —
+//! the regression `perf_sec55` measured as harvest "scaling" < 1.0).
+//! The clamp is semantically free and only ever makes things faster.
+//! [`scoped_map_exact`] skips the clamp for benchmarks and tests that
+//! need the threaded path regardless of the host.
 
 use crossbeam::channel;
 
 /// Parallel, order-preserving map with per-worker state.
 ///
-/// Spawns up to `workers` scoped threads, each initialized once with
-/// `init` (e.g. a VM plus its pristine snapshot), and applies
+/// Spawns up to `workers` scoped threads (clamped to the host's
+/// available parallelism — see the module docs), each initialized once
+/// with `init` (e.g. a VM plus its pristine snapshot), and applies
 /// `f(&mut state, index, item)` to every item. Results are returned in
-/// item order. With `workers <= 1` or fewer than two items the map runs
-/// inline on the calling thread — the threaded and inline paths are
-/// observably identical except for speed.
+/// item order. With an effective worker count of 1 or fewer than two
+/// items the map runs inline on the calling thread — the threaded and
+/// inline paths are observably identical except for speed.
 ///
 /// `f` must derive any randomness it needs from the item index (see
 /// [`stream_seed`]); worker-local state must never leak information
 /// between items in a way that depends on scheduling.
 pub fn scoped_map<I, R, S>(
+    workers: usize,
+    items: Vec<I>,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize, I) -> R + Sync,
+) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+{
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(usize::MAX);
+    scoped_map_exact(workers.min(hw), items, init, f)
+}
+
+/// [`scoped_map`] without the available-parallelism clamp: spawns
+/// exactly `min(workers, items)` threads even when that oversubscribes
+/// the host. Output is identical to [`scoped_map`]'s; use this only to
+/// exercise or measure the threaded path deliberately.
+pub fn scoped_map_exact<I, R, S>(
     workers: usize,
     items: Vec<I>,
     init: impl Fn() -> S + Sync,
@@ -56,13 +86,22 @@ where
             .collect();
     }
 
-    let (job_tx, job_rx) = channel::unbounded::<(usize, I)>();
-    for pair in items.into_iter().enumerate() {
+    // Chunked dispatch: one channel round-trip per chunk instead of per
+    // item keeps the queue overhead negligible for cheap items, while
+    // several chunks per worker still balance heterogeneous costs.
+    let chunk = (n / (workers * 8)).max(1);
+    let (job_tx, job_rx) = channel::unbounded::<(usize, Vec<I>)>();
+    let mut items = items.into_iter();
+    let mut start = 0usize;
+    while start < n {
+        let batch: Vec<I> = items.by_ref().take(chunk).collect();
+        let len = batch.len();
         // Receivers outlive this loop; the send cannot fail.
-        let _ = job_tx.send(pair);
+        let _ = job_tx.send((start, batch));
+        start += len;
     }
     drop(job_tx);
-    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, Vec<R>)>();
 
     std::thread::scope(|scope| {
         for _ in 0..workers.min(n) {
@@ -72,9 +111,13 @@ where
             let f = &f;
             scope.spawn(move || {
                 let mut state = init();
-                while let Ok((i, item)) = job_rx.recv() {
-                    let r = f(&mut state, i, item);
-                    if res_tx.send((i, r)).is_err() {
+                while let Ok((start, batch)) = job_rx.recv() {
+                    let results: Vec<R> = batch
+                        .into_iter()
+                        .enumerate()
+                        .map(|(j, item)| f(&mut state, start + j, item))
+                        .collect();
+                    if res_tx.send((start, results)).is_err() {
                         break;
                     }
                 }
@@ -83,8 +126,10 @@ where
         drop(res_tx);
 
         let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        while let Ok((i, r)) = res_rx.recv() {
-            out[i] = Some(r);
+        while let Ok((start, results)) = res_rx.recv() {
+            for (j, r) in results.into_iter().enumerate() {
+                out[start + j] = Some(r);
+            }
         }
         out.into_iter()
             .map(|slot| slot.expect("every item produced a result"))
@@ -132,9 +177,26 @@ mod tests {
     }
 
     #[test]
+    fn threaded_path_preserves_item_order() {
+        // scoped_map_exact skips the clamp, so this exercises real
+        // threads even on a single-core host.
+        let items: Vec<usize> = (0..100).collect();
+        let out = scoped_map_exact(
+            4,
+            items,
+            || (),
+            |_, i, item| {
+                assert_eq!(i, item);
+                item * 2
+            },
+        );
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn output_is_independent_of_worker_count() {
         let job = |workers: usize| {
-            scoped_map(
+            scoped_map_exact(
                 workers,
                 (0u64..40).collect(),
                 || (),
@@ -153,7 +215,7 @@ mod tests {
     fn init_runs_per_worker_and_state_is_reused() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let inits = AtomicUsize::new(0);
-        let out = scoped_map(
+        let out = scoped_map_exact(
             3,
             vec![(); 30],
             || {
@@ -176,6 +238,14 @@ mod tests {
         assert!(empty.is_empty());
         let one = scoped_map(8, vec![5u8], || (), |_, _, x| x + 1);
         assert_eq!(one, vec![6]);
+    }
+
+    #[test]
+    fn chunked_dispatch_covers_ragged_tails() {
+        // 101 items over 4 workers: chunk size 3, last chunk ragged.
+        let items: Vec<usize> = (0..101).collect();
+        let out = scoped_map_exact(4, items, || (), |_, i, item| i + item);
+        assert_eq!(out, (0..101).map(|i| i * 2).collect::<Vec<_>>());
     }
 
     #[test]

@@ -41,7 +41,7 @@ fn main() {
     let prog = snowplow::prog_gen::Generator::new(kernel.registry()).generate(&mut rng, 4);
     let mut vm = Vm::new(&kernel);
     let exec = vm.execute(&prog);
-    let frontier = kernel.cfg().alternative_entries(exec.coverage().as_set());
+    let frontier = kernel.cfg().alternative_entries(&exec.coverage());
     let graph = QueryGraph::build(&kernel, &prog, &exec, &frontier[..frontier.len().min(3)]);
     println!("\nquery program:\n{}", prog.display(kernel.registry()));
     for (loc, p) in model.predict(&graph).iter().take(5) {

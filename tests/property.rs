@@ -79,7 +79,7 @@ proptest! {
         let mut vm = Vm::new(k);
         let exec = vm.execute(&prog);
         let cov = exec.coverage();
-        for b in k.cfg().alternative_entries(cov.as_set()) {
+        for b in k.cfg().alternative_entries(&cov) {
             prop_assert!(!cov.contains(b));
             prop_assert!(
                 k.cfg().predecessors(b).iter().any(|p| cov.contains(*p)),
@@ -114,6 +114,86 @@ proptest! {
                 next.display(reg)
             );
             current = next;
+        }
+    }
+
+    /// The dense bitset [`snowplow::Coverage`] agrees with a
+    /// `HashSet`-based reference on random traces: membership, size,
+    /// merge accounting, ascending iteration, and difference.
+    #[test]
+    fn prop_dense_coverage_matches_hash_reference(seed in any::<u64>(), len in 0usize..400) {
+        use std::collections::HashSet;
+        use rand::Rng;
+        use snowplow::{BlockId, Coverage};
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace: Vec<BlockId> =
+            (0..len).map(|_| BlockId(rng.random_range(0..4096u32))).collect();
+        let (first, second) = trace.split_at(len / 2);
+
+        let mut dense = Coverage::from_trace(first);
+        let reference: HashSet<BlockId> = first.iter().copied().collect();
+        prop_assert_eq!(dense.len(), reference.len());
+        for &b in &trace {
+            prop_assert_eq!(dense.contains(b), reference.contains(&b));
+        }
+        let mut sorted: Vec<BlockId> = reference.iter().copied().collect();
+        sorted.sort_unstable();
+        prop_assert_eq!(dense.iter().collect::<Vec<_>>(), sorted);
+
+        let other = Coverage::from_trace(second);
+        let other_ref: HashSet<BlockId> = second.iter().copied().collect();
+        let added = dense.merge(&other);
+        let merged_ref: HashSet<BlockId> = reference.union(&other_ref).copied().collect();
+        prop_assert_eq!(added, merged_ref.len() - reference.len());
+        prop_assert_eq!(dense.len(), merged_ref.len());
+
+        let mut diff_ref: Vec<BlockId> =
+            merged_ref.difference(&other_ref).copied().collect();
+        diff_ref.sort_unstable();
+        prop_assert_eq!(dense.difference(&other), diff_ref);
+    }
+
+    /// The paged [`snowplow::EdgeSet`] agrees with a `HashSet`-based
+    /// reference on random traces: per-trace edge extraction, membership
+    /// probes (hits and misses), and merge accounting.
+    #[test]
+    fn prop_dense_edge_set_matches_hash_reference(seed in any::<u64>(), len in 0usize..300) {
+        use std::collections::HashSet;
+        use rand::Rng;
+        use snowplow::{BlockId, Edge, EdgeSet};
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        fn random_trace(rng: &mut StdRng, n: usize) -> Vec<BlockId> {
+            (0..n).map(|_| BlockId(rng.random_range(0..512u32))).collect()
+        }
+        let trace = random_trace(&mut rng, len);
+
+        let mut dense = EdgeSet::new();
+        let added = dense.add_trace(&trace);
+        let reference: HashSet<Edge> =
+            trace.windows(2).map(|w| Edge(w[0], w[1])).collect();
+        prop_assert_eq!(added, reference.len());
+        prop_assert_eq!(dense.len(), reference.len());
+        for _ in 0..64 {
+            let probe = Edge(
+                BlockId(rng.random_range(0..512u32)),
+                BlockId(rng.random_range(0..512u32)),
+            );
+            prop_assert_eq!(dense.contains(probe), reference.contains(&probe));
+        }
+
+        let trace2 = random_trace(&mut rng, len);
+        let mut other = EdgeSet::new();
+        other.add_trace(&trace2);
+        let other_ref: HashSet<Edge> =
+            trace2.windows(2).map(|w| Edge(w[0], w[1])).collect();
+        let grown = dense.merge(&other);
+        let merged_ref: HashSet<Edge> = reference.union(&other_ref).copied().collect();
+        prop_assert_eq!(grown, merged_ref.len() - reference.len());
+        prop_assert_eq!(dense.len(), merged_ref.len());
+        for &e in &merged_ref {
+            prop_assert!(dense.contains(e));
         }
     }
 

@@ -2,13 +2,25 @@
 # Repository CI gate: formatting, lints, and the full test suite.
 # Run from the workspace root. Fails fast on the first violation.
 #
-#   ./ci.sh         fmt + clippy + tests + benches compile
-#   ./ci.sh bench   the above, then the bench-regression guard:
-#                   regenerates BENCH_perf.json with perf_sec55 and
-#                   fails if any guarded metric (matmul GFLOP/s,
-#                   fuzzing ratio, harvest scaling) drops >20% below
-#                   the committed baseline.
+#   ./ci.sh            fmt + clippy + tests + benches compile
+#   ./ci.sh telemetry  the focused observability gate: pedantic lints on
+#                      snowplow-telemetry and the golden determinism
+#                      test (identical metric snapshots across worker
+#                      counts and cache modes).
+#   ./ci.sh bench      the full gate, then the bench-regression guard:
+#                      regenerates BENCH_perf.jsonl with perf_sec55
+#                      (which flushes every measurement through the
+#                      telemetry JSONL sink) and fails if any guarded
+#                      metric (matmul GFLOP/s, fuzzing ratio, harvest
+#                      scaling) drops >20% below the committed baseline.
 set -euo pipefail
+
+if [[ "${1:-}" == "telemetry" ]]; then
+    cargo clippy -p snowplow-telemetry --all-targets -- -D warnings
+    cargo test -q -p snowplow-telemetry
+    cargo test -q -p snowplow-fuzzer --test telemetry_golden
+    exit 0
+fi
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
@@ -16,11 +28,11 @@ cargo test --workspace -q
 cargo bench --workspace --no-run
 
 if [[ "${1:-}" == "bench" ]]; then
-    baseline="$(mktemp -t bench_baseline.XXXXXX.json)"
+    baseline="$(mktemp -t bench_baseline.XXXXXX.jsonl)"
     trap 'rm -f "$baseline"' EXIT
-    cp BENCH_perf.json "$baseline"
+    cp BENCH_perf.jsonl "$baseline"
     cargo build --release -q -p snowplow-bench
     mkdir -p results
     ./target/release/perf_sec55 | tee results/perf_sec55.txt
-    ./target/release/bench_guard "$baseline" BENCH_perf.json
+    ./target/release/bench_guard "$baseline" BENCH_perf.jsonl
 fi

@@ -181,6 +181,72 @@ fn bench_coverage_merge(c: &mut Criterion) {
     });
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    // The zero-cost-when-disabled contract: the frontier_query and
+    // coverage_merge loops re-run with a disabled telemetry handle
+    // recording every step must stay within noise (<1%) of the plain
+    // variants above. A NullSink-backed handle is also measured — that
+    // is the price of *recording* (sink only matters at flush).
+    use snowplow_core::prelude::{NullSink, Phase, Telemetry};
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let generator = Generator::new(kernel.registry());
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut vm = Vm::new(&kernel);
+    let snap = vm.snapshot();
+    let mut cov = snowplow_core::Coverage::new();
+    for _ in 0..32 {
+        let prog = generator.generate(&mut rng, 6);
+        vm.restore(&snap);
+        vm.execute(&prog).merge_coverage_into(&mut cov);
+    }
+    let disabled = Telemetry::disabled();
+    c.bench_function("frontier_query_telemetry_disabled", |b| {
+        b.iter(|| {
+            let n = kernel.cfg().alternative_entries(&cov).len();
+            disabled.phase(Phase::FrontierQuery, 0);
+            disabled.observe("frontier.wanted_blocks", n as u64);
+            n
+        })
+    });
+
+    let mut rng = StdRng::seed_from_u64(10);
+    let execs: Vec<_> = (0..32)
+        .map(|_| {
+            let prog = generator.generate(&mut rng, 6);
+            vm.restore(&snap);
+            vm.execute(&prog)
+        })
+        .collect();
+    let mut blocks = snowplow_core::Coverage::new();
+    let mut edges = snowplow_core::EdgeSet::new();
+    let mut i = 0;
+    c.bench_function("coverage_merge_telemetry_disabled", |b| {
+        b.iter(|| {
+            let e = &execs[i % execs.len()];
+            i += 1;
+            let n = e.merge_coverage_into(&mut blocks) + e.merge_edges_into(&mut edges);
+            disabled.counter("execs", 1);
+            disabled.observe("execute.new_edges", n as u64);
+            n
+        })
+    });
+
+    let null = Telemetry::with_sink(std::sync::Arc::new(NullSink));
+    let mut blocks = snowplow_core::Coverage::new();
+    let mut edges = snowplow_core::EdgeSet::new();
+    let mut i = 0;
+    c.bench_function("coverage_merge_telemetry_null_sink", |b| {
+        b.iter(|| {
+            let e = &execs[i % execs.len()];
+            i += 1;
+            let n = e.merge_coverage_into(&mut blocks) + e.merge_edges_into(&mut edges);
+            null.counter("execs", 1);
+            null.observe("execute.new_edges", n as u64);
+            n
+        })
+    });
+}
+
 fn bench_lint(c: &mut Criterion) {
     let kernel = Kernel::build(KernelVersion::V6_8);
     let reg = kernel.registry();
@@ -215,6 +281,7 @@ criterion_group!(
     bench_predict_batch,
     bench_frontier_query,
     bench_coverage_merge,
+    bench_telemetry_overhead,
     bench_lint,
     bench_dead_block_analysis
 );

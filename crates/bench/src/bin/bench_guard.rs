@@ -1,50 +1,49 @@
 //! Bench regression guard: compares a freshly generated
-//! `BENCH_perf.json` against a committed baseline and fails (exit 1)
+//! `BENCH_perf.jsonl` against a committed baseline and fails (exit 1)
 //! when any guarded metric regresses by more than 20%.
 //!
 //! Guarded metrics are the ones the perf work optimizes for: matmul
 //! GFLOP/s (both measured shapes), the Snowplow/Syzkaller fuzzing
 //! throughput ratio, and the dataset-harvest scaling factor. Everything
-//! else in the JSON is informational — latency and throughput of the
+//! else in the file is informational — latency and throughput of the
 //! inference service vary too much run-to-run on shared hardware to
 //! gate on.
 //!
-//! Usage: `bench_guard <baseline.json> <candidate.json>` (defaults:
-//! `BENCH_perf.json` for both, which trivially passes — `ci.sh bench`
-//! copies the committed file aside before regenerating). The JSON is
-//! the flat one-section-per-line format `perf_sec55` emits; parsing is
-//! a hand-rolled scan so the guard needs no serde dependency.
+//! Usage: `bench_guard <baseline.jsonl> <candidate.jsonl>` (defaults:
+//! `BENCH_perf.jsonl` for both, which trivially passes — `ci.sh bench`
+//! copies the committed file aside before regenerating). The input is
+//! the telemetry [`JsonlSink`] format `perf_sec55` flushes — one JSON
+//! object per line, gauges as
+//! `{"type":"gauge","name":"fuzzing.ratio","value":0.98}` — so parsing
+//! is a hand-rolled scan and the guard needs no serde dependency.
+//!
+//! [`JsonlSink`]: snowplow_core::prelude::JsonlSink
 
 use std::process::ExitCode;
 
-/// Metrics that must not regress: (top-level section, field).
-const GUARDED: &[(&str, &str)] = &[
-    ("matmul_400x48x48", "gflops_fast"),
-    ("matmul_256x256x256", "gflops_fast"),
-    ("fuzzing", "ratio"),
-    ("harvest", "scaling"),
+/// Gauge names that must not regress.
+const GUARDED: &[&str] = &[
+    "matmul_400x48x48.gflops_fast",
+    "matmul_256x256x256.gflops_fast",
+    "fuzzing.ratio",
+    "harvest.scaling",
 ];
 
 /// Largest tolerated fractional drop below baseline.
 const TOLERANCE: f64 = 0.20;
 
-/// Pulls `"field": <number>` out of the line holding `"section"`.
-fn extract(json: &str, section: &str, field: &str) -> Option<f64> {
-    let tag = format!("\"{section}\"");
-    let line = json.lines().find(|l| l.contains(&tag))?;
-    let pat = format!("\"{field}\":");
-    let at = line.find(&pat)? + pat.len();
-    let rest = line[at..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
+/// Pulls the `"value"` of the JSONL line naming gauge `name`.
+fn extract(jsonl: &str, name: &str) -> Option<f64> {
+    let tag = format!("\"name\":\"{name}\"");
+    let line = jsonl.lines().find(|l| l.contains(&tag))?;
+    let tail = line.split("\"value\":").nth(1)?;
+    tail.trim().trim_end_matches('}').trim().parse().ok()
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let baseline_path = args.next().unwrap_or_else(|| "BENCH_perf.json".into());
-    let candidate_path = args.next().unwrap_or_else(|| "BENCH_perf.json".into());
+    let baseline_path = args.next().unwrap_or_else(|| "BENCH_perf.jsonl".into());
+    let candidate_path = args.next().unwrap_or_else(|| "BENCH_perf.jsonl".into());
     let read = |path: &str| match std::fs::read_to_string(path) {
         Ok(s) => Some(s),
         Err(e) => {
@@ -61,12 +60,8 @@ fn main() -> ExitCode {
         "bench_guard: {baseline_path} -> {candidate_path} (tolerance -{:.0}%)",
         TOLERANCE * 100.0
     );
-    for &(section, field) in GUARDED {
-        let name = format!("{section}.{field}");
-        match (
-            extract(&baseline, section, field),
-            extract(&candidate, section, field),
-        ) {
+    for &name in GUARDED {
+        match (extract(&baseline, name), extract(&candidate, name)) {
             (Some(old), Some(new)) => {
                 let floor = old * (1.0 - TOLERANCE);
                 let verdict = if new < floor { "REGRESSED" } else { "ok" };
@@ -96,20 +91,22 @@ fn main() -> ExitCode {
 mod tests {
     use super::extract;
 
-    const SAMPLE: &str = r#"{
-  "matmul_400x48x48": {"gflops_naive": 0.412, "gflops_fast": 3.642, "speedup": 8.832},
-  "fuzzing": {"syzkaller_execs_per_sec": 20337.2, "snowplow_execs_per_sec": 4912.4, "ratio": 0.242}
-}
+    const SAMPLE: &str = r#"{"type":"gauge","name":"fuzzing.ratio","value":0.242}
+{"type":"gauge","name":"matmul_400x48x48.gflops_fast","value":3.642}
+{"type":"gauge","name":"matmul_400x48x48.gflops_naive","value":0.412}
+{"type":"hist","name":"phase.execute.us","count":3,"sum":9,"min":3,"max":3,"p50":3,"p95":3,"p99":3}
 "#;
 
     #[test]
-    fn extracts_nested_fields_by_section_line() {
+    fn extracts_gauge_values_by_name() {
+        assert_eq!(extract(SAMPLE, "matmul_400x48x48.gflops_fast"), Some(3.642));
+        assert_eq!(extract(SAMPLE, "fuzzing.ratio"), Some(0.242));
+        assert_eq!(extract(SAMPLE, "fuzzing.absent"), None);
+        // A name that is a prefix of another must not match the longer
+        // gauge's line.
         assert_eq!(
-            extract(SAMPLE, "matmul_400x48x48", "gflops_fast"),
-            Some(3.642)
+            extract(SAMPLE, "matmul_400x48x48.gflops_naive"),
+            Some(0.412)
         );
-        assert_eq!(extract(SAMPLE, "fuzzing", "ratio"), Some(0.242));
-        assert_eq!(extract(SAMPLE, "fuzzing", "absent"), None);
-        assert_eq!(extract(SAMPLE, "absent", "ratio"), None);
     }
 }

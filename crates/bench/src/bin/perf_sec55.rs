@@ -3,16 +3,18 @@
 //! the reproduction's own hot-path microbenchmarks (matmul kernels,
 //! batched inference, sharded dataset harvest).
 //!
-//! Besides the human-readable report, writes `BENCH_perf.json` with
-//! every measured number for machine consumption.
+//! Besides the human-readable report, every measured number is published
+//! as a telemetry gauge and flushed through a [`JsonlSink`] to
+//! `BENCH_perf.jsonl` (one JSON object per line) for machine
+//! consumption — `bench_guard` reads that file.
 
-use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use rand::prelude::*;
 use snowplow_bench::day_config;
 use snowplow_core::fuzzing::{Campaign, FuzzerKind};
 use snowplow_core::learning::{BatchPolicy, InferenceService, Matrix, QueryGraph};
+use snowplow_core::prelude::Telemetry;
 use snowplow_core::{train_pmm, Dataset, DatasetConfig, Kernel, KernelVersion, Pmm, Scale, Vm};
 
 /// Reference triple-loop matmul (the shape the optimized kernels are
@@ -57,7 +59,10 @@ fn build_graphs(kernel: &Kernel, count: usize, seed: u64) -> Vec<QueryGraph> {
 
 fn main() {
     let kernel = Kernel::build(KernelVersion::V6_8);
-    let mut json = String::from("{\n");
+    // Every measurement below is a wall-clock gauge: perf numbers are
+    // real time by definition, so — unlike campaign metrics — this
+    // snapshot is *not* expected to be reproducible bit-for-bit.
+    let bench = Telemetry::jsonl("BENCH_perf.jsonl");
 
     // ---- Matmul kernels. ------------------------------------------------
     // The PMM forward pass is dominated by (nodes × dim) @ (dim × dim)
@@ -87,10 +92,9 @@ fn main() {
         println!(
             "matmul {m}x{k}x{n}: naive {gflops_naive:.2} GFLOP/s | fast {gflops_fast:.2} GFLOP/s | speedup {speedup:.2}x"
         );
-        let _ = writeln!(
-            json,
-            "  \"matmul_{m}x{k}x{n}\": {{\"gflops_naive\": {gflops_naive:.3}, \"gflops_fast\": {gflops_fast:.3}, \"speedup\": {speedup:.3}}},"
-        );
+        bench.gauge(&format!("matmul_{m}x{k}x{n}.gflops_naive"), gflops_naive);
+        bench.gauge(&format!("matmul_{m}x{k}x{n}.gflops_fast"), gflops_fast);
+        bench.gauge(&format!("matmul_{m}x{k}x{n}.speedup"), speedup);
     }
 
     // ---- Model + graphs shared by the inference sections. ----------------
@@ -124,10 +128,9 @@ fn main() {
     println!(
         "per-graph predict: {qps_single:.0} queries/s | predict_batch(8): {qps_batch:.0} queries/s | speedup {batch_speedup:.2}x"
     );
-    let _ = writeln!(
-        json,
-        "  \"inference_direct\": {{\"qps_unbatched\": {qps_single:.1}, \"qps_batched\": {qps_batch:.1}, \"batch_speedup\": {batch_speedup:.3}}},"
-    );
+    bench.gauge("inference_direct.qps_unbatched", qps_single);
+    bench.gauge("inference_direct.qps_batched", qps_batch);
+    bench.gauge("inference_direct.batch_speedup", batch_speedup);
 
     // ---- Inference service at saturation. -----------------------------
     let workers = std::thread::available_parallelism()
@@ -137,7 +140,11 @@ fn main() {
     let n_queries = 600usize;
     let start = Instant::now();
     let pendings: Vec<_> = (0..n_queries)
-        .map(|i| service.submit(graphs[i % graphs.len()].clone()))
+        .map(|i| {
+            service
+                .submit(graphs[i % graphs.len()].clone())
+                .expect("unbounded service accepts every well-formed query")
+        })
         .collect();
     for p in pendings {
         let _ = p.recv();
@@ -158,26 +165,32 @@ fn main() {
         stats.batches,
         stats.served
     );
-    let _ = writeln!(
-        json,
-        "  \"inference_service\": {{\"workers\": {workers}, \"qps\": {qps_service:.1}, \"mean_latency_us\": {:.1}, \"p95_latency_us\": {:.1}, \"mean_batch\": {:.2}}},",
+    bench.gauge("inference_service.workers", workers as f64);
+    bench.gauge("inference_service.qps", qps_service);
+    bench.gauge(
+        "inference_service.mean_latency_us",
         mean_latency.as_secs_f64() * 1e6,
-        p95_latency.as_secs_f64() * 1e6,
-        stats.mean_batch()
     );
+    bench.gauge(
+        "inference_service.p95_latency_us",
+        p95_latency.as_secs_f64() * 1e6,
+    );
+    bench.gauge("inference_service.mean_batch", stats.mean_batch());
     drop(service);
 
     // ---- Same saturation load against a bounded queue. -----------------
     // The unbounded run above front-loads all 600 submissions, so queue
     // wait dominates client latency. Capping the queue applies
-    // backpressure at submit() instead: latency stays near service time
-    // while throughput is unchanged (the model is the bottleneck either
-    // way). EXPERIMENTS.md records both configurations.
+    // backpressure at submit time instead (`submit_blocking` waits for a
+    // slot rather than erroring like `submit`): latency stays near
+    // service time while throughput is unchanged (the model is the
+    // bottleneck either way). EXPERIMENTS.md records both configurations.
+    let queue_cap = 2 * BatchPolicy::default().max_batch;
     let bounded = InferenceService::start_with_policy(
         &model,
         workers,
         BatchPolicy {
-            queue_cap: Some(2 * BatchPolicy::default().max_batch),
+            queue_cap: Some(queue_cap),
             ..BatchPolicy::default()
         },
     );
@@ -185,7 +198,11 @@ fn main() {
     let mut done = 0usize;
     let mut inflight = std::collections::VecDeque::new();
     for i in 0..n_queries {
-        inflight.push_back(bounded.submit(graphs[i % graphs.len()].clone()));
+        inflight.push_back(
+            bounded
+                .submit_blocking(graphs[i % graphs.len()].clone())
+                .expect("bounded service accepts every well-formed query"),
+        );
         // Drain completed results as we go, like the fuzzer's loop does.
         while inflight.len() > 32 {
             let _ = inflight.pop_front().unwrap().recv();
@@ -201,44 +218,43 @@ fn main() {
     let qps_bounded = done as f64 / wall.as_secs_f64();
     let mean_b = bstats.mean_latency();
     let p95_b = bounded.latency_percentile(95.0);
-    println!(
-        "\n== §5.5 inference service, bounded queue (cap {:?}) ==",
-        2 * BatchPolicy::default().max_batch
-    );
+    println!("\n== §5.5 inference service, bounded queue (cap {queue_cap:?}) ==");
     println!("throughput: {qps_bounded:.0} queries/s");
     println!(
         "client latency: mean {mean_b:?} | p95 {p95_b:?} | max queue depth {}",
         bstats.max_queue_depth
     );
-    let _ = writeln!(
-        json,
-        "  \"inference_service_bounded\": {{\"workers\": {workers}, \"queue_cap\": {}, \"qps\": {qps_bounded:.1}, \"mean_latency_us\": {:.1}, \"p95_latency_us\": {:.1}, \"mean_batch\": {:.2}, \"max_queue_depth\": {}}},",
-        2 * BatchPolicy::default().max_batch,
+    bench.gauge("inference_service_bounded.workers", workers as f64);
+    bench.gauge("inference_service_bounded.queue_cap", queue_cap as f64);
+    bench.gauge("inference_service_bounded.qps", qps_bounded);
+    bench.gauge(
+        "inference_service_bounded.mean_latency_us",
         mean_b.as_secs_f64() * 1e6,
+    );
+    bench.gauge(
+        "inference_service_bounded.p95_latency_us",
         p95_b.as_secs_f64() * 1e6,
-        bstats.mean_batch(),
-        bstats.max_queue_depth
+    );
+    bench.gauge("inference_service_bounded.mean_batch", bstats.mean_batch());
+    bench.gauge(
+        "inference_service_bounded.max_queue_depth",
+        bstats.max_queue_depth as f64,
     );
     drop(bounded);
 
     // ---- Sharded dataset harvest (execs/sec, workers 1 vs 4). ----------
     println!("\n== dataset harvest throughput ==");
-    let harvest_cfg = DatasetConfig {
-        base_tests: 60,
-        mutations_per_base: 80,
-        max_calls: 5,
-        ..DatasetConfig::default()
-    };
+    let harvest_cfg = DatasetConfig::builder()
+        .base_tests(60)
+        .mutations_per_base(80)
+        .max_calls(5)
+        .build();
     let mut harvest_rates = Vec::new();
     for w in [1usize, 4] {
+        let mut cfg = harvest_cfg.clone();
+        cfg.exec.workers = w;
         let t = Instant::now();
-        let ds = Dataset::generate(
-            &kernel,
-            DatasetConfig {
-                workers: w,
-                ..harvest_cfg
-            },
-        );
+        let ds = Dataset::generate(&kernel, cfg);
         let rate = ds.stats.mutations_tried as f64 / t.elapsed().as_secs_f64();
         println!(
             "workers={w}: {rate:.0} mutation execs/s ({} tried)",
@@ -248,11 +264,9 @@ fn main() {
     }
     let harvest_scaling = harvest_rates[1] / harvest_rates[0];
     println!("workers=4 / workers=1 scaling: {harvest_scaling:.2}x (identical dataset either way)");
-    let _ = writeln!(
-        json,
-        "  \"harvest\": {{\"execs_per_sec_w1\": {:.1}, \"execs_per_sec_w4\": {:.1}, \"scaling\": {harvest_scaling:.3}}},",
-        harvest_rates[0], harvest_rates[1]
-    );
+    bench.gauge("harvest.execs_per_sec_w1", harvest_rates[0]);
+    bench.gauge("harvest.execs_per_sec_w4", harvest_rates[1]);
+    bench.gauge("harvest.scaling", harvest_scaling);
 
     // ---- Fuzzing throughput. --------------------------------------------
     // Full 24h virtual day (the campaign config the paper's §5.5 numbers
@@ -263,7 +277,7 @@ fn main() {
     // warm-up, first-touch frontier caches) and understate steady state.
     let cfg = day_config(1);
     let t = Instant::now();
-    let base = Campaign::new(&kernel, FuzzerKind::Syzkaller, cfg).run();
+    let base = Campaign::new(&kernel, FuzzerKind::Syzkaller, cfg.clone()).run();
     let base_rate = base.execs as f64 / t.elapsed().as_secs_f64();
     let t = Instant::now();
     let snow = Campaign::new(
@@ -281,15 +295,12 @@ fn main() {
         "snowplow/syzkaller throughput ratio: {:.2} (paper: 0.98)",
         snow_rate / base_rate
     );
-    let _ = writeln!(
-        json,
-        "  \"fuzzing\": {{\"syzkaller_execs_per_sec\": {base_rate:.1}, \"snowplow_execs_per_sec\": {snow_rate:.1}, \"ratio\": {:.3}}}",
-        snow_rate / base_rate
-    );
+    bench.gauge("fuzzing.syzkaller_execs_per_sec", base_rate);
+    bench.gauge("fuzzing.snowplow_execs_per_sec", snow_rate);
+    bench.gauge("fuzzing.ratio", snow_rate / base_rate);
 
-    json.push_str("}\n");
-    std::fs::write("BENCH_perf.json", &json).expect("write BENCH_perf.json");
-    println!("\nwrote BENCH_perf.json");
+    bench.flush();
+    println!("\nwrote BENCH_perf.jsonl");
 }
 
 /// Keep the unused-model path honest: `Pmm` must stay cloneable for the

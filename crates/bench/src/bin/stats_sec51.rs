@@ -7,7 +7,7 @@ use snowplow_core::{Dataset, DatasetConfig, Kernel, KernelVersion, Vm};
 fn main() {
     let kernel = Kernel::build(KernelVersion::V6_8);
     let config = DatasetConfig::default();
-    let ds = Dataset::generate(&kernel, config);
+    let ds = Dataset::generate(&kernel, config.clone());
     println!("== §5.1 dataset statistics (paper values in parentheses) ==");
     println!("base tests: {}", ds.progs.len());
     let sites: usize = ds

@@ -12,12 +12,13 @@ fn main() {
     let (model, _) = trained_model(&kernel);
     // 7 virtual days at 14 s per execution = 43 200 executions, the same
     // budget scale as a fig6 day (see DESIGN.md's virtual-clock note).
-    let cfg = |seed| CampaignConfig {
-        duration: hours(7 * 24),
-        exec_cost: Duration::from_secs(14),
-        sample_every: hours(12),
-        seed,
-        ..CampaignConfig::default()
+    let cfg = |seed| {
+        CampaignConfig::builder()
+            .duration(hours(7 * 24))
+            .exec_cost(Duration::from_secs(14))
+            .sample_every(hours(12))
+            .seed(seed)
+            .build()
     };
     println!("== Table 2: 7-day crash campaign ==");
     println!(

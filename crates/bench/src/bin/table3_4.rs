@@ -13,13 +13,12 @@ use snowplow_core::{CrashCategory, Kernel, KernelVersion};
 fn main() {
     let kernel = Kernel::build(KernelVersion::V6_8);
     let (model, _) = trained_model(&kernel);
-    let cfg = CampaignConfig {
-        duration: hours(7 * 24),
-        exec_cost: Duration::from_secs(14),
-        sample_every: hours(12),
-        seed: 11,
-        ..CampaignConfig::default()
-    };
+    let cfg = CampaignConfig::builder()
+        .duration(hours(7 * 24))
+        .exec_cost(Duration::from_secs(14))
+        .sample_every(hours(12))
+        .seed(11)
+        .build();
     let report = Campaign::new(
         &kernel,
         FuzzerKind::Snowplow {

@@ -64,12 +64,11 @@ fn main() {
             let mut total = 0.0;
             let mut ok = 0;
             for seed in 0..runs {
-                let cfg = DirectedConfig {
-                    target: *target,
-                    duration: budget,
-                    seed: seed as u64 + 100,
-                    ..DirectedConfig::default()
-                };
+                let cfg = DirectedConfig::builder()
+                    .target(*target)
+                    .duration(budget)
+                    .seed(seed as u64 + 100)
+                    .build();
                 let m = if pmm {
                     Some(Box::new(model.clone()))
                 } else {

@@ -31,13 +31,12 @@ pub fn hours(h: u64) -> Duration {
 /// The standard "24-hour" campaign configuration used by the harnesses
 /// (2 virtual seconds per execution → 43 200 executions per day).
 pub fn day_config(seed: u64) -> CampaignConfig {
-    CampaignConfig {
-        duration: hours(24),
-        exec_cost: Duration::from_secs(2),
-        sample_every: Duration::from_secs(3600),
-        seed,
-        ..CampaignConfig::default()
-    }
+    CampaignConfig::builder()
+        .duration(hours(24))
+        .exec_cost(Duration::from_secs(2))
+        .sample_every(Duration::from_secs(3600))
+        .seed(seed)
+        .build()
 }
 
 /// Trains the paper-scale PMM on the 6.8 kernel (the model every

@@ -12,14 +12,13 @@ fn main() {
     let (model, report) = train_pmm(&kernel, Scale::paper());
     println!("trained PMM in {:?}; eval {}", t0.elapsed(), report.metrics);
     for seed in [1u64, 2] {
-        let cfg = CampaignConfig {
-            duration: Duration::from_secs(24 * 3600),
-            exec_cost: Duration::from_secs(2),
-            seed,
-            ..CampaignConfig::default()
-        };
+        let cfg = CampaignConfig::builder()
+            .duration(Duration::from_secs(24 * 3600))
+            .exec_cost(Duration::from_secs(2))
+            .seed(seed)
+            .build();
         let t = std::time::Instant::now();
-        let base = Campaign::new(&kernel, FuzzerKind::Syzkaller, cfg).run();
+        let base = Campaign::new(&kernel, FuzzerKind::Syzkaller, cfg.clone()).run();
         let tb = t.elapsed();
         let t = std::time::Instant::now();
         let snow = Campaign::new(

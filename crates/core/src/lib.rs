@@ -40,9 +40,38 @@ pub use snowplow_syslang::{builtin, Registry, SyscallId};
 /// Fuzzing-loop types (campaigns, corpus, crashes, directed mode).
 pub mod fuzzing {
     pub use snowplow_fuzzer::{
-        attempt_reproducer, Campaign, CampaignConfig, CampaignReport, Corpus, CrashLog,
-        CrashRecord, DirectedCampaign, DirectedConfig, DirectedOutcome, FuzzerKind, ReproOutcome,
-        TimelinePoint, VirtualClock,
+        attempt_reproducer, Campaign, CampaignConfig, CampaignConfigBuilder, CampaignReport,
+        Corpus, CrashLog, CrashRecord, DirectedCampaign, DirectedConfig, DirectedConfigBuilder,
+        DirectedOutcome, FuzzerKind, ReproOutcome, TimelinePoint, VirtualClock,
+    };
+}
+
+/// One-stop imports for configuring the pipeline: every config type with
+/// its builder, the shared execution wiring ([`ExecConfig`]), and the
+/// telemetry layer (sinks, phases, snapshots).
+///
+/// ```no_run
+/// use snowplow_core::prelude::*;
+///
+/// let (telemetry, sink) = Telemetry::in_memory();
+/// let cfg = CampaignConfig::builder()
+///     .workers(4)
+///     .telemetry(telemetry)
+///     .build();
+/// # let _ = (cfg, sink);
+/// ```
+pub mod prelude {
+    pub use crate::Scale;
+    pub use snowplow_fuzzer::{
+        CampaignConfig, CampaignConfigBuilder, DirectedConfig, DirectedConfigBuilder,
+    };
+    pub use snowplow_pmm::dataset::{DatasetConfig, DatasetConfigBuilder};
+    pub use snowplow_pmm::server::ServeError;
+    pub use snowplow_pmm::train::{TrainConfig, TrainConfigBuilder};
+    pub use snowplow_pool::ExecConfig;
+    pub use snowplow_telemetry::{
+        Histogram, InMemorySink, JsonlSink, MetricsSnapshot, NullSink, Phase, PhaseSpan, Telemetry,
+        TelemetrySink,
     };
 }
 
@@ -55,7 +84,7 @@ pub mod learning {
 }
 
 /// End-to-end pipeline scale: dataset size, training budget, model size.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Scale {
     /// Dataset pipeline configuration.
     pub dataset: DatasetConfig,
@@ -70,15 +99,11 @@ impl Scale {
     /// behaviour; used by the examples and quick tests.
     pub fn quick() -> Scale {
         Scale {
-            dataset: DatasetConfig {
-                base_tests: 120,
-                mutations_per_base: 100,
-                ..DatasetConfig::default()
-            },
-            train: TrainConfig {
-                epochs: 6,
-                ..TrainConfig::default()
-            },
+            dataset: DatasetConfig::builder()
+                .base_tests(120)
+                .mutations_per_base(100)
+                .build(),
+            train: TrainConfig::builder().epochs(6).build(),
             model: PmmConfig {
                 dim: 48,
                 rounds: 3,
@@ -91,15 +116,11 @@ impl Scale {
     /// use to regenerate the paper's tables and figures.
     pub fn paper() -> Scale {
         Scale {
-            dataset: DatasetConfig {
-                base_tests: 500,
-                mutations_per_base: 150,
-                ..DatasetConfig::default()
-            },
-            train: TrainConfig {
-                epochs: 12,
-                ..TrainConfig::default()
-            },
+            dataset: DatasetConfig::builder()
+                .base_tests(500)
+                .mutations_per_base(150)
+                .build(),
+            train: TrainConfig::builder().epochs(12).build(),
             model: PmmConfig {
                 dim: 48,
                 rounds: 3,
@@ -112,8 +133,16 @@ impl Scale {
     /// evaluation over `workers` threads. All outputs stay bit-identical
     /// to `workers = 1`; only wall-clock time changes.
     pub fn with_workers(mut self, workers: usize) -> Scale {
-        self.dataset.workers = workers;
-        self.train.workers = workers;
+        self.dataset.exec.workers = workers;
+        self.train.exec.workers = workers;
+        self
+    }
+
+    /// Routes pipeline metrics (dataset harvest, training) to
+    /// `telemetry`. Disabled telemetry — the default — costs nothing.
+    pub fn with_telemetry(mut self, telemetry: snowplow_telemetry::Telemetry) -> Scale {
+        self.dataset.exec.telemetry = telemetry.clone();
+        self.train.exec.telemetry = telemetry;
         self
     }
 }

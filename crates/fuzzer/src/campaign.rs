@@ -17,8 +17,11 @@ use rand::prelude::*;
 use snowplow_kernel::{BlockId, Coverage, EdgeSet, ExecResult, Kernel, Vm};
 use snowplow_pmm::graph::QueryGraph;
 use snowplow_pmm::model::Pmm;
+use snowplow_pmm::server::ServeError;
+use snowplow_pool::ExecConfig;
 use snowplow_prog::gen::Generator;
 use snowplow_prog::{ArgLoc, Mutator, Prog};
+use snowplow_telemetry::{Phase, Telemetry};
 
 use crate::clock::VirtualClock;
 use crate::corpus::Corpus;
@@ -38,7 +41,12 @@ pub enum FuzzerKind {
 }
 
 /// Campaign tuning.
-#[derive(Debug, Clone, Copy)]
+///
+/// `#[non_exhaustive]`: construct via [`CampaignConfig::builder`] (or
+/// start from `Default` and set fields), so future knobs — like the
+/// `exec` field this redesign added — never break call sites again.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct CampaignConfig {
     /// Virtual duration of the campaign.
     pub duration: Duration,
@@ -65,11 +73,15 @@ pub struct CampaignConfig {
     pub sample_every: Duration,
     /// Campaign seed.
     pub seed: u64,
-    /// Worker threads sharding the embarrassingly-parallel phases
-    /// (seed-corpus generation; see also [`Corpus::minimize`]). Every
-    /// seed program draws from its own RNG stream and results merge in
-    /// program order, so the report is identical for any worker count.
-    pub workers: usize,
+    /// Execution context: worker threads sharding the embarrassingly-
+    /// parallel phases (seed-corpus generation; see also
+    /// [`Corpus::minimize`] — every seed program draws from its own RNG
+    /// stream and results merge in program order, so the report is
+    /// identical for any worker count) and the telemetry destination.
+    /// Metric snapshots are likewise identical for any worker count:
+    /// every event is recorded from the sequential portions of the loop
+    /// in virtual time.
+    pub exec: ExecConfig,
     /// Maximum PMM queries in flight at once (Snowplow mode): while the
     /// queue is full no new query is submitted and the stock random
     /// localizer carries the loop, mirroring the paper's bounded
@@ -100,11 +112,118 @@ impl Default for CampaignConfig {
             top_k: 6,
             sample_every: Duration::from_secs(30 * 60),
             seed: 0,
-            workers: 1,
+            exec: ExecConfig::default(),
             max_pending_predictions: 8,
             guided_use_multiplier: 4,
             hot_caches: true,
         }
+    }
+}
+
+impl CampaignConfig {
+    pub fn builder() -> CampaignConfigBuilder {
+        CampaignConfigBuilder {
+            cfg: CampaignConfig::default(),
+        }
+    }
+}
+
+/// Fluent constructor for [`CampaignConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct CampaignConfigBuilder {
+    cfg: CampaignConfig,
+}
+
+impl CampaignConfigBuilder {
+    pub fn duration(mut self, d: Duration) -> Self {
+        self.cfg.duration = d;
+        self
+    }
+
+    pub fn exec_cost(mut self, d: Duration) -> Self {
+        self.cfg.exec_cost = d;
+        self
+    }
+
+    pub fn inference_latency(mut self, d: Duration) -> Self {
+        self.cfg.inference_latency = d;
+        self
+    }
+
+    pub fn speed_factor(mut self, f: f64) -> Self {
+        self.cfg.speed_factor = f;
+        self
+    }
+
+    pub fn seed_corpus(mut self, n: usize) -> Self {
+        self.cfg.seed_corpus = n;
+        self
+    }
+
+    pub fn fallback_prob(mut self, p: f64) -> Self {
+        self.cfg.fallback_prob = p;
+        self
+    }
+
+    pub fn targets_per_query(mut self, n: usize) -> Self {
+        self.cfg.targets_per_query = n;
+        self
+    }
+
+    pub fn threshold(mut self, t: f32) -> Self {
+        self.cfg.threshold = t;
+        self
+    }
+
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.cfg.top_k = k;
+        self
+    }
+
+    pub fn sample_every(mut self, d: Duration) -> Self {
+        self.cfg.sample_every = d;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    pub fn exec(mut self, exec: ExecConfig) -> Self {
+        self.cfg.exec = exec;
+        self
+    }
+
+    /// Shorthand for setting `exec.workers`.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.exec.workers = n;
+        self
+    }
+
+    /// Shorthand for setting `exec.telemetry`.
+    pub fn telemetry(mut self, t: Telemetry) -> Self {
+        self.cfg.exec.telemetry = t;
+        self
+    }
+
+    pub fn max_pending_predictions(mut self, n: usize) -> Self {
+        self.cfg.max_pending_predictions = n;
+        self
+    }
+
+    pub fn guided_use_multiplier(mut self, n: usize) -> Self {
+        self.cfg.guided_use_multiplier = n;
+        self
+    }
+
+    pub fn hot_caches(mut self, on: bool) -> Self {
+        self.cfg.hot_caches = on;
+        self
+    }
+
+    pub fn build(self) -> CampaignConfig {
+        self.cfg
     }
 }
 
@@ -205,7 +324,12 @@ impl<'k> Campaign<'k> {
     pub fn run(mut self) -> CampaignReport {
         let kernel = self.kernel;
         let reg = kernel.registry();
-        let cfg = self.config;
+        let cfg = self.config.clone();
+        // All campaign metrics are recorded from the sequential parts of
+        // the loop with virtual-clock timestamps, so the snapshot is a
+        // pure function of (kernel, config, seed): identical at any
+        // worker count and with `hot_caches` on or off.
+        let telemetry = cfg.exec.telemetry.clone();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let generator = Generator::new(reg);
         let mut mutator = Mutator::new(reg);
@@ -243,11 +367,20 @@ impl<'k> Campaign<'k> {
             vm.restore(&snapshot);
             vm.execute_into(prog, buf);
             *execs += 1;
+            let span = telemetry.span_at(Phase::Execute, clock.now());
             clock.advance(exec_cost);
+            span.finish(&telemetry, clock.now());
+            telemetry.counter("execs", 1);
             let new_edges = buf.merge_edges_into(edges);
             buf.merge_coverage_into(blocks);
+            telemetry.observe("execute.new_edges", new_edges as u64);
             if let Some(crash) = &buf.crash {
-                crashes.record(crash, prog, clock.now());
+                let new_sig = crashes.record(crash, prog, clock.now());
+                telemetry.phase(Phase::Triage, 0);
+                telemetry.counter("triage.crashes", 1);
+                if new_sig {
+                    telemetry.counter("triage.new_signatures", 1);
+                }
             }
             if new_edges > 0 {
                 corpus.add_checked(reg, prog.clone(), buf, new_edges);
@@ -269,8 +402,9 @@ impl<'k> Campaign<'k> {
         // program order — the report is bit-identical for any worker
         // count.
         const SALT_SEED_CORPUS: u64 = 0x5eed;
-        let seed_runs = snowplow_pool::scoped_map(
-            cfg.workers,
+        let seed_span = telemetry.span_at(Phase::SeedGen, clock.now());
+        let seed_runs = cfg.exec.map(
+            "campaign.seed_corpus",
             (0..cfg.seed_corpus).collect(),
             || {
                 let vm = Vm::new(kernel);
@@ -291,17 +425,27 @@ impl<'k> Campaign<'k> {
         );
         for (p, result) in seed_runs {
             execs += 1;
+            let span = telemetry.span_at(Phase::Execute, clock.now());
             clock.advance(exec_cost);
+            span.finish(&telemetry, clock.now());
+            telemetry.counter("execs", 1);
             let new_edges = result.merge_edges_into(&mut edges);
             result.merge_coverage_into(&mut blocks);
+            telemetry.observe("execute.new_edges", new_edges as u64);
             if let Some(crash) = &result.crash {
-                crashes.record(crash, &p, clock.now());
+                let new_sig = crashes.record(crash, &p, clock.now());
+                telemetry.phase(Phase::Triage, 0);
+                telemetry.counter("triage.crashes", 1);
+                if new_sig {
+                    telemetry.counter("triage.new_signatures", 1);
+                }
             }
             if new_edges > 0 {
                 corpus.add_checked(reg, p, &result, new_edges);
             }
             attribution.generation += new_edges;
         }
+        seed_span.finish(&telemetry, clock.now());
 
         // ---- Hot-loop caches (Snowplow). -------------------------------------
         // All cached values are pure functions of campaign state: they
@@ -366,6 +510,8 @@ impl<'k> Campaign<'k> {
             match &mut self.kind {
                 FuzzerKind::Syzkaller => {
                     let (mutant, outcome) = mutator.mutate(&mut rng, &corpus.entry(base_idx).prog);
+                    telemetry.phase(Phase::Mutate, 0);
+                    telemetry.observe("mutate.prog_calls", mutant.calls.len() as u64);
                     let gained = execute(
                         &mutant,
                         &mut vm,
@@ -387,67 +533,91 @@ impl<'k> Campaign<'k> {
                     // Submit a mutation query for this base unless a
                     // prediction is cached or already in flight (async:
                     // the result arrives after the inference latency;
-                    // meanwhile mutation continues below).
+                    // meanwhile mutation continues below). Submission
+                    // can be *declined* with a [`ServeError`] — bounded
+                    // queue full, nothing to target, no mutable sites —
+                    // exactly the error surface of the live inference
+                    // service; every declination degrades to the stock
+                    // random localizer below.
                     let in_flight = pending.iter().any(|p| p.base == base_idx);
-                    if !ready.contains_key(&base_idx)
-                        && !in_flight
-                        && pending.len() < cfg.max_pending_predictions
-                    {
-                        // Desired targets: frontier blocks of the base
-                        // that the campaign has not covered at all yet.
-                        // The eligible frontier (not dead, arg-gated)
-                        // is fixed per entry; the global-coverage
-                        // filter is re-applied only when coverage grew
-                        // since the cached epoch.
-                        if blocks.len() != blocks_at_epoch {
-                            epoch += 1;
-                            blocks_at_epoch = blocks.len();
-                        }
-                        wanted_buf.clear();
-                        if cfg.hot_caches {
-                            let ent = frontier_cache.entry(base_idx).or_insert_with(|| {
-                                let entry = corpus.entry(base_idx);
-                                let eligible: Vec<BlockId> = kernel
-                                    .cfg()
-                                    .alternative_entries(&entry.coverage)
-                                    .into_iter()
-                                    .filter(|b| {
-                                        !dead_blocks.contains(b)
-                                            && kernel.cfg().arg_gated(kernel.blocks(), *b)
-                                    })
-                                    .collect();
-                                EntryFrontier {
-                                    eligible,
-                                    epoch: u64::MAX,
-                                    wanted: Vec::new(),
-                                }
-                            });
-                            if ent.epoch != epoch {
-                                ent.wanted.clear();
-                                ent.wanted.extend(
-                                    ent.eligible
-                                        .iter()
-                                        .copied()
-                                        .filter(|b| !blocks.contains(*b)),
-                                );
-                                ent.epoch = epoch;
+                    if !ready.contains_key(&base_idx) && !in_flight {
+                        let submitted: Result<(), ServeError> = 'submit: {
+                            // Cheap short-circuit first: this bound
+                            // mirrors `BatchPolicy::queue_cap` on the
+                            // live service, and the check must stay
+                            // ahead of the frontier work to keep the
+                            // saturated hot loop cheap.
+                            if pending.len() >= cfg.max_pending_predictions {
+                                break 'submit Err(ServeError::QueueFull {
+                                    depth: pending.len(),
+                                    cap: cfg.max_pending_predictions,
+                                });
                             }
-                            wanted_buf.extend_from_slice(&ent.wanted);
-                        } else {
-                            let entry = corpus.entry(base_idx);
-                            wanted_buf.extend(
-                                kernel
-                                    .cfg()
-                                    .alternative_entries(&entry.coverage)
-                                    .into_iter()
-                                    .filter(|b| {
-                                        !blocks.contains(*b)
-                                            && !dead_blocks.contains(b)
-                                            && kernel.cfg().arg_gated(kernel.blocks(), *b)
-                                    }),
-                            );
-                        }
-                        if !wanted_buf.is_empty() {
+                            // Desired targets: frontier blocks of the base
+                            // that the campaign has not covered at all yet.
+                            // The eligible frontier (not dead, arg-gated)
+                            // is fixed per entry; the global-coverage
+                            // filter is re-applied only when coverage grew
+                            // since the cached epoch.
+                            if blocks.len() != blocks_at_epoch {
+                                epoch += 1;
+                                blocks_at_epoch = blocks.len();
+                            }
+                            wanted_buf.clear();
+                            if cfg.hot_caches {
+                                let ent = frontier_cache.entry(base_idx).or_insert_with(|| {
+                                    let entry = corpus.entry(base_idx);
+                                    let eligible: Vec<BlockId> = kernel
+                                        .cfg()
+                                        .alternative_entries(&entry.coverage)
+                                        .into_iter()
+                                        .filter(|b| {
+                                            !dead_blocks.contains(b)
+                                                && kernel.cfg().arg_gated(kernel.blocks(), *b)
+                                        })
+                                        .collect();
+                                    EntryFrontier {
+                                        eligible,
+                                        epoch: u64::MAX,
+                                        wanted: Vec::new(),
+                                    }
+                                });
+                                if ent.epoch != epoch {
+                                    ent.wanted.clear();
+                                    ent.wanted.extend(
+                                        ent.eligible
+                                            .iter()
+                                            .copied()
+                                            .filter(|b| !blocks.contains(*b)),
+                                    );
+                                    ent.epoch = epoch;
+                                }
+                                wanted_buf.extend_from_slice(&ent.wanted);
+                            } else {
+                                let entry = corpus.entry(base_idx);
+                                wanted_buf.extend(
+                                    kernel
+                                        .cfg()
+                                        .alternative_entries(&entry.coverage)
+                                        .into_iter()
+                                        .filter(|b| {
+                                            !blocks.contains(*b)
+                                                && !dead_blocks.contains(b)
+                                                && kernel.cfg().arg_gated(kernel.blocks(), *b)
+                                        }),
+                                );
+                            }
+                            // Recorded at the point where both cache
+                            // paths hold the identical wanted set, so a
+                            // snapshot cannot tell `hot_caches` on from
+                            // off.
+                            telemetry.phase(Phase::FrontierQuery, 0);
+                            telemetry.observe("frontier.wanted_blocks", wanted_buf.len() as u64);
+                            if wanted_buf.is_empty() {
+                                break 'submit Err(ServeError::MalformedBatch {
+                                    reason: "no uncovered frontier targets".to_owned(),
+                                });
+                            }
                             wanted_buf.shuffle(&mut rng);
                             wanted_buf.truncate(cfg.targets_per_query);
                             // Top-K localization: everything above the
@@ -498,12 +668,42 @@ impl<'k> Campaign<'k> {
                                 );
                                 rank(model.predict(&graph))
                             };
+                            // `rank` keeps at least one location whenever
+                            // the graph had candidates, so an empty set
+                            // means the base has no mutable argument
+                            // sites: the same condition the live service
+                            // rejects as a malformed batch.
+                            if locs.is_empty() {
+                                break 'submit Err(ServeError::MalformedBatch {
+                                    reason: "query graph has no candidate mutation sites"
+                                        .to_owned(),
+                                });
+                            }
                             inferences += 1;
+                            telemetry.counter("inferences", 1);
+                            telemetry
+                                .phase(Phase::Predict, cfg.inference_latency.as_micros() as u64);
+                            telemetry.observe("predict.locations", locs.len() as u64);
                             pending.push_back(PendingPrediction {
                                 base: base_idx,
                                 ready_at: clock.now() + cfg.inference_latency,
                                 locs,
                             });
+                            Ok(())
+                        };
+                        // Degraded mode: a declined submission leaves
+                        // this iteration to the random localizer.
+                        match &submitted {
+                            Ok(()) => {}
+                            Err(ServeError::QueueFull { .. }) => {
+                                telemetry.counter("serve.degraded.queue_full", 1);
+                            }
+                            Err(ServeError::MalformedBatch { .. }) => {
+                                telemetry.counter("serve.degraded.malformed", 1);
+                            }
+                            Err(ServeError::ShuttingDown) => {
+                                telemetry.counter("serve.degraded.shutdown", 1);
+                            }
                         }
                     }
                     // Same mutation-type mix as the baseline; only the
@@ -542,6 +742,13 @@ impl<'k> Campaign<'k> {
                                 }
                             };
                             let _ = applied;
+                            telemetry.phase(Phase::Mutate, 0);
+                            telemetry.observe("mutate.prog_calls", mutant.calls.len() as u64);
+                            if guided.is_some() {
+                                telemetry.counter("mutate.guided", 1);
+                            } else {
+                                telemetry.counter("mutate.random", 1);
+                            }
                             let gained = execute(
                                 &mutant,
                                 &mut vm,
@@ -567,6 +774,8 @@ impl<'k> Campaign<'k> {
                         snowplow_prog::MutationType::CallInsertion => {
                             let mutant =
                                 mutator.insert_call(&mut rng, &corpus.entry(base_idx).prog);
+                            telemetry.phase(Phase::Mutate, 0);
+                            telemetry.observe("mutate.prog_calls", mutant.calls.len() as u64);
                             attribution.structural += execute(
                                 &mutant,
                                 &mut vm,
@@ -582,6 +791,8 @@ impl<'k> Campaign<'k> {
                         snowplow_prog::MutationType::CallRemoval => {
                             let mutant =
                                 mutator.remove_call(&mut rng, &corpus.entry(base_idx).prog);
+                            telemetry.phase(Phase::Mutate, 0);
+                            telemetry.observe("mutate.prog_calls", mutant.calls.len() as u64);
                             attribution.structural += execute(
                                 &mutant,
                                 &mut vm,
@@ -606,6 +817,17 @@ impl<'k> Campaign<'k> {
             crashes: crashes.unique(),
             execs,
         });
+
+        if telemetry.is_enabled() {
+            telemetry.gauge("campaign.final_edges", edges.len() as f64);
+            telemetry.gauge("campaign.final_blocks", blocks.len() as f64);
+            telemetry.gauge("campaign.corpus", corpus.len() as f64);
+            telemetry.counter("attribution.generation", attribution.generation as u64);
+            telemetry.counter("attribution.guided_args", attribution.guided_args as u64);
+            telemetry.counter("attribution.random_args", attribution.random_args as u64);
+            telemetry.counter("attribution.structural", attribution.structural as u64);
+            telemetry.flush();
+        }
 
         CampaignReport {
             timeline,
@@ -688,17 +910,13 @@ mod tests {
     fn campaigns_are_independent_of_worker_count() {
         let kernel = Kernel::build(KernelVersion::V6_8);
         let run = |workers: usize| {
-            Campaign::new(
-                &kernel,
-                FuzzerKind::Syzkaller,
-                CampaignConfig {
-                    duration: Duration::from_secs(600),
-                    sample_every: Duration::from_secs(60),
-                    workers,
-                    ..short_config(11)
-                },
-            )
-            .run()
+            let mut cfg = CampaignConfig {
+                duration: Duration::from_secs(600),
+                sample_every: Duration::from_secs(60),
+                ..short_config(11)
+            };
+            cfg.exec.workers = workers;
+            Campaign::new(&kernel, FuzzerKind::Syzkaller, cfg).run()
         };
         let one = run(1);
         for workers in [2, 8] {

@@ -25,10 +25,17 @@ use snowplow_pmm::model::Pmm;
 use snowplow_prog::gen::Generator;
 use snowplow_prog::{Mutator, Prog};
 
+use snowplow_telemetry::{Phase, Telemetry};
+
 use crate::clock::VirtualClock;
 
 /// Directed-campaign tuning.
-#[derive(Debug, Clone, Copy)]
+///
+/// `#[non_exhaustive]`: construct with [`DirectedConfig::builder`] (or
+/// [`DirectedConfig::default`] plus field mutation) so new knobs can be
+/// added without breaking downstream crates.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct DirectedConfig {
     /// The block to reach.
     pub target: BlockId,
@@ -45,6 +52,8 @@ pub struct DirectedConfig {
     pub seed_corpus: usize,
     /// Campaign seed.
     pub seed: u64,
+    /// Metrics destination; [`Telemetry::disabled`] costs nothing.
+    pub telemetry: Telemetry,
 }
 
 impl Default for DirectedConfig {
@@ -57,7 +66,78 @@ impl Default for DirectedConfig {
             threshold: 0.5,
             seed_corpus: 20,
             seed: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+}
+
+impl DirectedConfig {
+    /// Fluent constructor over [`Default`].
+    pub fn builder() -> DirectedConfigBuilder {
+        DirectedConfigBuilder {
+            cfg: DirectedConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`DirectedConfig`].
+#[derive(Debug, Clone)]
+pub struct DirectedConfigBuilder {
+    cfg: DirectedConfig,
+}
+
+impl DirectedConfigBuilder {
+    /// Sets the block to reach.
+    pub fn target(mut self, b: BlockId) -> Self {
+        self.cfg.target = b;
+        self
+    }
+
+    /// Sets the virtual time budget.
+    pub fn duration(mut self, d: Duration) -> Self {
+        self.cfg.duration = d;
+        self
+    }
+
+    /// Sets the virtual cost per execution.
+    pub fn exec_cost(mut self, d: Duration) -> Self {
+        self.cfg.exec_cost = d;
+        self
+    }
+
+    /// Sets the virtual latency per PMM query.
+    pub fn inference_latency(mut self, d: Duration) -> Self {
+        self.cfg.inference_latency = d;
+        self
+    }
+
+    /// Sets the PMM decision threshold.
+    pub fn threshold(mut self, t: f32) -> Self {
+        self.cfg.threshold = t;
+        self
+    }
+
+    /// Sets the seed corpus size.
+    pub fn seed_corpus(mut self, n: usize) -> Self {
+        self.cfg.seed_corpus = n;
+        self
+    }
+
+    /// Sets the campaign seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.cfg.seed = s;
+        self
+    }
+
+    /// Sets the metrics destination.
+    pub fn telemetry(mut self, t: Telemetry) -> Self {
+        self.cfg.telemetry = t;
+        self
+    }
+
+    /// Finishes the config.
+    pub fn build(self) -> DirectedConfig {
+        self.cfg
     }
 }
 
@@ -129,8 +209,32 @@ impl<'k> DirectedCampaign<'k> {
     /// one) or blocks no handler entry can flow to — return
     /// [`DirectedOutcome::Unreachable`] without spending any budget.
     pub fn run(mut self) -> DirectedOutcome {
+        let telemetry = self.config.telemetry.clone();
+        let outcome = self.run_inner(&telemetry);
+        if telemetry.is_enabled() {
+            match &outcome {
+                DirectedOutcome::Reached { at, .. } => {
+                    telemetry.counter("directed.reached", 1);
+                    telemetry.gauge("directed.reached_at_secs", at.as_secs_f64());
+                }
+                DirectedOutcome::TimedOut { best_distance, .. } => {
+                    telemetry.counter("directed.timed_out", 1);
+                    if let Some(d) = best_distance {
+                        telemetry.gauge("directed.best_distance", *d as f64);
+                    }
+                }
+                DirectedOutcome::Unreachable => {
+                    telemetry.counter("directed.unreachable", 1);
+                }
+            }
+            telemetry.flush();
+        }
+        outcome
+    }
+
+    fn run_inner(&mut self, telemetry: &Telemetry) -> DirectedOutcome {
         let kernel = self.kernel;
-        let cfg = self.config;
+        let cfg = self.config.clone();
         let reg = kernel.registry();
         if cfg.target.index() >= kernel.block_count()
             || snowplow_analysis::statically_dead_blocks(kernel).contains(&cfg.target)
@@ -161,7 +265,10 @@ impl<'k> DirectedCampaign<'k> {
                 vm.restore(&snapshot);
                 let exec = vm.execute($p);
                 execs += 1;
+                let span = telemetry.span_at(Phase::Execute, clock.now());
                 clock.advance(cfg.exec_cost);
+                span.finish(telemetry, clock.now());
+                telemetry.counter("execs", 1);
                 if exec.coverage().contains(cfg.target) {
                     return DirectedOutcome::Reached {
                         at: clock.now(),
@@ -260,6 +367,9 @@ impl<'k> DirectedCampaign<'k> {
                     }
                     let graph = QueryGraph::build(kernel, &base, &exec, &targets);
                     let locs = model.predict_set(&graph, cfg.threshold);
+                    telemetry.counter("inferences", 1);
+                    telemetry.phase(Phase::Predict, cfg.inference_latency.as_micros() as u64);
+                    telemetry.observe("predict.locations", locs.len() as u64);
                     clock.advance(cfg.inference_latency);
                     for loc in locs.iter().take(6) {
                         let (mutant, applied) = mutator.mutate_arguments(

@@ -27,10 +27,11 @@ pub mod directed;
 pub mod repro;
 
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignReport, EdgeAttribution, FuzzerKind, TimelinePoint,
+    Campaign, CampaignConfig, CampaignConfigBuilder, CampaignReport, EdgeAttribution, FuzzerKind,
+    TimelinePoint,
 };
 pub use clock::VirtualClock;
 pub use corpus::{Corpus, CorpusEntry};
 pub use crash::{CrashLog, CrashRecord};
-pub use directed::{DirectedCampaign, DirectedConfig, DirectedOutcome};
+pub use directed::{DirectedCampaign, DirectedConfig, DirectedConfigBuilder, DirectedOutcome};
 pub use repro::{attempt_reproducer, ReproOutcome};

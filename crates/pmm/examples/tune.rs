@@ -11,14 +11,14 @@ fn main() {
     let t0 = std::time::Instant::now();
     let dataset = Dataset::generate(
         &kernel,
-        DatasetConfig {
-            base_tests: 400,
-            mutations_per_base: 120,
-            max_calls: 5,
-            popularity_cap: 40,
-            seed: 3,
-            workers: 1,
-        },
+        DatasetConfig::builder()
+            .base_tests(400)
+            .mutations_per_base(120)
+            .max_calls(5)
+            .popularity_cap(40)
+            .seed(3)
+            .workers(1)
+            .build(),
     );
     println!(
         "dataset: {} samples from {} bases, mean |y| = {:.2}, gen in {:?}",
@@ -32,15 +32,15 @@ fn main() {
         (1e-3, 3.0, 48, 3),
         (1e-3, 4.0, 48, 4),
     ] {
-        let tc = TrainConfig {
-            epochs: 12,
-            lr,
-            batch: 8,
-            pos_weight: pw,
-            threshold: 0.5,
-            seed: 1,
-            workers: 1,
-        };
+        let tc = TrainConfig::builder()
+            .epochs(12)
+            .lr(lr)
+            .batch(8)
+            .pos_weight(pw)
+            .threshold(0.5)
+            .seed(1)
+            .workers(1)
+            .build();
         let pc = PmmConfig {
             dim,
             rounds,

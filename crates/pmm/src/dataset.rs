@@ -21,13 +21,19 @@ use std::collections::HashMap;
 
 use rand::prelude::*;
 use snowplow_kernel::{BlockId, Coverage, ExecResult, Kernel, Vm};
+use snowplow_pool::ExecConfig;
 use snowplow_prog::gen::Generator;
 use snowplow_prog::{ArgLoc, Mutator, Prog};
 
 use crate::graph::QueryGraph;
 
 /// Pipeline tuning.
-#[derive(Debug, Clone, Copy)]
+///
+/// `#[non_exhaustive]`: construct via [`DatasetConfig::builder`] (or
+/// start from `Default` and set fields), so future knobs — like the
+/// `exec` field this redesign added — never break call sites again.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct DatasetConfig {
     /// Number of base tests in the seed corpus.
     pub base_tests: usize,
@@ -41,10 +47,10 @@ pub struct DatasetConfig {
     pub popularity_cap: usize,
     /// Master seed.
     pub seed: u64,
-    /// Worker threads sharding the per-base harvest. Every base test
-    /// draws from its own RNG stream, so the dataset is identical for
-    /// any worker count.
-    pub workers: usize,
+    /// Execution context: worker threads sharding the per-base harvest
+    /// (every base draws from its own RNG stream, so the dataset is
+    /// identical for any worker count) and the telemetry destination.
+    pub exec: ExecConfig,
 }
 
 impl Default for DatasetConfig {
@@ -55,8 +61,70 @@ impl Default for DatasetConfig {
             max_calls: 8,
             popularity_cap: 40,
             seed: 0xda7a,
-            workers: 1,
+            exec: ExecConfig::default(),
         }
+    }
+}
+
+impl DatasetConfig {
+    pub fn builder() -> DatasetConfigBuilder {
+        DatasetConfigBuilder {
+            cfg: DatasetConfig::default(),
+        }
+    }
+}
+
+/// Fluent constructor for [`DatasetConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct DatasetConfigBuilder {
+    cfg: DatasetConfig,
+}
+
+impl DatasetConfigBuilder {
+    pub fn base_tests(mut self, n: usize) -> Self {
+        self.cfg.base_tests = n;
+        self
+    }
+
+    pub fn mutations_per_base(mut self, n: usize) -> Self {
+        self.cfg.mutations_per_base = n;
+        self
+    }
+
+    pub fn max_calls(mut self, n: usize) -> Self {
+        self.cfg.max_calls = n;
+        self
+    }
+
+    pub fn popularity_cap(mut self, n: usize) -> Self {
+        self.cfg.popularity_cap = n;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    pub fn exec(mut self, exec: ExecConfig) -> Self {
+        self.cfg.exec = exec;
+        self
+    }
+
+    /// Shorthand for setting `exec.workers`.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.exec.workers = n;
+        self
+    }
+
+    /// Shorthand for setting `exec.telemetry`.
+    pub fn telemetry(mut self, t: snowplow_telemetry::Telemetry) -> Self {
+        self.cfg.exec.telemetry = t;
+        self
+    }
+
+    pub fn build(self) -> DatasetConfig {
+        self.cfg
     }
 }
 
@@ -147,8 +215,8 @@ impl Dataset {
         let generator = Generator::new(reg);
         let fractions = [0.0f64, 0.25, 0.5, 0.75, 1.0];
 
-        let harvests: Vec<BaseHarvest> = snowplow_pool::scoped_map(
-            config.workers,
+        let harvests: Vec<BaseHarvest> = config.exec.map(
+            "dataset.harvest",
             (0..config.base_tests).collect(),
             || {
                 // Per-worker execution buffers: the mutation loop below
@@ -306,6 +374,23 @@ impl Dataset {
             };
         }
 
+        // Dataset-level metrics, recorded from the sequential merge so
+        // they are worker-count independent like the data itself.
+        let telemetry = &config.exec.telemetry;
+        if telemetry.is_enabled() {
+            telemetry.counter("dataset.mutations_tried", stats.mutations_tried as u64);
+            telemetry.counter(
+                "dataset.successful_mutations",
+                stats.successful_mutations as u64,
+            );
+            telemetry.counter("dataset.capped", stats.capped as u64);
+            telemetry.counter("dataset.samples", samples.len() as u64);
+            for s in &samples {
+                telemetry.observe("dataset.positives_per_sample", s.positives.len() as u64);
+                telemetry.observe("dataset.targets_per_sample", s.targets.len() as u64);
+            }
+        }
+
         Dataset {
             progs,
             samples,
@@ -360,14 +445,14 @@ mod tests {
     use super::*;
 
     fn small_config() -> DatasetConfig {
-        DatasetConfig {
-            base_tests: 30,
-            mutations_per_base: 60,
-            max_calls: 5,
-            popularity_cap: 20,
-            seed: 7,
-            workers: 1,
-        }
+        DatasetConfig::builder()
+            .base_tests(30)
+            .mutations_per_base(60)
+            .max_calls(5)
+            .popularity_cap(20)
+            .seed(7)
+            .workers(1)
+            .build()
     }
 
     #[test]
@@ -432,18 +517,36 @@ mod tests {
         let kernel = Kernel::build(KernelVersion::V6_8);
         let base = Dataset::generate(&kernel, small_config());
         for workers in [2, 8] {
-            let ds = Dataset::generate(
-                &kernel,
-                DatasetConfig {
-                    workers,
-                    ..small_config()
-                },
-            );
+            let mut cfg = small_config();
+            cfg.exec.workers = workers;
+            let ds = Dataset::generate(&kernel, cfg);
             assert_eq!(base.progs, ds.progs, "workers={workers}");
             assert_eq!(base.samples, ds.samples, "workers={workers}");
             assert_eq!(base.splits, ds.splits, "workers={workers}");
             assert_eq!(base.stats, ds.stats, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn telemetry_counters_match_stats_and_worker_count_is_invisible() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let render_for = |workers: usize| {
+            let (telemetry, _sink) = snowplow_telemetry::Telemetry::in_memory();
+            let mut cfg = small_config();
+            cfg.exec.workers = workers;
+            cfg.exec.telemetry = telemetry.clone();
+            let ds = Dataset::generate(&kernel, cfg);
+            let snap = telemetry.snapshot();
+            assert_eq!(
+                snap.counters["dataset.mutations_tried"],
+                ds.stats.mutations_tried as u64
+            );
+            assert_eq!(snap.counters["dataset.samples"], ds.samples.len() as u64);
+            snap.render()
+        };
+        let one = render_for(1);
+        assert_eq!(one, render_for(2));
+        assert_eq!(one, render_for(8));
     }
 
     #[test]

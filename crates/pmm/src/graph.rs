@@ -328,6 +328,16 @@ impl QueryGraph {
         self.candidates.len()
     }
 
+    /// Number of blocks marked as desired targets of the query. A graph
+    /// with zero targets asks the model to localize "toward nothing";
+    /// the inference service rejects it as malformed.
+    pub fn target_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, NodeKind::Block { target: true, .. }))
+            .count()
+    }
+
     /// Count of vertices per coarse class: (syscalls, args, covered
     /// blocks, alternative blocks, targets). Used by the §5.1 statistics
     /// harness.

@@ -20,12 +20,54 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use snowplow_prog::ArgLoc;
+use snowplow_telemetry::Telemetry;
 
 use crate::graph::QueryGraph;
 use crate::model::Pmm;
 
 /// A pending localization result.
 pub type Pending = Receiver<Vec<(ArgLoc, f32)>>;
+
+/// Why the service declined a request.
+///
+/// These were panicking or silently-blocking paths before: queue-cap
+/// overflow parked the submitter forever if workers died, and a
+/// malformed query hit asserts deep in the forward pass. Callers now
+/// get a value they can route around — the campaign loop treats every
+/// variant as "degrade to the random localizer for this mutation".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded request queue is at capacity ([`BatchPolicy::queue_cap`]).
+    QueueFull { depth: usize, cap: usize },
+    /// The query cannot be packed into a forward pass (e.g. no
+    /// candidate mutation sites — the model would have nothing to
+    /// score).
+    MalformedBatch { reason: String },
+    /// The service has stopped accepting work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull { depth, cap } => {
+                write!(f, "inference queue full ({depth}/{cap})")
+            }
+            ServeError::MalformedBatch { reason } => write!(f, "malformed batch: {reason}"),
+            ServeError::ShuttingDown => write!(f, "inference service shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Lock a possibly-poisoned std mutex, keeping the data. A worker that
+/// panicked mid-update can at worst leave a stale queue-depth count;
+/// that must degrade service quality, never take the fuzzer down with a
+/// second panic.
+fn lock_ignore_poison<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 struct Request {
     graph: QueryGraph,
@@ -128,6 +170,7 @@ pub struct InferenceService {
     state: Arc<Mutex<ServiceState>>,
     gate: Arc<QueueGate>,
     queue_cap: Option<usize>,
+    telemetry: Telemetry,
 }
 
 impl InferenceService {
@@ -139,6 +182,18 @@ impl InferenceService {
     /// Spawns `workers` threads, each with its own copy of `model`,
     /// coalescing requests according to `policy`.
     pub fn start_with_policy(model: &Pmm, workers: usize, policy: BatchPolicy) -> InferenceService {
+        InferenceService::start_instrumented(model, workers, policy, Telemetry::disabled())
+    }
+
+    /// [`InferenceService::start_with_policy`] recording serving
+    /// counters (`serve.queries`, `serve.batches`, `serve.batch_size`,
+    /// `serve.rejected.*`) into `telemetry`.
+    pub fn start_instrumented(
+        model: &Pmm,
+        workers: usize,
+        policy: BatchPolicy,
+        telemetry: Telemetry,
+    ) -> InferenceService {
         let workers = workers.max(1);
         let max_batch = policy.max_batch.max(1);
         let (tx, rx) = channel::unbounded::<Request>();
@@ -150,6 +205,7 @@ impl InferenceService {
                 let mut replica = model.clone();
                 let state = Arc::clone(&state);
                 let gate = Arc::clone(&gate);
+                let telemetry = telemetry.clone();
                 std::thread::spawn(move || {
                     while let Ok(first) = rx.recv() {
                         let mut requests = Vec::with_capacity(max_batch);
@@ -177,7 +233,7 @@ impl InferenceService {
                         // before the (slow) forward pass so blocked
                         // submitters can make progress meanwhile.
                         {
-                            let mut depth = gate.depth.lock().expect("gate poisoned");
+                            let mut depth = lock_ignore_poison(&gate.depth);
                             *depth = depth.saturating_sub(requests.len());
                         }
                         gate.room.notify_all();
@@ -191,6 +247,9 @@ impl InferenceService {
                         let start = Instant::now();
                         let results = replica.predict_batch(&graphs);
                         let done = Instant::now();
+                        telemetry.counter("serve.queries", graphs.len() as u64);
+                        telemetry.counter("serve.batches", 1);
+                        telemetry.observe("serve.batch_size", graphs.len() as u64);
                         {
                             let mut st = state.lock();
                             st.stats.served += graphs.len() as u64;
@@ -218,42 +277,92 @@ impl InferenceService {
             state,
             gate,
             queue_cap: policy.queue_cap,
+            telemetry,
         }
+    }
+
+    /// Reject queries the forward pass cannot score.
+    fn validate(graph: &QueryGraph) -> Result<(), ServeError> {
+        if graph.candidate_count() == 0 {
+            return Err(ServeError::MalformedBatch {
+                reason: "query graph has no candidate mutation sites".to_owned(),
+            });
+        }
+        if graph.target_count() == 0 {
+            return Err(ServeError::MalformedBatch {
+                reason: "query graph has no target blocks to localize toward".to_owned(),
+            });
+        }
+        Ok(())
     }
 
     /// Submits a query asynchronously. The caller polls or blocks on the
     /// returned receiver whenever it is ready to apply the localization.
     /// Latency accounting starts here, so queue wait is counted.
     ///
-    /// With [`BatchPolicy::queue_cap`] set, this blocks until the queue
-    /// has room (backpressure); otherwise it always returns immediately.
-    pub fn submit(&self, graph: QueryGraph) -> Pending {
+    /// Never blocks: with [`BatchPolicy::queue_cap`] set and the queue
+    /// at capacity this returns [`ServeError::QueueFull`] so the caller
+    /// can degrade (the campaign loop falls back to the random
+    /// localizer) instead of stalling the fuzzing loop. Use
+    /// [`InferenceService::submit_blocking`] for backpressure instead.
+    pub fn submit(&self, graph: QueryGraph) -> Result<Pending, ServeError> {
+        self.submit_inner(graph, false)
+    }
+
+    /// Like [`InferenceService::submit`], but applies backpressure: with
+    /// a full bounded queue this waits until a worker drains room
+    /// instead of returning [`ServeError::QueueFull`].
+    pub fn submit_blocking(&self, graph: QueryGraph) -> Result<Pending, ServeError> {
+        self.submit_inner(graph, true)
+    }
+
+    fn submit_inner(&self, graph: QueryGraph, block: bool) -> Result<Pending, ServeError> {
+        Self::validate(&graph).inspect_err(|_| {
+            self.telemetry.counter("serve.rejected.malformed", 1);
+        })?;
+        let Some(tx) = &self.tx else {
+            return Err(ServeError::ShuttingDown);
+        };
         let (respond, rx) = channel::bounded(1);
-        if let Some(tx) = &self.tx {
-            {
-                let mut depth = self.gate.depth.lock().expect("gate poisoned");
-                if let Some(cap) = self.queue_cap {
-                    let cap = cap.max(1);
+        {
+            let mut depth = lock_ignore_poison(&self.gate.depth);
+            if let Some(cap) = self.queue_cap {
+                let cap = cap.max(1);
+                if block {
                     while *depth >= cap {
-                        depth = self.gate.room.wait(depth).expect("gate poisoned");
+                        depth = self
+                            .gate
+                            .room
+                            .wait(depth)
+                            .unwrap_or_else(|e| e.into_inner());
                     }
+                } else if *depth >= cap {
+                    self.telemetry.counter("serve.rejected.queue_full", 1);
+                    return Err(ServeError::QueueFull { depth: *depth, cap });
                 }
-                *depth += 1;
-                let mut st = self.state.lock();
-                st.stats.max_queue_depth = st.stats.max_queue_depth.max(*depth as u64);
             }
-            let _ = tx.send(Request {
+            *depth += 1;
+            let mut st = self.state.lock();
+            st.stats.max_queue_depth = st.stats.max_queue_depth.max(*depth as u64);
+        }
+        if tx
+            .send(Request {
                 graph,
                 respond,
                 enqueued: Instant::now(),
-            });
+            })
+            .is_err()
+        {
+            return Err(ServeError::ShuttingDown);
         }
-        rx
+        Ok(rx)
     }
 
-    /// Convenience: submit and wait.
-    pub fn predict_blocking(&self, graph: QueryGraph) -> Vec<(ArgLoc, f32)> {
-        self.submit(graph).recv().unwrap_or_default()
+    /// Convenience: submit (with backpressure) and wait.
+    pub fn predict_blocking(&self, graph: QueryGraph) -> Result<Vec<(ArgLoc, f32)>, ServeError> {
+        self.submit_blocking(graph)?
+            .recv()
+            .map_err(|_| ServeError::ShuttingDown)
     }
 
     /// Snapshot of the serving statistics.
@@ -326,7 +435,7 @@ mod tests {
         let service = InferenceService::start(&model, 2);
         let g = graph_for(1, &kernel);
         let direct = model.predict(&g);
-        let served = service.predict_blocking(g);
+        let served = service.predict_blocking(g).expect("well-formed query");
         assert_eq!(direct, served);
         assert_eq!(service.stats().served, 1);
     }
@@ -344,7 +453,7 @@ mod tests {
         );
         let service = InferenceService::start(&model, 4);
         let pendings: Vec<Pending> = (0..20)
-            .map(|i| service.submit(graph_for(i, &kernel)))
+            .map(|i| service.submit(graph_for(i, &kernel)).expect("accepted"))
             .collect();
         for p in pendings {
             // Invariant: the service owns live workers for the whole
@@ -379,7 +488,10 @@ mod tests {
             },
         );
         let graphs: Vec<QueryGraph> = (0..12).map(|i| graph_for(i, &kernel)).collect();
-        let pendings: Vec<Pending> = graphs.iter().map(|g| service.submit(g.clone())).collect();
+        let pendings: Vec<Pending> = graphs
+            .iter()
+            .map(|g| service.submit(g.clone()).expect("accepted"))
+            .collect();
         for (g, p) in graphs.iter().zip(pendings) {
             let served = p.recv().expect("worker answers");
             assert_eq!(model.predict(g), served, "batching must not change scores");
@@ -417,7 +529,7 @@ mod tests {
             },
         );
         let pendings: Vec<Pending> = (0..8)
-            .map(|i| service.submit(graph_for(i, &kernel)))
+            .map(|i| service.submit(graph_for(i, &kernel)).expect("accepted"))
             .collect();
         for p in pendings {
             p.recv().expect("worker answers");
@@ -452,11 +564,14 @@ mod tests {
                 queue_cap: Some(3),
             },
         );
-        // Submitting more than the cap forces submit() to block and
-        // wait for workers to drain, so the observed depth stays
-        // bounded while every query still gets the exact same answer.
+        // Submitting more than the cap forces submit_blocking() to wait
+        // for workers to drain, so the observed depth stays bounded
+        // while every query still gets the exact same answer.
         let graphs: Vec<QueryGraph> = (0..16).map(|i| graph_for(i, &kernel)).collect();
-        let pendings: Vec<Pending> = graphs.iter().map(|g| service.submit(g.clone())).collect();
+        let pendings: Vec<Pending> = graphs
+            .iter()
+            .map(|g| service.submit_blocking(g.clone()).expect("accepted"))
+            .collect();
         for (g, p) in graphs.iter().zip(pendings) {
             let served = p.recv().expect("worker answers");
             assert_eq!(
@@ -496,12 +611,127 @@ mod tests {
             },
         );
         let pendings: Vec<Pending> = (0..8)
-            .map(|i| service.submit(graph_for(i, &kernel)))
+            .map(|i| service.submit(graph_for(i, &kernel)).expect("accepted"))
             .collect();
         for p in pendings {
             p.recv().expect("worker answers");
         }
         assert!(service.stats().max_queue_depth >= 1);
+    }
+
+    /// A service whose queue never drains: live channel, zero workers.
+    /// Only constructible here (fields are private), and exactly what
+    /// the queue-overflow path needs to be deterministic.
+    fn stalled_service(
+        queue_cap: usize,
+        telemetry: Telemetry,
+    ) -> (InferenceService, Receiver<Request>) {
+        let (tx, rx) = channel::unbounded::<Request>();
+        let service = InferenceService {
+            tx: Some(tx),
+            workers: Vec::new(),
+            state: Arc::new(Mutex::new(ServiceState::default())),
+            gate: Arc::new(QueueGate::default()),
+            queue_cap: Some(queue_cap),
+            telemetry,
+        };
+        (service, rx)
+    }
+
+    #[test]
+    fn queue_overflow_returns_error_instead_of_blocking() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let (telemetry, _sink) = Telemetry::in_memory();
+        let (service, _rx) = stalled_service(2, telemetry.clone());
+        let _a = service.submit(graph_for(0, &kernel)).expect("room");
+        let _b = service.submit(graph_for(1, &kernel)).expect("room");
+        match service.submit(graph_for(2, &kernel)) {
+            Err(ServeError::QueueFull { depth, cap }) => {
+                assert_eq!((depth, cap), (2, 2));
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert_eq!(
+            telemetry.snapshot().counters["serve.rejected.queue_full"],
+            1
+        );
+    }
+
+    #[test]
+    fn malformed_query_is_rejected_not_panicked() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let model = Pmm::new(
+            PmmConfig {
+                dim: 16,
+                rounds: 1,
+                ..PmmConfig::default()
+            },
+            kernel.registry().syscall_count(),
+        );
+        let (telemetry, _sink) = Telemetry::in_memory();
+        let service = InferenceService::start_instrumented(
+            &model,
+            1,
+            BatchPolicy::default(),
+            telemetry.clone(),
+        );
+        // A query graph built with an empty frontier has no candidate
+        // mutation sites — nothing for the model to score.
+        let mut rng = StdRng::seed_from_u64(3);
+        let prog = Generator::new(kernel.registry()).generate(&mut rng, 4);
+        let mut vm = Vm::new(&kernel);
+        let exec = vm.execute(&prog);
+        let empty = QueryGraph::build(&kernel, &prog, &exec, &[]);
+        match service.submit(empty) {
+            Err(ServeError::MalformedBatch { reason }) => {
+                assert!(reason.contains("target"), "reason: {reason}");
+            }
+            other => panic!("expected MalformedBatch, got {other:?}"),
+        }
+        assert_eq!(telemetry.snapshot().counters["serve.rejected.malformed"], 1);
+    }
+
+    #[test]
+    fn serve_errors_display_cleanly() {
+        assert_eq!(
+            ServeError::QueueFull { depth: 4, cap: 4 }.to_string(),
+            "inference queue full (4/4)"
+        );
+        assert!(ServeError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+        let e: Box<dyn std::error::Error> = Box::new(ServeError::MalformedBatch {
+            reason: "empty".into(),
+        });
+        assert!(e.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn instrumented_service_counts_queries_and_batches() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let model = Pmm::new(
+            PmmConfig {
+                dim: 16,
+                rounds: 1,
+                ..PmmConfig::default()
+            },
+            kernel.registry().syscall_count(),
+        );
+        let (telemetry, _sink) = Telemetry::in_memory();
+        let service = InferenceService::start_instrumented(
+            &model,
+            2,
+            BatchPolicy::default(),
+            telemetry.clone(),
+        );
+        for i in 0..6 {
+            let _ = service.predict_blocking(graph_for(i, &kernel)).unwrap();
+        }
+        drop(service);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counters["serve.queries"], 6);
+        assert!(snap.counters["serve.batches"] >= 1);
+        assert_eq!(snap.hist("serve.batch_size").unwrap().sum(), 6);
     }
 
     #[test]

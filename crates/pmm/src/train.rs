@@ -3,6 +3,7 @@
 use rand::prelude::*;
 use snowplow_kernel::Kernel;
 use snowplow_mlcore::{AdamConfig, BinaryMetrics};
+use snowplow_pool::ExecConfig;
 use snowplow_prog::ArgLoc;
 
 use crate::dataset::{Dataset, Sample, Split};
@@ -10,7 +11,11 @@ use crate::graph::QueryGraph;
 use crate::model::{Pmm, PmmConfig};
 
 /// Training hyperparameters.
-#[derive(Debug, Clone, Copy)]
+///
+/// `#[non_exhaustive]`: construct via [`TrainConfig::builder`] (or start
+/// from `Default` and set fields).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct TrainConfig {
     /// Epochs over the training split.
     pub epochs: usize,
@@ -25,10 +30,11 @@ pub struct TrainConfig {
     pub threshold: f32,
     /// Shuffling seed.
     pub seed: u64,
-    /// Worker threads sharding example materialization and evaluation
-    /// (each evaluation worker runs its own model replica). Training
-    /// output is identical for any worker count.
-    pub workers: usize,
+    /// Execution context: worker threads sharding example
+    /// materialization and evaluation (each evaluation worker runs its
+    /// own model replica; training output is identical for any worker
+    /// count) and the telemetry destination.
+    pub exec: ExecConfig,
 }
 
 impl Default for TrainConfig {
@@ -40,8 +46,75 @@ impl Default for TrainConfig {
             pos_weight: 3.0,
             threshold: 0.5,
             seed: 0x7e57,
-            workers: 1,
+            exec: ExecConfig::default(),
         }
+    }
+}
+
+impl TrainConfig {
+    pub fn builder() -> TrainConfigBuilder {
+        TrainConfigBuilder {
+            cfg: TrainConfig::default(),
+        }
+    }
+}
+
+/// Fluent constructor for [`TrainConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct TrainConfigBuilder {
+    cfg: TrainConfig,
+}
+
+impl TrainConfigBuilder {
+    pub fn epochs(mut self, n: usize) -> Self {
+        self.cfg.epochs = n;
+        self
+    }
+
+    pub fn lr(mut self, lr: f32) -> Self {
+        self.cfg.lr = lr;
+        self
+    }
+
+    pub fn batch(mut self, n: usize) -> Self {
+        self.cfg.batch = n;
+        self
+    }
+
+    pub fn pos_weight(mut self, w: f32) -> Self {
+        self.cfg.pos_weight = w;
+        self
+    }
+
+    pub fn threshold(mut self, t: f32) -> Self {
+        self.cfg.threshold = t;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    pub fn exec(mut self, exec: ExecConfig) -> Self {
+        self.cfg.exec = exec;
+        self
+    }
+
+    /// Shorthand for setting `exec.workers`.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.exec.workers = n;
+        self
+    }
+
+    /// Shorthand for setting `exec.telemetry`.
+    pub fn telemetry(mut self, t: snowplow_telemetry::Telemetry) -> Self {
+        self.cfg.exec.telemetry = t;
+        self
+    }
+
+    pub fn build(self) -> TrainConfig {
+        self.cfg
     }
 }
 
@@ -67,7 +140,7 @@ impl<'k> Trainer<'k> {
 
     /// The training configuration.
     pub fn config(&self) -> TrainConfig {
-        self.config
+        self.config.clone()
     }
 
     /// Trains `model` on the dataset's training split. Returns the
@@ -77,8 +150,8 @@ impl<'k> Trainer<'k> {
         // Materialize graphs once (deterministic — graph construction
         // re-executes the base test, so shard it across workers; reused
         // every epoch).
-        let train: Vec<(QueryGraph, Vec<f32>)> = snowplow_pool::scoped_map(
-            self.config.workers,
+        let train: Vec<(QueryGraph, Vec<f32>)> = self.config.exec.map(
+            "train.materialize",
             dataset.split_samples(Split::Train),
             || (),
             |_, _, s| dataset.build_example(self.kernel, s),
@@ -118,6 +191,10 @@ impl<'k> Trainer<'k> {
             }
             let report = self.evaluate_samples(model, dataset, &val);
             history.push(report.metrics.f1);
+            self.config.exec.telemetry.counter("train.epochs", 1);
+        }
+        if let Some(last) = history.last() {
+            self.config.exec.telemetry.gauge("train.val_f1", *last);
         }
         history
     }
@@ -138,8 +215,8 @@ impl<'k> Trainer<'k> {
         // with its own replica, and prediction is deterministic, so the
         // metrics are identical for any worker count.
         let shared: &Pmm = model;
-        let per_example = snowplow_pool::scoped_map(
-            self.config.workers,
+        let per_example = self.config.exec.map(
+            "train.evaluate",
             samples.to_vec(),
             || shared.clone(),
             |replica, _, s| {
@@ -200,11 +277,11 @@ impl<'k> Trainer<'k> {
         let mut best: Option<(Pmm, TrainConfig, f64)> = None;
         for (pc, tc) in grid {
             let mut model = Pmm::new(*pc, kernel.registry().syscall_count());
-            let trainer = Trainer::new(kernel, *tc);
+            let trainer = Trainer::new(kernel, tc.clone());
             let history = trainer.train(&mut model, dataset);
             let score = history.last().copied().unwrap_or(0.0);
             if best.as_ref().is_none_or(|(_, _, s)| score > *s) {
-                best = Some((model, *tc, score));
+                best = Some((model, tc.clone(), score));
             }
         }
         // Invariant: the assert above rejected empty grids, so at
@@ -243,24 +320,20 @@ mod tests {
         let kernel = Kernel::build(KernelVersion::V6_8);
         let dataset = Dataset::generate(
             &kernel,
-            DatasetConfig {
-                base_tests: 100,
-                mutations_per_base: 100,
-                max_calls: 5,
-                popularity_cap: 30,
-                seed: 3,
-                workers: 1,
-            },
+            DatasetConfig::builder()
+                .base_tests(100)
+                .mutations_per_base(100)
+                .max_calls(5)
+                .popularity_cap(30)
+                .seed(3)
+                .build(),
         );
         assert!(
             dataset.samples.len() > 100,
             "{} samples",
             dataset.samples.len()
         );
-        let tc = TrainConfig {
-            epochs: 6,
-            ..TrainConfig::default()
-        };
+        let tc = TrainConfig::builder().epochs(6).build();
         let trainer = Trainer::new(&kernel, tc);
         let mut model = Pmm::new(
             PmmConfig {
@@ -293,22 +366,15 @@ mod tests {
         let kernel = Kernel::build(KernelVersion::V6_8);
         let dataset = Dataset::generate(
             &kernel,
-            DatasetConfig {
-                base_tests: 40,
-                mutations_per_base: 60,
-                max_calls: 5,
-                popularity_cap: 30,
-                seed: 5,
-                workers: 1,
-            },
+            DatasetConfig::builder()
+                .base_tests(40)
+                .mutations_per_base(60)
+                .max_calls(5)
+                .popularity_cap(30)
+                .seed(5)
+                .build(),
         );
-        let trainer = Trainer::new(
-            &kernel,
-            TrainConfig {
-                epochs: 6,
-                ..TrainConfig::default()
-            },
-        );
+        let trainer = Trainer::new(&kernel, TrainConfig::builder().epochs(6).build());
         let mut model = Pmm::new(
             PmmConfig {
                 dim: 24,

@@ -32,6 +32,71 @@
 //! need the threaded path regardless of the host.
 
 use crossbeam::channel;
+use snowplow_telemetry::Telemetry;
+
+/// Execution-context knobs shared by every sharded stage.
+///
+/// Before this type existed, the `workers` knob was triplicated across
+/// `CampaignConfig`, `DatasetConfig`, and `TrainConfig`, and
+/// `Scale::with_workers` had to know about each copy. `ExecConfig`
+/// bundles the worker count with the [`Telemetry`] handle that stage
+/// should record into; config structs embed one `exec` field instead.
+///
+/// Telemetry recorded through [`ExecConfig::map`] counts *items*, never
+/// chunks or threads, so the numbers are identical at any worker count
+/// — the same guarantee [`scoped_map`] gives for result content.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    /// Worker threads for sharded stages. Output never depends on this.
+    pub workers: usize,
+    /// Metrics destination; [`Telemetry::disabled`] (the default) makes
+    /// every recording call a no-op branch.
+    pub telemetry: Telemetry,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            workers: 1,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+impl ExecConfig {
+    pub fn new(workers: usize) -> ExecConfig {
+        ExecConfig {
+            workers,
+            ..ExecConfig::default()
+        }
+    }
+
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> ExecConfig {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// [`scoped_map`] under this config, recording `pool.<stage>.items`
+    /// (one count per input item — worker-count independent) before
+    /// dispatch.
+    pub fn map<I, R, S>(
+        &self,
+        stage: &str,
+        items: Vec<I>,
+        init: impl Fn() -> S + Sync,
+        f: impl Fn(&mut S, usize, I) -> R + Sync,
+    ) -> Vec<R>
+    where
+        I: Send,
+        R: Send,
+    {
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter(&format!("pool.{stage}.items"), items.len() as u64);
+        }
+        scoped_map(self.workers, items, init, f)
+    }
+}
 
 /// Parallel, order-preserving map with per-worker state.
 ///
@@ -246,6 +311,28 @@ mod tests {
         let items: Vec<usize> = (0..101).collect();
         let out = scoped_map_exact(4, items, || (), |_, i, item| i + item);
         assert_eq!(out, (0..101).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exec_config_map_counts_items_not_chunks() {
+        let (telemetry, _sink) = snowplow_telemetry::Telemetry::in_memory();
+        for workers in [1usize, 2, 8] {
+            let exec = ExecConfig::new(workers).with_telemetry(telemetry.clone());
+            let out = exec.map("stage", (0..50usize).collect(), || (), |_, _, x| x);
+            assert_eq!(out.len(), 50);
+        }
+        // Three runs over 50 items each: 150 items total, regardless of
+        // worker count or chunking.
+        assert_eq!(telemetry.snapshot().counters["pool.stage.items"], 150);
+    }
+
+    #[test]
+    fn exec_config_default_is_disabled_single_worker() {
+        let exec = ExecConfig::default();
+        assert_eq!(exec.workers, 1);
+        assert!(!exec.telemetry.is_enabled());
+        let out = exec.map("s", vec![1, 2, 3], || (), |_, _, x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! Fixed-bucket log-linear histogram (HDR-style).
+//!
+//! Values are `u64`s bucketed exactly for `v < 32` and into 32
+//! sub-buckets per power-of-two octave above that, giving a worst-case
+//! relative quantile error of 1/32 ≈ 3% while keeping the layout a
+//! fixed, allocation-light table. Because the bucket function is pure
+//! integer arithmetic and merging is element-wise addition, histograms
+//! are bit-identical regardless of the order or grouping in which
+//! values were recorded — the property the golden snapshot tests rely
+//! on.
+
+/// Sub-bucket resolution: 2^SUB_BITS linear sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Number of buckets needed to cover the full `u64` range.
+/// Octave 0 covers `[0, 32)` exactly; octaves 1..=59 cover the rest.
+const BUCKETS: usize = (SUB as usize) * 60;
+
+/// A fixed-bucket histogram over `u64` samples.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a value. Exact below `SUB`; log-linear above.
+    fn index(v: u64) -> usize {
+        if v < SUB {
+            return v as usize;
+        }
+        let exp = 63 - v.leading_zeros(); // exp >= SUB_BITS
+        let octave = (exp - SUB_BITS + 1) as u64;
+        let sub = (v >> (exp - SUB_BITS)) & (SUB - 1);
+        (octave * SUB + sub) as usize
+    }
+
+    /// Inclusive upper bound of the value range a bucket covers.
+    fn bucket_upper(idx: usize) -> u64 {
+        let idx = idx as u64;
+        let octave = idx / SUB;
+        let sub = idx % SUB;
+        if octave == 0 {
+            return sub;
+        }
+        let start = (SUB + sub) << (octave - 1);
+        // Parenthesized so the top octave's bound (`u64::MAX`) does not
+        // overflow mid-expression.
+        start + ((1u64 << (octave - 1)) - 1)
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 100]`, computed by a cumulative
+    /// walk over the fixed buckets. Deterministic: depends only on the
+    /// multiset of recorded values. Reported values are clamped to the
+    /// observed `[min, max]` so exact-valued distributions report
+    /// exactly.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// One deterministic text line summarizing the distribution.
+    pub fn render(&self) -> String {
+        format!(
+            "count={} sum={} min={} max={} p50={} p95={} p99={}",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max(),
+            self.percentile(50.0),
+            self.percentile(95.0),
+            self.percentile(99.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        // Every value below 32 has its own bucket.
+        assert_eq!(h.percentile(50.0), 15);
+        assert_eq!(h.percentile(100.0), 31);
+    }
+
+    #[test]
+    fn index_and_upper_are_consistent() {
+        // bucket_upper(index(v)) must always be >= v, and the next
+        // bucket's range must start right after this one's.
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1000,
+            4096,
+            123_456,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = Histogram::index(v);
+            assert!(Histogram::bucket_upper(idx) >= v, "v={v} idx={idx}");
+            if idx > 0 {
+                assert!(Histogram::bucket_upper(idx - 1) < v, "v={v} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = Histogram::new();
+        h.record(1000);
+        let p = h.percentile(50.0);
+        assert!(p >= 1000);
+        assert!((p - 1000) as f64 / 1000.0 < 1.0 / 16.0, "p={p}");
+    }
+
+    #[test]
+    fn merge_equals_bulk_record() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [3u64, 77, 1999, 40, 40, 512, 65_537] {
+            all.record(v);
+        }
+        for v in [3u64, 77, 1999] {
+            a.record(v);
+        }
+        for v in [40u64, 40, 512, 65_537] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.render(), all.render());
+    }
+
+    #[test]
+    fn order_independence() {
+        let vals = [9u64, 1_000_000, 3, 3, 88, 12_345, 7];
+        let mut fwd = Histogram::new();
+        let mut rev = Histogram::new();
+        for &v in &vals {
+            fwd.record(v);
+        }
+        for &v in vals.iter().rev() {
+            rev.record(v);
+        }
+        assert_eq!(fwd.render(), rev.render());
+    }
+
+    #[test]
+    fn empty_histogram_renders_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.render(), "count=0 sum=0 min=0 max=0 p50=0 p95=0 p99=0");
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = Histogram::new();
+        for v in 0..10_000u64 {
+            h.record(v * 17 % 9973);
+        }
+        let (p50, p95, p99) = (h.percentile(50.0), h.percentile(95.0), h.percentile(99.0));
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p99 <= h.max());
+    }
+}

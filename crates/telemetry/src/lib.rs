@@ -1,0 +1,428 @@
+//! snowplow-telemetry: deterministic metrics for the fuzzing stack.
+//!
+//! Structured counters, gauges, and fixed-bucket histograms shared by
+//! the campaign loop, the PMM inference service, training, and the
+//! bench binaries — replacing the per-binary tallies §5 of the paper
+//! was reproduced with.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero-cost when disabled.** [`Telemetry::disabled`] carries no
+//!    allocation and every recording method is a single `Option`
+//!    check that the branch predictor learns instantly. The hot loop
+//!    (`frontier_query`, `coverage_merge`) must not regress.
+//! 2. **Deterministic snapshots.** Timers are keyed to the *simulated*
+//!    clock (`snowplow_fuzzer::VirtualClock`), never wall time, and
+//!    all registries are ordered maps, so the same seeded campaign
+//!    yields byte-identical [`MetricsSnapshot::render`] output at any
+//!    worker count and on any machine. Wall-clock quantities (bench
+//!    throughput) enter only as explicit gauges set by bench binaries.
+//! 3. **Sinks are pluggable.** [`TelemetrySink`] decouples export
+//!    (Null, InMemory, JSONL file) from recording.
+
+mod hist;
+mod sink;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+pub use hist::Histogram;
+pub use sink::{InMemorySink, JsonlSink, NullSink, TelemetrySink};
+
+/// The instrumented phases of a fuzzing campaign. Each phase owns a
+/// virtual-time histogram (`phase.<name>.us`) and an invocation
+/// counter (`phase.<name>.calls`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Seed-corpus generation and ingestion at campaign start.
+    SeedGen,
+    /// Frontier computation for a prediction query.
+    FrontierQuery,
+    /// PMM inference (model forward pass, virtual latency).
+    Predict,
+    /// Building one mutant program.
+    Mutate,
+    /// Executing a test program in the VM.
+    Execute,
+    /// Crash deduplication and recording.
+    Triage,
+}
+
+impl Phase {
+    pub const ALL: [Phase; 6] = [
+        Phase::SeedGen,
+        Phase::FrontierQuery,
+        Phase::Predict,
+        Phase::Mutate,
+        Phase::Execute,
+        Phase::Triage,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::SeedGen => "seed_gen",
+            Phase::FrontierQuery => "frontier_query",
+            Phase::Predict => "predict",
+            Phase::Mutate => "mutate",
+            Phase::Execute => "execute",
+            Phase::Triage => "triage",
+        }
+    }
+
+    /// Histogram name for this phase's virtual-time samples.
+    pub fn hist_name(self) -> &'static str {
+        match self {
+            Phase::SeedGen => "phase.seed_gen.us",
+            Phase::FrontierQuery => "phase.frontier_query.us",
+            Phase::Predict => "phase.predict.us",
+            Phase::Mutate => "phase.mutate.us",
+            Phase::Execute => "phase.execute.us",
+            Phase::Triage => "phase.triage.us",
+        }
+    }
+
+    /// Counter name for this phase's invocation count.
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            Phase::SeedGen => "phase.seed_gen.calls",
+            Phase::FrontierQuery => "phase.frontier_query.calls",
+            Phase::Predict => "phase.predict.calls",
+            Phase::Mutate => "phase.mutate.calls",
+            Phase::Execute => "phase.execute.calls",
+            Phase::Triage => "phase.triage.calls",
+        }
+    }
+}
+
+/// An in-flight phase measurement anchored at a virtual-clock instant.
+/// Finish it with the *later* virtual instant; the span records the
+/// elapsed virtual microseconds into the phase histogram. Dropping a
+/// span without finishing records nothing.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a span records nothing until finished"]
+pub struct PhaseSpan {
+    phase: Phase,
+    start: Duration,
+}
+
+impl PhaseSpan {
+    /// Record the span as `end - start` virtual microseconds.
+    pub fn finish(self, telemetry: &Telemetry, end: Duration) {
+        let elapsed = end.saturating_sub(self.start);
+        telemetry.phase(self.phase, elapsed.as_micros() as u64);
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+struct Inner {
+    registry: Mutex<Registry>,
+    sink: Arc<dyn TelemetrySink>,
+}
+
+/// Handle to a metrics registry, or a no-op if built with
+/// [`Telemetry::disabled`]. Cloning shares the registry.
+#[derive(Clone, Default)]
+pub struct Telemetry(Option<Arc<Inner>>);
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "Telemetry(enabled)"
+        } else {
+            "Telemetry(disabled)"
+        })
+    }
+}
+
+impl Telemetry {
+    /// The no-op handle: no registry, every recording call is a single
+    /// branch. This is the default everywhere.
+    pub fn disabled() -> Telemetry {
+        Telemetry(None)
+    }
+
+    /// Record into a fresh registry attached to `sink`.
+    pub fn with_sink(sink: Arc<dyn TelemetrySink>) -> Telemetry {
+        Telemetry(Some(Arc::new(Inner {
+            registry: Mutex::new(Registry::default()),
+            sink,
+        })))
+    }
+
+    /// Enabled handle with an [`InMemorySink`]; returns the sink so
+    /// callers can read back flushed snapshots.
+    pub fn in_memory() -> (Telemetry, Arc<InMemorySink>) {
+        let sink = Arc::new(InMemorySink::new());
+        (Telemetry::with_sink(sink.clone()), sink)
+    }
+
+    /// Enabled handle exporting JSONL to `path` on flush.
+    pub fn jsonl(path: impl Into<std::path::PathBuf>) -> Telemetry {
+        Telemetry::with_sink(Arc::new(JsonlSink::new(path)))
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Add `n` to counter `name`.
+    #[inline]
+    pub fn counter(&self, name: &str, n: u64) {
+        if let Some(inner) = &self.0 {
+            let mut reg = inner.registry.lock();
+            match reg.counters.get_mut(name) {
+                Some(c) => *c += n,
+                None => {
+                    reg.counters.insert(name.to_owned(), n);
+                }
+            }
+        }
+    }
+
+    /// Set gauge `name` to `v` (last write wins).
+    #[inline]
+    pub fn gauge(&self, name: &str, v: f64) {
+        if let Some(inner) = &self.0 {
+            inner.registry.lock().gauges.insert(name.to_owned(), v);
+        }
+    }
+
+    /// Record sample `v` into histogram `name`.
+    #[inline]
+    pub fn observe(&self, name: &str, v: u64) {
+        if let Some(inner) = &self.0 {
+            let mut reg = inner.registry.lock();
+            match reg.hists.get_mut(name) {
+                Some(h) => h.record(v),
+                None => {
+                    let mut h = Histogram::new();
+                    h.record(v);
+                    reg.hists.insert(name.to_owned(), h);
+                }
+            }
+        }
+    }
+
+    /// Record one phase sample: `us` virtual microseconds into the
+    /// phase histogram plus one invocation on the phase counter.
+    #[inline]
+    pub fn phase(&self, phase: Phase, us: u64) {
+        if self.0.is_some() {
+            self.observe(phase.hist_name(), us);
+            self.counter(phase.counter_name(), 1);
+        }
+    }
+
+    /// Start a span for `phase` at virtual instant `now`.
+    #[inline]
+    pub fn span_at(&self, phase: Phase, now: Duration) -> PhaseSpan {
+        PhaseSpan { phase, start: now }
+    }
+
+    /// Snapshot the registry. Empty if disabled.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.0 {
+            None => MetricsSnapshot::default(),
+            Some(inner) => {
+                let reg = inner.registry.lock();
+                MetricsSnapshot {
+                    counters: reg.counters.clone(),
+                    gauges: reg.gauges.clone(),
+                    hists: reg.hists.clone(),
+                }
+            }
+        }
+    }
+
+    /// Export the current snapshot to the sink. No-op when disabled.
+    /// Export errors are reported on stderr, never panicked on: losing
+    /// a metrics flush must not kill a campaign.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.0 {
+            let snap = self.snapshot();
+            if let Err(e) = inner.sink.export(&snap) {
+                eprintln!("telemetry: sink export failed: {e}");
+            }
+        }
+    }
+}
+
+/// A complete, ordered copy of the registry at one point in time.
+#[derive(Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub hists: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Convenience accessor: histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Deterministic text rendering: one line per metric, sorted by
+    /// kind then name. Byte-equality of two renders is the golden-test
+    /// definition of "identical snapshots".
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter {name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "gauge {name} {v}");
+        }
+        for (name, h) in &self.hists {
+            let _ = writeln!(out, "hist {name} {}", h.render());
+        }
+        out
+    }
+
+    /// One JSON object per metric, one per line. Gauges use Rust's
+    /// shortest-round-trip float formatting, so parsing the line back
+    /// recovers the exact `f64`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"counter\",\"name\":\"{name}\",\"value\":{v}}}"
+            );
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"gauge\",\"name\":\"{name}\",\"value\":{}}}",
+                json_f64(*v)
+            );
+        }
+        for (name, h) in &self.hists {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"hist\",\"name\":\"{name}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.percentile(50.0),
+                h.percentile(95.0),
+                h.percentile(99.0),
+            );
+        }
+        out
+    }
+}
+
+/// JSON has no Infinity/NaN literals; clamp them to null-safe strings.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing_and_snapshot_is_empty() {
+        let t = Telemetry::disabled();
+        t.counter("x", 1);
+        t.observe("y", 10);
+        t.gauge("z", 1.5);
+        t.phase(Phase::Execute, 100);
+        let span = t.span_at(Phase::Predict, Duration::from_micros(5));
+        span.finish(&t, Duration::from_micros(25));
+        let snap = t.snapshot();
+        assert!(snap.counters.is_empty() && snap.gauges.is_empty() && snap.hists.is_empty());
+        assert_eq!(snap.render(), "");
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn counters_accumulate_and_render_sorted() {
+        let (t, _sink) = Telemetry::in_memory();
+        t.counter("b", 2);
+        t.counter("a", 1);
+        t.counter("b", 3);
+        let render = t.snapshot().render();
+        assert_eq!(render, "counter a 1\ncounter b 5\n");
+    }
+
+    #[test]
+    fn spans_record_virtual_elapsed_time() {
+        let (t, _sink) = Telemetry::in_memory();
+        let span = t.span_at(Phase::Execute, Duration::from_micros(100));
+        span.finish(&t, Duration::from_micros(350));
+        let snap = t.snapshot();
+        let h = snap.hist(Phase::Execute.hist_name()).expect("hist");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 250);
+        assert_eq!(snap.counters[Phase::Execute.counter_name()], 1);
+    }
+
+    #[test]
+    fn span_is_robust_to_clock_non_advance() {
+        let (t, _sink) = Telemetry::in_memory();
+        let span = t.span_at(Phase::Mutate, Duration::from_micros(10));
+        span.finish(&t, Duration::from_micros(10));
+        let snap = t.snapshot();
+        assert_eq!(snap.hist(Phase::Mutate.hist_name()).unwrap().sum(), 0);
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let (t, _sink) = Telemetry::in_memory();
+        let t2 = t.clone();
+        t.counter("shared", 1);
+        t2.counter("shared", 1);
+        assert_eq!(t.snapshot().counters["shared"], 2);
+    }
+
+    #[test]
+    fn render_is_deterministic_across_insertion_order() {
+        let (a, _s1) = Telemetry::in_memory();
+        let (b, _s2) = Telemetry::in_memory();
+        a.counter("one", 1);
+        a.observe("h", 5);
+        a.gauge("g", 2.0);
+        b.gauge("g", 2.0);
+        b.observe("h", 5);
+        b.counter("one", 1);
+        assert_eq!(a.snapshot().render(), b.snapshot().render());
+    }
+
+    #[test]
+    fn jsonl_round_trips_gauge_precision() {
+        let (t, _sink) = Telemetry::in_memory();
+        let v = 0.1f64 + 0.2f64; // classic non-representable sum
+        t.gauge("ratio", v);
+        let jsonl = t.snapshot().to_jsonl();
+        let line = jsonl.lines().find(|l| l.contains("ratio")).unwrap();
+        let tail = line.split("\"value\":").nth(1).unwrap();
+        let parsed: f64 = tail.trim_end_matches('}').parse().unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        for p in Phase::ALL {
+            assert!(p.hist_name().starts_with("phase."));
+            assert!(p.hist_name().ends_with(".us"));
+            assert!(p.counter_name().ends_with(".calls"));
+            assert!(p.hist_name().contains(p.name()));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Export backends for metric snapshots.
+//!
+//! A sink receives a complete [`MetricsSnapshot`] at flush points; it
+//! never sees individual events, so recording stays cheap and the
+//! export format is decoupled from the hot path.
+
+use std::io::{self, Write as _};
+use std::path::PathBuf;
+
+use parking_lot::Mutex;
+
+use crate::MetricsSnapshot;
+
+/// Destination for flushed metric snapshots.
+pub trait TelemetrySink: Send + Sync {
+    fn export(&self, snapshot: &MetricsSnapshot) -> io::Result<()>;
+}
+
+/// Discards every snapshot.
+#[derive(Default)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn export(&self, _snapshot: &MetricsSnapshot) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Keeps the most recent snapshot in memory for tests and in-process
+/// consumers (bench binaries, the golden determinism tests).
+#[derive(Default)]
+pub struct InMemorySink {
+    last: Mutex<Option<MetricsSnapshot>>,
+    exports: Mutex<u64>,
+}
+
+impl InMemorySink {
+    pub fn new() -> InMemorySink {
+        InMemorySink::default()
+    }
+
+    /// The most recently exported snapshot, if any.
+    pub fn last(&self) -> Option<MetricsSnapshot> {
+        self.last.lock().clone()
+    }
+
+    /// How many times `export` has been called.
+    pub fn export_count(&self) -> u64 {
+        *self.exports.lock()
+    }
+}
+
+impl TelemetrySink for InMemorySink {
+    fn export(&self, snapshot: &MetricsSnapshot) -> io::Result<()> {
+        *self.last.lock() = Some(snapshot.clone());
+        *self.exports.lock() += 1;
+        Ok(())
+    }
+}
+
+/// Writes one JSON object per metric per flush, one per line, to a
+/// file. The file is truncated at construction and rewritten whole on
+/// every export so the final flush wins — consumers (`bench_guard`)
+/// read the complete, self-consistent last state.
+pub struct JsonlSink {
+    path: PathBuf,
+}
+
+impl JsonlSink {
+    pub fn new(path: impl Into<PathBuf>) -> JsonlSink {
+        JsonlSink { path: path.into() }
+    }
+
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl TelemetrySink for JsonlSink {
+    fn export(&self, snapshot: &MetricsSnapshot) -> io::Result<()> {
+        let mut f = std::fs::File::create(&self.path)?;
+        f.write_all(snapshot.to_jsonl().as_bytes())?;
+        f.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    #[test]
+    fn in_memory_sink_stores_last_snapshot() {
+        let sink = std::sync::Arc::new(InMemorySink::new());
+        let t = Telemetry::with_sink(sink.clone());
+        t.counter("a", 2);
+        t.flush();
+        t.counter("a", 3);
+        t.flush();
+        let snap = sink.last().expect("snapshot");
+        assert_eq!(snap.counters.get("a"), Some(&5));
+        assert_eq!(sink.export_count(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_metric() {
+        let path = std::env::temp_dir().join(format!(
+            "snowplow_telemetry_test_{}.jsonl",
+            std::process::id()
+        ));
+        let sink = std::sync::Arc::new(JsonlSink::new(&path));
+        let t = Telemetry::with_sink(sink);
+        t.counter("execs", 10);
+        t.gauge("fuzzing.ratio", 0.5);
+        t.observe("lat", 100);
+        t.flush();
+        let text = std::fs::read_to_string(&path).expect("read back");
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"counter\"") && l.contains("\"execs\"")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"gauge\"") && l.contains("0.5")));
+        assert!(lines.iter().any(|l| l.contains("\"hist\"")));
+    }
+}

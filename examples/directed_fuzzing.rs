@@ -32,12 +32,11 @@ fn main() {
         ("SyzDirect", None),
         ("Snowplow-D", Some(Box::new(model.clone()))),
     ] {
-        let cfg = DirectedConfig {
-            target: target.id,
-            duration: Duration::from_secs(6 * 3600),
-            seed: 5,
-            ..DirectedConfig::default()
-        };
+        let cfg = DirectedConfig::builder()
+            .target(target.id)
+            .duration(Duration::from_secs(6 * 3600))
+            .seed(5)
+            .build();
         match DirectedCampaign::new(&kernel, pmm, cfg).run() {
             DirectedOutcome::Reached { at, execs } => {
                 println!(

@@ -41,11 +41,10 @@ close(r0)
     let report = Campaign::new(
         &kernel,
         FuzzerKind::Syzkaller,
-        CampaignConfig {
-            duration: Duration::from_secs(2 * 3600),
-            seed: 42,
-            ..CampaignConfig::default()
-        },
+        CampaignConfig::builder()
+            .duration(Duration::from_secs(2 * 3600))
+            .seed(42)
+            .build(),
     )
     .run();
     println!(

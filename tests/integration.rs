@@ -14,11 +14,8 @@ use snowplow::{
 
 fn small_scale() -> Scale {
     let mut s = Scale::quick();
-    s.dataset = DatasetConfig {
-        base_tests: 40,
-        mutations_per_base: 60,
-        ..s.dataset
-    };
+    s.dataset.base_tests = 40;
+    s.dataset.mutations_per_base = 60;
     s.train.epochs = 3;
     s
 }
@@ -30,13 +27,12 @@ fn end_to_end_pipeline_trains_and_fuzzes() {
     assert!(!dataset.samples.is_empty());
     assert!(report.metrics.f1 > 0.0);
 
-    let cfg = CampaignConfig {
-        duration: Duration::from_secs(1800),
-        seed_corpus: 20,
-        seed: 9,
-        ..CampaignConfig::default()
-    };
-    let base = Campaign::new(&kernel, FuzzerKind::Syzkaller, cfg).run();
+    let cfg = CampaignConfig::builder()
+        .duration(Duration::from_secs(1800))
+        .seed_corpus(20)
+        .seed(9)
+        .build();
+    let base = Campaign::new(&kernel, FuzzerKind::Syzkaller, cfg.clone()).run();
     let snow = Campaign::new(
         &kernel,
         FuzzerKind::Snowplow {
@@ -63,12 +59,11 @@ fn model_trained_on_68_transfers_to_later_kernels() {
             FuzzerKind::Snowplow {
                 model: Box::new(model.clone()),
             },
-            CampaignConfig {
-                duration: Duration::from_secs(900),
-                seed_corpus: 15,
-                seed: 3,
-                ..CampaignConfig::default()
-            },
+            CampaignConfig::builder()
+                .duration(Duration::from_secs(900))
+                .seed_corpus(15)
+                .seed(3)
+                .build(),
         )
         .run();
         assert!(report.inferences > 0, "{version}: no queries served");
@@ -82,11 +77,10 @@ fn campaign_crashes_are_reproducible_programs() {
     let report = Campaign::new(
         &kernel,
         FuzzerKind::Syzkaller,
-        CampaignConfig {
-            duration: Duration::from_secs(3600),
-            seed: 77,
-            ..CampaignConfig::default()
-        },
+        CampaignConfig::builder()
+            .duration(Duration::from_secs(3600))
+            .seed(77)
+            .build(),
     )
     .run();
     let mut reproduced = 0;
@@ -118,11 +112,10 @@ fn serialized_corpus_round_trips_through_text() {
     let report = Campaign::new(
         &kernel,
         FuzzerKind::Syzkaller,
-        CampaignConfig {
-            duration: Duration::from_secs(600),
-            seed: 5,
-            ..CampaignConfig::default()
-        },
+        CampaignConfig::builder()
+            .duration(Duration::from_secs(600))
+            .seed(5)
+            .build(),
     )
     .run();
     assert!(report.corpus_len > 0);
@@ -153,12 +146,11 @@ fn directed_mode_reaches_entry_level_targets_via_facade() {
     let out = DirectedCampaign::new(
         &kernel,
         None,
-        DirectedConfig {
-            target,
-            duration: Duration::from_secs(1800),
-            seed: 2,
-            ..DirectedConfig::default()
-        },
+        DirectedConfig::builder()
+            .target(target)
+            .duration(Duration::from_secs(1800))
+            .seed(2)
+            .build(),
     )
     .run();
     assert!(matches!(out, DirectedOutcome::Reached { .. }), "{out:?}");
@@ -169,11 +161,10 @@ fn hyperparameter_search_selects_a_model() {
     let kernel = Kernel::build(KernelVersion::V6_8);
     let dataset = Dataset::generate(
         &kernel,
-        DatasetConfig {
-            base_tests: 25,
-            mutations_per_base: 50,
-            ..DatasetConfig::default()
-        },
+        DatasetConfig::builder()
+            .base_tests(25)
+            .mutations_per_base(50)
+            .build(),
     );
     let grid = vec![
         (
@@ -182,10 +173,7 @@ fn hyperparameter_search_selects_a_model() {
                 rounds: 1,
                 ..PmmConfig::default()
             },
-            snowplow::TrainConfig {
-                epochs: 1,
-                ..Default::default()
-            },
+            snowplow::TrainConfig::builder().epochs(1).build(),
         ),
         (
             PmmConfig {
@@ -193,10 +181,7 @@ fn hyperparameter_search_selects_a_model() {
                 rounds: 2,
                 ..PmmConfig::default()
             },
-            snowplow::TrainConfig {
-                epochs: 1,
-                ..Default::default()
-            },
+            snowplow::TrainConfig::builder().epochs(1).build(),
         ),
     ];
     let (model, _tc, score) = Trainer::hyperparameter_search(&kernel, &dataset, &grid);

@@ -205,13 +205,12 @@ proptest! {
         let report = Campaign::new(
             k,
             FuzzerKind::Syzkaller,
-            CampaignConfig {
-                duration: std::time::Duration::from_secs(300),
-                seed_corpus: 10,
-                sample_every: std::time::Duration::from_secs(60),
-                seed,
-                ..CampaignConfig::default()
-            },
+            CampaignConfig::builder()
+                .duration(std::time::Duration::from_secs(300))
+                .seed_corpus(10)
+                .sample_every(std::time::Duration::from_secs(60))
+                .seed(seed)
+                .build(),
         )
         .run();
         for w in report.timeline.windows(2) {

@@ -2,18 +2,46 @@
 # Repository CI gate: formatting, lints, and the full test suite.
 # Run from the workspace root. Fails fast on the first violation.
 #
-#   ./ci.sh            fmt + clippy + tests + benches compile
+#   ./ci.sh            fmt + clippy + tests + benches compile +
+#                      lint-corpus + miri (when available)
 #   ./ci.sh telemetry  the focused observability gate: pedantic lints on
 #                      snowplow-telemetry and the golden determinism
 #                      test (identical metric snapshots across worker
 #                      counts and cache modes).
+#   ./ci.sh lint-corpus
+#                      the sp-lint gate alone: the checked-in clean
+#                      corpus file must lint clean, the generator
+#                      self-check must pass, and the interval report
+#                      must cover every handler.
+#   ./ci.sh miri       runs the unsafe-adjacent crates (snowplow-pool,
+#                      mlcore) under Miri; skips with a notice when the
+#                      Miri component is not installed.
 #   ./ci.sh bench      the full gate, then the bench-regression guard:
 #                      regenerates BENCH_perf.jsonl with perf_sec55
 #                      (which flushes every measurement through the
 #                      telemetry JSONL sink) and fails if any guarded
 #                      metric (matmul GFLOP/s, fuzzing ratio, harvest
-#                      scaling) drops >20% below the committed baseline.
+#                      scaling, analysis throughput) drops >20% below
+#                      the committed baseline.
 set -euo pipefail
+
+lint_corpus() {
+    cargo build -q -p snowplow-analysis --bin sp-lint
+    ./target/debug/sp-lint corpus/seed_clean.prog
+    ./target/debug/sp-lint --generate 200
+    # Interval diagnostics must produce a report for every handler
+    # (the summary line is `N handler(s), ...` with N > 0).
+    ./target/debug/sp-lint --intervals | tail -n 1 | grep -qv "^0 handler"
+}
+
+run_miri() {
+    if ! cargo miri --version >/dev/null 2>&1; then
+        echo "miri: component not installed, skipping"
+        return 0
+    fi
+    cargo miri test -p snowplow-pool -q
+    cargo miri test -p snowplow-mlcore -q pool
+}
 
 if [[ "${1:-}" == "telemetry" ]]; then
     cargo clippy -p snowplow-telemetry --all-targets -- -D warnings
@@ -22,10 +50,22 @@ if [[ "${1:-}" == "telemetry" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "lint-corpus" ]]; then
+    lint_corpus
+    exit 0
+fi
+
+if [[ "${1:-}" == "miri" ]]; then
+    run_miri
+    exit 0
+fi
+
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
 cargo bench --workspace --no-run
+lint_corpus
+run_miri
 
 if [[ "${1:-}" == "bench" ]]; then
     baseline="$(mktemp -t bench_baseline.XXXXXX.jsonl)"

@@ -7,6 +7,12 @@
 //!                              self-check: generate N programs and lint
 //!                              each (exit 1 if any violates — would
 //!                              indicate a generator bug)
+//! sp-lint --intervals [HANDLER...]
+//!                              print per-block value ranges and
+//!                              infeasible-branch diagnostics from the
+//!                              abstract interpreter (all handlers, or
+//!                              only the named ones; exit 2 on an
+//!                              unknown handler name)
 //! ```
 
 use std::process::ExitCode;
@@ -20,6 +26,7 @@ use snowplow_syslang::builtin;
 fn usage() -> ExitCode {
     eprintln!("usage: sp-lint FILE...");
     eprintln!("       sp-lint --generate N [--seed S]");
+    eprintln!("       sp-lint --intervals [HANDLER...]");
     ExitCode::from(2)
 }
 
@@ -41,6 +48,9 @@ fn main() -> ExitCode {
             None => 0,
         };
         return generate_mode(n, seed);
+    }
+    if args[0] == "--intervals" {
+        return intervals_mode(&args[1..]);
     }
     let reg = builtin::linux_sim();
     let mut violations = 0usize;
@@ -75,6 +85,117 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// `file:line`-style name for a block: `sim_<handler>:b<idx>` where
+/// `idx` is the block's position inside its handler (stable across
+/// builds of the same kernel version, like a line number in a source
+/// file).
+fn block_name(
+    kernel: &snowplow_kernel::Kernel,
+    h: &snowplow_kernel::HandlerCfg,
+    idx: usize,
+) -> String {
+    format!("{}:b{idx}", kernel.handler_location(h.syscall))
+}
+
+fn fmt_interval(iv: &snowplow_analysis::Interval) -> String {
+    if iv.lo == iv.hi {
+        format!("{{{:#x}}}", iv.lo)
+    } else if iv.hi == u64::MAX {
+        format!("[{:#x}, MAX]", iv.lo)
+    } else {
+        format!("[{:#x}, {:#x}]", iv.lo, iv.hi)
+    }
+}
+
+fn intervals_mode(names: &[String]) -> ExitCode {
+    use snowplow_analysis::{AnalysisCache, EdgeCut, EdgeSide};
+    use snowplow_kernel::{Kernel, KernelVersion};
+
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let reg = kernel.registry();
+    let mut wanted = Vec::new();
+    for n in names {
+        // Accept both the registry name ("open") and the location name
+        // the listing prints ("sim_open").
+        let resolved = reg.syscall_by_name(n).or_else(|| {
+            kernel
+                .handlers()
+                .iter()
+                .map(|h| h.syscall)
+                .find(|&id| kernel.handler_location(id) == *n)
+        });
+        match resolved {
+            Some(id) => wanted.push(id),
+            None => {
+                eprintln!("unknown handler: {n}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cache = AnalysisCache::shared();
+    let (mut blocks_total, mut infeasible_total, mut edges_total) = (0usize, 0usize, 0usize);
+    let mut handlers = 0usize;
+    for h in kernel.handlers() {
+        if !wanted.is_empty() && !wanted.contains(&h.syscall) {
+            continue;
+        }
+        handlers += 1;
+        let analysis = cache.handler_analysis(&kernel, h.syscall);
+        println!(
+            "{} ({} blocks, fixpoint in {} iterations)",
+            kernel.handler_location(h.syscall),
+            h.blocks.len(),
+            analysis.iterations
+        );
+        let idx_of = |b: snowplow_kernel::BlockId| {
+            h.blocks.iter().position(|&x| x == b).unwrap_or(usize::MAX)
+        };
+        for (idx, &b) in h.blocks.iter().enumerate() {
+            blocks_total += 1;
+            match analysis.state(b) {
+                None => {
+                    infeasible_total += 1;
+                    println!("  {} INFEASIBLE", block_name(&kernel, h, idx));
+                }
+                Some(st) => {
+                    print!("  {}", block_name(&kernel, h, idx));
+                    if st.vals.is_empty() && st.lens.is_empty() {
+                        print!(" (top)");
+                    }
+                    println!();
+                    for (path, iv) in &st.vals {
+                        println!("    {path} in {}", fmt_interval(iv));
+                    }
+                    for (path, iv) in &st.lens {
+                        println!("    len({path}) in {}", fmt_interval(iv));
+                    }
+                }
+            }
+        }
+        for e in &analysis.infeasible_edges {
+            edges_total += 1;
+            let side = match e.side {
+                EdgeSide::Taken => "taken",
+                EdgeSide::Fallthrough => "fallthrough",
+            };
+            let why = match e.why {
+                EdgeCut::ConstProp => "branch statically resolved",
+                EdgeCut::IntervalBottom => "value ranges exclude every satisfying input",
+            };
+            println!(
+                "  {} -> {} ({side}): {why}",
+                block_name(&kernel, h, idx_of(e.from)),
+                block_name(&kernel, h, idx_of(e.to)),
+            );
+        }
+    }
+    println!(
+        "{handlers} handler(s), {blocks_total} block(s), {infeasible_total} infeasible block(s), {edges_total} infeasible edge(s)"
+    );
+    ExitCode::SUCCESS
 }
 
 fn generate_mode(n: u64, seed: u64) -> ExitCode {

@@ -1,0 +1,388 @@
+//! Shared, process-wide cache of static analysis results.
+//!
+//! Dominator trees, dead-block sets, and per-handler interval fixpoints
+//! are pure functions of the kernel build, yet the directed fuzzer used
+//! to recompute them per query. [`AnalysisCache`] memoizes them per
+//! kernel *fingerprint* (version + block count + edge count — two
+//! kernels built with different [`HandlerGenConfig`] tunings of the same
+//! version get distinct entries) with per-handler lazy slots, so the
+//! first directed query against a kernel pays for exactly the handlers
+//! it touches and every later query is a map lookup.
+//!
+//! Hit/miss counters are kept on the cache itself (queryable via
+//! [`AnalysisCache::stats`]) rather than emitted into campaign
+//! telemetry: cache hits depend on process history, and campaign
+//! telemetry snapshots must stay a pure function of `(kernel, config,
+//! seed)`.
+//!
+//! [`HandlerGenConfig`]: snowplow_kernel::HandlerGenConfig
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use snowplow_kernel::{BlockId, Kernel, KernelVersion};
+use snowplow_syslang::SyscallId;
+
+use crate::cfg::{dominators, statically_dead_blocks, DomTree};
+use crate::interval::{analyze_handler, classify, HandlerAnalysis, Verdict};
+
+/// Identifies one kernel build. Version alone is not enough: tests build
+/// non-default kernels (probe configs, custom bug plans) of the same
+/// version, and results must never leak across structurally different
+/// CFGs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Fingerprint {
+    version: KernelVersion,
+    block_count: usize,
+    edge_count: usize,
+}
+
+impl Fingerprint {
+    fn of(kernel: &Kernel) -> Self {
+        Fingerprint {
+            version: kernel.version(),
+            block_count: kernel.block_count(),
+            edge_count: kernel.cfg().edge_count(),
+        }
+    }
+}
+
+/// The feasible-edge CFG left after interval pruning: forward and
+/// reverse adjacency over the whole kernel, plus entry distances.
+#[derive(Debug)]
+pub struct PrunedCfg {
+    /// Feasible successors per block (indexed by block id).
+    pub fwd: Vec<Vec<BlockId>>,
+    /// Feasible predecessors per block.
+    pub rev: Vec<Vec<BlockId>>,
+    /// Predicate-aware BFS distance from the owning handler's entry, or
+    /// `None` for infeasible blocks.
+    pub entry_dist: Vec<Option<u32>>,
+}
+
+impl PrunedCfg {
+    /// Multi-source BFS *backwards* over feasible edges: distance from
+    /// each block to the nearest block in `sources`, written into `out`
+    /// (`None` = no feasible path). Reuses the caller's buffer to keep
+    /// the campaign hot loop allocation-free.
+    pub fn distance_to_sources(&self, sources: &[BlockId], out: &mut Vec<Option<u32>>) {
+        out.clear();
+        out.resize(self.fwd.len(), None);
+        let mut queue = VecDeque::new();
+        for &s in sources {
+            if s.index() < out.len() && out[s.index()].is_none() {
+                out[s.index()] = Some(0);
+                queue.push_back(s);
+            }
+        }
+        while let Some(b) = queue.pop_front() {
+            let d = out[b.index()].expect("queued blocks have distances");
+            for &p in &self.rev[b.index()] {
+                if out[p.index()].is_none() {
+                    out[p.index()] = Some(d + 1);
+                    queue.push_back(p);
+                }
+            }
+        }
+    }
+}
+
+/// Lazily-filled analysis results for one kernel build.
+#[derive(Default)]
+struct KernelEntry {
+    dead: OnceLock<Arc<HashSet<BlockId>>>,
+    dom: OnceLock<Arc<DomTree>>,
+    handlers: Vec<OnceLock<Arc<HandlerAnalysis>>>,
+    infeasible: OnceLock<Arc<HashSet<BlockId>>>,
+    pruned: OnceLock<Arc<PrunedCfg>>,
+}
+
+/// Cache hit/miss counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from a filled slot.
+    pub hits: u64,
+    /// Queries that had to compute.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of queries served from the cache (0 when empty).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Process-shared memo of per-kernel static analyses. Cheap to query
+/// concurrently; computation happens at most once per `(kernel,
+/// handler)` slot.
+#[derive(Default)]
+pub struct AnalysisCache {
+    entries: Mutex<HashMap<Fingerprint, Arc<KernelEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AnalysisCache {
+    /// An empty cache (tests; production code uses [`Self::shared`]).
+    pub fn new() -> Self {
+        AnalysisCache::default()
+    }
+
+    /// The process-wide shared instance.
+    pub fn shared() -> &'static AnalysisCache {
+        static SHARED: OnceLock<AnalysisCache> = OnceLock::new();
+        SHARED.get_or_init(AnalysisCache::new)
+    }
+
+    /// Hit/miss counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn entry(&self, kernel: &Kernel) -> Arc<KernelEntry> {
+        let fp = Fingerprint::of(kernel);
+        let mut map = self.entries.lock().expect("analysis cache poisoned");
+        map.entry(fp)
+            .or_insert_with(|| {
+                Arc::new(KernelEntry {
+                    handlers: (0..kernel.handlers().len())
+                        .map(|_| OnceLock::new())
+                        .collect(),
+                    ..KernelEntry::default()
+                })
+            })
+            .clone()
+    }
+
+    fn get_or_init<T: Clone>(&self, slot: &OnceLock<T>, init: impl FnOnce() -> T) -> T {
+        if let Some(v) = slot.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        slot.get_or_init(init).clone()
+    }
+
+    /// Cached [`statically_dead_blocks`].
+    pub fn dead_blocks(&self, kernel: &Kernel) -> Arc<HashSet<BlockId>> {
+        let e = self.entry(kernel);
+        self.get_or_init(&e.dead, || Arc::new(statically_dead_blocks(kernel)))
+    }
+
+    /// Cached whole-kernel [`dominators`] tree.
+    pub fn dominators(&self, kernel: &Kernel) -> Arc<DomTree> {
+        let e = self.entry(kernel);
+        self.get_or_init(&e.dom, || Arc::new(dominators(kernel)))
+    }
+
+    /// Cached interval fixpoint for one handler.
+    pub fn handler_analysis(&self, kernel: &Kernel, id: SyscallId) -> Arc<HandlerAnalysis> {
+        let e = self.entry(kernel);
+        self.get_or_init(&e.handlers[id.index()], || {
+            Arc::new(analyze_handler(
+                kernel.registry(),
+                kernel.blocks(),
+                kernel.handler(id),
+            ))
+        })
+    }
+
+    /// Blocks no lint-clean program can reach: the statically dead set
+    /// plus every handler's interval-infeasible blocks. Forces analysis
+    /// of all handlers on first use.
+    pub fn infeasible_blocks(&self, kernel: &Kernel) -> Arc<HashSet<BlockId>> {
+        let e = self.entry(kernel);
+        if let Some(v) = e.infeasible.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut set: HashSet<BlockId> = (*self.dead_blocks(kernel)).clone();
+        for h in kernel.handlers() {
+            let a = self.handler_analysis(kernel, h.syscall);
+            set.extend(a.infeasible_blocks());
+        }
+        e.infeasible.get_or_init(|| Arc::new(set)).clone()
+    }
+
+    /// The predicate-pruned CFG with entry distances. Forces analysis of
+    /// all handlers on first use.
+    pub fn pruned_cfg(&self, kernel: &Kernel) -> Arc<PrunedCfg> {
+        let e = self.entry(kernel);
+        if let Some(v) = e.pruned.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let n = kernel.block_count();
+        let mut fwd: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        let mut rev: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for h in kernel.handlers() {
+            let a = self.handler_analysis(kernel, h.syscall);
+            for &b in &h.blocks {
+                for &s in a.feasible_successors(b) {
+                    fwd[b.index()].push(s);
+                    rev[s.index()].push(b);
+                }
+            }
+        }
+        // Multi-source BFS from handler entries over feasible edges.
+        let mut entry_dist: Vec<Option<u32>> = vec![None; n];
+        let mut queue = VecDeque::new();
+        for h in kernel.handlers() {
+            if entry_dist[h.entry.index()].is_none() {
+                entry_dist[h.entry.index()] = Some(0);
+                queue.push_back(h.entry);
+            }
+        }
+        while let Some(b) = queue.pop_front() {
+            let d = entry_dist[b.index()].expect("queued blocks have distances");
+            for &s in &fwd[b.index()] {
+                if entry_dist[s.index()].is_none() {
+                    entry_dist[s.index()] = Some(d + 1);
+                    queue.push_back(s);
+                }
+            }
+        }
+        e.pruned
+            .get_or_init(|| {
+                Arc::new(PrunedCfg {
+                    fwd,
+                    rev,
+                    entry_dist,
+                })
+            })
+            .clone()
+    }
+
+    /// Classifies `target`: unreachable with proof, reachable with a
+    /// concrete witness, or unknown. Built from the cached per-handler
+    /// analysis; the verdict itself is cheap and not memoized.
+    pub fn verdict(&self, kernel: &Kernel, target: BlockId) -> Verdict {
+        if target.index() >= kernel.block_count() {
+            return Verdict::ProvedUnreachable(crate::interval::UnreachableProof::OutOfRange);
+        }
+        let handler = kernel.block(target).handler;
+        let h = kernel.handler(handler);
+        let a = self.handler_analysis(kernel, handler);
+        let dom = self.dominators(kernel);
+        let dead = self.dead_blocks(kernel);
+        classify(
+            kernel.registry(),
+            kernel.blocks(),
+            h,
+            &a,
+            &dom,
+            &dead,
+            target,
+        )
+    }
+
+    /// Total fixpoint iterations across all handlers of `kernel`
+    /// (deterministic; used as a telemetry gauge).
+    pub fn total_fixpoint_iterations(&self, kernel: &Kernel) -> u64 {
+        kernel
+            .handlers()
+            .iter()
+            .map(|h| self.handler_analysis(kernel, h.syscall).iterations)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowplow_kernel::KernelVersion;
+
+    #[test]
+    fn cache_hit_rate_warms_up() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let cache = AnalysisCache::new();
+        // Cold pass: everything misses.
+        cache.dead_blocks(&kernel);
+        cache.dominators(&kernel);
+        let h0 = kernel.handlers()[0].syscall;
+        cache.handler_analysis(&kernel, h0);
+        let cold = cache.stats();
+        assert_eq!(cold.hits, 0);
+        assert_eq!(cold.misses, 3);
+        // Warm pass: everything hits.
+        cache.dead_blocks(&kernel);
+        cache.dominators(&kernel);
+        cache.handler_analysis(&kernel, h0);
+        let warm = cache.stats();
+        assert_eq!(warm.misses, 3);
+        assert_eq!(warm.hits, 3);
+        assert!(warm.hit_rate() >= 0.5);
+    }
+
+    #[test]
+    fn cached_results_match_uncached() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let cache = AnalysisCache::new();
+        assert_eq!(*cache.dead_blocks(&kernel), statically_dead_blocks(&kernel));
+        let h = &kernel.handlers()[3];
+        let fresh = analyze_handler(kernel.registry(), kernel.blocks(), h);
+        let cached = cache.handler_analysis(&kernel, h.syscall);
+        for &b in &h.blocks {
+            assert_eq!(fresh.is_feasible(b), cached.is_feasible(b));
+            assert_eq!(fresh.state(b), cached.state(b));
+        }
+    }
+
+    #[test]
+    fn fingerprints_keep_kernel_builds_apart() {
+        let a = Kernel::build(KernelVersion::V6_8);
+        let b = Kernel::build(KernelVersion::V6_10);
+        let cache = AnalysisCache::new();
+        let da = cache.dead_blocks(&a);
+        let db = cache.dead_blocks(&b);
+        // Different versions drift differently; the cache must not serve
+        // one kernel's set for the other.
+        assert_eq!(*da, statically_dead_blocks(&a));
+        assert_eq!(*db, statically_dead_blocks(&b));
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn pruned_cfg_entry_distances_cover_feasible_blocks() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let cache = AnalysisCache::new();
+        let pruned = cache.pruned_cfg(&kernel);
+        let infeasible = cache.infeasible_blocks(&kernel);
+        for h in kernel.handlers() {
+            assert_eq!(pruned.entry_dist[h.entry.index()], Some(0));
+            for &b in &h.blocks {
+                if infeasible.contains(&b) {
+                    assert_eq!(
+                        pruned.entry_dist[b.index()],
+                        None,
+                        "infeasible block {b:?} has an entry distance"
+                    );
+                }
+            }
+        }
+        // Reverse BFS from an arbitrary feasible block reaches its entry.
+        let target = kernel.handlers()[0].entry;
+        let mut out = Vec::new();
+        pruned.distance_to_sources(&[target], &mut out);
+        assert_eq!(out[target.index()], Some(0));
+    }
+
+    #[test]
+    fn shared_cache_is_a_singleton() {
+        let a = AnalysisCache::shared() as *const _;
+        let b = AnalysisCache::shared() as *const _;
+        assert_eq!(a, b);
+    }
+}

@@ -19,14 +19,31 @@
 //!    blocks before they reach a PMM query.
 //! 3. [`oracle`] — a reachability oracle asserting that every planted
 //!    bug block is statically reachable in every kernel version.
+//! 4. [`interval`] — value-range abstract interpretation per handler: a
+//!    worklist fixpoint over branch predicates with widening, a
+//!    `(handler, target)` verdict solver (`ProvedUnreachable` with proof
+//!    kind / `ReachableWithWitness` with concrete argument values /
+//!    `Unknown`), and infeasible-edge diagnostics for `sp-lint
+//!    --intervals`.
+//! 5. [`cache`] — the process-shared [`AnalysisCache`] memoizing dead
+//!    blocks, dominator trees, per-handler fixpoints, and the
+//!    predicate-pruned distance CFG per kernel build.
 
+pub mod cache;
 pub mod cfg;
+pub mod interval;
 pub mod lint;
 pub mod oracle;
 
+pub use cache::{AnalysisCache, CacheStats, PrunedCfg};
 pub use cfg::{
     branch_status, dominators, post_dominators, reachable_blocks, statically_dead_blocks,
     BranchStatus, DomTree,
+};
+pub use interval::{
+    analyze_handler, classify, type_interval, type_len_interval, AbsState, ArgConstraint,
+    ConstraintKind, EdgeCut, EdgeSide, HandlerAnalysis, InfeasibleEdge, Interval, UnreachableProof,
+    Verdict,
 };
 pub use lint::{first_error, lint, lint_text, Diagnostic, FileDiagnostic, Rule};
 pub use oracle::{assert_all_bugs_reachable, check_bug_reachability};

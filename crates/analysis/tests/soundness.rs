@@ -1,0 +1,89 @@
+//! Soundness harness for the interval abstract interpreter (DESIGN.md
+//! §10): concrete executions are a ground truth the static analysis must
+//! over-approximate. For random (and randomly mutated) lint-clean
+//! programs:
+//!
+//! * every concretely-executed block must carry a fixpoint state — a
+//!   block the analysis calls infeasible that an execution then reaches
+//!   would be an unsound cut;
+//! * at every executed block, each argument value (and buffer length)
+//!   that concretely resolves at a constrained path must lie inside the
+//!   static interval for that path.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snowplow_analysis::AnalysisCache;
+use snowplow_kernel::{Kernel, KernelVersion, Vm};
+use snowplow_prog::arg::ArgView;
+use snowplow_prog::gen::Generator;
+use snowplow_prog::Mutator;
+
+fn kernel() -> &'static Kernel {
+    use std::sync::OnceLock;
+    static K: OnceLock<Kernel> = OnceLock::new();
+    K.get_or_init(|| Kernel::build(KernelVersion::V6_8))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// No concretely-reached block may be interval-infeasible, and
+    /// observed argument values stay inside the static intervals.
+    #[test]
+    fn prop_intervals_over_approximate_concrete_executions(
+        seed in any::<u64>(),
+        calls in 1usize..8,
+        mutations in 0usize..6,
+    ) {
+        let k = kernel();
+        let reg = k.registry();
+        let cache = AnalysisCache::shared();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut prog = Generator::new(reg).generate(&mut rng, calls);
+        let mut mutator = Mutator::new(reg);
+        for _ in 0..mutations {
+            prog = mutator.mutate(&mut rng, &prog).0;
+        }
+        // The soundness contract covers lint-clean programs (the same
+        // bar the corpus enforces on ingestion).
+        prop_assert!(snowplow_analysis::lint(reg, &prog).is_empty());
+
+        let mut vm = Vm::new(k);
+        let exec = vm.execute(&prog);
+        for (call, trace) in prog.calls.iter().zip(&exec.call_traces) {
+            let analysis = cache.handler_analysis(k, call.def);
+            for &b in trace {
+                let Some(st) = analysis.state(b) else {
+                    prop_assert!(
+                        false,
+                        "executed block {b:?} of {} is marked infeasible",
+                        reg.syscall(call.def).name
+                    );
+                    unreachable!();
+                };
+                for (path, iv) in &st.vals {
+                    if let Some(ArgView::Int(v)) = call.view_at(path) {
+                        prop_assert!(
+                            iv.contains(v),
+                            "block {b:?}: {path} = {v:#x} outside [{:#x}, {:#x}]",
+                            iv.lo,
+                            iv.hi
+                        );
+                    }
+                }
+                for (path, iv) in &st.lens {
+                    if let Some(ArgView::Data(bytes)) = call.view_at(path) {
+                        prop_assert!(
+                            iv.contains(bytes.len() as u64),
+                            "block {b:?}: len({path}) = {} outside [{:#x}, {:#x}]",
+                            bytes.len(),
+                            iv.lo,
+                            iv.hi
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -270,6 +270,54 @@ fn bench_dead_block_analysis(c: &mut Criterion) {
     });
 }
 
+fn bench_analysis_fixpoint(c: &mut Criterion) {
+    // Uncached interval fixpoint over one mid-sized handler: the cost
+    // the AnalysisCache pays once per (handler, kernel build).
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let h = kernel
+        .handlers()
+        .iter()
+        .max_by_key(|h| h.blocks.len())
+        .expect("kernel has handlers");
+    c.bench_function("analysis_fixpoint", |b| {
+        b.iter(|| {
+            snowplow_analysis::analyze_handler(kernel.registry(), kernel.blocks(), h).iterations
+        })
+    });
+}
+
+fn bench_static_distance(c: &mut Criterion) {
+    // The distance-scheduling hot path: a multi-source reverse BFS over
+    // the interval-pruned CFG from a frontier the size a campaign sees.
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let cache = snowplow_analysis::AnalysisCache::shared();
+    let pruned = cache.pruned_cfg(&kernel);
+    let infeasible = cache.infeasible_blocks(&kernel);
+    let generator = Generator::new(kernel.registry());
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut vm = Vm::new(&kernel);
+    let snap = vm.snapshot();
+    let mut cov = snowplow_core::Coverage::new();
+    for _ in 0..32 {
+        let prog = generator.generate(&mut rng, 6);
+        vm.restore(&snap);
+        vm.execute(&prog).merge_coverage_into(&mut cov);
+    }
+    let frontier: Vec<_> = kernel
+        .cfg()
+        .alternative_entries(&cov)
+        .into_iter()
+        .filter(|b| !infeasible.contains(b))
+        .collect();
+    let mut dist = Vec::new();
+    c.bench_function("static_distance", |b| {
+        b.iter(|| {
+            pruned.distance_to_sources(&frontier, &mut dist);
+            dist.iter().flatten().count()
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_kernel_exec,
@@ -283,6 +331,8 @@ criterion_group!(
     bench_coverage_merge,
     bench_telemetry_overhead,
     bench_lint,
-    bench_dead_block_analysis
+    bench_dead_block_analysis,
+    bench_analysis_fixpoint,
+    bench_static_distance
 );
 criterion_main!(benches);

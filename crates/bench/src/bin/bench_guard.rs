@@ -4,10 +4,11 @@
 //!
 //! Guarded metrics are the ones the perf work optimizes for: matmul
 //! GFLOP/s (both measured shapes), the Snowplow/Syzkaller fuzzing
-//! throughput ratio, and the dataset-harvest scaling factor. Everything
-//! else in the file is informational — latency and throughput of the
-//! inference service vary too much run-to-run on shared hardware to
-//! gate on.
+//! throughput ratio, the distance-scheduling throughput ratio, the
+//! static-analysis throughput (interval fixpoints and distance maps),
+//! and the dataset-harvest scaling factor. Everything else in the file
+//! is informational — latency and throughput of the inference service
+//! vary too much run-to-run on shared hardware to gate on.
 //!
 //! Usage: `bench_guard <baseline.jsonl> <candidate.jsonl>` (defaults:
 //! `BENCH_perf.jsonl` for both, which trivially passes — `ci.sh bench`
@@ -26,6 +27,9 @@ const GUARDED: &[&str] = &[
     "matmul_400x48x48.gflops_fast",
     "matmul_256x256x256.gflops_fast",
     "fuzzing.ratio",
+    "fuzzing.distance_sched_ratio",
+    "analysis.fixpoint_per_sec",
+    "analysis.static_distance_per_sec",
     "harvest.scaling",
 ];
 
@@ -68,11 +72,16 @@ fn main() -> ExitCode {
                 println!("  {name}: {old:.3} -> {new:.3} (floor {floor:.3}) {verdict}");
                 failed |= new < floor;
             }
-            (old, new) => {
+            (None, Some(new)) => {
+                // A gauge the baseline predates: nothing to regress
+                // against yet — it becomes guarded once this run's file
+                // is committed.
+                println!("  {name}: (new metric) -> {new:.3} ok");
+            }
+            (old, None) => {
                 eprintln!(
-                    "  {name}: missing (baseline {}, candidate {})",
+                    "  {name}: missing from candidate (baseline {})",
                     if old.is_some() { "present" } else { "absent" },
-                    if new.is_some() { "present" } else { "absent" },
                 );
                 failed = true;
             }

@@ -268,6 +268,59 @@ fn main() {
     bench.gauge("harvest.execs_per_sec_w4", harvest_rates[1]);
     bench.gauge("harvest.scaling", harvest_scaling);
 
+    // ---- Static analysis throughput. ------------------------------------
+    // The abstract-interpretation costs the AnalysisCache amortizes: a
+    // full-kernel interval fixpoint pass (handlers/second, uncached) and
+    // the distance-scheduling reverse BFS over the pruned CFG
+    // (recomputations/second — this one runs inside the campaign loop
+    // whenever coverage grows, so it must stay cheap).
+    println!("\n== static analysis (interval fixpoints, distance maps) ==");
+    use snowplow_core::analysis::{analyze_handler, AnalysisCache};
+    let t = Instant::now();
+    let mut fix_iters = 0u64;
+    for h in kernel.handlers() {
+        fix_iters += analyze_handler(kernel.registry(), kernel.blocks(), h).iterations;
+    }
+    let fixpoint_per_sec = kernel.handlers().len() as f64 / t.elapsed().as_secs_f64();
+    println!(
+        "interval fixpoint: {fixpoint_per_sec:.0} handlers/s ({} handlers, {fix_iters} iterations)",
+        kernel.handlers().len()
+    );
+    bench.gauge("analysis.fixpoint_per_sec", fixpoint_per_sec);
+
+    let cache = AnalysisCache::shared();
+    let pruned = cache.pruned_cfg(&kernel);
+    let infeasible = cache.infeasible_blocks(&kernel);
+    let frontier: Vec<_> = {
+        let generator = snowplow_prog::gen::Generator::new(kernel.registry());
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut vm = Vm::new(&kernel);
+        let mut cov = snowplow_core::Coverage::new();
+        for _ in 0..32 {
+            let p = generator.generate(&mut rng, 6);
+            vm.execute(&p).merge_coverage_into(&mut cov);
+        }
+        kernel
+            .cfg()
+            .alternative_entries(&cov)
+            .into_iter()
+            .filter(|b| !infeasible.contains(b))
+            .collect()
+    };
+    let mut dist = Vec::new();
+    let dist_iters = 200usize;
+    let t = Instant::now();
+    for _ in 0..dist_iters {
+        pruned.distance_to_sources(&frontier, &mut dist);
+        std::hint::black_box(dist.iter().flatten().count());
+    }
+    let static_distance_per_sec = dist_iters as f64 / t.elapsed().as_secs_f64();
+    println!(
+        "static distance map: {static_distance_per_sec:.0} recomputes/s ({} frontier sources)",
+        frontier.len()
+    );
+    bench.gauge("analysis.static_distance_per_sec", static_distance_per_sec);
+
     // ---- Fuzzing throughput. --------------------------------------------
     // Full 24h virtual day (the campaign config the paper's §5.5 numbers
     // correspond to). Both fuzzers run the same virtual duration — and
@@ -298,6 +351,23 @@ fn main() {
     bench.gauge("fuzzing.syzkaller_execs_per_sec", base_rate);
     bench.gauge("fuzzing.snowplow_execs_per_sec", snow_rate);
     bench.gauge("fuzzing.ratio", snow_rate / base_rate);
+
+    // Distance-weighted seed scheduling (this reproduction's extension):
+    // the same virtual day with the static scheduler on. The ratio
+    // against the stock Syzkaller loop bounds the overhead of the
+    // per-coverage-change weight recomputation — gated like
+    // `fuzzing.ratio`, a scheduler that stalls the loop fails CI.
+    let mut sched_cfg = day_config(1);
+    sched_cfg.distance_scheduling = true;
+    let t = Instant::now();
+    let sched = Campaign::new(&kernel, FuzzerKind::Syzkaller, sched_cfg).run();
+    let sched_rate = sched.execs as f64 / t.elapsed().as_secs_f64();
+    println!(
+        "distance-scheduled syzkaller: {sched_rate:.0} tests/s | ratio vs stock {:.2}",
+        sched_rate / base_rate
+    );
+    bench.gauge("fuzzing.distance_sched_execs_per_sec", sched_rate);
+    bench.gauge("fuzzing.distance_sched_ratio", sched_rate / base_rate);
 
     bench.flush();
     println!("\nwrote BENCH_perf.jsonl");

@@ -75,6 +75,16 @@ pub mod prelude {
     };
 }
 
+/// Static analyses: the program linter, CFG passes, and the value-range
+/// abstract interpreter with its shared cache (DESIGN.md §10).
+pub mod analysis {
+    pub use snowplow_analysis::{
+        analyze_handler, classify, lint, statically_dead_blocks, AnalysisCache, ArgConstraint,
+        CacheStats, ConstraintKind, Diagnostic, HandlerAnalysis, InfeasibleEdge, Interval,
+        PrunedCfg, UnreachableProof, Verdict,
+    };
+}
+
 /// Model/query types for advanced integration.
 pub mod learning {
     pub use snowplow_mlcore::{AdamConfig, BinaryMetrics, Matrix, Params, Tape};

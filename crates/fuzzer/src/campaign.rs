@@ -96,6 +96,14 @@ pub struct CampaignConfig {
     /// (base, target-set) key). Reports are bit-identical either way —
     /// the flag exists so the golden-equivalence tests can prove it.
     pub hot_caches: bool,
+    /// Enables static distance-to-frontier seed scheduling: corpus
+    /// entries whose coverage sits close (over the interval-pruned CFG,
+    /// see [`snowplow_analysis::PrunedCfg`]) to an uncovered frontier
+    /// block are weighted up in [`Corpus::choose`]. Off by default —
+    /// with the flag off the campaign never touches the analysis
+    /// scheduler and reports are bit-identical to earlier builds (the
+    /// golden test below proves it).
+    pub distance_scheduling: bool,
 }
 
 impl Default for CampaignConfig {
@@ -116,6 +124,7 @@ impl Default for CampaignConfig {
             max_pending_predictions: 8,
             guided_use_multiplier: 4,
             hot_caches: true,
+            distance_scheduling: false,
         }
     }
 }
@@ -219,6 +228,11 @@ impl CampaignConfigBuilder {
 
     pub fn hot_caches(mut self, on: bool) -> Self {
         self.cfg.hot_caches = on;
+        self
+    }
+
+    pub fn distance_scheduling(mut self, on: bool) -> Self {
+        self.cfg.distance_scheduling = on;
         self
     }
 
@@ -389,9 +403,29 @@ impl<'k> Campaign<'k> {
         };
 
         // Blocks no mutation can ever reach (statically-unsatisfiable
-        // gates, orphan error stubs): computed once, excluded from every
-        // PMM frontier query so no inference budget is spent on them.
-        let dead_blocks = snowplow_analysis::statically_dead_blocks(kernel);
+        // gates, orphan error stubs): served from the shared analysis
+        // cache (same set as `statically_dead_blocks`, computed once per
+        // kernel build process-wide), excluded from every PMM frontier
+        // query so no inference budget is spent on them.
+        let analysis_cache = snowplow_analysis::AnalysisCache::shared();
+        let dead_blocks = analysis_cache.dead_blocks(kernel);
+
+        // Static distance scheduling (flag-gated): the interval-pruned
+        // CFG and the interval-infeasible block set (a superset of
+        // `dead_blocks`) drive distance-to-frontier corpus weights. Both
+        // come from the shared cache; with the flag off nothing below is
+        // computed and the scheduler never runs.
+        let sched_inputs = cfg.distance_scheduling.then(|| {
+            let span = telemetry.span_at(Phase::Analyze, clock.now());
+            let infeasible = analysis_cache.infeasible_blocks(kernel);
+            let pruned = analysis_cache.pruned_cfg(kernel);
+            span.finish(&telemetry, clock.now());
+            (infeasible, pruned)
+        });
+        let mut sched_len = usize::MAX;
+        let mut sched_blocks_at = usize::MAX;
+        let mut sched_frontier: Vec<BlockId> = Vec::new();
+        let mut sched_dist: Vec<Option<u32>> = Vec::new();
 
         // ---- Seed corpus. --------------------------------------------------
         // Generation and execution shard across workers: every seed
@@ -487,6 +521,51 @@ impl<'k> Campaign<'k> {
                         .max(cfg.guided_use_multiplier)
                         .max(1);
                     ready.insert(p.base, (p.locs, uses));
+                }
+            }
+
+            // Distance-weighted seed scheduling: whenever the corpus or
+            // global block coverage changed, recompute per-entry weights
+            // from the static distance (over the interval-pruned CFG) of
+            // each entry's coverage to the nearest uncovered, feasible
+            // frontier block. Entries parked next to the frontier get a
+            // large bonus; the contribution weight stays as a tiebreak.
+            if let Some((infeasible, pruned)) = &sched_inputs {
+                if sched_len != corpus.len() || sched_blocks_at != blocks.len() {
+                    let span = telemetry.span_at(Phase::Analyze, clock.now());
+                    sched_frontier.clear();
+                    sched_frontier.extend(
+                        kernel
+                            .cfg()
+                            .alternative_entries(&blocks)
+                            .into_iter()
+                            .filter(|b| !infeasible.contains(b)),
+                    );
+                    if sched_frontier.is_empty() {
+                        // Nothing feasible left to chase: fall back to
+                        // plain contribution weighting.
+                        corpus.set_schedule_weights(None);
+                    } else {
+                        pruned.distance_to_sources(&sched_frontier, &mut sched_dist);
+                        let weights: Vec<u64> = corpus
+                            .iter()
+                            .map(|e| {
+                                let d = e
+                                    .coverage
+                                    .iter()
+                                    .filter_map(|b| sched_dist[b.index()])
+                                    .min()
+                                    .unwrap_or(u32::MAX);
+                                1 + e.new_edges as u64 + (256u64 >> d.min(8))
+                            })
+                            .collect();
+                        corpus.set_schedule_weights(Some(weights));
+                    }
+                    telemetry.counter("analysis.sched.recompute", 1);
+                    telemetry.observe("analysis.sched.frontier", sched_frontier.len() as u64);
+                    span.finish(&telemetry, clock.now());
+                    sched_len = corpus.len();
+                    sched_blocks_at = blocks.len();
                 }
             }
 
@@ -1023,6 +1102,75 @@ mod tests {
                 if snowplow {
                     assert!(cached.inferences > 0, "seed={seed}: model was queried");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_scheduling_off_is_bit_identical_and_on_makes_progress() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let mk_model = || {
+            Pmm::new(
+                snowplow_pmm::model::PmmConfig {
+                    dim: 16,
+                    rounds: 1,
+                    ..Default::default()
+                },
+                kernel.registry().syscall_count(),
+            )
+        };
+        for seed in [5u64, 9] {
+            for snowplow in [false, true] {
+                let run = |sched: bool| {
+                    let cfg = CampaignConfig {
+                        duration: Duration::from_secs(600),
+                        sample_every: Duration::from_secs(60),
+                        distance_scheduling: sched,
+                        ..short_config(seed)
+                    };
+                    let kind = if snowplow {
+                        FuzzerKind::Snowplow {
+                            model: Box::new(mk_model()),
+                        }
+                    } else {
+                        FuzzerKind::Syzkaller
+                    };
+                    Campaign::new(&kernel, kind, cfg).run()
+                };
+                // Explicit `false` must be byte-identical to the default
+                // config: the scheduler is pay-for-what-you-enable.
+                let default_cfg = Campaign::new(
+                    &kernel,
+                    if snowplow {
+                        FuzzerKind::Snowplow {
+                            model: Box::new(mk_model()),
+                        }
+                    } else {
+                        FuzzerKind::Syzkaller
+                    },
+                    CampaignConfig {
+                        duration: Duration::from_secs(600),
+                        sample_every: Duration::from_secs(60),
+                        ..short_config(seed)
+                    },
+                )
+                .run();
+                let off = run(false);
+                assert_eq!(
+                    report_fingerprint(&off),
+                    report_fingerprint(&default_cfg),
+                    "seed={seed} snowplow={snowplow}"
+                );
+                // Enabled, the campaign still runs to the deadline and
+                // keeps finding coverage — the scheduler reweights, it
+                // never starves the loop.
+                let on = run(true);
+                assert!(
+                    on.final_edges > 300,
+                    "seed={seed} snowplow={snowplow}: edges {}",
+                    on.final_edges
+                );
+                assert_eq!(on.execs, off.execs, "same virtual budget spent");
             }
         }
     }

@@ -26,6 +26,12 @@ pub struct CorpusEntry {
 pub struct Corpus {
     entries: Vec<CorpusEntry>,
     total_weight: u64,
+    /// Distance-weighted scheduling overrides, parallel to `entries`.
+    /// `None` (the default) leaves [`Corpus::choose`] byte-identical to
+    /// the pre-scheduling behavior; entries admitted after the weights
+    /// were computed fall back to their contribution weight until the
+    /// scheduler recomputes.
+    sched: Option<Vec<u64>>,
 }
 
 impl Corpus {
@@ -79,10 +85,33 @@ impl Corpus {
         1 + new_edges as u64
     }
 
+    /// Installs (or clears, with `None`) per-entry scheduling weights
+    /// computed from static frontier distances. While installed, the
+    /// contribution-weighted half of [`Corpus::choose`] draws by these
+    /// weights instead; the recency window is untouched. Weights must be
+    /// non-zero to keep every entry selectable.
+    pub fn set_schedule_weights(&mut self, weights: Option<Vec<u64>>) {
+        if let Some(w) = &weights {
+            debug_assert!(w.len() <= self.entries.len());
+            debug_assert!(w.iter().all(|&x| x > 0), "zero weight starves an entry");
+        }
+        self.sched = weights;
+    }
+
+    /// The effective contribution weight of entry `i` under the current
+    /// scheduling mode.
+    fn effective_weight(&self, i: usize) -> u64 {
+        match &self.sched {
+            Some(w) if i < w.len() => w[i],
+            _ => Self::weight_of(self.entries[i].new_edges),
+        }
+    }
+
     /// Picks an entry index: half the time among the most recently
     /// admitted entries (whose coverage frontier is freshest — Syzkaller
     /// likewise prioritizes newly triaged programs), otherwise weighted
-    /// by contribution across the whole corpus.
+    /// by contribution across the whole corpus (or by the installed
+    /// distance-derived weights, see [`Corpus::set_schedule_weights`]).
     pub fn choose(&self, rng: &mut StdRng) -> Option<usize> {
         if self.entries.is_empty() {
             return None;
@@ -91,6 +120,20 @@ impl Corpus {
             let window = 32.min(self.entries.len());
             let start = self.entries.len() - window;
             return Some(rng.random_range(start..self.entries.len()));
+        }
+        if self.sched.is_some() {
+            let total: u64 = (0..self.entries.len())
+                .map(|i| self.effective_weight(i))
+                .sum();
+            let mut pick = rng.random_range(0..total.max(1));
+            for i in 0..self.entries.len() {
+                let w = self.effective_weight(i);
+                if pick < w {
+                    return Some(i);
+                }
+                pick -= w;
+            }
+            return Some(self.entries.len() - 1);
         }
         let mut pick = rng.random_range(0..self.total_weight.max(1));
         for (i, e) in self.entries.iter().enumerate() {
@@ -226,6 +269,47 @@ mod tests {
     fn empty_corpus_yields_none() {
         let mut rng = StdRng::seed_from_u64(2);
         assert_eq!(Corpus::new().choose(&mut rng), None);
+    }
+
+    #[test]
+    fn schedule_weights_steer_choice_and_clear_to_baseline() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let generator = Generator::new(kernel.registry());
+        let mut vm = Vm::new(&kernel);
+        let snap = vm.snapshot();
+        let mut corpus = Corpus::new();
+        for _ in 0..10 {
+            let p = generator.generate(&mut rng, 3);
+            vm.restore(&snap);
+            let exec = vm.execute(&p);
+            corpus.add(p, &exec, 1);
+        }
+
+        // A frontier-near entry dominates the weighted half of choose.
+        let mut weights = vec![1u64; 10];
+        weights[2] = 10_000;
+        corpus.set_schedule_weights(Some(weights));
+        let mut hits2 = 0;
+        for _ in 0..200 {
+            if corpus.choose(&mut rng) == Some(2) {
+                hits2 += 1;
+            }
+        }
+        assert!(hits2 > 80, "only {hits2}/200 picks of the near entry");
+
+        // Clearing the weights restores the exact pre-scheduling RNG
+        // behavior: same seed, same picks as a never-scheduled corpus.
+        corpus.set_schedule_weights(None);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let picks_cleared: Vec<_> = (0..50).map(|_| corpus.choose(&mut a)).collect();
+        let mut fresh = Corpus::new();
+        for e in corpus.iter() {
+            fresh.add(e.prog.clone(), &e.exec, e.new_edges);
+        }
+        let picks_fresh: Vec<_> = (0..50).map(|_| fresh.choose(&mut b)).collect();
+        assert_eq!(picks_cleared, picks_fresh);
     }
 
     #[test]

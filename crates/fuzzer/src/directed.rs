@@ -19,11 +19,13 @@
 use std::time::Duration;
 
 use rand::prelude::*;
+use snowplow_analysis::{AnalysisCache, ArgConstraint, UnreachableProof, Verdict};
 use snowplow_kernel::{BlockId, Kernel, Vm};
 use snowplow_pmm::graph::QueryGraph;
 use snowplow_pmm::model::Pmm;
 use snowplow_prog::gen::Generator;
 use snowplow_prog::{Mutator, Prog};
+use snowplow_syslang::SyscallId;
 
 use snowplow_telemetry::{Phase, Telemetry};
 
@@ -52,6 +54,12 @@ pub struct DirectedConfig {
     pub seed_corpus: usize,
     /// Campaign seed.
     pub seed: u64,
+    /// When the static verdict for the target is
+    /// [`Verdict::ReachableWithWitness`], inject the witness argument
+    /// values into every seed program's target call. Disabling this
+    /// reproduces the pre-analysis seeding behavior exactly (the RNG
+    /// stream is untouched either way).
+    pub use_witness_seeds: bool,
     /// Metrics destination; [`Telemetry::disabled`] costs nothing.
     pub telemetry: Telemetry,
 }
@@ -66,6 +74,7 @@ impl Default for DirectedConfig {
             threshold: 0.5,
             seed_corpus: 20,
             seed: 0,
+            use_witness_seeds: true,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -129,6 +138,12 @@ impl DirectedConfigBuilder {
         self
     }
 
+    /// Enables or disables witness-derived seed programs.
+    pub fn use_witness_seeds(mut self, on: bool) -> Self {
+        self.cfg.use_witness_seeds = on;
+        self
+    }
+
     /// Sets the metrics destination.
     pub fn telemetry(mut self, t: Telemetry) -> Self {
         self.cfg.telemetry = t;
@@ -159,11 +174,15 @@ pub enum DirectedOutcome {
         /// Executions spent.
         execs: u64,
     },
-    /// Static analysis proved the target can never execute (out of
-    /// range, behind a statically-unsatisfiable gate, or disconnected
-    /// from every handler entry), so no fuzzing was attempted. Decided
-    /// in O(|CFG|) before the first execution.
-    Unreachable,
+    /// Static analysis proved the target can never execute, so no
+    /// fuzzing was attempted. Decided before the first execution; the
+    /// proof kind distinguishes an out-of-range id, a block dead by
+    /// graph shape, and a gate conjunction the value-range analysis
+    /// proved empty.
+    Unreachable {
+        /// Why the target is unreachable.
+        proof: UnreachableProof,
+    },
 }
 
 impl DirectedOutcome {
@@ -171,7 +190,7 @@ impl DirectedOutcome {
     pub fn reached_at(&self) -> Option<Duration> {
         match self {
             DirectedOutcome::Reached { at, .. } => Some(*at),
-            DirectedOutcome::TimedOut { .. } | DirectedOutcome::Unreachable => None,
+            DirectedOutcome::TimedOut { .. } | DirectedOutcome::Unreachable { .. } => None,
         }
     }
 }
@@ -223,7 +242,7 @@ impl<'k> DirectedCampaign<'k> {
                         telemetry.gauge("directed.best_distance", *d as f64);
                     }
                 }
-                DirectedOutcome::Unreachable => {
+                DirectedOutcome::Unreachable { .. } => {
                     telemetry.counter("directed.unreachable", 1);
                 }
             }
@@ -236,11 +255,44 @@ impl<'k> DirectedCampaign<'k> {
         let kernel = self.kernel;
         let cfg = self.config.clone();
         let reg = kernel.registry();
-        if cfg.target.index() >= kernel.block_count()
-            || snowplow_analysis::statically_dead_blocks(kernel).contains(&cfg.target)
-        {
-            return DirectedOutcome::Unreachable;
+        let mut clock = VirtualClock::new();
+        // Static screen: classify the target before spending any budget.
+        // All analyses are memoized per kernel build, so repeated
+        // directed queries pay for the fixpoint once. The solve runs in
+        // zero virtual time; the span still records call counts so the
+        // analysis shows up in phase telemetry.
+        let cache = AnalysisCache::shared();
+        let span = telemetry.span_at(Phase::Analyze, clock.now());
+        let verdict = cache.verdict(kernel, cfg.target);
+        span.finish(telemetry, clock.now());
+        // Process-wide cache effectiveness at the time of this query
+        // (gauges, not counters: the shared cache outlives any single
+        // campaign, so totals are the meaningful reading).
+        let cache_stats = cache.stats();
+        telemetry.gauge("analysis.cache.hits", cache_stats.hits as f64);
+        telemetry.gauge("analysis.cache.misses", cache_stats.misses as f64);
+        telemetry.gauge("analysis.cache.hit_rate", cache_stats.hit_rate());
+        if cfg.target.index() < kernel.block_count() {
+            let handler = kernel.block(cfg.target).handler;
+            telemetry.gauge(
+                "analysis.fixpoint_iterations",
+                cache.handler_analysis(kernel, handler).iterations as f64,
+            );
         }
+        let witness: Option<Vec<ArgConstraint>> = match verdict {
+            Verdict::ProvedUnreachable(proof) => {
+                telemetry.counter("analysis.verdict.proved_unreachable", 1);
+                return DirectedOutcome::Unreachable { proof };
+            }
+            Verdict::ReachableWithWitness { arg_constraints } => {
+                telemetry.counter("analysis.verdict.witness", 1);
+                cfg.use_witness_seeds.then_some(arg_constraints)
+            }
+            Verdict::Unknown => {
+                telemetry.counter("analysis.verdict.unknown", 1);
+                None
+            }
+        };
         let dist_map = kernel.cfg().distance_to(cfg.target);
         let target_handler = kernel.block(cfg.target).handler;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -248,7 +300,6 @@ impl<'k> DirectedCampaign<'k> {
         let mut mutator = Mutator::new(reg);
         let mut vm = Vm::new(kernel);
         let snapshot = vm.snapshot();
-        let mut clock = VirtualClock::new();
         let mut execs: u64 = 0;
         let mut corpus: Vec<Entry> = Vec::new();
         let mut best: Option<u32> = None;
@@ -294,10 +345,12 @@ impl<'k> DirectedCampaign<'k> {
             }};
         }
 
-        // Seeds: programs guaranteed to invoke the target's syscall.
+        // Seeds: programs guaranteed to invoke the target's syscall,
+        // with witness argument values injected when available.
         for _ in 0..cfg.seed_corpus {
             let mut p = generator.generate(&mut rng, 3);
             generator.append_call(&mut rng, &mut p, target_handler, 0);
+            apply_witness(&witness, target_handler, &mut p);
             p.finalize(reg);
             run_prog!(&p);
             if clock.now() >= cfg.duration {
@@ -313,6 +366,7 @@ impl<'k> DirectedCampaign<'k> {
             let base = if corpus.is_empty() {
                 let mut p = generator.generate(&mut rng, 3);
                 generator.append_call(&mut rng, &mut p, target_handler, 0);
+                apply_witness(&witness, target_handler, &mut p);
                 p.finalize(reg);
                 p
             } else {
@@ -401,6 +455,19 @@ impl<'k> DirectedCampaign<'k> {
     }
 }
 
+/// Writes witness argument values into the last target-handler call of
+/// `p` (best effort: constraints whose paths the concrete argument tree
+/// does not contain are skipped). Consumes no randomness, so disabling
+/// witness seeding reproduces the unseeded RNG stream bit for bit.
+fn apply_witness(witness: &Option<Vec<ArgConstraint>>, target: SyscallId, p: &mut Prog) {
+    let Some(ws) = witness else { return };
+    if let Some(call) = p.calls.iter_mut().rev().find(|c| c.def == target) {
+        for c in ws {
+            c.apply(call);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use snowplow_kernel::{KernelVersion, Terminator};
@@ -464,8 +531,8 @@ mod tests {
             DirectedOutcome::Reached { at, .. } => {
                 panic!("120 virtual seconds cannot crack 4 narrow gates (reached at {at:?})")
             }
-            DirectedOutcome::Unreachable => {
-                panic!("the ATA poison block is statically reachable")
+            DirectedOutcome::Unreachable { proof } => {
+                panic!("the ATA poison block is statically reachable ({proof:?})")
             }
         }
     }
@@ -488,9 +555,17 @@ mod tests {
         };
         assert_eq!(
             DirectedCampaign::new(&k68, None, cfg).run(),
-            DirectedOutcome::Unreachable
+            DirectedOutcome::Unreachable {
+                proof: UnreachableProof::OutOfRange
+            }
         );
-        assert_eq!(DirectedOutcome::Unreachable.reached_at(), None);
+        assert_eq!(
+            DirectedOutcome::Unreachable {
+                proof: UnreachableProof::OutOfRange
+            }
+            .reached_at(),
+            None
+        );
 
         // An orphan error-exit stub (dead by graph shape) is likewise
         // screened out up front.
@@ -506,8 +581,94 @@ mod tests {
             };
             assert_eq!(
                 DirectedCampaign::new(&k68, None, cfg).run(),
-                DirectedOutcome::Unreachable
+                DirectedOutcome::Unreachable {
+                    proof: UnreachableProof::DeadBlock
+                }
             );
+        }
+    }
+
+    #[test]
+    fn predicate_infeasible_target_is_refused_with_proof() {
+        // Build a kernel with planted probe regions: nested gates whose
+        // conjunction is empty but which per-branch constant propagation
+        // cannot refute. The directed campaign must refuse such targets
+        // with an interval proof, without spending a single execution.
+        let gen = snowplow_kernel::HandlerGenConfig {
+            analysis_probes: true,
+            ..snowplow_kernel::HandlerGenConfig::default()
+        };
+        let kernel = snowplow_kernel::Kernel::build_with(
+            KernelVersion::V6_8,
+            gen,
+            snowplow_kernel::BugPlan::default(),
+        );
+        let cache = AnalysisCache::shared();
+        let dead = cache.dead_blocks(&kernel);
+        let infeasible = cache.infeasible_blocks(&kernel);
+        let probe = infeasible
+            .iter()
+            .find(|b| !dead.contains(b))
+            .copied()
+            .expect("probe kernel has interval-infeasible live-shaped blocks");
+        let cfg = DirectedConfig {
+            target: probe,
+            duration: Duration::from_secs(24 * 3600),
+            seed: 11,
+            ..DirectedConfig::default()
+        };
+        match DirectedCampaign::new(&kernel, None, cfg).run() {
+            DirectedOutcome::Unreachable {
+                proof: UnreachableProof::InfeasiblePredicateChain { gates },
+            } => {
+                assert!(gates >= 1, "proof should cite the dominating gate chain");
+            }
+            out => panic!("expected a predicate-chain refusal, got {out:?}"),
+        }
+    }
+
+    #[test]
+    fn witness_seeding_reaches_deep_target_no_slower() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let cache = AnalysisCache::shared();
+        // The deepest witness-backed block: hard for random seeding,
+        // trivial once the witness values are injected.
+        let mut best: Option<(u8, BlockId)> = None;
+        for b in kernel.blocks() {
+            if b.gate_depth >= 3 {
+                if let Verdict::ReachableWithWitness { .. } = cache.verdict(&kernel, b.id) {
+                    if best.is_none_or(|(d, _)| b.gate_depth > d) {
+                        best = Some((b.gate_depth, b.id));
+                    }
+                }
+            }
+        }
+        let (depth, target) = best.expect("stock kernel has deep witness-backed blocks");
+        assert!(depth >= 3);
+        let run = |witness_on: bool| {
+            let cfg = DirectedConfig::builder()
+                .target(target)
+                .duration(Duration::from_secs(1200))
+                .seed(7)
+                .use_witness_seeds(witness_on)
+                .build();
+            DirectedCampaign::new(&kernel, None, cfg).run()
+        };
+        let with = run(true);
+        let without = run(false);
+        let DirectedOutcome::Reached { execs: we, .. } = with else {
+            panic!("witness seeding failed to reach its own target: {with:?}");
+        };
+        // Witness seeds satisfy every scalar gate on the path, so the
+        // target falls during seeding — never slower than the pre-PR
+        // behavior (= witness seeding off), which must grind through
+        // random gate values.
+        match without {
+            DirectedOutcome::Reached { execs: be, .. } => {
+                assert!(we <= be, "witness run spent {we} execs vs baseline {be}")
+            }
+            DirectedOutcome::TimedOut { .. } => {} // strictly faster
+            out => panic!("baseline outcome changed: {out:?}"),
         }
     }
 

@@ -34,6 +34,12 @@ pub struct HandlerGenConfig {
     pub drift_gates: usize,
     /// Probability that a side region exits early through the error path.
     pub early_exit_prob: f64,
+    /// Plant one interval-infeasible probe region per eligible handler:
+    /// two individually-satisfiable gates on the same argument whose
+    /// conjunction is empty (`x in [lo, hi]` guarding `x == c` with
+    /// `c ∉ [lo, hi]`). Per-branch constant propagation cannot prove the
+    /// probe dead; value-range analysis can. Used by analysis tests.
+    pub analysis_probes: bool,
 }
 
 impl Default for HandlerGenConfig {
@@ -44,6 +50,7 @@ impl Default for HandlerGenConfig {
             gate_budget: (30, 64),
             drift_gates: 4,
             early_exit_prob: 0.15,
+            analysis_probes: false,
         }
     }
 }
@@ -752,6 +759,81 @@ impl<'r> KernelBuilder<'r> {
                     fallthrough: next,
                 };
             }
+            let new_blocks: Vec<BlockId> = (first_new..self.blocks.len())
+                .map(|i| BlockId(i as u32))
+                .collect();
+            self.handlers[hi].blocks.extend(new_blocks);
+        }
+    }
+
+    /// Plants the interval-infeasible probe regions enabled by
+    /// [`HandlerGenConfig::analysis_probes`]: on each handler with a
+    /// wide-domain integer argument, splice a nested gate pair
+    /// `x in [0x10, 0x20]` → `x == 0x40` into a trunk `Jump` edge. Each
+    /// gate is individually satisfiable (per-branch constant propagation
+    /// reports `Unknown`) but their conjunction is empty, so the inner
+    /// probe block is reachable by no program — provable only by the
+    /// value-range fixpoint. Deterministic; no RNG-stream interaction
+    /// with normal generation.
+    pub fn plant_infeasible_probes(&mut self) {
+        const WINDOW: (u64, u64) = (0x10, 0x20);
+        const NEEDLE: u64 = 0x40;
+        for hi in 0..self.handlers.len() {
+            let id = self.handlers[hi].syscall;
+            let mut rng =
+                StdRng::seed_from_u64(mix(0x1f3a_51b1, u64::from(self.reg.syscall(id).nr)));
+            // A probe needs an `Any`-format integer wide enough to hold
+            // the needle outside the window.
+            let Some(site) = self.gate_sites(id).into_iter().find(|s| {
+                matches!(
+                    self.reg.ty(s.ty),
+                    Type::Int {
+                        bits,
+                        format: IntFormat::Any
+                    } if *bits >= 8
+                )
+            }) else {
+                continue;
+            };
+            let Some(&at) = self.handlers[hi]
+                .blocks
+                .iter()
+                .find(|b| matches!(self.blocks[b.index()].term, Terminator::Jump(_)))
+            else {
+                continue;
+            };
+            let Terminator::Jump(next) = self.blocks[at.index()].term.clone() else {
+                continue;
+            };
+            let depth = self.blocks[at.index()].gate_depth;
+            let first_new = self.blocks.len();
+            let probe = self.alloc(id, depth.saturating_add(2));
+            let inner = self.alloc(id, depth.saturating_add(1));
+            self.blocks[probe.index()].text = self.body_text(&mut rng, id);
+            self.blocks[probe.index()].term = Terminator::Jump(next);
+            let inner_pred = Predicate::ArgEq {
+                path: site.path.clone(),
+                value: NEEDLE,
+            };
+            self.blocks[inner.index()].text = self.gate_text(&mut rng, &inner_pred);
+            self.blocks[inner.index()].term = Terminator::Branch {
+                pred: inner_pred,
+                taken: probe,
+                fallthrough: next,
+            };
+            let outer_pred = Predicate::ArgInRange {
+                path: site.path.clone(),
+                lo: WINDOW.0,
+                hi: WINDOW.1,
+            };
+            let text = self.gate_text(&mut rng, &outer_pred);
+            let b = &mut self.blocks[at.index()];
+            b.text = text;
+            b.term = Terminator::Branch {
+                pred: outer_pred,
+                taken: inner,
+                fallthrough: next,
+            };
             let new_blocks: Vec<BlockId> = (first_new..self.blocks.len())
                 .map(|i| BlockId(i as u32))
                 .collect();

@@ -69,6 +69,9 @@ impl Kernel {
             // every version exposes the same bug set (the paper fuzzes
             // stable kernels whose bugs persist across releases).
             let (bugs, ata_root) = place_bugs(&registry, &mut b, plan);
+            if gen.analysis_probes {
+                b.plant_infeasible_probes();
+            }
             for pass in 0..version.drift_passes() {
                 b.drift_pass(version.drift_seed(pass));
             }

@@ -57,7 +57,8 @@ pub use block::{BasicBlock, BlockId, Effect, HandlerCfg, Terminator};
 pub use bugs::{BugId, BugInfo, BugRegistry, CrashCategory};
 pub use cfg::StaticCfg;
 pub use coverage::{Coverage, Edge, EdgeSet};
-pub use kernel::Kernel;
+pub use handlergen::HandlerGenConfig;
+pub use kernel::{BugPlan, Kernel};
 pub use predicate::Predicate;
 pub use state::{KernelState, StateVar};
 pub use version::KernelVersion;

@@ -42,6 +42,9 @@ pub enum Phase {
     SeedGen,
     /// Frontier computation for a prediction query.
     FrontierQuery,
+    /// Static analysis (interval fixpoints, verdict solving) ahead of a
+    /// directed campaign.
+    Analyze,
     /// PMM inference (model forward pass, virtual latency).
     Predict,
     /// Building one mutant program.
@@ -53,9 +56,10 @@ pub enum Phase {
 }
 
 impl Phase {
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 7] = [
         Phase::SeedGen,
         Phase::FrontierQuery,
+        Phase::Analyze,
         Phase::Predict,
         Phase::Mutate,
         Phase::Execute,
@@ -66,6 +70,7 @@ impl Phase {
         match self {
             Phase::SeedGen => "seed_gen",
             Phase::FrontierQuery => "frontier_query",
+            Phase::Analyze => "analyze",
             Phase::Predict => "predict",
             Phase::Mutate => "mutate",
             Phase::Execute => "execute",
@@ -78,6 +83,7 @@ impl Phase {
         match self {
             Phase::SeedGen => "phase.seed_gen.us",
             Phase::FrontierQuery => "phase.frontier_query.us",
+            Phase::Analyze => "phase.analyze.us",
             Phase::Predict => "phase.predict.us",
             Phase::Mutate => "phase.mutate.us",
             Phase::Execute => "phase.execute.us",
@@ -90,6 +96,7 @@ impl Phase {
         match self {
             Phase::SeedGen => "phase.seed_gen.calls",
             Phase::FrontierQuery => "phase.frontier_query.calls",
+            Phase::Analyze => "phase.analyze.calls",
             Phase::Predict => "phase.predict.calls",
             Phase::Mutate => "phase.mutate.calls",
             Phase::Execute => "phase.execute.calls",

@@ -13,14 +13,16 @@ fn main() {
     let (model, report) = train_pmm(&kernel, Scale::quick());
     println!("PMM: {}", report.metrics);
 
-    // Pick a deep target: the most deeply argument-gated block of the
-    // epoll_ctl handler family.
+    // Pick a deep target: the most deeply argument-gated block whose
+    // predicate chain the interval analysis cannot refute — an
+    // infeasible one would be refused before a single execution.
+    let infeasible = snowplow::analysis::AnalysisCache::shared().infeasible_blocks(&kernel);
     let target = kernel
         .blocks()
         .iter()
-        .filter(|b| b.gate_depth >= 3)
+        .filter(|b| b.gate_depth >= 3 && !infeasible.contains(&b.id))
         .max_by_key(|b| b.gate_depth)
-        .expect("deep blocks exist");
+        .expect("deep feasible blocks exist");
     println!(
         "target: block {:?} in {} (gate depth {})",
         target.id,
@@ -35,7 +37,7 @@ fn main() {
         let cfg = DirectedConfig::builder()
             .target(target.id)
             .duration(Duration::from_secs(6 * 3600))
-            .seed(5)
+            .seed(1)
             .build();
         match DirectedCampaign::new(&kernel, pmm, cfg).run() {
             DirectedOutcome::Reached { at, execs } => {
@@ -52,8 +54,8 @@ fn main() {
                     "{name}: timed out (closest distance {best_distance:?}, {execs} executions)"
                 );
             }
-            DirectedOutcome::Unreachable => {
-                println!("{name}: target is statically unreachable, nothing to fuzz");
+            DirectedOutcome::Unreachable { proof } => {
+                println!("{name}: target is statically unreachable ({proof:?}), nothing to fuzz");
             }
         }
     }

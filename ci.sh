@@ -16,6 +16,11 @@
 #   ./ci.sh miri       runs the unsafe-adjacent crates (snowplow-pool,
 #                      mlcore) under Miri; skips with a notice when the
 #                      Miri component is not installed.
+#   ./ci.sh fleet      the focused orchestration gate: pedantic lints on
+#                      snowplow-fleet and the resume goldens (checkpoint
+#                      at virtual hour 12 + resume must be bit-identical
+#                      to the uninterrupted day at workers 1/2/8, and a
+#                      4-campaign fleet must share inference fairly).
 #   ./ci.sh bench      the full gate, then the bench-regression guard:
 #                      regenerates BENCH_perf.jsonl with perf_sec55
 #                      (which flushes every measurement through the
@@ -57,6 +62,12 @@ fi
 
 if [[ "${1:-}" == "miri" ]]; then
     run_miri
+    exit 0
+fi
+
+if [[ "${1:-}" == "fleet" ]]; then
+    cargo clippy -p snowplow-fleet --all-targets -- -D warnings
+    cargo test -q -p snowplow-fleet
     exit 0
 fi
 

@@ -22,7 +22,7 @@
 
 use std::process::ExitCode;
 
-/// Gauge names that must not regress.
+/// Gauge names that must not regress (higher is better).
 const GUARDED: &[&str] = &[
     "matmul_400x48x48.gflops_fast",
     "matmul_256x256x256.gflops_fast",
@@ -31,10 +31,19 @@ const GUARDED: &[&str] = &[
     "analysis.fixpoint_per_sec",
     "analysis.static_distance_per_sec",
     "harvest.scaling",
+    "fleet.fair_share_spread",
 ];
+
+/// Gauge names that must not *grow* (lower is better). The ceiling is
+/// `max(old * (1 + TOLERANCE), old + ABS_SLACK)`: percentage-pointed
+/// metrics near zero would otherwise gate on noise.
+const GUARDED_CEILING: &[&str] = &["fleet.resume_overhead_pct"];
 
 /// Largest tolerated fractional drop below baseline.
 const TOLERANCE: f64 = 0.20;
+
+/// Absolute slack for ceiling-guarded metrics measured in percent.
+const ABS_SLACK: f64 = 5.0;
 
 /// Pulls the `"value"` of the JSONL line naming gauge `name`.
 fn extract(jsonl: &str, name: &str) -> Option<f64> {
@@ -76,6 +85,26 @@ fn main() -> ExitCode {
                 // A gauge the baseline predates: nothing to regress
                 // against yet — it becomes guarded once this run's file
                 // is committed.
+                println!("  {name}: (new metric) -> {new:.3} ok");
+            }
+            (old, None) => {
+                eprintln!(
+                    "  {name}: missing from candidate (baseline {})",
+                    if old.is_some() { "present" } else { "absent" },
+                );
+                failed = true;
+            }
+        }
+    }
+    for &name in GUARDED_CEILING {
+        match (extract(&baseline, name), extract(&candidate, name)) {
+            (Some(old), Some(new)) => {
+                let ceiling = (old * (1.0 + TOLERANCE)).max(old + ABS_SLACK);
+                let verdict = if new > ceiling { "REGRESSED" } else { "ok" };
+                println!("  {name}: {old:.3} -> {new:.3} (ceiling {ceiling:.3}) {verdict}");
+                failed |= new > ceiling;
+            }
+            (None, Some(new)) => {
                 println!("  {name}: (new metric) -> {new:.3} ok");
             }
             (old, None) => {

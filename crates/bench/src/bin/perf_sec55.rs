@@ -336,7 +336,7 @@ fn main() {
     let snow = Campaign::new(
         &kernel,
         FuzzerKind::Snowplow {
-            model: Box::new(model),
+            model: Box::new(model.clone()),
         },
         cfg,
     )
@@ -368,6 +368,78 @@ fn main() {
     );
     bench.gauge("fuzzing.distance_sched_execs_per_sec", sched_rate);
     bench.gauge("fuzzing.distance_sched_ratio", sched_rate / base_rate);
+
+    // ---- Fleet orchestration (DESIGN.md §11). ---------------------------
+    // Checkpoint/resume must be cheap enough to use aggressively: the
+    // overhead gauge compares one uninterrupted campaign against the
+    // same campaign snapshotted to bytes, decoded, and resumed halfway
+    // (both produce bit-identical reports — the fleet goldens pin that;
+    // here we only time it). Gated with a ceiling in bench_guard.
+    use snowplow_core::fleet::{CampaignSnapshot, FleetScheduler};
+    use snowplow_core::fuzzing::Campaign as FleetCampaign;
+    let mut fleet_cfg = day_config(2);
+    fleet_cfg.duration = Duration::from_secs(6 * 3600);
+    let t = Instant::now();
+    let full = FleetCampaign::new(&kernel, FuzzerKind::Syzkaller, fleet_cfg.clone())
+        .into_running()
+        .run_to_end();
+    let t_full = t.elapsed();
+    let t = Instant::now();
+    let mut running =
+        FleetCampaign::new(&kernel, FuzzerKind::Syzkaller, fleet_cfg.clone()).into_running();
+    let halfway = fleet_cfg.duration / 2;
+    while running.now() < halfway && running.step() {}
+    let bytes = CampaignSnapshot::capture(&running).to_bytes();
+    drop(running);
+    let resumed = CampaignSnapshot::from_bytes(&bytes)
+        .expect("snapshot decodes")
+        .resume(&kernel, FuzzerKind::Syzkaller, Telemetry::disabled())
+        .run_to_end();
+    let t_resumed = t.elapsed();
+    assert_eq!(
+        full.fingerprint(),
+        resumed.fingerprint(),
+        "resume changed the campaign outcome"
+    );
+    let resume_overhead_pct = (t_resumed.as_secs_f64() / t_full.as_secs_f64() - 1.0) * 100.0;
+    println!("\n== fleet checkpoint/resume ==");
+    println!(
+        "uninterrupted {t_full:?} | checkpoint+resume {t_resumed:?} | overhead {resume_overhead_pct:.1}% | snapshot {} KiB",
+        bytes.len() / 1024
+    );
+    bench.gauge("fleet.resume_overhead_pct", resume_overhead_pct);
+    bench.gauge("fleet.snapshot_kib", bytes.len() as f64 / 1024.0);
+
+    // Four campaigns multiplexing one inference service: the fair-queue
+    // admission must keep every campaign near its 25% share. Gated with
+    // a floor in bench_guard — a starved campaign fails CI.
+    let fleet_model = assert_clone(&model);
+    let fleet_service = std::sync::Arc::new(snowplow_core::fleet::InferenceService::start(
+        &fleet_model,
+        2,
+    ));
+    let mut fleet = FleetScheduler::new(&kernel, std::sync::Arc::clone(&fleet_service));
+    for seed in 1u64..=4 {
+        let mut cfg = day_config(seed);
+        cfg.duration = Duration::from_secs(4 * 3600);
+        fleet.spawn_shared(cfg);
+    }
+    let t = Instant::now();
+    fleet.run_to_completion(Duration::from_secs(900));
+    let fleet_wall = t.elapsed();
+    let agg = fleet.aggregate();
+    let spread = agg
+        .gauges
+        .get("fleet.fair_share_spread")
+        .copied()
+        .expect("shared campaigns queried the service");
+    println!(
+        "4-campaign fleet over one service: {fleet_wall:?} wall | fair-share spread {spread:.3}"
+    );
+    for (tag, served) in fleet_service.served_by_tag() {
+        println!("  campaign tag {tag}: {served} queries served");
+    }
+    bench.gauge("fleet.fair_share_spread", spread);
 
     bench.flush();
     println!("\nwrote BENCH_perf.jsonl");

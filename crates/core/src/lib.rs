@@ -41,9 +41,17 @@ pub use snowplow_syslang::{builtin, Registry, SyscallId};
 pub mod fuzzing {
     pub use snowplow_fuzzer::{
         attempt_reproducer, Campaign, CampaignConfig, CampaignConfigBuilder, CampaignReport,
-        Corpus, CrashLog, CrashRecord, DirectedCampaign, DirectedConfig, DirectedConfigBuilder,
-        DirectedOutcome, FuzzerKind, ReproOutcome, TimelinePoint, VirtualClock,
+        CampaignState, Corpus, CrashLog, CrashRecord, DirectedCampaign, DirectedConfig,
+        DirectedConfigBuilder, DirectedOutcome, FuzzerKind, PendingPrediction, ReproOutcome,
+        RunningCampaign, TimelinePoint, VirtualClock,
     };
+}
+
+/// Fleet orchestration: checkpoint/resume snapshots and multi-campaign
+/// scheduling over a shared inference service (DESIGN.md §11).
+pub mod fleet {
+    pub use snowplow_fleet::{fair_share_spread, CampaignSnapshot, FleetScheduler};
+    pub use snowplow_pmm::server::{InferenceClient, InferenceService, ServiceClient};
 }
 
 /// One-stop imports for configuring the pipeline: every config type with

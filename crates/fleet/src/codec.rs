@@ -1,0 +1,255 @@
+//! The snapshot wire format's primitive layer.
+//!
+//! Little-endian, length-prefixed, no self-description below the file
+//! header — the same conventions as the model-checkpoint format in
+//! `snowplow-mlcore` (`SNOWPMM1`): the format is fully under our
+//! control, every read is bounds-checked, and malformed input surfaces
+//! as [`io::ErrorKind::InvalidData`] instead of a panic. Floats travel
+//! as raw IEEE-754 bits so a decode→encode round trip is byte-exact
+//! (including NaN payloads and signed zeros — the determinism story of
+//! the whole snapshot rests on this).
+
+use std::io;
+use std::time::Duration;
+
+/// Encoder: appends primitives to a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    pub fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub fn duration(&mut self, d: Duration) {
+        self.u64(d.as_secs());
+        self.u32(d.subsec_nanos());
+    }
+
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.usize(b.len());
+        self.buf.extend_from_slice(b);
+    }
+
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+}
+
+fn bad(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("fleet snapshot: {what}"),
+    )
+}
+
+/// Decoder: consumes the buffer front-to-back with bounds checks.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| bad("truncated input"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn bool(&mut self) -> io::Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(bad(&format!("invalid bool byte {b}"))),
+        }
+    }
+
+    pub fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn u128(&mut self) -> io::Result<u128> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    pub fn usize(&mut self) -> io::Result<usize> {
+        usize::try_from(self.u64()?).map_err(|_| bad("length exceeds usize"))
+    }
+
+    /// A length prefix for a sequence of elements each at least
+    /// `min_elem_bytes` wide: rejected up front when the remaining
+    /// input could not possibly hold that many elements, so corrupt
+    /// lengths fail with `InvalidData` instead of an OOM allocation.
+    pub fn len(&mut self, min_elem_bytes: usize) -> io::Result<usize> {
+        let n = self.usize()?;
+        let remaining = self.buf.len() - self.pos;
+        match n.checked_mul(min_elem_bytes.max(1)) {
+            Some(total) if total <= remaining => Ok(n),
+            _ => Err(bad("length prefix exceeds input")),
+        }
+    }
+
+    pub fn f32(&mut self) -> io::Result<f32> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    pub fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn duration(&mut self) -> io::Result<Duration> {
+        let secs = self.u64()?;
+        let nanos = self.u32()?;
+        if nanos >= 1_000_000_000 {
+            return Err(bad("duration nanos out of range"));
+        }
+        Ok(Duration::new(secs, nanos))
+    }
+
+    pub fn byte_vec(&mut self) -> io::Result<Vec<u8>> {
+        let n = self.len(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    pub fn string(&mut self) -> io::Result<String> {
+        String::from_utf8(self.byte_vec()?).map_err(|_| bad("invalid utf-8 string"))
+    }
+
+    /// Fails unless every byte has been consumed — trailing garbage is
+    /// a corrupt snapshot, not padding.
+    pub fn finish(self) -> io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad("trailing bytes after snapshot"))
+        }
+    }
+
+    pub fn error(what: &str) -> io::Error {
+        bad(what)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_byte_exactly() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.bool(true);
+        e.u16(65000);
+        e.u32(123_456_789);
+        e.u64(u64::MAX - 3);
+        e.u128(u128::MAX / 3);
+        e.f32(-0.0);
+        e.f64(f64::NAN);
+        e.duration(Duration::new(86_400, 999_999_999));
+        e.str("fleet");
+        let bytes = e.into_bytes();
+
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert!(d.bool().unwrap());
+        assert_eq!(d.u16().unwrap(), 65000);
+        assert_eq!(d.u32().unwrap(), 123_456_789);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(d.u128().unwrap(), u128::MAX / 3);
+        // Bit-exact float transport: -0.0 stays negative, NaN keeps
+        // its payload.
+        assert_eq!(d.f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(d.f64().unwrap().to_bits(), f64::NAN.to_bits());
+        assert_eq!(d.duration().unwrap(), Duration::new(86_400, 999_999_999));
+        assert_eq!(d.string().unwrap(), "fleet");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn malformed_input_is_invalid_data_not_a_panic() {
+        // Truncation.
+        let mut e = Enc::new();
+        e.u64(1);
+        let bytes = e.into_bytes();
+        assert!(Dec::new(&bytes[..4]).u64().is_err());
+        // Oversized length prefix.
+        let mut e = Enc::new();
+        e.usize(usize::MAX);
+        let bytes = e.into_bytes();
+        assert!(Dec::new(&bytes).byte_vec().is_err());
+        // Trailing garbage.
+        let mut e = Enc::new();
+        e.u8(1);
+        e.u8(2);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        d.u8().unwrap();
+        assert!(d.finish().is_err());
+        // Bad bool.
+        assert!(Dec::new(&[9]).bool().is_err());
+    }
+}

@@ -10,14 +10,16 @@
 //! with the number of predicted arguments, §3.4). A small probability of
 //! random argument localization is kept as the paper's fallback.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::Duration;
 
 use rand::prelude::*;
-use snowplow_kernel::{BlockId, Coverage, EdgeSet, ExecResult, Kernel, Vm};
+use snowplow_analysis::PrunedCfg;
+use snowplow_kernel::{BlockId, Coverage, EdgeSet, ExecResult, Kernel, Snapshot, Vm};
 use snowplow_pmm::graph::QueryGraph;
 use snowplow_pmm::model::Pmm;
-use snowplow_pmm::server::ServeError;
+use snowplow_pmm::server::{InferenceClient, ServeError};
 use snowplow_pool::ExecConfig;
 use snowplow_prog::gen::Generator;
 use snowplow_prog::{ArgLoc, Mutator, Prog};
@@ -28,7 +30,6 @@ use crate::corpus::Corpus;
 use crate::crash::CrashLog;
 
 /// Which fuzzer runs the campaign.
-#[derive(Debug)]
 pub enum FuzzerKind {
     /// Stock Syzkaller-style fuzzing.
     Syzkaller,
@@ -38,6 +39,28 @@ pub enum FuzzerKind {
         /// The trained localizer.
         model: Box<Pmm>,
     },
+    /// PMM-guided localization through a *shared* inference tier: the
+    /// campaign holds a tagged client handle instead of owning the
+    /// model — the fleet deployment of §3.4/§4, where one service
+    /// amortizes across many campaigns. Virtual-latency accounting is
+    /// identical to the owned-model mode, and so are the scores
+    /// (batched serving is bit-identical to direct prediction), so a
+    /// shared-tier campaign reports exactly what an owned-model
+    /// campaign with the same weights would.
+    SnowplowShared {
+        /// Tagged handle to the shared service.
+        client: Box<dyn InferenceClient>,
+    },
+}
+
+impl std::fmt::Debug for FuzzerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FuzzerKind::Syzkaller => "Syzkaller",
+            FuzzerKind::Snowplow { .. } => "Snowplow",
+            FuzzerKind::SnowplowShared { .. } => "SnowplowShared",
+        })
+    }
 }
 
 /// Campaign tuning.
@@ -290,10 +313,18 @@ pub struct CampaignReport {
     pub attribution: EdgeAttribution,
 }
 
-struct PendingPrediction {
-    base: usize,
-    ready_at: Duration,
-    locs: Vec<ArgLoc>,
+/// A PMM localization in flight: submitted at some virtual instant,
+/// applicable once the virtual inference latency has elapsed. Part of
+/// [`CampaignState`] so a checkpoint taken mid-inference resumes with
+/// the query still pending.
+#[derive(Debug, Clone)]
+pub struct PendingPrediction {
+    /// Corpus index of the base test the query was built from.
+    pub base: usize,
+    /// Virtual instant the localization becomes applicable.
+    pub ready_at: Duration,
+    /// The ranked predicted locations.
+    pub locs: Vec<ArgLoc>,
 }
 
 /// Cached frontier state of one corpus entry (Snowplow hot loop).
@@ -335,72 +366,132 @@ impl<'k> Campaign<'k> {
     }
 
     /// Runs the campaign to its virtual deadline.
-    pub fn run(mut self) -> CampaignReport {
-        let kernel = self.kernel;
-        let reg = kernel.registry();
-        let cfg = self.config.clone();
+    pub fn run(self) -> CampaignReport {
+        self.into_running().run_to_end()
+    }
+
+    /// Prepares the campaign for stepped execution: builds the VM and
+    /// analysis inputs, generates and ingests the seed corpus, and
+    /// returns the loop in its ready-to-iterate state. `run()` is
+    /// exactly `into_running().run_to_end()`; the split exists so a
+    /// fleet scheduler can interleave, checkpoint, and resume campaigns
+    /// one iteration at a time.
+    pub fn into_running(self) -> RunningCampaign<'k> {
+        let mut running = RunningCampaign::build(self.kernel, self.kind, self.config, None);
+        running.ingest_seed_corpus();
+        running
+    }
+}
+
+/// The complete deterministic state of a campaign between iterations.
+///
+/// Everything the loop's future behavior depends on lives here: the RNG
+/// position, virtual clock, corpus (with scheduling weights), coverage
+/// bitsets, crash log, timeline, in-flight and cached predictions, and
+/// the bookkeeping counters. The hot-loop caches (frontier lists,
+/// prediction memo, coverage epoch) are deliberately *not* state: they
+/// are pure functions of this state (DESIGN.md §8), rebuilt cold on
+/// restore with no observable effect — the same property the
+/// `hot_caches` golden test proves.
+#[derive(Debug, Clone)]
+pub struct CampaignState {
+    /// The campaign RNG, at its current stream position.
+    pub rng: StdRng,
+    /// Virtual clock.
+    pub clock: VirtualClock,
+    /// Corpus, including any distance-scheduling weights.
+    pub corpus: Corpus,
+    /// Global edge coverage.
+    pub edges: EdgeSet,
+    /// Global block coverage.
+    pub blocks: Coverage,
+    /// Crash accounting.
+    pub crashes: CrashLog,
+    /// Timeline samples taken so far.
+    pub timeline: Vec<TimelinePoint>,
+    /// PMM queries in flight (ordered by submission).
+    pub pending: VecDeque<PendingPrediction>,
+    /// Arrived localizations: base index → (locations, uses left).
+    pub ready: BTreeMap<usize, (Vec<ArgLoc>, usize)>,
+    /// Executions so far.
+    pub execs: u64,
+    /// PMM queries answered so far.
+    pub inferences: u64,
+    /// Edge attribution by discovery mechanism.
+    pub attribution: EdgeAttribution,
+    /// Next timeline sample is due at this virtual instant.
+    pub next_sample: Duration,
+    /// Corpus length at the last schedule recompute (`usize::MAX`
+    /// before the first).
+    pub sched_len: usize,
+    /// Block count at the last schedule recompute (`usize::MAX` before
+    /// the first).
+    pub sched_blocks_at: usize,
+}
+
+/// A campaign mid-flight, stepped one Figure-1 iteration at a time.
+///
+/// Constructed by [`Campaign::into_running`] (fresh: seed corpus
+/// generated and ingested) or [`RunningCampaign::restore`] (from a
+/// [`checkpoint`](RunningCampaign::checkpoint)). The struct splits into
+/// [`CampaignState`] — the deterministic state a checkpoint carries —
+/// and transients (VM, scratch buffers, hot-loop caches) that are pure
+/// functions of the state and rebuild cold on restore.
+pub struct RunningCampaign<'k> {
+    kernel: &'k Kernel,
+    config: CampaignConfig,
+    kind: FuzzerKind,
+    telemetry: Telemetry,
+    exec_cost: Duration,
+    st: CampaignState,
+    // ---- Transients: caches and scratch, rebuilt on restore. ----
+    generator: Generator<'k>,
+    mutator: Mutator<'k>,
+    vm: Vm<'k>,
+    snapshot: Snapshot,
+    exec_buf: ExecResult,
+    dead_blocks: Arc<HashSet<BlockId>>,
+    sched_inputs: Option<(Arc<HashSet<BlockId>>, Arc<PrunedCfg>)>,
+    sched_frontier: Vec<BlockId>,
+    sched_dist: Vec<Option<u32>>,
+    frontier_cache: HashMap<usize, EntryFrontier>,
+    pred_memo: HashMap<(usize, Vec<BlockId>), Vec<ArgLoc>>,
+    epoch: u64,
+    blocks_at_epoch: usize,
+    wanted_buf: Vec<BlockId>,
+}
+
+/// Top-K localization: everything above the threshold, padded to at
+/// least `top_k` by rank (the paper's PMM outputs a set whose size
+/// scales the mutation budget).
+fn rank(scored: Vec<(ArgLoc, f32)>, threshold: f32, top_k: usize) -> Vec<ArgLoc> {
+    let above = scored.iter().filter(|(_, p)| *p >= threshold).count();
+    let keep = above.max(top_k).min(scored.len());
+    scored.into_iter().take(keep).map(|(l, _)| l).collect()
+}
+
+impl<'k> RunningCampaign<'k> {
+    fn build(
+        kernel: &'k Kernel,
+        kind: FuzzerKind,
+        config: CampaignConfig,
+        state: Option<CampaignState>,
+    ) -> RunningCampaign<'k> {
+        // `Campaign::new` installs the validator on the fresh path; the
+        // restore path enters here directly and needs it too.
+        snowplow_analysis::install_debug_validator();
         // All campaign metrics are recorded from the sequential parts of
         // the loop with virtual-clock timestamps, so the snapshot is a
         // pure function of (kernel, config, seed): identical at any
-        // worker count and with `hot_caches` on or off.
-        let telemetry = cfg.exec.telemetry.clone();
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let generator = Generator::new(reg);
-        let mut mutator = Mutator::new(reg);
-        let mut vm = Vm::new(kernel);
+        // worker count, with `hot_caches` on or off, and across a
+        // checkpoint/resume boundary.
+        let telemetry = config.exec.telemetry.clone();
+        let exec_cost =
+            Duration::from_secs_f64(config.exec_cost.as_secs_f64() / config.speed_factor);
+        let generator = Generator::new(kernel.registry());
+        let mutator = Mutator::new(kernel.registry());
+        let vm = Vm::new(kernel);
         let snapshot = vm.snapshot();
-
-        let mut clock = VirtualClock::new();
-        let mut corpus = Corpus::new();
-        let mut edges = EdgeSet::new();
-        let mut blocks = Coverage::new();
-        let mut crashes = CrashLog::new(kernel.bugs().known_signatures());
-        let mut timeline: Vec<TimelinePoint> = Vec::new();
-        let mut pending: VecDeque<PendingPrediction> = VecDeque::new();
-        let mut ready: HashMap<usize, (Vec<ArgLoc>, usize)> = HashMap::new();
-        let mut execs: u64 = 0;
-        let mut inferences: u64 = 0;
-        let mut attribution = EdgeAttribution::default();
-        let mut next_sample = Duration::ZERO;
-        let exec_cost = Duration::from_secs_f64(cfg.exec_cost.as_secs_f64() / cfg.speed_factor);
-
-        // Zero-alloc execute path: the trace buffers in `buf` and the
-        // VM's internal scratch are reused across iterations, and edge/
-        // block coverage merges straight from the trace without
-        // materializing per-execution temporary sets.
-        let execute = |prog: &Prog,
-                       vm: &mut Vm<'_>,
-                       clock: &mut VirtualClock,
-                       edges: &mut EdgeSet,
-                       blocks: &mut Coverage,
-                       crashes: &mut CrashLog,
-                       corpus: &mut Corpus,
-                       execs: &mut u64,
-                       buf: &mut ExecResult|
-         -> usize {
-            vm.restore(&snapshot);
-            vm.execute_into(prog, buf);
-            *execs += 1;
-            let span = telemetry.span_at(Phase::Execute, clock.now());
-            clock.advance(exec_cost);
-            span.finish(&telemetry, clock.now());
-            telemetry.counter("execs", 1);
-            let new_edges = buf.merge_edges_into(edges);
-            buf.merge_coverage_into(blocks);
-            telemetry.observe("execute.new_edges", new_edges as u64);
-            if let Some(crash) = &buf.crash {
-                let new_sig = crashes.record(crash, prog, clock.now());
-                telemetry.phase(Phase::Triage, 0);
-                telemetry.counter("triage.crashes", 1);
-                if new_sig {
-                    telemetry.counter("triage.new_signatures", 1);
-                }
-            }
-            if new_edges > 0 {
-                corpus.add_checked(reg, prog.clone(), buf, new_edges);
-            }
-            new_edges
-        };
 
         // Blocks no mutation can ever reach (statically-unsatisfiable
         // gates, orphan error stubs): served from the shared analysis
@@ -412,34 +503,188 @@ impl<'k> Campaign<'k> {
 
         // Static distance scheduling (flag-gated): the interval-pruned
         // CFG and the interval-infeasible block set (a superset of
-        // `dead_blocks`) drive distance-to-frontier corpus weights. Both
-        // come from the shared cache; with the flag off nothing below is
-        // computed and the scheduler never runs.
-        let sched_inputs = cfg.distance_scheduling.then(|| {
-            let span = telemetry.span_at(Phase::Analyze, clock.now());
-            let infeasible = analysis_cache.infeasible_blocks(kernel);
-            let pruned = analysis_cache.pruned_cfg(kernel);
-            span.finish(&telemetry, clock.now());
-            (infeasible, pruned)
+        // `dead_blocks`) drive distance-to-frontier corpus weights. The
+        // fresh path records the fetch as an Analyze span (the clock is
+        // at zero, so the span is zero-width); a restore must *not*
+        // re-record it — the span was already recorded before the
+        // checkpoint was taken.
+        let restoring = state.is_some();
+        let sched_inputs = config.distance_scheduling.then(|| {
+            if restoring {
+                (
+                    analysis_cache.infeasible_blocks(kernel),
+                    analysis_cache.pruned_cfg(kernel),
+                )
+            } else {
+                let span = telemetry.span_at(Phase::Analyze, Duration::ZERO);
+                let infeasible = analysis_cache.infeasible_blocks(kernel);
+                let pruned = analysis_cache.pruned_cfg(kernel);
+                span.finish(&telemetry, Duration::ZERO);
+                (infeasible, pruned)
+            }
         });
-        let mut sched_len = usize::MAX;
-        let mut sched_blocks_at = usize::MAX;
-        let mut sched_frontier: Vec<BlockId> = Vec::new();
-        let mut sched_dist: Vec<Option<u32>> = Vec::new();
 
-        // ---- Seed corpus. --------------------------------------------------
-        // Generation and execution shard across workers: every seed
-        // program is generated from its own RNG stream and executed
-        // from a pristine snapshot, so the results carry no cross-item
-        // state. The merge below replays the exact sequential
-        // bookkeeping (clock, coverage, crashes, corpus admission) in
-        // program order — the report is bit-identical for any worker
-        // count.
+        let st = state.unwrap_or_else(|| CampaignState {
+            rng: StdRng::seed_from_u64(config.seed),
+            clock: VirtualClock::new(),
+            corpus: Corpus::new(),
+            edges: EdgeSet::new(),
+            blocks: Coverage::new(),
+            crashes: CrashLog::new(kernel.bugs().known_signatures()),
+            timeline: Vec::new(),
+            pending: VecDeque::new(),
+            ready: BTreeMap::new(),
+            execs: 0,
+            inferences: 0,
+            attribution: EdgeAttribution::default(),
+            next_sample: Duration::ZERO,
+            sched_len: usize::MAX,
+            sched_blocks_at: usize::MAX,
+        });
+        let blocks_at_epoch = st.blocks.len();
+
+        RunningCampaign {
+            kernel,
+            config,
+            kind,
+            telemetry,
+            exec_cost,
+            st,
+            generator,
+            mutator,
+            vm,
+            snapshot,
+            exec_buf: ExecResult::default(),
+            dead_blocks,
+            sched_inputs,
+            sched_frontier: Vec::new(),
+            sched_dist: Vec::new(),
+            frontier_cache: HashMap::new(),
+            pred_memo: HashMap::new(),
+            epoch: 0,
+            blocks_at_epoch,
+            wanted_buf: Vec::new(),
+        }
+    }
+
+    /// Rebuilds a running campaign at a checkpointed state.
+    ///
+    /// `kind` and `config` must match the checkpointed campaign's — the
+    /// state intentionally carries neither the model nor the config (a
+    /// fleet restores many campaigns against one shared service). The
+    /// hot-loop caches rebuild cold, which is unobservable (they are
+    /// pure functions of the state), and no seed corpus is generated —
+    /// the state already contains its effects.
+    pub fn restore(
+        kernel: &'k Kernel,
+        kind: FuzzerKind,
+        config: CampaignConfig,
+        state: CampaignState,
+    ) -> RunningCampaign<'k> {
+        RunningCampaign::build(kernel, kind, config, Some(state))
+    }
+
+    /// A deep copy of the campaign's deterministic state, suitable for
+    /// serializing and resuming later with [`RunningCampaign::restore`].
+    pub fn checkpoint(&self) -> CampaignState {
+        self.st.clone()
+    }
+
+    /// The campaign's deterministic state (what a checkpoint copies).
+    pub fn state(&self) -> &CampaignState {
+        &self.st
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// The telemetry handle the campaign records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Duration {
+        self.st.clock.now()
+    }
+
+    /// Whether the virtual deadline has been reached.
+    pub fn is_done(&self) -> bool {
+        self.st.clock.now() >= self.config.duration
+    }
+
+    /// Runs the remaining iterations and produces the report.
+    pub fn run_to_end(mut self) -> CampaignReport {
+        while self.step() {}
+        self.finish()
+    }
+
+    /// Final timeline sample, summary gauges, and the report.
+    pub fn finish(mut self) -> CampaignReport {
+        self.st.timeline.push(TimelinePoint {
+            at: self.st.clock.now(),
+            edges: self.st.edges.len(),
+            blocks: self.st.blocks.len(),
+            crashes: self.st.crashes.unique(),
+            execs: self.st.execs,
+        });
+
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .gauge("campaign.final_edges", self.st.edges.len() as f64);
+            self.telemetry
+                .gauge("campaign.final_blocks", self.st.blocks.len() as f64);
+            self.telemetry
+                .gauge("campaign.corpus", self.st.corpus.len() as f64);
+            self.telemetry.counter(
+                "attribution.generation",
+                self.st.attribution.generation as u64,
+            );
+            self.telemetry.counter(
+                "attribution.guided_args",
+                self.st.attribution.guided_args as u64,
+            );
+            self.telemetry.counter(
+                "attribution.random_args",
+                self.st.attribution.random_args as u64,
+            );
+            self.telemetry.counter(
+                "attribution.structural",
+                self.st.attribution.structural as u64,
+            );
+            self.telemetry.flush();
+        }
+
+        CampaignReport {
+            timeline: self.st.timeline,
+            final_edges: self.st.edges.len(),
+            final_blocks: self.st.blocks.len(),
+            crashes: self.st.crashes,
+            execs: self.st.execs,
+            inferences: self.st.inferences,
+            corpus_len: self.st.corpus.len(),
+            attribution: self.st.attribution,
+        }
+    }
+
+    // ---- Seed corpus. --------------------------------------------------
+    // Generation and execution shard across workers: every seed program
+    // is generated from its own RNG stream and executed from a pristine
+    // snapshot, so the results carry no cross-item state. The merge
+    // below replays the exact sequential bookkeeping (clock, coverage,
+    // crashes, corpus admission) in program order — the report is
+    // bit-identical for any worker count.
+    fn ingest_seed_corpus(&mut self) {
         const SALT_SEED_CORPUS: u64 = 0x5eed;
-        let seed_span = telemetry.span_at(Phase::SeedGen, clock.now());
-        let seed_runs = cfg.exec.map(
+        let kernel = self.kernel;
+        let master = self.config.seed;
+        let generator = &self.generator;
+        let seed_span = self.telemetry.span_at(Phase::SeedGen, self.st.clock.now());
+        let seed_runs = self.config.exec.map(
             "campaign.seed_corpus",
-            (0..cfg.seed_corpus).collect(),
+            (0..self.config.seed_corpus).collect(),
             || {
                 let vm = Vm::new(kernel);
                 let snap = vm.snapshot();
@@ -447,7 +692,7 @@ impl<'k> Campaign<'k> {
             },
             |(vm, snap), _, i| {
                 let mut srng = StdRng::seed_from_u64(snowplow_pool::stream_seed(
-                    cfg.seed,
+                    master,
                     SALT_SEED_CORPUS,
                     i as u64,
                 ));
@@ -458,470 +703,485 @@ impl<'k> Campaign<'k> {
             },
         );
         for (p, result) in seed_runs {
-            execs += 1;
-            let span = telemetry.span_at(Phase::Execute, clock.now());
-            clock.advance(exec_cost);
-            span.finish(&telemetry, clock.now());
-            telemetry.counter("execs", 1);
-            let new_edges = result.merge_edges_into(&mut edges);
-            result.merge_coverage_into(&mut blocks);
-            telemetry.observe("execute.new_edges", new_edges as u64);
+            self.st.execs += 1;
+            let span = self.telemetry.span_at(Phase::Execute, self.st.clock.now());
+            self.st.clock.advance(self.exec_cost);
+            span.finish(&self.telemetry, self.st.clock.now());
+            self.telemetry.counter("execs", 1);
+            let new_edges = result.merge_edges_into(&mut self.st.edges);
+            result.merge_coverage_into(&mut self.st.blocks);
+            self.telemetry
+                .observe("execute.new_edges", new_edges as u64);
             if let Some(crash) = &result.crash {
-                let new_sig = crashes.record(crash, &p, clock.now());
-                telemetry.phase(Phase::Triage, 0);
-                telemetry.counter("triage.crashes", 1);
+                let new_sig = self.st.crashes.record(crash, &p, self.st.clock.now());
+                self.telemetry.phase(Phase::Triage, 0);
+                self.telemetry.counter("triage.crashes", 1);
                 if new_sig {
-                    telemetry.counter("triage.new_signatures", 1);
+                    self.telemetry.counter("triage.new_signatures", 1);
                 }
             }
             if new_edges > 0 {
-                corpus.add_checked(reg, p, &result, new_edges);
+                self.st
+                    .corpus
+                    .add_checked(self.kernel.registry(), p, &result, new_edges);
             }
-            attribution.generation += new_edges;
+            self.st.attribution.generation += new_edges;
         }
-        seed_span.finish(&telemetry, clock.now());
+        seed_span.finish(&self.telemetry, self.st.clock.now());
+        self.blocks_at_epoch = self.st.blocks.len();
+    }
 
-        // ---- Hot-loop caches (Snowplow). -------------------------------------
-        // All cached values are pure functions of campaign state: they
-        // change nothing observable (see DESIGN.md §8 and the golden-
-        // equivalence tests below). `epoch` advances whenever global
-        // block coverage grows, invalidating the per-entry `wanted`
-        // filters; the prediction memo is epoch-independent because a
-        // query graph depends only on the (immutable) entry and the
-        // chosen target set.
-        let mut exec_buf = ExecResult::default();
-        let mut frontier_cache: HashMap<usize, EntryFrontier> = HashMap::new();
-        let mut pred_memo: HashMap<(usize, Vec<BlockId>), Vec<ArgLoc>> = HashMap::new();
-        let mut epoch: u64 = 0;
-        let mut blocks_at_epoch: usize = blocks.len();
-        let mut wanted_buf: Vec<BlockId> = Vec::new();
+    /// One Figure-1 iteration: timeline sampling, prediction promotion,
+    /// schedule recompute, base selection, mutate + execute. Returns
+    /// `false` (doing nothing) once the virtual deadline is reached.
+    /// Every `true` step executes exactly one program, so virtual time
+    /// advances strictly and the loop always terminates.
+    pub fn step(&mut self) -> bool {
+        if self.st.clock.now() >= self.config.duration {
+            return false;
+        }
 
-        // ---- Main loop (Figure 1). ------------------------------------------
-        while clock.now() < cfg.duration {
-            if clock.now() >= next_sample {
-                timeline.push(TimelinePoint {
-                    at: clock.now(),
-                    edges: edges.len(),
-                    blocks: blocks.len(),
-                    crashes: crashes.unique(),
-                    execs,
-                });
-                next_sample += cfg.sample_every;
+        if self.st.clock.now() >= self.st.next_sample {
+            self.st.timeline.push(TimelinePoint {
+                at: self.st.clock.now(),
+                edges: self.st.edges.len(),
+                blocks: self.st.blocks.len(),
+                crashes: self.st.crashes.unique(),
+                execs: self.st.execs,
+            });
+            self.st.next_sample += self.config.sample_every;
+        }
+
+        // Promote ready PMM localizations into the per-base cache.
+        while self
+            .st
+            .pending
+            .front()
+            .is_some_and(|p| p.ready_at <= self.st.clock.now())
+        {
+            // Invariant: the loop condition saw a front element.
+            let p = self.st.pending.pop_front().expect("checked front");
+            if !p.locs.is_empty() {
+                // §3.4's dynamic budget: a base with more predicted
+                // arguments gets proportionally more argument mutations
+                // before the prediction expires.
+                let uses = (p.locs.len() * self.config.guided_use_multiplier)
+                    .max(self.config.guided_use_multiplier)
+                    .max(1);
+                self.st.ready.insert(p.base, (p.locs, uses));
             }
+        }
 
-            // Promote ready PMM localizations into the per-base cache.
-            while pending.front().is_some_and(|p| p.ready_at <= clock.now()) {
-                // Invariant: the loop condition saw a front element.
-                let p = pending.pop_front().expect("checked front");
-                if !p.locs.is_empty() {
-                    // §3.4's dynamic budget: a base with more predicted
-                    // arguments gets proportionally more argument
-                    // mutations before the prediction expires.
-                    let uses = (p.locs.len() * cfg.guided_use_multiplier)
-                        .max(cfg.guided_use_multiplier)
-                        .max(1);
-                    ready.insert(p.base, (p.locs, uses));
+        self.maybe_recompute_schedule();
+
+        // Choose a base test.
+        let Some(base_idx) = self.st.corpus.choose(&mut self.st.rng) else {
+            let p = self.generator.generate(&mut self.st.rng, 6);
+            let gained = self.execute_prog(&p);
+            self.st.attribution.generation += gained;
+            return true;
+        };
+
+        // The kind is parked for the duration of the iteration so the
+        // model/client can be borrowed mutably alongside `self` (the
+        // placeholder is never observed: no path below touches
+        // `self.kind`).
+        let mut kind = std::mem::replace(&mut self.kind, FuzzerKind::Syzkaller);
+        match &mut kind {
+            FuzzerKind::Syzkaller => self.baseline_iteration(base_idx),
+            FuzzerKind::Snowplow { model } => self.snowplow_iteration(&mut **model, base_idx),
+            FuzzerKind::SnowplowShared { client } => {
+                self.snowplow_iteration(&mut **client, base_idx)
+            }
+        }
+        self.kind = kind;
+        true
+    }
+
+    // Zero-alloc execute path: the trace buffers in `exec_buf` and the
+    // VM's internal scratch are reused across iterations, and edge/block
+    // coverage merges straight from the trace without materializing
+    // per-execution temporary sets.
+    fn execute_prog(&mut self, prog: &Prog) -> usize {
+        self.vm.restore(&self.snapshot);
+        self.vm.execute_into(prog, &mut self.exec_buf);
+        self.st.execs += 1;
+        let span = self.telemetry.span_at(Phase::Execute, self.st.clock.now());
+        self.st.clock.advance(self.exec_cost);
+        span.finish(&self.telemetry, self.st.clock.now());
+        self.telemetry.counter("execs", 1);
+        let new_edges = self.exec_buf.merge_edges_into(&mut self.st.edges);
+        self.exec_buf.merge_coverage_into(&mut self.st.blocks);
+        self.telemetry
+            .observe("execute.new_edges", new_edges as u64);
+        if let Some(crash) = &self.exec_buf.crash {
+            let new_sig = self.st.crashes.record(crash, prog, self.st.clock.now());
+            self.telemetry.phase(Phase::Triage, 0);
+            self.telemetry.counter("triage.crashes", 1);
+            if new_sig {
+                self.telemetry.counter("triage.new_signatures", 1);
+            }
+        }
+        if new_edges > 0 {
+            self.st.corpus.add_checked(
+                self.kernel.registry(),
+                prog.clone(),
+                &self.exec_buf,
+                new_edges,
+            );
+        }
+        new_edges
+    }
+
+    // Distance-weighted seed scheduling: whenever the corpus or global
+    // block coverage changed, recompute per-entry weights from the
+    // static distance (over the interval-pruned CFG) of each entry's
+    // coverage to the nearest uncovered, feasible frontier block.
+    // Entries parked next to the frontier get a large bonus; the
+    // contribution weight stays as a tiebreak.
+    fn maybe_recompute_schedule(&mut self) {
+        let Some((infeasible, pruned)) = &self.sched_inputs else {
+            return;
+        };
+        if self.st.sched_len == self.st.corpus.len()
+            && self.st.sched_blocks_at == self.st.blocks.len()
+        {
+            return;
+        }
+        let span = self.telemetry.span_at(Phase::Analyze, self.st.clock.now());
+        self.sched_frontier.clear();
+        self.sched_frontier.extend(
+            self.kernel
+                .cfg()
+                .alternative_entries(&self.st.blocks)
+                .into_iter()
+                .filter(|b| !infeasible.contains(b)),
+        );
+        if self.sched_frontier.is_empty() {
+            // Nothing feasible left to chase: fall back to plain
+            // contribution weighting.
+            self.st.corpus.set_schedule_weights(None);
+        } else {
+            pruned.distance_to_sources(&self.sched_frontier, &mut self.sched_dist);
+            let weights: Vec<u64> = self
+                .st
+                .corpus
+                .iter()
+                .map(|e| {
+                    let d = e
+                        .coverage
+                        .iter()
+                        .filter_map(|b| self.sched_dist[b.index()])
+                        .min()
+                        .unwrap_or(u32::MAX);
+                    1 + e.new_edges as u64 + (256u64 >> d.min(8))
+                })
+                .collect();
+            self.st.corpus.set_schedule_weights(Some(weights));
+        }
+        self.telemetry.counter("analysis.sched.recompute", 1);
+        self.telemetry
+            .observe("analysis.sched.frontier", self.sched_frontier.len() as u64);
+        span.finish(&self.telemetry, self.st.clock.now());
+        self.st.sched_len = self.st.corpus.len();
+        self.st.sched_blocks_at = self.st.blocks.len();
+    }
+
+    fn baseline_iteration(&mut self, base_idx: usize) {
+        let (mutant, outcome) = self
+            .mutator
+            .mutate(&mut self.st.rng, &self.st.corpus.entry(base_idx).prog);
+        self.telemetry.phase(Phase::Mutate, 0);
+        self.telemetry
+            .observe("mutate.prog_calls", mutant.calls.len() as u64);
+        let gained = self.execute_prog(&mutant);
+        if outcome.ty == snowplow_prog::MutationType::ArgumentMutation {
+            self.st.attribution.random_args += gained;
+        } else {
+            self.st.attribution.structural += gained;
+        }
+    }
+
+    // Submit a mutation query for this base unless a prediction is
+    // cached or already in flight (async: the result arrives after the
+    // inference latency; meanwhile mutation continues below). Submission
+    // can be *declined* with a [`ServeError`] — bounded queue full,
+    // nothing to target, no mutable sites — exactly the error surface of
+    // the live inference service; every declination degrades to the
+    // stock random localizer. The model is any [`InferenceClient`]: the
+    // owned in-process PMM or a tagged handle to a shared service.
+    fn try_submit_query(
+        &mut self,
+        model: &mut dyn InferenceClient,
+        base_idx: usize,
+    ) -> Result<(), ServeError> {
+        // Cheap short-circuit first: this bound mirrors
+        // `BatchPolicy::queue_cap` on the live service, and the check
+        // must stay ahead of the frontier work to keep the saturated hot
+        // loop cheap.
+        if self.st.pending.len() >= self.config.max_pending_predictions {
+            return Err(ServeError::QueueFull {
+                depth: self.st.pending.len(),
+                cap: self.config.max_pending_predictions,
+            });
+        }
+        // Desired targets: frontier blocks of the base that the campaign
+        // has not covered at all yet. The eligible frontier (not dead,
+        // arg-gated) is fixed per entry; the global-coverage filter is
+        // re-applied only when coverage grew since the cached epoch.
+        if self.st.blocks.len() != self.blocks_at_epoch {
+            self.epoch += 1;
+            self.blocks_at_epoch = self.st.blocks.len();
+        }
+        self.wanted_buf.clear();
+        if self.config.hot_caches {
+            let ent = self.frontier_cache.entry(base_idx).or_insert_with(|| {
+                let entry = self.st.corpus.entry(base_idx);
+                let eligible: Vec<BlockId> = self
+                    .kernel
+                    .cfg()
+                    .alternative_entries(&entry.coverage)
+                    .into_iter()
+                    .filter(|b| {
+                        !self.dead_blocks.contains(b)
+                            && self.kernel.cfg().arg_gated(self.kernel.blocks(), *b)
+                    })
+                    .collect();
+                EntryFrontier {
+                    eligible,
+                    epoch: u64::MAX,
+                    wanted: Vec::new(),
                 }
-            }
-
-            // Distance-weighted seed scheduling: whenever the corpus or
-            // global block coverage changed, recompute per-entry weights
-            // from the static distance (over the interval-pruned CFG) of
-            // each entry's coverage to the nearest uncovered, feasible
-            // frontier block. Entries parked next to the frontier get a
-            // large bonus; the contribution weight stays as a tiebreak.
-            if let Some((infeasible, pruned)) = &sched_inputs {
-                if sched_len != corpus.len() || sched_blocks_at != blocks.len() {
-                    let span = telemetry.span_at(Phase::Analyze, clock.now());
-                    sched_frontier.clear();
-                    sched_frontier.extend(
-                        kernel
-                            .cfg()
-                            .alternative_entries(&blocks)
-                            .into_iter()
-                            .filter(|b| !infeasible.contains(b)),
-                    );
-                    if sched_frontier.is_empty() {
-                        // Nothing feasible left to chase: fall back to
-                        // plain contribution weighting.
-                        corpus.set_schedule_weights(None);
-                    } else {
-                        pruned.distance_to_sources(&sched_frontier, &mut sched_dist);
-                        let weights: Vec<u64> = corpus
-                            .iter()
-                            .map(|e| {
-                                let d = e
-                                    .coverage
-                                    .iter()
-                                    .filter_map(|b| sched_dist[b.index()])
-                                    .min()
-                                    .unwrap_or(u32::MAX);
-                                1 + e.new_edges as u64 + (256u64 >> d.min(8))
-                            })
-                            .collect();
-                        corpus.set_schedule_weights(Some(weights));
-                    }
-                    telemetry.counter("analysis.sched.recompute", 1);
-                    telemetry.observe("analysis.sched.frontier", sched_frontier.len() as u64);
-                    span.finish(&telemetry, clock.now());
-                    sched_len = corpus.len();
-                    sched_blocks_at = blocks.len();
-                }
-            }
-
-            // Choose a base test.
-            let Some(base_idx) = corpus.choose(&mut rng) else {
-                let p = generator.generate(&mut rng, 6);
-                attribution.generation += execute(
-                    &p,
-                    &mut vm,
-                    &mut clock,
-                    &mut edges,
-                    &mut blocks,
-                    &mut crashes,
-                    &mut corpus,
-                    &mut execs,
-                    &mut exec_buf,
+            });
+            if ent.epoch != self.epoch {
+                ent.wanted.clear();
+                ent.wanted.extend(
+                    ent.eligible
+                        .iter()
+                        .copied()
+                        .filter(|b| !self.st.blocks.contains(*b)),
                 );
-                continue;
-            };
-
-            match &mut self.kind {
-                FuzzerKind::Syzkaller => {
-                    let (mutant, outcome) = mutator.mutate(&mut rng, &corpus.entry(base_idx).prog);
-                    telemetry.phase(Phase::Mutate, 0);
-                    telemetry.observe("mutate.prog_calls", mutant.calls.len() as u64);
-                    let gained = execute(
-                        &mutant,
-                        &mut vm,
-                        &mut clock,
-                        &mut edges,
-                        &mut blocks,
-                        &mut crashes,
-                        &mut corpus,
-                        &mut execs,
-                        &mut exec_buf,
+                ent.epoch = self.epoch;
+            }
+            self.wanted_buf.extend_from_slice(&ent.wanted);
+        } else {
+            let entry = self.st.corpus.entry(base_idx);
+            self.wanted_buf.extend(
+                self.kernel
+                    .cfg()
+                    .alternative_entries(&entry.coverage)
+                    .into_iter()
+                    .filter(|b| {
+                        !self.st.blocks.contains(*b)
+                            && !self.dead_blocks.contains(b)
+                            && self.kernel.cfg().arg_gated(self.kernel.blocks(), *b)
+                    }),
+            );
+        }
+        // Recorded at the point where both cache paths hold the
+        // identical wanted set, so a snapshot cannot tell `hot_caches`
+        // on from off.
+        self.telemetry.phase(Phase::FrontierQuery, 0);
+        self.telemetry
+            .observe("frontier.wanted_blocks", self.wanted_buf.len() as u64);
+        if self.wanted_buf.is_empty() {
+            return Err(ServeError::MalformedBatch {
+                reason: "no uncovered frontier targets".to_owned(),
+            });
+        }
+        self.wanted_buf.shuffle(&mut self.st.rng);
+        self.wanted_buf.truncate(self.config.targets_per_query);
+        let locs = if self.config.hot_caches {
+            // The graph (and therefore the ranked prediction) depends
+            // only on the entry and the target *set* — `QueryGraph::
+            // build` reads targets through a set — so a sorted key
+            // memoizes exactly.
+            let mut key = self.wanted_buf.clone();
+            key.sort_unstable();
+            if self.pred_memo.len() >= PRED_MEMO_CAP {
+                self.pred_memo.clear();
+            }
+            match self.pred_memo.entry((base_idx, key)) {
+                std::collections::hash_map::Entry::Occupied(hit) => hit.get().clone(),
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    let entry = self.st.corpus.entry(base_idx);
+                    let graph =
+                        QueryGraph::build(self.kernel, &entry.prog, &entry.exec, &self.wanted_buf);
+                    let locs = rank(
+                        model.predict(&graph)?,
+                        self.config.threshold,
+                        self.config.top_k,
                     );
-                    if outcome.ty == snowplow_prog::MutationType::ArgumentMutation {
-                        attribution.random_args += gained;
-                    } else {
-                        attribution.structural += gained;
-                    }
+                    slot.insert(locs.clone());
+                    locs
                 }
-                FuzzerKind::Snowplow { model } => {
-                    // Submit a mutation query for this base unless a
-                    // prediction is cached or already in flight (async:
-                    // the result arrives after the inference latency;
-                    // meanwhile mutation continues below). Submission
-                    // can be *declined* with a [`ServeError`] — bounded
-                    // queue full, nothing to target, no mutable sites —
-                    // exactly the error surface of the live inference
-                    // service; every declination degrades to the stock
-                    // random localizer below.
-                    let in_flight = pending.iter().any(|p| p.base == base_idx);
-                    if !ready.contains_key(&base_idx) && !in_flight {
-                        let submitted: Result<(), ServeError> = 'submit: {
-                            // Cheap short-circuit first: this bound
-                            // mirrors `BatchPolicy::queue_cap` on the
-                            // live service, and the check must stay
-                            // ahead of the frontier work to keep the
-                            // saturated hot loop cheap.
-                            if pending.len() >= cfg.max_pending_predictions {
-                                break 'submit Err(ServeError::QueueFull {
-                                    depth: pending.len(),
-                                    cap: cfg.max_pending_predictions,
-                                });
-                            }
-                            // Desired targets: frontier blocks of the base
-                            // that the campaign has not covered at all yet.
-                            // The eligible frontier (not dead, arg-gated)
-                            // is fixed per entry; the global-coverage
-                            // filter is re-applied only when coverage grew
-                            // since the cached epoch.
-                            if blocks.len() != blocks_at_epoch {
-                                epoch += 1;
-                                blocks_at_epoch = blocks.len();
-                            }
-                            wanted_buf.clear();
-                            if cfg.hot_caches {
-                                let ent = frontier_cache.entry(base_idx).or_insert_with(|| {
-                                    let entry = corpus.entry(base_idx);
-                                    let eligible: Vec<BlockId> = kernel
-                                        .cfg()
-                                        .alternative_entries(&entry.coverage)
-                                        .into_iter()
-                                        .filter(|b| {
-                                            !dead_blocks.contains(b)
-                                                && kernel.cfg().arg_gated(kernel.blocks(), *b)
-                                        })
-                                        .collect();
-                                    EntryFrontier {
-                                        eligible,
-                                        epoch: u64::MAX,
-                                        wanted: Vec::new(),
-                                    }
-                                });
-                                if ent.epoch != epoch {
-                                    ent.wanted.clear();
-                                    ent.wanted.extend(
-                                        ent.eligible
-                                            .iter()
-                                            .copied()
-                                            .filter(|b| !blocks.contains(*b)),
-                                    );
-                                    ent.epoch = epoch;
-                                }
-                                wanted_buf.extend_from_slice(&ent.wanted);
-                            } else {
-                                let entry = corpus.entry(base_idx);
-                                wanted_buf.extend(
-                                    kernel
-                                        .cfg()
-                                        .alternative_entries(&entry.coverage)
-                                        .into_iter()
-                                        .filter(|b| {
-                                            !blocks.contains(*b)
-                                                && !dead_blocks.contains(b)
-                                                && kernel.cfg().arg_gated(kernel.blocks(), *b)
-                                        }),
-                                );
-                            }
-                            // Recorded at the point where both cache
-                            // paths hold the identical wanted set, so a
-                            // snapshot cannot tell `hot_caches` on from
-                            // off.
-                            telemetry.phase(Phase::FrontierQuery, 0);
-                            telemetry.observe("frontier.wanted_blocks", wanted_buf.len() as u64);
-                            if wanted_buf.is_empty() {
-                                break 'submit Err(ServeError::MalformedBatch {
-                                    reason: "no uncovered frontier targets".to_owned(),
-                                });
-                            }
-                            wanted_buf.shuffle(&mut rng);
-                            wanted_buf.truncate(cfg.targets_per_query);
-                            // Top-K localization: everything above the
-                            // threshold, padded to at least `top_k` by
-                            // rank (the paper's PMM outputs a set whose
-                            // size scales the mutation budget).
-                            let rank = |scored: Vec<(ArgLoc, f32)>| -> Vec<ArgLoc> {
-                                let above =
-                                    scored.iter().filter(|(_, p)| *p >= cfg.threshold).count();
-                                let keep = above.max(cfg.top_k).min(scored.len());
-                                scored.into_iter().take(keep).map(|(l, _)| l).collect()
-                            };
-                            let locs = if cfg.hot_caches {
-                                // The graph (and therefore the ranked
-                                // prediction) depends only on the entry
-                                // and the target *set* — `QueryGraph::
-                                // build` reads targets through a set —
-                                // so a sorted key memoizes exactly.
-                                let mut key = wanted_buf.clone();
-                                key.sort_unstable();
-                                if pred_memo.len() >= PRED_MEMO_CAP {
-                                    pred_memo.clear();
-                                }
-                                match pred_memo.entry((base_idx, key)) {
-                                    std::collections::hash_map::Entry::Occupied(hit) => {
-                                        hit.get().clone()
-                                    }
-                                    std::collections::hash_map::Entry::Vacant(slot) => {
-                                        let entry = corpus.entry(base_idx);
-                                        let graph = QueryGraph::build(
-                                            kernel,
-                                            &entry.prog,
-                                            &entry.exec,
-                                            &wanted_buf,
-                                        );
-                                        let locs = rank(model.predict(&graph));
-                                        slot.insert(locs.clone());
-                                        locs
-                                    }
-                                }
-                            } else {
-                                let entry = corpus.entry(base_idx);
-                                let graph = QueryGraph::build(
-                                    kernel,
-                                    &entry.prog,
-                                    &entry.exec,
-                                    &wanted_buf,
-                                );
-                                rank(model.predict(&graph))
-                            };
-                            // `rank` keeps at least one location whenever
-                            // the graph had candidates, so an empty set
-                            // means the base has no mutable argument
-                            // sites: the same condition the live service
-                            // rejects as a malformed batch.
-                            if locs.is_empty() {
-                                break 'submit Err(ServeError::MalformedBatch {
-                                    reason: "query graph has no candidate mutation sites"
-                                        .to_owned(),
-                                });
-                            }
-                            inferences += 1;
-                            telemetry.counter("inferences", 1);
-                            telemetry
-                                .phase(Phase::Predict, cfg.inference_latency.as_micros() as u64);
-                            telemetry.observe("predict.locations", locs.len() as u64);
-                            pending.push_back(PendingPrediction {
-                                base: base_idx,
-                                ready_at: clock.now() + cfg.inference_latency,
-                                locs,
-                            });
-                            Ok(())
-                        };
-                        // Degraded mode: a declined submission leaves
-                        // this iteration to the random localizer.
-                        match &submitted {
-                            Ok(()) => {}
-                            Err(ServeError::QueueFull { .. }) => {
-                                telemetry.counter("serve.degraded.queue_full", 1);
-                            }
-                            Err(ServeError::MalformedBatch { .. }) => {
-                                telemetry.counter("serve.degraded.malformed", 1);
-                            }
-                            Err(ServeError::ShuttingDown) => {
-                                telemetry.counter("serve.degraded.shutdown", 1);
-                            }
-                        }
-                    }
-                    // Same mutation-type mix as the baseline; only the
-                    // argument *localizer* changes (the paper's exact
-                    // intervention). A cached prediction guides the
-                    // localization; otherwise — e.g. while inference is
-                    // pending — the stock random localizer is the
-                    // fallback (§3.4).
-                    let m_type = {
-                        let mut selector = snowplow_prog::WeightedSelector::default();
-                        use snowplow_prog::Selector as _;
-                        selector.select(&mut rng, &corpus.entry(base_idx).prog)
-                    };
-                    match m_type {
-                        snowplow_prog::MutationType::ArgumentMutation => {
-                            let guided = match ready.get_mut(&base_idx) {
-                                Some((locs, uses)) => {
-                                    let loc = locs[rng.random_range(0..locs.len())].clone();
-                                    *uses -= 1;
-                                    if *uses == 0 {
-                                        ready.remove(&base_idx);
-                                    }
-                                    Some(loc)
-                                }
-                                None => None,
-                            };
-                            let (mutant, applied) = {
-                                let base = &corpus.entry(base_idx).prog;
-                                match &guided {
-                                    Some(loc) => mutator.mutate_arguments(
-                                        &mut rng,
-                                        base,
-                                        Some(std::slice::from_ref(loc)),
-                                    ),
-                                    None => mutator.mutate_arguments(&mut rng, base, None),
-                                }
-                            };
-                            let _ = applied;
-                            telemetry.phase(Phase::Mutate, 0);
-                            telemetry.observe("mutate.prog_calls", mutant.calls.len() as u64);
-                            if guided.is_some() {
-                                telemetry.counter("mutate.guided", 1);
-                            } else {
-                                telemetry.counter("mutate.random", 1);
-                            }
-                            let gained = execute(
-                                &mutant,
-                                &mut vm,
-                                &mut clock,
-                                &mut edges,
-                                &mut blocks,
-                                &mut crashes,
-                                &mut corpus,
-                                &mut execs,
-                                &mut exec_buf,
-                            );
-                            if guided.is_some() {
-                                attribution.guided_args += gained;
-                                if gained > 0 {
-                                    // Coverage moved: the cached frontier
-                                    // is stale, requery next time.
-                                    ready.remove(&base_idx);
-                                }
-                            } else {
-                                attribution.random_args += gained;
-                            }
-                        }
-                        snowplow_prog::MutationType::CallInsertion => {
-                            let mutant =
-                                mutator.insert_call(&mut rng, &corpus.entry(base_idx).prog);
-                            telemetry.phase(Phase::Mutate, 0);
-                            telemetry.observe("mutate.prog_calls", mutant.calls.len() as u64);
-                            attribution.structural += execute(
-                                &mutant,
-                                &mut vm,
-                                &mut clock,
-                                &mut edges,
-                                &mut blocks,
-                                &mut crashes,
-                                &mut corpus,
-                                &mut execs,
-                                &mut exec_buf,
-                            );
-                        }
-                        snowplow_prog::MutationType::CallRemoval => {
-                            let mutant =
-                                mutator.remove_call(&mut rng, &corpus.entry(base_idx).prog);
-                            telemetry.phase(Phase::Mutate, 0);
-                            telemetry.observe("mutate.prog_calls", mutant.calls.len() as u64);
-                            attribution.structural += execute(
-                                &mutant,
-                                &mut vm,
-                                &mut clock,
-                                &mut edges,
-                                &mut blocks,
-                                &mut crashes,
-                                &mut corpus,
-                                &mut execs,
-                                &mut exec_buf,
-                            );
-                        }
-                    }
+            }
+        } else {
+            let entry = self.st.corpus.entry(base_idx);
+            let graph = QueryGraph::build(self.kernel, &entry.prog, &entry.exec, &self.wanted_buf);
+            rank(
+                model.predict(&graph)?,
+                self.config.threshold,
+                self.config.top_k,
+            )
+        };
+        // `rank` keeps at least one location whenever the graph had
+        // candidates, so an empty set means the base has no mutable
+        // argument sites: the same condition the live service rejects as
+        // a malformed batch.
+        if locs.is_empty() {
+            return Err(ServeError::MalformedBatch {
+                reason: "query graph has no candidate mutation sites".to_owned(),
+            });
+        }
+        self.st.inferences += 1;
+        self.telemetry.counter("inferences", 1);
+        self.telemetry.phase(
+            Phase::Predict,
+            self.config.inference_latency.as_micros() as u64,
+        );
+        self.telemetry
+            .observe("predict.locations", locs.len() as u64);
+        self.st.pending.push_back(PendingPrediction {
+            base: base_idx,
+            ready_at: self.st.clock.now() + self.config.inference_latency,
+            locs,
+        });
+        Ok(())
+    }
+
+    fn snowplow_iteration(&mut self, model: &mut dyn InferenceClient, base_idx: usize) {
+        let in_flight = self.st.pending.iter().any(|p| p.base == base_idx);
+        if !self.st.ready.contains_key(&base_idx) && !in_flight {
+            // Degraded mode: a declined submission leaves this iteration
+            // to the random localizer.
+            match self.try_submit_query(model, base_idx) {
+                Ok(()) => {}
+                Err(ServeError::QueueFull { .. }) => {
+                    self.telemetry.counter("serve.degraded.queue_full", 1);
+                }
+                Err(ServeError::MalformedBatch { .. }) => {
+                    self.telemetry.counter("serve.degraded.malformed", 1);
+                }
+                Err(ServeError::ShuttingDown) => {
+                    self.telemetry.counter("serve.degraded.shutdown", 1);
                 }
             }
         }
-
-        timeline.push(TimelinePoint {
-            at: clock.now(),
-            edges: edges.len(),
-            blocks: blocks.len(),
-            crashes: crashes.unique(),
-            execs,
-        });
-
-        if telemetry.is_enabled() {
-            telemetry.gauge("campaign.final_edges", edges.len() as f64);
-            telemetry.gauge("campaign.final_blocks", blocks.len() as f64);
-            telemetry.gauge("campaign.corpus", corpus.len() as f64);
-            telemetry.counter("attribution.generation", attribution.generation as u64);
-            telemetry.counter("attribution.guided_args", attribution.guided_args as u64);
-            telemetry.counter("attribution.random_args", attribution.random_args as u64);
-            telemetry.counter("attribution.structural", attribution.structural as u64);
-            telemetry.flush();
-        }
-
-        CampaignReport {
-            timeline,
-            final_edges: edges.len(),
-            final_blocks: blocks.len(),
-            crashes,
-            execs,
-            inferences,
-            corpus_len: corpus.len(),
-            attribution,
+        // Same mutation-type mix as the baseline; only the argument
+        // *localizer* changes (the paper's exact intervention). A cached
+        // prediction guides the localization; otherwise — e.g. while
+        // inference is pending — the stock random localizer is the
+        // fallback (§3.4).
+        let m_type = {
+            let mut selector = snowplow_prog::WeightedSelector::default();
+            use snowplow_prog::Selector as _;
+            selector.select(&mut self.st.rng, &self.st.corpus.entry(base_idx).prog)
+        };
+        match m_type {
+            snowplow_prog::MutationType::ArgumentMutation => {
+                let guided = match self.st.ready.get_mut(&base_idx) {
+                    Some((locs, uses)) => {
+                        let loc = locs[self.st.rng.random_range(0..locs.len())].clone();
+                        *uses -= 1;
+                        if *uses == 0 {
+                            self.st.ready.remove(&base_idx);
+                        }
+                        Some(loc)
+                    }
+                    None => None,
+                };
+                let (mutant, applied) = {
+                    let base = &self.st.corpus.entry(base_idx).prog;
+                    match &guided {
+                        Some(loc) => self.mutator.mutate_arguments(
+                            &mut self.st.rng,
+                            base,
+                            Some(std::slice::from_ref(loc)),
+                        ),
+                        None => self.mutator.mutate_arguments(&mut self.st.rng, base, None),
+                    }
+                };
+                let _ = applied;
+                self.telemetry.phase(Phase::Mutate, 0);
+                self.telemetry
+                    .observe("mutate.prog_calls", mutant.calls.len() as u64);
+                if guided.is_some() {
+                    self.telemetry.counter("mutate.guided", 1);
+                } else {
+                    self.telemetry.counter("mutate.random", 1);
+                }
+                let gained = self.execute_prog(&mutant);
+                if guided.is_some() {
+                    self.st.attribution.guided_args += gained;
+                    if gained > 0 {
+                        // Coverage moved: the cached frontier is stale,
+                        // requery next time.
+                        self.st.ready.remove(&base_idx);
+                    }
+                } else {
+                    self.st.attribution.random_args += gained;
+                }
+            }
+            snowplow_prog::MutationType::CallInsertion => {
+                let mutant = self
+                    .mutator
+                    .insert_call(&mut self.st.rng, &self.st.corpus.entry(base_idx).prog);
+                self.telemetry.phase(Phase::Mutate, 0);
+                self.telemetry
+                    .observe("mutate.prog_calls", mutant.calls.len() as u64);
+                self.st.attribution.structural += self.execute_prog(&mutant);
+            }
+            snowplow_prog::MutationType::CallRemoval => {
+                let mutant = self
+                    .mutator
+                    .remove_call(&mut self.st.rng, &self.st.corpus.entry(base_idx).prog);
+                self.telemetry.phase(Phase::Mutate, 0);
+                self.telemetry
+                    .observe("mutate.prog_calls", mutant.calls.len() as u64);
+                self.st.attribution.structural += self.execute_prog(&mutant);
+            }
         }
     }
 }
 
 impl CampaignReport {
+    /// Byte-exact serialization of everything a report contains
+    /// (timeline, summary counters, attribution, crash log including
+    /// witnesses), so golden tests — hot-cache equivalence here, the
+    /// fleet checkpoint/resume goldens — compare reports
+    /// *byte-identically* with one string equality.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for p in &self.timeline {
+            let _ = writeln!(
+                s,
+                "{:?} {} {} {} {}",
+                p.at, p.edges, p.blocks, p.crashes, p.execs
+            );
+        }
+        let _ = writeln!(
+            s,
+            "{} {} {} {} {} {:?}",
+            self.final_edges,
+            self.final_blocks,
+            self.execs,
+            self.inferences,
+            self.corpus_len,
+            self.attribution
+        );
+        for c in self.crashes.records() {
+            let _ = writeln!(
+                s,
+                "{} {:?} {} {:?} {} {:?}",
+                c.description, c.category, c.known, c.first_found, c.count, c.witness
+            );
+        }
+        let _ = writeln!(s, "filtered {}", self.crashes.filtered);
+        s
+    }
+
     /// Virtual time at which the campaign first reached `edges` unique
     /// edges (linear interpolation on the sampled timeline).
     pub fn time_to_edges(&self, edges: usize) -> Option<Duration> {
@@ -1032,35 +1292,6 @@ mod tests {
         assert!(report.final_edges > 500);
     }
 
-    /// Byte-exact serialization of everything a report contains, so the
-    /// golden test below compares reports *byte-identically* (timeline,
-    /// attribution, crash log including witnesses).
-    fn report_fingerprint(r: &CampaignReport) -> String {
-        use std::fmt::Write as _;
-        let mut s = String::new();
-        for p in &r.timeline {
-            let _ = writeln!(
-                s,
-                "{:?} {} {} {} {}",
-                p.at, p.edges, p.blocks, p.crashes, p.execs
-            );
-        }
-        let _ = writeln!(
-            s,
-            "{} {} {} {} {} {:?}",
-            r.final_edges, r.final_blocks, r.execs, r.inferences, r.corpus_len, r.attribution
-        );
-        for c in r.crashes.records() {
-            let _ = writeln!(
-                s,
-                "{} {:?} {} {:?} {} {:?}",
-                c.description, c.category, c.known, c.first_found, c.count, c.witness
-            );
-        }
-        let _ = writeln!(s, "filtered {}", r.crashes.filtered);
-        s
-    }
-
     #[test]
     fn hot_caches_preserve_reports_bit_identically() {
         let kernel = Kernel::build(KernelVersion::V6_8);
@@ -1095,8 +1326,8 @@ mod tests {
                 let cached = run(true);
                 let uncached = run(false);
                 assert_eq!(
-                    report_fingerprint(&cached),
-                    report_fingerprint(&uncached),
+                    cached.fingerprint(),
+                    uncached.fingerprint(),
                     "seed={seed} snowplow={snowplow}"
                 );
                 if snowplow {
@@ -1157,8 +1388,8 @@ mod tests {
                 .run();
                 let off = run(false);
                 assert_eq!(
-                    report_fingerprint(&off),
-                    report_fingerprint(&default_cfg),
+                    off.fingerprint(),
+                    default_cfg.fingerprint(),
                     "seed={seed} snowplow={snowplow}"
                 );
                 // Enabled, the campaign still runs to the deadline and

@@ -21,6 +21,11 @@ impl VirtualClock {
         VirtualClock::default()
     }
 
+    /// A clock at an arbitrary instant (restoring a checkpoint).
+    pub fn at(now: Duration) -> Self {
+        VirtualClock { now }
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> Duration {
         self.now

@@ -22,7 +22,7 @@ pub struct CorpusEntry {
 /// A weighted corpus with Syzkaller-style selection: entries that
 /// contributed more new signal are proportionally more likely to be
 /// chosen as mutation bases.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Corpus {
     entries: Vec<CorpusEntry>,
     total_weight: u64,
@@ -177,6 +177,26 @@ impl Corpus {
             }
         }
         kept
+    }
+
+    /// The installed scheduling weights, if any (see
+    /// [`Corpus::set_schedule_weights`]); exposed so a checkpoint can
+    /// persist them instead of forcing a recompute on resume.
+    pub fn schedule_weights(&self) -> Option<&[u64]> {
+        self.sched.as_deref()
+    }
+
+    /// Rebuilds a corpus from persisted entries and scheduling weights,
+    /// recomputing the contribution-weight total. Entries must be in
+    /// admission order for [`Corpus::choose`]'s recency window to
+    /// behave identically.
+    pub fn from_entries(entries: Vec<CorpusEntry>, sched: Option<Vec<u64>>) -> Corpus {
+        let total_weight = entries.iter().map(|e| Self::weight_of(e.new_edges)).sum();
+        Corpus {
+            entries,
+            total_weight,
+            sched,
+        }
     }
 
     /// Reads an entry.

@@ -31,7 +31,7 @@ pub struct CrashRecord {
 }
 
 /// Campaign-wide crash accounting.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CrashLog {
     records: HashMap<String, CrashRecord>,
     known_signatures: Vec<String>,
@@ -87,6 +87,17 @@ impl CrashLog {
     /// reproducers).
     pub fn record_mut(&mut self, description: &str) -> Option<&mut CrashRecord> {
         self.records.get_mut(description)
+    }
+
+    /// The known (Syzbot) signature list this log classifies against.
+    pub fn known_signatures(&self) -> &[String] {
+        &self.known_signatures
+    }
+
+    /// Reinserts a persisted record under its signature (restoring a
+    /// checkpoint). Replaces any record already present for it.
+    pub fn insert_record(&mut self, record: CrashRecord) {
+        self.records.insert(record.description.clone(), record);
     }
 
     /// Unique non-filtered signatures.

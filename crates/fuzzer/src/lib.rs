@@ -27,8 +27,8 @@ pub mod directed;
 pub mod repro;
 
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignConfigBuilder, CampaignReport, EdgeAttribution, FuzzerKind,
-    TimelinePoint,
+    Campaign, CampaignConfig, CampaignConfigBuilder, CampaignReport, CampaignState,
+    EdgeAttribution, FuzzerKind, PendingPrediction, RunningCampaign, TimelinePoint,
 };
 pub use clock::VirtualClock;
 pub use corpus::{Corpus, CorpusEntry};

@@ -135,6 +135,19 @@ impl Coverage {
         })
     }
 
+    /// The raw bitset words, for serializers. Trailing zero words are a
+    /// capacity artifact and may or may not be present.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds coverage from raw bitset words, recomputing the
+    /// popcount-derived length.
+    pub fn from_words(words: Vec<u64>) -> Coverage {
+        let len = words.iter().map(|w| w.count_ones() as usize).sum();
+        Coverage { words, len }
+    }
+
     fn is_subset_of(&self, other: &Coverage) -> bool {
         self.words
             .iter()
@@ -248,6 +261,21 @@ impl EdgeSet {
         added
     }
 
+    /// The per-source destination bitsets, for serializers.
+    pub fn rows(&self) -> &[Vec<u64>] {
+        &self.rows
+    }
+
+    /// Rebuilds an edge set from raw rows, recomputing the length.
+    pub fn from_rows(rows: Vec<Vec<u64>>) -> EdgeSet {
+        let len = rows
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        EdgeSet { rows, len }
+    }
+
     fn is_subset_of(&self, other: &EdgeSet) -> bool {
         self.rows.iter().enumerate().all(|(src, row)| {
             let other_row = other.rows.get(src).map(Vec::as_slice).unwrap_or(&[]);
@@ -315,6 +343,21 @@ mod tests {
         assert!(a.is_empty());
         assert!(!a.contains(BlockId(7)));
         assert_eq!(a, Coverage::new());
+    }
+
+    #[test]
+    fn words_and_rows_round_trip() {
+        let cov: Coverage = [2, 65, 130, 4000].into_iter().map(BlockId).collect();
+        let back = Coverage::from_words(cov.words().to_vec());
+        assert_eq!(back, cov);
+        assert_eq!(back.len(), cov.len());
+
+        let mut edges = EdgeSet::new();
+        edges.insert(Edge(BlockId(1), BlockId(2)));
+        edges.insert(Edge(BlockId(500), BlockId(3)));
+        let back = EdgeSet::from_rows(edges.rows().to_vec());
+        assert_eq!(back, edges);
+        assert_eq!(back.len(), edges.len());
     }
 
     #[test]

@@ -46,5 +46,7 @@ pub mod train;
 pub use dataset::{Dataset, DatasetConfig, Sample};
 pub use graph::{EdgeType, NodeKind, QueryGraph};
 pub use model::{Pmm, PmmConfig};
-pub use server::{BatchPolicy, InferenceService, InferenceStats};
+pub use server::{
+    BatchPolicy, InferenceClient, InferenceService, InferenceStats, ServeError, ServiceClient,
+};
 pub use train::{EvalReport, TrainConfig, Trainer};

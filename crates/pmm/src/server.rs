@@ -12,12 +12,20 @@
 //! [`BatchPolicy::max_batch`] requests, lingering briefly for stragglers
 //! once it holds at least one. Batching changes throughput and latency
 //! only — scores are bit-identical to serving each query alone.
+//!
+//! When several campaigns share one service (the fleet deployment),
+//! every request carries a client **tag** and admission is round-robin
+//! across tags: the queue keeps one lane per tag and workers drain
+//! lanes in rotation, so a hot campaign flooding the queue cannot
+//! starve the others. Untagged submissions all ride lane 0 and behave
+//! exactly like the pre-tagging FIFO.
 
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 use snowplow_prog::ArgLoc;
 use snowplow_telemetry::Telemetry;
@@ -73,6 +81,53 @@ struct Request {
     graph: QueryGraph,
     respond: Sender<Vec<(ArgLoc, f32)>>,
     enqueued: Instant,
+    /// Which client lane the request rides (0 for untagged callers).
+    tag: u32,
+}
+
+/// The tagged request queue: one FIFO lane per client tag, drained in
+/// round-robin rotation. `rr` holds exactly the tags whose lanes are
+/// non-empty, each once, in service order.
+#[derive(Default)]
+struct FairQueue {
+    lanes: BTreeMap<u32, VecDeque<Request>>,
+    rr: VecDeque<u32>,
+    depth: usize,
+    closed: bool,
+}
+
+impl FairQueue {
+    fn push(&mut self, req: Request) {
+        let lane = self.lanes.entry(req.tag).or_default();
+        if lane.is_empty() {
+            self.rr.push_back(req.tag);
+        }
+        lane.push_back(req);
+        self.depth += 1;
+    }
+
+    /// Pops the front request of the next lane in rotation, sending the
+    /// lane to the back of the rotation if it still has requests.
+    fn pop_rr(&mut self) -> Option<Request> {
+        let tag = self.rr.pop_front()?;
+        let lane = self.lanes.get_mut(&tag).expect("rr tags have lanes");
+        let req = lane.pop_front().expect("queued lanes are non-empty");
+        if !lane.is_empty() {
+            self.rr.push_back(tag);
+        }
+        self.depth -= 1;
+        Some(req)
+    }
+}
+
+/// The queue plus its wakeup signals. `work` wakes workers when a
+/// request arrives; `room` wakes blocked submitters when a worker
+/// drains a slot of a bounded queue.
+#[derive(Default)]
+struct SharedQueue {
+    q: std::sync::Mutex<FairQueue>,
+    work: std::sync::Condvar,
+    room: std::sync::Condvar,
 }
 
 /// How workers coalesce queued requests into batches.
@@ -149,28 +204,27 @@ impl InferenceStats {
 struct ServiceState {
     stats: InferenceStats,
     latency_samples: Vec<Duration>,
-}
-
-/// Counts queued-but-undrained requests. The channel itself never
-/// blocks senders, so [`BatchPolicy::queue_cap`] backpressure is
-/// enforced here: `submit` waits on the condvar while the queue is
-/// full, and workers signal after draining a batch.
-#[derive(Debug, Default)]
-struct QueueGate {
-    depth: std::sync::Mutex<usize>,
-    room: std::sync::Condvar,
+    /// Queries served per client tag — the fleet's fair-share evidence.
+    served_by_tag: BTreeMap<u32, u64>,
 }
 
 /// A pool of inference workers, each owning a replica of the trained
 /// model (the paper deploys PMM replicas across 8 GPUs).
-#[derive(Debug)]
 pub struct InferenceService {
-    tx: Option<Sender<Request>>,
+    queue: Arc<SharedQueue>,
     workers: Vec<JoinHandle<()>>,
     state: Arc<Mutex<ServiceState>>,
-    gate: Arc<QueueGate>,
     queue_cap: Option<usize>,
     telemetry: Telemetry,
+}
+
+impl std::fmt::Debug for InferenceService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceService")
+            .field("workers", &self.workers.len())
+            .field("queue_cap", &self.queue_cap)
+            .finish_non_exhaustive()
+    }
 }
 
 impl InferenceService {
@@ -196,86 +250,95 @@ impl InferenceService {
     ) -> InferenceService {
         let workers = workers.max(1);
         let max_batch = policy.max_batch.max(1);
-        let (tx, rx) = channel::unbounded::<Request>();
+        let queue = Arc::new(SharedQueue::default());
         let state = Arc::new(Mutex::new(ServiceState::default()));
-        let gate = Arc::new(QueueGate::default());
         let handles = (0..workers)
             .map(|_| {
-                let rx: Receiver<Request> = rx.clone();
+                let queue = Arc::clone(&queue);
                 let mut replica = model.clone();
                 let state = Arc::clone(&state);
-                let gate = Arc::clone(&gate);
                 let telemetry = telemetry.clone();
-                std::thread::spawn(move || {
-                    while let Ok(first) = rx.recv() {
-                        let mut requests = Vec::with_capacity(max_batch);
-                        requests.push(first);
-                        // Drain-up-to-B with a short linger: collect
-                        // whatever is already queued, and once we hold a
-                        // request give stragglers `linger` to arrive.
-                        if max_batch > 1 {
-                            let deadline = Instant::now() + policy.linger;
-                            while requests.len() < max_batch {
-                                match rx.try_recv() {
-                                    Ok(r) => requests.push(r),
-                                    Err(TryRecvError::Empty) => {
-                                        if Instant::now() >= deadline {
-                                            break;
-                                        }
-                                        std::thread::yield_now();
+                std::thread::spawn(move || loop {
+                    // Block for the first request; exit only once the
+                    // queue is both closed and fully drained, so every
+                    // accepted request gets an answer.
+                    let first = {
+                        let mut q = lock_ignore_poison(&queue.q);
+                        loop {
+                            if let Some(r) = q.pop_rr() {
+                                break r;
+                            }
+                            if q.closed {
+                                return;
+                            }
+                            q = queue.work.wait(q).unwrap_or_else(|e| e.into_inner());
+                        }
+                    };
+                    queue.room.notify_all();
+                    let mut requests = Vec::with_capacity(max_batch);
+                    requests.push(first);
+                    // Drain-up-to-B with a short linger: collect
+                    // whatever is already queued (round-robin across
+                    // tags), and once we hold a request give stragglers
+                    // `linger` to arrive. Each pop frees a queue slot
+                    // before the (slow) forward pass so blocked
+                    // submitters make progress meanwhile.
+                    if max_batch > 1 {
+                        let deadline = Instant::now() + policy.linger;
+                        while requests.len() < max_batch {
+                            let popped = lock_ignore_poison(&queue.q).pop_rr();
+                            match popped {
+                                Some(r) => {
+                                    queue.room.notify_all();
+                                    requests.push(r);
+                                }
+                                None => {
+                                    if Instant::now() >= deadline {
+                                        break;
                                     }
-                                    Err(TryRecvError::Disconnected) => break,
+                                    std::thread::yield_now();
                                 }
                             }
                         }
+                    }
 
-                        // The batch has left the queue: free its slots
-                        // before the (slow) forward pass so blocked
-                        // submitters can make progress meanwhile.
-                        {
-                            let mut depth = lock_ignore_poison(&gate.depth);
-                            *depth = depth.saturating_sub(requests.len());
-                        }
-                        gate.room.notify_all();
-
-                        let mut graphs = Vec::with_capacity(requests.len());
-                        let mut replies = Vec::with_capacity(requests.len());
-                        for r in requests {
-                            graphs.push(r.graph);
-                            replies.push((r.respond, r.enqueued));
-                        }
-                        let start = Instant::now();
-                        let results = replica.predict_batch(&graphs);
-                        let done = Instant::now();
-                        telemetry.counter("serve.queries", graphs.len() as u64);
-                        telemetry.counter("serve.batches", 1);
-                        telemetry.observe("serve.batch_size", graphs.len() as u64);
-                        {
-                            let mut st = state.lock();
-                            st.stats.served += graphs.len() as u64;
-                            st.stats.batches += 1;
-                            st.stats.busy += done - start;
-                            for (_, enqueued) in &replies {
-                                let lat = done.duration_since(*enqueued);
-                                st.stats.latency += lat;
-                                if st.latency_samples.len() < MAX_LATENCY_SAMPLES {
-                                    st.latency_samples.push(lat);
-                                }
+                    let mut graphs = Vec::with_capacity(requests.len());
+                    let mut replies = Vec::with_capacity(requests.len());
+                    for r in requests {
+                        graphs.push(r.graph);
+                        replies.push((r.respond, r.enqueued, r.tag));
+                    }
+                    let start = Instant::now();
+                    let results = replica.predict_batch(&graphs);
+                    let done = Instant::now();
+                    telemetry.counter("serve.queries", graphs.len() as u64);
+                    telemetry.counter("serve.batches", 1);
+                    telemetry.observe("serve.batch_size", graphs.len() as u64);
+                    {
+                        let mut st = state.lock();
+                        st.stats.served += graphs.len() as u64;
+                        st.stats.batches += 1;
+                        st.stats.busy += done - start;
+                        for (_, enqueued, tag) in &replies {
+                            let lat = done.duration_since(*enqueued);
+                            st.stats.latency += lat;
+                            if st.latency_samples.len() < MAX_LATENCY_SAMPLES {
+                                st.latency_samples.push(lat);
                             }
+                            *st.served_by_tag.entry(*tag).or_insert(0) += 1;
                         }
-                        for ((respond, _), result) in replies.into_iter().zip(results) {
-                            // The client may have given up; that's fine.
-                            let _ = respond.send(result);
-                        }
+                    }
+                    for ((respond, _, _), result) in replies.into_iter().zip(results) {
+                        // The client may have given up; that's fine.
+                        let _ = respond.send(result);
                     }
                 })
             })
             .collect();
         InferenceService {
-            tx: Some(tx),
+            queue,
             workers: handles,
             state,
-            gate,
             queue_cap: policy.queue_cap,
             telemetry,
         }
@@ -306,55 +369,74 @@ impl InferenceService {
     /// localizer) instead of stalling the fuzzing loop. Use
     /// [`InferenceService::submit_blocking`] for backpressure instead.
     pub fn submit(&self, graph: QueryGraph) -> Result<Pending, ServeError> {
-        self.submit_inner(graph, false)
+        self.submit_inner(graph, 0, false)
     }
 
     /// Like [`InferenceService::submit`], but applies backpressure: with
     /// a full bounded queue this waits until a worker drains room
     /// instead of returning [`ServeError::QueueFull`].
     pub fn submit_blocking(&self, graph: QueryGraph) -> Result<Pending, ServeError> {
-        self.submit_inner(graph, true)
+        self.submit_inner(graph, 0, true)
     }
 
-    fn submit_inner(&self, graph: QueryGraph, block: bool) -> Result<Pending, ServeError> {
+    /// [`InferenceService::submit`] under a client tag: the request
+    /// rides its tag's lane and round-robin admission arbitrates
+    /// between tags, so no campaign can starve another.
+    pub fn submit_tagged(&self, graph: QueryGraph, tag: u32) -> Result<Pending, ServeError> {
+        self.submit_inner(graph, tag, false)
+    }
+
+    /// [`InferenceService::submit_blocking`] under a client tag.
+    pub fn submit_blocking_tagged(
+        &self,
+        graph: QueryGraph,
+        tag: u32,
+    ) -> Result<Pending, ServeError> {
+        self.submit_inner(graph, tag, true)
+    }
+
+    fn submit_inner(
+        &self,
+        graph: QueryGraph,
+        tag: u32,
+        block: bool,
+    ) -> Result<Pending, ServeError> {
         Self::validate(&graph).inspect_err(|_| {
             self.telemetry.counter("serve.rejected.malformed", 1);
         })?;
-        let Some(tx) = &self.tx else {
-            return Err(ServeError::ShuttingDown);
-        };
         let (respond, rx) = channel::bounded(1);
         {
-            let mut depth = lock_ignore_poison(&self.gate.depth);
+            let mut q = lock_ignore_poison(&self.queue.q);
+            if q.closed {
+                return Err(ServeError::ShuttingDown);
+            }
             if let Some(cap) = self.queue_cap {
                 let cap = cap.max(1);
                 if block {
-                    while *depth >= cap {
-                        depth = self
-                            .gate
-                            .room
-                            .wait(depth)
-                            .unwrap_or_else(|e| e.into_inner());
+                    while q.depth >= cap && !q.closed {
+                        q = self.queue.room.wait(q).unwrap_or_else(|e| e.into_inner());
                     }
-                } else if *depth >= cap {
+                    if q.closed {
+                        return Err(ServeError::ShuttingDown);
+                    }
+                } else if q.depth >= cap {
                     self.telemetry.counter("serve.rejected.queue_full", 1);
-                    return Err(ServeError::QueueFull { depth: *depth, cap });
+                    return Err(ServeError::QueueFull {
+                        depth: q.depth,
+                        cap,
+                    });
                 }
             }
-            *depth += 1;
-            let mut st = self.state.lock();
-            st.stats.max_queue_depth = st.stats.max_queue_depth.max(*depth as u64);
-        }
-        if tx
-            .send(Request {
+            q.push(Request {
                 graph,
                 respond,
                 enqueued: Instant::now(),
-            })
-            .is_err()
-        {
-            return Err(ServeError::ShuttingDown);
+                tag,
+            });
+            let mut st = self.state.lock();
+            st.stats.max_queue_depth = st.stats.max_queue_depth.max(q.depth as u64);
         }
+        self.queue.work.notify_one();
         Ok(rx)
     }
 
@@ -365,9 +447,26 @@ impl InferenceService {
             .map_err(|_| ServeError::ShuttingDown)
     }
 
+    /// Convenience: submit under a tag (with backpressure) and wait.
+    pub fn predict_blocking_tagged(
+        &self,
+        graph: QueryGraph,
+        tag: u32,
+    ) -> Result<Vec<(ArgLoc, f32)>, ServeError> {
+        self.submit_blocking_tagged(graph, tag)?
+            .recv()
+            .map_err(|_| ServeError::ShuttingDown)
+    }
+
     /// Snapshot of the serving statistics.
     pub fn stats(&self) -> InferenceStats {
         self.state.lock().stats
+    }
+
+    /// Queries served per client tag since startup. Untagged
+    /// submissions count under tag 0.
+    pub fn served_by_tag(&self) -> BTreeMap<u32, u64> {
+        self.state.lock().served_by_tag.clone()
     }
 
     /// The `q`-th latency percentile over retained samples (`q` in
@@ -392,11 +491,56 @@ impl InferenceService {
 
 impl Drop for InferenceService {
     fn drop(&mut self) {
-        // Closing the channel stops the workers.
-        self.tx = None;
+        // Closing the queue stops the workers once it drains.
+        lock_ignore_poison(&self.queue.q).closed = true;
+        self.queue.work.notify_all();
+        self.queue.room.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+    }
+}
+
+/// A synchronous prediction endpoint a campaign can own.
+///
+/// Two implementations ship: [`Pmm`] itself — the in-process model a
+/// standalone Snowplow campaign embeds, which never fails — and
+/// [`ServiceClient`] — a tagged handle to a shared [`InferenceService`]
+/// whose error surface ([`ServeError`]) the campaign loop degrades
+/// around. `Send` is a supertrait so a boxed client can move with its
+/// campaign across fleet worker threads.
+pub trait InferenceClient: Send {
+    fn predict(&mut self, graph: &QueryGraph) -> Result<Vec<(ArgLoc, f32)>, ServeError>;
+}
+
+impl InferenceClient for Pmm {
+    fn predict(&mut self, graph: &QueryGraph) -> Result<Vec<(ArgLoc, f32)>, ServeError> {
+        Ok(Pmm::predict(self, graph))
+    }
+}
+
+/// Per-campaign handle to one shared [`InferenceService`]: every
+/// prediction is submitted (with backpressure) under the campaign's
+/// tag, so round-robin admission arbitrates between campaigns.
+pub struct ServiceClient {
+    service: Arc<InferenceService>,
+    tag: u32,
+}
+
+impl ServiceClient {
+    pub fn new(service: Arc<InferenceService>, tag: u32) -> ServiceClient {
+        ServiceClient { service, tag }
+    }
+
+    pub fn tag(&self) -> u32 {
+        self.tag
+    }
+}
+
+impl InferenceClient for ServiceClient {
+    fn predict(&mut self, graph: &QueryGraph) -> Result<Vec<(ArgLoc, f32)>, ServeError> {
+        self.service
+            .predict_blocking_tagged(graph.clone(), self.tag)
     }
 }
 
@@ -619,30 +763,100 @@ mod tests {
         assert!(service.stats().max_queue_depth >= 1);
     }
 
-    /// A service whose queue never drains: live channel, zero workers.
-    /// Only constructible here (fields are private), and exactly what
-    /// the queue-overflow path needs to be deterministic.
-    fn stalled_service(
-        queue_cap: usize,
-        telemetry: Telemetry,
-    ) -> (InferenceService, Receiver<Request>) {
-        let (tx, rx) = channel::unbounded::<Request>();
-        let service = InferenceService {
-            tx: Some(tx),
+    /// A service whose queue never drains: zero workers. Only
+    /// constructible here (fields are private), and exactly what the
+    /// queue-overflow path needs to be deterministic.
+    fn stalled_service(queue_cap: usize, telemetry: Telemetry) -> InferenceService {
+        InferenceService {
+            queue: Arc::new(SharedQueue::default()),
             workers: Vec::new(),
             state: Arc::new(Mutex::new(ServiceState::default())),
-            gate: Arc::new(QueueGate::default()),
             queue_cap: Some(queue_cap),
             telemetry,
+        }
+    }
+
+    #[test]
+    fn fair_queue_rotates_across_tags() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let mut q = FairQueue::default();
+        let mk = |tag: u32, seed: u64| {
+            // The receiver side is dropped: these requests are only
+            // queued and popped, never served.
+            let (respond, _rx) = channel::bounded(1);
+            Request {
+                graph: graph_for(seed, &kernel),
+                respond,
+                enqueued: Instant::now(),
+                tag,
+            }
         };
-        (service, rx)
+        // A hot tag (1) floods the queue ahead of two quiet tags.
+        for (i, tag) in [1u32, 1, 1, 2, 3, 1].into_iter().enumerate() {
+            q.push(mk(tag, i as u64));
+        }
+        assert_eq!(q.depth, 6);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop_rr()).map(|r| r.tag).collect();
+        // Round-robin: every lane gets a turn per rotation, so the
+        // quiet tags are served ahead of the hot tag's backlog.
+        assert_eq!(order, vec![1, 2, 3, 1, 1, 1]);
+        assert_eq!(q.depth, 0);
+        assert!(q.pop_rr().is_none());
+    }
+
+    #[test]
+    fn tagged_serving_attributes_queries_to_lanes() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let model = Pmm::new(
+            PmmConfig {
+                dim: 16,
+                rounds: 1,
+                ..PmmConfig::default()
+            },
+            kernel.registry().syscall_count(),
+        );
+        let service = InferenceService::start(&model, 2);
+        for i in 0..4 {
+            let _ = service
+                .predict_blocking_tagged(graph_for(i, &kernel), 7)
+                .unwrap();
+        }
+        let _ = service.predict_blocking(graph_for(9, &kernel)).unwrap();
+        let by_tag = service.served_by_tag();
+        assert_eq!(by_tag.get(&7), Some(&4));
+        assert_eq!(by_tag.get(&0), Some(&1));
+        assert_eq!(service.stats().served, 5);
+    }
+
+    #[test]
+    fn service_client_matches_direct_prediction() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let mut model = Pmm::new(
+            PmmConfig {
+                dim: 24,
+                rounds: 2,
+                ..PmmConfig::default()
+            },
+            kernel.registry().syscall_count(),
+        );
+        let service = Arc::new(InferenceService::start(&model, 2));
+        let mut client = ServiceClient::new(Arc::clone(&service), 3);
+        let g = graph_for(2, &kernel);
+        let direct = model.predict(&g);
+        let served = InferenceClient::predict(&mut client, &g).expect("well-formed");
+        assert_eq!(direct, served);
+        assert_eq!(client.tag(), 3);
+        assert_eq!(service.served_by_tag().get(&3), Some(&1));
+        // The Pmm impl of the trait is the identity wrapper.
+        let owned = InferenceClient::predict(&mut model, &g).expect("infallible");
+        assert_eq!(owned, direct);
     }
 
     #[test]
     fn queue_overflow_returns_error_instead_of_blocking() {
         let kernel = Kernel::build(KernelVersion::V6_8);
         let (telemetry, _sink) = Telemetry::in_memory();
-        let (service, _rx) = stalled_service(2, telemetry.clone());
+        let service = stalled_service(2, telemetry.clone());
         let _a = service.submit(graph_for(0, &kernel)).expect("room");
         let _b = service.submit(graph_for(1, &kernel)).expect("room");
         match service.submit(graph_for(2, &kernel)) {

@@ -220,6 +220,34 @@ pub fn stream_seed(master: u64, salt: u64, index: u64) -> u64 {
     mix(master ^ mix(salt ^ mix(index)))
 }
 
+/// Builds the generator for one work item of one sharded stage —
+/// `StdRng::seed_from_u64(stream_seed(master, salt, index))` as a
+/// single step, so callers that checkpoint generators mid-stream
+/// construct them the same way the pool stages do.
+pub fn stream_rng(master: u64, salt: u64, index: u64) -> rand::StdRng {
+    use rand::SeedableRng;
+    rand::StdRng::seed_from_u64(stream_seed(master, salt, index))
+}
+
+/// Exports the current position of a stream generator as its raw
+/// 256-bit state.
+///
+/// `stream_seed` is a one-way derivation: given only the seed triple
+/// there is no way to recover how far a generator has advanced, so a
+/// snapshot that stored the triple alone would have to replay every
+/// draw from the start of the stream. Storing the position instead
+/// makes restore O(1): [`restore_stream_position`] continues the exact
+/// output sequence.
+pub fn stream_position(rng: &rand::StdRng) -> [u64; 4] {
+    rng.state()
+}
+
+/// Rebuilds a stream generator at a position captured with
+/// [`stream_position`].
+pub fn restore_stream_position(state: [u64; 4]) -> rand::StdRng {
+    rand::StdRng::from_state(state)
+}
+
 #[cfg(test)]
 mod tests {
     use rand::prelude::*;
@@ -333,6 +361,18 @@ mod tests {
         assert!(!exec.telemetry.is_enabled());
         let out = exec.map("s", vec![1, 2, 3], || (), |_, _, x| x * 10);
         assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn stream_positions_resume_without_replay() {
+        let mut live = stream_rng(42, 3, 9);
+        for _ in 0..57 {
+            let _: u64 = live.random();
+        }
+        let mut resumed = restore_stream_position(stream_position(&live));
+        let ahead: Vec<u64> = (0..8).map(|_| live.random()).collect();
+        let resumed_ahead: Vec<u64> = (0..8).map(|_| resumed.random()).collect();
+        assert_eq!(ahead, resumed_ahead, "restored stream must not replay");
     }
 
     #[test]

@@ -17,6 +17,10 @@ const SUB: u64 = 1 << SUB_BITS;
 /// Octave 0 covers `[0, 32)` exactly; octaves 1..=59 cover the rest.
 const BUCKETS: usize = (SUB as usize) * 60;
 
+/// Number of buckets in every [`Histogram`], exposed for serializers
+/// that persist the raw table.
+pub const HIST_BUCKETS: usize = BUCKETS;
+
 /// A fixed-bucket histogram over `u64` samples.
 #[derive(Clone)]
 pub struct Histogram {
@@ -85,6 +89,48 @@ impl Histogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// The raw bucket table, length [`HIST_BUCKETS`]. Together with
+    /// [`Histogram::raw_parts`] this is everything a serializer needs
+    /// to persist a histogram losslessly.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The scalar state `(count, sum, min, max)` exactly as stored —
+    /// `min` is `u64::MAX` for an empty histogram, unlike the
+    /// rendering accessor [`Histogram::min`] which clamps it to 0.
+    pub fn raw_parts(&self) -> (u64, u128, u64, u64) {
+        (self.count, self.sum, self.min, self.max)
+    }
+
+    /// Rebuilds a histogram from persisted state. Returns `None` when
+    /// the bucket table has the wrong length or the scalars disagree
+    /// with it (total of `counts` must equal `count`), so a corrupt
+    /// snapshot surfaces as a decode error instead of skewed
+    /// percentiles.
+    pub fn from_raw_parts(
+        counts: Vec<u64>,
+        count: u64,
+        sum: u128,
+        min: u64,
+        max: u64,
+    ) -> Option<Histogram> {
+        if counts.len() != BUCKETS {
+            return None;
+        }
+        let total = counts.iter().try_fold(0u64, |a, &b| a.checked_add(b))?;
+        if total != count {
+            return None;
+        }
+        Some(Histogram {
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        })
     }
 
     pub fn count(&self) -> u64 {
@@ -241,6 +287,34 @@ mod tests {
     fn empty_histogram_renders_zeroes() {
         let h = Histogram::new();
         assert_eq!(h.render(), "count=0 sum=0 min=0 max=0 p50=0 p95=0 p99=0");
+    }
+
+    #[test]
+    fn raw_parts_round_trip_preserves_rendering() {
+        let mut h = Histogram::new();
+        for v in [0u64, 31, 32, 999, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        let (count, sum, min, max) = h.raw_parts();
+        let back = Histogram::from_raw_parts(h.bucket_counts().to_vec(), count, sum, min, max)
+            .expect("valid parts");
+        assert_eq!(back.render(), h.render());
+        // Empty histograms round-trip too (raw min is u64::MAX there).
+        let e = Histogram::new();
+        let (count, sum, min, max) = e.raw_parts();
+        assert_eq!(min, u64::MAX);
+        let back = Histogram::from_raw_parts(e.bucket_counts().to_vec(), count, sum, min, max)
+            .expect("valid empty parts");
+        assert_eq!(back.render(), e.render());
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_inconsistent_state() {
+        let h = Histogram::new();
+        assert!(Histogram::from_raw_parts(vec![0; 3], 0, 0, u64::MAX, 0).is_none());
+        let (_, sum, min, max) = h.raw_parts();
+        // count says 5 but the table is empty.
+        assert!(Histogram::from_raw_parts(h.bucket_counts().to_vec(), 5, sum, min, max).is_none());
     }
 
     #[test]

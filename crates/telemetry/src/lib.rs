@@ -30,8 +30,8 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-pub use hist::Histogram;
-pub use sink::{InMemorySink, JsonlSink, NullSink, TelemetrySink};
+pub use hist::{Histogram, HIST_BUCKETS};
+pub use sink::{InMemorySink, JsonlMode, JsonlSink, NullSink, TelemetrySink};
 
 /// The instrumented phases of a fuzzing campaign. Each phase owns a
 /// virtual-time histogram (`phase.<name>.us`) and an invocation
@@ -173,9 +173,17 @@ impl Telemetry {
         (Telemetry::with_sink(sink.clone()), sink)
     }
 
-    /// Enabled handle exporting JSONL to `path` on flush.
+    /// Enabled handle exporting JSONL to `path` on flush, rewriting
+    /// the file whole each time (the historical behavior).
     pub fn jsonl(path: impl Into<std::path::PathBuf>) -> Telemetry {
         Telemetry::with_sink(Arc::new(JsonlSink::new(path)))
+    }
+
+    /// Enabled handle appending one JSONL snapshot per flush to
+    /// `path`, preserving earlier lines — the mode fleet runs use so
+    /// successive per-campaign flushes don't clobber each other.
+    pub fn jsonl_append(path: impl Into<std::path::PathBuf>) -> Telemetry {
+        Telemetry::with_sink(Arc::new(JsonlSink::with_mode(path, JsonlMode::Append)))
     }
 
     pub fn is_enabled(&self) -> bool {
@@ -251,6 +259,21 @@ impl Telemetry {
         }
     }
 
+    /// Replace the registry contents with `snap`. No-op when disabled.
+    ///
+    /// This is the restore half of checkpointing: a resumed campaign
+    /// loads the metrics captured at checkpoint time into a fresh
+    /// handle, then keeps recording, so its final snapshot is
+    /// byte-identical to an uninterrupted run's.
+    pub fn load_snapshot(&self, snap: &MetricsSnapshot) {
+        if let Some(inner) = &self.0 {
+            let mut reg = inner.registry.lock();
+            reg.counters = snap.counters.clone();
+            reg.gauges = snap.gauges.clone();
+            reg.hists = snap.hists.clone();
+        }
+    }
+
     /// Export the current snapshot to the sink. No-op when disabled.
     /// Export errors are reported on stderr, never panicked on: losing
     /// a metrics flush must not kill a campaign.
@@ -276,6 +299,27 @@ impl MetricsSnapshot {
     /// Convenience accessor: histogram by name.
     pub fn hist(&self, name: &str) -> Option<&Histogram> {
         self.hists.get(name)
+    }
+
+    /// Merge `other` into `self` with every metric name prefixed by
+    /// `prefix` — the cross-campaign aggregation primitive: a fleet
+    /// folds each campaign's snapshot in under `fleet.c<id>.` so the
+    /// combined snapshot keeps per-campaign resolution without name
+    /// collisions. Counters add, gauges last-write-win, histograms
+    /// merge element-wise.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(format!("{prefix}{name}")).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(format!("{prefix}{name}"), *v);
+        }
+        for (name, h) in &other.hists {
+            self.hists
+                .entry(format!("{prefix}{name}"))
+                .or_default()
+                .merge(h);
+        }
     }
 
     /// Deterministic text rendering: one line per metric, sorted by
@@ -421,6 +465,48 @@ mod tests {
         let tail = line.split("\"value\":").nth(1).unwrap();
         let parsed: f64 = tail.trim_end_matches('}').parse().unwrap();
         assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn load_snapshot_resumes_recording_bit_identically() {
+        let (a, _s1) = Telemetry::in_memory();
+        a.counter("execs", 10);
+        a.observe("lat", 50);
+        a.gauge("ratio", 0.5);
+        let mid = a.snapshot();
+        a.counter("execs", 5);
+        a.observe("lat", 70);
+
+        let (b, _s2) = Telemetry::in_memory();
+        b.counter("noise", 99); // replaced wholesale by the load
+        b.load_snapshot(&mid);
+        b.counter("execs", 5);
+        b.observe("lat", 70);
+        assert_eq!(a.snapshot().render(), b.snapshot().render());
+        assert!(!b.snapshot().counters.contains_key("noise"));
+    }
+
+    #[test]
+    fn merge_prefixed_namespaces_and_accumulates() {
+        let (c0, _s0) = Telemetry::in_memory();
+        c0.counter("execs", 3);
+        c0.gauge("ratio", 1.5);
+        c0.observe("lat", 10);
+        let (c1, _s1) = Telemetry::in_memory();
+        c1.counter("execs", 4);
+        c1.observe("lat", 20);
+
+        let mut agg = MetricsSnapshot::default();
+        agg.merge_prefixed("fleet.c0.", &c0.snapshot());
+        agg.merge_prefixed("fleet.c1.", &c1.snapshot());
+        assert_eq!(agg.counters["fleet.c0.execs"], 3);
+        assert_eq!(agg.counters["fleet.c1.execs"], 4);
+        assert_eq!(agg.gauges["fleet.c0.ratio"], 1.5);
+        assert_eq!(agg.hists["fleet.c1.lat"].count(), 1);
+        // Re-merging the same prefix accumulates counters and hists.
+        agg.merge_prefixed("fleet.c0.", &c0.snapshot());
+        assert_eq!(agg.counters["fleet.c0.execs"], 6);
+        assert_eq!(agg.hists["fleet.c0.lat"].count(), 2);
     }
 
     #[test]

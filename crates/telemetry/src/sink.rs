@@ -58,27 +58,59 @@ impl TelemetrySink for InMemorySink {
     }
 }
 
+/// How a [`JsonlSink`] treats existing file contents on export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JsonlMode {
+    /// Rewrite the file whole on every export so the final flush wins
+    /// — consumers (`bench_guard`) read the complete, self-consistent
+    /// last state. The historical (and default) behavior.
+    #[default]
+    Replace,
+    /// Append each export after the existing lines, creating the file
+    /// if missing. Fleet runs flushing one snapshot per campaign use
+    /// this so successive flushes don't clobber earlier lines.
+    Append,
+}
+
 /// Writes one JSON object per metric per flush, one per line, to a
-/// file. The file is truncated at construction and rewritten whole on
-/// every export so the final flush wins — consumers (`bench_guard`)
-/// read the complete, self-consistent last state.
+/// file. [`JsonlMode`] chooses whether each export replaces the file
+/// or appends to it.
 pub struct JsonlSink {
     path: PathBuf,
+    mode: JsonlMode,
 }
 
 impl JsonlSink {
+    /// A replace-mode sink (see [`JsonlMode::Replace`]).
     pub fn new(path: impl Into<PathBuf>) -> JsonlSink {
-        JsonlSink { path: path.into() }
+        JsonlSink::with_mode(path, JsonlMode::Replace)
+    }
+
+    pub fn with_mode(path: impl Into<PathBuf>, mode: JsonlMode) -> JsonlSink {
+        JsonlSink {
+            path: path.into(),
+            mode,
+        }
     }
 
     pub fn path(&self) -> &std::path::Path {
         &self.path
     }
+
+    pub fn mode(&self) -> JsonlMode {
+        self.mode
+    }
 }
 
 impl TelemetrySink for JsonlSink {
     fn export(&self, snapshot: &MetricsSnapshot) -> io::Result<()> {
-        let mut f = std::fs::File::create(&self.path)?;
+        let mut f = match self.mode {
+            JsonlMode::Replace => std::fs::File::create(&self.path)?,
+            JsonlMode::Append => std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)?,
+        };
         f.write_all(snapshot.to_jsonl().as_bytes())?;
         f.flush()
     }
@@ -100,6 +132,29 @@ mod tests {
         let snap = sink.last().expect("snapshot");
         assert_eq!(snap.counters.get("a"), Some(&5));
         assert_eq!(sink.export_count(), 2);
+    }
+
+    #[test]
+    fn jsonl_append_mode_preserves_earlier_flushes() {
+        let path = std::env::temp_dir().join(format!(
+            "snowplow_telemetry_append_test_{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let t = Telemetry::with_sink(std::sync::Arc::new(JsonlSink::with_mode(
+            &path,
+            JsonlMode::Append,
+        )));
+        t.counter("a", 1);
+        t.flush();
+        t.counter("a", 1);
+        t.flush();
+        let text = std::fs::read_to_string(&path).expect("read back");
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "both flushes survive: {text}");
+        assert!(lines[0].contains("\"value\":1"));
+        assert!(lines[1].contains("\"value\":2"));
     }
 
     #[test]

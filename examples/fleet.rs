@@ -1,0 +1,84 @@
+//! Fleet orchestration: run several campaigns over one shared inference
+//! service, checkpoint one mid-run, kill it, and resume it later —
+//! ending bit-identical to never having stopped.
+//!
+//! Run: `cargo run --release --example fleet`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use snowplow::fleet::{CampaignSnapshot, FleetScheduler, InferenceService};
+use snowplow::fuzzing::CampaignConfig;
+use snowplow::{train_pmm, Kernel, KernelVersion, Scale};
+
+fn main() {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+
+    // 1. Train a quick PMM and stand up the shared inference tier every
+    //    campaign in the fleet will query (tagged per campaign, served
+    //    round-robin across tags).
+    let (model, eval) = train_pmm(&kernel, Scale::quick());
+    println!("trained PMM: {}", eval.metrics);
+    let service = Arc::new(InferenceService::start(&model, 2));
+
+    // 2. Spawn a fleet: three Snowplow campaigns, different seeds, one
+    //    shared service.
+    let mut fleet = FleetScheduler::new(&kernel, Arc::clone(&service));
+    let config = |seed: u64| {
+        CampaignConfig::builder()
+            .duration(Duration::from_secs(6 * 3600))
+            .exec_cost(Duration::from_secs(60))
+            .seed_corpus(10)
+            .seed(seed)
+            .build()
+    };
+    let ids: Vec<u32> = (1..=3)
+        .map(|seed| fleet.spawn_shared(config(seed)))
+        .collect();
+    println!("spawned campaigns {ids:?}");
+
+    // 3. Run two virtual hours in 30-minute quanta, then checkpoint and
+    //    kill the first campaign — its full state serializes to bytes.
+    for _ in 0..4 {
+        fleet.run_round(Duration::from_secs(1800));
+    }
+    let snapshot = fleet.kill(ids[0]).expect("campaign 1 was running");
+    let bytes = snapshot.to_bytes();
+    println!(
+        "killed campaign {} at virtual {:?}; snapshot is {} bytes",
+        ids[0],
+        snapshot.state.clock.now(),
+        bytes.len()
+    );
+
+    // 4. The survivors keep fuzzing; later the snapshot is decoded and
+    //    resumed under a fresh campaign id. Its final report is
+    //    bit-identical to a run that was never interrupted.
+    fleet.run_round(Duration::from_secs(1800));
+    let snapshot = CampaignSnapshot::from_bytes(&bytes).expect("snapshot decodes");
+    let revived = fleet.resume_shared(snapshot);
+    fleet.rebalance(); // the revived campaign is behind — admit it first
+    fleet.run_to_completion(Duration::from_secs(1800));
+
+    // 5. Per-campaign results and fleet-level fairness.
+    for id in ids.iter().skip(1).chain(std::iter::once(&revived)) {
+        let report = fleet.report(*id).expect("campaign finished");
+        println!(
+            "campaign {id}: {} edges, {} execs, {} crash signatures",
+            report.final_edges,
+            report.execs,
+            report.crashes.unique()
+        );
+    }
+    let agg = fleet.aggregate();
+    println!(
+        "fleet fair-share spread: {:.3} (1.0 = perfectly even service)",
+        agg.gauges
+            .get("fleet.fair_share_spread")
+            .copied()
+            .unwrap_or(0.0)
+    );
+    for (tag, served) in service.served_by_tag() {
+        println!("  campaign tag {tag}: {served} queries served");
+    }
+}

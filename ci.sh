@@ -21,6 +21,11 @@
 #                      at virtual hour 12 + resume must be bit-identical
 #                      to the uninterrupted day at workers 1/2/8, and a
 #                      4-campaign fleet must share inference fairly).
+#   ./ci.sh exec       the focused compiled-executor gate: the
+#                      compiled-vs-interpreted equivalence golden +
+#                      proptest, the campaign/telemetry identity golden,
+#                      and a compile check of the exec_throughput
+#                      microbenches.
 #   ./ci.sh bench      the full gate, then the bench-regression guard:
 #                      regenerates BENCH_perf.jsonl with perf_sec55
 #                      (which flushes every measurement through the
@@ -68,6 +73,14 @@ fi
 if [[ "${1:-}" == "fleet" ]]; then
     cargo clippy -p snowplow-fleet --all-targets -- -D warnings
     cargo test -q -p snowplow-fleet
+    exit 0
+fi
+
+if [[ "${1:-}" == "exec" ]]; then
+    cargo test -q -p snowplow-kernel --test compiled_equiv
+    cargo test -q -p snowplow-fuzzer --lib \
+        compiled_executor_preserves_reports_and_telemetry_bit_identically
+    cargo bench -p snowplow-bench --no-run
     exit 0
 fi
 

@@ -27,6 +27,42 @@ fn bench_kernel_exec(c: &mut Criterion) {
     });
 }
 
+fn bench_exec_throughput(c: &mut Criterion) {
+    // The compiled-vs-interpreted executor head-to-head on the same
+    // program stream. Both run through `execute_into` with a reused
+    // result buffer — the campaign's zero-alloc hot path — so the delta
+    // is purely the dispatch strategy.
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let generator = Generator::new(kernel.registry());
+    let mut rng = StdRng::seed_from_u64(12);
+    let progs: Vec<_> = (0..64).map(|_| generator.generate(&mut rng, 6)).collect();
+
+    let mut vm = Vm::new(&kernel);
+    let snap = vm.snapshot();
+    let mut buf = snowplow_core::ExecResult::default();
+    let mut i = 0;
+    c.bench_function("exec_throughput_compiled", |b| {
+        b.iter(|| {
+            vm.restore(&snap);
+            vm.execute_into(&progs[i % progs.len()], &mut buf);
+            i += 1;
+            buf.trace.len()
+        })
+    });
+
+    let mut vm = Vm::interpreted(&kernel);
+    let snap = vm.snapshot();
+    let mut i = 0;
+    c.bench_function("exec_throughput_interpreted", |b| {
+        b.iter(|| {
+            vm.restore(&snap);
+            vm.execute_into(&progs[i % progs.len()], &mut buf);
+            i += 1;
+            buf.trace.len()
+        })
+    });
+}
+
 fn bench_mutation(c: &mut Criterion) {
     let kernel = Kernel::build(KernelVersion::V6_8);
     let generator = Generator::new(kernel.registry());
@@ -321,6 +357,7 @@ fn bench_static_distance(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_kernel_exec,
+    bench_exec_throughput,
     bench_mutation,
     bench_graph_build,
     bench_pmm_inference,

@@ -4,11 +4,14 @@
 //!
 //! Guarded metrics are the ones the perf work optimizes for: matmul
 //! GFLOP/s (both measured shapes), the Snowplow/Syzkaller fuzzing
-//! throughput ratio, the distance-scheduling throughput ratio, the
-//! static-analysis throughput (interval fixpoints and distance maps),
-//! and the dataset-harvest scaling factor. Everything else in the file
-//! is informational — latency and throughput of the inference service
-//! vary too much run-to-run on shared hardware to gate on.
+//! throughput ratio, the compiled/interpreted executor ratio (also held
+//! above an *absolute* floor of 1.0 — the compiled path must never be
+//! slower than the interpreter), the distance-scheduling throughput
+//! ratio, the static-analysis throughput (interval fixpoints and
+//! distance maps), and the dataset-harvest scaling factor. Everything
+//! else in the file is informational — latency and throughput of the
+//! inference service vary too much run-to-run on shared hardware to
+//! gate on.
 //!
 //! Usage: `bench_guard <baseline.jsonl> <candidate.jsonl>` (defaults:
 //! `BENCH_perf.jsonl` for both, which trivially passes — `ci.sh bench`
@@ -27,6 +30,7 @@ const GUARDED: &[&str] = &[
     "matmul_400x48x48.gflops_fast",
     "matmul_256x256x256.gflops_fast",
     "fuzzing.ratio",
+    "fuzzing.compiled_ratio",
     "fuzzing.distance_sched_ratio",
     "analysis.fixpoint_per_sec",
     "analysis.static_distance_per_sec",
@@ -38,6 +42,13 @@ const GUARDED: &[&str] = &[
 /// `max(old * (1 + TOLERANCE), old + ABS_SLACK)`: percentage-pointed
 /// metrics near zero would otherwise gate on noise.
 const GUARDED_CEILING: &[&str] = &["fleet.resume_overhead_pct"];
+
+/// Absolute floors, independent of the baseline file. These encode
+/// invariants, not trends: the compiled executor must actually beat the
+/// interpreter (ratio ≥ 1.0) no matter what the last committed baseline
+/// happened to measure — a relative tolerance would let the win decay
+/// 20% per commit until it became a loss.
+const GUARDED_FLOOR_ABS: &[(&str, f64)] = &[("fuzzing.compiled_ratio", 1.0)];
 
 /// Largest tolerated fractional drop below baseline.
 const TOLERANCE: f64 = 0.20;
@@ -92,6 +103,19 @@ fn main() -> ExitCode {
                     "  {name}: missing from candidate (baseline {})",
                     if old.is_some() { "present" } else { "absent" },
                 );
+                failed = true;
+            }
+        }
+    }
+    for &(name, floor) in GUARDED_FLOOR_ABS {
+        match extract(&candidate, name) {
+            Some(new) => {
+                let verdict = if new < floor { "BELOW FLOOR" } else { "ok" };
+                println!("  {name}: {new:.3} (absolute floor {floor:.3}) {verdict}");
+                failed |= new < floor;
+            }
+            None => {
+                eprintln!("  {name}: missing from candidate (absolute floor {floor:.3})");
                 failed = true;
             }
         }

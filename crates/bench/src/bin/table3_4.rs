@@ -82,7 +82,7 @@ fn main() {
         if let Some(bug) = kernel
             .bugs()
             .iter()
-            .find(|b| b.description == rec.description)
+            .find(|b| *b.description == rec.description)
         {
             shown += 1;
             println!(

@@ -27,8 +27,9 @@
 //! ```
 
 pub use snowplow_kernel::{
-    BlockId, BugId, BugInfo, BugRegistry, Coverage, CrashCategory, CrashInfo, Edge, EdgeSet,
-    Effect, ExecResult, Kernel, KernelVersion, Terminator, Vm,
+    BlockId, BugId, BugInfo, BugRegistry, CompileCache, CompileStats, CompiledKernel, Coverage,
+    CrashCategory, CrashInfo, Edge, EdgeSet, Effect, ExecResult, Kernel, KernelVersion, Terminator,
+    Vm,
 };
 pub use snowplow_pmm::dataset::{Dataset, DatasetConfig, Split};
 pub use snowplow_pmm::model::{Pmm, PmmConfig};

@@ -44,8 +44,9 @@ use crate::codec::{Dec, Enc};
 
 /// File magic: "SNOWFLT1" — Snowplow fleet snapshot, format family 1.
 const MAGIC: &[u8; 8] = b"SNOWFLT1";
-/// Format version; bump on any layout change.
-const VERSION: u32 = 1;
+/// Format version; bump on any layout change. v2 added
+/// `exec.compiled` to the serialized config.
+const VERSION: u32 = 2;
 
 /// Everything needed to resume a campaign where it left off.
 #[derive(Clone)]
@@ -144,6 +145,7 @@ fn enc_config(e: &mut Enc, c: &CampaignConfig) {
     e.usize(c.guided_use_multiplier);
     e.bool(c.hot_caches);
     e.bool(c.distance_scheduling);
+    e.bool(c.exec.compiled);
 }
 
 fn dec_config(d: &mut Dec<'_>) -> io::Result<CampaignConfig> {
@@ -168,6 +170,7 @@ fn dec_config(d: &mut Dec<'_>) -> io::Result<CampaignConfig> {
     c.guided_use_multiplier = d.usize()?;
     c.hot_caches = d.bool()?;
     c.distance_scheduling = d.bool()?;
+    c.exec.compiled = d.bool()?;
     Ok(c)
 }
 
@@ -615,7 +618,7 @@ fn dec_exec(d: &mut Dec<'_>) -> io::Result<ExecResult> {
     let crash = if d.bool()? {
         Some(CrashInfo {
             bug: BugId(d.u32()?),
-            description: d.string()?,
+            description: d.string()?.into(),
             category: dec_category(d)?,
             call_index: d.usize()?,
             block: BlockId(d.u32()?),

@@ -239,6 +239,14 @@ impl CampaignConfigBuilder {
         self
     }
 
+    /// Shorthand for setting `exec.compiled`: `true` (the default) runs
+    /// programs through the compiled executor, `false` pins the
+    /// reference interpreter. Reports are bit-identical either way.
+    pub fn compiled(mut self, on: bool) -> Self {
+        self.cfg.exec.compiled = on;
+        self
+    }
+
     pub fn max_pending_predictions(mut self, n: usize) -> Self {
         self.cfg.max_pending_predictions = n;
         self
@@ -490,7 +498,11 @@ impl<'k> RunningCampaign<'k> {
             Duration::from_secs_f64(config.exec_cost.as_secs_f64() / config.speed_factor);
         let generator = Generator::new(kernel.registry());
         let mutator = Mutator::new(kernel.registry());
-        let vm = Vm::new(kernel);
+        let vm = if config.exec.compiled {
+            Vm::new(kernel)
+        } else {
+            Vm::interpreted(kernel)
+        };
         let snapshot = vm.snapshot();
 
         // Blocks no mutation can ever reach (statically-unsatisfiable
@@ -682,11 +694,16 @@ impl<'k> RunningCampaign<'k> {
         let master = self.config.seed;
         let generator = &self.generator;
         let seed_span = self.telemetry.span_at(Phase::SeedGen, self.st.clock.now());
+        let compiled = self.config.exec.compiled;
         let seed_runs = self.config.exec.map(
             "campaign.seed_corpus",
             (0..self.config.seed_corpus).collect(),
             || {
-                let vm = Vm::new(kernel);
+                let vm = if compiled {
+                    Vm::new(kernel)
+                } else {
+                    Vm::interpreted(kernel)
+                };
                 let snap = vm.snapshot();
                 (vm, snap)
             },
@@ -699,10 +716,16 @@ impl<'k> RunningCampaign<'k> {
                 let p = generator.generate(&mut srng, 6);
                 vm.restore(snap);
                 let result = vm.execute(&p);
-                (p, result)
+                // Cap hits travel with the item (not a worker-local sum)
+                // so the sequential merge below is worker-count
+                // independent.
+                (p, result, vm.take_cfg_cap_hits())
             },
         );
-        for (p, result) in seed_runs {
+        for (p, result, cap_hits) in seed_runs {
+            if cap_hits > 0 {
+                self.telemetry.counter("exec.cfg_cap_hit", cap_hits);
+            }
             self.st.execs += 1;
             let span = self.telemetry.span_at(Phase::Execute, self.st.clock.now());
             self.st.clock.advance(self.exec_cost);
@@ -805,6 +828,14 @@ impl<'k> RunningCampaign<'k> {
     fn execute_prog(&mut self, prog: &Prog) -> usize {
         self.vm.restore(&self.snapshot);
         self.vm.execute_into(prog, &mut self.exec_buf);
+        // A handler CFG that exhausted `MAX_BLOCKS_PER_CALL` silently
+        // truncated its trace — surface it instead of swallowing it.
+        // Emitted only when nonzero so the healthy-run telemetry
+        // fingerprint is unchanged.
+        let cap_hits = self.vm.take_cfg_cap_hits();
+        if cap_hits > 0 {
+            self.telemetry.counter("exec.cfg_cap_hit", cap_hits);
+        }
         self.st.execs += 1;
         let span = self.telemetry.span_at(Phase::Execute, self.st.clock.now());
         self.st.clock.advance(self.exec_cost);
@@ -1333,6 +1364,66 @@ mod tests {
                 if snowplow {
                     assert!(cached.inferences > 0, "seed={seed}: model was queried");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_executor_preserves_reports_and_telemetry_bit_identically() {
+        // The compiled executor is a pure speed substitution: with it on
+        // or off, the campaign report fingerprint AND the full metrics
+        // snapshot must match bit for bit, for both fuzzer kinds.
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let mk_model = || {
+            Pmm::new(
+                snowplow_pmm::model::PmmConfig {
+                    dim: 16,
+                    rounds: 1,
+                    ..Default::default()
+                },
+                kernel.registry().syscall_count(),
+            )
+        };
+        for seed in [5u64, 9] {
+            for snowplow in [false, true] {
+                let run = |compiled: bool| {
+                    let (telemetry, _sink) = Telemetry::in_memory();
+                    let cfg = CampaignConfig {
+                        duration: Duration::from_secs(600),
+                        sample_every: Duration::from_secs(60),
+                        ..short_config(seed)
+                    };
+                    let cfg = CampaignConfig {
+                        exec: cfg
+                            .exec
+                            .with_telemetry(telemetry.clone())
+                            .with_compiled(compiled),
+                        ..cfg
+                    };
+                    let kind = if snowplow {
+                        FuzzerKind::Snowplow {
+                            model: Box::new(mk_model()),
+                        }
+                    } else {
+                        FuzzerKind::Syzkaller
+                    };
+                    let report = Campaign::new(&kernel, kind, cfg).run();
+                    (report, telemetry.snapshot().to_jsonl())
+                };
+                let (compiled, compiled_tel) = run(true);
+                let (interp, interp_tel) = run(false);
+                assert_eq!(
+                    compiled.fingerprint(),
+                    interp.fingerprint(),
+                    "seed={seed} snowplow={snowplow}"
+                );
+                assert_eq!(compiled_tel, interp_tel, "seed={seed} snowplow={snowplow}");
+                // A healthy run never hits the CFG step cap, so the
+                // counter must be absent from the snapshot entirely.
+                assert!(
+                    !compiled_tel.contains("exec.cfg_cap_hit"),
+                    "cap-hit counter leaked into a healthy run"
+                );
             }
         }
     }

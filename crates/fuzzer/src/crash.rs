@@ -56,15 +56,18 @@ impl CrashLog {
             self.filtered += 1;
             return false;
         }
-        if let Some(r) = self.records.get_mut(&info.description) {
+        if let Some(r) = self.records.get_mut(&*info.description) {
             r.count += 1;
             return false;
         }
-        let known = self.known_signatures.contains(&info.description);
+        let known = self
+            .known_signatures
+            .iter()
+            .any(|s| s.as_str() == &*info.description);
         self.records.insert(
-            info.description.clone(),
+            info.description.to_string(),
             CrashRecord {
-                description: info.description.clone(),
+                description: info.description.to_string(),
                 category: info.category,
                 known,
                 first_found: now,
@@ -125,7 +128,7 @@ mod tests {
     fn info(desc: &str, cat: CrashCategory) -> CrashInfo {
         CrashInfo {
             bug: snowplow_kernel::BugId(0),
-            description: desc.to_string(),
+            description: desc.into(),
             category: cat,
             call_index: 0,
             block: BlockId(0),

@@ -53,21 +53,21 @@ fn hash_mix(a: u64, b: u64) -> u64 {
 pub fn attempt_reproducer(kernel: &Kernel, witness: &Prog, description: &str) -> ReproOutcome {
     let mut vm = Vm::new(kernel);
     let snap = vm.snapshot();
-    let crash_of = |vm: &mut Vm<'_>, p: &Prog| -> Option<String> {
+    let crash_of = |vm: &mut Vm<'_>, p: &Prog| -> Option<std::sync::Arc<str>> {
         vm.restore(&snap);
         vm.execute(p).crash.map(|c| c.description)
     };
     let Some(desc) = crash_of(&mut vm, witness) else {
         return ReproOutcome::NoCrash;
     };
-    if desc != description {
+    if &*desc != description {
         return ReproOutcome::NoCrash;
     }
     // Look the bug up to model concurrency sensitivity.
     let bug = kernel
         .bugs()
         .iter()
-        .find(|b| b.description == description)
+        .find(|b| &*b.description == description)
         .cloned();
     if let Some(bug) = bug {
         if is_concurrency_sensitive(&bug) {

@@ -16,6 +16,7 @@
 //! reproducers contained the `ioctl`).
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::block::BlockId;
 
@@ -91,8 +92,13 @@ pub struct BugInfo {
     /// Detector category.
     pub category: CrashCategory,
     /// Stable crash signature, e.g.
-    /// `general protection fault in sim_ioctl_watch_queue`.
-    pub description: String,
+    /// `general protection fault in sim_ioctl_watch_queue`. Interned
+    /// once at registration: every [`CrashInfo`] built from this bug
+    /// shares the allocation, so a hot loop that keeps hitting the same
+    /// crash never allocates on the crash path.
+    ///
+    /// [`CrashInfo`]: crate::vm::CrashInfo
+    pub description: Arc<str>,
     /// The kernel function (handler) name the crash manifests in.
     pub location: String,
     /// Whether the simulated Syzbot list (bugs found since 2018) contains
@@ -132,7 +138,7 @@ impl BugRegistry {
     ) -> BugId {
         let id = BugId(self.bugs.len() as u32);
         let location = location.into();
-        let description = format!("{} in {}", category.label(), location);
+        let description: Arc<str> = format!("{} in {}", category.label(), location).into();
         self.bugs.push(BugInfo {
             id,
             category,
@@ -173,7 +179,7 @@ impl BugRegistry {
         self.bugs
             .iter()
             .filter(|b| b.known)
-            .map(|b| b.description.clone())
+            .map(|b| b.description.to_string())
             .collect()
     }
 }
@@ -203,7 +209,7 @@ mod tests {
         );
         assert_eq!(r.len(), 2);
         assert_eq!(
-            r.info(root).description,
+            &*r.info(root).description,
             "KASAN: slab-out-of-bounds Write in sim_ata_pio_sector"
         );
         assert_eq!(r.info(derived).root_cause, Some(root));

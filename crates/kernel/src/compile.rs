@@ -1,0 +1,715 @@
+//! The compiled executor: handler CFGs lowered to threaded code.
+//!
+//! The interpreting [`Vm`] loop pays three indirections per executed
+//! block: a `kernel.block(cur)` lookup in the *global* block table, a
+//! recursive [`Predicate::eval`] walk through an `ArgPath` (re-checking
+//! `top_arg` and re-slicing segments every time), and an enum dispatch
+//! per effect. None of that work depends on the program under test — it
+//! is a pure function of the kernel build. Following the sfuzz playbook
+//! (translate guest code once, run the translation many times), this
+//! module compiles each handler CFG once per kernel build into a dense
+//! array of [`Instr`]s:
+//!
+//! * block indices are pre-resolved — a branch stores the *instruction
+//!   index* of each successor, so dispatch is an array index, not a
+//!   global-table lookup;
+//! * branch predicates are lowered from the recursive [`Predicate`]
+//!   tree into flat non-recursive opcodes ([`CPred`]) whose argument
+//!   accessors pre-split the `ArgPath` into a top-level argument index
+//!   plus a slice into a per-handler segment pool;
+//! * effects are inlined into a flat pool referenced by `(start, end)`
+//!   ranges (no per-block `Vec` indirection), with structurally
+//!   unresolvable `CloseArg` paths dropped at compile time;
+//! * crash checks carry the interned bug description
+//!   ([`Arc<str>`], shared with [`BugInfo`]) and the detector category,
+//!   so the crash path clones a pointer, never a string;
+//! * the resource kind a successful return produces is pre-resolved
+//!   from the registry (the interpreter re-queries it per call).
+//!
+//! **Determinism argument.** The compiled form is bit-identical to the
+//! interpreter because (a) instruction order inside a call is fully
+//! determined by the CFG walk, which both executors perform identically
+//! — same entry, same successor choice per terminator; (b) every
+//! comparison is evaluated by the *same* helper functions
+//! ([`predicate::eval`]) over the same [`ArgView`]s, produced by the
+//! same [`Arg::descend`] walk; and (c) the per-call epilogue (exit-block
+//! check, resource production, cap handling) is shared verbatim. The
+//! `compiled_equiv` proptest and the campaign goldens pin this.
+//!
+//! Compilation results are cached process-wide per kernel *fingerprint*
+//! in [`CompileCache`] (mirroring the analysis crate's `AnalysisCache`:
+//! version + block count + edge count keeps structurally different
+//! builds of the same version apart). Hit/miss and compile-time
+//! counters live on the cache itself, not in campaign telemetry —
+//! cache hits depend on process history, and campaign telemetry
+//! snapshots must stay a pure function of `(kernel, config, seed)`.
+//!
+//! [`Vm`]: crate::vm::Vm
+//! [`BugInfo`]: crate::bugs::BugInfo
+//! [`ArgView`]: snowplow_prog::ArgView
+//! [`Arg::descend`]: snowplow_prog::Arg::descend
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use snowplow_prog::{Arg, ArgView, Call, ResSource};
+use snowplow_syslang::{ArgPath, PathSegment, ResourceId, SyscallId};
+
+use crate::block::{BlockId, Effect, HandlerCfg, Terminator};
+use crate::bugs::{BugId, CrashCategory};
+use crate::kernel::Kernel;
+use crate::predicate::{eval, Predicate};
+use crate::state::{Handle, KernelState, StateVar};
+use crate::version::KernelVersion;
+use crate::vm::MAX_BLOCKS_PER_CALL;
+
+/// Pre-resolved argument accessor: the top-level argument index plus a
+/// window into the owning handler's flat [`PathSegment`] pool. Resolving
+/// it performs exactly the walk `Call::view_at` performs — minus the
+/// per-evaluation `top_arg` check and path re-slicing, which happened
+/// once at compile time.
+#[derive(Debug, Clone, Copy)]
+struct Accessor {
+    arg: u16,
+    seg_start: u32,
+    seg_len: u16,
+}
+
+impl Accessor {
+    #[inline]
+    fn resolve<'a>(&self, call: &'a Call, segs: &[PathSegment]) -> Option<&'a Arg> {
+        let s = self.seg_start as usize;
+        call.args
+            .get(self.arg as usize)?
+            .descend(&segs[s..s + self.seg_len as usize])
+    }
+
+    #[inline]
+    fn view<'a>(&self, call: &'a Call, segs: &[PathSegment]) -> Option<ArgView<'a>> {
+        self.resolve(call, segs).map(Arg::view)
+    }
+}
+
+/// A [`Predicate`] lowered to a flat, non-recursive opcode.
+#[derive(Debug, Clone)]
+enum CPred {
+    ArgEq {
+        acc: Accessor,
+        value: u64,
+    },
+    ArgMaskEq {
+        acc: Accessor,
+        mask: u64,
+        value: u64,
+    },
+    ArgInRange {
+        acc: Accessor,
+        lo: u64,
+        hi: u64,
+    },
+    DataLenGt {
+        acc: Accessor,
+        len: u64,
+    },
+    IsNull {
+        acc: Accessor,
+    },
+    NotNull {
+        acc: Accessor,
+    },
+    UnionIs {
+        acc: Accessor,
+        variant: u16,
+    },
+    ResValid {
+        acc: Accessor,
+        kind: ResourceId,
+    },
+    StateCounterGe {
+        var: StateVar,
+        value: u64,
+    },
+    StateFlag {
+        var: StateVar,
+    },
+    Poisoned,
+    /// The predicate's path names no top-level argument, so no program
+    /// structure can ever satisfy it (mirrors `view_at` → `None`).
+    Never,
+}
+
+impl CPred {
+    #[inline]
+    fn eval(
+        &self,
+        call: &Call,
+        state: &KernelState,
+        produced: &[Option<Handle>],
+        segs: &[PathSegment],
+    ) -> bool {
+        match self {
+            CPred::ArgEq { acc, value } => eval::int_eq(acc.view(call, segs), *value),
+            CPred::ArgMaskEq { acc, mask, value } => {
+                eval::int_mask_eq(acc.view(call, segs), *mask, *value)
+            }
+            CPred::ArgInRange { acc, lo, hi } => eval::int_in_range(acc.view(call, segs), *lo, *hi),
+            CPred::DataLenGt { acc, len } => eval::data_len_gt(acc.view(call, segs), *len),
+            CPred::IsNull { acc } => eval::is_null(acc.view(call, segs)),
+            CPred::NotNull { acc } => eval::not_null(acc.view(call, segs)),
+            CPred::UnionIs { acc, variant } => eval::union_is(acc.view(call, segs), *variant),
+            CPred::ResValid { acc, kind } => {
+                eval::res_valid(acc.view(call, segs), *kind, state, |src| match src {
+                    ResSource::Ref(i) => produced.get(i).copied().flatten(),
+                    ResSource::Special(_) => None,
+                })
+            }
+            CPred::StateCounterGe { var, value } => state.counter(*var) >= *value,
+            CPred::StateFlag { var } => state.flag(*var),
+            CPred::Poisoned => state.is_poisoned(),
+            CPred::Never => false,
+        }
+    }
+}
+
+/// An [`Effect`] with its `CloseArg` path pre-resolved to an accessor.
+#[derive(Debug, Clone)]
+enum CEffect {
+    Inc(StateVar),
+    Dec(StateVar),
+    SetFlag(StateVar),
+    ClearFlag(StateVar),
+    Poison,
+    CloseRes(Accessor),
+}
+
+impl CEffect {
+    #[inline]
+    fn apply(
+        &self,
+        call: &Call,
+        state: &mut KernelState,
+        produced: &[Option<Handle>],
+        segs: &[PathSegment],
+    ) {
+        match self {
+            CEffect::Inc(v) => state.inc(*v),
+            CEffect::Dec(v) => state.dec(*v),
+            CEffect::SetFlag(v) => state.set_flag(*v),
+            CEffect::ClearFlag(v) => state.clear_flag(*v),
+            CEffect::Poison => state.poison(),
+            CEffect::CloseRes(acc) => {
+                if let Some(Arg::Res {
+                    source: ResSource::Ref(i),
+                }) = acc.resolve(call, segs)
+                {
+                    if let Some(h) = produced.get(*i).copied().flatten() {
+                        state.kill_resource(h);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The crash half of an instruction: everything a [`CrashInfo`] needs
+/// except the call index, pre-fetched from the bug registry.
+///
+/// [`CrashInfo`]: crate::vm::CrashInfo
+#[derive(Debug, Clone)]
+struct CCrash {
+    bug: BugId,
+    description: Arc<str>,
+    category: CrashCategory,
+}
+
+/// How control leaves a compiled instruction. Successors are
+/// *instruction indices* within the owning [`CompiledHandler`].
+#[derive(Debug, Clone)]
+enum CTerm {
+    Jump(u32),
+    Branch {
+        pred: CPred,
+        taken: u32,
+        fallthrough: u32,
+    },
+    Return,
+}
+
+/// One basic block, flattened: trace emission, effects, crash check,
+/// and dispatch folded into a single record.
+#[derive(Debug, Clone)]
+struct Instr {
+    /// Global block id, pushed onto the trace when the instruction runs.
+    block: BlockId,
+    /// Effect range in the handler's effect pool.
+    eff_start: u32,
+    eff_end: u32,
+    crash: Option<CCrash>,
+    term: CTerm,
+}
+
+/// How one compiled call ended.
+pub(crate) enum RunOutcome {
+    /// The handler returned (or hit the block cap).
+    Done {
+        /// Whether control left through the handler's normal exit block
+        /// (error exits model failed producers).
+        exited_ok: bool,
+    },
+    /// An injected bug fired.
+    Crash {
+        bug: BugId,
+        description: Arc<str>,
+        category: CrashCategory,
+        block: BlockId,
+    },
+}
+
+/// One handler CFG compiled to threaded code. Entry is instruction 0.
+#[derive(Debug)]
+pub struct CompiledHandler {
+    instrs: Vec<Instr>,
+    effects: Vec<CEffect>,
+    segs: Vec<PathSegment>,
+    exit: BlockId,
+    /// Resource kind a successful return produces, pre-resolved from
+    /// the registry's syscall definition.
+    ret_kind: Option<ResourceId>,
+}
+
+impl CompiledHandler {
+    fn compile(kernel: &Kernel, handler: &HandlerCfg) -> CompiledHandler {
+        // Layout: DFS preorder from the entry (taken edge first), so hot
+        // fallthrough chains sit contiguously; any block the walk never
+        // reaches is appended afterwards to keep the translation total.
+        let mut order: Vec<BlockId> = Vec::with_capacity(handler.blocks.len());
+        let mut index_of: HashMap<BlockId, u32> = HashMap::with_capacity(handler.blocks.len());
+        let mut stack = vec![handler.entry];
+        while let Some(b) = stack.pop() {
+            if index_of.contains_key(&b) {
+                continue;
+            }
+            index_of.insert(b, order.len() as u32);
+            order.push(b);
+            // Push fallthrough first so the taken side is visited (and
+            // laid out) immediately after its branch.
+            let succs: Vec<BlockId> = kernel.block(b).term.successors().collect();
+            for s in succs.into_iter().rev() {
+                stack.push(s);
+            }
+        }
+        for &b in &handler.blocks {
+            if let std::collections::hash_map::Entry::Vacant(e) = index_of.entry(b) {
+                e.insert(order.len() as u32);
+                order.push(b);
+            }
+        }
+
+        let mut out = CompiledHandler {
+            instrs: Vec::with_capacity(order.len()),
+            effects: Vec::new(),
+            segs: Vec::new(),
+            exit: handler.exit,
+            ret_kind: kernel.registry().syscall(handler.syscall).ret,
+        };
+        for &bid in &order {
+            let block = kernel.block(bid);
+            let eff_start = out.effects.len() as u32;
+            for eff in &block.effects {
+                if let Some(ce) = lower_effect(eff, &mut out.segs) {
+                    out.effects.push(ce);
+                }
+            }
+            let eff_end = out.effects.len() as u32;
+            let crash = block.crash.map(|bug| {
+                let info = kernel.bugs().info(bug);
+                CCrash {
+                    bug,
+                    description: info.description.clone(),
+                    category: info.category,
+                }
+            });
+            let resolve_target = |t: BlockId| -> u32 {
+                *index_of
+                    .get(&t)
+                    .expect("handler CFG successor stays within the handler")
+            };
+            let term = match &block.term {
+                Terminator::Jump(t) => CTerm::Jump(resolve_target(*t)),
+                Terminator::Branch {
+                    pred,
+                    taken,
+                    fallthrough,
+                } => CTerm::Branch {
+                    pred: lower_pred(pred, &mut out.segs),
+                    taken: resolve_target(*taken),
+                    fallthrough: resolve_target(*fallthrough),
+                },
+                Terminator::Return => CTerm::Return,
+            };
+            out.instrs.push(Instr {
+                block: bid,
+                eff_start,
+                eff_end,
+                crash,
+                term,
+            });
+        }
+        out
+    }
+
+    /// The resource kind a return through the normal exit produces.
+    #[inline]
+    pub(crate) fn ret_kind(&self) -> Option<ResourceId> {
+        self.ret_kind
+    }
+
+    /// Runs one call to completion, appending the executed blocks to
+    /// both `ct` (the per-call trace) and `trace` (the flat program
+    /// trace). The walk, the cap handling, and the exit-block check are
+    /// step-for-step identical to the interpreting loop in
+    /// [`Vm::execute_into`].
+    ///
+    /// [`Vm::execute_into`]: crate::vm::Vm::execute_into
+    pub(crate) fn run_call(
+        &self,
+        call: &Call,
+        state: &mut KernelState,
+        produced: &[Option<Handle>],
+        ct: &mut Vec<BlockId>,
+        trace: &mut Vec<BlockId>,
+        cap_hits: &mut u64,
+    ) -> RunOutcome {
+        let mut ip = 0usize;
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            if steps > MAX_BLOCKS_PER_CALL {
+                *cap_hits += 1;
+                debug_assert!(false, "handler CFG cycle detected");
+                break;
+            }
+            let instr = &self.instrs[ip];
+            ct.push(instr.block);
+            trace.push(instr.block);
+            for eff in &self.effects[instr.eff_start as usize..instr.eff_end as usize] {
+                eff.apply(call, state, produced, &self.segs);
+            }
+            if let Some(crash) = &instr.crash {
+                return RunOutcome::Crash {
+                    bug: crash.bug,
+                    description: crash.description.clone(),
+                    category: crash.category,
+                    block: instr.block,
+                };
+            }
+            match &instr.term {
+                CTerm::Jump(t) => ip = *t as usize,
+                CTerm::Branch {
+                    pred,
+                    taken,
+                    fallthrough,
+                } => {
+                    ip = if pred.eval(call, state, produced, &self.segs) {
+                        *taken as usize
+                    } else {
+                        *fallthrough as usize
+                    };
+                }
+                CTerm::Return => break,
+            }
+        }
+        RunOutcome::Done {
+            exited_ok: ct.last() == Some(&self.exit),
+        }
+    }
+
+    /// Number of compiled instructions (== blocks of the handler).
+    pub fn instr_count(&self) -> usize {
+        self.instrs.len()
+    }
+}
+
+fn lower_path(path: &ArgPath, segs: &mut Vec<PathSegment>) -> Option<Accessor> {
+    let arg = path.top_arg()?;
+    let rest = &path.segments()[1..];
+    let seg_start = segs.len() as u32;
+    segs.extend_from_slice(rest);
+    Some(Accessor {
+        arg: arg as u16,
+        seg_start,
+        seg_len: rest.len() as u16,
+    })
+}
+
+fn lower_pred(pred: &Predicate, segs: &mut Vec<PathSegment>) -> CPred {
+    // A path without a top-level argument segment can never resolve;
+    // the interpreter evaluates such predicates to false, so the
+    // compiled form pins that with an explicit opcode.
+    macro_rules! acc {
+        ($path:expr) => {
+            match lower_path($path, segs) {
+                Some(a) => a,
+                None => return CPred::Never,
+            }
+        };
+    }
+    match pred {
+        Predicate::ArgEq { path, value } => CPred::ArgEq {
+            acc: acc!(path),
+            value: *value,
+        },
+        Predicate::ArgMaskEq { path, mask, value } => CPred::ArgMaskEq {
+            acc: acc!(path),
+            mask: *mask,
+            value: *value,
+        },
+        Predicate::ArgInRange { path, lo, hi } => CPred::ArgInRange {
+            acc: acc!(path),
+            lo: *lo,
+            hi: *hi,
+        },
+        Predicate::DataLenGt { path, len } => CPred::DataLenGt {
+            acc: acc!(path),
+            len: *len,
+        },
+        Predicate::IsNull { path } => CPred::IsNull { acc: acc!(path) },
+        Predicate::NotNull { path } => CPred::NotNull { acc: acc!(path) },
+        Predicate::UnionIs { path, variant } => CPred::UnionIs {
+            acc: acc!(path),
+            variant: *variant,
+        },
+        Predicate::ResValid { path, kind } => CPred::ResValid {
+            acc: acc!(path),
+            kind: *kind,
+        },
+        Predicate::StateCounterGe { var, value } => CPred::StateCounterGe {
+            var: *var,
+            value: *value,
+        },
+        Predicate::StateFlag { var } => CPred::StateFlag { var: *var },
+        Predicate::Poisoned => CPred::Poisoned,
+    }
+}
+
+fn lower_effect(eff: &Effect, segs: &mut Vec<PathSegment>) -> Option<CEffect> {
+    Some(match eff {
+        Effect::Inc(v) => CEffect::Inc(*v),
+        Effect::Dec(v) => CEffect::Dec(*v),
+        Effect::SetFlag(v) => CEffect::SetFlag(*v),
+        Effect::ClearFlag(v) => CEffect::ClearFlag(*v),
+        Effect::Poison => CEffect::Poison,
+        // A CloseArg whose path names no top-level argument can never
+        // resolve a resource — the interpreter's no-op, dropped here.
+        Effect::CloseArg { path } => CEffect::CloseRes(lower_path(path, segs)?),
+    })
+}
+
+/// Every handler of one kernel build, compiled.
+#[derive(Debug)]
+pub struct CompiledKernel {
+    version: KernelVersion,
+    handlers: Vec<CompiledHandler>,
+}
+
+impl CompiledKernel {
+    /// Compiles all handlers of `kernel`. Use [`CompileCache::compiled`]
+    /// (or [`Vm::new`], which goes through the shared cache) instead of
+    /// calling this per VM.
+    ///
+    /// [`Vm::new`]: crate::vm::Vm::new
+    pub fn compile(kernel: &Kernel) -> CompiledKernel {
+        CompiledKernel {
+            version: kernel.version(),
+            handlers: kernel
+                .handlers()
+                .iter()
+                .map(|h| CompiledHandler::compile(kernel, h))
+                .collect(),
+        }
+    }
+
+    /// The kernel version this translation was built from.
+    pub fn version(&self) -> KernelVersion {
+        self.version
+    }
+
+    /// The compiled form of one handler.
+    #[inline]
+    pub(crate) fn handler(&self, id: SyscallId) -> &CompiledHandler {
+        &self.handlers[id.index()]
+    }
+
+    /// Total compiled instructions across all handlers.
+    pub fn instr_count(&self) -> usize {
+        self.handlers.iter().map(|h| h.instrs.len()).sum()
+    }
+}
+
+/// Identifies one kernel build (same scheme as the analysis cache):
+/// version alone is not enough because tests build non-default kernels
+/// of the same version, and a stale translation executed against a
+/// structurally different CFG would be garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Fingerprint {
+    version: KernelVersion,
+    block_count: usize,
+    edge_count: usize,
+}
+
+impl Fingerprint {
+    fn of(kernel: &Kernel) -> Self {
+        Fingerprint {
+            version: kernel.version(),
+            block_count: kernel.block_count(),
+            edge_count: kernel.cfg().edge_count(),
+        }
+    }
+}
+
+/// Compile-cache counters, queryable via [`CompileCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Lookups served from an existing translation.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Total wall-clock time spent compiling.
+    pub compile_time: Duration,
+}
+
+impl CompileStats {
+    /// Fraction of lookups served from the cache (0 when empty).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Process-shared memo of compiled kernels, fingerprint-keyed. A VM
+/// boot against an already-seen kernel build is a map lookup plus an
+/// `Arc` clone; only the first boot per build pays the translation.
+#[derive(Default)]
+pub struct CompileCache {
+    entries: Mutex<HashMap<Fingerprint, Arc<CompiledKernel>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    compile_nanos: AtomicU64,
+}
+
+impl CompileCache {
+    /// An empty cache (tests; production code uses [`Self::shared`]).
+    pub fn new() -> Self {
+        CompileCache::default()
+    }
+
+    /// The process-wide shared instance.
+    pub fn shared() -> &'static CompileCache {
+        static SHARED: OnceLock<CompileCache> = OnceLock::new();
+        SHARED.get_or_init(CompileCache::new)
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> CompileStats {
+        CompileStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            compile_time: Duration::from_nanos(self.compile_nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// The compiled form of `kernel`, translating on first use.
+    /// Compilation happens under the map lock: it runs once per kernel
+    /// build for the process lifetime, and serializing it keeps
+    /// concurrently booting VMs from compiling the same build twice.
+    pub fn compiled(&self, kernel: &Kernel) -> Arc<CompiledKernel> {
+        let fp = Fingerprint::of(kernel);
+        let mut map = self.entries.lock().expect("compile cache poisoned");
+        if let Some(ck) = map.get(&fp) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return ck.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let ck = Arc::new(CompiledKernel::compile(kernel));
+        self.compile_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        map.insert(fp, ck.clone());
+        ck
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_covers_every_handler_block() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let ck = CompiledKernel::compile(&kernel);
+        for h in kernel.handlers() {
+            let ch = ck.handler(h.syscall);
+            assert_eq!(ch.instr_count(), h.blocks.len());
+            // Entry is instruction 0.
+            assert_eq!(ch.instrs[0].block, h.entry);
+            // Every successor index stays in range.
+            for instr in &ch.instrs {
+                match &instr.term {
+                    CTerm::Jump(t) => assert!((*t as usize) < ch.instrs.len()),
+                    CTerm::Branch {
+                        taken, fallthrough, ..
+                    } => {
+                        assert!((*taken as usize) < ch.instrs.len());
+                        assert!((*fallthrough as usize) < ch.instrs.len());
+                    }
+                    CTerm::Return => {}
+                }
+            }
+        }
+        assert_eq!(ck.instr_count(), kernel.block_count());
+    }
+
+    #[test]
+    fn crash_descriptions_are_shared_with_the_registry() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let ck = CompiledKernel::compile(&kernel);
+        for h in kernel.handlers() {
+            for instr in &ck.handler(h.syscall).instrs {
+                if let Some(crash) = &instr.crash {
+                    let info = kernel.bugs().info(crash.bug);
+                    assert!(Arc::ptr_eq(&crash.description, &info.description));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_after_first_compile_and_keeps_builds_apart() {
+        let a = Kernel::build(KernelVersion::V6_8);
+        let b = Kernel::build(KernelVersion::V6_10);
+        let cache = CompileCache::new();
+        let ca = cache.compiled(&a);
+        let ca2 = cache.compiled(&a);
+        assert!(Arc::ptr_eq(&ca, &ca2));
+        let cb = cache.compiled(&b);
+        assert_eq!(cb.version(), KernelVersion::V6_10);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert!(stats.hit_rate() > 0.3);
+        assert!(stats.compile_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn shared_cache_is_a_singleton() {
+        let a = CompileCache::shared() as *const _;
+        let b = CompileCache::shared() as *const _;
+        assert_eq!(a, b);
+    }
+}

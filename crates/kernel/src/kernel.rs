@@ -468,7 +468,7 @@ mod tests {
         assert!(c.block_count() > b.block_count());
         // Same bug descriptions across versions.
         let descs = |k: &Kernel| -> Vec<String> {
-            k.bugs().iter().map(|x| x.description.clone()).collect()
+            k.bugs().iter().map(|x| x.description.to_string()).collect()
         };
         assert_eq!(descs(&a), descs(&b));
         assert_eq!(descs(&b), descs(&c));

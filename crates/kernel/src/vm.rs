@@ -7,27 +7,43 @@
 //! crash. [`Vm::snapshot`] / [`Vm::restore`] reproduce the paper's
 //! snapshot-per-test determinism discipline (§3.1): restoring before each
 //! execution guarantees identical traces for identical programs.
+//!
+//! Two executors produce that walk. [`Vm::new`] boots with the handler
+//! CFGs *compiled* to threaded code (see [`crate::compile`]; the
+//! translation is shared process-wide per kernel build), which is what
+//! every production loop runs. [`Vm::interpreted`] keeps the direct
+//! CFG interpreter selectable — the reference implementation the
+//! compiled form is tested bit-identical against, and the executor the
+//! `exec.compiled = false` campaign flag selects.
+
+use std::sync::Arc;
 
 use snowplow_prog::{Arg, Call, Prog, ResSource};
 use snowplow_syslang::ArgPath;
 
 use crate::block::{BlockId, Effect, Terminator};
 use crate::bugs::{BugId, CrashCategory};
+use crate::compile::{CompileCache, CompiledKernel, RunOutcome};
 use crate::coverage::{Coverage, EdgeSet};
 use crate::kernel::Kernel;
 use crate::state::{Handle, KernelState};
 
 /// Upper bound on blocks executed per call (handler CFGs are DAGs by
 /// construction; the cap guards against future construction bugs).
-const MAX_BLOCKS_PER_CALL: usize = 4096;
+/// Overflowing it is counted in [`Vm::take_cfg_cap_hits`] — and is a
+/// hard (debug-assertion) error under tests, where silent trace
+/// truncation would invalidate whatever the test measures.
+pub(crate) const MAX_BLOCKS_PER_CALL: usize = 4096;
 
 /// A crash observed during execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CrashInfo {
     /// Which injected bug fired.
     pub bug: BugId,
-    /// Stable signature (`<detector> in <location>`).
-    pub description: String,
+    /// Stable signature (`<detector> in <location>`), shared with the
+    /// bug registry's interned string — building a `CrashInfo` clones a
+    /// pointer, not the signature bytes.
+    pub description: Arc<str>,
     /// Detector category.
     pub category: CrashCategory,
     /// Index of the crashing call within the program.
@@ -93,28 +109,67 @@ pub struct Snapshot {
 #[derive(Debug)]
 pub struct Vm<'k> {
     kernel: &'k Kernel,
+    /// The threaded-code translation of the kernel's handlers, shared
+    /// process-wide. `None` selects the reference interpreter.
+    compiled: Option<Arc<CompiledKernel>>,
     state: KernelState,
     /// Scratch for the per-call produced-resource table, reused across
     /// executions.
     produced_scratch: Vec<Option<Handle>>,
     /// Retired per-call trace buffers, recycled by [`Vm::execute_into`].
     ct_spare: Vec<Vec<BlockId>>,
+    /// Times the [`MAX_BLOCKS_PER_CALL`] cap truncated a call since the
+    /// last [`Vm::take_cfg_cap_hits`]. Always 0 for well-formed (DAG)
+    /// handler CFGs.
+    cfg_cap_hits: u64,
 }
 
 impl<'k> Vm<'k> {
-    /// Boots a pristine VM.
+    /// Boots a pristine VM running the compiled executor (fetching the
+    /// kernel's translation from the process-wide [`CompileCache`]).
     pub fn new(kernel: &'k Kernel) -> Self {
         Vm {
             kernel,
+            compiled: Some(CompileCache::shared().compiled(kernel)),
             state: KernelState::new(),
             produced_scratch: Vec::new(),
             ct_spare: Vec::new(),
+            cfg_cap_hits: 0,
+        }
+    }
+
+    /// Boots a pristine VM running the direct CFG interpreter. Produces
+    /// results bit-identical to [`Vm::new`]'s — the `compiled_equiv`
+    /// golden pins that — just slower; it exists as the reference
+    /// executor and for the `exec.compiled = false` escape hatch.
+    pub fn interpreted(kernel: &'k Kernel) -> Self {
+        Vm {
+            kernel,
+            compiled: None,
+            state: KernelState::new(),
+            produced_scratch: Vec::new(),
+            ct_spare: Vec::new(),
+            cfg_cap_hits: 0,
         }
     }
 
     /// The kernel this VM runs.
     pub fn kernel(&self) -> &'k Kernel {
         self.kernel
+    }
+
+    /// Whether this VM dispatches through the compiled executor.
+    pub fn is_compiled(&self) -> bool {
+        self.compiled.is_some()
+    }
+
+    /// Drains the count of calls truncated by the per-call block cap
+    /// since the last drain. Nonzero only if a handler CFG contains a
+    /// cycle (a construction bug); the campaign loop surfaces it as the
+    /// `exec.cfg_cap_hit` telemetry counter instead of letting release
+    /// builds silently truncate traces.
+    pub fn take_cfg_cap_hits(&mut self) -> u64 {
+        std::mem::take(&mut self.cfg_cap_hits)
     }
 
     /// Read-only view of the current state.
@@ -162,6 +217,76 @@ impl<'k> Vm<'k> {
         produced.clear();
         produced.resize(prog.len(), None);
 
+        if self.compiled.is_some() {
+            self.run_compiled(prog, out, &mut produced);
+        } else {
+            self.run_interpreted(prog, out, &mut produced);
+        }
+
+        self.produced_scratch = produced;
+    }
+
+    /// The compiled executor: per call, one dense instruction walk (see
+    /// [`crate::compile`]). Observable behavior is identical to
+    /// [`Vm::run_interpreted`]'s.
+    fn run_compiled(&mut self, prog: &Prog, out: &mut ExecResult, produced: &mut [Option<Handle>]) {
+        let ck = self
+            .compiled
+            .as_ref()
+            .expect("run_compiled requires a translation")
+            .clone();
+        'calls: for (ci, call) in prog.calls.iter().enumerate() {
+            let ch = ck.handler(call.def);
+            let mut ct = self.ct_spare.pop().unwrap_or_default();
+            let outcome = ch.run_call(
+                call,
+                &mut self.state,
+                produced,
+                &mut ct,
+                &mut out.trace,
+                &mut self.cfg_cap_hits,
+            );
+            match outcome {
+                RunOutcome::Crash {
+                    bug,
+                    description,
+                    category,
+                    block,
+                } => {
+                    out.crash = Some(CrashInfo {
+                        bug,
+                        description,
+                        category,
+                        call_index: ci,
+                        block,
+                    });
+                    out.call_traces.push(ct);
+                    break 'calls;
+                }
+                RunOutcome::Done { exited_ok } => {
+                    // Resource production: only a return through the
+                    // normal exit yields a resource (error exits model
+                    // failed producers).
+                    if exited_ok {
+                        if let Some(kind) = ch.ret_kind() {
+                            produced[ci] = Some(self.state.produce_resource(kind));
+                        }
+                    }
+                    out.completed_calls += 1;
+                    out.call_traces.push(ct);
+                }
+            }
+        }
+    }
+
+    /// The reference interpreter: per executed block, a global-table
+    /// lookup, a recursive predicate walk, and per-effect dispatch.
+    fn run_interpreted(
+        &mut self,
+        prog: &Prog,
+        out: &mut ExecResult,
+        produced: &mut [Option<Handle>],
+    ) {
         'calls: for (ci, call) in prog.calls.iter().enumerate() {
             let handler = self.kernel.handler(call.def);
             let mut cur = handler.entry;
@@ -170,6 +295,7 @@ impl<'k> Vm<'k> {
             loop {
                 steps += 1;
                 if steps > MAX_BLOCKS_PER_CALL {
+                    self.cfg_cap_hits += 1;
                     debug_assert!(false, "handler CFG cycle detected");
                     break;
                 }
@@ -178,7 +304,7 @@ impl<'k> Vm<'k> {
                 let block = self.kernel.block(cur);
                 // Effects first (the "instruction body" of the block).
                 for eff in &block.effects {
-                    self.apply_effect(eff, call, &produced);
+                    self.apply_effect(eff, call, produced);
                 }
                 // Injected crash?
                 if let Some(bug) = block.crash {
@@ -227,8 +353,6 @@ impl<'k> Vm<'k> {
             out.completed_calls += 1;
             out.call_traces.push(ct);
         }
-
-        self.produced_scratch = produced;
     }
 
     fn apply_effect(&mut self, eff: &Effect, call: &Call, produced: &[Option<Handle>]) {
@@ -474,7 +598,7 @@ mod tests {
         let known = k.bugs().known_signatures();
         assert!(known.len() >= 10);
         for b in k.bugs().iter().filter(|b| b.known) {
-            assert!(known.contains(&b.description));
+            assert!(known.iter().any(|s| **s == *b.description));
         }
     }
 

@@ -95,7 +95,7 @@ fn campaign_crashes_are_reproducible_programs() {
                 assert!(min.len() <= rec.witness.len());
                 let mut vm = Vm::new(&kernel);
                 let crash = vm.execute(&min).crash.expect("minimized prog crashes");
-                assert_eq!(crash.description, rec.description);
+                assert_eq!(&*crash.description, rec.description);
             }
             ReproOutcome::NotReproducible => {}
             ReproOutcome::NoCrash => panic!("witness for {} does not replay", rec.description),

@@ -26,6 +26,12 @@
 #                      proptest, the campaign/telemetry identity golden,
 #                      and a compile check of the exec_throughput
 #                      microbenches.
+#   ./ci.sh inference  the focused inference gate: tiled-GEMM and
+#                      parallel-matmul kernel-equality tests (bit
+#                      identity at workers 1/2/8), the f16 quantization
+#                      tolerance golden, the replica-serving tests, and
+#                      a compile check of the gemm_tiled /
+#                      predict_replicas microbenches.
 #   ./ci.sh bench      the full gate, then the bench-regression guard:
 #                      regenerates BENCH_perf.jsonl with perf_sec55
 #                      (which flushes every measurement through the
@@ -80,6 +86,24 @@ if [[ "${1:-}" == "exec" ]]; then
     cargo test -q -p snowplow-kernel --test compiled_equiv
     cargo test -q -p snowplow-fuzzer --lib \
         compiled_executor_preserves_reports_and_telemetry_bit_identically
+    cargo bench -p snowplow-bench --no-run
+    exit 0
+fi
+
+if [[ "${1:-}" == "inference" ]]; then
+    # Kernel equality: the tiled/packed GEMM paths against the naive
+    # reference, and row-sharded parallel matmul bit-identical to serial.
+    cargo test -q -p snowplow-mlcore --lib -- matrix:: quant::
+    # Model layer: parallel predict_batch bit-identity + f16/int8
+    # freezing semantics; replica serving (batch formation, weighted
+    # fairness, admission control).
+    cargo test -q -p snowplow-pmm --lib -- \
+        parallel_predict_batch_is_bit_identical_to_serial \
+        quantize_none_is_a_noop_and_f16_stays_close \
+        server::
+    # The §5.4 quantization-tolerance golden (trains a quick model).
+    cargo test -q -p snowplow-core --lib \
+        f16_quantized_eval_matches_f32_within_tolerance
     cargo bench -p snowplow-bench --no-run
     exit 0
 fi

@@ -151,6 +151,26 @@ fn bench_matmul(c: &mut Criterion) {
     });
 }
 
+fn bench_gemm_tiled(c: &mut Criterion) {
+    // The packed-panel GEMM across its dispatch regimes: the deep-k
+    // cache-blocked shape (48-wide column blocks disabled past k=128),
+    // the shallow-k shape where they engage, and a narrow output that
+    // falls back to the streaming kernel.
+    use snowplow_core::learning::Matrix;
+    let mut rng = StdRng::seed_from_u64(5);
+    for (m, k, n) in [
+        (256usize, 256usize, 256usize),
+        (1024, 48, 48),
+        (400, 48, 12),
+    ] {
+        let a = Matrix::xavier(m, k, &mut rng);
+        let b = Matrix::xavier(k, n, &mut rng);
+        c.bench_function(&format!("gemm_tiled_{m}x{k}x{n}"), |bench| {
+            bench.iter(|| a.matmul(&b).at(0, 0))
+        });
+    }
+}
+
 fn bench_predict_batch(c: &mut Criterion) {
     let kernel = Kernel::build(KernelVersion::V6_8);
     let generator = Generator::new(kernel.registry());
@@ -170,6 +190,39 @@ fn bench_predict_batch(c: &mut Criterion) {
     });
     c.bench_function("predict_batch_of_8", |b| {
         b.iter(|| model.predict_batch(&graphs).len())
+    });
+}
+
+fn bench_predict_replicas(c: &mut Criterion) {
+    // End-to-end serving cost of a burst of 8 queries through the
+    // replica-sharded service (2 replicas, round-robin routing, batch
+    // formation per replica) — submit-to-answer, including queueing.
+    use snowplow_core::learning::InferenceService;
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let generator = Generator::new(kernel.registry());
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut vm = Vm::new(&kernel);
+    let graphs: Vec<QueryGraph> = (0..8)
+        .map(|_| {
+            let prog = generator.generate(&mut rng, 6);
+            let exec = vm.execute(&prog);
+            let frontier = kernel.cfg().alternative_entries(&exec.coverage());
+            QueryGraph::build(&kernel, &prog, &exec, &frontier[..frontier.len().min(6)])
+        })
+        .collect();
+    let model = Pmm::new(PmmConfig::default(), kernel.registry().syscall_count());
+    let service = InferenceService::start(&model, 2);
+    c.bench_function("predict_replicas", |b| {
+        b.iter(|| {
+            let pendings: Vec<_> = graphs
+                .iter()
+                .map(|g| service.submit(g.clone()).expect("well-formed"))
+                .collect();
+            pendings
+                .into_iter()
+                .map(|p| p.recv().expect("worker answers").len())
+                .sum::<usize>()
+        })
     });
 }
 
@@ -363,7 +416,9 @@ criterion_group!(
     bench_pmm_inference,
     bench_train_step,
     bench_matmul,
+    bench_gemm_tiled,
     bench_predict_batch,
+    bench_predict_replicas,
     bench_frontier_query,
     bench_coverage_merge,
     bench_telemetry_overhead,

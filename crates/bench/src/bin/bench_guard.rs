@@ -8,10 +8,12 @@
 //! above an *absolute* floor of 1.0 — the compiled path must never be
 //! slower than the interpreter), the distance-scheduling throughput
 //! ratio, the static-analysis throughput (interval fixpoints and
-//! distance maps), and the dataset-harvest scaling factor. Everything
-//! else in the file is informational — latency and throughput of the
-//! inference service vary too much run-to-run on shared hardware to
-//! gate on.
+//! distance maps), the dataset-harvest scaling factor, the saturated
+//! inference-service throughput, and the direct batched-inference
+//! speedup (held above an absolute floor of 1.0 — batching that loses
+//! to per-query inference defeats its purpose). Everything else in the
+//! file is informational — the latency gauges vary too much
+//! run-to-run on shared hardware to gate on.
 //!
 //! Usage: `bench_guard <baseline.jsonl> <candidate.jsonl>` (defaults:
 //! `BENCH_perf.jsonl` for both, which trivially passes — `ci.sh bench`
@@ -29,6 +31,7 @@ use std::process::ExitCode;
 const GUARDED: &[&str] = &[
     "matmul_400x48x48.gflops_fast",
     "matmul_256x256x256.gflops_fast",
+    "inference_service.qps",
     "fuzzing.ratio",
     "fuzzing.compiled_ratio",
     "fuzzing.distance_sched_ratio",
@@ -38,23 +41,30 @@ const GUARDED: &[&str] = &[
     "fleet.fair_share_spread",
 ];
 
-/// Gauge names that must not *grow* (lower is better). The ceiling is
-/// `max(old * (1 + TOLERANCE), old + ABS_SLACK)`: percentage-pointed
-/// metrics near zero would otherwise gate on noise.
-const GUARDED_CEILING: &[&str] = &["fleet.resume_overhead_pct"];
+/// Absolute ceilings (lower is better), independent of the baseline
+/// file. Resume overhead is a percentage that honestly measures in the
+/// low single digits but wobbles by ±7 points run to run (two ~150 ms
+/// arms on a drifting clock) — a relative ceiling anchored to whatever
+/// near-zero value the last run happened to land on gates on that
+/// noise, so the gate is a fixed budget instead: checkpoint+resume may
+/// cost at most 15% over an uninterrupted campaign.
+const GUARDED_CEILING_ABS: &[(&str, f64)] = &[("fleet.resume_overhead_pct", 15.0)];
 
 /// Absolute floors, independent of the baseline file. These encode
 /// invariants, not trends: the compiled executor must actually beat the
 /// interpreter (ratio ≥ 1.0) no matter what the last committed baseline
 /// happened to measure — a relative tolerance would let the win decay
 /// 20% per commit until it became a loss.
-const GUARDED_FLOOR_ABS: &[(&str, f64)] = &[("fuzzing.compiled_ratio", 1.0)];
+const GUARDED_FLOOR_ABS: &[(&str, f64)] = &[
+    ("fuzzing.compiled_ratio", 1.0),
+    // Batched inference must actually beat per-query inference — the
+    // headline claim of the tiled-GEMM work. 0.84 (a loss) was the
+    // measured value before the packed-panel kernels landed.
+    ("inference_direct.batch_speedup", 1.0),
+];
 
 /// Largest tolerated fractional drop below baseline.
 const TOLERANCE: f64 = 0.20;
-
-/// Absolute slack for ceiling-guarded metrics measured in percent.
-const ABS_SLACK: f64 = 5.0;
 
 /// Pulls the `"value"` of the JSONL line naming gauge `name`.
 fn extract(jsonl: &str, name: &str) -> Option<f64> {
@@ -120,22 +130,15 @@ fn main() -> ExitCode {
             }
         }
     }
-    for &name in GUARDED_CEILING {
-        match (extract(&baseline, name), extract(&candidate, name)) {
-            (Some(old), Some(new)) => {
-                let ceiling = (old * (1.0 + TOLERANCE)).max(old + ABS_SLACK);
+    for &(name, ceiling) in GUARDED_CEILING_ABS {
+        match extract(&candidate, name) {
+            Some(new) => {
                 let verdict = if new > ceiling { "REGRESSED" } else { "ok" };
-                println!("  {name}: {old:.3} -> {new:.3} (ceiling {ceiling:.3}) {verdict}");
+                println!("  {name}: {new:.3} (absolute ceiling {ceiling:.3}) {verdict}");
                 failed |= new > ceiling;
             }
-            (None, Some(new)) => {
-                println!("  {name}: (new metric) -> {new:.3} ok");
-            }
-            (old, None) => {
-                eprintln!(
-                    "  {name}: missing from candidate (baseline {})",
-                    if old.is_some() { "present" } else { "absent" },
-                );
+            None => {
+                eprintln!("  {name}: missing from candidate (absolute ceiling {ceiling:.3})");
                 failed = true;
             }
         }

@@ -74,21 +74,37 @@ fn main() {
         let b = Matrix::xavier(k, n, &mut rng);
         let flops = 2.0 * (m * n * k) as f64;
         let iters = (2e8 / flops).clamp(3.0, 400.0) as usize;
-        let t_naive = time_it(
-            || {
-                std::hint::black_box(naive_matmul(&a, &b));
-            },
-            iters,
-        );
-        let t_fast = time_it(
-            || {
-                std::hint::black_box(a.matmul(&b));
-            },
-            iters,
-        );
-        let gflops_naive = flops / t_naive.as_secs_f64() / 1e9;
-        let gflops_fast = flops / t_fast.as_secs_f64() / 1e9;
-        let speedup = t_naive.as_secs_f64() / t_fast.as_secs_f64();
+        // Interleaved fastest-of-rounds, like every other capability
+        // gauge here: one sequential window right at process start has
+        // measured this kernel at half its real rate while the clock
+        // ramped.
+        let rounds = 5usize;
+        let per_round = iters.div_ceil(rounds);
+        let mut t_naive = f64::INFINITY;
+        let mut t_fast = f64::INFINITY;
+        for _ in 0..rounds {
+            t_naive = t_naive.min(
+                time_it(
+                    || {
+                        std::hint::black_box(naive_matmul(&a, &b));
+                    },
+                    per_round,
+                )
+                .as_secs_f64(),
+            );
+            t_fast = t_fast.min(
+                time_it(
+                    || {
+                        std::hint::black_box(a.matmul(&b));
+                    },
+                    per_round,
+                )
+                .as_secs_f64(),
+            );
+        }
+        let gflops_naive = flops / t_naive / 1e9;
+        let gflops_fast = flops / t_fast / 1e9;
+        let speedup = t_naive / t_fast;
         println!(
             "matmul {m}x{k}x{n}: naive {gflops_naive:.2} GFLOP/s | fast {gflops_fast:.2} GFLOP/s | speedup {speedup:.2}x"
         );
@@ -102,35 +118,110 @@ fn main() {
     let graphs = build_graphs(&kernel, 64, 9);
 
     // ---- Batched vs unbatched inference (direct, no service). -----------
+    // One core with a drifting clock: timing mode A to completion and
+    // then mode B bakes the frequency ramp into the ratio (~30% swings
+    // within a single process run have been measured here). Both modes
+    // are therefore warmed first, then timed in alternating order across
+    // rounds (ABBA, so neither mode systematically runs on the hotter
+    // half of a round). The qps gauges report each mode's fastest round
+    // (identical deterministic work per round, so noise only ever slows
+    // one, and the minimum estimates what the hardware can do). The
+    // speedup gauge instead takes the median of *per-round paired*
+    // ratios — the two timings inside one round are ~13 ms apart and
+    // share a thermal window, so each pair's ratio cancels drift that
+    // per-mode aggregates, which mix windows minutes apart, do not, and
+    // the median over many cheap pairs rejects the ones a steal burst
+    // or frequency step lands in the middle of.
     println!("\n== batched inference (direct calls) ==");
     let mut m1 = model.clone();
     let mut m8 = model.clone();
-    let reps = 4usize;
-    let t_single = time_it(
-        || {
+    for g in &graphs {
+        std::hint::black_box(m1.predict(g));
+    }
+    for chunk in graphs.chunks(8) {
+        std::hint::black_box(m8.predict_batch(chunk));
+    }
+    let rounds = 61usize;
+    let mut t_single = Vec::with_capacity(rounds);
+    let mut t_batch = Vec::with_capacity(rounds);
+    let mut paired = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let single = |m: &mut Pmm| {
+            let t0 = Instant::now();
             for g in &graphs {
-                std::hint::black_box(m1.predict(g));
+                std::hint::black_box(m.predict(g));
             }
-        },
-        reps,
-    );
-    let t_batch = time_it(
-        || {
+            t0.elapsed().as_secs_f64()
+        };
+        let batch = |m: &mut Pmm| {
+            let t0 = Instant::now();
             for chunk in graphs.chunks(8) {
-                std::hint::black_box(m8.predict_batch(chunk));
+                std::hint::black_box(m.predict_batch(chunk));
             }
-        },
-        reps,
-    );
-    let qps_single = graphs.len() as f64 / t_single.as_secs_f64();
-    let qps_batch = graphs.len() as f64 / t_batch.as_secs_f64();
-    let batch_speedup = qps_batch / qps_single;
+            t0.elapsed().as_secs_f64()
+        };
+        let (ts, tb) = if round % 2 == 0 {
+            let ts = single(&mut m1);
+            let tb = batch(&mut m8);
+            (ts, tb)
+        } else {
+            let tb = batch(&mut m8);
+            let ts = single(&mut m1);
+            (ts, tb)
+        };
+        t_single.push(ts);
+        t_batch.push(tb);
+        paired.push(ts / tb);
+    }
+    let fastest = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let queries = graphs.len() as f64;
+    let qps_single = queries / fastest(&t_single);
+    let qps_batch = queries / fastest(&t_batch);
+    paired.sort_by(|a, b| a.total_cmp(b));
+    let batch_speedup = paired[rounds / 2];
     println!(
         "per-graph predict: {qps_single:.0} queries/s | predict_batch(8): {qps_batch:.0} queries/s | speedup {batch_speedup:.2}x"
     );
     bench.gauge("inference_direct.qps_unbatched", qps_single);
     bench.gauge("inference_direct.qps_batched", qps_batch);
     bench.gauge("inference_direct.batch_speedup", batch_speedup);
+
+    // ---- Quantized inference weights. -----------------------------------
+    // Freeze a copy of the model to f16 weights and rerun the batched
+    // path: the rounding error bound and the (memory-format) footprint
+    // are what the `inference.quantized_*` gauges publish; throughput is
+    // informational (the compute stays f32 — see mlcore::quant).
+    use snowplow_core::learning::Quantize;
+    let mut mq = model.clone();
+    mq.config.quantize = Quantize::F16;
+    let qstats = mq.quantize_for_inference();
+    let reps = 4usize;
+    let t_qbatch = time_it(
+        || {
+            for chunk in graphs.chunks(8) {
+                std::hint::black_box(mq.predict_batch(chunk));
+            }
+        },
+        reps,
+    );
+    let qps_qbatch = graphs.len() as f64 / t_qbatch.as_secs_f64();
+    println!(
+        "f16-frozen predict_batch(8): {qps_qbatch:.0} queries/s | {} scalars rounded, max |Δ| {:.2e}, {:.0}% of the f32 footprint",
+        qstats.scalars,
+        qstats.max_abs_delta,
+        Quantize::F16.bytes_per_scalar() / Quantize::None.bytes_per_scalar() * 100.0
+    );
+    bench.gauge("inference.quantized_scalars", qstats.scalars as f64);
+    bench.gauge(
+        "inference.quantized_max_abs_delta",
+        qstats.max_abs_delta as f64,
+    );
+    bench.gauge(
+        "inference.quantized_bytes_per_scalar",
+        Quantize::F16.bytes_per_scalar(),
+    );
+    bench.gauge("inference.quantized_qps_batched", qps_qbatch);
+    drop(mq);
 
     // ---- Inference service at saturation. -----------------------------
     let workers = std::thread::available_parallelism()
@@ -166,6 +257,7 @@ fn main() {
         stats.served
     );
     bench.gauge("inference_service.workers", workers as f64);
+    bench.gauge("inference_service.replicas", service.replica_count() as f64);
     bench.gauge("inference_service.qps", qps_service);
     bench.gauge(
         "inference_service.mean_latency_us",
@@ -241,6 +333,120 @@ fn main() {
         bstats.max_queue_depth as f64,
     );
     drop(bounded);
+
+    // ---- Bursty load: the partial-batch drain path. ---------------------
+    // The saturation runs above front-load every submission, so every
+    // forward pass fills to max_batch exactly — a batch-formation bench
+    // that never exercises the linger. Here arrivals come in bursts of
+    // varying size with idle gaps in between, the shape a fuzzing loop
+    // actually produces: the worker must run partial batches when the
+    // linger expires instead of stalling for a full one.
+    let bursty = InferenceService::start_with_policy(
+        &model,
+        workers,
+        BatchPolicy {
+            linger: Duration::from_micros(200),
+            ..BatchPolicy::default()
+        },
+    );
+    let mut burst_rng = StdRng::seed_from_u64(21);
+    let mut submitted = 0usize;
+    let start = Instant::now();
+    for _ in 0..60 {
+        let burst = burst_rng.random_range(1..=12usize);
+        let pendings: Vec<_> = (0..burst)
+            .map(|i| {
+                bursty
+                    .submit(graphs[(submitted + i) % graphs.len()].clone())
+                    .expect("unbounded service accepts every well-formed query")
+            })
+            .collect();
+        submitted += burst;
+        // The gap between bursts: long enough for the linger to expire
+        // and the queue to drain, so the next burst starts cold.
+        for p in pendings {
+            let _ = p.recv();
+        }
+    }
+    let wall = start.elapsed();
+    let burst_stats = bursty.stats();
+    let qps_burst = submitted as f64 / wall.as_secs_f64();
+    println!("\n== §5.5 inference service, bursty arrivals ==");
+    println!(
+        "throughput: {qps_burst:.0} queries/s | mean batch {:.2} ({} batches for {} queries — partial batches drained)",
+        burst_stats.mean_batch(),
+        burst_stats.batches,
+        burst_stats.served
+    );
+    assert!(
+        burst_stats.mean_batch() < BatchPolicy::default().max_batch as f64,
+        "bursty arrivals must form partial batches, got a constant {:.2}",
+        burst_stats.mean_batch()
+    );
+    bench.gauge("inference_service_burst.qps", qps_burst);
+    bench.gauge(
+        "inference_service_burst.mean_batch",
+        burst_stats.mean_batch(),
+    );
+    bench.gauge(
+        "inference_service_burst.batches",
+        burst_stats.batches as f64,
+    );
+    drop(bursty);
+
+    // ---- Admission control: shed load, keep latency bounded. ------------
+    // The same front-loaded 600-query flood as the unbounded run, but
+    // with `admit_depth` set: everything past the in-flight limit is
+    // shed with `ServeError::Overloaded` instead of queueing into the
+    // hundred-millisecond waits the unbounded gauge records. The mean
+    // latency of *admitted* queries is the payoff.
+    let admit_depth = 4 * BatchPolicy::default().max_batch;
+    let admitting = InferenceService::start_with_policy(
+        &model,
+        workers,
+        BatchPolicy {
+            admit_depth: Some(admit_depth),
+            ..BatchPolicy::default()
+        },
+    );
+    let start = Instant::now();
+    let mut shed = 0usize;
+    let mut admitted = Vec::new();
+    for i in 0..n_queries {
+        match admitting.submit(graphs[i % graphs.len()].clone()) {
+            Ok(p) => admitted.push(p),
+            Err(snowplow_core::prelude::ServeError::Overloaded { .. }) => shed += 1,
+            Err(e) => panic!("unexpected serve error: {e}"),
+        }
+    }
+    for p in &admitted {
+        let _ = p.recv();
+    }
+    let wall = start.elapsed();
+    let astats = admitting.stats();
+    let qps_admitted = admitted.len() as f64 / wall.as_secs_f64();
+    println!("\n== §5.5 inference service, admission control (depth {admit_depth}) ==");
+    println!(
+        "admitted {} / shed {} of {n_queries} | {qps_admitted:.0} queries/s | mean latency {:?} (unbounded run: {mean_latency:?})",
+        admitted.len(),
+        shed,
+        astats.mean_latency()
+    );
+    bench.gauge(
+        "inference_service_admission.admit_depth",
+        admit_depth as f64,
+    );
+    bench.gauge(
+        "inference_service_admission.admitted",
+        admitted.len() as f64,
+    );
+    bench.gauge("inference_service_admission.shed", shed as f64);
+    bench.gauge("inference_service_admission.qps", qps_admitted);
+    bench.gauge(
+        "inference_service_admission.mean_latency_us",
+        astats.mean_latency().as_secs_f64() * 1e6,
+    );
+    drop(admitting);
 
     // ---- Sharded dataset harvest (execs/sec, workers 1 vs 4). ----------
     println!("\n== dataset harvest throughput ==");
@@ -328,20 +534,41 @@ fn main() {
     // real wall-clock rates isolates the overhead the PMM adds to the
     // loop. Shorter virtual runs overweight the one-time costs (memo
     // warm-up, first-touch frontier caches) and understate steady state.
+    // Campaign-rate ratios get the same anti-drift treatment as the
+    // direct-inference gauge: the two modes run interleaved for several
+    // rounds and each side keeps its fastest round (the campaigns do
+    // identical deterministic work every round, so the minimum is the
+    // least-throttled estimate of the same quantity). Sequential
+    // A-then-B timing has produced ±20% swings in these ratios purely
+    // from clock drift.
     let cfg = day_config(1);
-    let t = Instant::now();
-    let base = Campaign::new(&kernel, FuzzerKind::Syzkaller, cfg.clone()).run();
-    let base_rate = base.execs as f64 / t.elapsed().as_secs_f64();
-    let t = Instant::now();
-    let snow = Campaign::new(
-        &kernel,
-        FuzzerKind::Snowplow {
-            model: Box::new(model.clone()),
-        },
-        cfg,
-    )
-    .run();
-    let snow_rate = snow.execs as f64 / t.elapsed().as_secs_f64();
+    let campaign_rounds = 3usize;
+    let mut base_secs = Vec::new();
+    let mut snow_secs = Vec::new();
+    let mut base_opt = None;
+    let mut snow_opt = None;
+    for _ in 0..campaign_rounds {
+        let t = Instant::now();
+        let r = Campaign::new(&kernel, FuzzerKind::Syzkaller, cfg.clone()).run();
+        base_secs.push(t.elapsed().as_secs_f64());
+        base_opt.get_or_insert(r);
+        let t = Instant::now();
+        let s = Campaign::new(
+            &kernel,
+            FuzzerKind::Snowplow {
+                model: Box::new(model.clone()),
+            },
+            cfg.clone(),
+        )
+        .run();
+        snow_secs.push(t.elapsed().as_secs_f64());
+        snow_opt.get_or_insert(s);
+    }
+    let base = base_opt.expect("at least one campaign round");
+    let snow = snow_opt.expect("at least one campaign round");
+    let min_secs = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let base_rate = base.execs as f64 / min_secs(&base_secs);
+    let snow_rate = snow.execs as f64 / min_secs(&snow_secs);
     println!("\n== §5.5 fuzzing throughput (real tests/second of this process) ==");
     println!("syzkaller: {base_rate:.0} tests/s | snowplow: {snow_rate:.0} tests/s (paper: 390 vs 383 — PMM must not block the loop)");
     println!(
@@ -426,17 +653,32 @@ fn main() {
     // against the stock Syzkaller loop bounds the overhead of the
     // per-coverage-change weight recomputation — gated like
     // `fuzzing.ratio`, a scheduler that stalls the loop fails CI.
+    // The stock loop is re-timed here, interleaved round for round with
+    // the scheduled one, instead of reusing `base_rate` from minutes
+    // earlier — the ratio must compare two runs under the same clock.
     let mut sched_cfg = day_config(1);
     sched_cfg.distance_scheduling = true;
-    let t = Instant::now();
-    let sched = Campaign::new(&kernel, FuzzerKind::Syzkaller, sched_cfg).run();
-    let sched_rate = sched.execs as f64 / t.elapsed().as_secs_f64();
+    let mut sched_secs = Vec::new();
+    let mut stock_secs = Vec::new();
+    let mut sched_opt = None;
+    for _ in 0..campaign_rounds {
+        let t = Instant::now();
+        let s = Campaign::new(&kernel, FuzzerKind::Syzkaller, sched_cfg.clone()).run();
+        sched_secs.push(t.elapsed().as_secs_f64());
+        sched_opt.get_or_insert(s);
+        let t = Instant::now();
+        Campaign::new(&kernel, FuzzerKind::Syzkaller, day_config(1)).run();
+        stock_secs.push(t.elapsed().as_secs_f64());
+    }
+    let sched = sched_opt.expect("at least one scheduled round");
+    let sched_rate = sched.execs as f64 / min_secs(&sched_secs);
+    let stock_rate = base.execs as f64 / min_secs(&stock_secs);
     println!(
         "distance-scheduled syzkaller: {sched_rate:.0} tests/s | ratio vs stock {:.2}",
-        sched_rate / base_rate
+        sched_rate / stock_rate
     );
     bench.gauge("fuzzing.distance_sched_execs_per_sec", sched_rate);
-    bench.gauge("fuzzing.distance_sched_ratio", sched_rate / base_rate);
+    bench.gauge("fuzzing.distance_sched_ratio", sched_rate / stock_rate);
 
     // ---- Fleet orchestration (DESIGN.md §11). ---------------------------
     // Checkpoint/resume must be cheap enough to use aggressively: the
@@ -446,38 +688,56 @@ fn main() {
     // here we only time it). Gated with a ceiling in bench_guard.
     use snowplow_core::fleet::{CampaignSnapshot, FleetScheduler};
     use snowplow_core::fuzzing::Campaign as FleetCampaign;
+    // Both arms are short (~200-300 ms) and the overhead is their
+    // ratio, so they run interleaved for several rounds with each arm
+    // keeping its fastest round — one throttled arm in a sequential
+    // A-then-B pairing has swung this gauge by tens of points.
     let mut fleet_cfg = day_config(2);
     fleet_cfg.duration = Duration::from_secs(6 * 3600);
-    let t = Instant::now();
-    let full = FleetCampaign::new(&kernel, FuzzerKind::Syzkaller, fleet_cfg.clone())
-        .into_running()
-        .run_to_end();
-    let t_full = t.elapsed();
-    let t = Instant::now();
-    let mut running =
-        FleetCampaign::new(&kernel, FuzzerKind::Syzkaller, fleet_cfg.clone()).into_running();
     let halfway = fleet_cfg.duration / 2;
-    while running.now() < halfway && running.step() {}
-    let bytes = CampaignSnapshot::capture(&running).to_bytes();
-    drop(running);
-    let resumed = CampaignSnapshot::from_bytes(&bytes)
-        .expect("snapshot decodes")
-        .resume(&kernel, FuzzerKind::Syzkaller, Telemetry::disabled())
-        .run_to_end();
-    let t_resumed = t.elapsed();
+    let mut full_secs = Vec::new();
+    let mut resumed_secs = Vec::new();
+    let mut full_opt = None;
+    let mut resumed_opt = None;
+    let mut snapshot_bytes = 0usize;
+    for _ in 0..campaign_rounds {
+        let t = Instant::now();
+        let full = FleetCampaign::new(&kernel, FuzzerKind::Syzkaller, fleet_cfg.clone())
+            .into_running()
+            .run_to_end();
+        full_secs.push(t.elapsed().as_secs_f64());
+        full_opt.get_or_insert(full);
+        let t = Instant::now();
+        let mut running =
+            FleetCampaign::new(&kernel, FuzzerKind::Syzkaller, fleet_cfg.clone()).into_running();
+        while running.now() < halfway && running.step() {}
+        let bytes = CampaignSnapshot::capture(&running).to_bytes();
+        drop(running);
+        let resumed = CampaignSnapshot::from_bytes(&bytes)
+            .expect("snapshot decodes")
+            .resume(&kernel, FuzzerKind::Syzkaller, Telemetry::disabled())
+            .run_to_end();
+        resumed_secs.push(t.elapsed().as_secs_f64());
+        snapshot_bytes = bytes.len();
+        resumed_opt.get_or_insert(resumed);
+    }
+    let full = full_opt.expect("at least one fleet round");
+    let resumed = resumed_opt.expect("at least one fleet round");
     assert_eq!(
         full.fingerprint(),
         resumed.fingerprint(),
         "resume changed the campaign outcome"
     );
+    let t_full = Duration::from_secs_f64(min_secs(&full_secs));
+    let t_resumed = Duration::from_secs_f64(min_secs(&resumed_secs));
     let resume_overhead_pct = (t_resumed.as_secs_f64() / t_full.as_secs_f64() - 1.0) * 100.0;
     println!("\n== fleet checkpoint/resume ==");
     println!(
         "uninterrupted {t_full:?} | checkpoint+resume {t_resumed:?} | overhead {resume_overhead_pct:.1}% | snapshot {} KiB",
-        bytes.len() / 1024
+        snapshot_bytes / 1024
     );
     bench.gauge("fleet.resume_overhead_pct", resume_overhead_pct);
-    bench.gauge("fleet.snapshot_kib", bytes.len() as f64 / 1024.0);
+    bench.gauge("fleet.snapshot_kib", snapshot_bytes as f64 / 1024.0);
 
     // Four campaigns multiplexing one inference service: the fair-queue
     // admission must keep every campaign near its 25% share. Gated with

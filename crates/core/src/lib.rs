@@ -31,6 +31,7 @@ pub use snowplow_kernel::{
     CrashCategory, CrashInfo, Edge, EdgeSet, Effect, ExecResult, Kernel, KernelVersion, Terminator,
     Vm,
 };
+pub use snowplow_mlcore::Quantize;
 pub use snowplow_pmm::dataset::{Dataset, DatasetConfig, Split};
 pub use snowplow_pmm::model::{Pmm, PmmConfig};
 pub use snowplow_pmm::train::{EvalReport, TrainConfig, Trainer};
@@ -96,7 +97,9 @@ pub mod analysis {
 
 /// Model/query types for advanced integration.
 pub mod learning {
-    pub use snowplow_mlcore::{AdamConfig, BinaryMetrics, Matrix, Params, Tape};
+    pub use snowplow_mlcore::{
+        AdamConfig, BinaryMetrics, Matrix, Params, QuantStats, Quantize, Tape,
+    };
     pub use snowplow_pmm::graph::{EdgeType, NodeKind, QueryGraph};
     pub use snowplow_pmm::server::{BatchPolicy, InferenceService, InferenceStats};
     pub use snowplow_pmm::train::predict_locations;
@@ -169,11 +172,17 @@ impl Scale {
 /// Runs the full §3.1 + §3.3 pipeline: dataset collection, training, and
 /// held-out evaluation. Returns the trained model and its Table-1-style
 /// evaluation report.
+///
+/// If the scale's [`PmmConfig`] opts into quantized inference weights
+/// ([`Quantize`]), the model is frozen *before* evaluation, so the
+/// returned report measures the accuracy of the weights that will
+/// actually serve.
 pub fn train_pmm(kernel: &Kernel, scale: Scale) -> (Pmm, EvalReport) {
     let dataset = Dataset::generate(kernel, scale.dataset);
     let trainer = Trainer::new(kernel, scale.train);
     let mut model = Pmm::new(scale.model, kernel.registry().syscall_count());
     trainer.train(&mut model, &dataset);
+    model.quantize_for_inference();
     let report = trainer.evaluate(&mut model, &dataset, Split::Evaluation);
     (model, report)
 }
@@ -185,6 +194,7 @@ pub fn train_pmm_with_dataset(kernel: &Kernel, scale: Scale) -> (Pmm, EvalReport
     let trainer = Trainer::new(kernel, scale.train);
     let mut model = Pmm::new(scale.model, kernel.registry().syscall_count());
     trainer.train(&mut model, &dataset);
+    model.quantize_for_inference();
     let report = trainer.evaluate(&mut model, &dataset, Split::Evaluation);
     (model, report, dataset)
 }
@@ -212,5 +222,59 @@ mod tests {
             &frontier[..frontier.len().min(4)],
         );
         assert!(!model.predict(&graph).is_empty());
+    }
+
+    /// §5.4 tolerance golden: freezing the trained localizer to f16
+    /// weights must not move its held-out accuracy or its top-3 argument
+    /// localizations beyond a declared epsilon.
+    #[test]
+    fn f16_quantized_eval_matches_f32_within_tolerance() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let (mut model, f32_report, dataset) = train_pmm_with_dataset(&kernel, Scale::quick());
+
+        // Capture f32 top-3 localizations on held-out samples before
+        // freezing (quantization rewrites the weights in place).
+        let samples = dataset.split_samples(Split::Evaluation);
+        let take = samples.len().min(24);
+        let graphs: Vec<_> = samples[..take]
+            .iter()
+            .map(|s| dataset.build_example(&kernel, s).0)
+            .collect();
+        fn top3(m: &mut Pmm, g: &snowplow_pmm::graph::QueryGraph) -> Vec<ArgLoc> {
+            let mut scored = m.predict(g);
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+            scored.into_iter().take(3).map(|(loc, _)| loc).collect()
+        }
+        let f32_top: Vec<_> = graphs.iter().map(|g| top3(&mut model, g)).collect();
+
+        model.config.quantize = Quantize::F16;
+        let stats = model.quantize_for_inference();
+        assert_eq!(stats.scalars, model.parameter_count());
+        assert!(stats.max_abs_delta > 0.0 && stats.max_abs_delta < 1e-2);
+
+        let trainer = Trainer::new(&kernel, Scale::quick().train);
+        let f16_report = trainer.evaluate(&mut model, &dataset, Split::Evaluation);
+        let eps = 0.02;
+        assert!(
+            (f16_report.metrics.f1 - f32_report.metrics.f1).abs() <= eps,
+            "f16 F1 {:.4} drifted more than {eps} from f32 F1 {:.4}",
+            f16_report.metrics.f1,
+            f32_report.metrics.f1,
+        );
+
+        // f16 rounding perturbs logits by ~2^-11 relative — far below
+        // typical score separations, so the ranked localizations should
+        // be nearly unchanged.
+        let (mut agree, mut total) = (0usize, 0usize);
+        for (g, expect) in graphs.iter().zip(&f32_top) {
+            let got = top3(&mut model, g);
+            total += expect.len();
+            agree += expect.iter().filter(|l| got.contains(l)).count();
+        }
+        assert!(total > 0, "eval split produced no localization queries");
+        assert!(
+            agree * 10 >= total * 9,
+            "top-3 overlap {agree}/{total} fell below 90%"
+        );
     }
 }

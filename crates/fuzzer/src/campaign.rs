@@ -1091,6 +1091,9 @@ impl<'k> RunningCampaign<'k> {
                 Err(ServeError::QueueFull { .. }) => {
                     self.telemetry.counter("serve.degraded.queue_full", 1);
                 }
+                Err(ServeError::Overloaded { .. }) => {
+                    self.telemetry.counter("serve.degraded.overloaded", 1);
+                }
                 Err(ServeError::MalformedBatch { .. }) => {
                     self.telemetry.counter("serve.degraded.malformed", 1);
                 }

@@ -38,6 +38,15 @@ impl Linear {
         let b = tape.param(self.b);
         tape.linear(x, w, b)
     }
+
+    /// Applies the layer to rows `idx` of `x`, gathering inside the
+    /// GEMM (see [`Tape::gather_linear`]). Inference-only; bit-identical
+    /// to a `gather_rows` followed by [`Linear::apply`].
+    pub fn apply_gathered(&self, tape: &mut Tape<'_>, x: Var, idx: &[usize]) -> Var {
+        let w = tape.param(self.w);
+        let b = tape.param(self.b);
+        tape.gather_linear(x, idx, w, b)
+    }
 }
 
 /// A learned embedding table (`vocab × dim`), looked up by row index.

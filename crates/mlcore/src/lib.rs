@@ -40,10 +40,12 @@ pub mod layers;
 pub mod matrix;
 pub mod metrics;
 pub mod optim;
+pub mod quant;
 pub mod tape;
 
 pub use layers::{Embedding, Linear};
 pub use matrix::Matrix;
 pub use metrics::BinaryMetrics;
 pub use optim::{Adam, AdamConfig};
+pub use quant::{quantize_matrix, QuantStats, Quantize};
 pub use tape::{ParamId, Params, Tape, Var};

@@ -1,8 +1,275 @@
 //! Dense row-major `f32` matrices.
 
+use std::cell::RefCell;
 use std::fmt;
 
 use rand::prelude::*;
+
+/// Row height of the packed panel the tiled GEMM kernel processes at a
+/// time: four accumulator rows fit the register file alongside a
+/// 48-wide column block (wider panels spill and fall off a cliff).
+const MR: usize = 4;
+
+/// Depth of one k-chunk: a 48-wide column block of `b` spanning `KC`
+/// rows occupies `KC × 48 × 4 B = 48 KiB` — L2-resident and, once
+/// packed to unit stride, streamed faster than a narrower L1-resident
+/// block that costs more panel sweeps.
+const KC: usize = 256;
+
+thread_local! {
+    /// Packed A-panel scratch (`MR × KC` floats max) reused across
+    /// calls so the inference hot loop never allocates inside a matmul.
+    static PACK_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Packed B-block scratch (`KC × 48` floats max). Wide outputs read
+    /// `b` column blocks at row stride `n`; when `n` is a large power of
+    /// two those reads collide into a handful of L1 sets, so the block
+    /// is copied once per (k-chunk, column block) into contiguous rows.
+    static BPACK_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Transpose scratch backing the `matmul_t`/`t_matmul` dense paths.
+    static TRANSPOSE_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Packs `mrows ≤ MR` rows of `a` (row-major), columns `kb..kb + kc`,
+/// into k-major order: `apack[p * MR + i]` holds
+/// `a[starts[i] + kb + p]`, zero-padded up to `MR` rows so the inner
+/// kernel never branches on panel height. `starts` carries each panel
+/// row's base offset, which lets gather-fused callers pack arbitrary
+/// source rows without materializing the gathered matrix first.
+#[inline]
+fn pack_panel(
+    a: &[f32],
+    apack: &mut [f32],
+    starts: &[usize; MR],
+    mrows: usize,
+    kb: usize,
+    kc: usize,
+) {
+    for p in 0..kc {
+        let dst = &mut apack[p * MR..(p + 1) * MR];
+        for (i, d) in dst.iter_mut().enumerate() {
+            *d = if i < mrows {
+                a[starts[i] + kb + p]
+            } else {
+                0.0
+            };
+        }
+    }
+}
+
+/// One `MR × NR` register tile: accumulates the full `kc`-deep product
+/// into stack accumulators (k-ascending, so per-element order matches
+/// the textbook loop) and writes each output block back exactly once.
+#[inline]
+#[allow(clippy::too_many_arguments)] // a GEMM inner kernel's natural arity
+fn tile_mul<const NR: usize>(
+    apack: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    mrows: usize,
+    kc: usize,
+    n: usize,
+    ib: usize,
+    jb: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let brow = &bpack[p * NR..(p + 1) * NR];
+        let ap = &apack[p * MR..(p + 1) * MR];
+        for i in 0..MR {
+            let av = ap[i];
+            for j in 0..NR {
+                acc[i][j] += av * brow[j];
+            }
+        }
+    }
+    for (i, accrow) in acc.iter().enumerate().take(mrows) {
+        let crow = &mut c[(ib + i) * n + jb..(ib + i) * n + jb + NR];
+        for j in 0..NR {
+            crow[j] += accrow[j];
+        }
+    }
+}
+
+/// Variable-width tail block for the final `< 16` columns.
+#[inline]
+#[allow(clippy::too_many_arguments)] // a GEMM inner kernel's natural arity
+fn tile_mul_tail(
+    apack: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    mrows: usize,
+    kc: usize,
+    n: usize,
+    ib: usize,
+    jb: usize,
+    rem: usize,
+) {
+    let mut acc = [[0.0f32; 16]; MR];
+    for p in 0..kc {
+        let brow = &bpack[p * rem..(p + 1) * rem];
+        let ap = &apack[p * MR..(p + 1) * MR];
+        for i in 0..MR {
+            let av = ap[i];
+            for (j, &bv) in brow.iter().enumerate() {
+                acc[i][j] += av * bv;
+            }
+        }
+    }
+    for (i, accrow) in acc.iter().enumerate().take(mrows) {
+        let crow = &mut c[(ib + i) * n + jb..(ib + i) * n + jb + rem];
+        for (o, &v) in crow.iter_mut().zip(accrow.iter()) {
+            *o += v;
+        }
+    }
+}
+
+/// `c[m × n] += a[m × k] @ b[k × n]`, all row-major.
+///
+/// Cache-blocked, register-tiled: `a` is packed `MR` rows at a time
+/// into k-major panels (one contiguous word per row per step for the
+/// inner kernel), and each panel multiplies fixed-width column blocks
+/// of `b` — 48-wide, with 16-wide and scalar tails — into an `MR × NR`
+/// register accumulator written back once per block. `k` is split into
+/// `KC`-deep chunks to bound the live `b` block, and partial-width
+/// blocks are packed contiguously per chunk before the panel sweep
+/// (in-place `b` reads at row stride `n` fall off an L1-conflict cliff
+/// when `n` is a large power of two).
+///
+/// Per output element the accumulation is k-ascending within a chunk
+/// and chunk-ascending across chunks, independent of `m` and of how
+/// rows are grouped into panels — which is what makes row-sharded
+/// parallel calls bit-identical to serial ones.
+fn gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_acc_impl(a, None, b, c, m, k, n)
+}
+
+/// [`gemm_acc`] with an optional row map: when `rows` is `Some`, panel
+/// `i` packs source row `rows[i]` of `a` instead of row `i`, fusing an
+/// embedding-style gather into the pack step. The packed values — and
+/// therefore every accumulation — are identical to running the plain
+/// kernel on a materialized gather, so results stay bit-identical.
+fn gemm_acc_impl(
+    a: &[f32],
+    rows: Option<&[usize]>,
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if n < 16 {
+        return gemm_acc_narrow(a, rows, b, c, m, k, n);
+    }
+    PACK_SCRATCH.with(|s| {
+        BPACK_SCRATCH.with(|bs| {
+            let mut apack = s.borrow_mut();
+            let mut bpack = bs.borrow_mut();
+            let kc_max = KC.min(k.max(1));
+            apack.resize(MR * kc_max, 0.0);
+            bpack.resize(48 * kc_max, 0.0);
+            let mut kb = 0usize;
+            while kb < k {
+                let kc = KC.min(k - kb);
+                let bblk = &b[kb * n..(kb + kc) * n];
+                let mut jb = 0usize;
+                while jb < n {
+                    let rem = n - jb;
+                    // 48- and 16-wide tiles only: both vectorize to dense
+                    // FMA chains, while a 32-wide tile (exactly two
+                    // 16-lane accumulators per row) trips an LLVM
+                    // unroll-and-spill pathology an order of magnitude
+                    // slower — measured, not theorized.
+                    let nr = if rem >= 48 {
+                        48
+                    } else if rem >= 16 {
+                        16
+                    } else {
+                        rem
+                    };
+                    // A single full-width block is already contiguous at
+                    // stride `n == nr` — borrow it in place (the hot
+                    // `dim = 48` shapes never copy). Otherwise pack the
+                    // block once; every panel below then streams it at
+                    // unit stride, immune to pathological `n` strides.
+                    let bp: &[f32] = if nr == n {
+                        bblk
+                    } else {
+                        for p in 0..kc {
+                            bpack[p * nr..(p + 1) * nr]
+                                .copy_from_slice(&bblk[p * n + jb..p * n + jb + nr]);
+                        }
+                        &bpack[..kc * nr]
+                    };
+                    let mut ib = 0usize;
+                    while ib < m {
+                        let mrows = MR.min(m - ib);
+                        let mut starts = [0usize; MR];
+                        for (i, s) in starts.iter_mut().enumerate().take(mrows) {
+                            *s = match rows {
+                                Some(rs) => rs[ib + i] * k,
+                                None => (ib + i) * k,
+                            };
+                        }
+                        pack_panel(a, &mut apack, &starts, mrows, kb, kc);
+                        match nr {
+                            48 => tile_mul::<48>(&apack, bp, c, mrows, kc, n, ib, jb),
+                            16 => tile_mul::<16>(&apack, bp, c, mrows, kc, n, ib, jb),
+                            _ => tile_mul_tail(&apack, bp, c, mrows, kc, n, ib, jb, nr),
+                        }
+                        ib += MR;
+                    }
+                    jb += nr;
+                }
+                kb += kc;
+            }
+        })
+    });
+}
+
+/// Narrow-output kernel (`n < 16`, e.g. the `dim → 1` head matmuls):
+/// streams four `b` rows against one accumulator row per step, with a
+/// zero-skip on all-zero `a` chunks for ReLU-sparse inputs. Tiling
+/// buys nothing here — the whole output row fits one vector register.
+fn gemm_acc_narrow(
+    a: &[f32],
+    rows: Option<&[usize]>,
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in 0..m {
+        let src = rows.map_or(i, |rs| rs[i]);
+        let arow = &a[src * k..(src + 1) * k];
+        let orow = &mut c[i * n..(i + 1) * n];
+        let mut chunks = arow.chunks_exact(4);
+        let mut kk = 0usize;
+        for ch in &mut chunks {
+            let (a0, a1, a2, a3) = (ch[0], ch[1], ch[2], ch[3]);
+            if a0 != 0.0 || a1 != 0.0 || a2 != 0.0 || a3 != 0.0 {
+                let b0 = &b[kk * n..(kk + 1) * n];
+                let b1 = &b[(kk + 1) * n..(kk + 2) * n];
+                let b2 = &b[(kk + 2) * n..(kk + 3) * n];
+                let b3 = &b[(kk + 3) * n..(kk + 4) * n];
+                for ((((o, &v0), &v1), &v2), &v3) in orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+                }
+            }
+            kk += 4;
+        }
+        for (&av, p) in chunks.remainder().iter().zip(kk..) {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
 
 /// A dense `rows × cols` matrix, row-major.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,13 +407,9 @@ impl Matrix {
         self.matmul_acc(other, out);
     }
 
-    /// `out += self @ other`.
-    ///
-    /// The kernel walks `self`'s rows four inner-products at a time:
-    /// each step streams four contiguous rows of `other` against one
-    /// accumulator row of `out`, so every load is sequential and the
-    /// four multiply-adds per output element keep the FP pipelines full
-    /// (the compiler turns the zipped inner loop into vectorized FMA).
+    /// `out += self @ other`, through the cache-blocked register-tiled
+    /// kernel ([`gemm_acc`]); outputs narrower than one 16-wide block
+    /// take the streaming kernel instead.
     ///
     /// # Panics
     /// Panics on shape mismatch.
@@ -157,35 +420,109 @@ impl Matrix {
             (self.rows, other.cols),
             "matmul output shape mismatch"
         );
-        let n = other.cols;
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            let orow = &mut out.data[i * n..(i + 1) * n];
-            let mut chunks = arow.chunks_exact(4);
-            let mut k = 0usize;
-            for ch in &mut chunks {
-                let (a0, a1, a2, a3) = (ch[0], ch[1], ch[2], ch[3]);
-                if a0 != 0.0 || a1 != 0.0 || a2 != 0.0 || a3 != 0.0 {
-                    let b0 = &other.data[k * n..(k + 1) * n];
-                    let b1 = &other.data[(k + 1) * n..(k + 2) * n];
-                    let b2 = &other.data[(k + 2) * n..(k + 3) * n];
-                    let b3 = &other.data[(k + 3) * n..(k + 4) * n];
-                    for ((((o, &v0), &v1), &v2), &v3) in
-                        orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
-                    {
-                        *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
-                    }
-                }
-                k += 4;
-            }
-            for (&a, kk) in chunks.remainder().iter().zip(k..) {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
+        gemm_acc(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
+    }
+
+    /// `out[i] += self[rows[i]] @ other` — a row gather fused into the
+    /// GEMM's panel packing, so the gathered `rows.len() × k` matrix is
+    /// never materialized (one full write + read pass saved). The packed
+    /// values and accumulation order are exactly those of the plain
+    /// kernel on a materialized gather, so results are bit-identical to
+    /// `gather` + [`Matrix::matmul_acc`].
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or an out-of-range row index.
+    pub fn gather_matmul_acc(&self, rows: &[usize], other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (rows.len(), other.cols),
+            "matmul output shape mismatch"
+        );
+        assert!(
+            rows.iter().all(|&r| r < self.rows),
+            "gather row index out of range"
+        );
+        gemm_acc_impl(
+            &self.data,
+            Some(rows),
+            &other.data,
+            &mut out.data,
+            rows.len(),
+            self.cols,
+            other.cols,
+        );
+    }
+
+    /// `self @ other` with contiguous row panels sharded over `workers`
+    /// threads (`snowplow-pool`). Every output row is produced by
+    /// exactly one worker running the serial kernel in the same
+    /// k-ascending order, so the result is bit-identical to
+    /// [`Matrix::matmul`] at any worker count.
+    pub fn par_matmul(&self, other: &Matrix, workers: usize) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.par_matmul_acc(other, &mut out, workers);
+        out
+    }
+
+    /// `out += self @ other`, parallel across row panels. Bit-identical
+    /// to [`Matrix::matmul_acc`] whenever `out` arrives zeroed (the
+    /// pooled inference buffers always do); for a nonzero `out` it
+    /// differs only in adding each panel's finished sum once instead of
+    /// block-by-block.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn par_matmul_acc(&self, other: &Matrix, out: &mut Matrix, workers: usize) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul output shape mismatch"
+        );
+        let workers = workers.min(self.rows);
+        if workers <= 1 {
+            return gemm_acc(
+                &self.data,
+                &other.data,
+                &mut out.data,
+                self.rows,
+                self.cols,
+                other.cols,
+            );
+        }
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let base = m / workers;
+        let extra = m % workers;
+        let mut panels = Vec::with_capacity(workers);
+        let mut start = 0usize;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            panels.push((start, len));
+            start += len;
+        }
+        let a = &self.data;
+        let b = &other.data;
+        let results = snowplow_pool::scoped_map_exact(
+            workers,
+            panels.clone(),
+            || (),
+            |_, _idx, (lo, len): (usize, usize)| {
+                let mut panel = vec![0.0f32; len * n];
+                gemm_acc(&a[lo * k..(lo + len) * k], b, &mut panel, len, k, n);
+                panel
+            },
+        );
+        for ((lo, len), panel) in panels.into_iter().zip(results) {
+            for (o, &v) in out.data[lo * n..(lo + len) * n].iter_mut().zip(&panel) {
+                *o += v;
             }
         }
     }
@@ -199,10 +536,11 @@ impl Matrix {
 
     /// `out += self @ other.T`.
     ///
-    /// Four dot products run per pass over a row of `self`: one load of
-    /// each left-hand element feeds four independent accumulators, so
-    /// the kernel is bound by the four contiguous right-hand streams
-    /// rather than by a single serial reduction.
+    /// Large calls transpose `other` once into thread-local scratch and
+    /// reuse the tiled kernel — the `rows × d × m` product amortizes
+    /// the `d × m` transpose. Small calls keep the direct form: four
+    /// dot products per pass over a row of `self`, one left-hand load
+    /// feeding four independent accumulators.
     ///
     /// # Panics
     /// Panics on shape mismatch.
@@ -215,6 +553,19 @@ impl Matrix {
         );
         let d = self.cols;
         let m = other.rows;
+        if self.rows >= 8 && m >= 16 && d > 0 {
+            TRANSPOSE_SCRATCH.with(|s| {
+                let mut bt = s.borrow_mut();
+                bt.resize(d * m, 0.0);
+                for (i, row) in other.data.chunks_exact(d).enumerate() {
+                    for (j, &v) in row.iter().enumerate() {
+                        bt[j * m + i] = v;
+                    }
+                }
+                gemm_acc(&self.data, &bt, &mut out.data, self.rows, d, m);
+            });
+            return;
+        }
         for i in 0..self.rows {
             let arow = &self.data[i * d..(i + 1) * d];
             let orow = &mut out.data[i * m..(i + 1) * m];
@@ -258,10 +609,11 @@ impl Matrix {
 
     /// `out += self.T @ other`.
     ///
-    /// Kept as a rank-1-update sweep (one axpy per nonzero of `self`):
-    /// the backward passes that call this feed it ReLU-sparse
-    /// activations and gather/scatter gradients, where skipping zero
-    /// coefficients beats a dense blocked kernel.
+    /// Two regimes, picked by measured density: the backward passes
+    /// feed this ReLU-sparse activations and gather/scatter gradients,
+    /// where a rank-1-update sweep (one axpy per nonzero of `self`)
+    /// beats any dense kernel; mostly-dense large operands instead
+    /// transpose `self` once into scratch and run the tiled kernel.
     ///
     /// # Panics
     /// Panics on shape mismatch.
@@ -273,6 +625,23 @@ impl Matrix {
             "t_matmul output shape mismatch"
         );
         let c = other.cols;
+        let (nrows, r) = (self.rows, self.cols);
+        if nrows >= 16 && r >= 2 && c >= 16 {
+            let nnz = self.data.iter().filter(|v| **v != 0.0).count();
+            if nnz * 2 >= self.data.len() {
+                TRANSPOSE_SCRATCH.with(|s| {
+                    let mut at = s.borrow_mut();
+                    at.resize(r * nrows, 0.0);
+                    for (i, row) in self.data.chunks_exact(r).enumerate() {
+                        for (j, &v) in row.iter().enumerate() {
+                            at[j * nrows + i] = v;
+                        }
+                    }
+                    gemm_acc(&at, &other.data, &mut out.data, r, nrows, c);
+                });
+                return;
+            }
+        }
         for n in 0..self.rows {
             let arow = &self.data[n * self.cols..(n + 1) * self.cols];
             let brow = &other.data[n * c..(n + 1) * c];
@@ -457,6 +826,126 @@ mod tests {
         let mut reused = Matrix::full(3, 4, 9.0);
         a.matmul_into(&b, &mut reused);
         assert_eq!(reused, fresh);
+    }
+
+    #[test]
+    fn tiled_kernel_matches_naive_across_block_widths() {
+        let mut rng = StdRng::seed_from_u64(21);
+        // Widths cover every dispatch arm (48 / 32 / 16 / tail and the
+        // narrow streaming kernel), depths cover the wide-block cutoff
+        // (k ≤ 128) and KC chunking (k > 256), rows cover every panel
+        // remainder (m mod 4).
+        for &n in &[
+            1usize, 7, 15, 16, 17, 31, 32, 33, 47, 48, 49, 63, 80, 97, 130,
+        ] {
+            for &k in &[1usize, 3, 48, 129, 300] {
+                for &m in &[1usize, 2, 3, 4, 5, 9] {
+                    let a = Matrix::xavier(m, k, &mut rng);
+                    let b = Matrix::xavier(k, n, &mut rng);
+                    let want = naive_matmul(&a, &b);
+                    let got = a.matmul(&b);
+                    for (x, y) in want.data().iter().zip(got.data()) {
+                        assert!((x - y).abs() < 1e-4, "matmul {m}x{k}x{n}: {x} vs {y}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_dense_paths_match_naive_on_large_shapes() {
+        let mut rng = StdRng::seed_from_u64(22);
+        // Shapes big enough to take the transpose-into-scratch tiled
+        // paths of matmul_t (rows ≥ 8, m ≥ 16) and t_matmul (dense).
+        let a = Matrix::xavier(11, 37, &mut rng);
+        let b = Matrix::xavier(19, 37, &mut rng);
+        let mut bt = Matrix::zeros(37, 19);
+        for i in 0..19 {
+            for j in 0..37 {
+                *bt.at_mut(j, i) = b.at(i, j);
+            }
+        }
+        let want = naive_matmul(&a, &bt);
+        let got = a.matmul_t(&b);
+        for (x, y) in want.data().iter().zip(got.data()) {
+            assert!((x - y).abs() < 1e-4, "matmul_t dense: {x} vs {y}");
+        }
+
+        let x = Matrix::xavier(33, 9, &mut rng);
+        let y = Matrix::xavier(33, 21, &mut rng);
+        let mut xt = Matrix::zeros(9, 33);
+        for i in 0..33 {
+            for j in 0..9 {
+                *xt.at_mut(j, i) = x.at(i, j);
+            }
+        }
+        let want2 = naive_matmul(&xt, &y);
+        let got2 = x.t_matmul(&y);
+        for (p, q) in want2.data().iter().zip(got2.data()) {
+            assert!((p - q).abs() < 1e-4, "t_matmul dense: {p} vs {q}");
+        }
+        // The sparse sweep still answers for ReLU-like operands.
+        let xs = x.map(|v| if v > 0.0 { v } else { 0.0 });
+        let mut xst = Matrix::zeros(9, 33);
+        for i in 0..33 {
+            for j in 0..9 {
+                *xst.at_mut(j, i) = xs.at(i, j);
+            }
+        }
+        let want3 = naive_matmul(&xst, &y);
+        let got3 = xs.t_matmul(&y);
+        for (p, q) in want3.data().iter().zip(got3.data()) {
+            assert!((p - q).abs() < 1e-4, "t_matmul sparse: {p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn par_matmul_is_bit_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for &(m, k, n) in &[
+            (1usize, 5usize, 9usize),
+            (7, 48, 48),
+            (40, 48, 48),
+            (65, 130, 33),
+            (300, 17, 80),
+        ] {
+            let a = Matrix::xavier(m, k, &mut rng);
+            let b = Matrix::xavier(k, n, &mut rng);
+            let serial = a.matmul(&b);
+            for workers in [1usize, 2, 8] {
+                let par = a.par_matmul(&b, workers);
+                assert_eq!(
+                    serial.data(),
+                    par.data(),
+                    "par_matmul {m}x{k}x{n} workers={workers} diverged from serial"
+                );
+                // The acc form on a zeroed buffer is the inference
+                // hot path; it must agree bitwise too.
+                let mut acc = Matrix::zeros(m, n);
+                a.par_matmul_acc(&b, &mut acc, workers);
+                assert_eq!(serial.data(), acc.data());
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+        #[test]
+        fn par_matmul_matches_serial_for_any_shape(
+            m in 1usize..48,
+            k in 1usize..40,
+            n in 1usize..70,
+            seed in 0u64..1_000,
+            workers_idx in 0usize..3,
+        ) {
+            let workers = [1usize, 2, 8][workers_idx];
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Matrix::xavier(m, k, &mut rng);
+            let b = Matrix::xavier(k, n, &mut rng);
+            let serial = a.matmul(&b);
+            let par = a.par_matmul(&b, workers);
+            proptest::prop_assert_eq!(serial.data(), par.data());
+        }
     }
 
     #[test]

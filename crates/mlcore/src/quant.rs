@@ -1,0 +1,302 @@
+//! Quantized inference weight stores.
+//!
+//! Training always runs in f32. When a pipeline freezes a model for
+//! serving it may opt into quantizing the weight store: every
+//! parameter scalar is rounded to the nearest value representable in
+//! the chosen narrower format and stored back as f32, so the compute
+//! kernels (and their bit-exact parallel variants) are untouched — the
+//! quantization *is* the round-trip. That models the memory-bandwidth
+//! format of an f16/int8 deployment while keeping one code path, and
+//! makes "quantization off" trivially bit-identical to the trained
+//! model.
+//!
+//! The f32 ↔ f16 conversion is implemented here (round-to-nearest-even,
+//! IEEE 754 binary16 semantics including subnormals and infinities)
+//! rather than pulled from a crate; int8 uses symmetric per-row scales
+//! (`scale = max|row| / 127`), the standard weight-only scheme.
+
+use crate::matrix::Matrix;
+
+/// Inference weight-store format, chosen when a model is frozen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Quantize {
+    /// Keep the trained f32 weights untouched (bit-identical serving).
+    #[default]
+    None,
+    /// Round every weight to the nearest IEEE binary16 value.
+    F16,
+    /// Symmetric int8 with one scale per matrix row.
+    Int8,
+}
+
+impl Quantize {
+    /// Stable lowercase name (used in model metadata sidecars).
+    pub fn name(self) -> &'static str {
+        match self {
+            Quantize::None => "none",
+            Quantize::F16 => "f16",
+            Quantize::Int8 => "int8",
+        }
+    }
+
+    /// Parses [`Quantize::name`] output.
+    pub fn parse(s: &str) -> Option<Quantize> {
+        match s {
+            "none" => Some(Quantize::None),
+            "f16" => Some(Quantize::F16),
+            "int8" => Some(Quantize::Int8),
+            _ => None,
+        }
+    }
+
+    /// Bytes one weight scalar occupies in the modelled deployment
+    /// format (f32 stores are what we actually keep in memory; this is
+    /// the footprint a narrow-format serving tier would pay).
+    pub fn bytes_per_scalar(self) -> f64 {
+        match self {
+            Quantize::None => 4.0,
+            Quantize::F16 => 2.0,
+            // int8 payload plus one f32 scale amortized over a row; the
+            // row length varies, so quote the payload.
+            Quantize::Int8 => 1.0,
+        }
+    }
+}
+
+/// Converts an `f32` to IEEE binary16 bits, round-to-nearest-even.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let b = x.to_bits();
+    let sign = ((b >> 16) & 0x8000) as u16;
+    let exp32 = (b >> 23) & 0xff;
+    let mant = b & 0x7f_ffff;
+    if exp32 == 0xff {
+        // Inf / NaN; keep NaNs quiet.
+        return sign | 0x7c00 | if mant != 0 { 0x200 } else { 0 };
+    }
+    let exp = exp32 as i32 - 127 + 15;
+    if exp >= 0x1f {
+        return sign | 0x7c00; // overflow → ±inf
+    }
+    if exp <= 0 {
+        if exp < -10 {
+            return sign; // underflow → ±0
+        }
+        // Subnormal result: restore the implicit bit, then round the
+        // (14 - exp)-bit shift to nearest-even.
+        let m = mant | 0x80_0000;
+        let shift = (14 - exp) as u32;
+        let lsb = (m >> shift) & 1;
+        let half = 1u32 << (shift - 1);
+        let rounded = (m + half - 1 + lsb) >> shift;
+        return sign | rounded as u16;
+    }
+    // Normal result: round 23-bit mantissa to 10 bits, nearest-even.
+    let lsb = (mant >> 13) & 1;
+    let rounded = mant + 0x0fff + lsb;
+    let mut m16 = rounded >> 13;
+    let mut exp = exp as u32;
+    if m16 & 0x400 != 0 {
+        // Mantissa carried out; bump the exponent.
+        m16 = 0;
+        exp += 1;
+        if exp >= 0x1f {
+            return sign | 0x7c00;
+        }
+    }
+    sign | ((exp as u16) << 10) | m16 as u16
+}
+
+/// Converts IEEE binary16 bits back to `f32` (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = u32::from(h & 0x8000) << 16;
+    let exp = u32::from(h >> 10) & 0x1f;
+    let mant = u32::from(h & 0x3ff);
+    let bits = if exp == 0x1f {
+        sign | 0x7f80_0000 | (mant << 13)
+    } else if exp == 0 {
+        if mant == 0 {
+            sign
+        } else {
+            // Subnormal: renormalize into the f32 exponent range.
+            let mut e = 127 - 15 + 1;
+            let mut m = mant;
+            while m & 0x400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            sign | ((e as u32) << 23) | ((m & 0x3ff) << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Rounds `x` to the nearest f16-representable value.
+#[inline]
+pub fn round_f16(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+/// What one [`quantize_matrix`] call did, aggregated by
+/// [`QuantStats::merge`] across a whole parameter store.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QuantStats {
+    /// Scalars rounded.
+    pub scalars: usize,
+    /// Largest absolute rounding error introduced.
+    pub max_abs_delta: f32,
+}
+
+impl QuantStats {
+    /// Folds another matrix's stats into this one.
+    pub fn merge(&mut self, other: QuantStats) {
+        self.scalars += other.scalars;
+        self.max_abs_delta = self.max_abs_delta.max(other.max_abs_delta);
+    }
+}
+
+/// Largest absolute value in `xs`, reduced over integer bit patterns:
+/// for non-NaN floats the sign-cleared bits order exactly like the
+/// magnitude, and the `u32::max` fold sidesteps an LLVM AVX-512
+/// miscompile observed on `f32` max-reduction folds under
+/// `-C target-cpu=native` (a 9-element reduction silently dropping its
+/// masked tail lane in one inlining context). A wrong row max here
+/// would skew every int8 scale, so this fold must not be fragile.
+fn max_abs(xs: &[f32]) -> f32 {
+    f32::from_bits(
+        xs.iter()
+            .map(|v| v.to_bits() & 0x7fff_ffff)
+            .fold(0, u32::max),
+    )
+}
+
+/// Rounds every entry of `m` to the chosen format's nearest
+/// representable value, in place. Idempotent: re-quantizing an already
+/// quantized matrix changes nothing.
+pub fn quantize_matrix(m: &mut Matrix, mode: Quantize) -> QuantStats {
+    let mut stats = QuantStats {
+        scalars: m.rows() * m.cols(),
+        max_abs_delta: 0.0,
+    };
+    match mode {
+        Quantize::None => stats.scalars = 0,
+        Quantize::F16 => {
+            for v in m.data_mut() {
+                let q = round_f16(*v);
+                stats.max_abs_delta = stats.max_abs_delta.max((q - *v).abs());
+                *v = q;
+            }
+        }
+        Quantize::Int8 => {
+            for r in 0..m.rows() {
+                let row = m.row_mut(r);
+                let max_abs = max_abs(row);
+                if max_abs == 0.0 {
+                    continue;
+                }
+                let scale = max_abs / 127.0;
+                for v in row.iter_mut() {
+                    let q = (*v / scale).round().clamp(-127.0, 127.0) * scale;
+                    stats.max_abs_delta = stats.max_abs_delta.max((q - *v).abs());
+                    *v = q;
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::prelude::*;
+
+    use super::*;
+
+    #[test]
+    fn f16_round_trip_hits_known_values() {
+        for &(x, bits) in &[
+            (0.0f32, 0x0000u16),
+            (1.0, 0x3c00),
+            (-2.0, 0xc000),
+            (0.5, 0x3800),
+            (65504.0, 0x7bff),        // f16::MAX
+            (6.103_515_6e-5, 0x0400), // smallest normal
+            (5.960_464_5e-8, 0x0001), // smallest subnormal
+        ] {
+            assert_eq!(f32_to_f16_bits(x), bits, "to bits for {x}");
+            assert_eq!(f16_bits_to_f32(bits), x, "from bits for {x}");
+        }
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f32_to_f16_bits(1e9), 0x7c00, "overflow goes to inf");
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7c00);
+        assert_eq!(f32_to_f16_bits(1e-10), 0x0000, "underflow goes to 0");
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+        // 0.1 is inexact in binary16; nearest-even picks 0x2e66.
+        assert_eq!(f32_to_f16_bits(0.1), 0x2e66);
+    }
+
+    #[test]
+    fn f16_rounding_is_nearest_even_and_idempotent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f32 = rng.random_range(-100.0..100.0);
+            let q = round_f16(x);
+            // Relative error of binary16 rounding is ≤ 2^-11 for
+            // normal-range values.
+            assert!((q - x).abs() <= x.abs() / 2048.0 + 1e-7, "{x} -> {q}");
+            // Round-tripping a representable value is exact.
+            assert_eq!(round_f16(q), q);
+            // Nearest: no f16 value sits closer than q does.
+            let up = f16_bits_to_f32(f32_to_f16_bits(q) + 1);
+            assert!((q - x).abs() <= (up - x).abs() + 1e-7);
+        }
+    }
+
+    #[test]
+    fn quantize_matrix_rounds_and_reports() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m0 = Matrix::xavier(6, 9, &mut rng);
+
+        let mut none = m0.clone();
+        let s = quantize_matrix(&mut none, Quantize::None);
+        assert_eq!(none, m0, "None must be a byte-identical no-op");
+        assert_eq!(s, QuantStats::default());
+
+        let mut f16 = m0.clone();
+        let s = quantize_matrix(&mut f16, Quantize::F16);
+        assert_eq!(s.scalars, 54);
+        assert!(s.max_abs_delta > 0.0 && s.max_abs_delta < 1e-3);
+        let again = quantize_matrix(&mut f16, Quantize::F16);
+        assert_eq!(again.max_abs_delta, 0.0, "idempotent");
+
+        let mut i8m = m0.clone();
+        let s8 = quantize_matrix(&mut i8m, Quantize::Int8);
+        // Per-row max error ≤ scale/2 = max|row| / 254. The bound uses
+        // the same bit-pattern reduction as the quantizer: an
+        // independent `f32` max fold here once compiled to AVX-512 code
+        // that dropped the row's tail element, flagging a correct
+        // quantization as out of bounds.
+        for r in 0..m0.rows() {
+            let max_abs = super::max_abs(m0.row(r));
+            for (a, b) in m0.row(r).iter().zip(i8m.row(r)) {
+                assert!(
+                    (a - b).abs() <= max_abs / 254.0 + 1e-7,
+                    "row {r}: v={a:.9e} q={b:.9e} err={:.9e} max_abs={max_abs:.9e}",
+                    (a - b).abs()
+                );
+            }
+        }
+        assert!(s8.max_abs_delta >= s.max_abs_delta, "int8 is coarser");
+        let again8 = quantize_matrix(&mut i8m, Quantize::Int8);
+        assert_eq!(again8.max_abs_delta, 0.0, "int8 idempotent");
+    }
+
+    #[test]
+    fn quantize_names_round_trip() {
+        for q in [Quantize::None, Quantize::F16, Quantize::Int8] {
+            assert_eq!(Quantize::parse(q.name()), Some(q));
+        }
+        assert_eq!(Quantize::parse("f8"), None);
+    }
+}

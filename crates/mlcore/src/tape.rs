@@ -135,9 +135,16 @@ pub struct Tape<'p> {
     /// [`Tape::inference_pooled`]). On drop, node values return here so
     /// the next forward pass allocates nothing.
     pool: Option<&'p mut Vec<Vec<f32>>>,
+    /// Row-panel worker count for large matmuls (see [`Tape::set_workers`]).
+    workers: usize,
 }
 
 const RMS_EPS: f32 = 1e-6;
+
+/// Minimum left-operand row count before a tape matmul shards row
+/// panels over workers: below this the per-call thread dispatch of the
+/// scoped pool costs more than the multiply.
+const PAR_MIN_ROWS: usize = 256;
 
 impl<'p> Tape<'p> {
     /// Starts a tape over a parameter store.
@@ -150,6 +157,7 @@ impl<'p> Tape<'p> {
             scatter_stamp: Vec::new(),
             scatter_epoch: 0,
             pool: None,
+            workers: 1,
         }
     }
 
@@ -166,6 +174,7 @@ impl<'p> Tape<'p> {
             scatter_stamp: Vec::new(),
             scatter_epoch: 0,
             pool: None,
+            workers: 1,
         }
     }
 
@@ -178,6 +187,34 @@ impl<'p> Tape<'p> {
         let mut t = Tape::inference(params);
         t.pool = Some(pool);
         t
+    }
+
+    /// Shards this tape's large matmuls (`≥ 256` left-hand rows — the
+    /// packed-union batch dimension) over `workers` row panels via
+    /// [`Matrix::par_matmul_acc`]. Values stay bit-identical to the
+    /// serial tape at any worker count; only wall-clock changes.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// Whether this tape records operands for [`Tape::backward`].
+    /// Forward-only callers branch on this to pick fused inference
+    /// kernels (bit-identical values, fewer memory passes) over the
+    /// differentiable op sequence.
+    pub fn is_recording(&self) -> bool {
+        self.record
+    }
+
+    /// An empty recycled buffer for ops that fully overwrite their
+    /// output — skips the zero-fill of [`Tape::alloc_zeros`].
+    fn take_pool_buf(&mut self) -> Vec<f32> {
+        match self.pool.as_mut().and_then(|p| p.pop()) {
+            Some(mut v) => {
+                v.clear();
+                v
+            }
+            None => Vec::new(),
+        }
     }
 
     /// A zeroed `rows × cols` matrix, recycled from the pool when one is
@@ -222,6 +259,30 @@ impl<'p> Tape<'p> {
         }
     }
 
+    /// Releases `v`'s buffer immediately (forward-only tapes; a no-op
+    /// while recording, where `backward` still needs every value).
+    ///
+    /// This is the inference loop's liveness lever: a forward pass
+    /// otherwise keeps every intermediate alive until [`Tape::recycle`],
+    /// so the working set grows with op count × batch width and falls
+    /// out of L2 for packed multi-graph unions. Freeing each value at
+    /// its last use keeps the live set to a handful of tensors at any
+    /// batch size. Reading a freed [`Var`] again is a caller bug: its
+    /// value is now an empty matrix, so downstream shape checks panic
+    /// rather than compute on recycled garbage.
+    pub fn free(&mut self, v: Var) {
+        if self.record || matches!(self.nodes[v.0].op, Op::Param(_)) {
+            return;
+        }
+        let taken = std::mem::replace(&mut self.nodes[v.0].value, Matrix::zeros(0, 0));
+        let buf = taken.into_vec();
+        if let Some(pool) = self.pool.as_mut() {
+            if buf.capacity() > 0 && pool.len() < 512 {
+                pool.push(buf);
+            }
+        }
+    }
+
     fn push(&mut self, value: Matrix, op: Op) -> Var {
         // Param records survive no-grad mode: `value` resolves them by
         // borrowing the store, which is what makes them cheap at all.
@@ -260,7 +321,12 @@ impl<'p> Tape<'p> {
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let (m, n) = (self.value(a).rows(), self.value(b).cols());
         let mut value = self.alloc_zeros(m, n);
-        self.value(a).matmul_acc(self.value(b), &mut value);
+        if self.workers > 1 && m >= PAR_MIN_ROWS {
+            self.value(a)
+                .par_matmul_acc(self.value(b), &mut value, self.workers);
+        } else {
+            self.value(a).matmul_acc(self.value(b), &mut value);
+        }
         self.push(value, Op::MatMul(a, b))
     }
 
@@ -282,7 +348,12 @@ impl<'p> Tape<'p> {
         assert_eq!(self.value(b).rows(), 1, "row broadcast needs a 1-row rhs");
         assert_eq!(self.value(b).cols(), n);
         let mut value = self.alloc_zeros(m, n);
-        self.value(x).matmul_acc(self.value(w), &mut value);
+        if self.workers > 1 && m >= PAR_MIN_ROWS {
+            self.value(x)
+                .par_matmul_acc(self.value(w), &mut value, self.workers);
+        } else {
+            self.value(x).matmul_acc(self.value(w), &mut value);
+        }
         let bm = self.value(b);
         let brow = bm.row(0);
         for r in 0..m {
@@ -394,11 +465,15 @@ impl<'p> Tape<'p> {
     /// Selects rows `idx` of `a` (embedding lookup; indices may repeat).
     pub fn gather_rows(&mut self, a: Var, idx: &[usize]) -> Var {
         let cols = self.value(a).cols();
-        let mut value = self.alloc_zeros(idx.len(), cols);
-        let src = self.value(a);
-        for (i, &r) in idx.iter().enumerate() {
-            value.row_mut(i).copy_from_slice(src.row(r));
+        let mut buf = self.take_pool_buf();
+        buf.reserve(idx.len() * cols);
+        {
+            let src = self.value(a);
+            for &r in idx {
+                buf.extend_from_slice(src.row(r));
+            }
         }
+        let value = Matrix::from_vec(idx.len(), cols, buf);
         let op = if self.record {
             Op::GatherRows(a, idx.to_vec())
         } else {
@@ -508,6 +583,103 @@ impl<'p> Tape<'p> {
             }
         }
         self.push(value, Op::ScaleRows(a, scales.to_vec()))
+    }
+
+    /// Fused `relu(add(total, scale_rows(a, scales)))` for forward-only
+    /// tapes: one pass over the two operands into a fresh output instead
+    /// of three passes materializing two intermediates. Per element the
+    /// float order matches the unfused chain exactly
+    /// (`total[r][j] + a[r][j] * scales[r]`, then the relu clamp), so
+    /// values are bit-identical.
+    ///
+    /// Inference-only: panics on a recording tape — the unfused chain is
+    /// the differentiable path.
+    pub fn scale_rows_add_relu(&mut self, total: Var, a: Var, scales: &[f32]) -> Var {
+        assert!(
+            !self.record,
+            "fused inference kernel called on a recording tape"
+        );
+        let (rows, cols) = self.value(total).shape();
+        assert_eq!(self.value(a).shape(), (rows, cols));
+        assert_eq!(scales.len(), rows);
+        let mut buf = self.take_pool_buf();
+        buf.reserve(rows * cols);
+        {
+            let t = self.value(total);
+            let av = self.value(a);
+            for (r, &s) in scales.iter().enumerate() {
+                buf.extend(
+                    t.row(r)
+                        .iter()
+                        .zip(av.row(r))
+                        .map(|(tv, xv)| (tv + xv * s).max(0.0)),
+                );
+            }
+        }
+        self.push(Matrix::from_vec(rows, cols, buf), Op::Constant)
+    }
+
+    /// Fused `linear(gather_rows(h, idx), w, b)` for forward-only
+    /// tapes: the row gather happens inside the GEMM's panel packing
+    /// ([`Matrix::gather_matmul_acc`]), so the gathered input matrix is
+    /// never materialized. Bit-identical to the unfused pair — packed
+    /// values, accumulation order, and the trailing bias add are all
+    /// unchanged.
+    ///
+    /// Inference-only: panics on a recording tape.
+    pub fn gather_linear(&mut self, h: Var, idx: &[usize], w: Var, b: Var) -> Var {
+        assert!(
+            !self.record,
+            "fused inference kernel called on a recording tape"
+        );
+        let n = self.value(w).cols();
+        assert_eq!(self.value(b).rows(), 1, "row broadcast needs a 1-row rhs");
+        assert_eq!(self.value(b).cols(), n);
+        let mut value = self.alloc_zeros(idx.len(), n);
+        self.value(h)
+            .gather_matmul_acc(idx, self.value(w), &mut value);
+        let bm = self.value(b);
+        let brow = bm.row(0);
+        for r in 0..idx.len() {
+            for (v, bv) in value.row_mut(r).iter_mut().zip(brow) {
+                *v += bv;
+            }
+        }
+        self.push(value, Op::Constant)
+    }
+
+    /// Fused `rms_norm_rows(add(h, a))` for forward-only tapes: the row
+    /// sum is formed once in the output buffer and normalized while
+    /// still cache-hot, skipping the intermediate residual matrix. The
+    /// per-element arithmetic (sum, then sum-of-squares in index order,
+    /// then the `1/sqrt(ms + eps)` multiply) matches the unfused pair,
+    /// so values are bit-identical.
+    ///
+    /// Inference-only: panics on a recording tape.
+    pub fn add_rms_norm_rows(&mut self, h: Var, a: Var) -> Var {
+        assert!(
+            !self.record,
+            "fused inference kernel called on a recording tape"
+        );
+        let (rows, cols) = self.value(h).shape();
+        assert_eq!(self.value(a).shape(), (rows, cols));
+        let mut buf = self.take_pool_buf();
+        buf.reserve(rows * cols);
+        for r in 0..rows {
+            let start = buf.len();
+            {
+                let hm = self.value(h);
+                let am = self.value(a);
+                buf.extend(hm.row(r).iter().zip(am.row(r)).map(|(x, y)| x + y));
+            }
+            let row = &mut buf[start..];
+            let ms = row.iter().map(|v| v * v).sum::<f32>() / row.len().max(1) as f32;
+            let inv = 1.0 / (ms + RMS_EPS).sqrt();
+            for v in row {
+                *v *= inv;
+            }
+        }
+        self.push(Matrix::from_vec(rows, cols, buf), Op::Constant)
     }
 
     /// Mean over rows: `n × d -> 1 × d`.

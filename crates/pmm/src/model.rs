@@ -18,7 +18,7 @@
 
 use rand::prelude::*;
 use snowplow_kernel::Tok;
-use snowplow_mlcore::{io, Embedding, Linear, Params, Tape, Var};
+use snowplow_mlcore::{io, Embedding, Linear, Params, QuantStats, Quantize, Tape, Var};
 use snowplow_prog::ArgLoc;
 
 use crate::graph::{EdgeType, NodeKind, QueryGraph, KIND_TAGS};
@@ -27,6 +27,14 @@ use crate::graph::{EdgeType, NodeKind, QueryGraph, KIND_TAGS};
 /// alternative block, plus an additive target-marker row.
 const NODE_CLASSES: usize = 5;
 const TARGET_CLASS: usize = 4;
+/// Graphs per inference forward pass inside [`Pmm::predict_batch`].
+/// Union tensors are `total_nodes × dim`; past a few graphs they fall
+/// out of L1 and every row of every op pays the L2 latency. Four graphs
+/// (~100-200 rows at quick-scale graph sizes) is the measured knee on
+/// the 48-wide models the benches train — wider API batches still
+/// amortize per-call overhead, the forward just walks them one
+/// cache-resident tile at a time.
+const INFER_TILE: usize = 4;
 
 /// Architecture hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,6 +48,11 @@ pub struct PmmConfig {
     pub attention: bool,
     /// Initialization seed.
     pub seed: u64,
+    /// Inference weight-store format, applied when the pipeline freezes
+    /// the trained model ([`Pmm::quantize_for_inference`]). Training
+    /// always runs in f32; [`Quantize::None`] (the default) keeps
+    /// serving bit-identical to the trained weights.
+    pub quantize: Quantize,
 }
 
 impl Default for PmmConfig {
@@ -49,6 +62,7 @@ impl Default for PmmConfig {
             rounds: 3,
             attention: false,
             seed: 0x504d_4d31,
+            quantize: Quantize::None,
         }
     }
 }
@@ -136,6 +150,9 @@ pub struct Pmm {
     /// Buffer recycle pool for inference tapes: after warm-up, a predict
     /// performs no heap allocation for op outputs.
     tape_pool: Vec<Vec<f32>>,
+    /// Row-panel workers for large batched-inference matmuls (see
+    /// [`Pmm::set_inference_workers`]).
+    inference_workers: usize,
 }
 
 impl Pmm {
@@ -169,7 +186,30 @@ impl Pmm {
             layers,
             scratch: GraphScratch::default(),
             tape_pool: Vec::new(),
+            inference_workers: 1,
         }
+    }
+
+    /// Shards large batched-inference matmuls over `workers` row panels
+    /// of the packed union graph (the batch dimension). Scores stay
+    /// bit-identical to serial inference at any worker count
+    /// ([`Tape::set_workers`]); only wall-clock changes.
+    pub fn set_inference_workers(&mut self, workers: usize) {
+        self.inference_workers = workers.max(1);
+    }
+
+    /// Freezes the weight store into the configured inference format
+    /// (`config.quantize`), rounding every parameter in place (training
+    /// stays f32 — callers quantize after the last optimizer step).
+    /// Returns aggregate rounding statistics; with [`Quantize::None`]
+    /// this is a byte-identical no-op. Idempotent.
+    pub fn quantize_for_inference(&mut self) -> QuantStats {
+        let mut stats = QuantStats::default();
+        for i in 0..self.params.len() {
+            let m = self.params.get_mut(snowplow_mlcore::ParamId(i));
+            stats.merge(snowplow_mlcore::quantize_matrix(m, self.config.quantize));
+        }
+        stats
     }
 
     /// Number of trainable scalars.
@@ -234,12 +274,22 @@ impl Pmm {
         let mut scratch = std::mem::take(&mut self.scratch);
         // Forward-only tape: same kernels in the same order (scores stay
         // bit-identical to a training-mode forward), minus the gradient
-        // bookkeeping.
-        let mut tape = Tape::inference_pooled(&mut self.params, &mut self.tape_pool);
-        let logits = layers.forward_batch(&mut tape, &live, &mut scratch);
-        let probs = tape.sigmoid(logits);
-        let flat: Vec<f32> = tape.value(probs).data().to_vec();
-        tape.recycle();
+        // bookkeeping. The batch is processed in sub-batches of
+        // `INFER_TILE` graphs — the same cache-blocking logic as the
+        // GEMM's KC/MR tiling, one level up: a wide union's n×dim
+        // tensors spill L1 and every row gets slower, while per-graph
+        // scores are width-invariant (each row only ever sees its own
+        // graph's values), so tiling changes no output bit.
+        let mut flat: Vec<f32> = Vec::with_capacity(live.iter().map(|g| g.candidates.len()).sum());
+        for sub in live.chunks(INFER_TILE) {
+            let mut tape = Tape::inference_pooled(&mut self.params, &mut self.tape_pool);
+            tape.set_workers(self.inference_workers);
+            let logits = layers.forward_batch(&mut tape, sub, &mut scratch);
+            let probs = tape.sigmoid(logits);
+            tape.free(logits);
+            flat.extend_from_slice(tape.value(probs).data());
+            tape.recycle();
+        }
         self.scratch = scratch;
 
         let mut row = 0usize;
@@ -282,12 +332,13 @@ impl Pmm {
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
         io::save_params(&self.params, path)?;
         let meta = format!(
-            "dim={} rounds={} attention={} seed={} syscalls={}\n",
+            "dim={} rounds={} attention={} seed={} syscalls={} quantize={}\n",
             self.config.dim,
             self.config.rounds,
             self.config.attention,
             self.config.seed,
-            self.layers.syscall_count
+            self.layers.syscall_count,
+            self.config.quantize.name()
         );
         std::fs::write(path.with_extension("meta"), meta)
     }
@@ -389,22 +440,37 @@ impl Layers {
         );
 
         // ---- Initial node features. -------------------------------------
+        // Intermediates are freed at their last use (`Tape::free`, a
+        // no-op on recording tapes): the inference working set stays a
+        // handful of `n × dim` tensors at any batch width instead of
+        // accumulating one per op until the tape is recycled.
         let mut h = self.class_emb.lookup(tape, &scratch.class_idx);
         if !scratch.target_rows.is_empty() {
             let tflag = self
                 .class_emb
                 .lookup(tape, &vec![TARGET_CLASS; scratch.target_rows.len()]);
+            let prev = h;
             h = tape.add_scatter_rows(h, tflag, &scratch.target_rows);
+            tape.free(prev);
+            tape.free(tflag);
         }
         if !scratch.sys_rows.is_empty() {
             let e = self.sys_emb.lookup(tape, &scratch.sys_idx);
+            let prev = h;
             h = tape.add_scatter_rows(h, e, &scratch.sys_rows);
+            tape.free(prev);
+            tape.free(e);
         }
         if !scratch.arg_rows.is_empty() {
             let k = self.kind_emb.lookup(tape, &scratch.arg_kind_idx);
             let s = self.tok_emb.lookup(tape, &scratch.arg_slot_idx);
             let ks = tape.add(k, s);
+            tape.free(k);
+            tape.free(s);
+            let prev = h;
             h = tape.add_scatter_rows(h, ks, &scratch.arg_rows);
+            tape.free(prev);
+            tape.free(ks);
         }
         if !scratch.tok_idx.is_empty() {
             let encoded = self.encode_blocks(
@@ -414,9 +480,14 @@ impl Layers {
                 &scratch.block_rows_tokens,
                 n,
             );
+            let prev = h;
             h = tape.add(h, encoded);
+            tape.free(prev);
+            tape.free(encoded);
         }
+        let pre_norm = h;
         h = tape.rms_norm_rows(h);
+        tape.free(pre_norm);
 
         // ---- Relational message passing. ----------------------------------
         let mut indeg = vec![0f32; n];
@@ -431,31 +502,75 @@ impl Layers {
 
         let h0 = h;
         for _ in 0..self.config.rounds {
-            let mut total = self.self_w.apply(tape, h);
+            let total = self.self_w.apply(tape, h);
             let mut agg: Option<Var> = None;
             for (t, (srcs, dsts)) in scratch.by_type.iter().enumerate() {
                 if srcs.is_empty() {
                     continue;
                 }
-                let msrc = tape.gather_rows(h, srcs);
-                let msg = self.edge_w[t].apply(tape, msrc);
+                let msg = if tape.is_recording() {
+                    let msrc = tape.gather_rows(h, srcs);
+                    self.edge_w[t].apply(tape, msrc)
+                } else {
+                    // Gather fused into the GEMM pack: the edges×dim
+                    // source matrix is never materialized
+                    // (bit-identical; see `Tape::gather_linear`).
+                    self.edge_w[t].apply_gathered(tape, h, srcs)
+                };
                 // Fused accumulate: one scatter into the running sum
                 // instead of a zeroed n×dim scatter plus a full add per
                 // edge type (bit-identical; see `Tape::add_scatter_rows`).
                 agg = Some(match agg {
-                    Some(a) => tape.add_scatter_rows(a, msg, dsts),
+                    Some(a) => {
+                        let next = tape.add_scatter_rows(a, msg, dsts);
+                        tape.free(a);
+                        next
+                    }
                     None => tape.scatter_add_rows(msg, dsts, n),
                 });
+                tape.free(msg);
             }
-            if let Some(a) = agg {
-                let normed = tape.scale_rows(a, &scratch.inv_deg);
-                total = tape.add(total, normed);
-            }
-            let activated = tape.relu(total);
+            let activated = match agg {
+                // Forward-only tapes take the fused normalize+add+relu
+                // kernel: one memory pass instead of three, bit-identical
+                // values (see `Tape::scale_rows_add_relu`).
+                Some(a) if !tape.is_recording() => {
+                    let act = tape.scale_rows_add_relu(total, a, &scratch.inv_deg);
+                    tape.free(a);
+                    tape.free(total);
+                    act
+                }
+                Some(a) => {
+                    let normed = tape.scale_rows(a, &scratch.inv_deg);
+                    tape.free(a);
+                    let summed = tape.add(total, normed);
+                    tape.free(total);
+                    tape.free(normed);
+                    let act = tape.relu(summed);
+                    tape.free(summed);
+                    act
+                }
+                None => {
+                    let act = tape.relu(total);
+                    tape.free(total);
+                    act
+                }
+            };
             // Residual connection: keep initial features (slot/type
             // embeddings) available to the head after many rounds.
-            let res = tape.add(h, activated);
-            h = tape.rms_norm_rows(res);
+            let prev = h;
+            h = if tape.is_recording() {
+                let res = tape.add(h, activated);
+                tape.rms_norm_rows(res)
+            } else {
+                // Fused residual+norm, bit-identical values (see
+                // `Tape::add_rms_norm_rows`).
+                tape.add_rms_norm_rows(h, activated)
+            };
+            tape.free(activated);
+            if prev != h0 {
+                tape.free(prev);
+            }
         }
 
         // ---- Scoring head over candidate argument vertices. -----------------
@@ -471,28 +586,62 @@ impl Layers {
         if !scratch.target_rows.is_empty() {
             // Final-state interaction: candidate ⊙ pooled target.
             let tsel = tape.gather_rows(h, &scratch.target_rows);
+            if h != h0 {
+                tape.free(h);
+            }
             let tsum = tape.scatter_add_rows(tsel, &scratch.tgt_owner, g_count);
+            tape.free(tsel);
             let tpool = tape.scale_rows(tsum, &scratch.inv_tcount);
+            tape.free(tsum);
             let tb = tape.gather_rows(tpool, &scratch.cand_graph);
+            tape.free(tpool);
             let interact = tape.mul(cand, tb);
-            let zt = self.head_t.apply(tape, interact);
-            let zt = tape.scale_rows(zt, &scratch.cand_mask);
+            tape.free(tb);
+            tape.free(cand);
+            let pre = self.head_t.apply(tape, interact);
+            tape.free(interact);
+            let zt = tape.scale_rows(pre, &scratch.cand_mask);
+            tape.free(pre);
+            let prev = z;
             z = tape.add(z, zt);
+            tape.free(prev);
+            tape.free(zt);
             // Initial-feature interaction: the raw slot/type embeddings
             // of candidate and targets, before message passing mixes
             // them — the shortest path for slot matching.
             let cand0 = tape.gather_rows(h0, &scratch.cand_rows);
             let tsel0 = tape.gather_rows(h0, &scratch.target_rows);
+            tape.free(h0);
             let tsum0 = tape.scatter_add_rows(tsel0, &scratch.tgt_owner, g_count);
+            tape.free(tsel0);
             let tpool0 = tape.scale_rows(tsum0, &scratch.inv_tcount);
+            tape.free(tsum0);
             let tb0 = tape.gather_rows(tpool0, &scratch.cand_graph);
+            tape.free(tpool0);
             let interact0 = tape.mul(cand0, tb0);
-            let zt0 = self.head_t0.apply(tape, interact0);
-            let zt0 = tape.scale_rows(zt0, &scratch.cand_mask);
+            tape.free(tb0);
+            tape.free(cand0);
+            let pre0 = self.head_t0.apply(tape, interact0);
+            tape.free(interact0);
+            let zt0 = tape.scale_rows(pre0, &scratch.cand_mask);
+            tape.free(pre0);
+            let prev = z;
             z = tape.add(z, zt0);
+            tape.free(prev);
+            tape.free(zt0);
+        } else {
+            if h != h0 {
+                tape.free(h);
+            }
+            tape.free(h0);
+            tape.free(cand);
         }
+        let pre = z;
         let z = tape.relu(z);
-        self.head2.apply(tape, z)
+        tape.free(pre);
+        let logits = self.head2.apply(tape, z);
+        tape.free(z);
+        logits
     }
 
     /// Encodes each block's token sequence into its node row
@@ -510,23 +659,35 @@ impl Layers {
             // Single-head self-attention *within* each block, over the
             // flat token matrix one block at a time.
             let qkv = self.attn_qkv.apply(tape, toks);
+            tape.free(toks);
             let scale = 1.0 / (self.config.dim as f32).sqrt();
             let mut parts: Option<Var> = None;
             let mut offset = 0usize;
             for &(_, len) in block_rows_tokens {
                 let rows: Vec<usize> = (offset..offset + len).collect();
                 let q = tape.gather_rows(qkv, &rows);
-                let scores = tape.matmul_t(q, q);
-                let scores = tape.scale(scores, scale);
+                let raw = tape.matmul_t(q, q);
+                let scores = tape.scale(raw, scale);
+                tape.free(raw);
                 let attn = tape.softmax_rows(scores);
+                tape.free(scores);
                 let mixed = tape.matmul(attn, q);
+                tape.free(attn);
+                tape.free(q);
                 let flat = tape.scatter_add_rows(mixed, &rows, tok_idx.len());
+                tape.free(mixed);
                 parts = Some(match parts {
-                    Some(p) => tape.add(p, flat),
+                    Some(p) => {
+                        let next = tape.add(p, flat);
+                        tape.free(p);
+                        tape.free(flat);
+                        next
+                    }
                     None => flat,
                 });
                 offset += len;
             }
+            tape.free(qkv);
             // Invariant: the loop above ran at least once (the
             // enclosing branch requires a nonempty block list).
             parts.expect("at least one block has tokens")
@@ -534,21 +695,27 @@ impl Layers {
             toks
         };
         // Mean-pool per owning block, then project.
-        let pooled = tape.scatter_add_rows(toks, tok_owner, n);
+        let summed = tape.scatter_add_rows(toks, tok_owner, n);
+        tape.free(toks);
         let mut inv = vec![0f32; n];
         for &(row, len) in block_rows_tokens {
             inv[row] = 1.0 / len.max(1) as f32;
         }
-        let pooled = tape.scale_rows(pooled, &inv);
+        let pooled = tape.scale_rows(summed, &inv);
+        tape.free(summed);
         let proj = self.enc_proj.apply(tape, pooled);
-        let proj = tape.relu(proj);
+        tape.free(pooled);
+        let activated = tape.relu(proj);
+        tape.free(proj);
         // Zero out non-block rows so the projection bias does not leak
         // into syscall/arg nodes.
         let mut mask = vec![0f32; n];
         for &(row, _) in block_rows_tokens {
             mask[row] = 1.0;
         }
-        tape.scale_rows(proj, &mask)
+        let out = tape.scale_rows(activated, &mask);
+        tape.free(activated);
+        out
     }
 }
 
@@ -675,6 +842,63 @@ mod tests {
         }
         assert!(batched[5].is_empty(), "empty graph has no candidates");
         assert_eq!(batched[6].len(), 1, "single-node graph scores its arg");
+    }
+
+    #[test]
+    fn parallel_predict_batch_is_bit_identical_to_serial() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let mut model = Pmm::new(PmmConfig::default(), kernel.registry().syscall_count());
+        // A batch big enough that the packed union crosses the tape's
+        // 256-row parallel threshold and actually exercises the
+        // row-sharded kernels.
+        let graphs: Vec<QueryGraph> = (20..32).map(|s| graph_for(s, &kernel)).collect();
+        let serial = model.predict_batch(&graphs);
+        for workers in [1usize, 2, 8] {
+            model.set_inference_workers(workers);
+            let par = model.predict_batch(&graphs);
+            assert_eq!(serial, par, "workers={workers} diverged from serial");
+        }
+        model.set_inference_workers(1);
+    }
+
+    #[test]
+    fn quantize_none_is_a_noop_and_f16_stays_close() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let n = kernel.registry().syscall_count();
+        let g = graph_for(6, &kernel);
+
+        let mut plain = Pmm::new(PmmConfig::default(), n);
+        let before = plain.predict(&g);
+        let stats = plain.quantize_for_inference();
+        assert_eq!(stats, snowplow_mlcore::QuantStats::default());
+        assert_eq!(
+            plain.predict(&g),
+            before,
+            "Quantize::None must be bit-exact"
+        );
+
+        let mut f16 = Pmm::new(
+            PmmConfig {
+                quantize: Quantize::F16,
+                ..PmmConfig::default()
+            },
+            n,
+        );
+        let unquantized = f16.predict(&g);
+        let stats = f16.quantize_for_inference();
+        assert!(stats.scalars == f16.parameter_count() && stats.max_abs_delta > 0.0);
+        let quantized = f16.predict(&g);
+        assert_eq!(quantized.len(), unquantized.len());
+        // Probabilities move by at most a small epsilon under f16
+        // weight rounding (the model is far from the rounding scale).
+        for ((la, pa), (lb, pb)) in unquantized.iter().zip(&quantized) {
+            assert_eq!(la, lb, "f16 rounding must not reorder these scores");
+            assert!((pa - pb).abs() < 5e-3, "prob moved {pa} -> {pb}");
+        }
+        // Idempotent: re-freezing changes nothing.
+        let again = f16.quantize_for_inference();
+        assert_eq!(again.max_abs_delta, 0.0);
+        assert_eq!(f16.predict(&g), quantized);
     }
 
     #[test]

@@ -13,12 +13,29 @@
 //! once it holds at least one. Batching changes throughput and latency
 //! only — scores are bit-identical to serving each query alone.
 //!
+//! The service runs as **independent replicas** (the paper deploys PMM
+//! replicas across 8 GPUs): each worker thread owns its own model copy
+//! *and its own request queue*, and submissions are spread across
+//! replicas round-robin. Replicas form batches independently — there is
+//! no shared queue lock for every worker to convoy on, so adding
+//! replicas scales admission instead of serializing it.
+//!
 //! When several campaigns share one service (the fleet deployment),
-//! every request carries a client **tag** and admission is round-robin
-//! across tags: the queue keeps one lane per tag and workers drain
-//! lanes in rotation, so a hot campaign flooding the queue cannot
-//! starve the others. Untagged submissions all ride lane 0 and behave
-//! exactly like the pre-tagging FIFO.
+//! every request carries a client **tag** and each replica's queue
+//! keeps one lane per tag, drained in weighted round-robin rotation: a
+//! lane gets [`InferenceService::set_tag_weight`] consecutive turns
+//! (default 1) before the rotation moves on, so a hot campaign
+//! flooding the queue cannot starve the others, while a deliberately
+//! prioritized campaign can be granted a larger share. Untagged
+//! submissions all ride lane 0 and behave exactly like the pre-tagging
+//! FIFO.
+//!
+//! Two load-management knobs compose: [`BatchPolicy::queue_cap`]
+//! bounds each replica's queue with *backpressure* (blocking submits
+//! wait for room), while [`BatchPolicy::admit_depth`] bounds the total
+//! in-flight depth with *load shedding* — past it every submit fails
+//! fast with [`ServeError::Overloaded`] so callers degrade locally
+//! instead of queueing into multi-hundred-millisecond latencies.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
@@ -47,6 +64,11 @@ pub type Pending = Receiver<Vec<(ArgLoc, f32)>>;
 pub enum ServeError {
     /// The bounded request queue is at capacity ([`BatchPolicy::queue_cap`]).
     QueueFull { depth: usize, cap: usize },
+    /// Total in-flight depth crossed [`BatchPolicy::admit_depth`]: the
+    /// service is shedding load so admitted requests keep bounded
+    /// latency. Unlike [`ServeError::QueueFull`] this also fails
+    /// blocking submits — admission control is a shed, not backpressure.
+    Overloaded { depth: usize, limit: usize },
     /// The query cannot be packed into a forward pass (e.g. no
     /// candidate mutation sites — the model would have nothing to
     /// score).
@@ -60,6 +82,12 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::QueueFull { depth, cap } => {
                 write!(f, "inference queue full ({depth}/{cap})")
+            }
+            ServeError::Overloaded { depth, limit } => {
+                write!(
+                    f,
+                    "inference service overloaded ({depth} in flight, limit {limit})"
+                )
             }
             ServeError::MalformedBatch { reason } => write!(f, "malformed batch: {reason}"),
             ServeError::ShuttingDown => write!(f, "inference service shutting down"),
@@ -86,12 +114,20 @@ struct Request {
 }
 
 /// The tagged request queue: one FIFO lane per client tag, drained in
-/// round-robin rotation. `rr` holds exactly the tags whose lanes are
-/// non-empty, each once, in service order.
+/// *weighted* round-robin rotation. `rr` holds exactly the tags whose
+/// lanes are non-empty, each once, in service order; the lane at the
+/// front gets up to its weight's worth of consecutive pops (`budget`)
+/// before the rotation moves on. Every weight defaulting to 1 recovers
+/// plain round-robin exactly.
 #[derive(Default)]
 struct FairQueue {
     lanes: BTreeMap<u32, VecDeque<Request>>,
     rr: VecDeque<u32>,
+    /// Per-tag service weight; absent tags weigh 1.
+    weights: BTreeMap<u32, u32>,
+    /// Pops the lane at the front of `rr` may still take this turn
+    /// (0 = the next pop starts a fresh turn).
+    budget: u32,
     depth: usize,
     closed: bool,
 }
@@ -106,16 +142,28 @@ impl FairQueue {
         self.depth += 1;
     }
 
-    /// Pops the front request of the next lane in rotation, sending the
-    /// lane to the back of the rotation if it still has requests.
+    fn weight(&self, tag: u32) -> u32 {
+        self.weights.get(&tag).copied().unwrap_or(1).max(1)
+    }
+
+    /// Pops the front request of the lane currently holding the turn,
+    /// rotating the lane to the back once its weighted budget is spent
+    /// (or it runs dry).
     fn pop_rr(&mut self) -> Option<Request> {
-        let tag = self.rr.pop_front()?;
+        let tag = *self.rr.front()?;
+        if self.budget == 0 {
+            self.budget = self.weight(tag);
+        }
         let lane = self.lanes.get_mut(&tag).expect("rr tags have lanes");
         let req = lane.pop_front().expect("queued lanes are non-empty");
-        if !lane.is_empty() {
-            self.rr.push_back(tag);
-        }
+        self.budget -= 1;
         self.depth -= 1;
+        if lane.is_empty() {
+            self.rr.pop_front();
+            self.budget = 0;
+        } else if self.budget == 0 {
+            self.rr.rotate_left(1);
+        }
         Some(req)
     }
 }
@@ -144,8 +192,16 @@ pub struct BatchPolicy {
     /// §5.5 run measured 424 ms mean / 683 ms p95 from exactly this).
     /// `Some(cap)` makes [`InferenceService::submit`] block until the
     /// queue has room, trading submission throughput for bounded
-    /// latency. Scores are identical either way.
+    /// latency. Scores are identical either way. With multiple
+    /// replicas the cap bounds *each replica's* queue.
     pub queue_cap: Option<usize>,
+    /// Admission-control limit on the total number of in-flight
+    /// requests (submitted but not yet drained, summed over replicas).
+    /// Past it every submit — blocking or not — fails fast with
+    /// [`ServeError::Overloaded`], shedding load so the requests the
+    /// service does accept keep bounded queue wait. `None` admits
+    /// everything.
+    pub admit_depth: Option<usize>,
 }
 
 impl Default for BatchPolicy {
@@ -154,6 +210,7 @@ impl Default for BatchPolicy {
             max_batch: 8,
             linger: Duration::from_micros(500),
             queue_cap: None,
+            admit_depth: None,
         }
     }
 }
@@ -206,37 +263,54 @@ struct ServiceState {
     latency_samples: Vec<Duration>,
     /// Queries served per client tag — the fleet's fair-share evidence.
     served_by_tag: BTreeMap<u32, u64>,
+    /// Queries served per replica — evidence that round-robin routing
+    /// actually spreads load instead of convoying on one worker.
+    served_by_replica: Vec<u64>,
 }
 
-/// A pool of inference workers, each owning a replica of the trained
-/// model (the paper deploys PMM replicas across 8 GPUs).
+/// A pool of independent inference replicas, each owning a copy of the
+/// trained model *and its own request queue* (the paper deploys PMM
+/// replicas across 8 GPUs). Submissions are spread across replicas
+/// round-robin; batches form per replica with no shared queue lock.
 pub struct InferenceService {
-    queue: Arc<SharedQueue>,
+    replicas: Vec<Arc<SharedQueue>>,
     workers: Vec<JoinHandle<()>>,
     state: Arc<Mutex<ServiceState>>,
     queue_cap: Option<usize>,
+    admit_depth: Option<usize>,
+    /// Total submitted-but-not-drained requests across all replicas.
+    inflight: Arc<std::sync::atomic::AtomicUsize>,
+    /// Round-robin replica routing cursor.
+    next_replica: std::sync::atomic::AtomicUsize,
     telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for InferenceService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("InferenceService")
-            .field("workers", &self.workers.len())
+            .field("replicas", &self.workers.len())
             .field("queue_cap", &self.queue_cap)
+            .field("admit_depth", &self.admit_depth)
             .finish_non_exhaustive()
     }
 }
 
 impl InferenceService {
-    /// Spawns `workers` threads with the default [`BatchPolicy`].
-    pub fn start(model: &Pmm, workers: usize) -> InferenceService {
-        InferenceService::start_with_policy(model, workers, BatchPolicy::default())
+    /// Spawns `replicas` independent serving replicas with the default
+    /// [`BatchPolicy`].
+    pub fn start(model: &Pmm, replicas: usize) -> InferenceService {
+        InferenceService::start_with_policy(model, replicas, BatchPolicy::default())
     }
 
-    /// Spawns `workers` threads, each with its own copy of `model`,
-    /// coalescing requests according to `policy`.
-    pub fn start_with_policy(model: &Pmm, workers: usize, policy: BatchPolicy) -> InferenceService {
-        InferenceService::start_instrumented(model, workers, policy, Telemetry::disabled())
+    /// Spawns `replicas` serving replicas, each with its own copy of
+    /// `model` and its own request queue, coalescing requests according
+    /// to `policy`.
+    pub fn start_with_policy(
+        model: &Pmm,
+        replicas: usize,
+        policy: BatchPolicy,
+    ) -> InferenceService {
+        InferenceService::start_instrumented(model, replicas, policy, Telemetry::disabled())
     }
 
     /// [`InferenceService::start_with_policy`] recording serving
@@ -244,19 +318,29 @@ impl InferenceService {
     /// `serve.rejected.*`) into `telemetry`.
     pub fn start_instrumented(
         model: &Pmm,
-        workers: usize,
+        replicas: usize,
         policy: BatchPolicy,
         telemetry: Telemetry,
     ) -> InferenceService {
-        let workers = workers.max(1);
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let replicas = replicas.max(1);
         let max_batch = policy.max_batch.max(1);
-        let queue = Arc::new(SharedQueue::default());
-        let state = Arc::new(Mutex::new(ServiceState::default()));
-        let handles = (0..workers)
-            .map(|_| {
-                let queue = Arc::clone(&queue);
+        let queues: Vec<Arc<SharedQueue>> = (0..replicas)
+            .map(|_| Arc::new(SharedQueue::default()))
+            .collect();
+        let state = Arc::new(Mutex::new(ServiceState {
+            served_by_replica: vec![0; replicas],
+            ..ServiceState::default()
+        }));
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let handles = queues
+            .iter()
+            .enumerate()
+            .map(|(replica_idx, queue)| {
+                let queue = Arc::clone(queue);
                 let mut replica = model.clone();
                 let state = Arc::clone(&state);
+                let inflight = Arc::clone(&inflight);
                 let telemetry = telemetry.clone();
                 std::thread::spawn(move || loop {
                     // Block for the first request; exit only once the
@@ -274,21 +358,23 @@ impl InferenceService {
                             q = queue.work.wait(q).unwrap_or_else(|e| e.into_inner());
                         }
                     };
+                    inflight.fetch_sub(1, Ordering::Relaxed);
                     queue.room.notify_all();
                     let mut requests = Vec::with_capacity(max_batch);
                     requests.push(first);
                     // Drain-up-to-B with a short linger: collect
-                    // whatever is already queued (round-robin across
-                    // tags), and once we hold a request give stragglers
-                    // `linger` to arrive. Each pop frees a queue slot
-                    // before the (slow) forward pass so blocked
-                    // submitters make progress meanwhile.
+                    // whatever is already queued (weighted round-robin
+                    // across tags), and once we hold a request give
+                    // stragglers `linger` to arrive. Each pop frees a
+                    // queue slot before the (slow) forward pass so
+                    // blocked submitters make progress meanwhile.
                     if max_batch > 1 {
                         let deadline = Instant::now() + policy.linger;
                         while requests.len() < max_batch {
                             let popped = lock_ignore_poison(&queue.q).pop_rr();
                             match popped {
                                 Some(r) => {
+                                    inflight.fetch_sub(1, Ordering::Relaxed);
                                     queue.room.notify_all();
                                     requests.push(r);
                                 }
@@ -319,6 +405,7 @@ impl InferenceService {
                         st.stats.served += graphs.len() as u64;
                         st.stats.batches += 1;
                         st.stats.busy += done - start;
+                        st.served_by_replica[replica_idx] += graphs.len() as u64;
                         for (_, enqueued, tag) in &replies {
                             let lat = done.duration_since(*enqueued);
                             st.stats.latency += lat;
@@ -336,10 +423,13 @@ impl InferenceService {
             })
             .collect();
         InferenceService {
-            queue,
+            replicas: queues,
             workers: handles,
             state,
             queue_cap: policy.queue_cap,
+            admit_depth: policy.admit_depth,
+            inflight,
+            next_replica: AtomicUsize::new(0),
             telemetry,
         }
     }
@@ -401,12 +491,28 @@ impl InferenceService {
         tag: u32,
         block: bool,
     ) -> Result<Pending, ServeError> {
+        use std::sync::atomic::Ordering;
         Self::validate(&graph).inspect_err(|_| {
             self.telemetry.counter("serve.rejected.malformed", 1);
         })?;
+        // Admission control: shed load past the in-flight limit before
+        // touching any queue lock. Blocking submits are shed too —
+        // bounded latency is the contract, not eventual admission.
+        if let Some(limit) = self.admit_depth {
+            let limit = limit.max(1);
+            let depth = self.inflight.load(Ordering::Relaxed);
+            if depth >= limit {
+                self.telemetry.counter("serve.rejected.overloaded", 1);
+                return Err(ServeError::Overloaded { depth, limit });
+            }
+        }
+        // Spread load round-robin; each replica forms batches from its
+        // own queue, so there is no shared lock to convoy on.
+        let queue =
+            &self.replicas[self.next_replica.fetch_add(1, Ordering::Relaxed) % self.replicas.len()];
         let (respond, rx) = channel::bounded(1);
         {
-            let mut q = lock_ignore_poison(&self.queue.q);
+            let mut q = lock_ignore_poison(&queue.q);
             if q.closed {
                 return Err(ServeError::ShuttingDown);
             }
@@ -414,7 +520,7 @@ impl InferenceService {
                 let cap = cap.max(1);
                 if block {
                     while q.depth >= cap && !q.closed {
-                        q = self.queue.room.wait(q).unwrap_or_else(|e| e.into_inner());
+                        q = queue.room.wait(q).unwrap_or_else(|e| e.into_inner());
                     }
                     if q.closed {
                         return Err(ServeError::ShuttingDown);
@@ -433,10 +539,11 @@ impl InferenceService {
                 enqueued: Instant::now(),
                 tag,
             });
+            self.inflight.fetch_add(1, Ordering::Relaxed);
             let mut st = self.state.lock();
             st.stats.max_queue_depth = st.stats.max_queue_depth.max(q.depth as u64);
         }
-        self.queue.work.notify_one();
+        queue.work.notify_one();
         Ok(rx)
     }
 
@@ -469,6 +576,23 @@ impl InferenceService {
         self.state.lock().served_by_tag.clone()
     }
 
+    /// Queries served per replica since startup (indexed by replica).
+    pub fn served_by_replica(&self) -> Vec<u64> {
+        self.state.lock().served_by_replica.clone()
+    }
+
+    /// Grants `tag`'s lane `weight` consecutive turns per round-robin
+    /// rotation on every replica (default 1; 0 clamps to 1). A fleet
+    /// uses this to deliberately prioritize one campaign without
+    /// letting it starve the rest — the others still get their turns.
+    pub fn set_tag_weight(&self, tag: u32, weight: u32) {
+        for queue in &self.replicas {
+            lock_ignore_poison(&queue.q)
+                .weights
+                .insert(tag, weight.max(1));
+        }
+    }
+
     /// The `q`-th latency percentile over retained samples (`q` in
     /// `[0, 100]`), `Duration::ZERO` before any query completes.
     pub fn latency_percentile(&self, q: f64) -> Duration {
@@ -483,18 +607,25 @@ impl InferenceService {
         samples[rank.min(samples.len() - 1)]
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads (one per replica).
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Number of serving replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
     }
 }
 
 impl Drop for InferenceService {
     fn drop(&mut self) {
-        // Closing the queue stops the workers once it drains.
-        lock_ignore_poison(&self.queue.q).closed = true;
-        self.queue.work.notify_all();
-        self.queue.room.notify_all();
+        // Closing the queues stops the workers once they drain.
+        for queue in &self.replicas {
+            lock_ignore_poison(&queue.q).closed = true;
+            queue.work.notify_all();
+            queue.room.notify_all();
+        }
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -629,6 +760,7 @@ mod tests {
                 max_batch: 8,
                 linger: Duration::from_millis(5),
                 queue_cap: None,
+                admit_depth: None,
             },
         );
         let graphs: Vec<QueryGraph> = (0..12).map(|i| graph_for(i, &kernel)).collect();
@@ -670,6 +802,7 @@ mod tests {
                 max_batch: 1,
                 linger: Duration::ZERO,
                 queue_cap: None,
+                admit_depth: None,
             },
         );
         let pendings: Vec<Pending> = (0..8)
@@ -706,6 +839,7 @@ mod tests {
                 max_batch: 2,
                 linger: Duration::ZERO,
                 queue_cap: Some(3),
+                admit_depth: None,
             },
         );
         // Submitting more than the cap forces submit_blocking() to wait
@@ -752,6 +886,7 @@ mod tests {
                 max_batch: 1,
                 linger: Duration::ZERO,
                 queue_cap: None,
+                admit_depth: None,
             },
         );
         let pendings: Vec<Pending> = (0..8)
@@ -765,13 +900,23 @@ mod tests {
 
     /// A service whose queue never drains: zero workers. Only
     /// constructible here (fields are private), and exactly what the
-    /// queue-overflow path needs to be deterministic.
-    fn stalled_service(queue_cap: usize, telemetry: Telemetry) -> InferenceService {
+    /// queue-overflow and admission-shed paths need to be deterministic.
+    fn stalled_service(
+        queue_cap: Option<usize>,
+        admit_depth: Option<usize>,
+        telemetry: Telemetry,
+    ) -> InferenceService {
         InferenceService {
-            queue: Arc::new(SharedQueue::default()),
+            replicas: vec![Arc::new(SharedQueue::default())],
             workers: Vec::new(),
-            state: Arc::new(Mutex::new(ServiceState::default())),
-            queue_cap: Some(queue_cap),
+            state: Arc::new(Mutex::new(ServiceState {
+                served_by_replica: vec![0],
+                ..ServiceState::default()
+            })),
+            queue_cap,
+            admit_depth,
+            inflight: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+            next_replica: std::sync::atomic::AtomicUsize::new(0),
             telemetry,
         }
     }
@@ -802,6 +947,162 @@ mod tests {
         assert_eq!(order, vec![1, 2, 3, 1, 1, 1]);
         assert_eq!(q.depth, 0);
         assert!(q.pop_rr().is_none());
+    }
+
+    #[test]
+    fn weighted_fair_queue_grants_heavy_tags_more_turns() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let mut q = FairQueue::default();
+        q.weights.insert(1, 2);
+        let mk = |tag: u32, seed: u64| {
+            let (respond, _rx) = channel::bounded(1);
+            Request {
+                graph: graph_for(seed, &kernel),
+                respond,
+                enqueued: Instant::now(),
+                tag,
+            }
+        };
+        for (i, tag) in [1u32, 1, 1, 2, 3, 1].into_iter().enumerate() {
+            q.push(mk(tag, i as u64));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop_rr()).map(|r| r.tag).collect();
+        // Tag 1 weighs 2: it takes two consecutive turns per rotation,
+        // but tags 2 and 3 still get served every rotation.
+        assert_eq!(order, vec![1, 1, 2, 3, 1, 1]);
+        assert!(q.pop_rr().is_none());
+    }
+
+    #[test]
+    fn overload_sheds_blocking_and_nonblocking_submits() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let (telemetry, _sink) = Telemetry::in_memory();
+        let service = stalled_service(None, Some(2), telemetry.clone());
+        let _a = service.submit(graph_for(0, &kernel)).expect("admitted");
+        let _b = service
+            .submit_blocking(graph_for(1, &kernel))
+            .expect("admitted");
+        // Past the admission limit both submit flavors shed instead of
+        // queueing (or parking) the caller.
+        match service.submit(graph_for(2, &kernel)) {
+            Err(ServeError::Overloaded { depth, limit }) => {
+                assert_eq!((depth, limit), (2, 2));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        match service.submit_blocking(graph_for(3, &kernel)) {
+            Err(ServeError::Overloaded { .. }) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(
+            telemetry.snapshot().counters["serve.rejected.overloaded"],
+            2
+        );
+    }
+
+    #[test]
+    fn admission_reopens_once_workers_drain_the_queue() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let model = Pmm::new(
+            PmmConfig {
+                dim: 16,
+                rounds: 1,
+                ..PmmConfig::default()
+            },
+            kernel.registry().syscall_count(),
+        );
+        let service = InferenceService::start_with_policy(
+            &model,
+            1,
+            BatchPolicy {
+                admit_depth: Some(4),
+                ..BatchPolicy::default()
+            },
+        );
+        // Saturate-and-drain a few times: whenever a submit is shed the
+        // already-admitted work still completes, and admission reopens
+        // once workers drain the queue.
+        let mut answered = 0u64;
+        for round in 0..4 {
+            let pendings: Vec<Pending> = (0..8)
+                .filter_map(|i| service.submit(graph_for(round * 8 + i, &kernel)).ok())
+                .collect();
+            assert!(!pendings.is_empty(), "an idle service admits work");
+            for p in pendings {
+                p.recv().expect("admitted queries are answered");
+                answered += 1;
+            }
+        }
+        assert_eq!(service.stats().served, answered);
+        // The drained service is accepting again.
+        assert!(service.submit(graph_for(99, &kernel)).is_ok());
+    }
+
+    #[test]
+    fn replicas_form_batches_independently() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let mut model = Pmm::new(
+            PmmConfig {
+                dim: 24,
+                rounds: 2,
+                ..PmmConfig::default()
+            },
+            kernel.registry().syscall_count(),
+        );
+        let service = InferenceService::start_with_policy(
+            &model,
+            3,
+            BatchPolicy {
+                max_batch: 4,
+                linger: Duration::from_millis(2),
+                ..BatchPolicy::default()
+            },
+        );
+        assert_eq!(service.replica_count(), 3);
+        let graphs: Vec<QueryGraph> = (0..12).map(|i| graph_for(i, &kernel)).collect();
+        let pendings: Vec<Pending> = graphs
+            .iter()
+            .map(|g| service.submit(g.clone()).expect("accepted"))
+            .collect();
+        for (g, p) in graphs.iter().zip(pendings) {
+            let served = p.recv().expect("worker answers");
+            assert_eq!(model.predict(g), served, "sharding must not change scores");
+        }
+        let by_replica = service.served_by_replica();
+        assert_eq!(by_replica.len(), 3);
+        assert_eq!(by_replica.iter().sum::<u64>(), 12);
+        // Round-robin routing spreads 12 submissions evenly: every
+        // replica received exactly 4, so none can have served more.
+        assert!(
+            by_replica.iter().all(|&n| n == 4),
+            "routing convoyed: {by_replica:?}"
+        );
+    }
+
+    #[test]
+    fn service_wide_weights_prioritize_a_tag_on_every_replica() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let model = Pmm::new(
+            PmmConfig {
+                dim: 16,
+                rounds: 1,
+                ..PmmConfig::default()
+            },
+            kernel.registry().syscall_count(),
+        );
+        let service = InferenceService::start(&model, 2);
+        service.set_tag_weight(7, 3);
+        for queue in &service.replicas {
+            assert_eq!(lock_ignore_poison(&queue.q).weight(7), 3);
+            assert_eq!(lock_ignore_poison(&queue.q).weight(8), 1, "default weight");
+        }
+        // Weighted lanes still serve correctly end to end.
+        for i in 0..4 {
+            let _ = service
+                .predict_blocking_tagged(graph_for(i, &kernel), 7)
+                .unwrap();
+        }
+        assert_eq!(service.served_by_tag().get(&7), Some(&4));
     }
 
     #[test]
@@ -856,7 +1157,7 @@ mod tests {
     fn queue_overflow_returns_error_instead_of_blocking() {
         let kernel = Kernel::build(KernelVersion::V6_8);
         let (telemetry, _sink) = Telemetry::in_memory();
-        let service = stalled_service(2, telemetry.clone());
+        let service = stalled_service(Some(2), None, telemetry.clone());
         let _a = service.submit(graph_for(0, &kernel)).expect("room");
         let _b = service.submit(graph_for(1, &kernel)).expect("room");
         match service.submit(graph_for(2, &kernel)) {

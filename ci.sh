@@ -21,6 +21,13 @@
 #                      at virtual hour 12 + resume must be bit-identical
 #                      to the uninterrupted day at workers 1/2/8, and a
 #                      4-campaign fleet must share inference fairly).
+#   ./ci.sh corpus     the focused corpus gate: pedantic lints on
+#                      snowplow-corpus, its unit and property tests
+#                      (weighted minset preserves the union edge set at
+#                      workers 1/2/8 and never keeps more than
+#                      first-fit), the pre-refactor campaign hash
+#                      goldens, the pinned crash-witness regression, and
+#                      the shared-store fleet goldens.
 #   ./ci.sh exec       the focused compiled-executor gate: the
 #                      compiled-vs-interpreted equivalence golden +
 #                      proptest, the campaign/telemetry identity golden,
@@ -79,6 +86,14 @@ fi
 if [[ "${1:-}" == "fleet" ]]; then
     cargo clippy -p snowplow-fleet --all-targets -- -D warnings
     cargo test -q -p snowplow-fleet
+    exit 0
+fi
+
+if [[ "${1:-}" == "corpus" ]]; then
+    cargo clippy -p snowplow-corpus --all-targets -- -D warnings
+    cargo test -q -p snowplow-corpus
+    cargo test -q -p snowplow-fuzzer --test corpus_golden --test pinned_minset
+    cargo test -q -p snowplow-fleet --test shared_corpus
     exit 0
 fi
 

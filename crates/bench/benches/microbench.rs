@@ -336,6 +336,61 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     });
 }
 
+/// A small admitted-style corpus for the corpus-store benches: every
+/// program kept, exec cost proportional to program length (the shape
+/// the weighted minset discriminates on).
+fn build_bench_corpus(kernel: &Kernel, n: usize) -> snowplow_core::fuzzing::CorpusHandle {
+    let generator = Generator::new(kernel.registry());
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut vm = Vm::new(kernel);
+    let snap = vm.snapshot();
+    let mut corpus = snowplow_core::fuzzing::CorpusHandle::new();
+    let mut union = snowplow_core::EdgeSet::new();
+    for _ in 0..n {
+        let p = generator.generate(&mut rng, 5);
+        let cost = 250_000 * (1 + p.len() as u64);
+        vm.restore(&snap);
+        let exec = vm.execute(&p);
+        let new = union.merge(&exec.edges());
+        corpus.add_weighted(p, &exec, new, cost);
+    }
+    corpus
+}
+
+fn bench_corpus_minset(c: &mut Criterion) {
+    // The weighted greedy cover end to end: re-execute every entry,
+    // union the edge sets, lazy-greedy select by weight-per-new-edge,
+    // prune, first-fit cardinality guard.
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let corpus = build_bench_corpus(&kernel, 256);
+    c.bench_function("corpus_minset", |b| {
+        b.iter(|| corpus.weighted_minset(&kernel, 1).len())
+    });
+}
+
+fn bench_corpus_ingest_dedup(c: &mut Criterion) {
+    // Shared-store ingest, both answers: a fresh store takes every
+    // entry as an insert (hash, fingerprint, index each edge), then the
+    // same entries again as pure dedup hits.
+    use snowplow_core::fuzzing::{CorpusHandle, CorpusStore};
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let corpus = build_bench_corpus(&kernel, 256);
+    c.bench_function("corpus_ingest_dedup", |b| {
+        b.iter(|| {
+            let store = CorpusStore::new();
+            let mut insert = CorpusHandle::attached(store.clone());
+            for e in corpus.iter() {
+                insert.add_weighted(e.prog.clone(), &e.exec, e.new_edges, e.exec_time_ns);
+            }
+            let mut dedup = CorpusHandle::attached(store.clone());
+            for e in corpus.iter() {
+                dedup.add_weighted(e.prog.clone(), &e.exec, e.new_edges, e.exec_time_ns);
+            }
+            dedup.dedup_hits()
+        })
+    });
+}
+
 fn bench_lint(c: &mut Criterion) {
     let kernel = Kernel::build(KernelVersion::V6_8);
     let reg = kernel.registry();
@@ -422,6 +477,8 @@ criterion_group!(
     bench_frontier_query,
     bench_coverage_merge,
     bench_telemetry_overhead,
+    bench_corpus_minset,
+    bench_corpus_ingest_dedup,
     bench_lint,
     bench_dead_block_analysis,
     bench_analysis_fixpoint,

@@ -47,8 +47,15 @@ const GUARDED: &[&str] = &[
 /// arms on a drifting clock) — a relative ceiling anchored to whatever
 /// near-zero value the last run happened to land on gates on that
 /// noise, so the gate is a fixed budget instead: checkpoint+resume may
-/// cost at most 15% over an uninterrupted campaign.
-const GUARDED_CEILING_ABS: &[(&str, f64)] = &[("fleet.resume_overhead_pct", 15.0)];
+/// cost at most 15% over an uninterrupted campaign. The corpus minset
+/// ratio (weighted kept / first-fit kept at equal coverage) is a
+/// correctness-adjacent invariant like the compiled-executor floor: a
+/// weighted minimizer that keeps *more* entries than the scan it
+/// replaced has lost its purpose, whatever the baseline file says.
+const GUARDED_CEILING_ABS: &[(&str, f64)] = &[
+    ("fleet.resume_overhead_pct", 15.0),
+    ("corpus.minset_ratio", 1.0),
+];
 
 /// Absolute floors, independent of the baseline file. These encode
 /// invariants, not trends: the compiled executor must actually beat the

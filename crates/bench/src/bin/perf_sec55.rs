@@ -770,6 +770,98 @@ fn main() {
     }
     bench.gauge("fleet.fair_share_spread", spread);
 
+    // ---- Corpus store: weighted minimization and dedup ingest. ----------
+    // A synthetic 10k-entry corpus (every program admitted, exec cost
+    // proportional to program length) puts the two minimizers head to
+    // head: the legacy first-fit scan and the weighted greedy cover.
+    // Both preserve the union edge set; `corpus.minset_ratio` (weighted
+    // kept / first-fit kept) is gated at an absolute ceiling of 1.0 in
+    // bench_guard — the weighted minset must never keep more entries
+    // than first-fit at equal coverage. This section runs last: the
+    // 10k-entry build plus two full minimization replays are the
+    // heaviest single block in this binary, and running them earlier
+    // measurably depresses the executor-probe gauges that follow.
+    use snowplow_core::fuzzing::{CorpusHandle, CorpusStore};
+    println!("\n== corpus store (weighted minset, dedup ingest) ==");
+    let generator = snowplow_prog::gen::Generator::new(kernel.registry());
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut vm = Vm::new(&kernel);
+    let snap = vm.snapshot();
+    let corpus_n = 10_000usize;
+    let mut corpus = CorpusHandle::new();
+    let mut union = snowplow_core::EdgeSet::new();
+    let t = Instant::now();
+    for _ in 0..corpus_n {
+        let p = generator.generate(&mut rng, 5);
+        let cost = 250_000 * (1 + p.len() as u64);
+        vm.restore(&snap);
+        let exec = vm.execute(&p);
+        let new = union.merge(&exec.edges());
+        corpus.add_weighted(p, &exec, new, cost);
+    }
+    let build_per_sec = corpus_n as f64 / t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let legacy = corpus.minimize(&kernel, workers);
+    let legacy_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let weighted = corpus.weighted_minset(&kernel, workers);
+    let weighted_secs = t.elapsed().as_secs_f64();
+    let minset_ratio = weighted.len() as f64 / legacy.len() as f64;
+    let weight_sum = |h: &CorpusHandle| h.iter().map(|e| e.minset_weight() as f64).sum::<f64>();
+    let weight_ratio = weight_sum(&weighted) / weight_sum(&legacy);
+    println!(
+        "minimize {corpus_n} entries ({build_per_sec:.0} built/s): first-fit kept {} in {legacy_secs:.2}s | weighted kept {} in {weighted_secs:.2}s",
+        legacy.len(),
+        weighted.len(),
+    );
+    println!(
+        "weighted/first-fit: {minset_ratio:.3} of the entries at {:.0}% of the replay cost",
+        weight_ratio * 100.0
+    );
+    bench.gauge("corpus.build_per_sec", build_per_sec);
+    bench.gauge("corpus.minset_legacy_kept", legacy.len() as f64);
+    bench.gauge("corpus.minset_weighted_kept", weighted.len() as f64);
+    bench.gauge("corpus.minset_ratio", minset_ratio);
+    bench.gauge("corpus.minset_weight_ratio", weight_ratio);
+    bench.gauge(
+        "corpus.minset_entries_per_sec",
+        corpus_n as f64 / weighted_secs,
+    );
+
+    // Dedup ingest throughput: the same entries through one shared
+    // store twice — the first pass inserts (and indexes every edge),
+    // the second is answered entirely by the fingerprint map.
+    let store = CorpusStore::new();
+    let mut first = CorpusHandle::attached(store.clone());
+    let t = Instant::now();
+    for e in corpus.iter() {
+        first.add_weighted(e.prog.clone(), &e.exec, e.new_edges, e.exec_time_ns);
+    }
+    let insert_per_sec = corpus_n as f64 / t.elapsed().as_secs_f64();
+    let mut second = CorpusHandle::attached(store.clone());
+    let t = Instant::now();
+    for e in corpus.iter() {
+        second.add_weighted(e.prog.clone(), &e.exec, e.new_edges, e.exec_time_ns);
+    }
+    let dedup_per_sec = corpus_n as f64 / t.elapsed().as_secs_f64();
+    assert_eq!(
+        second.dedup_hits(),
+        corpus_n as u64,
+        "re-ingesting identical entries must dedup every admission"
+    );
+    let sstats = store.stats();
+    println!(
+        "shared-store ingest: {insert_per_sec:.0} inserts/s | {dedup_per_sec:.0} dedup hits/s | {} entries indexing {} edges ({} KiB)",
+        sstats.entries,
+        sstats.indexed_edges,
+        sstats.index_bytes / 1024
+    );
+    bench.gauge("corpus.ingest_per_sec", insert_per_sec);
+    bench.gauge("corpus.dedup_ingest_per_sec", dedup_per_sec);
+    bench.gauge("corpus.index_bytes", sstats.index_bytes as f64);
+    drop(corpus);
+
     bench.flush();
     println!("\nwrote BENCH_perf.jsonl");
 }

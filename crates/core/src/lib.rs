@@ -43,9 +43,10 @@ pub use snowplow_syslang::{builtin, Registry, SyscallId};
 pub mod fuzzing {
     pub use snowplow_fuzzer::{
         attempt_reproducer, Campaign, CampaignConfig, CampaignConfigBuilder, CampaignReport,
-        CampaignState, Corpus, CrashLog, CrashRecord, DirectedCampaign, DirectedConfig,
+        CampaignState, Corpus, CorpusConfig, CorpusConfigBuilder, CorpusEntry, CorpusHandle,
+        CorpusStore, CrashLog, CrashRecord, DirectedCampaign, DirectedConfig,
         DirectedConfigBuilder, DirectedOutcome, FuzzerKind, PendingPrediction, ReproOutcome,
-        RunningCampaign, TimelinePoint, VirtualClock,
+        RunningCampaign, SchedulePolicy, SeedScheduler, StoreStats, TimelinePoint, VirtualClock,
     };
 }
 
@@ -73,7 +74,8 @@ pub mod fleet {
 pub mod prelude {
     pub use crate::Scale;
     pub use snowplow_fuzzer::{
-        CampaignConfig, CampaignConfigBuilder, DirectedConfig, DirectedConfigBuilder,
+        CampaignConfig, CampaignConfigBuilder, CorpusConfig, CorpusConfigBuilder, CorpusHandle,
+        CorpusStore, DirectedConfig, DirectedConfigBuilder, SchedulePolicy,
     };
     pub use snowplow_pmm::dataset::{DatasetConfig, DatasetConfigBuilder};
     pub use snowplow_pmm::server::ServeError;

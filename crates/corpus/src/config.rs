@@ -1,0 +1,57 @@
+//! Corpus configuration.
+
+use crate::sched::SchedulePolicy;
+use crate::store::CorpusStore;
+
+/// How a campaign's corpus behaves: which seed-selection policy runs
+/// and whether the campaign ingests into a shared store.
+///
+/// Non-exhaustive — construct via [`CorpusConfig::builder`] (or
+/// `Default`), never by struct literal, so fields can be added without
+/// breaking downstream crates.
+#[non_exhaustive]
+#[derive(Debug, Clone, Default)]
+pub struct CorpusConfig {
+    /// Seed-selection policy. `Contribution` (the default) reproduces
+    /// the historical behavior bit-for-bit.
+    pub policy: SchedulePolicy,
+    /// Shared store to ingest into. `None` (the default) gives the
+    /// campaign a private store — again the historical behavior. Fleet
+    /// drivers clone one store into every campaign's config to pool
+    /// discoveries.
+    pub shared: Option<CorpusStore>,
+}
+
+impl CorpusConfig {
+    /// A fluent builder over the defaults.
+    pub fn builder() -> CorpusConfigBuilder {
+        CorpusConfigBuilder {
+            config: CorpusConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`CorpusConfig`].
+#[derive(Debug, Clone)]
+pub struct CorpusConfigBuilder {
+    config: CorpusConfig,
+}
+
+impl CorpusConfigBuilder {
+    /// Sets the seed-selection policy.
+    pub fn policy(mut self, policy: SchedulePolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Ingest into `store` instead of a private one.
+    pub fn shared(mut self, store: CorpusStore) -> Self {
+        self.config.shared = Some(store);
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> CorpusConfig {
+        self.config
+    }
+}

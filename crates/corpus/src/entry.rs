@@ -1,0 +1,136 @@
+//! One admitted corpus entry and its deterministic fingerprints.
+
+use snowplow_kernel::{Coverage, EdgeSet, ExecResult};
+use snowplow_prog::Prog;
+
+/// One corpus entry.
+///
+/// Entries are immutable once admitted; a [`CorpusStore`](crate::CorpusStore)
+/// hands out `Arc<CorpusEntry>` so a program discovered by several
+/// campaigns is stored once.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The program.
+    pub prog: Prog,
+    /// Block coverage when it was admitted.
+    pub coverage: Coverage,
+    /// The full execution result at admission (reused to build mutation
+    /// queries without re-executing the base).
+    pub exec: ExecResult,
+    /// How many new edges it contributed at admission (selection weight).
+    pub new_edges: usize,
+    /// Measured execution cost at admission, in nanoseconds (`0` when
+    /// the admitting path did not capture one). Drives the weighted
+    /// minset: cheap, short reproducers are preferred over expensive
+    /// equivalents.
+    pub exec_time_ns: u64,
+}
+
+impl CorpusEntry {
+    /// Syzkaller-style selection weight: entries that contributed more
+    /// new signal are proportionally more likely to be chosen.
+    pub fn contribution_weight(&self) -> u64 {
+        1 + self.new_edges as u64
+    }
+
+    /// afl-cmin-style minset weight, `exec_time_ns * prog_len` (both
+    /// floored at 1 so unmeasured entries still order by size). The
+    /// greedy cover minimizes total weight per covered edge, so the
+    /// minset prefers fast, small entries.
+    pub fn minset_weight(&self) -> u64 {
+        self.exec_time_ns
+            .max(1)
+            .saturating_mul(self.prog.len().max(1) as u64)
+    }
+}
+
+/// FNV-1a 64 over a byte stream. Deterministic across processes and
+/// builds (unlike `std`'s per-process-seeded default hasher), which is
+/// what makes the dedup keys and index stable enough to reason about.
+pub(crate) struct Fnv1a(pub u64);
+
+impl Fnv1a {
+    pub(crate) fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+}
+
+/// Deterministic hash of a program (structure and argument values).
+pub(crate) fn prog_hash(p: &Prog) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = Fnv1a::new();
+    p.hash(&mut h);
+    h.finish()
+}
+
+/// Deterministic fingerprint of a block-coverage set.
+///
+/// Trailing zero words are trimmed first: `Coverage` equality ignores
+/// them (they are a capacity artifact of which block ids a trace
+/// happened to touch), so the fingerprint must too — otherwise two
+/// equal coverages could land in different dedup buckets.
+pub(crate) fn coverage_fingerprint(c: &Coverage) -> u64 {
+    use std::hash::Hasher;
+    let mut words = c.words();
+    while let [rest @ .., 0] = words {
+        words = rest;
+    }
+    let mut h = Fnv1a::new();
+    for &w in words {
+        h.write(&w.to_le_bytes());
+    }
+    h.finish()
+}
+
+/// Packs one CFG edge into the inverted-index key: `src` in the high 32
+/// bits, `dst` in the low 32.
+pub(crate) fn pack_edge(src: u32, dst: u32) -> u64 {
+    ((src as u64) << 32) | dst as u64
+}
+
+/// Enumerates an execution's edges as ascending packed index keys.
+pub(crate) fn edge_keys(edges: &EdgeSet) -> Vec<u64> {
+    let mut keys = Vec::with_capacity(edges.len());
+    for (src, row) in edges.rows().iter().enumerate() {
+        for (wi, &word) in row.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let bit = bits.trailing_zeros();
+                bits &= bits - 1;
+                keys.push(pack_edge(src as u32, (wi as u32) * 64 + bit));
+            }
+        }
+    }
+    keys
+}
+
+/// Full-identity comparison for dedup: the reused `Arc` must be
+/// indistinguishable from the entry the campaign would have built
+/// itself — program, coverage, the complete execution result, the
+/// contribution count *and* the measured cost. Entries that collide on
+/// the dedup key but differ anywhere (e.g. the same program admitted
+/// with a different per-campaign `new_edges`) coexist as distinct
+/// store entries.
+pub(crate) fn entries_identical(a: &CorpusEntry, b: &CorpusEntry) -> bool {
+    a.new_edges == b.new_edges
+        && a.exec_time_ns == b.exec_time_ns
+        && a.prog == b.prog
+        && a.coverage == b.coverage
+        && a.exec.completed_calls == b.exec.completed_calls
+        && a.exec.trace == b.exec.trace
+        && a.exec.call_traces == b.exec.call_traces
+        && a.exec.crash == b.exec.crash
+}

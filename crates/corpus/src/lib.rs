@@ -1,0 +1,51 @@
+//! The shared corpus subsystem: a coverage-indexed store with weighted
+//! minimization, cross-campaign dedup, and pluggable seed scheduling.
+//!
+//! Before this crate, every campaign owned a private `Corpus` grab-bag
+//! inside `snowplow-fuzzer`: selection weights, minimization, and
+//! distance-scheduling overrides all lived on one struct, and a fleet
+//! of campaigns stored every discovered program once *per campaign*.
+//! This crate splits the design along the line that matters at fleet
+//! scale:
+//!
+//! * [`CorpusStore`] — the shared, append-only home of admitted
+//!   entries. It keeps an **edge-inverted index** (packed `(src, dst)`
+//!   edge key → posting list of entry ids over the dense
+//!   [`Coverage`]/[`EdgeSet`](snowplow_kernel::EdgeSet) words) and a
+//!   **dedup map** keyed on `(coverage fingerprint, program hash)`, so
+//!   the same discovery made by two campaigns is stored once and every
+//!   later ingest of it is an `Arc` clone. The store also implements
+//!   afl-cmin-style **weighted minset** (greedy weighted set cover with
+//!   `w = exec_time_ns * prog_len`, exec cost captured at ingest).
+//! * [`CorpusHandle`] — one campaign's view into a store: admission
+//!   order, per-entry contribution weights, the recency window, and the
+//!   installed schedule weights are all per-handle, so a campaign over a
+//!   *private* store behaves bit-identically to the historical
+//!   `Corpus`, and campaigns sharing a store stay deterministic because
+//!   selection reads only the view.
+//! * [`SeedScheduler`] — one trait behind the previously scattered
+//!   weight paths (contribution weights, frontier-distance overrides,
+//!   uniform), with pluggable policies ([`SchedulePolicy`]) chosen via
+//!   the [`CorpusConfig`] builder.
+//!
+//! Determinism is the design constraint throughout: every hash is a
+//! fixed FNV-1a (never the process-seeded std hasher), posting lists
+//! and dedup candidate lists are insertion-ordered, minimization
+//! re-executes entries over an order-preserving worker pool and scans
+//! sequentially, and dedup reuses an entry only on *full* identity
+//! (program, coverage, execution traces, contribution, cost) so a
+//! handle's view is byte-for-byte what a private corpus would hold.
+
+mod config;
+mod entry;
+mod handle;
+mod minset;
+mod sched;
+mod store;
+
+pub use config::{CorpusConfig, CorpusConfigBuilder};
+pub use entry::CorpusEntry;
+pub use handle::CorpusHandle;
+pub use minset::count_new_edges;
+pub use sched::{scheduler_for, ScheduleContext, SchedulePolicy, SeedScheduler};
+pub use store::{CorpusStore, StoreStats};

@@ -1,0 +1,232 @@
+//! Weighted corpus minimization: greedy weighted set cover over
+//! re-executed edge sets.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
+
+use snowplow_kernel::{EdgeSet, ExecResult, Kernel, Vm};
+
+use crate::entry::{edge_keys, CorpusEntry};
+
+/// Edges of `entry` not yet in `covered`, counted without mutating
+/// either set (a masked popcount over the dense edge rows).
+pub fn count_new_edges(entry: &EdgeSet, covered: &EdgeSet) -> usize {
+    let cov_rows = covered.rows();
+    entry
+        .rows()
+        .iter()
+        .enumerate()
+        .map(|(src, row)| {
+            let cov = cov_rows.get(src);
+            row.iter()
+                .enumerate()
+                .map(|(wi, &w)| {
+                    let c = cov.and_then(|r| r.get(wi)).copied().unwrap_or(0);
+                    (w & !c).count_ones() as usize
+                })
+                .sum::<usize>()
+        })
+        .sum()
+}
+
+/// A candidate in the lazy-greedy heap. `gain` is an upper bound on the
+/// entry's uncovered-edge count (exact when freshly computed, stale-high
+/// otherwise — monotonically shrinking coverage makes true gains only
+/// fall, which is what makes lazy re-evaluation sound).
+struct Cand {
+    gain: usize,
+    weight: u64,
+    idx: usize,
+}
+
+impl Cand {
+    /// Better = higher `gain / weight` ratio (compared exactly by u128
+    /// cross-multiplication), ties broken toward the smaller index so
+    /// the cover is deterministic.
+    fn cmp_ratio(&self, other: &Cand) -> Ordering {
+        let a = self.gain as u128 * other.weight as u128;
+        let b = other.gain as u128 * self.weight as u128;
+        a.cmp(&b).then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+impl PartialEq for Cand {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_ratio(other) == Ordering::Equal
+    }
+}
+impl Eq for Cand {}
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_ratio(other)
+    }
+}
+
+/// Greedy weighted minset (afl-cmin with a cost model).
+///
+/// Re-executes every entry from a pristine snapshot — sharded over
+/// `workers` through the order-preserving pool, so the edge sets (and
+/// therefore the cover) are identical at any worker count — then runs a
+/// sequential lazy-greedy weighted set cover:
+///
+/// 1. pinned entries are seeded into the kept set first (in admission
+///    order): a crash witness is never traded away for a cheaper
+///    coverer;
+/// 2. remaining entries are taken by highest `uncovered_edges / weight`
+///    ratio, weight = [`CorpusEntry::minset_weight`]
+///    (`exec_time_ns * prog_len`), until the kept set covers the union
+///    edge set exactly;
+/// 3. the cover is pruned irredundant — any unpinned kept entry whose
+///    edges are all covered elsewhere in the kept set is dropped,
+///    heaviest first — and then guarded against the pin-seeded
+///    first-fit baseline: ratio greedy minimizes *weight*, which can
+///    occasionally buy coverage with more (cheaper) entries than the
+///    historical first-fit scan would keep, so if the weighted cover is
+///    still larger the baseline wins. The result is therefore never
+///    larger than legacy minimization at equal coverage.
+///
+/// Returns `(kept indices ascending, per-entry re-execution results)`;
+/// the caller rebuilds admission-order contribution counts from the
+/// latter.
+pub fn weighted_minset(
+    kernel: &Kernel,
+    workers: usize,
+    entries: &[Arc<CorpusEntry>],
+    pinned: &[bool],
+) -> (Vec<usize>, Vec<ExecResult>) {
+    let execs = snowplow_pool::scoped_map(
+        workers,
+        (0..entries.len()).collect(),
+        || {
+            let vm = Vm::new(kernel);
+            let snap = vm.snapshot();
+            (vm, snap)
+        },
+        |(vm, snap), _, i| {
+            vm.restore(snap);
+            vm.execute(&entries[i].prog)
+        },
+    );
+    let sets: Vec<EdgeSet> = execs.iter().map(|x| x.edges()).collect();
+    let mut union = EdgeSet::new();
+    for s in &sets {
+        union.merge(s);
+    }
+
+    let mut covered = EdgeSet::new();
+    let mut kept = Vec::new();
+    for (i, &pin) in pinned.iter().enumerate() {
+        if pin {
+            kept.push(i);
+            covered.merge(&sets[i]);
+        }
+    }
+
+    let mut heap: BinaryHeap<Cand> = (0..entries.len())
+        .filter(|i| !pinned.get(*i).copied().unwrap_or(false))
+        .map(|i| Cand {
+            gain: sets[i].len(),
+            weight: entries[i].minset_weight(),
+            idx: i,
+        })
+        .collect();
+
+    while covered.len() < union.len() {
+        let Some(top) = heap.pop() else { break };
+        if top.gain == 0 {
+            break;
+        }
+        let fresh = count_new_edges(&sets[top.idx], &covered);
+        if fresh == 0 {
+            continue;
+        }
+        let refreshed = Cand { gain: fresh, ..top };
+        // Lazy re-evaluation: cached gains are upper bounds, so if the
+        // refreshed top still beats the next cached candidate it beats
+        // every true ratio in the heap.
+        if fresh == top.gain
+            || heap
+                .peek()
+                .is_none_or(|next| refreshed.cmp_ratio(next).is_ge())
+        {
+            kept.push(refreshed.idx);
+            covered.merge(&sets[refreshed.idx]);
+        } else {
+            heap.push(refreshed);
+        }
+    }
+    debug_assert_eq!(covered.len(), union.len(), "minset must cover the union");
+
+    prune_redundant(entries, &sets, pinned, &mut kept);
+
+    // Cardinality guard: the pin-seeded first-fit scan (the historical
+    // minimizer with pins forced in) is the ceiling the weighted cover
+    // must not exceed.
+    let mut ff_covered = EdgeSet::new();
+    let mut first_fit = Vec::new();
+    for (i, &pin) in pinned.iter().enumerate() {
+        if pin {
+            first_fit.push(i);
+            ff_covered.merge(&sets[i]);
+        }
+    }
+    for (i, set) in sets.iter().enumerate() {
+        if !pinned.get(i).copied().unwrap_or(false) && ff_covered.merge(set) > 0 {
+            first_fit.push(i);
+        }
+    }
+    if kept.len() > first_fit.len() {
+        kept = first_fit;
+    }
+
+    kept.sort_unstable();
+    (kept, execs)
+}
+
+/// Drops every unpinned kept entry whose edges are all covered at least
+/// twice within the kept set, scanning heaviest (then latest) first so
+/// the most expensive redundancy goes first. First-fit covers are not
+/// irredundant — a later kept entry can re-cover an earlier one's
+/// unique edges — and neither is the lazy-greedy output once pins are
+/// seeded, so this pass strictly helps both.
+fn prune_redundant(
+    entries: &[Arc<CorpusEntry>],
+    sets: &[EdgeSet],
+    pinned: &[bool],
+    kept: &mut Vec<usize>,
+) {
+    let mut multiplicity: HashMap<u64, u32> = HashMap::new();
+    for &i in kept.iter() {
+        for k in edge_keys(&sets[i]) {
+            *multiplicity.entry(k).or_insert(0) += 1;
+        }
+    }
+    let mut order: Vec<usize> = kept
+        .iter()
+        .copied()
+        .filter(|&i| !pinned.get(i).copied().unwrap_or(false))
+        .collect();
+    order.sort_unstable_by(|&a, &b| {
+        entries[b]
+            .minset_weight()
+            .cmp(&entries[a].minset_weight())
+            .then(b.cmp(&a))
+    });
+    let mut removed: HashSet<usize> = HashSet::new();
+    for i in order {
+        let keys = edge_keys(&sets[i]);
+        if keys.iter().all(|k| multiplicity[k] >= 2) {
+            for k in keys {
+                *multiplicity.get_mut(&k).expect("counted above") -= 1;
+            }
+            removed.insert(i);
+        }
+    }
+    kept.retain(|i| !removed.contains(i));
+}

@@ -1,0 +1,308 @@
+//! The shared, coverage-indexed corpus store.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use snowplow_kernel::Kernel;
+use snowplow_telemetry::Telemetry;
+
+use crate::entry::{coverage_fingerprint, edge_keys, entries_identical, prog_hash, CorpusEntry};
+use crate::minset;
+
+/// A shared, append-only corpus store.
+///
+/// Entries are immutable once ingested and handed out as
+/// `Arc<CorpusEntry>`; cloning the store clones a reference to the same
+/// underlying state, so a fleet of campaigns shares one instance
+/// through their [`CorpusHandle`](crate::CorpusHandle)s.
+///
+/// Two index structures ride alongside the entry table:
+///
+/// * the **edge-inverted index** — packed `(src, dst)` edge key →
+///   posting list of the ids (in ingest order) whose execution covered
+///   that edge. It serves rarity queries for the cost-normalized
+///   scheduler and seeds the weighted minset.
+/// * the **dedup map** — `(coverage fingerprint, program hash)` →
+///   candidate ids. An ingest whose key matches verifies *full*
+///   identity against each candidate (see the crate docs) and, on a
+///   match, returns the existing `Arc` instead of storing a copy.
+#[derive(Clone, Default)]
+pub struct CorpusStore {
+    inner: Arc<Mutex<StoreInner>>,
+}
+
+#[derive(Default)]
+struct StoreInner {
+    entries: Vec<Arc<CorpusEntry>>,
+    /// Per-entry ascending packed edge keys (derived from the entry's
+    /// call traces at ingest), shared with handles for rarity queries.
+    keys: Vec<Arc<Vec<u64>>>,
+    /// Edge key → ids of entries covering it, in ingest order.
+    index: HashMap<u64, Vec<u32>>,
+    /// (coverage fingerprint, program hash) → candidate ids.
+    dedup: HashMap<(u64, u64), Vec<u32>>,
+    /// Entries minimization must never drop (crash witnesses).
+    pinned: Vec<bool>,
+    /// Ingests that reused an existing entry (lifetime total).
+    dedup_hits: u64,
+}
+
+/// A point-in-time summary of a store, for telemetry and tooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Distinct entries stored.
+    pub entries: usize,
+    /// Distinct edges in the inverted index.
+    pub indexed_edges: usize,
+    /// Approximate heap footprint of the index structures, in bytes.
+    pub index_bytes: usize,
+    /// Lifetime ingests answered by dedup.
+    pub dedup_hits: u64,
+    /// Entries pinned against minimization.
+    pub pinned: usize,
+}
+
+impl std::fmt::Debug for CorpusStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("CorpusStore")
+            .field("entries", &s.entries)
+            .field("indexed_edges", &s.indexed_edges)
+            .field("dedup_hits", &s.dedup_hits)
+            .finish()
+    }
+}
+
+impl CorpusStore {
+    /// An empty store.
+    pub fn new() -> CorpusStore {
+        CorpusStore::default()
+    }
+
+    /// Number of distinct entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether two handles point at the same underlying store.
+    pub fn same_store(&self, other: &CorpusStore) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Ingests an entry: returns `(id, canonical Arc, dedup_hit)`.
+    ///
+    /// On a dedup hit the canonical `Arc` is the previously stored,
+    /// fully identical entry and the store's hit counter advances; the
+    /// freshly built entry is dropped.
+    pub fn ingest(&self, entry: CorpusEntry) -> (u32, Arc<CorpusEntry>, bool) {
+        self.ingest_arc_inner(Arc::new(entry), true)
+    }
+
+    /// Ingests an already-shared entry *without* counting a dedup hit.
+    ///
+    /// This is the restore path: a checkpointed campaign re-attaching
+    /// its view to a shared store re-populates the store's indexes, but
+    /// any duplication it finds was already counted (and serialized)
+    /// when the entry was first admitted before the checkpoint.
+    pub fn ingest_restored(&self, entry: Arc<CorpusEntry>) -> (u32, Arc<CorpusEntry>) {
+        let (id, arc, _) = self.ingest_arc_inner(entry, false);
+        (id, arc)
+    }
+
+    fn ingest_arc_inner(
+        &self,
+        entry: Arc<CorpusEntry>,
+        count_hit: bool,
+    ) -> (u32, Arc<CorpusEntry>, bool) {
+        let key = (
+            coverage_fingerprint(&entry.coverage),
+            prog_hash(&entry.prog),
+        );
+        let mut inner = self.inner.lock();
+        if let Some(candidates) = inner.dedup.get(&key) {
+            for &id in candidates {
+                let cand = &inner.entries[id as usize];
+                if Arc::ptr_eq(cand, &entry) || entries_identical(cand, &entry) {
+                    let arc = Arc::clone(cand);
+                    if count_hit {
+                        inner.dedup_hits += 1;
+                    }
+                    return (id, arc, true);
+                }
+            }
+        }
+        let id = inner.entries.len() as u32;
+        let keys = Arc::new(edge_keys(&entry.exec.edges()));
+        for &k in keys.iter() {
+            inner.index.entry(k).or_default().push(id);
+        }
+        inner.dedup.entry(key).or_default().push(id);
+        inner.keys.push(keys);
+        inner.pinned.push(false);
+        inner.entries.push(Arc::clone(&entry));
+        (id, entry, false)
+    }
+
+    /// Bulk ingest: fingerprints and edge keys are computed in parallel
+    /// (sharded over `workers` via the order-preserving pool), then the
+    /// dedup/insert scan folds sequentially in item order — the
+    /// resulting ids and hit pattern are identical at any worker count.
+    pub fn bulk_ingest(
+        &self,
+        entries: Vec<CorpusEntry>,
+        workers: usize,
+    ) -> Vec<(u32, Arc<CorpusEntry>, bool)> {
+        snowplow_pool::scoped_map_fold(
+            workers,
+            entries,
+            || (),
+            |_, _, e| {
+                // The expensive, per-item part: trace → edge set → keys.
+                let keys = edge_keys(&e.exec.edges());
+                let key = (coverage_fingerprint(&e.coverage), prog_hash(&e.prog));
+                (e, keys, key)
+            },
+            Vec::new(),
+            |mut out, (e, keys, key)| {
+                out.push(self.insert_prehashed(Arc::new(e), keys, key));
+                out
+            },
+        )
+    }
+
+    fn insert_prehashed(
+        &self,
+        entry: Arc<CorpusEntry>,
+        keys: Vec<u64>,
+        key: (u64, u64),
+    ) -> (u32, Arc<CorpusEntry>, bool) {
+        let mut inner = self.inner.lock();
+        if let Some(candidates) = inner.dedup.get(&key) {
+            for &id in candidates {
+                let cand = &inner.entries[id as usize];
+                if Arc::ptr_eq(cand, &entry) || entries_identical(cand, &entry) {
+                    let arc = Arc::clone(cand);
+                    inner.dedup_hits += 1;
+                    return (id, arc, true);
+                }
+            }
+        }
+        let id = inner.entries.len() as u32;
+        for &k in &keys {
+            inner.index.entry(k).or_default().push(id);
+        }
+        inner.dedup.entry(key).or_default().push(id);
+        inner.keys.push(Arc::new(keys));
+        inner.pinned.push(false);
+        inner.entries.push(Arc::clone(&entry));
+        (id, entry, false)
+    }
+
+    /// Reads an entry by id.
+    pub fn entry(&self, id: u32) -> Arc<CorpusEntry> {
+        Arc::clone(&self.inner.lock().entries[id as usize])
+    }
+
+    /// Ids of the entries whose execution covered `(src, dst)`, in
+    /// ingest order.
+    pub fn entries_covering(&self, src: u32, dst: u32) -> Vec<u32> {
+        self.inner
+            .lock()
+            .index
+            .get(&crate::entry::pack_edge(src, dst))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Pins an entry: minimization keeps it even when its edges are
+    /// redundantly covered (the trim-vs-state-loss fix — a crash
+    /// witness must survive the minset).
+    pub fn pin(&self, id: u32) {
+        self.inner.lock().pinned[id as usize] = true;
+    }
+
+    /// Whether an entry is pinned.
+    pub fn is_pinned(&self, id: u32) -> bool {
+        self.inner.lock().pinned[id as usize]
+    }
+
+    /// For each id in `ids`, the rarity of the entry's rarest edge: the
+    /// length of the shortest posting list among its edges (1 = the
+    /// entry is the only one covering some edge). Entries with no edges
+    /// report `u32::MAX`.
+    pub fn rarity(&self, ids: &[u32]) -> Vec<u32> {
+        let inner = self.inner.lock();
+        ids.iter()
+            .map(|&id| {
+                inner.keys[id as usize]
+                    .iter()
+                    .map(|k| inner.index.get(k).map_or(0, |p| p.len()) as u32)
+                    .min()
+                    .unwrap_or(u32::MAX)
+            })
+            .collect()
+    }
+
+    /// Lifetime dedup hits across every handle.
+    pub fn dedup_hits(&self) -> u64 {
+        self.inner.lock().dedup_hits
+    }
+
+    /// Point-in-time summary.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock();
+        let posting_slots: usize = inner.index.values().map(Vec::len).sum();
+        let key_words: usize = inner.keys.iter().map(|k| k.len()).sum();
+        let index_bytes = inner.index.len() * (8 + std::mem::size_of::<Vec<u32>>())
+            + posting_slots * 4
+            + key_words * 8
+            + inner.dedup.len() * (16 + std::mem::size_of::<Vec<u32>>());
+        StoreStats {
+            entries: inner.entries.len(),
+            indexed_edges: inner.index.len(),
+            index_bytes,
+            dedup_hits: inner.dedup_hits,
+            pinned: inner.pinned.iter().filter(|&&p| p).count(),
+        }
+    }
+
+    /// Records the store-level `corpus.*` gauges.
+    ///
+    /// Deliberately *not* called from the campaign loop: store-level
+    /// numbers depend on fleet interleaving (which campaign ingested a
+    /// shared discovery first), while campaign telemetry must stay a
+    /// pure function of `(kernel, config, seed)`. Fleet drivers and
+    /// benches call this explicitly against their own sinks.
+    pub fn record_gauges(&self, telemetry: &Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        let s = self.stats();
+        telemetry.gauge("corpus.store_entries", s.entries as f64);
+        telemetry.gauge("corpus.indexed_edges", s.indexed_edges as f64);
+        telemetry.gauge("corpus.index_bytes", s.index_bytes as f64);
+        telemetry.gauge("corpus.store_dedup_hits", s.dedup_hits as f64);
+        telemetry.gauge("corpus.pinned", s.pinned as f64);
+    }
+
+    /// Weighted minset over the whole store: re-executes every entry
+    /// (sharded over `workers`, order-preserving) and greedily covers
+    /// the union edge set preferring low `exec_time_ns * prog_len`
+    /// weight per newly covered edge. Pinned entries are always kept.
+    /// Returns the kept ids in ingest order; identical for any worker
+    /// count.
+    pub fn weighted_minset(&self, kernel: &Kernel, workers: usize) -> Vec<u32> {
+        let (entries, pinned) = {
+            let inner = self.inner.lock();
+            (inner.entries.clone(), inner.pinned.clone())
+        };
+        let (kept, _execs) = minset::weighted_minset(kernel, workers, &entries, &pinned);
+        kept.into_iter().map(|i| i as u32).collect()
+    }
+}

@@ -1,0 +1,464 @@
+//! Behavior tests for the corpus handle and store: the ported
+//! per-campaign corpus suite, plus dedup, pinning, and scheduling
+//! policies.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snowplow_corpus::{scheduler_for, CorpusHandle, CorpusStore, ScheduleContext, SchedulePolicy};
+use snowplow_kernel::{EdgeSet, Kernel, KernelVersion, Vm};
+use snowplow_prog::gen::Generator;
+use snowplow_prog::Prog;
+
+#[test]
+fn weighted_choice_prefers_high_signal_entries() {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let mut rng = StdRng::seed_from_u64(1);
+    let generator = Generator::new(kernel.registry());
+    let mut vm = Vm::new(&kernel);
+    let snap = vm.snapshot();
+    let mut corpus = CorpusHandle::new();
+    for i in 0..10 {
+        let p = generator.generate(&mut rng, 3);
+        vm.restore(&snap);
+        let exec = vm.execute(&p);
+        // Entry 9 gets overwhelming weight.
+        corpus.add(p, &exec, if i == 9 { 10_000 } else { 0 });
+    }
+    let mut hits9 = 0;
+    for _ in 0..200 {
+        if corpus.choose(&mut rng) == Some(9) {
+            hits9 += 1;
+        }
+    }
+    // Half the picks go through the recency window (uniform over the
+    // tail), half through contribution weighting (heavily entry 9):
+    // expect well above the uniform 10% baseline.
+    assert!(hits9 > 80, "only {hits9}/200 picks of the heavy entry");
+}
+
+#[test]
+fn minimize_keeps_coverage_and_is_worker_count_independent() {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let mut rng = StdRng::seed_from_u64(4);
+    let generator = Generator::new(kernel.registry());
+    let mut vm = Vm::new(&kernel);
+    let snap = vm.snapshot();
+    let mut corpus = CorpusHandle::new();
+    let mut union = EdgeSet::new();
+    for _ in 0..40 {
+        let p = generator.generate(&mut rng, 4);
+        vm.restore(&snap);
+        let exec = vm.execute(&p);
+        let new = union.merge(&exec.edges());
+        // Admit everything, including redundant entries that the
+        // minimizer should drop.
+        corpus.add(p, &exec, new);
+    }
+
+    let min1 = corpus.minimize(&kernel, 1);
+    assert!(min1.len() <= corpus.len());
+    assert!(!min1.is_empty());
+    // The kept entries reproduce the full edge union.
+    let mut kept_union = EdgeSet::new();
+    for e in min1.iter() {
+        vm.restore(&snap);
+        kept_union.merge(&vm.execute(&e.prog).edges());
+    }
+    assert_eq!(kept_union.len(), union.len());
+
+    for workers in [2, 8] {
+        let m = corpus.minimize(&kernel, workers);
+        assert_eq!(m.len(), min1.len(), "workers={workers}");
+        let same: Vec<&Prog> = m.iter().map(|e| &e.prog).collect();
+        let base: Vec<&Prog> = min1.iter().map(|e| &e.prog).collect();
+        assert_eq!(same, base, "workers={workers}");
+    }
+}
+
+#[test]
+fn empty_corpus_yields_none() {
+    let mut rng = StdRng::seed_from_u64(2);
+    assert_eq!(CorpusHandle::new().choose(&mut rng), None);
+}
+
+#[test]
+fn schedule_weights_steer_choice_and_clear_to_baseline() {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let mut rng = StdRng::seed_from_u64(3);
+    let generator = Generator::new(kernel.registry());
+    let mut vm = Vm::new(&kernel);
+    let snap = vm.snapshot();
+    let mut corpus = CorpusHandle::new();
+    for _ in 0..10 {
+        let p = generator.generate(&mut rng, 3);
+        vm.restore(&snap);
+        let exec = vm.execute(&p);
+        corpus.add(p, &exec, 1);
+    }
+
+    // A frontier-near entry dominates the weighted half of choose.
+    let mut weights = vec![1u64; 10];
+    weights[2] = 10_000;
+    corpus.install_schedule(Some(weights));
+    let mut hits2 = 0;
+    for _ in 0..200 {
+        if corpus.choose(&mut rng) == Some(2) {
+            hits2 += 1;
+        }
+    }
+    assert!(hits2 > 80, "only {hits2}/200 picks of the near entry");
+
+    // Clearing the weights restores the exact pre-scheduling RNG
+    // behavior: same seed, same picks as a never-scheduled corpus.
+    corpus.install_schedule(None);
+    let mut a = StdRng::seed_from_u64(9);
+    let mut b = StdRng::seed_from_u64(9);
+    let picks_cleared: Vec<_> = (0..50).map(|_| corpus.choose(&mut a)).collect();
+    let mut fresh = CorpusHandle::new();
+    for e in corpus.iter() {
+        fresh.add(e.prog.clone(), &e.exec, e.new_edges);
+    }
+    let picks_fresh: Vec<_> = (0..50).map(|_| fresh.choose(&mut b)).collect();
+    assert_eq!(picks_cleared, picks_fresh);
+}
+
+#[test]
+fn checked_ingestion_rejects_lint_violations() {
+    use snowplow_prog::arg::{Arg, ResSource};
+
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let reg = kernel.registry();
+    let clean = (0..50)
+        .map(|seed| Generator::new(reg).generate(&mut StdRng::seed_from_u64(seed), 4))
+        .find(|p| {
+            p.calls
+                .iter()
+                .any(|c| c.args.iter().any(|a| matches!(a, Arg::Res { .. })))
+        })
+        .expect("some generated program uses a resource argument");
+    let mut vm = Vm::new(&kernel);
+    let exec = vm.execute(&clean);
+
+    let mut corpus = CorpusHandle::new();
+    assert!(corpus.add_checked(reg, clean.clone(), &exec, 1));
+    assert_eq!(corpus.len(), 1);
+
+    // Break the program: point some resource argument at a call that
+    // does not exist.
+    let mut broken = clean;
+    'outer: for call in &mut broken.calls {
+        for arg in &mut call.args {
+            if let Arg::Res { source } = arg {
+                *source = ResSource::Ref(9999);
+                break 'outer;
+            }
+        }
+    }
+    assert!(!corpus.add_checked(reg, broken, &exec, 1));
+    assert_eq!(corpus.len(), 1, "lint-dirty program must be rejected");
+}
+
+/// Two handles over one store admitting the same discovery: the store
+/// keeps a single entry, the second handle's admission counts as a
+/// dedup hit, and both views behave as if private.
+#[test]
+fn shared_store_dedups_identical_admissions() {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let mut rng = StdRng::seed_from_u64(7);
+    let generator = Generator::new(kernel.registry());
+    let mut vm = Vm::new(&kernel);
+    let snap = vm.snapshot();
+
+    let store = CorpusStore::new();
+    let mut a = CorpusHandle::attached(store.clone());
+    let mut b = CorpusHandle::attached(store.clone());
+
+    let mut progs = Vec::new();
+    for _ in 0..5 {
+        let p = generator.generate(&mut rng, 3);
+        vm.restore(&snap);
+        let exec = vm.execute(&p);
+        progs.push((p, exec));
+    }
+    for (p, exec) in &progs {
+        a.add_weighted(p.clone(), exec, 1, 100);
+    }
+    for (p, exec) in &progs {
+        b.add_weighted(p.clone(), exec, 1, 100);
+    }
+
+    assert_eq!(a.len(), 5);
+    assert_eq!(b.len(), 5);
+    assert_eq!(store.len(), 5, "identical admissions stored once");
+    assert_eq!(a.dedup_hits(), 0);
+    assert_eq!(b.dedup_hits(), 5);
+    assert_eq!(store.dedup_hits(), 5);
+
+    // Same program admitted with a *different* contribution count is a
+    // distinct entry: the reused Arc must be indistinguishable from what
+    // the campaign would have built itself.
+    let (p, exec) = &progs[0];
+    b.add_weighted(p.clone(), exec, 2, 100);
+    assert_eq!(store.len(), 6, "different new_edges is not a duplicate");
+    assert_eq!(b.dedup_hits(), 5);
+}
+
+/// Bulk ingest produces the same ids and hit pattern at any worker
+/// count (the parallel half only prehashes; the dedup scan folds
+/// sequentially in item order).
+#[test]
+fn bulk_ingest_is_worker_count_independent() {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let generator = Generator::new(kernel.registry());
+    let mut vm = Vm::new(&kernel);
+    let snap = vm.snapshot();
+
+    let mut batch = Vec::new();
+    let mut rng = StdRng::seed_from_u64(11);
+    for i in 0..30 {
+        let p = generator.generate(&mut rng, 3);
+        vm.restore(&snap);
+        let exec = vm.execute(&p);
+        batch.push(snowplow_corpus::CorpusEntry {
+            coverage: exec.coverage(),
+            exec,
+            prog: p,
+            new_edges: i % 3,
+            exec_time_ns: 50 + i as u64,
+        });
+    }
+    // Duplicate the first ten entries at the tail so dedup triggers.
+    let dups: Vec<_> = batch[..10].to_vec();
+    batch.extend(dups);
+
+    let outcome = |workers: usize| {
+        let store = CorpusStore::new();
+        let out = store.bulk_ingest(batch.clone(), workers);
+        (
+            out.iter()
+                .map(|(id, _, hit)| (*id, *hit))
+                .collect::<Vec<_>>(),
+            store.len(),
+            store.dedup_hits(),
+        )
+    };
+    let one = outcome(1);
+    assert_eq!(one.1, 30, "ten tail duplicates deduped");
+    assert_eq!(one.2, 10);
+    assert_eq!(one, outcome(2));
+    assert_eq!(one, outcome(8));
+}
+
+/// The store's inverted index answers rarity queries: an entry that is
+/// the only coverer of some edge reports rarity 1.
+#[test]
+fn rarity_reflects_posting_list_lengths() {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let generator = Generator::new(kernel.registry());
+    let mut vm = Vm::new(&kernel);
+    let snap = vm.snapshot();
+    let mut rng = StdRng::seed_from_u64(13);
+
+    let mut handle = CorpusHandle::new();
+    for _ in 0..8 {
+        let p = generator.generate(&mut rng, 4);
+        vm.restore(&snap);
+        let exec = vm.execute(&p);
+        handle.add_weighted(p, &exec, 1, 100);
+    }
+    let rarity = handle.rarity();
+    assert_eq!(rarity.len(), handle.len());
+    // Every entry covers at least one edge here, so no sentinel values,
+    // and rarity is bounded by the corpus size.
+    for (i, &r) in rarity.iter().enumerate() {
+        assert!(
+            r >= 1 && r as usize <= handle.len(),
+            "entry {i}: rarity {r}"
+        );
+    }
+    // An identical re-admission shares every posting list, so its rarity
+    // equals the original's.
+    let dup_src = handle.entry(0).clone();
+    handle.add_weighted(dup_src.prog.clone(), &dup_src.exec, dup_src.new_edges, 100);
+    let again = handle.rarity();
+    assert_eq!(again[0], again[handle.len() - 1]);
+}
+
+/// The trim-vs-state-loss fix: a pinned crash witness survives
+/// [`CorpusHandle::weighted_minset`] even when its edges are fully
+/// covered by earlier entries (legacy [`CorpusHandle::minimize`] would
+/// drop it).
+#[test]
+fn pinned_entries_survive_weighted_minset() {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let generator = Generator::new(kernel.registry());
+    let mut vm = Vm::new(&kernel);
+    let snap = vm.snapshot();
+    let mut rng = StdRng::seed_from_u64(17);
+
+    let mut corpus = CorpusHandle::new();
+    let mut union = EdgeSet::new();
+    for _ in 0..20 {
+        let p = generator.generate(&mut rng, 4);
+        vm.restore(&snap);
+        let exec = vm.execute(&p);
+        let new = union.merge(&exec.edges());
+        corpus.add_weighted(p, &exec, new, 100);
+    }
+    // Re-admit entry 0 verbatim at the tail and pin it: its edges are
+    // fully redundant, so only the pin keeps it alive.
+    let witness = corpus.entry(0).clone();
+    corpus.add_weighted(witness.prog.clone(), &witness.exec, 0, witness.exec_time_ns);
+    corpus.pin_last();
+    let tail = corpus.len() - 1;
+    assert!(corpus.pinned_flags()[tail]);
+
+    let legacy = corpus.minimize(&kernel, 2);
+    assert!(
+        legacy.iter().filter(|e| e.prog == witness.prog).count() <= 1,
+        "legacy first-fit drops the redundant duplicate"
+    );
+
+    let minset = corpus.weighted_minset(&kernel, 2);
+    // The pinned duplicate is seeded into the cover first, so it (and
+    // its pin flag) must be in the kept set — and because it already
+    // covers the original entry 0's edges, the unpinned original is the
+    // one the cover drops.
+    let kept_pinned: Vec<_> = minset
+        .iter()
+        .zip(minset.pinned_flags())
+        .filter(|(_, &p)| p)
+        .map(|(e, _)| e)
+        .collect();
+    assert_eq!(kept_pinned.len(), 1, "the pinned witness must survive");
+    assert_eq!(kept_pinned[0].prog, witness.prog);
+    // Coverage is still exactly preserved.
+    let mut kept_union = EdgeSet::new();
+    for e in minset.iter() {
+        vm.restore(&snap);
+        kept_union.merge(&vm.execute(&e.prog).edges());
+    }
+    assert_eq!(kept_union.len(), union.len());
+}
+
+/// Restoring from parts and re-attaching to a shared store keeps the
+/// view byte-identical and never advances hit counters.
+#[test]
+fn restore_and_reattach_preserve_view_and_hits() {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let generator = Generator::new(kernel.registry());
+    let mut vm = Vm::new(&kernel);
+    let snap = vm.snapshot();
+    let mut rng = StdRng::seed_from_u64(19);
+
+    let mut original = CorpusHandle::new();
+    for _ in 0..6 {
+        let p = generator.generate(&mut rng, 3);
+        vm.restore(&snap);
+        let exec = vm.execute(&p);
+        original.add_weighted(p, &exec, 1, 75);
+    }
+    original.pin_last();
+    original.install_schedule(Some(vec![2; 6]));
+
+    let entries: Vec<_> = original.iter().cloned().collect();
+    let restored = CorpusHandle::restore_parts(
+        entries,
+        original.schedule_weights().map(<[u64]>::to_vec),
+        original.pinned_flags().to_vec(),
+        3,
+    );
+    assert_eq!(restored.len(), original.len());
+    assert_eq!(restored.dedup_hits(), 3, "hit counter restores verbatim");
+    assert_eq!(restored.pinned_flags(), original.pinned_flags());
+    assert_eq!(restored.schedule_weights(), original.schedule_weights());
+    let mut a = StdRng::seed_from_u64(5);
+    let mut b = StdRng::seed_from_u64(5);
+    for _ in 0..50 {
+        assert_eq!(original.choose(&mut a), restored.choose(&mut b));
+    }
+
+    // Re-attach to a store that already holds half the entries: the
+    // view is unchanged, duplication is absorbed silently.
+    let shared = CorpusStore::new();
+    let mut other = CorpusHandle::attached(shared.clone());
+    for e in original.iter().take(3) {
+        other.add_weighted(e.prog.clone(), &e.exec, e.new_edges, e.exec_time_ns);
+    }
+    let mut reattached = restored.clone();
+    reattached.reattach(&shared);
+    assert_eq!(shared.len(), 6, "3 shared + 3 new");
+    assert_eq!(reattached.dedup_hits(), 3, "reattach never counts hits");
+    assert_eq!(shared.dedup_hits(), 0);
+    assert_eq!(reattached.len(), restored.len());
+    let mut a = StdRng::seed_from_u64(6);
+    let mut b = StdRng::seed_from_u64(6);
+    for _ in 0..50 {
+        assert_eq!(restored.choose(&mut a), reattached.choose(&mut b));
+    }
+    // The store-side pin followed the witness to its canonical id.
+    assert_eq!(shared.stats().pinned, 1);
+}
+
+/// Scheduler policies: uniform flattens the distribution, the
+/// cost-normalized rare-edge policy up-weights cheap entries holding
+/// rare edges, and both serialize through stable tags.
+#[test]
+fn schedule_policies_produce_expected_weights() {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let generator = Generator::new(kernel.registry());
+    let mut vm = Vm::new(&kernel);
+    let snap = vm.snapshot();
+    let mut rng = StdRng::seed_from_u64(23);
+
+    let mut handle = CorpusHandle::new();
+    for i in 0..6 {
+        let p = generator.generate(&mut rng, 3);
+        vm.restore(&snap);
+        let exec = vm.execute(&p);
+        handle.add_weighted(p, &exec, i, 100 * (i as u64 + 1));
+    }
+
+    let ctx = ScheduleContext {
+        entries: handle.entries(),
+        block_distance: None,
+        rarity: None,
+    };
+    assert!(scheduler_for(SchedulePolicy::Contribution)
+        .weights(&ctx)
+        .is_none());
+    assert_eq!(
+        scheduler_for(SchedulePolicy::Uniform).weights(&ctx),
+        Some(vec![1; 6])
+    );
+    // Distance without distances degrades to no override.
+    assert!(scheduler_for(SchedulePolicy::Distance)
+        .weights(&ctx)
+        .is_none());
+
+    let rarity = handle.rarity();
+    let ctx = ScheduleContext {
+        entries: handle.entries(),
+        block_distance: None,
+        rarity: Some(&rarity),
+    };
+    let w = scheduler_for(SchedulePolicy::CostNormalizedRareEdge)
+        .weights(&ctx)
+        .expect("rarity provided");
+    assert_eq!(w.len(), 6);
+    assert!(w.iter().all(|&x| x > 0), "no entry may starve");
+    // Baseline contribution weight is always included.
+    for (i, e) in handle.iter().enumerate() {
+        assert!(w[i] > e.new_edges as u64);
+    }
+
+    for p in [
+        SchedulePolicy::Contribution,
+        SchedulePolicy::Uniform,
+        SchedulePolicy::Distance,
+        SchedulePolicy::CostNormalizedRareEdge,
+    ] {
+        assert_eq!(SchedulePolicy::from_tag(p.to_tag()), Some(p));
+    }
+    assert_eq!(SchedulePolicy::from_tag(200), None);
+}

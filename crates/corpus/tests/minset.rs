@@ -1,0 +1,95 @@
+//! Property tests for the weighted minset: coverage preservation,
+//! worker-count independence, and the ≤-legacy-size guarantee.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snowplow_corpus::CorpusHandle;
+use snowplow_kernel::{EdgeSet, Kernel, KernelVersion, Vm};
+use snowplow_prog::gen::Generator;
+
+/// Builds a corpus of `n` generated programs under `seed`, admitting
+/// everything (redundant entries included) with varied synthetic costs.
+fn build_corpus(kernel: &Kernel, seed: u64, n: usize) -> (CorpusHandle, EdgeSet) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let generator = Generator::new(kernel.registry());
+    let mut vm = Vm::new(kernel);
+    let snap = vm.snapshot();
+    let mut corpus = CorpusHandle::new();
+    let mut union = EdgeSet::new();
+    for i in 0..n {
+        let p = generator.generate(&mut rng, 2 + i % 4);
+        vm.restore(&snap);
+        let exec = vm.execute(&p);
+        let new = union.merge(&exec.edges());
+        // Spread costs over two orders of magnitude so the weighted
+        // cover has real choices to make.
+        let cost = 50 + (i as u64 * 37) % 5000;
+        corpus.add_weighted(p, &exec, new, cost);
+    }
+    (corpus, union)
+}
+
+fn union_of(kernel: &Kernel, corpus: &CorpusHandle) -> EdgeSet {
+    let mut vm = Vm::new(kernel);
+    let snap = vm.snapshot();
+    let mut union = EdgeSet::new();
+    for e in corpus.iter() {
+        vm.restore(&snap);
+        union.merge(&vm.execute(&e.prog).edges());
+    }
+    union
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The weighted minset preserves the union edge set exactly, is
+    /// identical at workers 1/2/8, and never keeps more entries than
+    /// the legacy first-fit minimizer.
+    #[test]
+    fn weighted_minset_preserves_union_and_is_deterministic(seed in 0u64..500, n in 10usize..30) {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let (corpus, union) = build_corpus(&kernel, seed, n);
+
+        let m1 = corpus.weighted_minset(&kernel, 1);
+        prop_assert!(m1.len() <= corpus.len());
+        prop_assert_eq!(union_of(&kernel, &m1).len(), union.len());
+
+        for workers in [2usize, 8] {
+            let m = corpus.weighted_minset(&kernel, workers);
+            prop_assert_eq!(m.len(), m1.len());
+            let a: Vec<_> = m.iter().map(|e| &e.prog).collect();
+            let b: Vec<_> = m1.iter().map(|e| &e.prog).collect();
+            prop_assert_eq!(a, b);
+        }
+
+        let legacy = corpus.minimize(&kernel, 1);
+        prop_assert!(
+            m1.len() <= legacy.len(),
+            "weighted {} > legacy {}",
+            m1.len(),
+            legacy.len()
+        );
+    }
+
+    /// Kept entries come back in admission order with contribution
+    /// counts that sum to the union size (the admission-order merge
+    /// scan invariant every ingest path relies on).
+    #[test]
+    fn weighted_minset_recomputes_admission_order_contributions(seed in 0u64..500) {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let (corpus, union) = build_corpus(&kernel, seed, 20);
+        let m = corpus.weighted_minset(&kernel, 2);
+        let total: usize = m.iter().map(|e| e.new_edges).sum();
+        prop_assert_eq!(total, union.len());
+        // First kept entry contributes its whole edge set.
+        if !m.is_empty() {
+            let first = m.entry(0);
+            let mut vm = Vm::new(&kernel);
+            let snap = vm.snapshot();
+            vm.restore(&snap);
+            prop_assert_eq!(first.new_edges, vm.execute(&first.prog).edges().len());
+        }
+    }
+}

@@ -22,7 +22,9 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use snowplow_fuzzer::{Campaign, CampaignConfig, CampaignReport, FuzzerKind, RunningCampaign};
+use snowplow_fuzzer::{
+    Campaign, CampaignConfig, CampaignReport, CorpusStore, FuzzerKind, RunningCampaign,
+};
 use snowplow_kernel::Kernel;
 use snowplow_pmm::model::Pmm;
 use snowplow_pmm::server::{InferenceService, ServiceClient};
@@ -47,6 +49,13 @@ pub struct FleetScheduler<'k> {
     service: Arc<InferenceService>,
     slots: Vec<Slot<'k>>,
     next_id: u32,
+    /// Fleet-wide corpus store, when campaigns pool their corpora.
+    /// Installed into every subsequently spawned campaign's config and
+    /// into every resume, and reported in [`aggregate`]
+    /// (`corpus.store_*` gauges).
+    ///
+    /// [`aggregate`]: FleetScheduler::aggregate
+    shared_corpus: Option<CorpusStore>,
 }
 
 impl<'k> FleetScheduler<'k> {
@@ -57,7 +66,22 @@ impl<'k> FleetScheduler<'k> {
             service,
             slots: Vec::new(),
             next_id: 1,
+            shared_corpus: None,
         }
+    }
+
+    /// Pools the corpora of every campaign spawned or resumed after
+    /// this call into `store` (cross-campaign dedup; see
+    /// `snowplow-corpus`). Each campaign still selects only from its
+    /// own view, so reports stay a pure function of (kernel, config,
+    /// seed).
+    pub fn set_shared_corpus(&mut self, store: CorpusStore) {
+        self.shared_corpus = Some(store);
+    }
+
+    /// The fleet-wide corpus store, if one was installed.
+    pub fn shared_corpus(&self) -> Option<&CorpusStore> {
+        self.shared_corpus.as_ref()
     }
 
     /// The shared inference service.
@@ -75,6 +99,9 @@ impl<'k> FleetScheduler<'k> {
         let (telemetry, _sink) = Telemetry::in_memory();
         let mut config = config;
         config.exec.telemetry = telemetry.clone();
+        if let Some(store) = &self.shared_corpus {
+            config.corpus.shared = Some(store.clone());
+        }
         let running = Campaign::new(self.kernel, make_kind(id), config).into_running();
         self.slots.push(Slot {
             id,
@@ -113,7 +140,12 @@ impl<'k> FleetScheduler<'k> {
         let id = self.next_id;
         self.next_id += 1;
         let (telemetry, _sink) = Telemetry::in_memory();
-        let running = snap.resume(self.kernel, make_kind(id), telemetry.clone());
+        let running = match &self.shared_corpus {
+            Some(store) => {
+                snap.resume_with_store(self.kernel, make_kind(id), telemetry.clone(), store.clone())
+            }
+            None => snap.resume(self.kernel, make_kind(id), telemetry.clone()),
+        };
         self.slots.push(Slot {
             id,
             telemetry,
@@ -225,6 +257,23 @@ impl<'k> FleetScheduler<'k> {
         if let Some(spread) = fair_share_spread(&self.service.served_by_tag()) {
             agg.gauges
                 .insert("fleet.fair_share_spread".to_string(), spread);
+        }
+        // Store-level corpus gauges live here, not in per-campaign
+        // telemetry: they depend on fleet interleaving (which campaign
+        // ingested a shared discovery first), while campaign snapshots
+        // must stay pure functions of (kernel, config, seed).
+        if let Some(store) = &self.shared_corpus {
+            let s = store.stats();
+            agg.gauges
+                .insert("corpus.store_entries".to_string(), s.entries as f64);
+            agg.gauges
+                .insert("corpus.indexed_edges".to_string(), s.indexed_edges as f64);
+            agg.gauges
+                .insert("corpus.index_bytes".to_string(), s.index_bytes as f64);
+            agg.gauges
+                .insert("corpus.store_dedup_hits".to_string(), s.dedup_hits as f64);
+            agg.gauges
+                .insert("corpus.pinned".to_string(), s.pinned as f64);
         }
         agg
     }

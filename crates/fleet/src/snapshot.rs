@@ -45,8 +45,13 @@ use crate::codec::{Dec, Enc};
 /// File magic: "SNOWFLT1" — Snowplow fleet snapshot, format family 1.
 const MAGIC: &[u8; 8] = b"SNOWFLT1";
 /// Format version; bump on any layout change. v2 added
-/// `exec.compiled` to the serialized config.
-const VERSION: u32 = 2;
+/// `exec.compiled` to the serialized config. v3 added the shared-corpus
+/// fields: per-entry `exec_time_ns` and pin flag, the handle's dedup
+/// hit count, and the seed-scheduling policy tag in the config. (The
+/// shared store itself is never serialized — on resume each campaign
+/// re-attaches its view and the store contents are exactly the union of
+/// the reattached views.)
+const VERSION: u32 = 3;
 
 /// Everything needed to resume a campaign where it left off.
 #[derive(Clone)]
@@ -88,6 +93,29 @@ impl CampaignSnapshot {
         telemetry.load_snapshot(&self.metrics);
         let mut config = self.config;
         config.exec.telemetry = telemetry;
+        RunningCampaign::restore(kernel, kind, config, self.state)
+    }
+
+    /// [`CampaignSnapshot::resume`] for a campaign that ingested into a
+    /// shared [`CorpusStore`](snowplow_fuzzer::CorpusStore).
+    ///
+    /// The store is deliberately not serialized (it is shared across
+    /// snapshots; its contents are exactly the union of the campaign
+    /// views): the resuming process supplies it here, and the restored
+    /// campaign re-attaches its view — re-populating the store's
+    /// indexes, deduplicating against whatever other resumed campaigns
+    /// already contributed, without advancing any hit counter.
+    pub fn resume_with_store<'k>(
+        self,
+        kernel: &'k Kernel,
+        kind: FuzzerKind,
+        telemetry: Telemetry,
+        store: snowplow_fuzzer::CorpusStore,
+    ) -> RunningCampaign<'k> {
+        telemetry.load_snapshot(&self.metrics);
+        let mut config = self.config;
+        config.exec.telemetry = telemetry;
+        config.corpus.shared = Some(store);
         RunningCampaign::restore(kernel, kind, config, self.state)
     }
 
@@ -146,6 +174,7 @@ fn enc_config(e: &mut Enc, c: &CampaignConfig) {
     e.bool(c.hot_caches);
     e.bool(c.distance_scheduling);
     e.bool(c.exec.compiled);
+    e.u8(c.corpus.policy.to_tag());
 }
 
 fn dec_config(d: &mut Dec<'_>) -> io::Result<CampaignConfig> {
@@ -171,6 +200,14 @@ fn dec_config(d: &mut Dec<'_>) -> io::Result<CampaignConfig> {
     c.hot_caches = d.bool()?;
     c.distance_scheduling = d.bool()?;
     c.exec.compiled = d.bool()?;
+    let tag = d.u8()?;
+    let policy = snowplow_fuzzer::SchedulePolicy::from_tag(tag)
+        .ok_or_else(|| Dec::error(&format!("invalid SchedulePolicy tag {tag}")))?;
+    // The shared store is a property of the resuming process, installed
+    // by `FleetCheckpoint::resume` (or the caller) after decode.
+    c.corpus = snowplow_fuzzer::CorpusConfig::builder()
+        .policy(policy)
+        .build();
     Ok(c)
 }
 
@@ -186,11 +223,14 @@ fn enc_state(e: &mut Enc, s: &CampaignState) {
     e.duration(s.clock.now());
 
     e.usize(s.corpus.len());
-    for entry in s.corpus.iter() {
+    let pinned = s.corpus.pinned_flags();
+    for (i, entry) in s.corpus.iter().enumerate() {
         enc_prog(e, &entry.prog);
         enc_words(e, entry.coverage.words());
         enc_exec(e, &entry.exec);
         e.usize(entry.new_edges);
+        e.u64(entry.exec_time_ns);
+        e.bool(pinned[i]);
     }
     match s.corpus.schedule_weights() {
         None => e.bool(false),
@@ -199,6 +239,7 @@ fn enc_state(e: &mut Enc, s: &CampaignState) {
             enc_words(e, w);
         }
     }
+    e.u64(s.corpus.dedup_hits());
 
     enc_words(e, s.blocks.words());
     e.usize(s.edges.rows().len());
@@ -273,20 +314,28 @@ fn dec_state(d: &mut Dec<'_>) -> io::Result<CampaignState> {
 
     let n_entries = d.len(8)?;
     let mut entries = Vec::with_capacity(n_entries);
+    let mut pinned = Vec::with_capacity(n_entries);
     for _ in 0..n_entries {
         let prog = dec_prog(d)?;
         let coverage = Coverage::from_words(dec_words(d)?);
         let exec = dec_exec(d)?;
         let new_edges = d.usize()?;
+        let exec_time_ns = d.u64()?;
+        pinned.push(d.bool()?);
         entries.push(CorpusEntry {
             prog,
             coverage,
             exec,
             new_edges,
+            exec_time_ns,
         });
     }
     let sched = if d.bool()? { Some(dec_words(d)?) } else { None };
-    let corpus = Corpus::from_entries(entries, sched);
+    let dedup_hits = d.u64()?;
+    // Restored over a private store; a shared-corpus resume re-attaches
+    // the view when `RunningCampaign` is rebuilt with the store in its
+    // config.
+    let corpus = Corpus::restore_parts(entries, sched, pinned, dedup_hits);
 
     let blocks = Coverage::from_words(dec_words(d)?);
     let n_rows = d.len(8)?;

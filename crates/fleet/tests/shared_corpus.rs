@@ -1,0 +1,176 @@
+//! Fleet goldens for the shared corpus store.
+//!
+//! Contract: pooling campaign corpora into one [`CorpusStore`] is
+//! unobservable in every campaign's *report* — each handle selects only
+//! from its own view, so fingerprints match the private-store runs —
+//! while the store dedups identical discoveries across campaigns
+//! (`corpus.dedup_hits` / `corpus.store_dedup_hits` prove it), and a
+//! kill/checkpoint/resume cycle of a shared-store campaign is
+//! bit-identical down to the rendered telemetry.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use snowplow_fleet::{CampaignSnapshot, FleetScheduler};
+use snowplow_fuzzer::{Campaign, CampaignConfig, CorpusStore, FuzzerKind};
+use snowplow_kernel::{Kernel, KernelVersion};
+use snowplow_pmm::model::{Pmm, PmmConfig};
+use snowplow_pmm::server::InferenceService;
+use snowplow_telemetry::Telemetry;
+
+fn kernel() -> &'static Kernel {
+    static K: OnceLock<Kernel> = OnceLock::new();
+    K.get_or_init(|| Kernel::build(KernelVersion::V6_8))
+}
+
+fn service() -> Arc<InferenceService> {
+    let model = Pmm::new(
+        PmmConfig {
+            dim: 16,
+            rounds: 1,
+            ..Default::default()
+        },
+        kernel().registry().syscall_count(),
+    );
+    Arc::new(InferenceService::start(&model, 2))
+}
+
+fn fleet_config(seed: u64) -> CampaignConfig {
+    CampaignConfig::builder()
+        .duration(Duration::from_secs(4 * 3600))
+        .exec_cost(Duration::from_secs(60))
+        .sample_every(Duration::from_secs(3600))
+        .seed_corpus(10)
+        .seed(seed)
+        .telemetry(Telemetry::disabled()) // replaced by the scheduler
+        .build()
+}
+
+/// The per-campaign metric lines of an aggregate render, with the
+/// `fleet.c<id>.` prefix stripped so campaigns can be compared across
+/// fleets that assigned them different ids.
+fn campaign_lines(render: &str, id: u32) -> Vec<String> {
+    let tag = format!("fleet.c{id}.");
+    render
+        .lines()
+        .filter(|l| l.contains(&tag))
+        .map(|l| l.replace(&tag, ""))
+        .collect()
+}
+
+/// Seeds [1, 1, 2, 2]: each seed's second campaign re-discovers exactly
+/// what the first one already ingested, so every one of its admissions
+/// is a store-level dedup hit.
+#[test]
+fn four_campaign_shared_store_dedups_across_campaigns() {
+    let mut fleet = FleetScheduler::new(kernel(), service());
+    let store = CorpusStore::new();
+    fleet.set_shared_corpus(store.clone());
+
+    let ids: Vec<u32> = [1u64, 1, 2, 2]
+        .into_iter()
+        .map(|seed| fleet.spawn_baseline(fleet_config(seed)))
+        .collect();
+    fleet.run_to_completion(Duration::from_secs(600));
+
+    // Sharing the store never changes what a campaign reports: the
+    // solo private-store run of each seed lands on the same
+    // fingerprint.
+    for (seed, id) in [1u64, 1, 2, 2].into_iter().zip(&ids) {
+        let solo = Campaign::new(kernel(), FuzzerKind::Syzkaller, fleet_config(seed))
+            .run()
+            .fingerprint();
+        assert_eq!(
+            fleet.report(*id).expect("campaign finished").fingerprint(),
+            solo,
+            "campaign {id} (seed {seed}) diverged from its private-store run"
+        );
+    }
+
+    let agg = fleet.aggregate();
+    let hits = agg.gauges["corpus.store_dedup_hits"];
+    assert!(hits > 0.0, "identical campaigns produced no dedup hits");
+    // Every admission either inserted a store entry or hit an existing
+    // one, so the views sum to insertions + hits.
+    let view_total: f64 = ids
+        .iter()
+        .map(|id| agg.gauges[&format!("fleet.c{id}.corpus.entries")])
+        .sum();
+    assert_eq!(view_total, agg.gauges["corpus.store_entries"] + hits);
+    // Each seed's second campaign admitted nothing the first had not
+    // already inserted.
+    for id in [ids[1], ids[3]] {
+        assert_eq!(
+            agg.gauges[&format!("fleet.c{id}.corpus.dedup_hits")],
+            agg.gauges[&format!("fleet.c{id}.corpus.entries")],
+            "trailing campaign {id} should dedup every admission"
+        );
+    }
+    assert_eq!(store.stats().entries, store.len());
+}
+
+/// Kill the trailing seed-1 campaign mid-run, round-trip its snapshot
+/// through bytes, and resume it into the same shared store: reports and
+/// rendered telemetry match the uninterrupted fleet byte-for-byte.
+#[test]
+fn shared_store_kill_resume_is_bit_identical() {
+    let seeds = [1u64, 1, 2, 2];
+    let run_reference = || {
+        let mut fleet = FleetScheduler::new(kernel(), service());
+        fleet.set_shared_corpus(CorpusStore::new());
+        let ids: Vec<u32> = seeds
+            .into_iter()
+            .map(|seed| fleet.spawn_baseline(fleet_config(seed)))
+            .collect();
+        fleet.run_to_completion(Duration::from_secs(600));
+        let agg = fleet.aggregate().render();
+        (
+            ids.iter()
+                .map(|id| fleet.report(*id).unwrap().fingerprint())
+                .collect::<Vec<_>>(),
+            ids.iter()
+                .map(|id| campaign_lines(&agg, *id))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let (golden_prints, golden_lines) = run_reference();
+
+    let mut fleet = FleetScheduler::new(kernel(), service());
+    fleet.set_shared_corpus(CorpusStore::new());
+    let ids: Vec<u32> = seeds
+        .into_iter()
+        .map(|seed| fleet.spawn_baseline(fleet_config(seed)))
+        .collect();
+
+    // Kill the second seed-1 campaign mid-flight. Its insertions all
+    // dedup against the leading seed-1 campaign, so removing it for a
+    // round cannot reorder who first-inserted any store entry.
+    let victim = ids[1];
+    fleet.run_round(Duration::from_secs(3600));
+    let snap = fleet.kill(victim).expect("victim was running");
+    fleet.run_round(Duration::from_secs(3600));
+
+    let bytes = snap.to_bytes();
+    let snap = CampaignSnapshot::from_bytes(&bytes).expect("snapshot decodes");
+    let revived = fleet.resume_baseline(snap);
+    fleet.run_to_completion(Duration::from_secs(600));
+
+    let final_ids = [ids[0], revived, ids[2], ids[3]];
+    let agg = fleet.aggregate().render();
+    for (i, id) in final_ids.into_iter().enumerate() {
+        assert_eq!(
+            fleet.report(id).expect("campaign finished").fingerprint(),
+            golden_prints[i],
+            "campaign {i} report drifted across kill/resume"
+        );
+        assert_eq!(
+            campaign_lines(&agg, id),
+            golden_lines[i],
+            "campaign {i} telemetry drifted across kill/resume"
+        );
+    }
+    assert!(
+        fleet.shared_corpus().unwrap().dedup_hits() > 0,
+        "resumed fleet lost its dedup hits"
+    );
+}

@@ -16,6 +16,7 @@ use std::time::Duration;
 
 use rand::prelude::*;
 use snowplow_analysis::PrunedCfg;
+use snowplow_corpus::{scheduler_for, CorpusConfig, ScheduleContext, SchedulePolicy};
 use snowplow_kernel::{BlockId, Coverage, EdgeSet, ExecResult, Kernel, Snapshot, Vm};
 use snowplow_pmm::graph::QueryGraph;
 use snowplow_pmm::model::Pmm;
@@ -127,6 +128,13 @@ pub struct CampaignConfig {
     /// scheduler and reports are bit-identical to earlier builds (the
     /// golden test below proves it).
     pub distance_scheduling: bool,
+    /// Corpus behavior: seed-selection policy and (optionally) a shared
+    /// [`CorpusStore`](snowplow_corpus::CorpusStore) to ingest into.
+    /// The default (`Contribution` policy, private store) is
+    /// bit-identical to the historical per-campaign corpus. When
+    /// `distance_scheduling` is set it wins over `corpus.policy` for
+    /// backward compatibility.
+    pub corpus: CorpusConfig,
 }
 
 impl Default for CampaignConfig {
@@ -148,6 +156,7 @@ impl Default for CampaignConfig {
             guided_use_multiplier: 4,
             hot_caches: true,
             distance_scheduling: false,
+            corpus: CorpusConfig::default(),
         }
     }
 }
@@ -264,6 +273,12 @@ impl CampaignConfigBuilder {
 
     pub fn distance_scheduling(mut self, on: bool) -> Self {
         self.cfg.distance_scheduling = on;
+        self
+    }
+
+    /// Corpus behavior (seed-selection policy, shared store).
+    pub fn corpus(mut self, corpus: CorpusConfig) -> Self {
+        self.cfg.corpus = corpus;
         self
     }
 
@@ -469,6 +484,17 @@ pub struct RunningCampaign<'k> {
     wanted_buf: Vec<BlockId>,
 }
 
+/// The effective seed-selection policy: the legacy `distance_scheduling`
+/// flag wins over `corpus.policy`, so pre-store configurations keep
+/// their exact behavior.
+fn effective_policy(config: &CampaignConfig) -> SchedulePolicy {
+    if config.distance_scheduling {
+        SchedulePolicy::Distance
+    } else {
+        config.corpus.policy
+    }
+}
+
 /// Top-K localization: everything above the threshold, padded to at
 /// least `top_k` by rank (the paper's PMM outputs a set whose size
 /// scales the mutation budget).
@@ -521,25 +547,29 @@ impl<'k> RunningCampaign<'k> {
         // re-record it — the span was already recorded before the
         // checkpoint was taken.
         let restoring = state.is_some();
-        let sched_inputs = config.distance_scheduling.then(|| {
-            if restoring {
-                (
-                    analysis_cache.infeasible_blocks(kernel),
-                    analysis_cache.pruned_cfg(kernel),
-                )
-            } else {
-                let span = telemetry.span_at(Phase::Analyze, Duration::ZERO);
-                let infeasible = analysis_cache.infeasible_blocks(kernel);
-                let pruned = analysis_cache.pruned_cfg(kernel);
-                span.finish(&telemetry, Duration::ZERO);
-                (infeasible, pruned)
-            }
-        });
+        let sched_inputs =
+            matches!(effective_policy(&config), SchedulePolicy::Distance).then(|| {
+                if restoring {
+                    (
+                        analysis_cache.infeasible_blocks(kernel),
+                        analysis_cache.pruned_cfg(kernel),
+                    )
+                } else {
+                    let span = telemetry.span_at(Phase::Analyze, Duration::ZERO);
+                    let infeasible = analysis_cache.infeasible_blocks(kernel);
+                    let pruned = analysis_cache.pruned_cfg(kernel);
+                    span.finish(&telemetry, Duration::ZERO);
+                    (infeasible, pruned)
+                }
+            });
 
-        let st = state.unwrap_or_else(|| CampaignState {
+        let mut st = state.unwrap_or_else(|| CampaignState {
             rng: StdRng::seed_from_u64(config.seed),
             clock: VirtualClock::new(),
-            corpus: Corpus::new(),
+            corpus: match &config.corpus.shared {
+                Some(store) => Corpus::attached(store.clone()),
+                None => Corpus::new(),
+            },
             edges: EdgeSet::new(),
             blocks: Coverage::new(),
             crashes: CrashLog::new(kernel.bugs().known_signatures()),
@@ -553,6 +583,16 @@ impl<'k> RunningCampaign<'k> {
             sched_len: usize::MAX,
             sched_blocks_at: usize::MAX,
         });
+        // A checkpointed view restores over a private store; a fleet
+        // resuming a shared-corpus campaign re-attaches it here, which
+        // re-populates the shared store's indexes (absorbing entries
+        // other resumed campaigns already re-ingested) without touching
+        // the view or any hit counter.
+        if restoring {
+            if let Some(store) = &config.corpus.shared {
+                st.corpus.reattach(store);
+            }
+        }
         let blocks_at_epoch = st.blocks.len();
 
         RunningCampaign {
@@ -650,6 +690,15 @@ impl<'k> RunningCampaign<'k> {
                 .gauge("campaign.final_blocks", self.st.blocks.len() as f64);
             self.telemetry
                 .gauge("campaign.corpus", self.st.corpus.len() as f64);
+            self.telemetry
+                .gauge("corpus.entries", self.st.corpus.len() as f64);
+            // Handle-level dedup hits are deterministic campaign state
+            // (serialized in checkpoints); emitted only when nonzero so
+            // private-store campaigns keep their telemetry fingerprint.
+            if self.st.corpus.dedup_hits() > 0 {
+                self.telemetry
+                    .gauge("corpus.dedup_hits", self.st.corpus.dedup_hits() as f64);
+            }
             self.telemetry.counter(
                 "attribution.generation",
                 self.st.attribution.generation as u64,
@@ -744,9 +793,18 @@ impl<'k> RunningCampaign<'k> {
                 }
             }
             if new_edges > 0 {
-                self.st
-                    .corpus
-                    .add_checked(self.kernel.registry(), p, &result, new_edges);
+                let admitted = self.st.corpus.add_checked_weighted(
+                    self.kernel.registry(),
+                    p,
+                    &result,
+                    new_edges,
+                    self.exec_cost.as_nanos() as u64,
+                );
+                // A crash witness is pinned at admission so offline
+                // minimization can never trade it for a cheaper coverer.
+                if admitted && result.crash.is_some() {
+                    self.st.corpus.pin_last();
+                }
             }
             self.st.attribution.generation += new_edges;
         }
@@ -854,23 +912,79 @@ impl<'k> RunningCampaign<'k> {
             }
         }
         if new_edges > 0 {
-            self.st.corpus.add_checked(
+            let admitted = self.st.corpus.add_checked_weighted(
                 self.kernel.registry(),
                 prog.clone(),
                 &self.exec_buf,
                 new_edges,
+                self.exec_cost.as_nanos() as u64,
             );
+            // Pin crash witnesses against minimization (see
+            // `ingest_seed_corpus`).
+            if admitted && self.exec_buf.crash.is_some() {
+                self.st.corpus.pin_last();
+            }
         }
         new_edges
     }
 
-    // Distance-weighted seed scheduling: whenever the corpus or global
-    // block coverage changed, recompute per-entry weights from the
-    // static distance (over the interval-pruned CFG) of each entry's
-    // coverage to the nearest uncovered, feasible frontier block.
-    // Entries parked next to the frontier get a large bonus; the
-    // contribution weight stays as a tiebreak.
+    // Seed scheduling, dispatched on the effective policy. Whenever the
+    // corpus or global block coverage changed, the policy's
+    // [`SeedScheduler`](snowplow_corpus::SeedScheduler) recomputes
+    // per-entry override weights (or `None` for plain contribution
+    // weighting). The Distance arm — the legacy `distance_scheduling`
+    // path — is kept telemetry- and weight-identical to the
+    // pre-redesign code: static distance over the interval-pruned CFG
+    // from each entry's coverage to the nearest uncovered, feasible
+    // frontier block, contribution weight as the tiebreak.
     fn maybe_recompute_schedule(&mut self) {
+        match effective_policy(&self.config) {
+            SchedulePolicy::Distance => self.recompute_distance_schedule(),
+            SchedulePolicy::Uniform => {
+                if self.st.sched_len == self.st.corpus.len() {
+                    return;
+                }
+                let weights = {
+                    let ctx = ScheduleContext {
+                        entries: self.st.corpus.entries(),
+                        block_distance: None,
+                        rarity: None,
+                    };
+                    scheduler_for(SchedulePolicy::Uniform).weights(&ctx)
+                };
+                self.st.corpus.install_schedule(weights);
+                self.telemetry.counter("analysis.sched.recompute", 1);
+                self.st.sched_len = self.st.corpus.len();
+                self.st.sched_blocks_at = self.st.blocks.len();
+            }
+            SchedulePolicy::CostNormalizedRareEdge => {
+                if self.st.sched_len == self.st.corpus.len()
+                    && self.st.sched_blocks_at == self.st.blocks.len()
+                {
+                    return;
+                }
+                let weights = {
+                    let rarity = self.st.corpus.rarity();
+                    let ctx = ScheduleContext {
+                        entries: self.st.corpus.entries(),
+                        block_distance: None,
+                        rarity: Some(&rarity),
+                    };
+                    scheduler_for(SchedulePolicy::CostNormalizedRareEdge).weights(&ctx)
+                };
+                self.st.corpus.install_schedule(weights);
+                self.telemetry.counter("analysis.sched.recompute", 1);
+                self.st.sched_len = self.st.corpus.len();
+                self.st.sched_blocks_at = self.st.blocks.len();
+            }
+            // Contribution (and any future policy defaulting here):
+            // never install overrides — the handle's baseline weighting
+            // is the policy.
+            _ => {}
+        }
+    }
+
+    fn recompute_distance_schedule(&mut self) {
         let Some((infeasible, pruned)) = &self.sched_inputs else {
             return;
         };
@@ -891,24 +1005,18 @@ impl<'k> RunningCampaign<'k> {
         if self.sched_frontier.is_empty() {
             // Nothing feasible left to chase: fall back to plain
             // contribution weighting.
-            self.st.corpus.set_schedule_weights(None);
+            self.st.corpus.install_schedule(None);
         } else {
             pruned.distance_to_sources(&self.sched_frontier, &mut self.sched_dist);
-            let weights: Vec<u64> = self
-                .st
-                .corpus
-                .iter()
-                .map(|e| {
-                    let d = e
-                        .coverage
-                        .iter()
-                        .filter_map(|b| self.sched_dist[b.index()])
-                        .min()
-                        .unwrap_or(u32::MAX);
-                    1 + e.new_edges as u64 + (256u64 >> d.min(8))
-                })
-                .collect();
-            self.st.corpus.set_schedule_weights(Some(weights));
+            let weights = {
+                let ctx = ScheduleContext {
+                    entries: self.st.corpus.entries(),
+                    block_distance: Some(&self.sched_dist),
+                    rarity: None,
+                };
+                scheduler_for(SchedulePolicy::Distance).weights(&ctx)
+            };
+            self.st.corpus.install_schedule(weights);
         }
         self.telemetry.counter("analysis.sched.recompute", 1);
         self.telemetry

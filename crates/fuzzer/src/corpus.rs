@@ -1,214 +1,13 @@
-//! The corpus: interesting programs and their coverage signal.
+//! Compatibility shim: the per-campaign corpus now lives in
+//! `snowplow-corpus` as [`CorpusHandle`] — a view over a (private or
+//! shared) [`CorpusStore`](snowplow_corpus::CorpusStore). The historical
+//! `Corpus` name is an alias; a handle over its own private store (the
+//! default) behaves bit-identically to the old type.
 
-use rand::prelude::*;
-use snowplow_kernel::{Coverage, EdgeSet, ExecResult, Kernel, Vm};
-use snowplow_prog::Prog;
-use snowplow_syslang::Registry;
+pub use snowplow_corpus::{CorpusEntry, CorpusHandle};
 
-/// One corpus entry.
-#[derive(Debug, Clone)]
-pub struct CorpusEntry {
-    /// The program.
-    pub prog: Prog,
-    /// Block coverage when it was admitted.
-    pub coverage: Coverage,
-    /// The full execution result at admission (reused to build mutation
-    /// queries without re-executing the base).
-    pub exec: ExecResult,
-    /// How many new edges it contributed at admission (selection weight).
-    pub new_edges: usize,
-}
-
-/// A weighted corpus with Syzkaller-style selection: entries that
-/// contributed more new signal are proportionally more likely to be
-/// chosen as mutation bases.
-#[derive(Debug, Clone, Default)]
-pub struct Corpus {
-    entries: Vec<CorpusEntry>,
-    total_weight: u64,
-    /// Distance-weighted scheduling overrides, parallel to `entries`.
-    /// `None` (the default) leaves [`Corpus::choose`] byte-identical to
-    /// the pre-scheduling behavior; entries admitted after the weights
-    /// were computed fall back to their contribution weight until the
-    /// scheduler recomputes.
-    sched: Option<Vec<u64>>,
-}
-
-impl Corpus {
-    /// An empty corpus.
-    pub fn new() -> Self {
-        Corpus::default()
-    }
-
-    /// Number of entries.
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// Whether the corpus is empty.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    /// Admits a program with the coverage of its execution.
-    pub fn add(&mut self, prog: Prog, exec: &ExecResult, new_edges: usize) {
-        self.total_weight += Self::weight_of(new_edges);
-        self.entries.push(CorpusEntry {
-            prog,
-            coverage: exec.coverage(),
-            exec: exec.clone(),
-            new_edges,
-        });
-    }
-
-    /// Admits a program only if it passes the static linter: a corpus
-    /// poisoned by malformed programs (dangling resource refs, stale
-    /// lengths) wastes every mutation budget spent on its entries, so
-    /// ingestion is the enforcement point. Returns whether the program
-    /// was admitted.
-    pub fn add_checked(
-        &mut self,
-        reg: &Registry,
-        prog: Prog,
-        exec: &ExecResult,
-        new_edges: usize,
-    ) -> bool {
-        if snowplow_analysis::lint(reg, &prog).is_empty() {
-            self.add(prog, exec, new_edges);
-            true
-        } else {
-            false
-        }
-    }
-
-    fn weight_of(new_edges: usize) -> u64 {
-        1 + new_edges as u64
-    }
-
-    /// Installs (or clears, with `None`) per-entry scheduling weights
-    /// computed from static frontier distances. While installed, the
-    /// contribution-weighted half of [`Corpus::choose`] draws by these
-    /// weights instead; the recency window is untouched. Weights must be
-    /// non-zero to keep every entry selectable.
-    pub fn set_schedule_weights(&mut self, weights: Option<Vec<u64>>) {
-        if let Some(w) = &weights {
-            debug_assert!(w.len() <= self.entries.len());
-            debug_assert!(w.iter().all(|&x| x > 0), "zero weight starves an entry");
-        }
-        self.sched = weights;
-    }
-
-    /// The effective contribution weight of entry `i` under the current
-    /// scheduling mode.
-    fn effective_weight(&self, i: usize) -> u64 {
-        match &self.sched {
-            Some(w) if i < w.len() => w[i],
-            _ => Self::weight_of(self.entries[i].new_edges),
-        }
-    }
-
-    /// Picks an entry index: half the time among the most recently
-    /// admitted entries (whose coverage frontier is freshest — Syzkaller
-    /// likewise prioritizes newly triaged programs), otherwise weighted
-    /// by contribution across the whole corpus (or by the installed
-    /// distance-derived weights, see [`Corpus::set_schedule_weights`]).
-    pub fn choose(&self, rng: &mut StdRng) -> Option<usize> {
-        if self.entries.is_empty() {
-            return None;
-        }
-        if self.entries.len() > 8 && rng.random_bool(0.5) {
-            let window = 32.min(self.entries.len());
-            let start = self.entries.len() - window;
-            return Some(rng.random_range(start..self.entries.len()));
-        }
-        if self.sched.is_some() {
-            let total: u64 = (0..self.entries.len())
-                .map(|i| self.effective_weight(i))
-                .sum();
-            let mut pick = rng.random_range(0..total.max(1));
-            for i in 0..self.entries.len() {
-                let w = self.effective_weight(i);
-                if pick < w {
-                    return Some(i);
-                }
-                pick -= w;
-            }
-            return Some(self.entries.len() - 1);
-        }
-        let mut pick = rng.random_range(0..self.total_weight.max(1));
-        for (i, e) in self.entries.iter().enumerate() {
-            let w = Self::weight_of(e.new_edges);
-            if pick < w {
-                return Some(i);
-            }
-            pick -= w;
-        }
-        Some(self.entries.len() - 1)
-    }
-
-    /// Greedy corpus minimization: re-executes every entry from a
-    /// pristine snapshot (sharded over `workers` threads) and keeps, in
-    /// admission order, only the entries still contributing new edges.
-    ///
-    /// Re-execution is deterministic and carries no cross-entry state,
-    /// and the greedy keep/drop scan runs sequentially over the results
-    /// in entry order, so the minimized corpus is identical for any
-    /// worker count.
-    pub fn minimize(&self, kernel: &Kernel, workers: usize) -> Corpus {
-        let runs = snowplow_pool::scoped_map(
-            workers,
-            (0..self.entries.len()).collect(),
-            || {
-                let vm = Vm::new(kernel);
-                let snap = vm.snapshot();
-                (vm, snap)
-            },
-            |(vm, snap), _, i| {
-                vm.restore(snap);
-                vm.execute(&self.entries[i].prog)
-            },
-        );
-        let mut kept = Corpus::new();
-        let mut edges = EdgeSet::new();
-        for (entry, exec) in self.entries.iter().zip(runs) {
-            let new_edges = edges.merge(&exec.edges());
-            if new_edges > 0 {
-                kept.add(entry.prog.clone(), &exec, new_edges);
-            }
-        }
-        kept
-    }
-
-    /// The installed scheduling weights, if any (see
-    /// [`Corpus::set_schedule_weights`]); exposed so a checkpoint can
-    /// persist them instead of forcing a recompute on resume.
-    pub fn schedule_weights(&self) -> Option<&[u64]> {
-        self.sched.as_deref()
-    }
-
-    /// Rebuilds a corpus from persisted entries and scheduling weights,
-    /// recomputing the contribution-weight total. Entries must be in
-    /// admission order for [`Corpus::choose`]'s recency window to
-    /// behave identically.
-    pub fn from_entries(entries: Vec<CorpusEntry>, sched: Option<Vec<u64>>) -> Corpus {
-        let total_weight = entries.iter().map(|e| Self::weight_of(e.new_edges)).sum();
-        Corpus {
-            entries,
-            total_weight,
-            sched,
-        }
-    }
-
-    /// Reads an entry.
-    pub fn entry(&self, idx: usize) -> &CorpusEntry {
-        &self.entries[idx]
-    }
-
-    /// Iterates over entries.
-    pub fn iter(&self) -> impl Iterator<Item = &CorpusEntry> {
-        self.entries.iter()
-    }
-}
+/// The historical per-campaign corpus type, now a store view.
+pub type Corpus = CorpusHandle;
 
 #[cfg(test)]
 mod tests {
@@ -219,82 +18,14 @@ mod tests {
 
     use super::*;
 
+    /// The deprecated pre-store API keeps working through the alias:
+    /// `from_entries` and `set_schedule_weights` behave exactly like
+    /// `restore_parts` and `install_schedule`.
     #[test]
-    fn weighted_choice_prefers_high_signal_entries() {
+    #[allow(deprecated)]
+    fn deprecated_corpus_api_still_behaves() {
         let kernel = Kernel::build(KernelVersion::V6_8);
-        let mut rng = StdRng::seed_from_u64(1);
-        let generator = Generator::new(kernel.registry());
-        let mut vm = Vm::new(&kernel);
-        let snap = vm.snapshot();
-        let mut corpus = Corpus::new();
-        for i in 0..10 {
-            let p = generator.generate(&mut rng, 3);
-            vm.restore(&snap);
-            let exec = vm.execute(&p);
-            // Entry 9 gets overwhelming weight.
-            corpus.add(p, &exec, if i == 9 { 10_000 } else { 0 });
-        }
-        let mut hits9 = 0;
-        for _ in 0..200 {
-            if corpus.choose(&mut rng) == Some(9) {
-                hits9 += 1;
-            }
-        }
-        // Half the picks go through the recency window (uniform over the
-        // tail), half through contribution weighting (heavily entry 9):
-        // expect well above the uniform 10% baseline.
-        assert!(hits9 > 80, "only {hits9}/200 picks of the heavy entry");
-    }
-
-    #[test]
-    fn minimize_keeps_coverage_and_is_worker_count_independent() {
-        let kernel = Kernel::build(KernelVersion::V6_8);
-        let mut rng = StdRng::seed_from_u64(4);
-        let generator = Generator::new(kernel.registry());
-        let mut vm = Vm::new(&kernel);
-        let snap = vm.snapshot();
-        let mut corpus = Corpus::new();
-        let mut union = snowplow_kernel::EdgeSet::new();
-        for _ in 0..40 {
-            let p = generator.generate(&mut rng, 4);
-            vm.restore(&snap);
-            let exec = vm.execute(&p);
-            let new = union.merge(&exec.edges());
-            // Admit everything, including redundant entries that the
-            // minimizer should drop.
-            corpus.add(p, &exec, new);
-        }
-
-        let min1 = corpus.minimize(&kernel, 1);
-        assert!(min1.len() <= corpus.len());
-        assert!(!min1.is_empty());
-        // The kept entries reproduce the full edge union.
-        let mut kept_union = snowplow_kernel::EdgeSet::new();
-        for e in min1.iter() {
-            vm.restore(&snap);
-            kept_union.merge(&vm.execute(&e.prog).edges());
-        }
-        assert_eq!(kept_union.len(), union.len());
-
-        for workers in [2, 8] {
-            let m = corpus.minimize(&kernel, workers);
-            assert_eq!(m.len(), min1.len(), "workers={workers}");
-            let same: Vec<&Prog> = m.iter().map(|e| &e.prog).collect();
-            let base: Vec<&Prog> = min1.iter().map(|e| &e.prog).collect();
-            assert_eq!(same, base, "workers={workers}");
-        }
-    }
-
-    #[test]
-    fn empty_corpus_yields_none() {
-        let mut rng = StdRng::seed_from_u64(2);
-        assert_eq!(Corpus::new().choose(&mut rng), None);
-    }
-
-    #[test]
-    fn schedule_weights_steer_choice_and_clear_to_baseline() {
-        let kernel = Kernel::build(KernelVersion::V6_8);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = StdRng::seed_from_u64(21);
         let generator = Generator::new(kernel.registry());
         let mut vm = Vm::new(&kernel);
         let snap = vm.snapshot();
@@ -305,66 +36,19 @@ mod tests {
             let exec = vm.execute(&p);
             corpus.add(p, &exec, 1);
         }
+        corpus.set_schedule_weights(Some(vec![3; 10]));
+        assert_eq!(corpus.schedule_weights(), Some(&[3u64; 10][..]));
 
-        // A frontier-near entry dominates the weighted half of choose.
-        let mut weights = vec![1u64; 10];
-        weights[2] = 10_000;
-        corpus.set_schedule_weights(Some(weights));
-        let mut hits2 = 0;
-        for _ in 0..200 {
-            if corpus.choose(&mut rng) == Some(2) {
-                hits2 += 1;
-            }
+        let rebuilt = Corpus::from_entries(
+            corpus.iter().cloned().collect(),
+            corpus.schedule_weights().map(<[u64]>::to_vec),
+        );
+        assert_eq!(rebuilt.len(), corpus.len());
+        assert_eq!(rebuilt.dedup_hits(), 0);
+        let mut a = StdRng::seed_from_u64(8);
+        let mut b = StdRng::seed_from_u64(8);
+        for _ in 0..50 {
+            assert_eq!(corpus.choose(&mut a), rebuilt.choose(&mut b));
         }
-        assert!(hits2 > 80, "only {hits2}/200 picks of the near entry");
-
-        // Clearing the weights restores the exact pre-scheduling RNG
-        // behavior: same seed, same picks as a never-scheduled corpus.
-        corpus.set_schedule_weights(None);
-        let mut a = StdRng::seed_from_u64(9);
-        let mut b = StdRng::seed_from_u64(9);
-        let picks_cleared: Vec<_> = (0..50).map(|_| corpus.choose(&mut a)).collect();
-        let mut fresh = Corpus::new();
-        for e in corpus.iter() {
-            fresh.add(e.prog.clone(), &e.exec, e.new_edges);
-        }
-        let picks_fresh: Vec<_> = (0..50).map(|_| fresh.choose(&mut b)).collect();
-        assert_eq!(picks_cleared, picks_fresh);
-    }
-
-    #[test]
-    fn checked_ingestion_rejects_lint_violations() {
-        use snowplow_prog::arg::{Arg, ResSource};
-
-        let kernel = Kernel::build(KernelVersion::V6_8);
-        let reg = kernel.registry();
-        let clean = (0..50)
-            .map(|seed| Generator::new(reg).generate(&mut StdRng::seed_from_u64(seed), 4))
-            .find(|p| {
-                p.calls
-                    .iter()
-                    .any(|c| c.args.iter().any(|a| matches!(a, Arg::Res { .. })))
-            })
-            .expect("some generated program uses a resource argument");
-        let mut vm = Vm::new(&kernel);
-        let exec = vm.execute(&clean);
-
-        let mut corpus = Corpus::new();
-        assert!(corpus.add_checked(reg, clean.clone(), &exec, 1));
-        assert_eq!(corpus.len(), 1);
-
-        // Break the program: point some resource argument at a call that
-        // does not exist.
-        let mut broken = clean;
-        'outer: for call in &mut broken.calls {
-            for arg in &mut call.args {
-                if let Arg::Res { source } = arg {
-                    *source = ResSource::Ref(9999);
-                    break 'outer;
-                }
-            }
-        }
-        assert!(!corpus.add_checked(reg, broken, &exec, 1));
-        assert_eq!(corpus.len(), 1, "lint-dirty program must be rejected");
     }
 }

@@ -20,7 +20,8 @@ use std::time::Duration;
 
 use rand::prelude::*;
 use snowplow_analysis::{AnalysisCache, ArgConstraint, UnreachableProof, Verdict};
-use snowplow_kernel::{BlockId, Kernel, Vm};
+use snowplow_corpus::{CorpusHandle, CorpusStore};
+use snowplow_kernel::{BlockId, EdgeSet, Kernel, Vm};
 use snowplow_pmm::graph::QueryGraph;
 use snowplow_pmm::model::Pmm;
 use snowplow_prog::gen::Generator;
@@ -60,6 +61,12 @@ pub struct DirectedConfig {
     /// reproduces the pre-analysis seeding behavior exactly (the RNG
     /// stream is untouched either way).
     pub use_witness_seeds: bool,
+    /// Harvest coverage-contributing executions into this shared
+    /// [`CorpusStore`], so a coverage campaign (or a later directed run)
+    /// can reuse what the search discovered. `None` (the default) keeps
+    /// the pre-store behavior bit for bit — harvesting consumes no
+    /// randomness and never feeds back into the search.
+    pub store: Option<CorpusStore>,
     /// Metrics destination; [`Telemetry::disabled`] costs nothing.
     pub telemetry: Telemetry,
 }
@@ -75,6 +82,7 @@ impl Default for DirectedConfig {
             seed_corpus: 20,
             seed: 0,
             use_witness_seeds: true,
+            store: None,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -141,6 +149,12 @@ impl DirectedConfigBuilder {
     /// Enables or disables witness-derived seed programs.
     pub fn use_witness_seeds(mut self, on: bool) -> Self {
         self.cfg.use_witness_seeds = on;
+        self
+    }
+
+    /// Harvests coverage-contributing executions into a shared store.
+    pub fn store(mut self, store: CorpusStore) -> Self {
+        self.cfg.store = Some(store);
         self
     }
 
@@ -303,6 +317,13 @@ impl<'k> DirectedCampaign<'k> {
         let mut execs: u64 = 0;
         let mut corpus: Vec<Entry> = Vec::new();
         let mut best: Option<u32> = None;
+        // Side-channel harvest: a handle over the shared store plus the
+        // edge set it has already banked. Selection above never reads
+        // it, so outcomes match the store-less run exactly.
+        let mut harvest = cfg
+            .store
+            .as_ref()
+            .map(|s| (CorpusHandle::attached(s.clone()), EdgeSet::new()));
 
         let min_dist = |exec: &snowplow_kernel::ExecResult| -> Option<u32> {
             exec.coverage()
@@ -320,6 +341,17 @@ impl<'k> DirectedCampaign<'k> {
                 clock.advance(cfg.exec_cost);
                 span.finish(telemetry, clock.now());
                 telemetry.counter("execs", 1);
+                if let Some((handle, banked)) = &mut harvest {
+                    let new_edges = banked.merge(&exec.edges());
+                    if new_edges > 0 {
+                        handle.add_weighted(
+                            $p.clone(),
+                            &exec,
+                            new_edges,
+                            cfg.exec_cost.as_nanos() as u64,
+                        );
+                    }
+                }
                 if exec.coverage().contains(cfg.target) {
                     return DirectedOutcome::Reached {
                         at: clock.now(),
@@ -670,6 +702,31 @@ mod tests {
             DirectedOutcome::TimedOut { .. } => {} // strictly faster
             out => panic!("baseline outcome changed: {out:?}"),
         }
+    }
+
+    #[test]
+    fn store_harvest_is_unobservable_and_populates_the_store() {
+        let kernel = Kernel::build(KernelVersion::V6_8);
+        let target = easy_target(&kernel);
+        let mk = |store: Option<CorpusStore>| {
+            let mut b = DirectedConfig::builder()
+                .target(target)
+                .duration(Duration::from_secs(3600))
+                .seed(1);
+            if let Some(s) = store {
+                b = b.store(s);
+            }
+            DirectedCampaign::new(&kernel, None, b.build()).run()
+        };
+        let plain = mk(None);
+        let store = CorpusStore::new();
+        let harvested = mk(Some(store.clone()));
+        assert_eq!(plain, harvested, "harvesting changed the search");
+        assert!(
+            !store.is_empty(),
+            "a reached run banks at least its seed coverage"
+        );
+        assert_eq!(store.stats().entries, store.len());
     }
 
     #[test]

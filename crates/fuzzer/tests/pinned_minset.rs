@@ -1,0 +1,67 @@
+//! Regression for the trim-vs-state-loss bug: offline corpus
+//! minimization used to drop crash witnesses whose coverage another
+//! (non-crashing) entry already provided, losing the only reproducer
+//! for a triaged signature. Campaigns now pin crash-witness admissions,
+//! and `weighted_minset` keeps every pinned entry unconditionally.
+
+use std::time::Duration;
+
+use snowplow_fuzzer::{Campaign, CampaignConfig, FuzzerKind};
+use snowplow_kernel::{Kernel, KernelVersion, Vm};
+
+#[test]
+fn crash_witnesses_survive_weighted_minset_and_still_crash() {
+    let kernel = Kernel::build(KernelVersion::V6_8);
+    let config = CampaignConfig::builder()
+        .duration(Duration::from_secs(3600))
+        .seed_corpus(20)
+        .sample_every(Duration::from_secs(600))
+        .seed(5)
+        .build();
+    let mut running = Campaign::new(&kernel, FuzzerKind::Syzkaller, config).into_running();
+    while running.step() {}
+    let corpus = running.state().corpus.clone();
+
+    let witnesses: Vec<_> = corpus
+        .iter()
+        .zip(corpus.pinned_flags())
+        .filter(|(_, pinned)| **pinned)
+        .map(|(e, _)| e.clone())
+        .collect();
+    assert!(
+        !witnesses.is_empty(),
+        "campaign pinned no crash witnesses; the seed no longer crashes"
+    );
+    assert!(witnesses.iter().all(|e| e.exec.crash.is_some()));
+
+    let minimized = corpus.weighted_minset(&kernel, 2);
+    let kept: Vec<_> = minimized
+        .iter()
+        .zip(minimized.pinned_flags())
+        .filter(|(_, pinned)| **pinned)
+        .map(|(e, _)| e.clone())
+        .collect();
+    assert_eq!(
+        kept.len(),
+        witnesses.len(),
+        "minimization trimmed pinned crash witnesses"
+    );
+    for w in &witnesses {
+        assert!(
+            kept.iter().any(|e| e.prog == w.prog),
+            "a crash witness was replaced rather than kept verbatim"
+        );
+    }
+
+    // The surviving witnesses are not stale metadata: replaying each
+    // one still crashes the kernel.
+    let mut vm = Vm::new(&kernel);
+    let snap = vm.snapshot();
+    for e in &kept {
+        vm.restore(&snap);
+        assert!(
+            vm.execute(&e.prog).crash.is_some(),
+            "kept witness no longer reproduces its crash"
+        );
+    }
+}

@@ -217,6 +217,31 @@ where
     })
 }
 
+/// Parallel map, sequential in-order fold.
+///
+/// The map half is [`scoped_map`] — per-item work is sharded over
+/// `workers` with order-preserving reassembly. The fold half then runs
+/// on the calling thread over the results *in item order*, so a fold
+/// that carries order-sensitive state (e.g. corpus ingest, where dedup
+/// outcomes depend on what was inserted before) stays worker-count
+/// independent: only the map half parallelizes.
+pub fn scoped_map_fold<I, R, S, A>(
+    workers: usize,
+    items: Vec<I>,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize, I) -> R + Sync,
+    acc: A,
+    fold: impl FnMut(A, R) -> A,
+) -> A
+where
+    I: Send,
+    R: Send,
+{
+    scoped_map(workers, items, init, f)
+        .into_iter()
+        .fold(acc, fold)
+}
+
 /// Derives a decorrelated 64-bit seed for one work item of one sharded
 /// stage.
 ///
@@ -376,6 +401,33 @@ mod tests {
         assert!(!exec.telemetry.is_enabled());
         let out = exec.map("s", vec![1, 2, 3], || (), |_, _, x| x * 10);
         assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn map_fold_folds_in_item_order_at_any_worker_count() {
+        let job = |workers: usize| {
+            scoped_map_fold(
+                workers,
+                (0u64..40).collect(),
+                || (),
+                |_, i, item| {
+                    let mut rng = StdRng::seed_from_u64(stream_seed(11, 2, i as u64));
+                    item * 1000 + rng.random_range(0..1000u64)
+                },
+                Vec::new(),
+                |mut out: Vec<u64>, r| {
+                    out.push(r);
+                    out
+                },
+            )
+        };
+        let one = job(1);
+        assert_eq!(one.len(), 40);
+        assert!(
+            one.windows(2).all(|w| w[0] / 1000 < w[1] / 1000),
+            "in order"
+        );
+        assert_eq!(one, job(4));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Fleet orchestration: run several campaigns over one shared inference
-//! service, checkpoint one mid-run, kill it, and resume it later —
-//! ending bit-identical to never having stopped.
+//! service and one shared corpus store, checkpoint one mid-run, kill
+//! it, and resume it later — ending bit-identical to never having
+//! stopped.
 //!
 //! Run: `cargo run --release --example fleet`
 
@@ -8,7 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use snowplow::fleet::{CampaignSnapshot, FleetScheduler, InferenceService};
-use snowplow::fuzzing::CampaignConfig;
+use snowplow::fuzzing::{CampaignConfig, CorpusStore};
 use snowplow::{train_pmm, Kernel, KernelVersion, Scale};
 
 fn main() {
@@ -22,8 +23,12 @@ fn main() {
     let service = Arc::new(InferenceService::start(&model, 2));
 
     // 2. Spawn a fleet: three Snowplow campaigns, different seeds, one
-    //    shared service.
+    //    shared service, and one shared corpus store — each campaign
+    //    still selects from its own view, but identical discoveries are
+    //    stored once and counted as dedup hits.
     let mut fleet = FleetScheduler::new(&kernel, Arc::clone(&service));
+    let store = CorpusStore::new();
+    fleet.set_shared_corpus(store.clone());
     let config = |seed: u64| {
         CampaignConfig::builder()
             .duration(Duration::from_secs(6 * 3600))
@@ -81,4 +86,9 @@ fn main() {
     for (tag, served) in service.served_by_tag() {
         println!("  campaign tag {tag}: {served} queries served");
     }
+    let stats = store.stats();
+    println!(
+        "shared corpus: {} entries covering {} edges, {} cross-campaign dedup hits",
+        stats.entries, stats.indexed_edges, stats.dedup_hits
+    );
 }
